@@ -1,0 +1,132 @@
+//! Figure 11 — Error Handling Performance.
+//!
+//! Paper: elapsed time vs percentage of erroneous records, comparing the
+//! virtualizer's adaptive bulk loading against a baseline that loads with
+//! singleton inserts and logs each error immediately. The baseline is
+//! flat (every row already pays a round trip); the adaptive approach is
+//! far faster at 0% errors, jumps when the first errors appear (the
+//! splitting machinery engages), then grows smoothly — and still wins at
+//! 10% errors.
+//!
+//! The CDW here simulates a per-statement round-trip latency, which is
+//! what makes statement *count* the dominant cost, exactly as in a real
+//! cloud warehouse.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use etlv_bench::run_import;
+use etlv_core::workload::{customer_workload, CustomerSpec};
+use etlv_core::{ApplyStrategy, VirtualizerConfig};
+use etlv_legacy_client::ClientOptions;
+
+const ERROR_PCT: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+const ROWS: u64 = 1_500;
+const LATENCY: Duration = Duration::from_micros(300);
+
+fn workload_for(error_rate: f64) -> etlv_core::workload::Workload {
+    customer_workload(&CustomerSpec {
+        rows: ROWS,
+        row_bytes: 120,
+        date_error_rate: error_rate,
+        dup_rate: 0.0,
+        sessions: 2,
+        unique_key: false, // isolate conversion errors, as in the figure
+        seed: 31,
+        ..Default::default()
+    })
+}
+
+fn config_for(strategy: ApplyStrategy) -> VirtualizerConfig {
+    config_with_cap(strategy, 0)
+}
+
+fn config_with_cap(strategy: ApplyStrategy, max_errors: u64) -> VirtualizerConfig {
+    let mut config = VirtualizerConfig::default();
+    config.apply_strategy = strategy;
+    config.max_errors = max_errors;
+    config
+}
+
+fn options() -> ClientOptions {
+    ClientOptions {
+        chunk_rows: 500,
+        sessions: Some(2),
+    }
+}
+
+fn application_secs(strategy: ApplyStrategy, max_errors: u64, error_rate: f64) -> (f64, u64) {
+    let workload = workload_for(error_rate);
+    let (result, report) = run_import(
+        config_with_cap(strategy, max_errors),
+        LATENCY,
+        &workload,
+        options(),
+    );
+    (report.application.as_secs_f64(), result.report.errors_et)
+}
+
+fn print_figure() {
+    println!(
+        "\n=== Figure 11: error-handling performance ({} rows, {:?} simulated round trip) ===",
+        ROWS, LATENCY
+    );
+    // The paper notes Hyper-Q bounds the adaptive search with max_errors;
+    // the capped column uses the operational setting, the uncapped one
+    // shows the raw cost of chasing every individual error.
+    const CAP: u64 = 40;
+    println!(
+        "{:>8} {:>8} {:>14} {:>22} {:>20}",
+        "errors%", "ET rows", "adaptive (s)", "adaptive capped (s)", "baseline single (s)"
+    );
+    for pct in ERROR_PCT {
+        let (adaptive, errors) = application_secs(ApplyStrategy::BulkAdaptive, 0, pct);
+        let (capped, _) = application_secs(ApplyStrategy::BulkAdaptive, CAP, pct);
+        let (baseline, _) = application_secs(ApplyStrategy::Singleton, 0, pct);
+        println!(
+            "{:>8.0} {:>8} {:>14.3} {:>22.3} {:>20.3}",
+            pct * 100.0,
+            errors,
+            adaptive,
+            capped,
+            baseline
+        );
+    }
+    println!("(paper shape: baseline flat; adaptive far faster at 0%, steep jump at 1%, smooth growth after;");
+    println!(" with the paper's max_errors cap the adaptive path still beats the baseline at 10%)");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_error_handling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    let clean = workload_for(0.0);
+    let dirty = workload_for(0.05);
+    group.bench_with_input(BenchmarkId::new("adaptive", "0pct"), &clean, |b, w| {
+        b.iter(|| run_import(config_for(ApplyStrategy::BulkAdaptive), LATENCY, w, options()))
+    });
+    group.bench_with_input(BenchmarkId::new("adaptive_capped", "5pct"), &dirty, |b, w| {
+        b.iter(|| {
+            run_import(
+                config_with_cap(ApplyStrategy::BulkAdaptive, 40),
+                LATENCY,
+                w,
+                options(),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("adaptive", "5pct"), &dirty, |b, w| {
+        b.iter(|| run_import(config_for(ApplyStrategy::BulkAdaptive), LATENCY, w, options()))
+    });
+    group.bench_with_input(BenchmarkId::new("singleton", "0pct"), &clean, |b, w| {
+        b.iter(|| run_import(config_for(ApplyStrategy::Singleton), LATENCY, w, options()))
+    });
+    group.finish();
+}
+
+fn main() {
+    print_figure();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

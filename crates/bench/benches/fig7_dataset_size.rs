@@ -1,0 +1,109 @@
+//! Figure 7 — Performance with Different Dataset Sizes.
+//!
+//! Paper: total ETL job time grows sub-linearly with dataset size
+//! (25M → 100M rows at ~500 B/row); most time is in the acquisition
+//! phase; the application phase grows slower than acquisition (≈270% vs
+//! ≈340% at 4×) thanks to the bulk DML the virtualizer generates; other
+//! (startup/teardown) is flat.
+//!
+//! Here: the same sweep at laptop scale (row counts ÷ 1000), printing the
+//! same series — per-phase seconds and the relative growth vs the 25k
+//! baseline — followed by a criterion measurement of the smallest point.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use etlv_bench::{run_import, secs};
+use etlv_core::workload::{customer_workload, CustomerSpec};
+use etlv_core::VirtualizerConfig;
+use etlv_legacy_client::ClientOptions;
+
+const SIZES: [u64; 4] = [25_000, 50_000, 75_000, 100_000];
+const ROW_BYTES: usize = 500;
+
+fn options() -> ClientOptions {
+    ClientOptions {
+        chunk_rows: 2_000,
+        sessions: Some(4),
+    }
+}
+
+fn print_figure() {
+    println!("\n=== Figure 7: job time vs dataset size (500 B rows, 4 sessions) ===");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>10} | {:>8} {:>8}",
+        "rows", "acquisition", "application", "other", "total", "acq-%", "app-%"
+    );
+    let mut baseline: Option<(f64, f64)> = None;
+    for rows in SIZES {
+        let workload = customer_workload(&CustomerSpec {
+            rows,
+            row_bytes: ROW_BYTES,
+            sessions: 4,
+            unique_key: false,
+            ..Default::default()
+        });
+        // Median of 3 runs (first run additionally warms allocators/caches).
+        let mut reports: Vec<_> = (0..3)
+            .map(|_| {
+                run_import(
+                    VirtualizerConfig::default(),
+                    Duration::ZERO,
+                    &workload,
+                    options(),
+                )
+                .1
+            })
+            .collect();
+        reports.sort_by(|a, b| a.total().cmp(&b.total()));
+        let report = reports[1].clone();
+        let acq = report.acquisition.as_secs_f64();
+        let app = report.application.as_secs_f64();
+        let (base_acq, base_app) = *baseline.get_or_insert((acq, app));
+        println!(
+            "{:>10} {:>12} {:>12} {:>10} {:>10} | {:>7.0}% {:>7.0}%",
+            rows,
+            secs(report.acquisition),
+            secs(report.application),
+            secs(report.other),
+            secs(report.total()),
+            acq / base_acq * 100.0,
+            app / base_app * 100.0,
+        );
+    }
+    println!("(paper shape: sub-linear growth; acquisition dominates; acquisition grows faster than application)");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_dataset_size");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for rows in [5_000u64, 10_000] {
+        let workload = customer_workload(&CustomerSpec {
+            rows,
+            row_bytes: ROW_BYTES,
+            sessions: 4,
+            unique_key: false,
+            ..Default::default()
+        });
+        group.throughput(criterion::Throughput::Bytes(workload.data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &workload, |b, w| {
+            b.iter(|| {
+                run_import(
+                    VirtualizerConfig::default(),
+                    Duration::ZERO,
+                    w,
+                    options(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_figure();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

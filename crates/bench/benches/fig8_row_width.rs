@@ -1,0 +1,106 @@
+//! Figure 8 — Effect of Row Width on Bulk Load Performance.
+//!
+//! Paper: four datasets of the same total size but different average row
+//! widths (e.g. 250 B × 100M rows vs 1000 B × 25M rows); wider rows load
+//! faster because each data chunk needs fewer conversion/serialization
+//! iterations.
+//!
+//! Here: fixed total ≈ 12.5 MB, widths 250/500/1000/2000 B.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use etlv_bench::{rate_mb_s, run_import, secs};
+use etlv_core::workload::{customer_workload, CustomerSpec};
+use etlv_core::VirtualizerConfig;
+use etlv_legacy_client::ClientOptions;
+
+const TOTAL_BYTES: u64 = 12_500_000;
+const WIDTHS: [usize; 4] = [250, 500, 1000, 2000];
+
+fn workload_for(width: usize) -> etlv_core::workload::Workload {
+    customer_workload(&CustomerSpec {
+        rows: TOTAL_BYTES / width as u64,
+        row_bytes: width,
+        sessions: 4,
+        unique_key: false,
+        ..Default::default()
+    })
+}
+
+fn options() -> ClientOptions {
+    ClientOptions {
+        chunk_rows: 1_000,
+        sessions: Some(4),
+    }
+}
+
+fn print_figure() {
+    println!("\n=== Figure 8: row width vs bulk load time (fixed ~12.5 MB total) ===");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "width", "rows", "acquisition", "application", "total", "MB/s"
+    );
+    for width in WIDTHS {
+        let workload = workload_for(width);
+        let bytes = workload.data.len() as u64;
+        let mut reports: Vec<_> = (0..3)
+            .map(|_| {
+                run_import(
+                    VirtualizerConfig::default(),
+                    Duration::ZERO,
+                    &workload,
+                    options(),
+                )
+                .1
+            })
+            .collect();
+        reports.sort_by(|a, b| a.total().cmp(&b.total()));
+        let report = reports[1].clone();
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>10} {:>10.1}",
+            width,
+            workload.rows,
+            secs(report.acquisition),
+            secs(report.application),
+            secs(report.total()),
+            rate_mb_s(bytes, report.total()),
+        );
+    }
+    println!("(paper shape: larger row width -> better performance at equal volume)");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_row_width");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for width in [250usize, 1000] {
+        // Scale down for the statistical runs.
+        let workload = customer_workload(&CustomerSpec {
+            rows: 2_500_000 / width as u64,
+            row_bytes: width,
+            sessions: 4,
+            unique_key: false,
+            ..Default::default()
+        });
+        group.throughput(criterion::Throughput::Bytes(workload.data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &workload, |b, w| {
+            b.iter(|| {
+                run_import(
+                    VirtualizerConfig::default(),
+                    Duration::ZERO,
+                    w,
+                    options(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_figure();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,273 @@
+//! The CDW catalog: schemas and row storage.
+
+use std::collections::HashMap;
+
+use etlv_protocol::data::Value;
+use etlv_sql::ast::{ColumnDef, TableConstraint};
+use etlv_sql::SqlType;
+
+use crate::error::CdwError;
+use crate::key::RowKey;
+
+/// A column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored upper-cased; lookups are case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// NOT NULL?
+    pub not_null: bool,
+}
+
+/// A stored table: schema, rows, and an optional unique constraint.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Canonical (upper-cased, dotted) name.
+    pub name: String,
+    /// Column definitions.
+    pub columns: Vec<Column>,
+    /// Indexes of the unique-constrained columns, if any.
+    pub unique_columns: Option<Vec<usize>>,
+    /// Row storage.
+    pub rows: Vec<Vec<Value>>,
+    /// Uniqueness hash index (maintained only when the engine enforces the
+    /// constraint natively).
+    pub unique_index: HashMap<RowKey, usize>,
+}
+
+impl Table {
+    /// Build a table from a parsed CREATE TABLE.
+    pub fn from_create(
+        name: String,
+        columns: &[ColumnDef],
+        constraints: &[TableConstraint],
+    ) -> Result<Table, CdwError> {
+        let cols: Vec<Column> = columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.to_ascii_uppercase(),
+                ty: c.ty,
+                not_null: c.not_null,
+            })
+            .collect();
+        let mut unique_columns = None;
+        for c in constraints {
+            let TableConstraint::Unique { columns: ucols, .. } = c;
+            let mut idxs = Vec::with_capacity(ucols.len());
+            for uc in ucols {
+                let uc_up = uc.to_ascii_uppercase();
+                let idx = cols
+                    .iter()
+                    .position(|c| c.name == uc_up)
+                    .ok_or_else(|| CdwError::ColumnNotFound(uc.clone()))?;
+                idxs.push(idx);
+            }
+            // Multiple unique constraints collapse to the first (the
+            // legacy scripts in scope declare at most one).
+            if unique_columns.is_none() {
+                unique_columns = Some(idxs);
+            }
+        }
+        Ok(Table {
+            name,
+            columns: cols,
+            unique_columns,
+            rows: Vec::new(),
+            unique_index: HashMap::new(),
+        })
+    }
+
+    /// Index of column `name` (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let up = name.to_ascii_uppercase();
+        self.columns.iter().position(|c| c.name == up)
+    }
+
+    /// The key of `row` under the unique constraint, if one is declared.
+    pub fn unique_key(&self, row: &[Value]) -> Option<RowKey> {
+        self.unique_columns
+            .as_ref()
+            .map(|idxs| RowKey(idxs.iter().map(|&i| row[i].clone()).collect()))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rebuild the uniqueness index from current rows (used after bulk
+    /// mutations when native enforcement is on).
+    pub fn rebuild_unique_index(&mut self) {
+        self.unique_index.clear();
+        if self.unique_columns.is_some() {
+            for (i, row) in self.rows.iter().enumerate() {
+                if let Some(key) = self.unique_key(row) {
+                    self.unique_index.insert(key, i);
+                }
+            }
+        }
+    }
+}
+
+/// The catalog of all tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+/// Canonicalize a dotted object name for catalog lookup.
+pub fn canonical_name(name: &str) -> String {
+    name.to_ascii_uppercase()
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a new table.
+    pub fn create(&mut self, table: Table, if_not_exists: bool) -> Result<(), CdwError> {
+        let key = canonical_name(&table.name);
+        if self.tables.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(CdwError::TableExists(table.name));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop(&mut self, name: &str, if_exists: bool) -> Result<(), CdwError> {
+        let key = canonical_name(name);
+        if self.tables.remove(&key).is_none() && !if_exists {
+            return Err(CdwError::TableNotFound(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Immutable table lookup.
+    pub fn get(&self, name: &str) -> Result<&Table, CdwError> {
+        self.tables
+            .get(&canonical_name(name))
+            .ok_or_else(|| CdwError::TableNotFound(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table, CdwError> {
+        self.tables
+            .get_mut(&canonical_name(name))
+            .ok_or_else(|| CdwError::TableNotFound(name.to_string()))
+    }
+
+    /// Whether `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.tables.contains_key(&canonical_name(name))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlv_sql::ast::ColumnDef;
+
+    fn make_table(name: &str) -> Table {
+        Table::from_create(
+            name.to_string(),
+            &[
+                ColumnDef {
+                    name: "ID".into(),
+                    ty: SqlType::Integer,
+                    not_null: true,
+                },
+                ColumnDef {
+                    name: "NAME".into(),
+                    ty: SqlType::VarChar(10, etlv_sql::types::Charset::Latin),
+                    not_null: false,
+                },
+            ],
+            &[TableConstraint::Unique {
+                columns: vec!["id".into()],
+                primary: true,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut cat = Catalog::new();
+        cat.create(make_table("PROD.T"), false).unwrap();
+        assert!(cat.exists("prod.t"));
+        assert!(cat.get("PROD.T").is_ok());
+        assert!(matches!(
+            cat.create(make_table("prod.t"), false),
+            Err(CdwError::TableExists(_))
+        ));
+        cat.create(make_table("prod.t"), true).unwrap(); // if not exists
+        cat.drop("PROD.T", false).unwrap();
+        assert!(matches!(
+            cat.drop("PROD.T", false),
+            Err(CdwError::TableNotFound(_))
+        ));
+        cat.drop("PROD.T", true).unwrap();
+    }
+
+    #[test]
+    fn unique_constraint_resolution() {
+        let t = make_table("T");
+        assert_eq!(t.unique_columns, Some(vec![0]));
+        let key = t.unique_key(&[Value::Int(5), Value::Str("x".into())]);
+        assert_eq!(key, Some(RowKey(vec![Value::Int(5)])));
+    }
+
+    #[test]
+    fn bad_constraint_column_rejected() {
+        let r = Table::from_create(
+            "T".into(),
+            &[ColumnDef {
+                name: "A".into(),
+                ty: SqlType::Integer,
+                not_null: false,
+            }],
+            &[TableConstraint::Unique {
+                columns: vec!["NOPE".into()],
+                primary: false,
+            }],
+        );
+        assert!(matches!(r, Err(CdwError::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let t = make_table("T");
+        assert_eq!(t.column_index("id"), Some(0));
+        assert_eq!(t.column_index("Name"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+    }
+
+    #[test]
+    fn rebuild_unique_index() {
+        let mut t = make_table("T");
+        t.rows.push(vec![Value::Int(1), Value::Null]);
+        t.rows.push(vec![Value::Int(2), Value::Null]);
+        t.rebuild_unique_index();
+        assert_eq!(t.unique_index.len(), 2);
+        assert_eq!(t.unique_index.get(&RowKey(vec![Value::Int(2)])), Some(&1));
+    }
+}

@@ -1,0 +1,445 @@
+//! The engine facade: a thread-safe CDW handle with configuration.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use etlv_cloudstore::store::ObjectStore;
+use etlv_sql::{parse_statements, Dialect, SqlType, Stmt};
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+use crate::error::CdwError;
+use crate::exec::{execute, ExecCtx};
+pub use crate::exec::QueryResult;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct CdwConfig {
+    /// Enforce UNIQUE constraints natively. Defaults to `false` — most
+    /// cloud warehouses treat UNIQUE as informational, which is why the
+    /// virtualizer carries its own uniqueness emulation (§7).
+    pub native_unique: bool,
+    /// Simulated per-statement round-trip latency between the client
+    /// (virtualizer) and the warehouse. This is what makes the Figure 11
+    /// singleton-insert baseline slow.
+    pub statement_latency: Duration,
+}
+
+impl Default for CdwConfig {
+    fn default() -> Self {
+        CdwConfig {
+            native_unique: false,
+            statement_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// A simulated Cloud Data Warehouse.
+///
+/// Cheaply cloneable (`Arc` internally); statements serialize on an
+/// internal lock, modelling a single warehouse endpoint.
+#[derive(Clone)]
+pub struct Cdw {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    catalog: Mutex<Catalog>,
+    store: Option<Arc<dyn ObjectStore>>,
+    config: CdwConfig,
+}
+
+impl Cdw {
+    /// New warehouse with default configuration and no object store.
+    pub fn new() -> Cdw {
+        Cdw::with_config(CdwConfig::default(), None)
+    }
+
+    /// New warehouse with explicit configuration and optional COPY source.
+    pub fn with_config(config: CdwConfig, store: Option<Arc<dyn ObjectStore>>) -> Cdw {
+        Cdw {
+            inner: Arc::new(Inner {
+                catalog: Mutex::new(Catalog::new()),
+                store,
+                config,
+            }),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &CdwConfig {
+        &self.inner.config
+    }
+
+    /// Execute one SQL statement (CDW dialect).
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, CdwError> {
+        let stmts = parse_statements(sql, Dialect::Cdw)?;
+        let [stmt] = stmts.as_slice() else {
+            return Err(CdwError::Unsupported(
+                "execute() takes exactly one statement; use execute_script".into(),
+            ));
+        };
+        self.execute_stmt(stmt)
+    }
+
+    /// Execute one pre-parsed statement.
+    pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
+        if !self.inner.config.statement_latency.is_zero() {
+            std::thread::sleep(self.inner.config.statement_latency);
+        }
+        let mut catalog = self.inner.catalog.lock();
+        let mut ctx = ExecCtx {
+            catalog: &mut catalog,
+            store: self.inner.store.as_ref(),
+            native_unique: self.inner.config.native_unique,
+        };
+        execute(&mut ctx, stmt)
+    }
+
+    /// Execute a `;`-separated script, stopping at the first error.
+    /// Returns the result of the last statement.
+    pub fn execute_script(&self, sql: &str) -> Result<QueryResult, CdwError> {
+        let stmts = parse_statements(sql, Dialect::Cdw)?;
+        let mut last = QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected: 0,
+        };
+        for stmt in &stmts {
+            last = self.execute_stmt(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Number of rows in `table` (test/bench convenience).
+    pub fn table_len(&self, table: &str) -> Result<usize, CdwError> {
+        Ok(self.inner.catalog.lock().get(table)?.len())
+    }
+
+    /// Whether `table` exists.
+    pub fn table_exists(&self, table: &str) -> bool {
+        self.inner.catalog.lock().exists(table)
+    }
+
+    /// Column names and types of `table`.
+    pub fn table_schema(&self, table: &str) -> Result<Vec<(String, SqlType)>, CdwError> {
+        let catalog = self.inner.catalog.lock();
+        let t = catalog.get(table)?;
+        Ok(t.columns.iter().map(|c| (c.name.clone(), c.ty)).collect())
+    }
+
+    /// Names of the unique-constrained columns of `table`, if a unique
+    /// constraint is declared. Whether the engine *enforces* it is
+    /// governed by [`CdwConfig::native_unique`] — the virtualizer reads
+    /// this metadata to drive its uniqueness emulation.
+    pub fn table_unique_columns(&self, table: &str) -> Result<Option<Vec<String>>, CdwError> {
+        let catalog = self.inner.catalog.lock();
+        let t = catalog.get(table)?;
+        Ok(t.unique_columns
+            .as_ref()
+            .map(|idxs| idxs.iter().map(|&i| t.columns[i].name.clone()).collect()))
+    }
+}
+
+impl Default for Cdw {
+    fn default() -> Self {
+        Cdw::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlv_cloudstore::{compress, MemStore};
+    use etlv_protocol::data::{Date, Value};
+
+    fn setup() -> Cdw {
+        let cdw = Cdw::new();
+        cdw.execute(
+            "CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5) NOT NULL, CUST_NAME VARCHAR(50), JOIN_DATE DATE, PRIMARY KEY (CUST_ID))",
+        )
+        .unwrap();
+        cdw
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let cdw = setup();
+        let r = cdw
+            .execute("INSERT INTO PROD.CUSTOMER VALUES ('123', 'Smith', DATE '2012-01-01')")
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        let r = cdw
+            .execute("SELECT CUST_ID, JOIN_DATE FROM PROD.CUSTOMER")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Str("123".into()));
+        assert_eq!(r.rows[0][1], Value::Date(Date::new(2012, 1, 1).unwrap()));
+    }
+
+    #[test]
+    fn set_oriented_insert_select_aborts_wholesale() {
+        let cdw = setup();
+        cdw.execute("CREATE TABLE STG (ID VARCHAR(5), NAME VARCHAR(50), D VARCHAR(10))")
+            .unwrap();
+        cdw.execute_script(
+            "INSERT INTO STG VALUES ('1', 'a', '2012-01-01');
+             INSERT INTO STG VALUES ('2', 'b', 'xxxx');
+             INSERT INTO STG VALUES ('3', 'c', '2012-01-03');",
+        )
+        .unwrap();
+        // The middle row has a bad date: the whole INSERT..SELECT aborts and
+        // the target stays empty — and the error does NOT say which row.
+        let err = cdw
+            .execute(
+                "INSERT INTO PROD.CUSTOMER SELECT ID, NAME, TO_DATE(D, 'YYYY-MM-DD') FROM STG",
+            )
+            .unwrap_err();
+        assert!(err.is_bulk_abort(), "{err}");
+        assert!(!format!("{err}").contains("row"), "no row identity: {err}");
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 0);
+    }
+
+    #[test]
+    fn native_unique_enforcement_toggle() {
+        // Off (default): duplicates accepted.
+        let cdw = setup();
+        cdw.execute("INSERT INTO PROD.CUSTOMER VALUES ('1', 'a', NULL)")
+            .unwrap();
+        cdw.execute("INSERT INTO PROD.CUSTOMER VALUES ('1', 'b', NULL)")
+            .unwrap();
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 2);
+
+        // On: second insert aborts.
+        let cdw = Cdw::with_config(
+            CdwConfig {
+                native_unique: true,
+                ..Default::default()
+            },
+            None,
+        );
+        cdw.execute("CREATE TABLE T (A INTEGER, PRIMARY KEY (A))").unwrap();
+        cdw.execute("INSERT INTO T VALUES (1)").unwrap();
+        let err = cdw.execute("INSERT INTO T VALUES (1)").unwrap_err();
+        assert!(err.is_uniqueness());
+        assert_eq!(cdw.table_len("T").unwrap(), 1);
+        // Batch with internal duplicate also aborts atomically.
+        let err = cdw.execute("INSERT INTO T VALUES (2), (2)").unwrap_err();
+        assert!(err.is_uniqueness());
+        assert_eq!(cdw.table_len("T").unwrap(), 1);
+    }
+
+    #[test]
+    fn not_null_violation_aborts() {
+        let cdw = setup();
+        let err = cdw
+            .execute("INSERT INTO PROD.CUSTOMER VALUES (NULL, 'x', NULL)")
+            .unwrap_err();
+        assert!(err.is_bulk_abort());
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 0);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let cdw = setup();
+        cdw.execute_script(
+            "INSERT INTO PROD.CUSTOMER VALUES ('1', 'a', NULL);
+             INSERT INTO PROD.CUSTOMER VALUES ('2', 'b', NULL);",
+        )
+        .unwrap();
+        let r = cdw
+            .execute("UPDATE PROD.CUSTOMER SET CUST_NAME = UPPER(CUST_NAME) WHERE CUST_ID = '1'")
+            .unwrap();
+        assert_eq!(r.affected, 1);
+        let r = cdw
+            .execute("SELECT CUST_NAME FROM PROD.CUSTOMER ORDER BY CUST_ID")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Str("A".into()));
+        let r = cdw.execute("DELETE FROM PROD.CUSTOMER WHERE CUST_ID = '2'").unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 1);
+    }
+
+    #[test]
+    fn joins_and_aggregates() {
+        let cdw = Cdw::new();
+        cdw.execute_script(
+            "CREATE TABLE ORDERS (ID INTEGER, CUST INTEGER, AMT DECIMAL(10,2));
+             CREATE TABLE CUST (ID INTEGER, NAME VARCHAR(20));
+             INSERT INTO CUST VALUES (1, 'alice'), (2, 'bob'), (3, 'carol');
+             INSERT INTO ORDERS VALUES (10, 1, 5.00), (11, 1, 7.50), (12, 2, 1.25);",
+        )
+        .unwrap();
+        let r = cdw
+            .execute(
+                "SELECT c.NAME, COUNT(*) AS N, SUM(o.AMT) AS TOTAL
+                 FROM ORDERS o JOIN CUST c ON o.CUST = c.ID
+                 GROUP BY c.NAME ORDER BY TOTAL DESC",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Str("alice".into()));
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert_eq!(r.rows[0][2].display_text(), "12.50");
+
+        // LEFT JOIN keeps carol with NULLs.
+        let r = cdw
+            .execute(
+                "SELECT c.NAME, o.AMT FROM CUST c LEFT JOIN ORDERS o ON o.CUST = c.ID WHERE o.AMT IS NULL",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Str("carol".into()));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_table() {
+        let cdw = Cdw::new();
+        cdw.execute("CREATE TABLE T (A INTEGER)").unwrap();
+        let r = cdw.execute("SELECT COUNT(*), SUM(A), AVG(A) FROM T").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Null);
+        assert_eq!(r.rows[0][2], Value::Null);
+    }
+
+    #[test]
+    fn distinct_order_limit() {
+        let cdw = Cdw::new();
+        cdw.execute_script(
+            "CREATE TABLE T (A INTEGER);
+             INSERT INTO T VALUES (3), (1), (3), (2), (1);",
+        )
+        .unwrap();
+        let r = cdw
+            .execute("SELECT DISTINCT A FROM T ORDER BY A DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Int(3)], vec![Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn copy_from_store() {
+        let store = Arc::new(MemStore::new());
+        // Two staged parts, one compressed.
+        let part0 = b"1|alpha\n2|beta\n".to_vec();
+        let part1 = compress::compress(b"3|gamma\n");
+        store.put("staging", "job1/part-000", part0).unwrap();
+        store.put("staging", "job1/part-001", part1).unwrap();
+
+        let cdw = Cdw::with_config(CdwConfig::default(), Some(store as Arc<dyn ObjectStore>));
+        cdw.execute("CREATE TABLE STG (ID VARCHAR(5), NAME VARCHAR(20))")
+            .unwrap();
+        let r = cdw
+            .execute("COPY INTO STG FROM 'store://staging/job1/' DELIMITER '|'")
+            .unwrap();
+        assert_eq!(r.affected, 3);
+        let r = cdw.execute("SELECT NAME FROM STG ORDER BY ID").unwrap();
+        assert_eq!(r.rows[2][0], Value::Str("gamma".into()));
+    }
+
+    #[test]
+    fn copy_without_store_unsupported() {
+        let cdw = Cdw::new();
+        cdw.execute("CREATE TABLE STG (A VARCHAR(5))").unwrap();
+        assert!(matches!(
+            cdw.execute("COPY INTO STG FROM 'store://b/p/'"),
+            Err(CdwError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn subquery_and_having() {
+        let cdw = Cdw::new();
+        cdw.execute_script(
+            "CREATE TABLE T (G INTEGER, V INTEGER);
+             INSERT INTO T VALUES (1, 10), (1, 20), (2, 5);",
+        )
+        .unwrap();
+        let r = cdw
+            .execute(
+                "SELECT G FROM (SELECT G, SUM(V) AS S FROM T GROUP BY G HAVING SUM(V) > 10) q",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn where_on_seq_ranges() {
+        // The adaptive error handler's access pattern: range scans over a
+        // sequence column.
+        let cdw = Cdw::new();
+        cdw.execute("CREATE TABLE STG (SEQ BIGINT, V VARCHAR(10))").unwrap();
+        for i in 0..10 {
+            cdw.execute(&format!("INSERT INTO STG VALUES ({i}, 'v{i}')"))
+                .unwrap();
+        }
+        let r = cdw
+            .execute("SELECT COUNT(*) FROM STG WHERE SEQ BETWEEN 3 AND 6")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn statement_latency_applied() {
+        let cdw = Cdw::with_config(
+            CdwConfig {
+                statement_latency: Duration::from_millis(20),
+                ..Default::default()
+            },
+            None,
+        );
+        cdw.execute("CREATE TABLE T (A INTEGER)").unwrap();
+        let start = std::time::Instant::now();
+        cdw.execute("INSERT INTO T VALUES (1)").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let cdw = Cdw::new();
+        cdw.execute_script(
+            "CREATE TABLE A (K INTEGER); CREATE TABLE B (K INTEGER);
+             INSERT INTO A VALUES (1); INSERT INTO B VALUES (1);",
+        )
+        .unwrap();
+        let err = cdw
+            .execute("SELECT K FROM A JOIN B ON A.K = B.K")
+            .unwrap_err();
+        assert!(matches!(err, CdwError::AmbiguousColumn(_)));
+    }
+
+    #[test]
+    fn insert_with_column_subset() {
+        let cdw = setup();
+        cdw.execute("INSERT INTO PROD.CUSTOMER (CUST_ID) VALUES ('9')")
+            .unwrap();
+        let r = cdw
+            .execute("SELECT CUST_NAME FROM PROD.CUSTOMER WHERE CUST_ID = '9'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn update_unique_violation_native() {
+        let cdw = Cdw::with_config(
+            CdwConfig {
+                native_unique: true,
+                ..Default::default()
+            },
+            None,
+        );
+        cdw.execute_script(
+            "CREATE TABLE T (A INTEGER, PRIMARY KEY (A));
+             INSERT INTO T VALUES (1); INSERT INTO T VALUES (2);",
+        )
+        .unwrap();
+        let err = cdw.execute("UPDATE T SET A = 1 WHERE A = 2").unwrap_err();
+        assert!(err.is_uniqueness());
+        // No partial effects.
+        let r = cdw.execute("SELECT A FROM T ORDER BY A").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+}

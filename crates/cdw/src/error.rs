@@ -1,0 +1,110 @@
+//! CDW engine errors.
+//!
+//! Note the deliberate shape of [`CdwError::BulkAbort`]: it reports that a
+//! set-oriented statement failed and *why*, but not *which input row* was
+//! responsible. Modern CDWs surface bulk failures at statement granularity;
+//! recovering tuple-level error attribution is the virtualizer's job
+//! (paper §7, adaptive error handling).
+
+use std::fmt;
+
+use etlv_sql::ParseError;
+
+/// Errors raised by the CDW engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdwError {
+    /// SQL failed to parse.
+    Parse(ParseError),
+    /// Referenced table does not exist.
+    TableNotFound(String),
+    /// CREATE TABLE of an existing table (without IF NOT EXISTS).
+    TableExists(String),
+    /// Referenced column does not exist.
+    ColumnNotFound(String),
+    /// Ambiguous unqualified column reference.
+    AmbiguousColumn(String),
+    /// A set-oriented statement aborted; no rows were affected. The message
+    /// describes the first failure the engine hit, without identifying the
+    /// input row.
+    BulkAbort {
+        /// Classifies the failure.
+        kind: BulkAbortKind,
+        /// Description of the failure (no row identity).
+        message: String,
+    },
+    /// Expression evaluation failed outside a bulk statement context.
+    Eval(String),
+    /// Statement uses a feature the engine does not implement.
+    Unsupported(String),
+    /// Object-store failure during COPY.
+    Store(String),
+    /// Column count mismatch in INSERT.
+    ColumnCount {
+        /// Expected number of columns.
+        expected: usize,
+        /// Provided number of values.
+        actual: usize,
+    },
+}
+
+/// Why a bulk statement aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkAbortKind {
+    /// A value failed conversion/coercion (bad date, overflow, too long).
+    Conversion,
+    /// A NOT NULL column received NULL.
+    NullViolation,
+    /// A UNIQUE/PRIMARY KEY constraint was violated (native enforcement).
+    Uniqueness,
+    /// Malformed staged file during COPY.
+    BadFile,
+}
+
+impl fmt::Display for CdwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdwError::Parse(e) => write!(f, "SQL parse error: {e}"),
+            CdwError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            CdwError::TableExists(t) => write!(f, "table already exists: {t}"),
+            CdwError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            CdwError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            CdwError::BulkAbort { kind, message } => {
+                write!(f, "statement aborted ({kind:?}): {message}")
+            }
+            CdwError::Eval(m) => write!(f, "evaluation error: {m}"),
+            CdwError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CdwError::Store(m) => write!(f, "store error: {m}"),
+            CdwError::ColumnCount { expected, actual } => {
+                write!(f, "expected {expected} columns, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdwError {}
+
+impl From<ParseError> for CdwError {
+    fn from(e: ParseError) -> CdwError {
+        CdwError::Parse(e)
+    }
+}
+
+impl CdwError {
+    /// Whether this error came from a set-oriented statement abort caused
+    /// by a uniqueness violation.
+    pub fn is_uniqueness(&self) -> bool {
+        matches!(
+            self,
+            CdwError::BulkAbort {
+                kind: BulkAbortKind::Uniqueness,
+                ..
+            }
+        )
+    }
+
+    /// Whether this error is a bulk abort of any kind (the retryable class
+    /// for adaptive error handling).
+    pub fn is_bulk_abort(&self) -> bool {
+        matches!(self, CdwError::BulkAbort { .. })
+    }
+}

@@ -1,0 +1,1159 @@
+//! The statement executor.
+//!
+//! Every mutating statement is **set-oriented**: all input rows are
+//! validated and materialized before any table state changes, so a single
+//! bad tuple aborts the whole statement with no partial effects — the CDW
+//! behaviour the virtualizer's adaptive error handler (§7) is built
+//! around.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use etlv_cloudstore::store::{parse_url, ObjectStore};
+use etlv_cloudstore::compress;
+use etlv_protocol::data::Value;
+use etlv_sql::ast::*;
+use etlv_sql::types::Charset;
+use etlv_sql::SqlType;
+
+use crate::catalog::{Catalog, Table};
+use crate::error::{BulkAbortKind, CdwError};
+use crate::eval::{conv_err, eval, truthy, Env};
+use crate::key::{cmp_values, RowKey};
+use crate::staged::StagedFormat;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Result-set columns (empty for DML/DDL).
+    pub columns: Vec<(String, SqlType)>,
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows affected (DML) or returned (queries).
+    pub affected: u64,
+}
+
+impl QueryResult {
+    fn dml(affected: u64) -> QueryResult {
+        QueryResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            affected,
+        }
+    }
+}
+
+/// Execution context: the catalog plus engine knobs.
+pub struct ExecCtx<'a> {
+    /// The catalog to operate on.
+    pub catalog: &'a mut Catalog,
+    /// Object store for COPY (absent = COPY unsupported).
+    pub store: Option<&'a Arc<dyn ObjectStore>>,
+    /// Whether UNIQUE constraints are enforced natively.
+    pub native_unique: bool,
+}
+
+/// One column visible during evaluation: optional qualifier + name + type.
+#[derive(Debug, Clone)]
+struct Binding {
+    qualifier: Option<String>,
+    name: String,
+    ty: SqlType,
+}
+
+/// A resolved FROM clause: visible columns plus the joined row set.
+struct Relation {
+    bindings: Vec<Binding>,
+    rows: Vec<Vec<Value>>,
+}
+
+struct RowEnv<'a> {
+    bindings: &'a [Binding],
+    row: &'a [Value],
+}
+
+impl Env for RowEnv<'_> {
+    fn resolve(&self, name: &ObjectName) -> Result<Value, CdwError> {
+        let idx = resolve_column(self.bindings, name)?;
+        Ok(self.row[idx].clone())
+    }
+}
+
+fn resolve_column(bindings: &[Binding], name: &ObjectName) -> Result<usize, CdwError> {
+    let (qual, col) = match name.0.len() {
+        1 => (None, name.0[0].to_ascii_uppercase()),
+        2 => (
+            Some(name.0[0].to_ascii_uppercase()),
+            name.0[1].to_ascii_uppercase(),
+        ),
+        _ => return Err(CdwError::ColumnNotFound(name.dotted())),
+    };
+    let mut found = None;
+    for (i, b) in bindings.iter().enumerate() {
+        if b.name != col {
+            continue;
+        }
+        if let Some(q) = &qual {
+            if b.qualifier.as_deref() != Some(q.as_str()) {
+                continue;
+            }
+        }
+        if found.is_some() {
+            return Err(CdwError::AmbiguousColumn(name.dotted()));
+        }
+        found = Some(i);
+    }
+    found.ok_or_else(|| CdwError::ColumnNotFound(name.dotted()))
+}
+
+/// Execute one parsed statement.
+pub fn execute(ctx: &mut ExecCtx<'_>, stmt: &Stmt) -> Result<QueryResult, CdwError> {
+    match stmt {
+        Stmt::CreateTable(ct) => {
+            let table = Table::from_create(ct.name.dotted(), &ct.columns, &ct.constraints)?;
+            ctx.catalog.create(table, ct.if_not_exists)?;
+            Ok(QueryResult::dml(0))
+        }
+        Stmt::DropTable { name, if_exists } => {
+            ctx.catalog.drop(&name.dotted(), *if_exists)?;
+            Ok(QueryResult::dml(0))
+        }
+        Stmt::Insert(ins) => exec_insert(ctx, ins),
+        Stmt::Update(u) => exec_update(ctx, u),
+        Stmt::Delete(d) => exec_delete(ctx, d),
+        Stmt::Select(sel) => exec_select(ctx, sel),
+        Stmt::Copy(c) => exec_copy(ctx, c),
+    }
+}
+
+// ------------------------------------------------------------------ INSERT
+
+fn exec_insert(ctx: &mut ExecCtx<'_>, ins: &Insert) -> Result<QueryResult, CdwError> {
+    // Compute source rows first (SELECT may read the target's old state).
+    let src_rows: Vec<Vec<Value>> = match &ins.source {
+        InsertSource::Values(rows) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(eval(e, &crate::eval::EmptyEnv)?);
+                }
+                out.push(vals);
+            }
+            out
+        }
+        InsertSource::Select(sel) => exec_select(ctx, sel)?.rows,
+    };
+
+    let table = ctx.catalog.get(&ins.table.dotted())?;
+    let ncols = table.columns.len();
+
+    // Map provided values onto the full column list.
+    let col_map: Vec<usize> = match &ins.columns {
+        None => (0..ncols).collect(),
+        Some(cols) => {
+            let mut map = Vec::with_capacity(cols.len());
+            for c in cols {
+                map.push(
+                    table
+                        .column_index(c)
+                        .ok_or_else(|| CdwError::ColumnNotFound(c.clone()))?,
+                );
+            }
+            map
+        }
+    };
+
+    // Validate and coerce every row BEFORE mutating (set-oriented).
+    let mut staged: Vec<Vec<Value>> = Vec::with_capacity(src_rows.len());
+    for row in &src_rows {
+        if row.len() != col_map.len() {
+            return Err(CdwError::ColumnCount {
+                expected: col_map.len(),
+                actual: row.len(),
+            });
+        }
+        let mut full = vec![Value::Null; ncols];
+        for (v, &ci) in row.iter().zip(&col_map) {
+            full[ci] = v.clone();
+        }
+        staged.push(coerce_row(table, full)?);
+    }
+
+    // Uniqueness (native mode): check against existing rows and within the
+    // batch itself.
+    let table = ctx.catalog.get_mut(&ins.table.dotted())?;
+    if ctx.native_unique && table.unique_columns.is_some() {
+        let mut batch_keys: HashMap<RowKey, ()> = HashMap::with_capacity(staged.len());
+        for row in &staged {
+            let key = table.unique_key(row).expect("unique declared");
+            if table.unique_index.contains_key(&key) || batch_keys.insert(key, ()).is_some() {
+                return Err(CdwError::BulkAbort {
+                    kind: BulkAbortKind::Uniqueness,
+                    message: format!(
+                        "duplicate key violates unique constraint on {}",
+                        table.name
+                    ),
+                });
+            }
+        }
+    }
+
+    let n = staged.len() as u64;
+    for row in staged {
+        if ctx.native_unique {
+            if let Some(key) = table.unique_key(&row) {
+                table.unique_index.insert(key, table.rows.len());
+            }
+        }
+        table.rows.push(row);
+    }
+    Ok(QueryResult::dml(n))
+}
+
+/// Coerce a full-width row to the table's column types, enforcing NOT NULL.
+fn coerce_row(table: &Table, row: Vec<Value>) -> Result<Vec<Value>, CdwError> {
+    let mut out = Vec::with_capacity(row.len());
+    for (v, col) in row.into_iter().zip(&table.columns) {
+        if v.is_null() {
+            if col.not_null {
+                return Err(CdwError::BulkAbort {
+                    kind: BulkAbortKind::NullViolation,
+                    message: format!("NULL in NOT NULL column {}.{}", table.name, col.name),
+                });
+            }
+            out.push(Value::Null);
+            continue;
+        }
+        let coerced = v.coerce_to(col.ty.to_legacy()).map_err(|e| {
+            conv_err(format!("column {}.{}: {}", table.name, col.name, e.reason))
+        })?;
+        out.push(coerced);
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------------ UPDATE
+
+fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwError> {
+    let table = ctx.catalog.get(&u.table.dotted())?;
+    let bindings = table_bindings(table, None);
+    let mut assignment_idx = Vec::with_capacity(u.assignments.len());
+    for (col, _) in &u.assignments {
+        assignment_idx.push(
+            table
+                .column_index(col)
+                .ok_or_else(|| CdwError::ColumnNotFound(col.clone()))?,
+        );
+    }
+
+    // Phase 1 (read-only): compute the new value of every affected row.
+    let mut updates: Vec<(usize, Vec<Value>)> = Vec::new();
+    for (i, row) in table.rows.iter().enumerate() {
+        let env = RowEnv {
+            bindings: &bindings,
+            row,
+        };
+        let hit = match &u.selection {
+            Some(w) => truthy(&eval(w, &env)?),
+            None => true,
+        };
+        if !hit {
+            continue;
+        }
+        let mut new_row = row.clone();
+        for ((_, expr), &ci) in u.assignments.iter().zip(&assignment_idx) {
+            new_row[ci] = eval(expr, &env)?;
+        }
+        updates.push((i, coerce_row(table, new_row)?));
+    }
+
+    // Phase 2: uniqueness re-validation under native enforcement.
+    if ctx.native_unique && table.unique_columns.is_some() {
+        let mut keys: HashMap<RowKey, ()> = HashMap::new();
+        let updated: HashMap<usize, &Vec<Value>> =
+            updates.iter().map(|(i, r)| (*i, r)).collect();
+        for (i, row) in table.rows.iter().enumerate() {
+            let effective: &Vec<Value> = updated.get(&i).copied().unwrap_or(row);
+            let key = table.unique_key(effective).expect("unique declared");
+            if keys.insert(key, ()).is_some() {
+                return Err(CdwError::BulkAbort {
+                    kind: BulkAbortKind::Uniqueness,
+                    message: format!(
+                        "UPDATE would violate unique constraint on {}",
+                        table.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Phase 3: apply.
+    let n = updates.len() as u64;
+    let table = ctx.catalog.get_mut(&u.table.dotted())?;
+    for (i, new_row) in updates {
+        table.rows[i] = new_row;
+    }
+    if ctx.native_unique {
+        table.rebuild_unique_index();
+    }
+    Ok(QueryResult::dml(n))
+}
+
+// ------------------------------------------------------------------ DELETE
+
+fn exec_delete(ctx: &mut ExecCtx<'_>, d: &Delete) -> Result<QueryResult, CdwError> {
+    let table = ctx.catalog.get(&d.table.dotted())?;
+    let bindings = table_bindings(table, None);
+    let mut keep = Vec::with_capacity(table.rows.len());
+    let mut removed = 0u64;
+    for row in &table.rows {
+        let env = RowEnv {
+            bindings: &bindings,
+            row,
+        };
+        let hit = match &d.selection {
+            Some(w) => truthy(&eval(w, &env)?),
+            None => true,
+        };
+        if hit {
+            removed += 1;
+        } else {
+            keep.push(row.clone());
+        }
+    }
+    let native_unique = ctx.native_unique;
+    let table = ctx.catalog.get_mut(&d.table.dotted())?;
+    table.rows = keep;
+    if native_unique {
+        table.rebuild_unique_index();
+    }
+    Ok(QueryResult::dml(removed))
+}
+
+// ------------------------------------------------------------------ COPY
+
+fn exec_copy(ctx: &mut ExecCtx<'_>, c: &CopyStmt) -> Result<QueryResult, CdwError> {
+    let store = ctx
+        .store
+        .ok_or_else(|| CdwError::Unsupported("COPY requires an attached object store".into()))?
+        .clone();
+    let url = parse_url(&c.from_url).map_err(|e| CdwError::Store(e.to_string()))?;
+    let keys = store
+        .list(&url.bucket, &url.key)
+        .map_err(|e| CdwError::Store(e.to_string()))?;
+    let format = StagedFormat::new(c.delimiter);
+
+    let table = ctx.catalog.get(&c.table.dotted())?;
+    let arity = table.columns.len();
+
+    // Parse and coerce everything first (set-oriented COPY).
+    let mut staged: Vec<Vec<Value>> = Vec::new();
+    for key in &keys {
+        let raw = store
+            .get(&url.bucket, key)
+            .map_err(|e| CdwError::Store(e.to_string()))?;
+        let data = if compress::is_compressed(&raw) {
+            compress::decompress(&raw).map_err(|e| CdwError::BulkAbort {
+                kind: BulkAbortKind::BadFile,
+                message: format!("corrupt compressed part {key}: {e}"),
+            })?
+        } else {
+            raw
+        };
+        for row in format.parse(&data, arity)? {
+            staged.push(coerce_row(table, row)?);
+        }
+    }
+
+    let native_unique = ctx.native_unique;
+    let table = ctx.catalog.get_mut(&c.table.dotted())?;
+    if native_unique && table.unique_columns.is_some() {
+        let mut batch: HashMap<RowKey, ()> = HashMap::with_capacity(staged.len());
+        for row in &staged {
+            let key = table.unique_key(row).expect("unique declared");
+            if table.unique_index.contains_key(&key) || batch.insert(key, ()).is_some() {
+                return Err(CdwError::BulkAbort {
+                    kind: BulkAbortKind::Uniqueness,
+                    message: format!("COPY violates unique constraint on {}", table.name),
+                });
+            }
+        }
+    }
+    let n = staged.len() as u64;
+    for row in staged {
+        if native_unique {
+            if let Some(key) = table.unique_key(&row) {
+                table.unique_index.insert(key, table.rows.len());
+            }
+        }
+        table.rows.push(row);
+    }
+    Ok(QueryResult::dml(n))
+}
+
+// ------------------------------------------------------------------ SELECT
+
+fn table_bindings(table: &Table, alias: Option<&str>) -> Vec<Binding> {
+    let qualifier = alias
+        .map(str::to_ascii_uppercase)
+        .unwrap_or_else(|| base_name(&table.name));
+    table
+        .columns
+        .iter()
+        .map(|c| Binding {
+            qualifier: Some(qualifier.clone()),
+            name: c.name.clone(),
+            ty: c.ty,
+        })
+        .collect()
+}
+
+fn base_name(dotted: &str) -> String {
+    dotted
+        .rsplit('.')
+        .next()
+        .unwrap_or(dotted)
+        .to_ascii_uppercase()
+}
+
+fn exec_select(ctx: &mut ExecCtx<'_>, sel: &SelectStmt) -> Result<QueryResult, CdwError> {
+    let relation = match &sel.from {
+        Some(from) => resolve_from(ctx, from)?,
+        None => Relation {
+            bindings: Vec::new(),
+            rows: vec![Vec::new()],
+        },
+    };
+
+    // WHERE. Simple integer range predicates (`K >= 5 AND K < 9`) get a
+    // compiled fast path — the analog of a real warehouse's zone-map
+    // pruning, and the access pattern the virtualizer's adaptive error
+    // handler leans on heavily.
+    let fast = sel
+        .selection
+        .as_ref()
+        .and_then(|w| compile_range_filter(w, &relation.bindings));
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(relation.rows.len());
+    for row in relation.rows {
+        let hit = match (&fast, &sel.selection) {
+            (Some((col, lo, hi)), _) => match &row[*col] {
+                Value::Int(v) => *v >= *lo && *v < *hi,
+                Value::Null => false,
+                _ => {
+                    let env = RowEnv {
+                        bindings: &relation.bindings,
+                        row: &row,
+                    };
+                    truthy(&eval(sel.selection.as_ref().expect("fast implies filter"), &env)?)
+                }
+            },
+            (None, Some(w)) => {
+                let env = RowEnv {
+                    bindings: &relation.bindings,
+                    row: &row,
+                };
+                truthy(&eval(w, &env)?)
+            }
+            (None, None) => true,
+        };
+        if hit {
+            rows.push(row);
+        }
+    }
+
+    let has_aggregates = projection_has_aggregates(sel);
+    let (mut out_rows, columns) = if has_aggregates || !sel.group_by.is_empty() {
+        exec_aggregate(sel, &relation.bindings, rows)?
+    } else {
+        exec_plain(sel, &relation.bindings, rows)?
+    };
+
+    if sel.distinct {
+        let mut seen = HashMap::new();
+        out_rows.retain(|row| seen.insert(RowKey(row.clone()), ()).is_none());
+    }
+
+    if let Some(n) = sel.limit {
+        out_rows.truncate(n as usize);
+    }
+
+    let affected = out_rows.len() as u64;
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+        affected,
+    })
+}
+
+fn resolve_from(ctx: &mut ExecCtx<'_>, from: &TableRef) -> Result<Relation, CdwError> {
+    match from {
+        TableRef::Named { name, alias } => {
+            let table = ctx.catalog.get(&name.dotted())?;
+            Ok(Relation {
+                bindings: table_bindings(table, alias.as_deref()),
+                rows: table.rows.clone(),
+            })
+        }
+        TableRef::Subquery { query, alias } => {
+            let result = exec_select(ctx, query)?;
+            let qualifier = alias.to_ascii_uppercase();
+            Ok(Relation {
+                bindings: result
+                    .columns
+                    .iter()
+                    .map(|(n, ty)| Binding {
+                        qualifier: Some(qualifier.clone()),
+                        name: n.to_ascii_uppercase(),
+                        ty: *ty,
+                    })
+                    .collect(),
+                rows: result.rows,
+            })
+        }
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let l = resolve_from(ctx, left)?;
+            let r = resolve_from(ctx, right)?;
+            let mut bindings = l.bindings.clone();
+            bindings.extend(r.bindings.iter().cloned());
+            let mut rows = Vec::new();
+            for lrow in &l.rows {
+                let mut matched = false;
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    let env = RowEnv {
+                        bindings: &bindings,
+                        row: &combined,
+                    };
+                    if truthy(&eval(on, &env)?) {
+                        matched = true;
+                        rows.push(combined);
+                    }
+                }
+                if !matched && *kind == JoinKind::Left {
+                    let mut combined = lrow.clone();
+                    combined.extend(std::iter::repeat(Value::Null).take(r.bindings.len()));
+                    rows.push(combined);
+                }
+            }
+            Ok(Relation { bindings, rows })
+        }
+    }
+}
+
+/// Recognize a conjunction of integer comparisons over one column and
+/// compile it to `(column_index, lo_inclusive, hi_exclusive)`. Returns
+/// `None` for anything it cannot prove equivalent.
+fn compile_range_filter(expr: &Expr, bindings: &[Binding]) -> Option<(usize, i64, i64)> {
+    fn collect(
+        expr: &Expr,
+        bindings: &[Binding],
+        col: &mut Option<usize>,
+        lo: &mut i64,
+        hi: &mut i64,
+    ) -> bool {
+        match expr {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => collect(left, bindings, col, lo, hi) && collect(right, bindings, col, lo, hi),
+            Expr::Binary { left, op, right } => {
+                // Normalize to Column OP IntLiteral.
+                let (name, lit, op) = match (&**left, &**right) {
+                    (Expr::Column(n), Expr::Literal(Literal::Integer(v))) => (n, *v, *op),
+                    (Expr::Literal(Literal::Integer(v)), Expr::Column(n)) => {
+                        let flipped = match op {
+                            BinaryOp::Lt => BinaryOp::Gt,
+                            BinaryOp::LtEq => BinaryOp::GtEq,
+                            BinaryOp::Gt => BinaryOp::Lt,
+                            BinaryOp::GtEq => BinaryOp::LtEq,
+                            BinaryOp::Eq => BinaryOp::Eq,
+                            _ => return false,
+                        };
+                        (n, *v, flipped)
+                    }
+                    _ => return false,
+                };
+                let Ok(idx) = resolve_column(bindings, name) else {
+                    return false;
+                };
+                if col.is_some() && *col != Some(idx) {
+                    return false;
+                }
+                *col = Some(idx);
+                match op {
+                    BinaryOp::GtEq => *lo = (*lo).max(lit),
+                    BinaryOp::Gt => *lo = (*lo).max(lit.saturating_add(1)),
+                    BinaryOp::Lt => *hi = (*hi).min(lit),
+                    BinaryOp::LtEq => *hi = (*hi).min(lit.saturating_add(1)),
+                    BinaryOp::Eq => {
+                        *lo = (*lo).max(lit);
+                        *hi = (*hi).min(lit.saturating_add(1));
+                    }
+                    _ => return false,
+                }
+                true
+            }
+            Expr::Between {
+                expr: inner,
+                low,
+                high,
+                negated: false,
+            } => {
+                let (Expr::Column(n), Expr::Literal(Literal::Integer(a)), Expr::Literal(Literal::Integer(b))) =
+                    (&**inner, &**low, &**high)
+                else {
+                    return false;
+                };
+                let Ok(idx) = resolve_column(bindings, n) else {
+                    return false;
+                };
+                if col.is_some() && *col != Some(idx) {
+                    return false;
+                }
+                *col = Some(idx);
+                *lo = (*lo).max(*a);
+                *hi = (*hi).min(b.saturating_add(1));
+                true
+            }
+            _ => false,
+        }
+    }
+    let mut col = None;
+    let mut lo = i64::MIN;
+    let mut hi = i64::MAX;
+    if collect(expr, bindings, &mut col, &mut lo, &mut hi) {
+        col.map(|c| (c, lo, hi))
+    } else {
+        None
+    }
+}
+
+fn exec_plain(
+    sel: &SelectStmt,
+    bindings: &[Binding],
+    rows: Vec<Vec<Value>>,
+) -> Result<(Vec<Vec<Value>>, Vec<(String, SqlType)>), CdwError> {
+    let items = expand_projection(sel, bindings);
+    let columns = projection_columns(&items, bindings)?;
+
+    // ORDER BY keys are computed against the *input* rows (so sorting by
+    // non-projected columns works), carried alongside.
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let env = RowEnv { bindings, row };
+        let mut out = Vec::with_capacity(items.len());
+        for (expr, _) in &items {
+            out.push(eval(expr, &env)?);
+        }
+        let mut sort_key = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            sort_key.push(eval_order_expr(&o.expr, &items, &out, &env)?);
+        }
+        keyed.push((sort_key, out));
+    }
+    sort_by_order(&mut keyed, &sel.order_by);
+    Ok((keyed.into_iter().map(|(_, r)| r).collect(), columns))
+}
+
+/// Evaluate an ORDER BY expression: a bare name matching a projection alias
+/// refers to the projected value; anything else evaluates against the row.
+fn eval_order_expr(
+    expr: &Expr,
+    items: &[(Expr, String)],
+    projected: &[Value],
+    env: &dyn Env,
+) -> Result<Value, CdwError> {
+    if let Expr::Column(name) = expr {
+        if name.0.len() == 1 {
+            let target = name.0[0].to_ascii_uppercase();
+            if let Some(pos) = items.iter().position(|(_, alias)| *alias == target) {
+                return Ok(projected[pos].clone());
+            }
+        }
+    }
+    eval(expr, env)
+}
+
+fn sort_by_order(keyed: &mut [(Vec<Value>, Vec<Value>)], order_by: &[OrderItem]) {
+    if order_by.is_empty() {
+        return;
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, o) in order_by.iter().enumerate() {
+            let ord = cmp_values(&ka[i], &kb[i]);
+            let ord = if o.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Expand `*` and attach output names.
+fn expand_projection(sel: &SelectStmt, bindings: &[Binding]) -> Vec<(Expr, String)> {
+    let mut items = Vec::new();
+    let mut anon = 0usize;
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for b in bindings {
+                    let mut name = ObjectName::simple(b.name.clone());
+                    if let Some(q) = &b.qualifier {
+                        name = ObjectName(vec![q.clone(), b.name.clone()]);
+                    }
+                    items.push((Expr::Column(name), b.name.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.to_ascii_uppercase(),
+                    None => match expr {
+                        Expr::Column(n) => n.base().to_ascii_uppercase(),
+                        _ => {
+                            anon += 1;
+                            format!("EXPR_{anon}")
+                        }
+                    },
+                };
+                items.push((expr.clone(), name));
+            }
+        }
+    }
+    items
+}
+
+fn projection_columns(
+    items: &[(Expr, String)],
+    bindings: &[Binding],
+) -> Result<Vec<(String, SqlType)>, CdwError> {
+    items
+        .iter()
+        .map(|(expr, name)| Ok((name.clone(), infer_type(expr, bindings))))
+        .collect()
+}
+
+/// Best-effort output type inference (used to derive export layouts).
+fn infer_type(expr: &Expr, bindings: &[Binding]) -> SqlType {
+    match expr {
+        Expr::Literal(Literal::Integer(_)) => SqlType::BigInt,
+        Expr::Literal(Literal::Decimal(d)) => SqlType::Decimal(18, d.scale()),
+        Expr::Literal(Literal::Float(_)) => SqlType::Float,
+        Expr::Literal(Literal::Str(_)) | Expr::Literal(Literal::Null) => {
+            SqlType::VarChar(4096, Charset::Latin)
+        }
+        Expr::Literal(Literal::Date(_)) => SqlType::Date,
+        Expr::Column(name) => resolve_column(bindings, name)
+            .map(|i| bindings[i].ty)
+            .unwrap_or(SqlType::VarChar(4096, Charset::Latin)),
+        Expr::Cast { ty, .. } => *ty,
+        Expr::Function { name, args, .. } => match name.as_str() {
+            "COUNT" => SqlType::BigInt,
+            "SUM" | "AVG" | "ABS" => args
+                .first()
+                .map(|a| infer_type(a, bindings))
+                .filter(|t| t.is_numeric())
+                .unwrap_or(SqlType::Float),
+            "MIN" | "MAX" | "COALESCE" | "NULLIF" => args
+                .first()
+                .map(|a| infer_type(a, bindings))
+                .unwrap_or(SqlType::VarChar(4096, Charset::Latin)),
+            "LENGTH" | "CHAR_LENGTH" | "CHARACTER_LENGTH" => SqlType::BigInt,
+            "TO_DATE" => SqlType::Date,
+            _ => SqlType::VarChar(4096, Charset::Latin),
+        },
+        Expr::Binary { left, op, right } => match op {
+            BinaryOp::Concat => SqlType::VarChar(4096, Charset::Latin),
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                let lt = infer_type(left, bindings);
+                let rt = infer_type(right, bindings);
+                if lt == SqlType::Float || rt == SqlType::Float {
+                    SqlType::Float
+                } else if matches!(lt, SqlType::Decimal(_, _)) {
+                    lt
+                } else if matches!(rt, SqlType::Decimal(_, _)) {
+                    rt
+                } else if lt == SqlType::Date {
+                    lt
+                } else {
+                    SqlType::BigInt
+                }
+            }
+            _ => SqlType::SmallInt, // boolean-ish
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+            ..
+        } => branches
+            .first()
+            .map(|(_, t)| infer_type(t, bindings))
+            .or_else(|| else_expr.as_ref().map(|e| infer_type(e, bindings)))
+            .unwrap_or(SqlType::VarChar(4096, Charset::Latin)),
+        _ => SqlType::VarChar(4096, Charset::Latin),
+    }
+}
+
+// --------------------------------------------------------------- aggregates
+
+const AGG_FUNCS: [&str; 5] = ["COUNT", "SUM", "MIN", "MAX", "AVG"];
+
+fn is_aggregate_fn(name: &str) -> bool {
+    AGG_FUNCS.contains(&name)
+}
+
+fn expr_has_aggregate(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        if let Expr::Function { name, .. } = n {
+            if is_aggregate_fn(name) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn projection_has_aggregates(sel: &SelectStmt) -> bool {
+    sel.projection.iter().any(|item| match item {
+        SelectItem::Expr { expr, .. } => expr_has_aggregate(expr),
+        SelectItem::Wildcard => false,
+    }) || sel.having.as_ref().is_some_and(expr_has_aggregate)
+        || sel.order_by.iter().any(|o| expr_has_aggregate(&o.expr))
+}
+
+/// Aggregate executor: hash grouping + aggregate computation, then
+/// post-aggregation projection/HAVING/ORDER BY evaluation where aggregate
+/// sub-expressions and GROUP BY expressions resolve to computed values.
+fn exec_aggregate(
+    sel: &SelectStmt,
+    bindings: &[Binding],
+    rows: Vec<Vec<Value>>,
+) -> Result<(Vec<Vec<Value>>, Vec<(String, SqlType)>), CdwError> {
+    // Collect the distinct aggregate calls appearing anywhere.
+    let mut agg_calls: Vec<Expr> = Vec::new();
+    let mut collect = |e: &Expr| {
+        e.walk(&mut |n| {
+            if let Expr::Function { name, .. } = n {
+                if is_aggregate_fn(name) && !agg_calls.contains(n) {
+                    agg_calls.push(n.clone());
+                }
+            }
+        });
+    };
+    for item in &sel.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect(expr);
+        }
+    }
+    if let Some(h) = &sel.having {
+        collect(h);
+    }
+    for o in &sel.order_by {
+        collect(&o.expr);
+    }
+
+    // Group rows.
+    struct Group {
+        key_vals: Vec<Value>,
+        states: Vec<AggState>,
+    }
+    let mut groups: HashMap<RowKey, Group> = HashMap::new();
+    let mut order: Vec<RowKey> = Vec::new();
+    for row in &rows {
+        let env = RowEnv { bindings, row };
+        let mut key_vals = Vec::with_capacity(sel.group_by.len());
+        for g in &sel.group_by {
+            key_vals.push(eval(g, &env)?);
+        }
+        let key = RowKey(key_vals.clone());
+        let group = match groups.get_mut(&key) {
+            Some(g) => g,
+            None => {
+                order.push(key.clone());
+                groups.entry(key).or_insert(Group {
+                    key_vals,
+                    states: agg_calls.iter().map(AggState::new).collect(),
+                })
+            }
+        };
+        for (state, call) in group.states.iter_mut().zip(&agg_calls) {
+            state.update(call, &env)?;
+        }
+    }
+    // Global aggregate over zero rows still yields one group.
+    if groups.is_empty() && sel.group_by.is_empty() {
+        let key = RowKey(Vec::new());
+        order.push(key.clone());
+        groups.insert(
+            key,
+            Group {
+                key_vals: Vec::new(),
+                states: agg_calls.iter().map(AggState::new).collect(),
+            },
+        );
+    }
+
+    let items = expand_projection(sel, bindings);
+    let columns = projection_columns(&items, bindings)?;
+
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    for key in &order {
+        let group = &groups[key];
+        let agg_values: Vec<Value> = group
+            .states
+            .iter()
+            .map(|s| s.finalize())
+            .collect::<Result<_, _>>()?;
+        let agg_env = AggEnv {
+            sel,
+            agg_calls: &agg_calls,
+            agg_values: &agg_values,
+            key_vals: &group.key_vals,
+        };
+        if let Some(h) = &sel.having {
+            if !truthy(&agg_env.eval(h)?) {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(items.len());
+        for (expr, _) in &items {
+            out.push(agg_env.eval(expr)?);
+        }
+        let mut sort_key = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            // Aliases refer to projected values; otherwise aggregate-eval.
+            let v = if let Expr::Column(name) = &o.expr {
+                if name.0.len() == 1 {
+                    let target = name.0[0].to_ascii_uppercase();
+                    match items.iter().position(|(_, alias)| *alias == target) {
+                        Some(pos) => out[pos].clone(),
+                        None => agg_env.eval(&o.expr)?,
+                    }
+                } else {
+                    agg_env.eval(&o.expr)?
+                }
+            } else {
+                agg_env.eval(&o.expr)?
+            };
+            sort_key.push(v);
+        }
+        keyed.push((sort_key, out));
+    }
+    sort_by_order(&mut keyed, &sel.order_by);
+    Ok((keyed.into_iter().map(|(_, r)| r).collect(), columns))
+}
+
+/// Post-aggregation evaluation environment.
+struct AggEnv<'a> {
+    sel: &'a SelectStmt,
+    agg_calls: &'a [Expr],
+    agg_values: &'a [Value],
+    key_vals: &'a [Value],
+}
+
+impl AggEnv<'_> {
+    fn eval(&self, expr: &Expr) -> Result<Value, CdwError> {
+        // An aggregate call resolves to its computed value.
+        if let Some(pos) = self.agg_calls.iter().position(|c| c == expr) {
+            return Ok(self.agg_values[pos].clone());
+        }
+        // A GROUP BY expression resolves to the group key.
+        if let Some(pos) = self.sel.group_by.iter().position(|g| g == expr) {
+            return Ok(self.key_vals[pos].clone());
+        }
+        // Otherwise recurse structurally over non-leaf nodes.
+        match expr {
+            Expr::Literal(lit) => Ok(crate::eval::literal_value(lit)),
+            Expr::Binary { left, op, right } => {
+                // Rebuild with resolved children via a tiny shim env.
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let shim = Expr::Binary {
+                    left: Box::new(Expr::Literal(value_to_literal(&l))),
+                    op: *op,
+                    right: Box::new(Expr::Literal(value_to_literal(&r))),
+                };
+                eval(&shim, &crate::eval::EmptyEnv)
+            }
+            Expr::Column(name) => Err(CdwError::Eval(format!(
+                "column {} must appear in GROUP BY or inside an aggregate",
+                name.dotted()
+            ))),
+            other => {
+                // Generic fallback: evaluate with an env that reports the
+                // GROUP BY restriction violation for any column reference.
+                struct NoColumns;
+                impl Env for NoColumns {
+                    fn resolve(&self, name: &ObjectName) -> Result<Value, CdwError> {
+                        Err(CdwError::Eval(format!(
+                            "column {} must appear in GROUP BY or inside an aggregate",
+                            name.dotted()
+                        )))
+                    }
+                }
+                eval(other, &NoColumns)
+            }
+        }
+    }
+}
+
+/// Lossless literal embedding used by [`AggEnv`] to re-evaluate composite
+/// expressions over already-computed values.
+fn value_to_literal(v: &Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(x) => Literal::Integer(*x),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Decimal(d) => Literal::Decimal(*d),
+        Value::Str(s) => Literal::Str(s.clone()),
+        Value::Date(d) => Literal::Date(*d),
+        Value::Bytes(_) | Value::Timestamp(_) => Literal::Str(v.display_text()),
+    }
+}
+
+/// Running state of one aggregate call within one group.
+enum AggState {
+    CountStar(u64),
+    Count {
+        distinct: bool,
+        seen: HashMap<RowKey, ()>,
+        n: u64,
+    },
+    Sum(Option<Value>),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl AggState {
+    fn new(call: &Expr) -> AggState {
+        let Expr::Function {
+            name,
+            args,
+            distinct,
+        } = call
+        else {
+            unreachable!("aggregate call is a function")
+        };
+        match name.as_str() {
+            "COUNT" if matches!(args.first(), Some(Expr::Wildcard)) => AggState::CountStar(0),
+            "COUNT" => AggState::Count {
+                distinct: *distinct,
+                seen: HashMap::new(),
+                n: 0,
+            },
+            "SUM" => AggState::Sum(None),
+            "MIN" => AggState::Min(None),
+            "MAX" => AggState::Max(None),
+            "AVG" => AggState::Avg { sum: 0.0, n: 0 },
+            other => unreachable!("unknown aggregate {other}"),
+        }
+    }
+
+    fn update(&mut self, call: &Expr, env: &dyn Env) -> Result<(), CdwError> {
+        let Expr::Function { args, .. } = call else {
+            unreachable!()
+        };
+        match self {
+            AggState::CountStar(n) => {
+                *n += 1;
+                Ok(())
+            }
+            AggState::Count { distinct, seen, n } => {
+                let v = eval(&args[0], env)?;
+                if v.is_null() {
+                    return Ok(());
+                }
+                if *distinct {
+                    if seen.insert(RowKey(vec![v]), ()).is_none() {
+                        *n += 1;
+                    }
+                } else {
+                    *n += 1;
+                }
+                Ok(())
+            }
+            AggState::Sum(acc) => {
+                let v = eval(&args[0], env)?;
+                if v.is_null() {
+                    return Ok(());
+                }
+                *acc = Some(match acc.take() {
+                    None => v,
+                    Some(prev) => {
+                        let shim = Expr::Binary {
+                            left: Box::new(Expr::Literal(value_to_literal(&prev))),
+                            op: BinaryOp::Add,
+                            right: Box::new(Expr::Literal(value_to_literal(&v))),
+                        };
+                        eval(&shim, &crate::eval::EmptyEnv)?
+                    }
+                });
+                Ok(())
+            }
+            AggState::Min(_) | AggState::Max(_) => {
+                let is_min = matches!(self, AggState::Min(_));
+                let v = eval(&args[0], env)?;
+                if v.is_null() {
+                    return Ok(());
+                }
+                // Re-borrow after the matches! check.
+                let acc = match self {
+                    AggState::Min(a) | AggState::Max(a) => a,
+                    _ => unreachable!(),
+                };
+                *acc = Some(match acc.take() {
+                    None => v,
+                    Some(prev) => {
+                        let keep_new = if is_min {
+                            cmp_values(&v, &prev) == std::cmp::Ordering::Less
+                        } else {
+                            cmp_values(&v, &prev) == std::cmp::Ordering::Greater
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            prev
+                        }
+                    }
+                });
+                Ok(())
+            }
+            AggState::Avg { sum, n } => {
+                let v = eval(&args[0], env)?;
+                if v.is_null() {
+                    return Ok(());
+                }
+                let f = v.to_f64().map_err(|e| conv_err(e.reason))?;
+                *sum += f;
+                *n += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn finalize(&self) -> Result<Value, CdwError> {
+        Ok(match self {
+            AggState::CountStar(n) => Value::Int(*n as i64),
+            AggState::Count { n, .. } => Value::Int(*n as i64),
+            AggState::Sum(acc) => acc.clone().unwrap_or(Value::Null),
+            AggState::Min(acc) | AggState::Max(acc) => acc.clone().unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *n as f64)
+                }
+            }
+        })
+    }
+}

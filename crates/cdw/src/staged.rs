@@ -1,0 +1,117 @@
+//! The staged-file format `COPY INTO` ingests.
+//!
+//! The virtualizer's DataConverter/FileWriter stages produce delimited text
+//! files in this format; `COPY` parses them back into rows. The framing
+//! deliberately shares the escaping conventions of the legacy vartext
+//! format (a zero-length field is NULL, `""` is the empty string,
+//! backslash escapes) — but the *semantics* differ: staged fields are the
+//! already-converted, CDW-compatible text renderings of values, one line
+//! per row, and files may be LZSS-compressed as a whole.
+
+use etlv_protocol::data::Value;
+use etlv_protocol::vartext::{VartextFormat, VartextError};
+
+use crate::error::{BulkAbortKind, CdwError};
+
+/// Writer/parser for staged files with a given delimiter.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedFormat {
+    inner: VartextFormat,
+}
+
+impl StagedFormat {
+    /// New format with `delimiter` (quote is fixed to `"`).
+    pub fn new(delimiter: u8) -> StagedFormat {
+        StagedFormat {
+            inner: VartextFormat::with_delimiter(delimiter),
+        }
+    }
+
+    /// The delimiter byte.
+    pub fn delimiter(&self) -> u8 {
+        self.inner.delimiter
+    }
+
+    /// Append one row to a staged buffer (adds the trailing newline).
+    pub fn write_row(&self, values: &[Value], out: &mut Vec<u8>) {
+        self.inner.encode_row(values, out);
+        out.push(b'\n');
+    }
+
+    /// Append one row of pre-rendered text fields (None = NULL). This is
+    /// the DataConverter fast path: fields are already escaped-ready text.
+    pub fn write_text_row<'a>(
+        &self,
+        fields: impl Iterator<Item = Option<&'a str>>,
+        out: &mut Vec<u8>,
+    ) {
+        let vals: Vec<Value> = fields
+            .map(|f| match f {
+                None => Value::Null,
+                Some(s) => Value::Str(s.to_string()),
+            })
+            .collect();
+        self.write_row(&vals, out);
+    }
+
+    /// Parse a staged buffer into rows of text fields.
+    pub fn parse(&self, data: &[u8], arity: usize) -> Result<Vec<Vec<Value>>, CdwError> {
+        self.inner
+            .decode_lines(data, Some(arity))
+            .map_err(|e: VartextError| CdwError::BulkAbort {
+                kind: BulkAbortKind::BadFile,
+                message: format!("malformed staged file: {e}"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = StagedFormat::new(b'|');
+        let mut buf = Vec::new();
+        f.write_row(
+            &[Value::Int(1), Value::Null, Value::Str("a|b".into())],
+            &mut buf,
+        );
+        f.write_row(&[Value::Int(2), Value::Str(String::new()), Value::Str("c".into())], &mut buf);
+        let rows = f.parse(&buf, 3).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Str("1".into())); // text fields come back as text
+        assert_eq!(rows[0][1], Value::Null);
+        assert_eq!(rows[0][2], Value::Str("a|b".into()));
+        assert_eq!(rows[1][1], Value::Str(String::new()));
+    }
+
+    #[test]
+    fn arity_mismatch_is_bad_file() {
+        let f = StagedFormat::new(b'|');
+        let err = f.parse(b"a|b\n", 3).unwrap_err();
+        assert!(matches!(
+            err,
+            CdwError::BulkAbort {
+                kind: BulkAbortKind::BadFile,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn text_row_fast_path() {
+        let f = StagedFormat::new(b',');
+        let mut buf = Vec::new();
+        f.write_text_row([Some("x"), None, Some("")].into_iter(), &mut buf);
+        let rows = f.parse(&buf, 3).unwrap();
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::Str("x".into()),
+                Value::Null,
+                Value::Str(String::new())
+            ]
+        );
+    }
+}

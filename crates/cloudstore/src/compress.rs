@@ -1,0 +1,322 @@
+//! A self-contained LZSS block codec.
+//!
+//! Staged ETL files are highly repetitive (delimiters, repeated keys,
+//! fixed-width padding), so even a simple dictionary coder gets a useful
+//! ratio. The format is:
+//!
+//! ```text
+//! magic "LZS1" | u64 original_len | token stream
+//! ```
+//!
+//! The token stream is groups of a *flag byte* followed by up to eight
+//! items, LSB first: flag bit 1 = a literal byte; flag bit 0 = a 2-byte
+//! back-reference `offset:12 len:4` encoding a match of `len + MIN_MATCH`
+//! bytes at `offset + 1` positions back (window 4 KiB, match length
+//! 3..=18).
+//!
+//! This is not meant to compete with zstd — it exists so the compression
+//! stage of the pipeline (FileWriter finalization, COPY decompression) does
+//! real, measurable work without an external dependency.
+
+/// Magic prefix of a compressed block.
+pub const MAGIC: &[u8; 4] = b"LZS1";
+/// Sliding-window size.
+const WINDOW: usize = 4096;
+/// Minimum match length worth encoding.
+const MIN_MATCH: usize = 3;
+/// Maximum match length (4-bit length field).
+const MAX_MATCH: usize = MIN_MATCH + 15;
+/// Hash-chain bucket count (power of two).
+const HASH_SIZE: usize = 1 << 13;
+/// Limit on chain probes per position (bounds worst-case time).
+const MAX_PROBES: usize = 32;
+
+/// Error raised by [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Input does not start with the block magic.
+    BadMagic,
+    /// Input ended unexpectedly.
+    Truncated,
+    /// A back-reference pointed before the start of output.
+    BadReference,
+    /// Decompressed size differs from the header's claim.
+    LengthMismatch {
+        /// Length the header declared.
+        declared: u64,
+        /// Length actually produced.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::BadMagic => write!(f, "not an LZS1 block"),
+            CompressError::Truncated => write!(f, "compressed block truncated"),
+            CompressError::BadReference => write!(f, "back-reference out of range"),
+            CompressError::LengthMismatch { declared, actual } => {
+                write!(f, "decompressed {actual} bytes, header declared {declared}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+fn hash3(data: &[u8]) -> usize {
+    let h = (data[0] as u32)
+        .wrapping_mul(2654435761)
+        .wrapping_add((data[1] as u32).wrapping_mul(40503))
+        .wrapping_add(data[2] as u32);
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Compress `input` into a self-describing block.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut i = 0usize;
+    let mut flag_pos = 0usize;
+    let mut flag_bit = 8u8; // forces a new flag byte on first item
+    let mut flag_val = 0u8;
+
+    macro_rules! begin_item {
+        () => {
+            if flag_bit == 8 {
+                if flag_pos != 0 {
+                    out[flag_pos] = flag_val;
+                }
+                flag_pos = out.len();
+                out.push(0);
+                flag_val = 0;
+                flag_bit = 0;
+            }
+        };
+    }
+
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash3(&input[i..]);
+            let mut cand = head[h];
+            let mut probes = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && probes < MAX_PROBES {
+                if cand < i {
+                    let max_len = MAX_MATCH.min(input.len() - i);
+                    let mut l = 0usize;
+                    while l < max_len && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH && l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                let next = prev[cand % WINDOW];
+                if next == usize::MAX || next >= cand {
+                    break;
+                }
+                cand = next;
+                probes += 1;
+            }
+        }
+
+        begin_item!();
+        if best_len >= MIN_MATCH {
+            // Back-reference item: offset-1 in 12 bits, len-MIN_MATCH in 4.
+            let enc = (((best_off - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+            out.extend_from_slice(&enc.to_le_bytes());
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash3(&input[i..]);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            flag_val |= 1 << flag_bit;
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash3(&input[i..]);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+        flag_bit += 1;
+    }
+    // Patch the final (possibly partial) flag byte.
+    if flag_pos != 0 {
+        out[flag_pos] = flag_val;
+    }
+    out
+}
+
+/// Decompress a block produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CompressError> {
+    if input.len() < 12 {
+        return Err(if input.len() < 4 || &input[..4] != MAGIC {
+            CompressError::BadMagic
+        } else {
+            CompressError::Truncated
+        });
+    }
+    if &input[..4] != MAGIC {
+        return Err(CompressError::BadMagic);
+    }
+    let declared = u64::from_le_bytes(input[4..12].try_into().expect("8 bytes"));
+    let mut out = Vec::with_capacity(declared as usize);
+    let mut i = 12usize;
+    while i < input.len() {
+        let flags = input[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= input.len() {
+                break;
+            }
+            if out.len() as u64 == declared && i == input.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                out.push(input[i]);
+                i += 1;
+            } else {
+                if i + 2 > input.len() {
+                    return Err(CompressError::Truncated);
+                }
+                let enc = u16::from_le_bytes([input[i], input[i + 1]]);
+                i += 2;
+                let off = ((enc >> 4) as usize) + 1;
+                let len = (enc & 0xF) as usize + MIN_MATCH;
+                if off > out.len() {
+                    return Err(CompressError::BadReference);
+                }
+                let start = out.len() - off;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if out.len() as u64 != declared {
+        return Err(CompressError::LengthMismatch {
+            declared,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+/// Whether `data` looks like a compressed block (magic check only).
+pub fn is_compressed(data: &[u8]) -> bool {
+    data.len() >= 4 && &data[..4] == MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress(b"");
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_roundtrip() {
+        for input in [&b"a"[..], b"ab", b"abc", b"abcd"] {
+            let c = compress(input);
+            assert_eq!(decompress(&c).unwrap(), input, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let input: Vec<u8> = b"123|Smith|2012-01-01\n".repeat(200);
+        let c = compress(&input);
+        assert!(
+            c.len() < input.len() / 2,
+            "expected 2x+ ratio, got {} -> {}",
+            input.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes: little compression, but must roundtrip.
+        let mut state = 0x12345678u64;
+        let input: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn long_runs() {
+        let input = vec![b'x'; 100_000];
+        let c = compress(&input);
+        assert!(c.len() < 20_000);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn matches_beyond_window_not_used() {
+        // A repeat spaced wider than the window still roundtrips.
+        let mut input = vec![0u8; 0];
+        input.extend_from_slice(b"needle-needle-needle");
+        input.extend(std::iter::repeat(b'.').take(WINDOW + 100));
+        input.extend_from_slice(b"needle-needle-needle");
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decompress(b"nope"), Err(CompressError::BadMagic));
+        assert_eq!(decompress(b"LZS1\x01"), Err(CompressError::Truncated));
+        // Declared length mismatch.
+        let mut c = compress(b"hello world hello world");
+        c[4] = 99; // corrupt declared length
+        assert!(matches!(
+            decompress(&c),
+            Err(CompressError::LengthMismatch { .. }) | Err(CompressError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn bad_reference_detected() {
+        let mut block = Vec::new();
+        block.extend_from_slice(MAGIC);
+        block.extend_from_slice(&10u64.to_le_bytes());
+        block.push(0b0000_0000); // first item is a reference
+        block.extend_from_slice(&0xFFFFu16.to_le_bytes()); // offset far beyond output
+        assert_eq!(decompress(&block), Err(CompressError::BadReference));
+    }
+
+    #[test]
+    fn is_compressed_check() {
+        assert!(is_compressed(&compress(b"abc")));
+        assert!(!is_compressed(b"plain text"));
+    }
+}

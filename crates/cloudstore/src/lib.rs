@@ -1,0 +1,26 @@
+//! # etlv-cloudstore
+//!
+//! A simulated cloud object store plus the client-side bulk-upload
+//! utilities the virtualizer uses to stage data for the CDW — the stand-in
+//! for S3/Azure Blob and `aws s3 cp`/AzCopy in the paper's §6.
+//!
+//! - [`store`]: the [`ObjectStore`] trait with in-memory ([`MemStore`]) and
+//!   on-disk ([`DirStore`]) backends, both addressable through
+//!   `store://bucket/key` URLs.
+//! - [`compress`]: a self-contained LZSS block codec used for compressed
+//!   staged files (the paper: "data compression can improve upload speed if
+//!   the communication link ... is slow").
+//! - [`loader`]: the [`BulkLoader`] utility — uploads files or directories,
+//!   optionally compressing, with configurable part size.
+//! - [`throttle`]: bandwidth/latency shaping so benches can model slow
+//!   links between the virtualizer node and the cloud.
+
+pub mod compress;
+pub mod loader;
+pub mod store;
+pub mod throttle;
+
+pub use compress::{compress, decompress, CompressError};
+pub use loader::{BulkLoader, LoaderConfig, UploadReport};
+pub use store::{parse_url, MemStore, ObjectStore, StoreError, StoreUrl};
+pub use throttle::Throttle;

@@ -1,0 +1,306 @@
+//! Object-store abstraction: `store://bucket/key` addressing over
+//! in-memory or on-disk backends.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Error raised by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The object does not exist.
+    NotFound(String),
+    /// The URL is not a valid `store://bucket/key`.
+    BadUrl(String),
+    /// Underlying I/O failure (DirStore).
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(k) => write!(f, "object not found: {k}"),
+            StoreError::BadUrl(u) => write!(f, "bad store URL: {u}"),
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A parsed `store://bucket/key` URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreUrl {
+    /// Bucket (container) name.
+    pub bucket: String,
+    /// Object key or key prefix.
+    pub key: String,
+}
+
+impl StoreUrl {
+    /// Render back to URL form.
+    pub fn to_url(&self) -> String {
+        format!("store://{}/{}", self.bucket, self.key)
+    }
+}
+
+/// Parse a `store://bucket/key` URL. The key may be empty or end with `/`
+/// (a prefix).
+pub fn parse_url(url: &str) -> Result<StoreUrl, StoreError> {
+    let rest = url
+        .strip_prefix("store://")
+        .ok_or_else(|| StoreError::BadUrl(url.to_string()))?;
+    let (bucket, key) = match rest.split_once('/') {
+        Some((b, k)) => (b, k),
+        None => (rest, ""),
+    };
+    if bucket.is_empty() {
+        return Err(StoreError::BadUrl(url.to_string()));
+    }
+    Ok(StoreUrl {
+        bucket: bucket.to_string(),
+        key: key.to_string(),
+    })
+}
+
+/// A blob store: buckets of byte objects. All methods are `&self` —
+/// implementations are internally synchronized so the virtualizer's
+/// parallel FileWriter/uploader stages can share one handle.
+pub trait ObjectStore: Send + Sync {
+    /// Store `data` at `bucket/key`, overwriting.
+    fn put(&self, bucket: &str, key: &str, data: Vec<u8>) -> Result<(), StoreError>;
+
+    /// Fetch the object at `bucket/key`.
+    fn get(&self, bucket: &str, key: &str) -> Result<Vec<u8>, StoreError>;
+
+    /// List keys in `bucket` starting with `prefix`, sorted.
+    fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<String>, StoreError>;
+
+    /// Delete the object (idempotent).
+    fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError>;
+
+    /// Total bytes stored under `prefix`.
+    fn size_of_prefix(&self, bucket: &str, prefix: &str) -> Result<u64, StoreError> {
+        let mut total = 0u64;
+        for key in self.list(bucket, prefix)? {
+            total += self.get(bucket, &key)?.len() as u64;
+        }
+        Ok(total)
+    }
+}
+
+/// In-memory store (the default for tests and benches).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    buckets: RwLock<BTreeMap<String, BTreeMap<String, Arc<Vec<u8>>>>>,
+}
+
+impl MemStore {
+    /// New empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Number of objects in `bucket`.
+    pub fn object_count(&self, bucket: &str) -> usize {
+        self.buckets
+            .read()
+            .get(bucket)
+            .map(|b| b.len())
+            .unwrap_or(0)
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn put(&self, bucket: &str, key: &str, data: Vec<u8>) -> Result<(), StoreError> {
+        self.buckets
+            .write()
+            .entry(bucket.to_string())
+            .or_default()
+            .insert(key.to_string(), Arc::new(data));
+        Ok(())
+    }
+
+    fn get(&self, bucket: &str, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.buckets
+            .read()
+            .get(bucket)
+            .and_then(|b| b.get(key))
+            .map(|data| data.as_ref().clone())
+            .ok_or_else(|| StoreError::NotFound(format!("{bucket}/{key}")))
+    }
+
+    fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<String>, StoreError> {
+        Ok(self
+            .buckets
+            .read()
+            .get(bucket)
+            .map(|b| {
+                b.keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        if let Some(b) = self.buckets.write().get_mut(bucket) {
+            b.remove(key);
+        }
+        Ok(())
+    }
+}
+
+/// Filesystem-backed store: each bucket is a directory, each key a file
+/// (slashes in keys become subdirectories).
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Create a store rooted at `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>) -> Result<DirStore, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(DirStore { root })
+    }
+
+    fn path_of(&self, bucket: &str, key: &str) -> PathBuf {
+        let mut p = self.root.join(bucket);
+        for part in key.split('/').filter(|s| !s.is_empty()) {
+            p.push(part);
+        }
+        p
+    }
+}
+
+impl ObjectStore for DirStore {
+    fn put(&self, bucket: &str, key: &str, data: Vec<u8>) -> Result<(), StoreError> {
+        let path = self.path_of(bucket, key);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| StoreError::Io(e.to_string()))?;
+        }
+        std::fs::write(&path, data).map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    fn get(&self, bucket: &str, key: &str) -> Result<Vec<u8>, StoreError> {
+        let path = self.path_of(bucket, key);
+        std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::NotFound(format!("{bucket}/{key}"))
+            } else {
+                StoreError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let dir = self.root.join(bucket);
+        let mut keys = Vec::new();
+        if !dir.exists() {
+            return Ok(keys);
+        }
+        let mut stack = vec![dir.clone()];
+        while let Some(d) = stack.pop() {
+            let entries = std::fs::read_dir(&d).map_err(|e| StoreError::Io(e.to_string()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| StoreError::Io(e.to_string()))?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    let key = path
+                        .strip_prefix(&dir)
+                        .expect("under bucket dir")
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    if key.starts_with(prefix) {
+                        keys.push(key);
+                    }
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        let path = self.path_of(bucket, key);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Io(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        store.put("b", "job1/part-000", b"aaa".to_vec()).unwrap();
+        store.put("b", "job1/part-001", b"bbbb".to_vec()).unwrap();
+        store.put("b", "job2/part-000", b"cc".to_vec()).unwrap();
+
+        assert_eq!(store.get("b", "job1/part-000").unwrap(), b"aaa");
+        assert_eq!(
+            store.list("b", "job1/").unwrap(),
+            vec!["job1/part-000".to_string(), "job1/part-001".to_string()]
+        );
+        assert_eq!(store.size_of_prefix("b", "job1/").unwrap(), 7);
+        assert!(matches!(
+            store.get("b", "missing"),
+            Err(StoreError::NotFound(_))
+        ));
+
+        store.put("b", "job1/part-000", b"xyz".to_vec()).unwrap(); // overwrite
+        assert_eq!(store.get("b", "job1/part-000").unwrap(), b"xyz");
+
+        store.delete("b", "job1/part-000").unwrap();
+        store.delete("b", "job1/part-000").unwrap(); // idempotent
+        assert_eq!(store.list("b", "job1/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mem_store() {
+        let store = MemStore::new();
+        exercise(&store);
+        assert_eq!(store.object_count("b"), 2);
+    }
+
+    #[test]
+    fn dir_store() {
+        let dir = std::env::temp_dir().join(format!("etlv-dirstore-{}", std::process::id()));
+        let store = DirStore::new(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn url_parsing() {
+        let u = parse_url("store://bucket/a/b/c").unwrap();
+        assert_eq!(u.bucket, "bucket");
+        assert_eq!(u.key, "a/b/c");
+        assert_eq!(u.to_url(), "store://bucket/a/b/c");
+
+        let u = parse_url("store://bucket").unwrap();
+        assert_eq!(u.key, "");
+
+        assert!(parse_url("s3://bucket/k").is_err());
+        assert!(parse_url("store:///k").is_err());
+    }
+
+    #[test]
+    fn empty_bucket_list() {
+        let store = MemStore::new();
+        assert_eq!(store.list("nope", "").unwrap(), Vec::<String>::new());
+    }
+}

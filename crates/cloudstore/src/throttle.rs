@@ -1,0 +1,91 @@
+//! Throughput shaping for the virtualizer↔cloud link.
+//!
+//! The paper's §6 notes that tuning (compression, file sizes) depends on
+//! the speed of the link between the virtualizer node and the CDW. The
+//! [`Throttle`] models that link: a per-request latency plus a byte rate.
+//! Uploads call [`Throttle::consume`] with the transferred size and the
+//! throttle sleeps long enough to match the modelled link.
+
+use std::time::Duration;
+
+/// A simple bandwidth/latency model for a network link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Throttle {
+    /// Fixed per-request latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes/second (`None` = unlimited).
+    pub bytes_per_sec: Option<u64>,
+}
+
+impl Default for Throttle {
+    fn default() -> Self {
+        Throttle::unlimited()
+    }
+}
+
+impl Throttle {
+    /// No shaping at all.
+    pub fn unlimited() -> Throttle {
+        Throttle {
+            latency: Duration::ZERO,
+            bytes_per_sec: None,
+        }
+    }
+
+    /// A link with the given round-trip latency and bandwidth.
+    pub fn shaped(latency: Duration, bytes_per_sec: u64) -> Throttle {
+        Throttle {
+            latency,
+            bytes_per_sec: Some(bytes_per_sec),
+        }
+    }
+
+    /// The simulated transfer duration for `bytes`.
+    pub fn duration_for(&self, bytes: u64) -> Duration {
+        let bw = match self.bytes_per_sec {
+            Some(b) if b > 0 => {
+                Duration::from_nanos((bytes as u128 * 1_000_000_000 / b as u128) as u64)
+            }
+            _ => Duration::ZERO,
+        };
+        self.latency + bw
+    }
+
+    /// Block for the simulated transfer time of `bytes`.
+    pub fn consume(&self, bytes: u64) {
+        let d = self.duration_for(bytes);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_instant() {
+        let t = Throttle::unlimited();
+        assert_eq!(t.duration_for(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_math() {
+        let t = Throttle::shaped(Duration::from_millis(5), 1_000_000);
+        // 1 MB at 1 MB/s = 1s + 5ms latency.
+        assert_eq!(
+            t.duration_for(1_000_000),
+            Duration::from_millis(1005)
+        );
+        assert_eq!(t.duration_for(0), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn consume_sleeps_roughly_right() {
+        let t = Throttle::shaped(Duration::from_millis(10), u64::MAX);
+        let start = std::time::Instant::now();
+        t.consume(100);
+        assert!(start.elapsed() >= Duration::from_millis(9));
+    }
+}

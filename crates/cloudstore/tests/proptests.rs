@@ -1,0 +1,51 @@
+//! Property tests: LZSS roundtrips on arbitrary inputs, including
+//! adversarial repetition structures, and the object store behaves like a
+//! map.
+
+use proptest::prelude::*;
+
+use etlv_cloudstore::{compress, decompress, MemStore, ObjectStore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lzss_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..400,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary bytes must decode or error, never panic.
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn store_put_get_consistency(
+        entries in proptest::collection::vec(("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..64)), 1..20)
+    ) {
+        let store = MemStore::new();
+        let mut last = std::collections::HashMap::new();
+        for (key, data) in &entries {
+            store.put("b", key, data.clone()).unwrap();
+            last.insert(key.clone(), data.clone());
+        }
+        for (key, data) in &last {
+            prop_assert_eq!(&store.get("b", key).unwrap(), data);
+        }
+        let mut keys: Vec<String> = last.keys().cloned().collect();
+        keys.sort();
+        prop_assert_eq!(store.list("b", "").unwrap(), keys);
+    }
+}

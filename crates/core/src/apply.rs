@@ -1,0 +1,298 @@
+//! DML application strategies (paper §7 and the Figure 11 baseline).
+
+use etlv_cdw::error::{BulkAbortKind, CdwError};
+use etlv_cdw::Cdw;
+use etlv_protocol::data::Value;
+use etlv_protocol::errcode::ErrCode;
+use etlv_protocol::layout::Layout;
+use etlv_sql::ast::Literal;
+use etlv_sql::transform::bind_placeholders;
+
+use crate::adaptive::{
+    apply_adaptive, attribute_field, AdaptiveOutcome, AdaptiveParams, ErrorRows, RecordedError,
+};
+use crate::emulate::UniqueEmulation;
+use crate::xcompile::CompiledDml;
+
+/// How the application phase executes the job's DML.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyStrategy {
+    /// One set-oriented statement over the whole staging table; any error
+    /// fails the job. Fastest when the data is known-clean.
+    Bulk,
+    /// Set-oriented with adaptive error handling (the paper's design).
+    BulkAdaptive,
+    /// Row-at-a-time singleton inserts with immediate error logging — the
+    /// baseline system of Figure 11.
+    Singleton,
+}
+
+/// Apply the compiled DML to staging rows `[lo, hi)`.
+pub fn apply(
+    cdw: &Cdw,
+    compiled: &CompiledDml,
+    emulation: Option<&UniqueEmulation>,
+    layout: &Layout,
+    lo: u64,
+    hi: u64,
+    strategy: ApplyStrategy,
+    params: AdaptiveParams,
+) -> Result<AdaptiveOutcome, CdwError> {
+    match strategy {
+        ApplyStrategy::Bulk => {
+            let mut outcome = AdaptiveOutcome::default();
+            if let Some(emu) = emulation {
+                outcome.statements += 1;
+                if emu.violations_in_range(cdw, lo, hi)? > 0 {
+                    return Err(emu.violation_error());
+                }
+            }
+            outcome.statements += 1;
+            let result = cdw.execute_stmt(&compiled.range_stmt(Some(lo), Some(hi)))?;
+            outcome.applied = result.affected;
+            Ok(outcome)
+        }
+        ApplyStrategy::BulkAdaptive => {
+            apply_adaptive(cdw, compiled, emulation, layout, lo, hi, params)
+        }
+        ApplyStrategy::Singleton => {
+            apply_singleton(cdw, compiled, emulation, layout, lo, hi)
+        }
+    }
+}
+
+/// The Figure 11 baseline: fetch the staging rows once, then apply the
+/// original legacy DML one tuple at a time with values bound as literals.
+/// Each tuple costs at least one CDW round trip (plus a uniqueness check
+/// when emulation is active), which is exactly why the paper's bulk
+/// approach wins at low error rates.
+fn apply_singleton(
+    cdw: &Cdw,
+    compiled: &CompiledDml,
+    emulation: Option<&UniqueEmulation>,
+    layout: &Layout,
+    lo: u64,
+    hi: u64,
+) -> Result<AdaptiveOutcome, CdwError> {
+    let mut outcome = AdaptiveOutcome::default();
+    outcome.statements += 1;
+    let rows = cdw
+        .execute_stmt(&compiled.staging_scan(Some(lo), Some(hi)))?
+        .rows;
+
+    for row in rows {
+        let Some(Value::Int(seq)) = row.first() else {
+            return Err(CdwError::Eval("staging row without __SEQ".into()));
+        };
+        let seq = *seq as u64;
+        let tuple = row[1..].to_vec();
+
+        // Emulated uniqueness check for this one tuple.
+        if let Some(emu) = emulation {
+            outcome.statements += 1;
+            if emu.violations_in_range(cdw, seq, seq + 1)? > 0 {
+                outcome.errors.push(RecordedError {
+                    code: ErrCode::UNIQUENESS,
+                    field: None,
+                    message: format!(
+                        "Duplicate row violates unique constraint during DML on {}, row number: {seq}",
+                        compiled.target.dotted()
+                    ),
+                    rows: ErrorRows::Single(seq),
+                    uv_tuple: Some(tuple),
+                });
+                continue;
+            }
+        }
+
+        let bound = bind_placeholders(&compiled.original, |name| {
+            layout
+                .field_index(name)
+                .filter(|i| *i < tuple.len())
+                .map(|i| Literal::from_value(&tuple[i]))
+        });
+        outcome.statements += 1;
+        match cdw.execute_stmt(&bound) {
+            Ok(r) => outcome.applied += r.affected,
+            Err(CdwError::BulkAbort { kind, message }) => {
+                let (code, uv_tuple) = if kind == BulkAbortKind::Uniqueness {
+                    (ErrCode::UNIQUENESS, Some(tuple.clone()))
+                } else {
+                    (ErrCode::DML_CONVERSION, None)
+                };
+                let kind_text = if message.to_ascii_lowercase().contains("date") {
+                    "DATE conversion"
+                } else {
+                    "Conversion"
+                };
+                outcome.errors.push(RecordedError {
+                    code,
+                    field: attribute_field(compiled, layout, &tuple),
+                    message: format!(
+                        "{kind_text} failed during DML on {}, row number: {seq}",
+                        compiled.target.dotted()
+                    ),
+                    rows: ErrorRows::Single(seq),
+                    uv_tuple,
+                });
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulate;
+    use crate::xcompile::{compile_dml, staging_ddl};
+    use etlv_protocol::data::LegacyType as T;
+
+    fn setup() -> (Cdw, CompiledDml, Layout) {
+        let cdw = Cdw::new();
+        cdw.execute(
+            "CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE, PRIMARY KEY (CUST_ID))",
+        )
+        .unwrap();
+        let layout = Layout::new("L")
+            .field("CUST_ID", T::VarChar(5))
+            .field("CUST_NAME", T::VarChar(50))
+            .field("JOIN_DATE", T::VarChar(10));
+        let compiled = compile_dml(
+            "insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))",
+            &layout,
+            "STG",
+        )
+        .unwrap();
+        cdw.execute(&staging_ddl("STG", &layout)).unwrap();
+        for (seq, id, name, date) in [
+            (1, "123", "Smith", "2012-01-01"),
+            (2, "456", "Brown", "xxxx"),
+            (3, "789", "Brown", "yyyyy"),
+            (4, "123", "Jones", "2012-12-01"),
+            (5, "157", "Jones", "2012-12-01"),
+        ] {
+            cdw.execute(&format!(
+                "INSERT INTO STG VALUES ({seq}, '{id}', '{name}', '{date}')"
+            ))
+            .unwrap();
+        }
+        (cdw, compiled, layout)
+    }
+
+    #[test]
+    fn singleton_matches_legacy_semantics() {
+        let (cdw, compiled, layout) = setup();
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let outcome = apply(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            6,
+            ApplyStrategy::Singleton,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.applied, 2);
+        assert_eq!(outcome.errors.len(), 3);
+        // Errors in row order for singleton.
+        assert_eq!(outcome.errors[0].rows, ErrorRows::Single(2));
+        assert_eq!(outcome.errors[1].rows, ErrorRows::Single(3));
+        assert_eq!(outcome.errors[2].rows, ErrorRows::Single(4));
+        assert_eq!(outcome.errors[2].code, ErrCode::UNIQUENESS);
+        // Per-row statement cost: scan + 5×(check + insert) minus the
+        // skipped insert for the UV row.
+        assert!(outcome.statements >= 10, "{}", outcome.statements);
+    }
+
+    #[test]
+    fn bulk_fails_fast_on_dirty_data() {
+        let (cdw, compiled, layout) = setup();
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let err = apply(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            6,
+            ApplyStrategy::Bulk,
+            AdaptiveParams::default(),
+        )
+        .unwrap_err();
+        assert!(err.is_bulk_abort());
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_succeeds_on_clean_range() {
+        let (cdw, compiled, layout) = setup();
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        // Row 1 alone is clean.
+        let outcome = apply(
+            &cdw,
+            &compiled,
+            emu.as_ref(),
+            &layout,
+            1,
+            2,
+            ApplyStrategy::Bulk,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.applied, 1);
+        assert_eq!(outcome.statements, 2);
+    }
+
+    #[test]
+    fn strategies_agree_on_outcome() {
+        // Adaptive and singleton must load the same rows and find the same
+        // errors (modulo ordering) when max_errors is unlimited.
+        let (cdw_a, compiled_a, layout) = setup();
+        let emu_a = emulate::plan(&cdw_a, &compiled_a).unwrap();
+        let adaptive = apply(
+            &cdw_a,
+            &compiled_a,
+            emu_a.as_ref(),
+            &layout,
+            1,
+            6,
+            ApplyStrategy::BulkAdaptive,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+
+        let (cdw_s, compiled_s, layout_s) = setup();
+        let emu_s = emulate::plan(&cdw_s, &compiled_s).unwrap();
+        let singleton = apply(
+            &cdw_s,
+            &compiled_s,
+            emu_s.as_ref(),
+            &layout_s,
+            1,
+            6,
+            ApplyStrategy::Singleton,
+            AdaptiveParams::default(),
+        )
+        .unwrap();
+
+        assert_eq!(adaptive.applied, singleton.applied);
+        let mut a_rows: Vec<_> = adaptive.errors.iter().map(|e| (e.rows, e.code)).collect();
+        let mut s_rows: Vec<_> = singleton.errors.iter().map(|e| (e.rows, e.code)).collect();
+        a_rows.sort_by_key(|(r, _)| match r {
+            ErrorRows::Single(s) => *s,
+            ErrorRows::Range(a, _) => *a,
+        });
+        s_rows.sort_by_key(|(r, _)| match r {
+            ErrorRows::Single(s) => *s,
+            ErrorRows::Range(a, _) => *a,
+        });
+        assert_eq!(a_rows, s_rows);
+        // ...but adaptive does it in far fewer statements on mostly-clean
+        // data? (Here data is 60% dirty; the interesting claim is equality
+        // of results. Statement-count comparisons live in the benches.)
+    }
+}

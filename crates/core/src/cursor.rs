@@ -1,0 +1,261 @@
+//! TDFCursor: on-demand, buffered retrieval of export result chunks
+//! (paper §3/§4).
+//!
+//! The cursor executes the cross-compiled SELECT on the CDW, slices the
+//! result into TDF chunks, and serves them **by index** to parallel client
+//! export sessions. A background prefetcher keeps up to `prefetch` chunks
+//! encoded ahead of demand; when a session requests an index beyond the
+//! read-ahead window (parallel sessions fetch round-robin, so this is
+//! normal), the prefetcher runs forward to cover it rather than stalling
+//! the session.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use etlv_cdw::{Cdw, CdwError};
+use parking_lot::{Condvar, Mutex};
+
+use crate::tdf::TdfPacket;
+
+/// A chunk served to an export session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CursorChunk {
+    /// Chunk index.
+    pub index: u64,
+    /// Encoded TDF packet.
+    pub packet: TdfPacket,
+    /// Whether this is at/after the end of the result.
+    pub last: bool,
+}
+
+#[derive(Default)]
+struct State {
+    ready: HashMap<u64, CursorChunk>,
+    /// Highest index any consumer has asked for.
+    demanded: u64,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    produced: Condvar,
+    consumed: Condvar,
+    total_chunks: u64,
+}
+
+/// The TDF cursor.
+pub struct TdfCursor {
+    shared: Arc<Shared>,
+    columns: Vec<(String, etlv_protocol::data::LegacyType)>,
+    rows_total: u64,
+}
+
+impl TdfCursor {
+    /// Execute `select_cdw` (CDW dialect text) and open a cursor over the
+    /// result with `chunk_rows` rows per chunk and `prefetch` chunks of
+    /// read-ahead.
+    pub fn open(
+        cdw: &Cdw,
+        select_cdw: &str,
+        chunk_rows: u32,
+        prefetch: usize,
+    ) -> Result<TdfCursor, CdwError> {
+        let result = cdw.execute(select_cdw)?;
+        let columns: Vec<(String, etlv_protocol::data::LegacyType)> = result
+            .columns
+            .iter()
+            .map(|(n, ty)| (n.clone(), ty.to_legacy()))
+            .collect();
+        let rows_total = result.rows.len() as u64;
+        let chunk_rows = chunk_rows.max(1) as usize;
+        let chunks: Vec<Vec<Vec<etlv_protocol::data::Value>>> = if result.rows.is_empty() {
+            Vec::new()
+        } else {
+            result.rows.chunks(chunk_rows).map(|c| c.to_vec()).collect()
+        };
+        let total_chunks = chunks.len() as u64;
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            produced: Condvar::new(),
+            consumed: Condvar::new(),
+            total_chunks,
+        });
+
+        // Background prefetcher: encodes chunks into TDF packets, keeping
+        // `prefetch` in the buffer — but never stalling behind an index a
+        // consumer is already waiting for.
+        {
+            let shared = Arc::clone(&shared);
+            let columns = columns.clone();
+            let prefetch = prefetch.max(1);
+            std::thread::spawn(move || {
+                for (i, rows) in chunks.into_iter().enumerate() {
+                    let index = i as u64;
+                    let packet = TdfPacket::from_rows(columns.clone(), rows);
+                    let chunk = CursorChunk {
+                        index,
+                        packet,
+                        last: index + 1 >= total_chunks,
+                    };
+                    let mut state = shared.state.lock();
+                    while state.ready.len() >= prefetch && index > state.demanded {
+                        shared.consumed.wait(&mut state);
+                    }
+                    state.ready.insert(index, chunk);
+                    shared.produced.notify_all();
+                }
+            });
+        }
+
+        Ok(TdfCursor {
+            shared,
+            columns,
+            rows_total,
+        })
+    }
+
+    /// Result columns (legacy wire types).
+    pub fn columns(&self) -> &[(String, etlv_protocol::data::LegacyType)] {
+        &self.columns
+    }
+
+    /// Total rows in the result.
+    pub fn rows_total(&self) -> u64 {
+        self.rows_total
+    }
+
+    /// Total number of chunks.
+    pub fn total_chunks(&self) -> u64 {
+        self.shared.total_chunks
+    }
+
+    /// Fetch chunk `index`, blocking until the prefetcher has produced it.
+    /// Indexes at/after the end return an empty terminal chunk.
+    pub fn chunk(&self, index: u64) -> CursorChunk {
+        if index >= self.shared.total_chunks {
+            return CursorChunk {
+                index,
+                packet: TdfPacket::from_rows(self.columns.clone(), Vec::new()),
+                last: true,
+            };
+        }
+        let mut state = self.shared.state.lock();
+        if index > state.demanded {
+            state.demanded = index;
+            self.shared.consumed.notify_all();
+        }
+        loop {
+            if let Some(chunk) = state.ready.remove(&index) {
+                self.shared.consumed.notify_all();
+                return chunk;
+            }
+            self.shared.produced.wait(&mut state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlv_protocol::data::Value;
+
+    fn cdw_with_rows(n: usize) -> Cdw {
+        let cdw = Cdw::new();
+        cdw.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10))").unwrap();
+        for i in 0..n {
+            cdw.execute(&format!("INSERT INTO T VALUES ({i}, 'v{i}')"))
+                .unwrap();
+        }
+        cdw
+    }
+
+    #[test]
+    fn serves_chunks_in_any_order() {
+        let cdw = cdw_with_rows(10);
+        let cursor = TdfCursor::open(&cdw, "SELECT A, B FROM T ORDER BY A", 3, 2).unwrap();
+        assert_eq!(cursor.total_chunks(), 4);
+        assert_eq!(cursor.rows_total(), 10);
+        // Request out of order — including an index beyond the prefetch
+        // window, which must not deadlock.
+        let c2 = cursor.chunk(2);
+        let c0 = cursor.chunk(0);
+        let c3 = cursor.chunk(3);
+        let c1 = cursor.chunk(1);
+        assert!(!c0.last && !c1.last && !c2.last);
+        assert!(c3.last);
+        assert_eq!(c3.packet.rows.len(), 1);
+        let all: Vec<i64> = [c0, c1, c2, c3]
+            .iter()
+            .flat_map(|c| c.packet.scalar_rows().unwrap())
+            .map(|row| match &row[0] {
+                Value::Int(v) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_order_consumption() {
+        let cdw = cdw_with_rows(20);
+        let cursor = TdfCursor::open(&cdw, "SELECT A FROM T ORDER BY A", 2, 1).unwrap();
+        // Fetch every chunk strictly backwards with a 1-chunk window.
+        let total = cursor.total_chunks();
+        let mut rows = 0usize;
+        for index in (0..total).rev() {
+            rows += cursor.chunk(index).packet.rows.len();
+        }
+        assert_eq!(rows, 20);
+    }
+
+    #[test]
+    fn beyond_end_is_empty_terminal() {
+        let cdw = cdw_with_rows(2);
+        let cursor = TdfCursor::open(&cdw, "SELECT A FROM T", 10, 2).unwrap();
+        assert_eq!(cursor.total_chunks(), 1);
+        let c5 = cursor.chunk(5);
+        assert!(c5.last);
+        assert!(c5.packet.rows.is_empty());
+    }
+
+    #[test]
+    fn empty_result() {
+        let cdw = cdw_with_rows(0);
+        let cursor = TdfCursor::open(&cdw, "SELECT A FROM T", 10, 2).unwrap();
+        assert_eq!(cursor.total_chunks(), 0);
+        assert_eq!(cursor.rows_total(), 0);
+        let c0 = cursor.chunk(0);
+        assert!(c0.last);
+    }
+
+    #[test]
+    fn parallel_consumers() {
+        let cdw = cdw_with_rows(100);
+        let cursor = Arc::new(TdfCursor::open(&cdw, "SELECT A FROM T ORDER BY A", 7, 3).unwrap());
+        let next = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cursor = Arc::clone(&cursor);
+            let next = Arc::clone(&next);
+            handles.push(std::thread::spawn(move || {
+                let mut rows = 0u64;
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    let chunk = cursor.chunk(idx);
+                    rows += chunk.packet.rows.len() as u64;
+                    if chunk.last {
+                        return rows;
+                    }
+                }
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn query_errors_surface() {
+        let cdw = Cdw::new();
+        assert!(TdfCursor::open(&cdw, "SELECT A FROM MISSING", 10, 2).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Uniqueness emulation (paper §7).
+//!
+//! Cloud warehouses commonly accept `UNIQUE`/`PRIMARY KEY` declarations
+//! without enforcing them. Legacy ETL semantics *depend* on enforcement —
+//! duplicate tuples must land in the UV error table. The virtualizer
+//! bridges the gap by checking, before applying a staging range, whether
+//! the range would violate the target's declared unique key:
+//!
+//! - **existing-row violations**: a join between the transformed staging
+//!   keys and the target's current keys;
+//! - **intra-range duplicates**: a GROUP BY over the transformed staging
+//!   keys with `HAVING COUNT(*) > 1`.
+//!
+//! A positive count is treated exactly like a set-oriented uniqueness
+//! abort, which hands control to the adaptive splitter; at singleton
+//! granularity the violating tuple is recorded in the UV table.
+
+use etlv_cdw::error::{BulkAbortKind, CdwError};
+use etlv_cdw::Cdw;
+use etlv_protocol::data::Value;
+use etlv_sql::ast::{
+    BinaryOp, Expr, ObjectName, OrderItem, SelectItem, SelectStmt, Stmt, TableRef,
+};
+use etlv_sql::transform::map_expr;
+
+use crate::xcompile::{CompiledDml, DmlKind, SEQ_COL};
+
+/// Alias of the staging table in emulation queries.
+const STG_ALIAS: &str = "S";
+/// Alias of the target table in emulation queries.
+const TGT_ALIAS: &str = "T";
+
+/// A planned uniqueness emulation for one load job.
+#[derive(Debug, Clone)]
+pub struct UniqueEmulation {
+    /// Target table.
+    pub target: ObjectName,
+    /// Unique-key column names on the target.
+    pub target_key_cols: Vec<String>,
+    /// Transformed key expressions over staging columns, qualified with
+    /// the staging alias (for join queries).
+    key_exprs: Vec<Expr>,
+    /// Staging table name.
+    staging: String,
+}
+
+/// Plan emulation for a compiled DML. Returns `None` when the target has
+/// no unique constraint, the DML is not row-wise, or the CDW already
+/// enforces uniqueness natively.
+pub fn plan(cdw: &Cdw, compiled: &CompiledDml) -> Result<Option<UniqueEmulation>, CdwError> {
+    if compiled.kind != DmlKind::RowWise || cdw.config().native_unique {
+        return Ok(None);
+    }
+    let target_name = compiled.target.dotted();
+    let Some(unique_cols) = cdw.table_unique_columns(&target_name)? else {
+        return Ok(None);
+    };
+    let schema = cdw.table_schema(&target_name)?;
+
+    // Position of each unique column in the insert's projection.
+    let mut key_exprs = Vec::with_capacity(unique_cols.len());
+    for ucol in &unique_cols {
+        let pos = match &compiled.insert_columns {
+            Some(cols) => cols
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(ucol)),
+            None => schema
+                .iter()
+                .position(|(name, _)| name.eq_ignore_ascii_case(ucol)),
+        };
+        let Some(pos) = pos else {
+            // The insert never touches the key column: every inserted row
+            // has a NULL key; uniqueness over NULLs is not enforced.
+            return Ok(None);
+        };
+        let Some(expr) = compiled.projection.get(pos) else {
+            return Ok(None);
+        };
+        key_exprs.push(qualify_staging_columns(expr));
+    }
+    Ok(Some(UniqueEmulation {
+        target: compiled.target.clone(),
+        target_key_cols: unique_cols,
+        key_exprs,
+        staging: compiled.staging_table.clone(),
+    }))
+}
+
+/// Qualify bare column references with the staging alias.
+fn qualify_staging_columns(expr: &Expr) -> Expr {
+    map_expr(expr, &mut |e| match &e {
+        Expr::Column(name) if name.0.len() == 1 => {
+            Expr::Column(ObjectName(vec![STG_ALIAS.into(), name.0[0].clone()]))
+        }
+        _ => e,
+    })
+}
+
+fn range_filter_qualified(lo: u64, hi: u64) -> Expr {
+    let seq = Expr::Column(ObjectName(vec![STG_ALIAS.into(), SEQ_COL.into()]));
+    Expr::binary(
+        Expr::binary(
+            seq.clone(),
+            BinaryOp::GtEq,
+            Expr::Literal(etlv_sql::ast::Literal::Integer(lo as i64)),
+        ),
+        BinaryOp::And,
+        Expr::binary(
+            seq,
+            BinaryOp::Lt,
+            Expr::Literal(etlv_sql::ast::Literal::Integer(hi as i64)),
+        ),
+    )
+}
+
+fn count_of(cdw: &Cdw, stmt: &Stmt) -> Result<u64, CdwError> {
+    let result = cdw.execute_stmt(stmt)?;
+    match result.rows.first().and_then(|r| r.first()) {
+        Some(Value::Int(n)) => Ok(*n as u64),
+        other => Err(CdwError::Eval(format!(
+            "emulation count query returned {other:?}"
+        ))),
+    }
+}
+
+impl UniqueEmulation {
+    /// Count uniqueness violations the staging range `lo..hi` would cause:
+    /// existing-row conflicts plus intra-range duplicates.
+    pub fn violations_in_range(&self, cdw: &Cdw, lo: u64, hi: u64) -> Result<u64, CdwError> {
+        let existing = count_of(cdw, &self.existing_conflicts_stmt(lo, hi))?;
+        if existing > 0 {
+            return Ok(existing);
+        }
+        // Singleton ranges cannot self-conflict.
+        if hi - lo <= 1 {
+            return Ok(0);
+        }
+        count_of(cdw, &self.intra_range_dups_stmt(lo, hi))
+    }
+
+    /// `SELECT COUNT(*) FROM stg S JOIN target T ON key(S) = T.key WHERE range`
+    fn existing_conflicts_stmt(&self, lo: u64, hi: u64) -> Stmt {
+        let mut on: Option<Expr> = None;
+        for (expr, col) in self.key_exprs.iter().zip(&self.target_key_cols) {
+            let eq = Expr::binary(
+                expr.clone(),
+                BinaryOp::Eq,
+                Expr::Column(ObjectName(vec![TGT_ALIAS.into(), col.clone()])),
+            );
+            on = Some(match on {
+                Some(prev) => Expr::binary(prev, BinaryOp::And, eq),
+                None => eq,
+            });
+        }
+        let mut sel = SelectStmt::new(vec![SelectItem::Expr {
+            expr: Expr::Function {
+                name: "COUNT".into(),
+                args: vec![Expr::Wildcard],
+                distinct: false,
+            },
+            alias: None,
+        }]);
+        sel.from = Some(TableRef::Join {
+            left: Box::new(TableRef::Named {
+                name: ObjectName::simple(self.staging.clone()),
+                alias: Some(STG_ALIAS.into()),
+            }),
+            right: Box::new(TableRef::Named {
+                name: self.target.clone(),
+                alias: Some(TGT_ALIAS.into()),
+            }),
+            kind: etlv_sql::ast::JoinKind::Inner,
+            on: Box::new(on.expect("at least one key column")),
+        });
+        sel.selection = Some(range_filter_qualified(lo, hi));
+        Stmt::Select(sel)
+    }
+
+    /// `SELECT COUNT(*) FROM (SELECT key(S) FROM stg S WHERE range GROUP BY key(S) HAVING COUNT(*) > 1) q`
+    fn intra_range_dups_stmt(&self, lo: u64, hi: u64) -> Stmt {
+        let mut inner = SelectStmt::new(
+            self.key_exprs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| SelectItem::Expr {
+                    expr: e.clone(),
+                    alias: Some(format!("K{i}")),
+                })
+                .collect(),
+        );
+        inner.from = Some(TableRef::Named {
+            name: ObjectName::simple(self.staging.clone()),
+            alias: Some(STG_ALIAS.into()),
+        });
+        inner.selection = Some(range_filter_qualified(lo, hi));
+        inner.group_by = self.key_exprs.clone();
+        inner.having = Some(Expr::binary(
+            Expr::Function {
+                name: "COUNT".into(),
+                args: vec![Expr::Wildcard],
+                distinct: false,
+            },
+            BinaryOp::Gt,
+            Expr::Literal(etlv_sql::ast::Literal::Integer(1)),
+        ));
+
+        let mut outer = SelectStmt::new(vec![SelectItem::Expr {
+            expr: Expr::Function {
+                name: "COUNT".into(),
+                args: vec![Expr::Wildcard],
+                distinct: false,
+            },
+            alias: None,
+        }]);
+        outer.from = Some(TableRef::Subquery {
+            query: Box::new(inner),
+            alias: "Q".into(),
+        });
+        Stmt::Select(outer)
+    }
+
+    /// The error the emulation reports, shaped like a native uniqueness
+    /// abort so the adaptive handler treats both identically.
+    pub fn violation_error(&self) -> CdwError {
+        CdwError::BulkAbort {
+            kind: BulkAbortKind::Uniqueness,
+            message: format!(
+                "emulated uniqueness violation on {} ({})",
+                self.target.dotted(),
+                self.target_key_cols.join(", ")
+            ),
+        }
+    }
+
+    /// ORDER-BY-seq scan of the violating staging rows in a singleton
+    /// range — used to fetch the UV tuple.
+    pub fn staging_row_stmt(&self, seq: u64) -> Stmt {
+        let mut sel = SelectStmt::new(vec![SelectItem::Wildcard]);
+        sel.from = Some(TableRef::Named {
+            name: ObjectName::simple(self.staging.clone()),
+            alias: None,
+        });
+        sel.selection = Some(Expr::binary(
+            Expr::col(SEQ_COL),
+            BinaryOp::Eq,
+            Expr::Literal(etlv_sql::ast::Literal::Integer(seq as i64)),
+        ));
+        sel.order_by = vec![OrderItem {
+            expr: Expr::col(SEQ_COL),
+            desc: false,
+        }];
+        Stmt::Select(sel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xcompile::{compile_dml, staging_ddl};
+    use etlv_protocol::data::LegacyType as T;
+    use etlv_protocol::layout::Layout;
+
+    fn setup() -> (Cdw, CompiledDml) {
+        let cdw = Cdw::new(); // native_unique = false
+        cdw.execute(
+            "CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE, PRIMARY KEY (CUST_ID))",
+        )
+        .unwrap();
+        let layout = Layout::new("L")
+            .field("CUST_ID", T::VarChar(5))
+            .field("CUST_NAME", T::VarChar(50))
+            .field("JOIN_DATE", T::VarChar(10));
+        let compiled = compile_dml(
+            "insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))",
+            &layout,
+            "STG",
+        )
+        .unwrap();
+        cdw.execute(&staging_ddl("STG", &layout)).unwrap();
+        (cdw, compiled)
+    }
+
+    fn stage(cdw: &Cdw, rows: &[(u64, &str, &str, &str)]) {
+        for (seq, id, name, date) in rows {
+            cdw.execute(&format!(
+                "INSERT INTO STG VALUES ({seq}, '{id}', '{name}', '{date}')"
+            ))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn plans_only_with_constraint() {
+        let (cdw, compiled) = setup();
+        let emu = plan(&cdw, &compiled).unwrap();
+        assert!(emu.is_some());
+        assert_eq!(emu.unwrap().target_key_cols, vec!["CUST_ID".to_string()]);
+
+        // No constraint -> no plan.
+        cdw.execute("CREATE TABLE PLAIN (A VARCHAR(5))").unwrap();
+        let layout = Layout::new("L").field("A", T::VarChar(5));
+        let c2 = compile_dml("insert into PLAIN values (:A)", &layout, "STG").unwrap();
+        assert!(plan(&cdw, &c2).unwrap().is_none());
+    }
+
+    #[test]
+    fn native_enforcement_disables_emulation() {
+        let cdw = Cdw::with_config(
+            etlv_cdw::CdwConfig {
+                native_unique: true,
+                ..Default::default()
+            },
+            None,
+        );
+        cdw.execute("CREATE TABLE T (A VARCHAR(5), PRIMARY KEY (A))").unwrap();
+        let layout = Layout::new("L").field("A", T::VarChar(5));
+        let compiled = compile_dml("insert into T values (:A)", &layout, "STG").unwrap();
+        assert!(plan(&cdw, &compiled).unwrap().is_none());
+    }
+
+    #[test]
+    fn detects_existing_conflicts() {
+        let (cdw, compiled) = setup();
+        let emu = plan(&cdw, &compiled).unwrap().unwrap();
+        cdw.execute("INSERT INTO PROD.CUSTOMER VALUES ('123', 'Smith', NULL)")
+            .unwrap();
+        stage(&cdw, &[(1, "123", "Jones", "2012-01-01"), (2, "456", "Ok", "2012-01-01")]);
+        assert_eq!(emu.violations_in_range(&cdw, 1, 3).unwrap(), 1);
+        assert_eq!(emu.violations_in_range(&cdw, 2, 3).unwrap(), 0);
+        assert_eq!(emu.violations_in_range(&cdw, 1, 2).unwrap(), 1);
+    }
+
+    #[test]
+    fn detects_intra_range_dups() {
+        let (cdw, compiled) = setup();
+        let emu = plan(&cdw, &compiled).unwrap().unwrap();
+        stage(
+            &cdw,
+            &[
+                (1, "123", "a", "2012-01-01"),
+                (2, "456", "b", "2012-01-01"),
+                (3, "123", "c", "2012-01-01"),
+            ],
+        );
+        assert_eq!(emu.violations_in_range(&cdw, 1, 4).unwrap(), 1);
+        // Split below the duplicate pair: clean.
+        assert_eq!(emu.violations_in_range(&cdw, 1, 3).unwrap(), 0);
+        assert_eq!(emu.violations_in_range(&cdw, 3, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn key_transformation_applied() {
+        // The key expression is trim(:CUST_ID): staged values with padding
+        // still collide.
+        let (cdw, compiled) = setup();
+        let emu = plan(&cdw, &compiled).unwrap().unwrap();
+        stage(
+            &cdw,
+            &[(1, "  99", "a", "2012-01-01"), (2, "99  ", "b", "2012-01-01")],
+        );
+        assert_eq!(emu.violations_in_range(&cdw, 1, 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn violation_error_is_uniqueness_class() {
+        let (cdw, compiled) = setup();
+        let emu = plan(&cdw, &compiled).unwrap().unwrap();
+        assert!(emu.violation_error().is_uniqueness());
+    }
+}

@@ -1,0 +1,759 @@
+//! The virtualizer node: listener, session state machine, and job
+//! orchestration (the paper's Alpha/Coalescer/PXC/Beta roles, §3).
+//!
+//! From the outside this is a legacy EDW server — same frames, same
+//! message flow, same error tables. Inside, every request is
+//! cross-compiled and executed on the CDW through the acquisition
+//! pipeline, COPY bulk loading, and the adaptive application phase.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use etlv_cdw::{Cdw, CdwConfig};
+use etlv_cloudstore::{BulkLoader, LoaderConfig, MemStore, ObjectStore};
+use etlv_protocol::errcode::ErrCode;
+use etlv_protocol::layout::Layout;
+use etlv_protocol::message::{
+    BeginExportOk, BeginLoad, ExportChunk, Message, RecordFormat, SessionRole, SqlResult,
+    WireError,
+};
+use etlv_protocol::record::encode_rows;
+use etlv_protocol::transport::Transport;
+use etlv_sql::ast::{Expr, Insert, InsertSource, Literal, ObjectName, Stmt};
+use etlv_sql::types::SqlType;
+use etlv_sql::Dialect;
+use parking_lot::Mutex;
+
+use crate::adaptive::{AdaptiveParams, ErrorRows, RecordedError};
+use crate::apply::apply;
+use crate::config::VirtualizerConfig;
+use crate::convert::DataConverter;
+use crate::credit::CreditManager;
+use crate::cursor::TdfCursor;
+use crate::emulate;
+use crate::memory::MemoryGauge;
+use crate::pipeline::{Pipeline, PipelineReport, RawChunk};
+use crate::report::{JobReport, NodeMetrics};
+use crate::xcompile;
+
+struct ImportJobState {
+    spec: BeginLoad,
+    staging_table: String,
+    prefix: String,
+    pipeline: Mutex<Option<Pipeline>>,
+    sender: Mutex<Option<crossbeam::channel::Sender<RawChunk>>>,
+    rows_received: AtomicU64,
+    oom: Mutex<Option<String>>,
+    started: Instant,
+}
+
+struct ExportJobState {
+    cursor: TdfCursor,
+    format: RecordFormat,
+    layout: Layout,
+}
+
+enum Job {
+    Import(Arc<ImportJobState>),
+    Export(Arc<ExportJobState>),
+}
+
+struct Node {
+    config: VirtualizerConfig,
+    cdw: Cdw,
+    store: Arc<dyn ObjectStore>,
+    credits: CreditManager,
+    memory: MemoryGauge,
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_token: AtomicU64,
+    next_session: AtomicU32,
+    metrics: Mutex<NodeMetrics>,
+    last_report: Mutex<Option<JobReport>>,
+}
+
+/// A virtualizer node.
+///
+/// Cheaply cloneable; one [`CreditManager`] and one [`MemoryGauge`] are
+/// shared across all sessions and jobs of the node, exactly as §5
+/// prescribes.
+#[derive(Clone)]
+pub struct Virtualizer {
+    node: Arc<Node>,
+}
+
+impl Virtualizer {
+    /// Create a node with its own in-memory object store and CDW.
+    pub fn new(config: VirtualizerConfig) -> Virtualizer {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+        let cdw = Cdw::with_config(CdwConfig::default(), Some(Arc::clone(&store)));
+        Virtualizer::with_backends(config, cdw, store)
+    }
+
+    /// Create a node over an existing CDW and object store. The CDW must
+    /// have been constructed with the same store attached (COPY reads
+    /// staged files from it).
+    pub fn with_backends(
+        config: VirtualizerConfig,
+        cdw: Cdw,
+        store: Arc<dyn ObjectStore>,
+    ) -> Virtualizer {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid virtualizer config: {e}"));
+        Virtualizer {
+            node: Arc::new(Node {
+                credits: CreditManager::new(config.credits),
+                memory: MemoryGauge::new(config.memory_cap),
+                config,
+                cdw,
+                store,
+                jobs: Mutex::new(HashMap::new()),
+                next_token: AtomicU64::new(1),
+                next_session: AtomicU32::new(1),
+                metrics: Mutex::new(NodeMetrics::default()),
+                last_report: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The CDW this node virtualizes onto (test/bench assertions).
+    pub fn cdw(&self) -> &Cdw {
+        &self.node.cdw
+    }
+
+    /// The node's credit manager.
+    pub fn credits(&self) -> &CreditManager {
+        &self.node.credits
+    }
+
+    /// The node's memory gauge.
+    pub fn memory(&self) -> &MemoryGauge {
+        &self.node.memory
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &VirtualizerConfig {
+        &self.node.config
+    }
+
+    /// Snapshot of node metrics.
+    pub fn metrics(&self) -> NodeMetrics {
+        let mut m = self.node.metrics.lock().clone();
+        m.credit_stalls = self.node.credits.stalls();
+        m.credit_stall_time = self.node.credits.stall_time();
+        m.peak_memory = self.node.memory.peak();
+        m
+    }
+
+    /// The most recent completed load job's report (benches read phase
+    /// timings here).
+    pub fn last_job_report(&self) -> Option<JobReport> {
+        self.node.last_report.lock().clone()
+    }
+
+    /// Serve one connection until logoff/disconnect (one thread per
+    /// connection).
+    pub fn serve(&self, mut transport: impl Transport) -> io::Result<()> {
+        let node = &self.node;
+        let mut session_id = 0u32;
+        let mut seq = 0u32;
+        let mut role = SessionRole::Control;
+        let mut job_token = 0u64;
+
+        while let Some(frame) = transport.recv()? {
+            let msg = match Message::from_frame(&frame) {
+                Ok(m) => m,
+                Err(e) => {
+                    let reply = error_msg(ErrCode::PROTOCOL, e.to_string(), true);
+                    transport.send(&reply.into_frame(session_id, seq))?;
+                    return Ok(());
+                }
+            };
+            seq = seq.wrapping_add(1);
+            let reply = match msg {
+                Message::Logon(logon) => {
+                    if logon.username.is_empty() || logon.password.is_empty() {
+                        error_msg(ErrCode::LOGON_FAILED, "missing credentials", true)
+                    } else {
+                        session_id = node.next_session.fetch_add(1, Ordering::Relaxed);
+                        role = logon.role;
+                        job_token = logon.job_token;
+                        Message::LogonOk(etlv_protocol::message::LogonOk {
+                            session: session_id,
+                            banner: "etlv virtualizer 1.0 (legacy protocol)".into(),
+                        })
+                    }
+                }
+                Message::Sql { text } => self.handle_sql(&text),
+                Message::BeginLoad(spec) => self.handle_begin_load(spec),
+                Message::DataChunk(chunk) => {
+                    if role != SessionRole::Data {
+                        error_msg(ErrCode::PROTOCOL, "data chunk on a control session", true)
+                    } else {
+                        self.handle_data_chunk(job_token, chunk)
+                    }
+                }
+                Message::EndLoad(end) => self.handle_end_load(job_token, &end.dml),
+                Message::BeginExport(spec) => self.handle_begin_export(spec),
+                Message::ExportChunkReq { index } => self.handle_export_req(job_token, index),
+                Message::Logoff => {
+                    transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
+                    return Ok(());
+                }
+                Message::Keepalive => Message::Keepalive,
+                other => error_msg(
+                    ErrCode::PROTOCOL,
+                    format!("unexpected message {:?}", other.kind()),
+                    true,
+                ),
+            };
+            match &reply {
+                Message::BeginLoadOk { load_token } => job_token = *load_token,
+                Message::BeginExportOk(ok) => job_token = ok.export_token,
+                _ => {}
+            }
+            let fatal = matches!(&reply, Message::Error(e) if e.fatal);
+            transport.send(&reply.into_frame(session_id, seq))?;
+            if fatal {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// TCP accept loop (one thread per connection); returns the bound
+    /// address.
+    pub fn listen_tcp(&self, addr: &str) -> io::Result<std::net::SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let this = self.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let this = this.clone();
+                std::thread::spawn(move || {
+                    if let Ok(t) = etlv_protocol::transport::TcpTransport::new(stream) {
+                        let _ = this.serve(t);
+                    }
+                });
+            }
+        });
+        Ok(local)
+    }
+
+    // ------------------------------------------------------------- SQL
+
+    /// Control-session SQL: cross-compile legacy text, execute on the CDW,
+    /// convert results back to the legacy representation.
+    fn handle_sql(&self, text: &str) -> Message {
+        let translated = match xcompile::translate_sql(text) {
+            Ok(t) => t,
+            Err(e) => return error_msg(ErrCode::SQL_ERROR, e.to_string(), false),
+        };
+        match self.node.cdw.execute(&translated) {
+            Ok(result) => Message::SqlResult(SqlResult {
+                activity_count: result.affected,
+                columns: result
+                    .columns
+                    .iter()
+                    .map(|(n, ty)| (n.clone(), ty.to_legacy()))
+                    .collect(),
+                rows: result.rows,
+            }),
+            Err(e) => error_msg(ErrCode::SQL_ERROR, e.to_string(), false),
+        }
+    }
+
+    // ------------------------------------------------------------ import
+
+    fn handle_begin_load(&self, spec: BeginLoad) -> Message {
+        let node = &self.node;
+        let token = node.next_token.fetch_add(1, Ordering::Relaxed);
+        let staging_table = xcompile::staging_table_name(token);
+        let prefix = xcompile::staging_prefix(token);
+
+        // Staging + error tables on the CDW.
+        if let Err(e) = self.create_job_tables(&spec, &staging_table) {
+            return error_msg(ErrCode::SQL_ERROR, e, true);
+        }
+
+        // Spin up the acquisition pipeline.
+        let converter = DataConverter::new(
+            spec.layout.clone(),
+            spec.format,
+            node.config.staging_delimiter,
+        );
+        let loader = Arc::new(BulkLoader::new(
+            Arc::clone(&node.store),
+            LoaderConfig {
+                bucket: node.config.staging_bucket.clone(),
+                compress: node.config.compress_staged,
+                throttle: node.config.upload_throttle,
+            },
+        ));
+        let pipeline = Pipeline::spawn(&node.config, converter, loader, prefix.clone());
+        let sender = pipeline.sender();
+
+        node.jobs.lock().insert(
+            token,
+            Job::Import(Arc::new(ImportJobState {
+                spec,
+                staging_table,
+                prefix,
+                pipeline: Mutex::new(Some(pipeline)),
+                sender: Mutex::new(Some(sender)),
+                rows_received: AtomicU64::new(0),
+                oom: Mutex::new(None),
+                started: Instant::now(),
+            })),
+        );
+        Message::BeginLoadOk { load_token: token }
+    }
+
+    fn create_job_tables(&self, spec: &BeginLoad, staging_table: &str) -> Result<(), String> {
+        let run = |sql: &str| -> Result<(), String> {
+            self.node
+                .cdw
+                .execute(sql)
+                .map(|_| ())
+                .map_err(|e| format!("{sql}: {e}"))
+        };
+        run(&format!("DROP TABLE IF EXISTS {staging_table}"))?;
+        run(&xcompile::staging_ddl(staging_table, &spec.layout))?;
+        run(&format!("DROP TABLE IF EXISTS {}", spec.error_table_et))?;
+        run(&format!(
+            "CREATE TABLE {} (SEQNO BIGINT, ERRCODE INTEGER, ERRFIELD VARCHAR(128), ERRMESSAGE VARCHAR(512))",
+            spec.error_table_et
+        ))?;
+        run(&format!("DROP TABLE IF EXISTS {}", spec.error_table_uv))?;
+        let mut uv_cols: Vec<String> = spec
+            .layout
+            .fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "{} {}",
+                    f.name,
+                    SqlType::from_legacy(f.ty)
+                        .legacy_to_cdw()
+                        .render(Dialect::Cdw)
+                )
+            })
+            .collect();
+        uv_cols.push("SEQNO BIGINT".into());
+        uv_cols.push("ERRCODE INTEGER".into());
+        run(&format!(
+            "CREATE TABLE {} ({})",
+            spec.error_table_uv,
+            uv_cols.join(", ")
+        ))
+    }
+
+    /// The PXC data path: acquire a credit (back-pressure), reserve
+    /// memory, push the raw chunk to the converters, ack immediately. No
+    /// parsing happens on this thread beyond the header fields — the
+    /// paper's "lazy parsing of data messages".
+    fn handle_data_chunk(
+        &self,
+        token: u64,
+        chunk: etlv_protocol::message::DataChunk,
+    ) -> Message {
+        let job = {
+            let jobs = self.node.jobs.lock();
+            match jobs.get(&token) {
+                Some(Job::Import(j)) => Arc::clone(j),
+                _ => {
+                    return error_msg(
+                        ErrCode::PROTOCOL,
+                        format!("no import job for token {token}"),
+                        true,
+                    )
+                }
+            }
+        };
+        if let Some(oom) = job.oom.lock().clone() {
+            return error_msg(ErrCode::OUT_OF_MEMORY, oom, true);
+        }
+        let credit = self.node.credits.acquire();
+        let memory = match self.node.memory.reserve(chunk.data.len()) {
+            Ok(m) => m,
+            Err(e) => {
+                *job.oom.lock() = Some(e.to_string());
+                return error_msg(ErrCode::OUT_OF_MEMORY, e.to_string(), true);
+            }
+        };
+        let sender = match job.sender.lock().as_ref() {
+            Some(s) => s.clone(),
+            None => {
+                return error_msg(
+                    ErrCode::PROTOCOL,
+                    "data chunk after the load ended",
+                    true,
+                )
+            }
+        };
+        let chunk_seq = chunk.chunk_seq;
+        job.rows_received
+            .fetch_add(chunk.record_count as u64, Ordering::Relaxed);
+        if sender
+            .send(RawChunk {
+                base_seq: chunk.base_seq,
+                data: chunk.data,
+                credit,
+                memory,
+            })
+            .is_err()
+        {
+            return error_msg(ErrCode::INTERNAL, "acquisition pipeline closed", true);
+        }
+        Message::Ack { chunk_seq }
+    }
+
+    fn handle_end_load(&self, token: u64, dml: &str) -> Message {
+        let job = {
+            let mut jobs = self.node.jobs.lock();
+            match jobs.remove(&token) {
+                Some(Job::Import(j)) => j,
+                _ => {
+                    return error_msg(
+                        ErrCode::PROTOCOL,
+                        format!("no import job for token {token}"),
+                        true,
+                    )
+                }
+            }
+        };
+        match self.finish_load(&job, dml) {
+            Ok(report) => {
+                let mut metrics = self.node.metrics.lock();
+                metrics.jobs_completed += 1;
+                metrics.rows_ingested += report.rows_received;
+                drop(metrics);
+                *self.node.last_report.lock() = Some(report.clone());
+                Message::LoadReport(report.to_wire())
+            }
+            Err((code, message)) => {
+                self.node.metrics.lock().jobs_failed += 1;
+                self.cleanup_job(&job);
+                error_msg(code, message, true)
+            }
+        }
+    }
+
+    fn finish_load(
+        &self,
+        job: &ImportJobState,
+        dml: &str,
+    ) -> Result<JobReport, (ErrCode, String)> {
+        let node = &self.node;
+
+        // Drain the pipeline: all chunks converted, staged, uploaded.
+        let pipeline = job
+            .pipeline
+            .lock()
+            .take()
+            .ok_or((ErrCode::PROTOCOL, "load already ended".to_string()))?;
+        drop(job.sender.lock().take());
+        let pipe_report: PipelineReport = pipeline.finish();
+        if let Some(oom) = job.oom.lock().clone() {
+            return Err((ErrCode::OUT_OF_MEMORY, oom));
+        }
+        if !pipe_report.fatal.is_empty() {
+            return Err((ErrCode::INTERNAL, pipe_report.fatal.join("; ")));
+        }
+
+        // In-cloud COPY into the staging table completes acquisition.
+        if !pipe_report.files.is_empty() {
+            let copy = format!(
+                "COPY INTO {} FROM 'store://{}/{}' DELIMITER '{}'{}",
+                job.staging_table,
+                node.config.staging_bucket,
+                job.prefix,
+                node.config.staging_delimiter as char,
+                if node.config.compress_staged {
+                    " COMPRESSED"
+                } else {
+                    ""
+                }
+            );
+            node.cdw
+                .execute(&copy)
+                .map_err(|e| (ErrCode::INTERNAL, format!("COPY failed: {e}")))?;
+        }
+        let acquisition = job.started.elapsed();
+
+        // Application phase: cross-compile, plan emulation, apply.
+        let application_started = Instant::now();
+        let compiled = xcompile::compile_dml(dml, &job.spec.layout, &job.staging_table)
+            .map_err(|e| (ErrCode::SQL_ERROR, e.to_string()))?;
+        let emulation = emulate::plan(&node.cdw, &compiled)
+            .map_err(|e| (ErrCode::SQL_ERROR, e.to_string()))?;
+        let rows_received = job.rows_received.load(Ordering::Relaxed);
+        let params = AdaptiveParams {
+            max_errors: effective_max_errors(node.config.max_errors, job.spec.error_limit),
+            max_retries: node.config.max_retries,
+        };
+        let outcome = apply(
+            &node.cdw,
+            &compiled,
+            emulation.as_ref(),
+            &job.spec.layout,
+            1,
+            rows_received + 1,
+            node.config.apply_strategy,
+            params,
+        )
+        .map_err(|e| (ErrCode::SQL_ERROR, format!("application failed: {e}")))?;
+        let application = application_started.elapsed();
+
+        // Error tables: acquisition errors + application errors.
+        let teardown_started = Instant::now();
+        self.write_error_tables(job, &pipe_report, &outcome.errors)
+            .map_err(|e| (ErrCode::INTERNAL, e))?;
+        self.cleanup_job(job);
+
+        let errors_uv = outcome
+            .errors
+            .iter()
+            .filter(|e| e.code == ErrCode::UNIQUENESS)
+            .count() as u64;
+        let errors_et = pipe_report.acq_errors.len() as u64
+            + outcome.errors.len() as u64
+            - errors_uv;
+        Ok(JobReport {
+            rows_received,
+            rows_applied: outcome.applied,
+            errors_et,
+            errors_uv,
+            acquisition,
+            application,
+            other: teardown_started.elapsed(),
+            files_staged: pipe_report.files.len() as u64,
+            bytes_staged: pipe_report.bytes_staged,
+        })
+    }
+
+    fn write_error_tables(
+        &self,
+        job: &ImportJobState,
+        pipe_report: &PipelineReport,
+        app_errors: &[RecordedError],
+    ) -> Result<(), String> {
+        let mut et_rows: Vec<Vec<Expr>> = Vec::new();
+        for e in &pipe_report.acq_errors {
+            et_rows.push(vec![
+                Expr::Literal(Literal::Integer(e.seq as i64)),
+                Expr::Literal(Literal::Integer(e.code.0 as i64)),
+                Expr::Literal(Literal::Null),
+                Expr::Literal(Literal::Str(e.message.clone())),
+            ]);
+        }
+        let mut uv_rows: Vec<Vec<Expr>> = Vec::new();
+        for e in app_errors {
+            if e.code == ErrCode::UNIQUENESS {
+                let seq = match e.rows {
+                    ErrorRows::Single(s) => s,
+                    ErrorRows::Range(a, _) => a,
+                };
+                let mut row: Vec<Expr> = e
+                    .uv_tuple
+                    .clone()
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|v| Expr::Literal(Literal::from_value(v)))
+                    .collect();
+                // Pad if the tuple was unavailable.
+                while row.len() < job.spec.layout.arity() {
+                    row.push(Expr::Literal(Literal::Null));
+                }
+                row.push(Expr::Literal(Literal::Integer(seq as i64)));
+                row.push(Expr::Literal(Literal::Integer(e.code.0 as i64)));
+                uv_rows.push(row);
+            } else {
+                let seqno = match e.rows {
+                    ErrorRows::Single(s) => Expr::Literal(Literal::Integer(s as i64)),
+                    ErrorRows::Range(_, _) => Expr::Literal(Literal::Null),
+                };
+                et_rows.push(vec![
+                    seqno,
+                    Expr::Literal(Literal::Integer(e.code.0 as i64)),
+                    match &e.field {
+                        Some(f) => Expr::Literal(Literal::Str(f.clone())),
+                        None => Expr::Literal(Literal::Null),
+                    },
+                    Expr::Literal(Literal::Str(e.message.clone())),
+                ]);
+            }
+        }
+        if !et_rows.is_empty() {
+            self.insert_rows(&job.spec.error_table_et, et_rows)?;
+        }
+        if !uv_rows.is_empty() {
+            self.insert_rows(&job.spec.error_table_uv, uv_rows)?;
+        }
+        Ok(())
+    }
+
+    fn insert_rows(&self, table: &str, rows: Vec<Vec<Expr>>) -> Result<(), String> {
+        let stmt = Stmt::Insert(Insert {
+            table: ObjectName(table.split('.').map(str::to_string).collect()),
+            columns: None,
+            source: InsertSource::Values(rows),
+        });
+        self.node
+            .cdw
+            .execute_stmt(&stmt)
+            .map(|_| ())
+            .map_err(|e| format!("writing error table {table}: {e}"))
+    }
+
+    fn cleanup_job(&self, job: &ImportJobState) {
+        let _ = self
+            .node
+            .cdw
+            .execute(&format!("DROP TABLE IF EXISTS {}", job.staging_table));
+        if let Ok(keys) = self
+            .node
+            .store
+            .list(&self.node.config.staging_bucket, &job.prefix)
+        {
+            for key in keys {
+                let _ = self.node.store.delete(&self.node.config.staging_bucket, &key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ export
+
+    fn handle_begin_export(&self, spec: etlv_protocol::message::BeginExport) -> Message {
+        let node = &self.node;
+        let translated = match xcompile::translate_sql(&spec.select) {
+            Ok(t) => t,
+            Err(e) => return error_msg(ErrCode::SQL_ERROR, e.to_string(), true),
+        };
+        let chunk_rows = if spec.chunk_rows == 0 {
+            node.config.export_chunk_rows
+        } else {
+            spec.chunk_rows
+        };
+        let cursor = match TdfCursor::open(
+            &node.cdw,
+            &translated,
+            chunk_rows,
+            node.config.export_prefetch_chunks,
+        ) {
+            Ok(c) => c,
+            Err(e) => return error_msg(ErrCode::SQL_ERROR, e.to_string(), true),
+        };
+        let layout = Layout {
+            name: "EXPORT".into(),
+            fields: cursor
+                .columns()
+                .iter()
+                .map(|(n, ty)| etlv_protocol::layout::FieldDef::new(n.clone(), *ty))
+                .collect(),
+        };
+        let token = node.next_token.fetch_add(1, Ordering::Relaxed);
+        node.jobs.lock().insert(
+            token,
+            Job::Export(Arc::new(ExportJobState {
+                cursor,
+                format: spec.format,
+                layout: layout.clone(),
+            })),
+        );
+        node.metrics.lock().exports_completed += 1;
+        Message::BeginExportOk(BeginExportOk {
+            export_token: token,
+            layout,
+        })
+    }
+
+    /// Serve one export chunk: pull the TDF packet from the cursor, unwrap
+    /// it, and re-encode rows in the legacy wire format (the PXC's result
+    /// conversion, §4).
+    fn handle_export_req(&self, token: u64, index: u64) -> Message {
+        let job = {
+            let jobs = self.node.jobs.lock();
+            match jobs.get(&token) {
+                Some(Job::Export(j)) => Arc::clone(j),
+                _ => {
+                    return error_msg(
+                        ErrCode::PROTOCOL,
+                        format!("no export job for token {token}"),
+                        true,
+                    )
+                }
+            }
+        };
+        let chunk = job.cursor.chunk(index);
+        let rows = match chunk.packet.scalar_rows() {
+            Ok(r) => r,
+            Err(e) => return error_msg(ErrCode::INTERNAL, e.to_string(), true),
+        };
+        let data = match encode_rows(&job.layout, job.format, &rows) {
+            Ok(d) => d,
+            Err(e) => return error_msg(ErrCode::INTERNAL, e.to_string(), true),
+        };
+        Message::ExportChunk(ExportChunk {
+            index,
+            record_count: rows.len() as u32,
+            last: chunk.last,
+            data: data.into(),
+        })
+    }
+}
+
+fn error_msg(code: ErrCode, message: impl Into<String>, fatal: bool) -> Message {
+    Message::Error(WireError {
+        code: code.0,
+        message: message.into(),
+        fatal,
+    })
+}
+
+/// Combine the node's `max_errors` with the script's `errlimit` (both 0 =
+/// unlimited; otherwise the tighter bound wins).
+fn effective_max_errors(config_max: u64, errlimit: u64) -> u64 {
+    match (config_max, errlimit) {
+        (0, 0) => 0,
+        (0, e) => e,
+        (m, 0) => m,
+        (m, e) => m.min(e),
+    }
+}
+
+/// Expose staged-value access for tests: the staging tables are dropped at
+/// job end, so tests assert through the CDW's target/error tables instead.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_max_errors_combination() {
+        assert_eq!(effective_max_errors(0, 0), 0);
+        assert_eq!(effective_max_errors(5, 0), 5);
+        assert_eq!(effective_max_errors(0, 7), 7);
+        assert_eq!(effective_max_errors(5, 7), 5);
+        assert_eq!(effective_max_errors(9, 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid virtualizer config")]
+    fn invalid_config_panics() {
+        let mut config = VirtualizerConfig::default();
+        config.credits = 0;
+        let _ = Virtualizer::new(config);
+    }
+
+    #[test]
+    fn node_constructs_with_defaults() {
+        let v = Virtualizer::new(VirtualizerConfig::default());
+        assert!(v.cdw().execute("CREATE TABLE T (A INTEGER)").is_ok());
+        assert_eq!(v.metrics().jobs_completed, 0);
+        assert!(v.last_job_report().is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! # etlv-core — the virtualizer
+//!
+//! Real-time virtualization of legacy ETL pipelines onto a cloud data
+//! warehouse (CDW): the from-scratch reproduction of the EDBT 2023 paper's
+//! Hyper-Q ETL extension.
+//!
+//! The virtualizer listens on the **legacy wire protocol**. Unmodified
+//! legacy clients and job scripts connect to it as if it were the legacy
+//! EDW; behind the protocol boundary every request is cross-compiled and
+//! executed on the CDW:
+//!
+//! ```text
+//!  legacy client ──frames──▶ gateway (Alpha) ─▶ Coalescer ─▶ PXC
+//!                                │   data chunks: credit + immediate ack
+//!                                ▼
+//!      DataConverter workers (legacy binary/vartext → staged text)
+//!                                ▼
+//!      FileWriters (rotate at size threshold, optional compression)
+//!                                ▼
+//!      Bulk uploader → object store → COPY INTO staging table
+//!                                ▼
+//!      Application phase: cross-compiled DML (adaptive error handling,
+//!      uniqueness emulation) → target table → LoadReport
+//! ```
+//!
+//! Module map (paper section in parentheses):
+//!
+//! - [`gateway`]: the listener + per-session protocol state machine
+//!   (Alpha/Coalescer/PXC, §3).
+//! - [`xcompile`]: SQL cross-compilation, placeholder → staging-column
+//!   mapping, staging DDL, type mapping (§3, §6).
+//! - [`convert`]: DataConverter — binary/vartext → CDW staged text (§4).
+//! - [`pipeline`]: the acquisition pipeline, converter/writer stages (§5).
+//! - [`credit`]: the CreditManager back-pressure mechanism (§5, Fig. 4).
+//! - [`memory`]: in-flight memory accounting — the guard that turns the
+//!   paper's one-million-credit OOM crash into a reportable error (§9).
+//! - [`apply`]: DML application strategies — bulk, adaptive, and the
+//!   singleton baseline from Figure 11 (§7).
+//! - [`adaptive`]: recursive chunk-splitting error handler (§7, Fig. 6).
+//! - [`emulate`]: uniqueness emulation on CDWs without native UNIQUE (§7).
+//! - [`tdf`] / [`cursor`]: the Tabular Data Format and TDFCursor serving
+//!   parallel export sessions (§3, §4).
+//! - [`report`]: phase-timed job reports and node metrics (§9).
+//! - [`workload`]: deterministic workload generators for tests, examples,
+//!   and the figure benches.
+
+pub mod adaptive;
+pub mod apply;
+pub mod config;
+pub mod convert;
+pub mod credit;
+pub mod cursor;
+pub mod emulate;
+pub mod gateway;
+pub mod memory;
+pub mod pipeline;
+pub mod report;
+pub mod tdf;
+pub mod workload;
+pub mod xcompile;
+
+pub use apply::ApplyStrategy;
+pub use config::{ConverterMode, VirtualizerConfig};
+pub use credit::{Credit, CreditManager};
+pub use gateway::Virtualizer;
+pub use memory::{MemoryGauge, OutOfMemory};
+pub use report::{JobReport, NodeMetrics};

@@ -1,0 +1,95 @@
+//! Job reports and node metrics — the measurement surface for the paper's
+//! §9 experiments.
+
+use std::time::Duration;
+
+use etlv_protocol::message::LoadReport;
+
+/// Phase-timed accounting for one completed load job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobReport {
+    /// Records received from the client.
+    pub rows_received: u64,
+    /// Rows applied to the target table.
+    pub rows_applied: u64,
+    /// Rows recorded in the ET table.
+    pub errors_et: u64,
+    /// Rows recorded in the UV table.
+    pub errors_uv: u64,
+    /// Acquisition phase: first chunk → staging table loaded (includes
+    /// conversion, serialization, upload, and COPY).
+    pub acquisition: Duration,
+    /// Application phase: DML execution including adaptive retries.
+    pub application: Duration,
+    /// Startup/teardown and everything else.
+    pub other: Duration,
+    /// Staged files uploaded.
+    pub files_staged: u64,
+    /// Bytes written to staging files.
+    pub bytes_staged: u64,
+}
+
+impl JobReport {
+    /// Convert into the wire-level report sent back to the client.
+    pub fn to_wire(&self) -> LoadReport {
+        LoadReport {
+            rows_received: self.rows_received,
+            rows_applied: self.rows_applied,
+            errors_et: self.errors_et,
+            errors_uv: self.errors_uv,
+            acquisition_micros: self.acquisition.as_micros() as u64,
+            application_micros: self.application.as_micros() as u64,
+            other_micros: self.other.as_micros() as u64,
+        }
+    }
+
+    /// Total job wall time.
+    pub fn total(&self) -> Duration {
+        self.acquisition + self.application + self.other
+    }
+}
+
+/// Node-level counters, aggregated across jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Load jobs completed.
+    pub jobs_completed: u64,
+    /// Load jobs failed.
+    pub jobs_failed: u64,
+    /// Export jobs served.
+    pub exports_completed: u64,
+    /// Total records ingested.
+    pub rows_ingested: u64,
+    /// Credit-pool stalls (back-pressure engagements).
+    pub credit_stalls: u64,
+    /// Total time sessions spent blocked on credits.
+    pub credit_stall_time: Duration,
+    /// Peak in-flight memory observed.
+    pub peak_memory: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_conversion() {
+        let report = JobReport {
+            rows_received: 10,
+            rows_applied: 8,
+            errors_et: 1,
+            errors_uv: 1,
+            acquisition: Duration::from_millis(5),
+            application: Duration::from_millis(7),
+            other: Duration::from_micros(250),
+            files_staged: 2,
+            bytes_staged: 1024,
+        };
+        let wire = report.to_wire();
+        assert_eq!(wire.rows_received, 10);
+        assert_eq!(wire.acquisition_micros, 5000);
+        assert_eq!(wire.application_micros, 7000);
+        assert_eq!(wire.other_micros, 250);
+        assert_eq!(report.total(), Duration::from_micros(12_250));
+    }
+}

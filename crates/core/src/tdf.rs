@@ -1,0 +1,406 @@
+//! TDF — the Tabular Data Format (paper §3).
+//!
+//! TDF is the virtualizer's internal representation for result batches
+//! flowing out of the CDW: "an extensible format that can handle
+//! arbitrarily large nested data". A TDF packet is:
+//!
+//! ```text
+//! magic "TDF1" | u16 ncols | column descriptors | u32 nrows | row data
+//! column descriptor := name (u16-len string) | type tag u8 | p1 u16 | p2 u16
+//! ```
+//!
+//! Values use a tagged encoding that includes `List` and `Struct`
+//! composites, so nested data nests to arbitrary depth; export jobs only
+//! produce scalars, but the format (and its tests) cover the general case.
+
+use bytes::{Buf, BufMut};
+
+use etlv_protocol::data::{Date, Decimal, LegacyType, Timestamp, Value};
+use etlv_protocol::layout::Layout;
+
+/// Packet magic.
+pub const MAGIC: &[u8; 4] = b"TDF1";
+
+/// A TDF value: the scalar legacy values plus nested composites.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdfValue {
+    /// Scalar value.
+    Scalar(Value),
+    /// Homogeneous-ish list.
+    List(Vec<TdfValue>),
+    /// Named-field record.
+    Struct(Vec<(String, TdfValue)>),
+}
+
+impl From<Value> for TdfValue {
+    fn from(v: Value) -> TdfValue {
+        TdfValue::Scalar(v)
+    }
+}
+
+/// A decoded TDF packet: column metadata plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdfPacket {
+    /// Column names and declared legacy types.
+    pub columns: Vec<(String, LegacyType)>,
+    /// Row data.
+    pub rows: Vec<Vec<TdfValue>>,
+}
+
+/// TDF codec error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdfError {
+    /// Missing/incorrect magic.
+    BadMagic,
+    /// Input ended unexpectedly.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Structural problem (bad UTF-8, bad type).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdfError::BadMagic => write!(f, "not a TDF packet"),
+            TdfError::Truncated => write!(f, "TDF packet truncated"),
+            TdfError::BadTag(t) => write!(f, "unknown TDF value tag {t}"),
+            TdfError::Malformed(m) => write!(f, "malformed TDF packet: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TdfError {}
+
+impl TdfPacket {
+    /// Build a scalar packet from a result batch.
+    pub fn from_rows(columns: Vec<(String, LegacyType)>, rows: Vec<Vec<Value>>) -> TdfPacket {
+        TdfPacket {
+            columns,
+            rows: rows
+                .into_iter()
+                .map(|row| row.into_iter().map(TdfValue::from).collect())
+                .collect(),
+        }
+    }
+
+    /// Extract scalar rows (composites become an error).
+    pub fn scalar_rows(&self) -> Result<Vec<Vec<Value>>, TdfError> {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|v| match v {
+                        TdfValue::Scalar(s) => Ok(s.clone()),
+                        _ => Err(TdfError::Malformed("nested value in scalar context")),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The wire layout corresponding to the packet's columns.
+    pub fn layout(&self) -> Layout {
+        Layout {
+            name: "TDF".into(),
+            fields: self
+                .columns
+                .iter()
+                .map(|(name, ty)| etlv_protocol::layout::FieldDef::new(name.clone(), *ty))
+                .collect(),
+        }
+    }
+
+    /// Encode the packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.rows.len() * 16);
+        out.extend_from_slice(MAGIC);
+        out.put_u16_le(self.columns.len() as u16);
+        for (name, ty) in &self.columns {
+            put_string(&mut out, name);
+            out.put_u8(ty.tag());
+            let (p1, p2) = ty.params();
+            out.put_u16_le(p1);
+            out.put_u16_le(p2);
+        }
+        out.put_u32_le(self.rows.len() as u32);
+        for row in &self.rows {
+            for v in row {
+                encode_value(v, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Decode a packet.
+    pub fn decode(mut data: &[u8]) -> Result<TdfPacket, TdfError> {
+        if data.len() < 4 || &data[..4] != MAGIC {
+            return Err(TdfError::BadMagic);
+        }
+        data.advance(4);
+        need(&data, 2)?;
+        let ncols = data.get_u16_le() as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = get_string(&mut data)?;
+            need(&data, 5)?;
+            let tag = data.get_u8();
+            let p1 = data.get_u16_le();
+            let p2 = data.get_u16_le();
+            let ty = LegacyType::from_tag(tag, p1, p2)
+                .ok_or(TdfError::Malformed("unknown column type"))?;
+            columns.push((name, ty));
+        }
+        need(&data, 4)?;
+        let nrows = data.get_u32_le() as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                row.push(decode_value(&mut data)?);
+            }
+            rows.push(row);
+        }
+        if !data.is_empty() {
+            return Err(TdfError::Malformed("trailing bytes"));
+        }
+        Ok(TdfPacket { columns, rows })
+    }
+}
+
+fn need(data: &[u8], n: usize) -> Result<(), TdfError> {
+    if data.len() < n {
+        Err(TdfError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u16_le(s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(data: &mut &[u8]) -> Result<String, TdfError> {
+    need(data, 2)?;
+    let len = data.get_u16_le() as usize;
+    need(data, len)?;
+    let mut bytes = vec![0u8; len];
+    data.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| TdfError::Malformed("invalid UTF-8"))
+}
+
+fn encode_value(v: &TdfValue, out: &mut Vec<u8>) {
+    match v {
+        TdfValue::Scalar(Value::Null) => out.put_u8(0),
+        TdfValue::Scalar(Value::Int(x)) => {
+            out.put_u8(1);
+            out.put_i64_le(*x);
+        }
+        TdfValue::Scalar(Value::Float(f)) => {
+            out.put_u8(2);
+            out.put_f64_le(*f);
+        }
+        TdfValue::Scalar(Value::Decimal(d)) => {
+            out.put_u8(3);
+            out.put_i128_le(d.unscaled());
+            out.put_u8(d.scale());
+        }
+        TdfValue::Scalar(Value::Str(s)) => {
+            out.put_u8(4);
+            out.put_u32_le(s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+        TdfValue::Scalar(Value::Bytes(b)) => {
+            out.put_u8(5);
+            out.put_u32_le(b.len() as u32);
+            out.extend_from_slice(b);
+        }
+        TdfValue::Scalar(Value::Date(d)) => {
+            out.put_u8(6);
+            out.put_i32_le(d.to_legacy_int());
+        }
+        TdfValue::Scalar(Value::Timestamp(ts)) => {
+            out.put_u8(7);
+            out.put_i64_le(ts.micros());
+        }
+        TdfValue::List(items) => {
+            out.put_u8(8);
+            out.put_u32_le(items.len() as u32);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        TdfValue::Struct(fields) => {
+            out.put_u8(9);
+            out.put_u16_le(fields.len() as u16);
+            for (name, value) in fields {
+                put_string(out, name);
+                encode_value(value, out);
+            }
+        }
+    }
+}
+
+fn decode_value(data: &mut &[u8]) -> Result<TdfValue, TdfError> {
+    need(data, 1)?;
+    let tag = data.get_u8();
+    Ok(match tag {
+        0 => TdfValue::Scalar(Value::Null),
+        1 => {
+            need(data, 8)?;
+            TdfValue::Scalar(Value::Int(data.get_i64_le()))
+        }
+        2 => {
+            need(data, 8)?;
+            TdfValue::Scalar(Value::Float(data.get_f64_le()))
+        }
+        3 => {
+            need(data, 17)?;
+            let unscaled = data.get_i128_le();
+            let scale = data.get_u8();
+            TdfValue::Scalar(Value::Decimal(Decimal::new(unscaled, scale)))
+        }
+        4 => {
+            need(data, 4)?;
+            let len = data.get_u32_le() as usize;
+            need(data, len)?;
+            let mut bytes = vec![0u8; len];
+            data.copy_to_slice(&mut bytes);
+            TdfValue::Scalar(Value::Str(
+                String::from_utf8(bytes).map_err(|_| TdfError::Malformed("invalid UTF-8"))?,
+            ))
+        }
+        5 => {
+            need(data, 4)?;
+            let len = data.get_u32_le() as usize;
+            need(data, len)?;
+            let mut bytes = vec![0u8; len];
+            data.copy_to_slice(&mut bytes);
+            TdfValue::Scalar(Value::Bytes(bytes))
+        }
+        6 => {
+            need(data, 4)?;
+            TdfValue::Scalar(Value::Date(
+                Date::from_legacy_int(data.get_i32_le())
+                    .map_err(|_| TdfError::Malformed("invalid date"))?,
+            ))
+        }
+        7 => {
+            need(data, 8)?;
+            TdfValue::Scalar(Value::Timestamp(Timestamp::from_micros(data.get_i64_le())))
+        }
+        8 => {
+            need(data, 4)?;
+            let len = data.get_u32_le() as usize;
+            let mut items = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                items.push(decode_value(data)?);
+            }
+            TdfValue::List(items)
+        }
+        9 => {
+            need(data, 2)?;
+            let len = data.get_u16_le() as usize;
+            let mut fields = Vec::with_capacity(len);
+            for _ in 0..len {
+                let name = get_string(data)?;
+                let value = decode_value(data)?;
+                fields.push((name, value));
+            }
+            TdfValue::Struct(fields)
+        }
+        other => return Err(TdfError::BadTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etlv_protocol::data::LegacyType as T;
+
+    fn sample() -> TdfPacket {
+        TdfPacket::from_rows(
+            vec![
+                ("ID".into(), T::Integer),
+                ("NAME".into(), T::VarChar(20)),
+                ("D".into(), T::Date),
+            ],
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::Str("alice".into()),
+                    Value::Date(Date::new(2020, 2, 29).unwrap()),
+                ],
+                vec![Value::Null, Value::Null, Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let packet = sample();
+        let decoded = TdfPacket::decode(&packet.encode()).unwrap();
+        assert_eq!(decoded, packet);
+        assert_eq!(decoded.scalar_rows().unwrap().len(), 2);
+        assert_eq!(decoded.layout().fields[1].name, "NAME");
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let packet = TdfPacket {
+            columns: vec![("NESTED".into(), T::VarByte(0))],
+            rows: vec![vec![TdfValue::Struct(vec![
+                ("id".into(), TdfValue::Scalar(Value::Int(7))),
+                (
+                    "tags".into(),
+                    TdfValue::List(vec![
+                        TdfValue::Scalar(Value::Str("a".into())),
+                        TdfValue::List(vec![TdfValue::Scalar(Value::Null)]),
+                    ]),
+                ),
+            ])]],
+        };
+        let decoded = TdfPacket::decode(&packet.encode()).unwrap();
+        assert_eq!(decoded, packet);
+        assert!(decoded.scalar_rows().is_err());
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut bytes = sample().encode();
+        assert_eq!(TdfPacket::decode(b"nope"), Err(TdfError::BadMagic));
+        let n = bytes.len();
+        assert_eq!(TdfPacket::decode(&bytes[..n - 1]), Err(TdfError::Truncated));
+        bytes.push(0xFF);
+        assert!(TdfPacket::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_packet() {
+        let packet = TdfPacket::from_rows(vec![], vec![]);
+        assert_eq!(TdfPacket::decode(&packet.encode()).unwrap(), packet);
+    }
+
+    #[test]
+    fn all_scalar_types() {
+        let packet = TdfPacket::from_rows(
+            vec![
+                ("A".into(), T::BigInt),
+                ("B".into(), T::Float),
+                ("C".into(), T::Decimal(10, 3)),
+                ("D".into(), T::VarByte(8)),
+                ("E".into(), T::Timestamp),
+            ],
+            vec![vec![
+                Value::Int(-5),
+                Value::Float(1.5),
+                Value::Decimal(Decimal::parse("-2.125").unwrap()),
+                Value::Bytes(vec![1, 2, 3]),
+                Value::Timestamp(Timestamp::from_micros(123_456_789)),
+            ]],
+        );
+        assert_eq!(TdfPacket::decode(&packet.encode()).unwrap(), packet);
+    }
+}

@@ -1,0 +1,46 @@
+//! Client-side errors.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while running a job.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport/file I/O failure.
+    Io(io::Error),
+    /// The peer violated the protocol (unexpected message).
+    Protocol(String),
+    /// The server reported an error.
+    Server {
+        /// Legacy error code.
+        code: u16,
+        /// Server-provided message.
+        message: String,
+    },
+    /// Script parse or plan compilation failure.
+    Script(String),
+    /// Malformed input data file.
+    Input(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Script(m) => write!(f, "script error: {m}"),
+            ClientError::Input(m) => write!(f, "input error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}

@@ -1,0 +1,125 @@
+//! Export-job execution: parallel data sessions pull result chunks by
+//! index; the client reassembles them in order.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use etlv_protocol::layout::Layout;
+use etlv_protocol::message::{BeginExport, Message, SessionRole};
+use etlv_script::ExportJob;
+use parking_lot::Mutex;
+
+use crate::connect::Connect;
+use crate::error::ClientError;
+use crate::session::{unexpected, Session};
+use crate::ClientOptions;
+
+/// Outcome of an export job.
+#[derive(Debug, Clone)]
+pub struct ExportResult {
+    /// Reassembled output-file bytes (in the job's record format).
+    pub data: Vec<u8>,
+    /// Records exported.
+    pub rows: u64,
+    /// Result layout the server derived from the SELECT.
+    pub layout: Layout,
+    /// Total wall time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Run an export job.
+pub fn run_export(
+    connector: &Arc<dyn Connect>,
+    job: &ExportJob,
+    options: &ClientOptions,
+) -> Result<ExportResult, ClientError> {
+    let started = Instant::now();
+    let sessions = options.sessions.unwrap_or(job.sessions).max(1);
+
+    let mut control = Session::logon(
+        connector.as_ref(),
+        &job.logon.user,
+        &job.logon.password,
+        SessionRole::Control,
+        0,
+    )?;
+    let (export_token, layout) = match control.request(Message::BeginExport(BeginExport {
+        select: job.select.clone(),
+        format: job.format,
+        sessions,
+        chunk_rows: options.chunk_rows as u32,
+    }))? {
+        Message::BeginExportOk(ok) => (ok.export_token, ok.layout),
+        other => return Err(unexpected("BeginExportOk", &other)),
+    };
+
+    // Parallel sessions claim chunk indexes from a shared counter; each
+    // chunk lands in the ordered buffer.
+    let next_index = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let received: Arc<Mutex<Vec<(u64, Vec<u8>, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut workers = Vec::new();
+    for _ in 0..sessions {
+        let connector = Arc::clone(connector);
+        let next_index = Arc::clone(&next_index);
+        let done = Arc::clone(&done);
+        let received = Arc::clone(&received);
+        let user = job.logon.user.clone();
+        let password = job.logon.password.clone();
+        workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
+            let mut session = Session::logon(
+                connector.as_ref(),
+                &user,
+                &password,
+                SessionRole::Data,
+                export_token,
+            )?;
+            loop {
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let index = next_index.fetch_add(1, Ordering::AcqRel);
+                let reply = session.request(Message::ExportChunkReq { index })?;
+                let chunk = match reply {
+                    Message::ExportChunk(c) => c,
+                    other => return Err(unexpected("ExportChunk", &other)),
+                };
+                if chunk.record_count > 0 {
+                    received
+                        .lock()
+                        .push((chunk.index, chunk.data.to_vec(), chunk.record_count));
+                }
+                if chunk.last {
+                    done.store(true, Ordering::Release);
+                    break;
+                }
+            }
+            session.logoff();
+            Ok(())
+        }));
+    }
+    for worker in workers {
+        worker
+            .join()
+            .map_err(|_| ClientError::Protocol("export session panicked".into()))??;
+    }
+    control.logoff();
+
+    let mut chunks = Arc::try_unwrap(received)
+        .map_err(|_| ClientError::Protocol("chunk buffer still shared".into()))?
+        .into_inner();
+    chunks.sort_by_key(|(i, _, _)| *i);
+    let rows: u64 = chunks.iter().map(|(_, _, n)| *n as u64).sum();
+    let mut data = Vec::with_capacity(chunks.iter().map(|(_, d, _)| d.len()).sum());
+    for (_, chunk, _) in chunks {
+        data.extend_from_slice(&chunk);
+    }
+    Ok(ExportResult {
+        data,
+        rows,
+        layout,
+        elapsed: started.elapsed(),
+    })
+}

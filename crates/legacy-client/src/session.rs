@@ -1,0 +1,119 @@
+//! A logged-on protocol session.
+
+use std::time::Duration;
+
+use etlv_protocol::message::{Logon, Message, SessionRole, SqlResult};
+use etlv_protocol::transport::Transport;
+
+use crate::connect::Connect;
+use crate::error::ClientError;
+
+/// A live session: transport plus session/sequence bookkeeping.
+pub struct Session {
+    transport: Box<dyn Transport>,
+    session_id: u32,
+    seq: u32,
+}
+
+impl Session {
+    /// Connect and log on.
+    pub fn logon(
+        connector: &dyn Connect,
+        user: &str,
+        password: &str,
+        role: SessionRole,
+        job_token: u64,
+    ) -> Result<Session, ClientError> {
+        let transport = connector.connect()?;
+        let mut session = Session {
+            transport,
+            session_id: 0,
+            seq: 0,
+        };
+        let reply = session.request(Message::Logon(Logon {
+            username: user.to_string(),
+            password: password.to_string(),
+            role,
+            job_token,
+        }))?;
+        match reply {
+            Message::LogonOk(ok) => {
+                session.session_id = ok.session;
+                Ok(session)
+            }
+            other => Err(unexpected("LogonOk", &other)),
+        }
+    }
+
+    /// Send a message and wait for the next reply.
+    pub fn request(&mut self, msg: Message) -> Result<Message, ClientError> {
+        self.send(msg)?;
+        self.recv()
+    }
+
+    /// Send without waiting.
+    pub fn send(&mut self, msg: Message) -> Result<(), ClientError> {
+        self.seq = self.seq.wrapping_add(1);
+        let frame = msg.into_frame(self.session_id, self.seq);
+        self.transport.send(&frame)?;
+        Ok(())
+    }
+
+    /// Receive the next message; server [`Message::Error`]s become
+    /// [`ClientError::Server`].
+    pub fn recv(&mut self) -> Result<Message, ClientError> {
+        match self.transport.recv()? {
+            Some(frame) => {
+                let msg = Message::from_frame(&frame)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                if let Message::Error(e) = &msg {
+                    return Err(ClientError::Server {
+                        code: e.code,
+                        message: e.message.clone(),
+                    });
+                }
+                Ok(msg)
+            }
+            None => Err(ClientError::Protocol("connection closed".into())),
+        }
+    }
+
+    /// Receive with a timeout; `None` on timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Message>, ClientError> {
+        match self.transport.recv_timeout(timeout)? {
+            Some(frame) => {
+                let msg = Message::from_frame(&frame)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                if let Message::Error(e) = &msg {
+                    return Err(ClientError::Server {
+                        code: e.code,
+                        message: e.message.clone(),
+                    });
+                }
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Run a SQL statement on this (control) session.
+    pub fn sql(&mut self, text: &str) -> Result<SqlResult, ClientError> {
+        match self.request(Message::Sql {
+            text: text.to_string(),
+        })? {
+            Message::SqlResult(r) => Ok(r),
+            other => Err(unexpected("SqlResult", &other)),
+        }
+    }
+
+    /// Log off cleanly (best-effort; consumes the session).
+    pub fn logoff(mut self) {
+        let _ = self.send(Message::Logoff);
+        let _ = self.transport.recv_timeout(Duration::from_millis(200));
+    }
+}
+
+/// Build the "expected X, got Y" protocol error.
+pub fn unexpected(expected: &str, got: &Message) -> ClientError {
+    ClientError::Protocol(format!("expected {expected}, got {:?}", got.kind()))
+}

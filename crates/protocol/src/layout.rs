@@ -1,0 +1,234 @@
+//! Record layouts: the `.layout` / `.field` declarations of an ETL script.
+//!
+//! A layout names the fields of the client-side input records and their
+//! legacy types. The same layout governs the wire encoding of data chunks
+//! and the binding of `:FIELD` placeholders in the job's DML statement.
+
+use bytes::{Buf, BufMut};
+
+use crate::data::LegacyType;
+use crate::frame::FrameError;
+
+/// One field of a record layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name, as referenced by `:NAME` placeholders.
+    pub name: String,
+    /// Declared legacy type.
+    pub ty: LegacyType,
+    /// Whether the field may be NULL (vartext empty fields, binary
+    /// indicator bits).
+    pub nullable: bool,
+}
+
+impl FieldDef {
+    /// Convenience constructor for a nullable field.
+    pub fn new(name: impl Into<String>, ty: LegacyType) -> FieldDef {
+        FieldDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// A named record layout: an ordered list of typed fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Layout {
+    /// Layout name (from `.layout NAME;`).
+    pub name: String,
+    /// Ordered field definitions.
+    pub fields: Vec<FieldDef>,
+}
+
+impl Layout {
+    /// Create an empty layout with a name.
+    pub fn new(name: impl Into<String>) -> Layout {
+        Layout {
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a nullable field (builder style).
+    pub fn field(mut self, name: impl Into<String>, ty: LegacyType) -> Layout {
+        self.fields.push(FieldDef::new(name, ty));
+        self
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the field named `name` (case-insensitive, as the legacy
+    /// scripting language was).
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of null-indicator bytes a binary record carries.
+    pub fn indicator_bytes(&self) -> usize {
+        self.fields.len().div_ceil(8)
+    }
+
+    /// Upper bound on the binary-encoded size of one record.
+    pub fn max_record_len(&self) -> usize {
+        2 + self.indicator_bytes()
+            + self
+                .fields
+                .iter()
+                .map(|f| f.ty.max_encoded_len())
+                .sum::<usize>()
+    }
+
+    /// Serialize the layout for transmission in a `BeginLoad` message.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u16_le(self.name.len() as u16);
+        buf.put_slice(self.name.as_bytes());
+        buf.put_u16_le(self.fields.len() as u16);
+        for f in &self.fields {
+            buf.put_u16_le(f.name.len() as u16);
+            buf.put_slice(f.name.as_bytes());
+            buf.put_u8(f.ty.tag());
+            let (p1, p2) = f.ty.params();
+            buf.put_u16_le(p1);
+            buf.put_u16_le(p2);
+            buf.put_u8(f.nullable as u8);
+        }
+    }
+
+    /// Deserialize a layout from a message payload.
+    pub fn decode(buf: &mut impl Buf) -> Result<Layout, FrameError> {
+        let name = read_string(buf)?;
+        if buf.remaining() < 2 {
+            return Err(FrameError::Truncated);
+        }
+        let nfields = buf.get_u16_le() as usize;
+        let mut fields = Vec::with_capacity(nfields);
+        for _ in 0..nfields {
+            let fname = read_string(buf)?;
+            if buf.remaining() < 1 + 2 + 2 + 1 {
+                return Err(FrameError::Truncated);
+            }
+            let tag = buf.get_u8();
+            let p1 = buf.get_u16_le();
+            let p2 = buf.get_u16_le();
+            let nullable = buf.get_u8() != 0;
+            let ty = LegacyType::from_tag(tag, p1, p2)
+                .ok_or(FrameError::Malformed("unknown type tag in layout"))?;
+            fields.push(FieldDef {
+                name: fname,
+                ty,
+                nullable,
+            });
+        }
+        Ok(Layout { name, fields })
+    }
+}
+
+/// Read a u16-length-prefixed UTF-8 string.
+pub(crate) fn read_string(buf: &mut impl Buf) -> Result<String, FrameError> {
+    if buf.remaining() < 2 {
+        return Err(FrameError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(FrameError::Truncated);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| FrameError::Malformed("invalid UTF-8 string"))
+}
+
+/// Write a u16-length-prefixed UTF-8 string.
+pub(crate) fn write_string(buf: &mut impl BufMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string too long for wire");
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a u32-length-prefixed UTF-8 string (for SQL payloads, which can
+/// exceed 64 KiB).
+pub(crate) fn read_lstring(buf: &mut impl Buf) -> Result<String, FrameError> {
+    if buf.remaining() < 4 {
+        return Err(FrameError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(FrameError::Truncated);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| FrameError::Malformed("invalid UTF-8 string"))
+}
+
+/// Write a u32-length-prefixed UTF-8 string.
+pub(crate) fn write_lstring(buf: &mut impl BufMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cust_layout() -> Layout {
+        Layout::new("CustLayout")
+            .field("CUST_ID", LegacyType::VarChar(5))
+            .field("CUST_NAME", LegacyType::VarChar(50))
+            .field("JOIN_DATE", LegacyType::VarChar(10))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let layout = cust_layout();
+        let mut buf = Vec::new();
+        layout.encode(&mut buf);
+        let decoded = Layout::decode(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, layout);
+    }
+
+    #[test]
+    fn field_index_is_case_insensitive() {
+        let layout = cust_layout();
+        assert_eq!(layout.field_index("cust_id"), Some(0));
+        assert_eq!(layout.field_index("JOIN_DATE"), Some(2));
+        assert_eq!(layout.field_index("missing"), None);
+    }
+
+    #[test]
+    fn indicator_bytes_rounding() {
+        let mut layout = Layout::new("L");
+        assert_eq!(layout.indicator_bytes(), 0);
+        for i in 0..8 {
+            layout.fields.push(FieldDef::new(format!("F{i}"), LegacyType::Integer));
+        }
+        assert_eq!(layout.indicator_bytes(), 1);
+        layout.fields.push(FieldDef::new("F8", LegacyType::Integer));
+        assert_eq!(layout.indicator_bytes(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let layout = cust_layout();
+        let mut buf = Vec::new();
+        layout.encode(&mut buf);
+        for cut in [0, 1, 5, buf.len() - 1] {
+            assert!(Layout::decode(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_type_tag() {
+        let layout = Layout::new("L").field("A", LegacyType::Integer);
+        let mut buf = Vec::new();
+        layout.encode(&mut buf);
+        // Corrupt the type tag (position: 2+1 name + 2 nfields + 2+1 fname).
+        let tag_pos = 2 + 1 + 2 + 2 + 1;
+        buf[tag_pos] = 0xFF;
+        assert!(Layout::decode(&mut buf.as_slice()).is_err());
+    }
+}

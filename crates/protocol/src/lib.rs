@@ -1,0 +1,46 @@
+//! # etlv-protocol
+//!
+//! The legacy Enterprise Data Warehouse (EDW) wire protocol and data model.
+//!
+//! This crate implements the client/server protocol that legacy ETL tools
+//! speak: message framing with CRC validation, typed control and data
+//! messages, the legacy *binary* record encoding (null-indicator bits,
+//! little-endian scalars, length-prefixed strings, packed dates), and the
+//! *vartext* delimited text record format used by `format vartext '|'`
+//! import jobs.
+//!
+//! Everything above this crate — the legacy client, the reference legacy
+//! server, and the virtualization gateway — exchanges bytes produced and
+//! consumed here. The virtualizer's core trick (per the EDBT 2023 paper) is
+//! that it speaks this protocol *exactly*, so unmodified legacy clients can
+//! be repointed at it.
+//!
+//! ## Layout
+//!
+//! - [`data`]: the legacy type system and value model ([`LegacyType`],
+//!   [`Value`], [`Date`], [`Decimal`]).
+//! - [`layout`]: record layouts (`.layout` / `.field` declarations).
+//! - [`frame`]: low-level message framing (magic, kind, session, seq, CRC).
+//! - [`message`]: typed protocol messages and their payload codecs.
+//! - [`record`]: the legacy binary record codec.
+//! - [`vartext`]: the delimited-text record codec.
+//! - [`errcode`]: the legacy error-code table (2666, 2794, 3103, 9057, ...).
+//! - [`transport`]: byte transports (TCP and in-memory duplex).
+
+pub mod crc;
+pub mod data;
+pub mod errcode;
+pub mod frame;
+pub mod layout;
+pub mod message;
+pub mod record;
+pub mod transport;
+pub mod vartext;
+
+pub use data::{Date, Decimal, LegacyType, Value};
+pub use errcode::ErrCode;
+pub use frame::{Frame, FrameDecoder, FrameError, MsgKind};
+pub use layout::{FieldDef, Layout};
+pub use message::Message;
+pub use record::{RecordDecoder, RecordEncoder};
+pub use transport::{duplex, MemTransport, Transport};

@@ -1,0 +1,865 @@
+//! Typed protocol messages and their payload codecs.
+//!
+//! A [`Message`] is the decoded form of a [`Frame`] payload. Control
+//! sessions exchange logon/SQL/job-control messages; data sessions exchange
+//! `DataChunk`/`Ack` (import) or `ExportChunkReq`/`ExportChunk` (export).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::data::{Date, Decimal, LegacyType, Timestamp, Value};
+use crate::frame::{Frame, FrameError, MsgKind};
+use crate::layout::{read_lstring, read_string, write_lstring, write_string, Layout};
+
+/// The role a session plays within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionRole {
+    /// Control session: SQL, job begin/end, reports.
+    Control,
+    /// Data session: bulk record transfer, attached to a job by token.
+    Data,
+}
+
+/// How records are encoded in data chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFormat {
+    /// Legacy binary records (see [`crate::record`]).
+    Binary,
+    /// Delimited text records (see [`crate::vartext`]).
+    Vartext {
+        /// Field delimiter byte.
+        delimiter: u8,
+        /// Quote byte for empty strings.
+        quote: u8,
+    },
+}
+
+impl RecordFormat {
+    fn encode(self, buf: &mut impl BufMut) {
+        match self {
+            RecordFormat::Binary => buf.put_u8(0),
+            RecordFormat::Vartext { delimiter, quote } => {
+                buf.put_u8(1);
+                buf.put_u8(delimiter);
+                buf.put_u8(quote);
+            }
+        }
+    }
+
+    fn decode(buf: &mut impl Buf) -> Result<RecordFormat, FrameError> {
+        if buf.remaining() < 1 {
+            return Err(FrameError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(RecordFormat::Binary),
+            1 => {
+                if buf.remaining() < 2 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(RecordFormat::Vartext {
+                    delimiter: buf.get_u8(),
+                    quote: buf.get_u8(),
+                })
+            }
+            _ => Err(FrameError::Malformed("unknown record format")),
+        }
+    }
+}
+
+/// Client logon request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Logon {
+    /// Account name.
+    pub username: String,
+    /// Password (the reference systems only check non-emptiness).
+    pub password: String,
+    /// Session role.
+    pub role: SessionRole,
+    /// For data sessions: the job token issued by `BeginLoadOk` /
+    /// `BeginExportOk`.
+    pub job_token: u64,
+}
+
+/// Server logon acknowledgment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogonOk {
+    /// Session id assigned by the server; all subsequent frames carry it.
+    pub session: u32,
+    /// Server identification banner (legacy clients logged this).
+    pub banner: String,
+}
+
+/// SQL response: an activity count plus an optional result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlResult {
+    /// Number of rows affected/returned.
+    pub activity_count: u64,
+    /// Result-set column names and types (empty for DML).
+    pub columns: Vec<(String, LegacyType)>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Begin an import (load) job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeginLoad {
+    /// Target table, e.g. `PROD.CUSTOMER`.
+    pub target_table: String,
+    /// Transformation-error table (`errortables` first name).
+    pub error_table_et: String,
+    /// Uniqueness-violation table (`errortables` second name).
+    pub error_table_uv: String,
+    /// Record layout for the data sessions.
+    pub layout: Layout,
+    /// Wire record format.
+    pub format: RecordFormat,
+    /// Number of parallel data sessions the client will open.
+    pub sessions: u16,
+    /// Abort the job if more than this many records error (0 = unlimited).
+    pub error_limit: u64,
+}
+
+/// A chunk of encoded records on a data session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataChunk {
+    /// Monotonic per-session chunk number (used in acks).
+    pub chunk_seq: u64,
+    /// Input-file row number (1-based) of the first record in this chunk.
+    /// Error tables report row numbers; stamping chunks at the client keeps
+    /// them exact even with parallel data sessions.
+    pub base_seq: u64,
+    /// Number of records in `data`.
+    pub record_count: u32,
+    /// Encoded records in the job's [`RecordFormat`].
+    pub data: Bytes,
+}
+
+/// End of acquisition: apply the DML transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndLoad {
+    /// The job's DML statement in legacy SQL, with `:FIELD` placeholders
+    /// bound to the layout.
+    pub dml: String,
+}
+
+/// Final load report returned to the client.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Records received from the client.
+    pub rows_received: u64,
+    /// Rows successfully applied to the target table.
+    pub rows_applied: u64,
+    /// Rows recorded in the transformation-error (ET) table.
+    pub errors_et: u64,
+    /// Rows recorded in the uniqueness-violation (UV) table.
+    pub errors_uv: u64,
+    /// Acquisition-phase wall time, microseconds.
+    pub acquisition_micros: u64,
+    /// Application-phase wall time, microseconds.
+    pub application_micros: u64,
+    /// Everything else (startup/teardown), microseconds.
+    pub other_micros: u64,
+}
+
+/// Begin an export job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeginExport {
+    /// The SELECT statement (legacy SQL) producing the data.
+    pub select: String,
+    /// Wire record format for the returned chunks.
+    pub format: RecordFormat,
+    /// Number of parallel data sessions the client will open.
+    pub sessions: u16,
+    /// Preferred records per chunk (0 = server default).
+    pub chunk_rows: u32,
+}
+
+/// Export acknowledgment: the token data sessions attach with, and the
+/// layout of the returned records (derived from the SELECT's result type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeginExportOk {
+    /// Token for data-session logons.
+    pub export_token: u64,
+    /// Layout describing the result columns.
+    pub layout: Layout,
+}
+
+/// One chunk of an export result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportChunk {
+    /// Chunk index (as requested).
+    pub index: u64,
+    /// Number of records in `data`.
+    pub record_count: u32,
+    /// Whether this index is at/after the end of the result.
+    pub last: bool,
+    /// Encoded records.
+    pub data: Bytes,
+}
+
+/// A session-level error report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Legacy error code.
+    pub code: u16,
+    /// Human-readable message.
+    pub message: String,
+    /// Whether the session/job cannot continue.
+    pub fatal: bool,
+}
+
+/// A decoded protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client logon request.
+    Logon(Logon),
+    /// Server logon acknowledgment.
+    LogonOk(LogonOk),
+    /// SQL request.
+    Sql {
+        /// Statement text (legacy dialect).
+        text: String,
+    },
+    /// SQL response.
+    SqlResult(SqlResult),
+    /// Begin an import job.
+    BeginLoad(BeginLoad),
+    /// Import-job acknowledgment.
+    BeginLoadOk {
+        /// Token for data-session logons.
+        load_token: u64,
+    },
+    /// Data chunk (import).
+    DataChunk(DataChunk),
+    /// Chunk acknowledgment.
+    Ack {
+        /// The acknowledged chunk's sequence number.
+        chunk_seq: u64,
+    },
+    /// End of acquisition; apply DML.
+    EndLoad(EndLoad),
+    /// Final load report.
+    LoadReport(LoadReport),
+    /// Begin an export job.
+    BeginExport(BeginExport),
+    /// Export-job acknowledgment.
+    BeginExportOk(BeginExportOk),
+    /// Request an export chunk by index.
+    ExportChunkReq {
+        /// Chunk index requested.
+        index: u64,
+    },
+    /// An export chunk.
+    ExportChunk(ExportChunk),
+    /// Error report.
+    Error(WireError),
+    /// Client logoff.
+    Logoff,
+    /// Server logoff acknowledgment.
+    LogoffOk,
+    /// Liveness probe.
+    Keepalive,
+}
+
+impl Message {
+    /// The frame kind this message travels as.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Message::Logon(_) => MsgKind::Logon,
+            Message::LogonOk(_) => MsgKind::LogonOk,
+            Message::Sql { .. } => MsgKind::Sql,
+            Message::SqlResult(_) => MsgKind::SqlResult,
+            Message::BeginLoad(_) => MsgKind::BeginLoad,
+            Message::BeginLoadOk { .. } => MsgKind::BeginLoadOk,
+            Message::DataChunk(_) => MsgKind::DataChunk,
+            Message::Ack { .. } => MsgKind::Ack,
+            Message::EndLoad(_) => MsgKind::EndLoad,
+            Message::LoadReport(_) => MsgKind::LoadReport,
+            Message::BeginExport(_) => MsgKind::BeginExport,
+            Message::BeginExportOk(_) => MsgKind::BeginExportOk,
+            Message::ExportChunkReq { .. } => MsgKind::ExportChunkReq,
+            Message::ExportChunk(_) => MsgKind::ExportChunk,
+            Message::Error(_) => MsgKind::Error,
+            Message::Logoff => MsgKind::Logoff,
+            Message::LogoffOk => MsgKind::LogoffOk,
+            Message::Keepalive => MsgKind::Keepalive,
+        }
+    }
+
+    /// Encode this message's payload and wrap it in a frame.
+    pub fn into_frame(self, session: u32, seq: u32) -> Frame {
+        let mut buf = BytesMut::new();
+        self.encode_payload(&mut buf);
+        Frame::new(self.kind(), session, seq, buf.freeze())
+    }
+
+    /// Encode just the payload bytes.
+    pub fn encode_payload(&self, buf: &mut BytesMut) {
+        match self {
+            Message::Logon(m) => {
+                write_string(buf, &m.username);
+                write_string(buf, &m.password);
+                buf.put_u8(matches!(m.role, SessionRole::Data) as u8);
+                buf.put_u64_le(m.job_token);
+            }
+            Message::LogonOk(m) => {
+                buf.put_u32_le(m.session);
+                write_string(buf, &m.banner);
+            }
+            Message::Sql { text } => write_lstring(buf, text),
+            Message::SqlResult(m) => {
+                buf.put_u64_le(m.activity_count);
+                buf.put_u16_le(m.columns.len() as u16);
+                for (name, ty) in &m.columns {
+                    write_string(buf, name);
+                    buf.put_u8(ty.tag());
+                    let (p1, p2) = ty.params();
+                    buf.put_u16_le(p1);
+                    buf.put_u16_le(p2);
+                }
+                buf.put_u32_le(m.rows.len() as u32);
+                for row in &m.rows {
+                    for v in row {
+                        encode_value(v, buf);
+                    }
+                }
+            }
+            Message::BeginLoad(m) => {
+                write_string(buf, &m.target_table);
+                write_string(buf, &m.error_table_et);
+                write_string(buf, &m.error_table_uv);
+                m.layout.encode(buf);
+                m.format.encode(buf);
+                buf.put_u16_le(m.sessions);
+                buf.put_u64_le(m.error_limit);
+            }
+            Message::BeginLoadOk { load_token } => buf.put_u64_le(*load_token),
+            Message::DataChunk(m) => {
+                buf.put_u64_le(m.chunk_seq);
+                buf.put_u64_le(m.base_seq);
+                buf.put_u32_le(m.record_count);
+                buf.put_u32_le(m.data.len() as u32);
+                buf.put_slice(&m.data);
+            }
+            Message::Ack { chunk_seq } => buf.put_u64_le(*chunk_seq),
+            Message::EndLoad(m) => write_lstring(buf, &m.dml),
+            Message::LoadReport(m) => {
+                buf.put_u64_le(m.rows_received);
+                buf.put_u64_le(m.rows_applied);
+                buf.put_u64_le(m.errors_et);
+                buf.put_u64_le(m.errors_uv);
+                buf.put_u64_le(m.acquisition_micros);
+                buf.put_u64_le(m.application_micros);
+                buf.put_u64_le(m.other_micros);
+            }
+            Message::BeginExport(m) => {
+                write_lstring(buf, &m.select);
+                m.format.encode(buf);
+                buf.put_u16_le(m.sessions);
+                buf.put_u32_le(m.chunk_rows);
+            }
+            Message::BeginExportOk(m) => {
+                buf.put_u64_le(m.export_token);
+                m.layout.encode(buf);
+            }
+            Message::ExportChunkReq { index } => buf.put_u64_le(*index),
+            Message::ExportChunk(m) => {
+                buf.put_u64_le(m.index);
+                buf.put_u32_le(m.record_count);
+                buf.put_u8(m.last as u8);
+                buf.put_u32_le(m.data.len() as u32);
+                buf.put_slice(&m.data);
+            }
+            Message::Error(m) => {
+                buf.put_u16_le(m.code);
+                buf.put_u8(m.fatal as u8);
+                write_lstring(buf, &m.message);
+            }
+            Message::Logoff | Message::LogoffOk | Message::Keepalive => {}
+        }
+    }
+
+    /// Decode a message from a frame.
+    pub fn from_frame(frame: &Frame) -> Result<Message, FrameError> {
+        let buf = &mut frame.payload.clone();
+        Ok(match frame.kind {
+            MsgKind::Logon => {
+                let username = read_string(buf)?;
+                let password = read_string(buf)?;
+                if buf.remaining() < 9 {
+                    return Err(FrameError::Truncated);
+                }
+                let role = if buf.get_u8() != 0 {
+                    SessionRole::Data
+                } else {
+                    SessionRole::Control
+                };
+                let job_token = buf.get_u64_le();
+                Message::Logon(Logon {
+                    username,
+                    password,
+                    role,
+                    job_token,
+                })
+            }
+            MsgKind::LogonOk => {
+                if buf.remaining() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let session = buf.get_u32_le();
+                let banner = read_string(buf)?;
+                Message::LogonOk(LogonOk { session, banner })
+            }
+            MsgKind::Sql => Message::Sql {
+                text: read_lstring(buf)?,
+            },
+            MsgKind::SqlResult => {
+                if buf.remaining() < 10 {
+                    return Err(FrameError::Truncated);
+                }
+                let activity_count = buf.get_u64_le();
+                let ncols = buf.get_u16_le() as usize;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let name = read_string(buf)?;
+                    if buf.remaining() < 5 {
+                        return Err(FrameError::Truncated);
+                    }
+                    let tag = buf.get_u8();
+                    let p1 = buf.get_u16_le();
+                    let p2 = buf.get_u16_le();
+                    let ty = LegacyType::from_tag(tag, p1, p2)
+                        .ok_or(FrameError::Malformed("unknown column type"))?;
+                    columns.push((name, ty));
+                }
+                if buf.remaining() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let nrows = buf.get_u32_le() as usize;
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(ncols);
+                    for _ in 0..ncols {
+                        row.push(decode_value(buf)?);
+                    }
+                    rows.push(row);
+                }
+                Message::SqlResult(SqlResult {
+                    activity_count,
+                    columns,
+                    rows,
+                })
+            }
+            MsgKind::BeginLoad => {
+                let target_table = read_string(buf)?;
+                let error_table_et = read_string(buf)?;
+                let error_table_uv = read_string(buf)?;
+                let layout = Layout::decode(buf)?;
+                let format = RecordFormat::decode(buf)?;
+                if buf.remaining() < 10 {
+                    return Err(FrameError::Truncated);
+                }
+                let sessions = buf.get_u16_le();
+                let error_limit = buf.get_u64_le();
+                Message::BeginLoad(BeginLoad {
+                    target_table,
+                    error_table_et,
+                    error_table_uv,
+                    layout,
+                    format,
+                    sessions,
+                    error_limit,
+                })
+            }
+            MsgKind::BeginLoadOk => {
+                if buf.remaining() < 8 {
+                    return Err(FrameError::Truncated);
+                }
+                Message::BeginLoadOk {
+                    load_token: buf.get_u64_le(),
+                }
+            }
+            MsgKind::DataChunk => {
+                if buf.remaining() < 24 {
+                    return Err(FrameError::Truncated);
+                }
+                let chunk_seq = buf.get_u64_le();
+                let base_seq = buf.get_u64_le();
+                let record_count = buf.get_u32_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(FrameError::Truncated);
+                }
+                let data = buf.copy_to_bytes(len);
+                Message::DataChunk(DataChunk {
+                    chunk_seq,
+                    base_seq,
+                    record_count,
+                    data,
+                })
+            }
+            MsgKind::Ack => {
+                if buf.remaining() < 8 {
+                    return Err(FrameError::Truncated);
+                }
+                Message::Ack {
+                    chunk_seq: buf.get_u64_le(),
+                }
+            }
+            MsgKind::EndLoad => Message::EndLoad(EndLoad {
+                dml: read_lstring(buf)?,
+            }),
+            MsgKind::LoadReport => {
+                if buf.remaining() < 56 {
+                    return Err(FrameError::Truncated);
+                }
+                Message::LoadReport(LoadReport {
+                    rows_received: buf.get_u64_le(),
+                    rows_applied: buf.get_u64_le(),
+                    errors_et: buf.get_u64_le(),
+                    errors_uv: buf.get_u64_le(),
+                    acquisition_micros: buf.get_u64_le(),
+                    application_micros: buf.get_u64_le(),
+                    other_micros: buf.get_u64_le(),
+                })
+            }
+            MsgKind::BeginExport => {
+                let select = read_lstring(buf)?;
+                let format = RecordFormat::decode(buf)?;
+                if buf.remaining() < 6 {
+                    return Err(FrameError::Truncated);
+                }
+                let sessions = buf.get_u16_le();
+                let chunk_rows = buf.get_u32_le();
+                Message::BeginExport(BeginExport {
+                    select,
+                    format,
+                    sessions,
+                    chunk_rows,
+                })
+            }
+            MsgKind::BeginExportOk => {
+                if buf.remaining() < 8 {
+                    return Err(FrameError::Truncated);
+                }
+                let export_token = buf.get_u64_le();
+                let layout = Layout::decode(buf)?;
+                Message::BeginExportOk(BeginExportOk {
+                    export_token,
+                    layout,
+                })
+            }
+            MsgKind::ExportChunkReq => {
+                if buf.remaining() < 8 {
+                    return Err(FrameError::Truncated);
+                }
+                Message::ExportChunkReq {
+                    index: buf.get_u64_le(),
+                }
+            }
+            MsgKind::ExportChunk => {
+                if buf.remaining() < 17 {
+                    return Err(FrameError::Truncated);
+                }
+                let index = buf.get_u64_le();
+                let record_count = buf.get_u32_le();
+                let last = buf.get_u8() != 0;
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(FrameError::Truncated);
+                }
+                let data = buf.copy_to_bytes(len);
+                Message::ExportChunk(ExportChunk {
+                    index,
+                    record_count,
+                    last,
+                    data,
+                })
+            }
+            MsgKind::Error => {
+                if buf.remaining() < 3 {
+                    return Err(FrameError::Truncated);
+                }
+                let code = buf.get_u16_le();
+                let fatal = buf.get_u8() != 0;
+                let message = read_lstring(buf)?;
+                Message::Error(WireError {
+                    code,
+                    message,
+                    fatal,
+                })
+            }
+            MsgKind::Logoff => Message::Logoff,
+            MsgKind::LogoffOk => Message::LogoffOk,
+            MsgKind::Keepalive => Message::Keepalive,
+        })
+    }
+}
+
+/// Tagged wire encoding of a [`Value`] (used in SQL result sets, where the
+/// layout is carried by the column list rather than a fixed record layout).
+fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(x) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*x);
+        }
+        Value::Float(x) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*x);
+        }
+        Value::Decimal(d) => {
+            buf.put_u8(3);
+            buf.put_i128_le(d.unscaled());
+            buf.put_u8(d.scale());
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            write_lstring(buf, s);
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(5);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::Date(d) => {
+            buf.put_u8(6);
+            buf.put_i32_le(d.to_legacy_int());
+        }
+        Value::Timestamp(ts) => {
+            buf.put_u8(7);
+            buf.put_i64_le(ts.micros());
+        }
+    }
+}
+
+fn decode_value(buf: &mut Bytes) -> Result<Value, FrameError> {
+    if buf.remaining() < 1 {
+        return Err(FrameError::Truncated);
+    }
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(FrameError::Truncated);
+            }
+        };
+    }
+    Ok(match buf.get_u8() {
+        0 => Value::Null,
+        1 => {
+            need!(8);
+            Value::Int(buf.get_i64_le())
+        }
+        2 => {
+            need!(8);
+            Value::Float(buf.get_f64_le())
+        }
+        3 => {
+            need!(17);
+            let unscaled = buf.get_i128_le();
+            let scale = buf.get_u8();
+            Value::Decimal(Decimal::new(unscaled, scale))
+        }
+        4 => Value::Str(read_lstring(buf)?),
+        5 => {
+            need!(4);
+            let len = buf.get_u32_le() as usize;
+            need!(len);
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            Value::Bytes(bytes)
+        }
+        6 => {
+            need!(4);
+            Value::Date(
+                Date::from_legacy_int(buf.get_i32_le())
+                    .map_err(|_| FrameError::Malformed("bad date value"))?,
+            )
+        }
+        7 => {
+            need!(8);
+            Value::Timestamp(Timestamp::from_micros(buf.get_i64_le()))
+        }
+        _ => return Err(FrameError::Malformed("unknown value tag")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::LegacyType as T;
+    use crate::frame::FrameDecoder;
+
+    fn roundtrip(msg: Message) -> Message {
+        let frame = msg.into_frame(3, 9);
+        let bytes = frame.to_bytes();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame2 = dec.next_frame().unwrap().unwrap();
+        assert_eq!(frame2.session, 3);
+        assert_eq!(frame2.seq, 9);
+        Message::from_frame(&frame2).unwrap()
+    }
+
+    #[test]
+    fn logon_roundtrip() {
+        let msg = Message::Logon(Logon {
+            username: "user".into(),
+            password: "pass".into(),
+            role: SessionRole::Data,
+            job_token: 0xDEAD_BEEF,
+        });
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn sql_and_result_roundtrip() {
+        let msg = Message::Sql {
+            text: "SELECT 1".into(),
+        };
+        assert_eq!(roundtrip(msg.clone()), msg);
+
+        let msg = Message::SqlResult(SqlResult {
+            activity_count: 2,
+            columns: vec![
+                ("ID".into(), T::Integer),
+                ("NAME".into(), T::VarChar(20)),
+                ("D".into(), T::Date),
+            ],
+            rows: vec![
+                vec![
+                    Value::Int(1),
+                    Value::Str("x".into()),
+                    Value::Date(Date::new(2020, 5, 17).unwrap()),
+                ],
+                vec![Value::Null, Value::Null, Value::Null],
+            ],
+        });
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn begin_load_roundtrip() {
+        let msg = Message::BeginLoad(BeginLoad {
+            target_table: "PROD.CUSTOMER".into(),
+            error_table_et: "PROD.CUSTOMER_ET".into(),
+            error_table_uv: "PROD.CUSTOMER_UV".into(),
+            layout: Layout::new("CustLayout")
+                .field("CUST_ID", T::VarChar(5))
+                .field("CUST_NAME", T::VarChar(50))
+                .field("JOIN_DATE", T::VarChar(10)),
+            format: RecordFormat::Vartext {
+                delimiter: b'|',
+                quote: b'"',
+            },
+            sessions: 4,
+            error_limit: 0,
+        });
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn data_chunk_roundtrip() {
+        let msg = Message::DataChunk(DataChunk {
+            chunk_seq: 17,
+            base_seq: 101,
+            record_count: 3,
+            data: Bytes::from_static(b"a|b\nc|d\ne|f"),
+        });
+        assert_eq!(roundtrip(msg.clone()), msg);
+        let msg = Message::Ack { chunk_seq: 17 };
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn load_lifecycle_roundtrip() {
+        for msg in [
+            Message::BeginLoadOk { load_token: 99 },
+            Message::EndLoad(EndLoad {
+                dml: "insert into t values (:A)".into(),
+            }),
+            Message::LoadReport(LoadReport {
+                rows_received: 100,
+                rows_applied: 95,
+                errors_et: 3,
+                errors_uv: 2,
+                acquisition_micros: 1000,
+                application_micros: 2000,
+                other_micros: 30,
+            }),
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn export_roundtrip() {
+        for msg in [
+            Message::BeginExport(BeginExport {
+                select: "SELECT * FROM T".into(),
+                format: RecordFormat::Binary,
+                sessions: 2,
+                chunk_rows: 1000,
+            }),
+            Message::BeginExportOk(BeginExportOk {
+                export_token: 5,
+                layout: Layout::new("out").field("A", T::Integer),
+            }),
+            Message::ExportChunkReq { index: 3 },
+            Message::ExportChunk(ExportChunk {
+                index: 3,
+                record_count: 2,
+                last: false,
+                data: Bytes::from_static(&[1, 2, 3]),
+            }),
+            Message::ExportChunk(ExportChunk {
+                index: 9,
+                record_count: 0,
+                last: true,
+                data: Bytes::new(),
+            }),
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn error_and_plain_roundtrip() {
+        for msg in [
+            Message::Error(WireError {
+                code: 2666,
+                message: "invalid date".into(),
+                fatal: false,
+            }),
+            Message::Logoff,
+            Message::LogoffOk,
+            Message::Keepalive,
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let msg = Message::BeginLoadOk { load_token: 1 };
+        let mut frame = msg.into_frame(0, 0);
+        frame.payload = frame.payload.slice(0..4);
+        assert!(Message::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn value_tag_rejects_unknown() {
+        // A SqlResult row with a bogus value tag.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(0); // activity
+        buf.put_u16_le(1); // 1 col
+        write_string(&mut buf, "C");
+        buf.put_u8(T::Integer.tag());
+        buf.put_u16_le(0);
+        buf.put_u16_le(0);
+        buf.put_u32_le(1); // 1 row
+        buf.put_u8(0xEE); // bad value tag
+        let frame = Frame::new(MsgKind::SqlResult, 0, 0, buf.freeze());
+        assert!(Message::from_frame(&frame).is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! Job-plan compilation: validate a parsed [`Script`] and produce the
+//! executable plan the legacy client drives.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use etlv_protocol::layout::Layout;
+use etlv_protocol::message::RecordFormat;
+use etlv_sql::{parse_statement, Dialect};
+
+use crate::parse::{Command, Script, ScriptFormat};
+
+/// Logon parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Logon {
+    /// Server host (interpretation is up to the transport).
+    pub host: String,
+    /// Account name.
+    pub user: String,
+    /// Password.
+    pub password: String,
+}
+
+/// A compiled import job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportJob {
+    /// Logon parameters.
+    pub logon: Logon,
+    /// Number of parallel data sessions.
+    pub sessions: u16,
+    /// Target table.
+    pub target: String,
+    /// Transformation-error table.
+    pub error_table_et: String,
+    /// Uniqueness-violation table.
+    pub error_table_uv: String,
+    /// Record error limit (0 = unlimited).
+    pub errlimit: u64,
+    /// Input file path.
+    pub infile: String,
+    /// Record layout.
+    pub layout: Layout,
+    /// Wire record format.
+    pub format: RecordFormat,
+    /// The legacy DML statement to apply (normalized quoting).
+    pub dml: String,
+}
+
+/// A compiled export job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportJob {
+    /// Logon parameters.
+    pub logon: Logon,
+    /// Number of parallel data sessions.
+    pub sessions: u16,
+    /// Output file path.
+    pub outfile: String,
+    /// Wire record format.
+    pub format: RecordFormat,
+    /// The legacy SELECT statement (normalized quoting).
+    pub select: String,
+}
+
+/// A compiled job plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPlan {
+    /// Data import (load) job.
+    Import(ImportJob),
+    /// Data export job.
+    Export(ExportJob),
+}
+
+/// Plan compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn err(message: impl Into<String>) -> PlanError {
+    PlanError {
+        message: message.into(),
+    }
+}
+
+/// Normalize the legacy backquote string form (`` `x' ``) to standard
+/// quoting so the SQL parser accepts the statement.
+pub fn normalize_quotes(sql: &str) -> String {
+    sql.replace('`', "'")
+}
+
+fn to_record_format(f: ScriptFormat) -> RecordFormat {
+    match f {
+        ScriptFormat::Vartext { delimiter } => RecordFormat::Vartext {
+            delimiter,
+            quote: b'"',
+        },
+        ScriptFormat::Binary => RecordFormat::Binary,
+    }
+}
+
+/// Compile a parsed script into a job plan, validating:
+///
+/// - exactly one `.logon` and one job block,
+/// - referenced layouts and DML labels exist,
+/// - every `:PLACEHOLDER` in the DML names a layout field,
+/// - the DML parses in the legacy SQL dialect.
+pub fn compile(script: &Script) -> Result<JobPlan, PlanError> {
+    let mut logon: Option<Logon> = None;
+    let mut sessions: u16 = 1;
+    let mut layouts: HashMap<String, Layout> = HashMap::new();
+    let mut open_layout: Option<String> = None;
+    let mut dml_labels: HashMap<String, String> = HashMap::new();
+    let mut begin_import: Option<(String, String, String, u64)> = None;
+    let mut begin_export_sessions: Option<Option<u16>> = None;
+    let mut import_cmd: Option<(String, ScriptFormat, String, String)> = None;
+    let mut export_cmd: Option<(String, ScriptFormat, String)> = None;
+    let mut ended_load = false;
+    let mut ended_export = false;
+
+    for cmd in &script.commands {
+        match cmd {
+            Command::Logon {
+                host,
+                user,
+                password,
+            } => {
+                if logon.is_some() {
+                    return Err(err("duplicate .logon"));
+                }
+                logon = Some(Logon {
+                    host: host.clone(),
+                    user: user.clone(),
+                    password: password.clone(),
+                });
+            }
+            Command::Sessions(n) => {
+                if *n == 0 {
+                    return Err(err(".sessions must be at least 1"));
+                }
+                sessions = *n;
+            }
+            Command::Layout(name) => {
+                let key = name.to_ascii_uppercase();
+                if layouts.contains_key(&key) {
+                    return Err(err(format!("duplicate layout {name}")));
+                }
+                layouts.insert(key.clone(), Layout::new(name.clone()));
+                open_layout = Some(key);
+            }
+            Command::Field { name, ty } => {
+                let Some(current) = &open_layout else {
+                    return Err(err(format!(".field {name} outside a .layout")));
+                };
+                let layout = layouts.get_mut(current).expect("open layout exists");
+                if layout.field_index(name).is_some() {
+                    return Err(err(format!(
+                        "duplicate field {name} in layout {}",
+                        layout.name
+                    )));
+                }
+                layout.fields.push(etlv_protocol::layout::FieldDef::new(
+                    name.clone(),
+                    *ty,
+                ));
+            }
+            Command::BeginImport {
+                target,
+                error_table_et,
+                error_table_uv,
+                errlimit,
+            } => {
+                if begin_import.is_some() || begin_export_sessions.is_some() {
+                    return Err(err("duplicate .begin"));
+                }
+                begin_import = Some((
+                    target.clone(),
+                    error_table_et.clone(),
+                    error_table_uv.clone(),
+                    *errlimit,
+                ));
+            }
+            Command::BeginExport { sessions: s } => {
+                if begin_import.is_some() || begin_export_sessions.is_some() {
+                    return Err(err("duplicate .begin"));
+                }
+                begin_export_sessions = Some(*s);
+            }
+            Command::DmlLabel { name, sql } => {
+                let key = name.to_ascii_uppercase();
+                if dml_labels.contains_key(&key) {
+                    return Err(err(format!("duplicate DML label {name}")));
+                }
+                dml_labels.insert(key, normalize_quotes(sql));
+            }
+            Command::Import {
+                infile,
+                format,
+                layout,
+                apply,
+            } => {
+                if import_cmd.is_some() {
+                    return Err(err("duplicate .import"));
+                }
+                import_cmd = Some((infile.clone(), *format, layout.clone(), apply.clone()));
+            }
+            Command::Export {
+                outfile,
+                format,
+                select,
+            } => {
+                if export_cmd.is_some() {
+                    return Err(err("duplicate .export"));
+                }
+                export_cmd = Some((outfile.clone(), *format, normalize_quotes(select)));
+            }
+            Command::EndLoad => ended_load = true,
+            Command::EndExport => ended_export = true,
+        }
+    }
+
+    let logon = logon.ok_or_else(|| err("missing .logon"))?;
+
+    if let Some((target, et, uv, errlimit)) = begin_import {
+        let (infile, format, layout_name, apply) =
+            import_cmd.ok_or_else(|| err("import job missing .import command"))?;
+        if !ended_load {
+            return Err(err("import job missing .end load"));
+        }
+        let layout = layouts
+            .get(&layout_name.to_ascii_uppercase())
+            .ok_or_else(|| err(format!("unknown layout {layout_name}")))?
+            .clone();
+        if layout.fields.is_empty() {
+            return Err(err(format!("layout {layout_name} has no fields")));
+        }
+        let dml = dml_labels
+            .get(&apply.to_ascii_uppercase())
+            .ok_or_else(|| err(format!("unknown DML label {apply}")))?
+            .clone();
+        // Validate the DML parses and its placeholders bind to the layout.
+        let stmt = parse_statement(&dml, Dialect::Legacy)
+            .map_err(|e| err(format!("DML does not parse: {e}")))?;
+        for ph in stmt.placeholders() {
+            if layout.field_index(&ph).is_none() {
+                return Err(err(format!(
+                    "placeholder :{ph} does not match any field of layout {layout_name}"
+                )));
+            }
+        }
+        // Vartext import requires an all-character layout (fields arrive as
+        // text; typing happens in the DML).
+        if matches!(format, ScriptFormat::Vartext { .. }) {
+            for f in &layout.fields {
+                if !f.ty.is_character() {
+                    return Err(err(format!(
+                        "vartext layout field {} must be a character type, got {}",
+                        f.name, f.ty
+                    )));
+                }
+            }
+        }
+        return Ok(JobPlan::Import(ImportJob {
+            logon,
+            sessions,
+            target,
+            error_table_et: et,
+            error_table_uv: uv,
+            errlimit,
+            infile,
+            layout,
+            format: to_record_format(format),
+            dml,
+        }));
+    }
+
+    if let Some(export_sessions) = begin_export_sessions {
+        let (outfile, format, select) =
+            export_cmd.ok_or_else(|| err("export job missing .export command"))?;
+        if !ended_export {
+            return Err(err("export job missing .end export"));
+        }
+        parse_statement(&select, Dialect::Legacy)
+            .map_err(|e| err(format!("export SELECT does not parse: {e}")))?;
+        return Ok(JobPlan::Export(ExportJob {
+            logon,
+            sessions: export_sessions.unwrap_or(sessions),
+            outfile,
+            format: to_record_format(format),
+            select,
+        }));
+    }
+
+    Err(err("script contains no .begin import/.begin export block"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_script;
+    use etlv_protocol::data::LegacyType;
+
+    const EXAMPLE_2_1: &str = r#"
+.logon host/user,pass;
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+    trim(:CUST_ID), trim(:CUST_NAME),
+    cast(:JOIN_DATE as DATE format `YYYY-MM-DD') );
+.import infile input.txt
+    format vartext `|' layout CustLayout
+    apply InsApply;
+.end load
+"#;
+
+    fn compile_src(src: &str) -> Result<JobPlan, PlanError> {
+        compile(&parse_script(src).unwrap())
+    }
+
+    #[test]
+    fn compiles_example_2_1() {
+        let JobPlan::Import(job) = compile_src(EXAMPLE_2_1).unwrap() else {
+            panic!()
+        };
+        assert_eq!(job.target, "PROD.CUSTOMER");
+        assert_eq!(job.layout.arity(), 3);
+        assert_eq!(job.layout.fields[2].ty, LegacyType::VarChar(10));
+        assert_eq!(job.sessions, 1);
+        // Backquotes normalized: the DML must parse in the legacy dialect.
+        assert!(job.dml.contains("'YYYY-MM-DD'"));
+        assert_eq!(
+            job.format,
+            RecordFormat::Vartext {
+                delimiter: b'|',
+                quote: b'"'
+            }
+        );
+    }
+
+    #[test]
+    fn export_plan() {
+        let src = r#"
+.logon h/u,p;
+.begin export sessions 3;
+.export outfile out.txt format vartext '|';
+select A from T;
+.end export;
+"#;
+        let JobPlan::Export(job) = compile_src(src).unwrap() else {
+            panic!()
+        };
+        assert_eq!(job.sessions, 3);
+        assert_eq!(job.outfile, "out.txt");
+    }
+
+    #[test]
+    fn unknown_placeholder_rejected() {
+        let src = r#"
+.logon h/u,p;
+.layout L;
+.field A varchar(5);
+.begin import tables T errortables ET UV;
+.dml label X;
+insert into T values (:A, :MISSING);
+.import infile f.txt format vartext '|' layout L apply X;
+.end load
+"#;
+        let e = compile_src(src).unwrap_err();
+        assert!(e.message.contains(":MISSING"), "{e}");
+    }
+
+    #[test]
+    fn unknown_layout_and_label_rejected() {
+        let src = r#"
+.logon h/u,p;
+.layout L;
+.field A varchar(5);
+.begin import tables T errortables ET UV;
+.dml label X;
+insert into T values (:A);
+.import infile f.txt format vartext '|' layout NOPE apply X;
+.end load
+"#;
+        assert!(compile_src(src).unwrap_err().message.contains("NOPE"));
+
+        let src2 = src.replace("layout NOPE", "layout L").replace("apply X", "apply Y");
+        assert!(compile_src(&src2).unwrap_err().message.contains('Y'));
+    }
+
+    #[test]
+    fn vartext_requires_character_fields() {
+        let src = r#"
+.logon h/u,p;
+.layout L;
+.field A integer;
+.begin import tables T errortables ET UV;
+.dml label X;
+insert into T values (:A);
+.import infile f.txt format vartext '|' layout L apply X;
+.end load
+"#;
+        let e = compile_src(src).unwrap_err();
+        assert!(e.message.contains("character type"), "{e}");
+        // ...but binary format accepts typed fields.
+        let src2 = src.replace("format vartext '|'", "format binary");
+        assert!(compile_src(&src2).is_ok());
+    }
+
+    #[test]
+    fn structural_validation() {
+        assert!(compile_src(".logon h/u,p;").unwrap_err().message.contains("no .begin"));
+        let no_end = r#"
+.logon h/u,p;
+.layout L;
+.field A varchar(5);
+.begin import tables T errortables ET UV;
+.dml label X;
+insert into T values (:A);
+.import infile f.txt format vartext '|' layout L apply X;
+"#;
+        assert!(compile_src(no_end).unwrap_err().message.contains(".end load"));
+    }
+
+    #[test]
+    fn field_outside_layout_rejected() {
+        let e = compile_src(".logon h/u,p; .field A varchar(5); .end load").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn bad_dml_sql_rejected() {
+        let src = r#"
+.logon h/u,p;
+.layout L;
+.field A varchar(5);
+.begin import tables T errortables ET UV;
+.dml label X;
+this is not sql at all;
+.import infile f.txt format vartext '|' layout L apply X;
+.end load
+"#;
+        assert!(compile_src(src).unwrap_err().message.contains("does not parse"));
+    }
+
+    #[test]
+    fn sessions_plumbed_through() {
+        let src = r#"
+.logon h/u,p;
+.sessions 6;
+.layout L;
+.field A varchar(5);
+.begin import tables T errortables ET UV errlimit 9;
+.dml label X;
+insert into T values (:A);
+.import infile f.txt format vartext '|' layout L apply X;
+.end load
+"#;
+        let JobPlan::Import(job) = compile_src(src).unwrap() else {
+            panic!()
+        };
+        assert_eq!(job.sessions, 6);
+        assert_eq!(job.errlimit, 9);
+    }
+}

@@ -1,0 +1,50 @@
+//! SQL dialects.
+
+use std::fmt;
+
+/// Which SQL dialect to parse or render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// The legacy EDW dialect embedded in ETL scripts.
+    Legacy,
+    /// The cloud data warehouse dialect.
+    Cdw,
+}
+
+impl Dialect {
+    /// Whether `:NAME` placeholders are legal (only in legacy DML, where
+    /// they bind to the job layout's fields).
+    pub fn allows_placeholders(self) -> bool {
+        matches!(self, Dialect::Legacy)
+    }
+
+    /// Whether `SEL` is accepted as a synonym for `SELECT`.
+    pub fn allows_sel_keyword(self) -> bool {
+        matches!(self, Dialect::Legacy)
+    }
+
+    /// Whether `CAST(x AS T FORMAT 'fmt')` is legal syntax.
+    pub fn allows_format_cast(self) -> bool {
+        matches!(self, Dialect::Legacy)
+    }
+
+    /// Whether `COPY INTO t FROM 'url'` is legal syntax.
+    pub fn allows_copy(self) -> bool {
+        matches!(self, Dialect::Cdw)
+    }
+
+    /// Whether a `LOCKING <table> FOR ACCESS` prefix is accepted (and
+    /// ignored) before a statement.
+    pub fn allows_locking_modifier(self) -> bool {
+        matches!(self, Dialect::Legacy)
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dialect::Legacy => f.write_str("legacy"),
+            Dialect::Cdw => f.write_str("cdw"),
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! SQL lexer shared by both dialects.
+//!
+//! Produces a flat token stream. Keywords are recognized case-insensitively
+//! and normalized to upper case; quoted identifiers (`"Mixed Case"`)
+//! preserve their spelling. String literals use single quotes with `''`
+//! escaping. Comments (`-- ...` and `/* ... */`) are skipped.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (upper-cased).
+    Word(String),
+    /// Quoted identifier, spelling preserved.
+    QuotedIdent(String),
+    /// Integer literal (lexical form preserved for range checking).
+    Integer(String),
+    /// Decimal/float literal (contains `.` or exponent).
+    Number(String),
+    /// String literal (unescaped content).
+    Str(String),
+    /// `:NAME` placeholder.
+    Placeholder(String),
+    /// Punctuation/operator.
+    Punct(Punct),
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `||`
+    Concat,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::Comma => ",",
+            Punct::Semicolon => ";",
+            Punct::Dot => ".",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Eq => "=",
+            Punct::NotEq => "<>",
+            Punct::Lt => "<",
+            Punct::LtEq => "<=",
+            Punct::Gt => ">",
+            Punct::GtEq => ">=",
+            Punct::Concat => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => f.write_str(w),
+            Token::QuotedIdent(w) => write!(f, "\"{w}\""),
+            Token::Integer(n) | Token::Number(n) => f.write_str(n),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Placeholder(p) => write!(f, ":{p}"),
+            Token::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Lexer error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Description of the failure.
+    pub reason: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.reason)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The SQL lexer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::new();
+        while let Some(tok) = lexer.next_token()? {
+            tokens.push(tok);
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn err(&self, reason: impl Into<String>) -> LexError {
+        LexError {
+            pos: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError {
+                                    pos: start,
+                                    reason: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_ws_and_comments()?;
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match b {
+            b'(' => self.punct(Punct::LParen),
+            b')' => self.punct(Punct::RParen),
+            b',' => self.punct(Punct::Comma),
+            b';' => self.punct(Punct::Semicolon),
+            b'+' => self.punct(Punct::Plus),
+            b'-' => self.punct(Punct::Minus),
+            b'*' => self.punct(Punct::Star),
+            b'/' => self.punct(Punct::Slash),
+            b'%' => self.punct(Punct::Percent),
+            b'=' => self.punct(Punct::Eq),
+            b'.' => {
+                if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    self.lex_number()?
+                } else {
+                    self.punct(Punct::Dot)
+                }
+            }
+            b'|' => {
+                if self.peek2() == Some(b'|') {
+                    self.pos += 2;
+                    Token::Punct(Punct::Concat)
+                } else {
+                    return Err(self.err("expected '||'"));
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Token::Punct(Punct::LtEq)
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Token::Punct(Punct::NotEq)
+                    }
+                    _ => Token::Punct(Punct::Lt),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Punct(Punct::GtEq)
+                } else {
+                    Token::Punct(Punct::Gt)
+                }
+            }
+            b'!' => {
+                if self.peek2() == Some(b'=') {
+                    self.pos += 2;
+                    Token::Punct(Punct::NotEq)
+                } else {
+                    return Err(self.err("expected '!='"));
+                }
+            }
+            b'\'' => self.lex_string()?,
+            b'"' => self.lex_quoted_ident()?,
+            b':' => self.lex_placeholder()?,
+            b'0'..=b'9' => self.lex_number()?,
+            b if b.is_ascii_alphabetic() || b == b'_' => self.lex_word(),
+            other => return Err(self.err(format!("unexpected character '{}'", other as char))),
+        };
+        Ok(Some(tok))
+    }
+
+    fn punct(&mut self, p: Punct) -> Token {
+        self.pos += 1;
+        Token::Punct(p)
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'$')
+        {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ASCII word")
+            .to_ascii_uppercase();
+        Token::Word(word)
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && self.peek2().is_none_or(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.src.get(lookahead), Some(b'+') | Some(b'-')) {
+                lookahead += 1;
+            }
+            if self.src.get(lookahead).is_some_and(|b| b.is_ascii_digit()) {
+                is_float = true;
+                self.pos = lookahead;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ASCII number")
+            .to_string();
+        Ok(if is_float {
+            Token::Number(text)
+        } else {
+            Token::Integer(text)
+        })
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        self.lex_delimited(b'\'', "unterminated string literal")
+            .map(Token::Str)
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<Token, LexError> {
+        self.lex_delimited(b'"', "unterminated quoted identifier")
+            .map(Token::QuotedIdent)
+    }
+
+    /// Lex a quote-delimited token with doubled-quote escaping, preserving
+    /// UTF-8 content.
+    fn lex_delimited(&mut self, quote: u8, err_msg: &str) -> Result<String, LexError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b) if b == quote => {
+                    if self.peek() == Some(quote) {
+                        bytes.push(quote);
+                        self.pos += 1;
+                    } else {
+                        return String::from_utf8(bytes).map_err(|_| LexError {
+                            pos: start,
+                            reason: "invalid UTF-8 in quoted token".into(),
+                        });
+                    }
+                }
+                Some(b) => bytes.push(b),
+                None => {
+                    return Err(LexError {
+                        pos: start,
+                        reason: err_msg.into(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_placeholder(&mut self) -> Result<Token, LexError> {
+        self.pos += 1; // ':'
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected placeholder name after ':'"));
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ASCII placeholder")
+            .to_ascii_uppercase();
+        Ok(Token::Placeholder(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::tokenize(s).unwrap()
+    }
+
+    #[test]
+    fn words_are_uppercased() {
+        assert_eq!(
+            lex("select Foo"),
+            vec![Token::Word("SELECT".into()), Token::Word("FOO".into())]
+        );
+    }
+
+    #[test]
+    fn quoted_idents_preserve_case() {
+        assert_eq!(lex("\"MiXeD\""), vec![Token::QuotedIdent("MiXeD".into())]);
+        assert_eq!(
+            lex("\"a\"\"b\""),
+            vec![Token::QuotedIdent("a\"b".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42"), vec![Token::Integer("42".into())]);
+        assert_eq!(lex("3.14"), vec![Token::Number("3.14".into())]);
+        assert_eq!(lex(".5"), vec![Token::Number(".5".into())]);
+        assert_eq!(lex("1e5"), vec![Token::Number("1e5".into())]);
+        assert_eq!(lex("2.5E-3"), vec![Token::Number("2.5E-3".into())]);
+        // A dot followed by a non-digit stays a separate token (so `a.1`
+        // style qualified names never swallow the dot).
+        assert_eq!(
+            lex("1.x"),
+            vec![
+                Token::Integer("1".into()),
+                Token::Punct(Punct::Dot),
+                Token::Word("X".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(lex("'abc'"), vec![Token::Str("abc".into())]);
+        assert_eq!(lex("'a''b'"), vec![Token::Str("a'b".into())]);
+        assert_eq!(lex("''"), vec![Token::Str(String::new())]);
+        assert!(Lexer::tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn placeholders() {
+        assert_eq!(
+            lex(":cust_id"),
+            vec![Token::Placeholder("CUST_ID".into())]
+        );
+        assert!(Lexer::tokenize(": x").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("a <> b <= c || d != e"),
+            vec![
+                Token::Word("A".into()),
+                Token::Punct(Punct::NotEq),
+                Token::Word("B".into()),
+                Token::Punct(Punct::LtEq),
+                Token::Word("C".into()),
+                Token::Punct(Punct::Concat),
+                Token::Word("D".into()),
+                Token::Punct(Punct::NotEq),
+                Token::Word("E".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            lex("a -- rest of line\n b /* block\nspanning */ c"),
+            vec![
+                Token::Word("A".into()),
+                Token::Word("B".into()),
+                Token::Word("C".into()),
+            ]
+        );
+        assert!(Lexer::tokenize("/* never ends").is_err());
+    }
+
+    #[test]
+    fn example_2_1_insert_lexes() {
+        let sql = "insert into PROD.CUSTOMER values ( trim(:CUST_ID), trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD') )";
+        let toks = lex(sql);
+        assert!(toks.contains(&Token::Placeholder("JOIN_DATE".into())));
+        assert!(toks.contains(&Token::Word("FORMAT".into())));
+        assert!(toks.contains(&Token::Str("YYYY-MM-DD".into())));
+    }
+}

@@ -1,0 +1,209 @@
+//! The SQL type system shared by both dialects, and the legacy→CDW type
+//! mapping the virtualizer applies when it creates staging tables.
+
+use std::fmt;
+
+use etlv_protocol::data::LegacyType;
+
+use crate::dialect::Dialect;
+
+/// Character-set attribute for string types (the legacy system
+/// distinguished Latin and Unicode character data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Charset {
+    /// Single-byte Latin data (legacy default).
+    Latin,
+    /// Unicode data; maps to a national varchar on the CDW.
+    Unicode,
+}
+
+/// A SQL data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// 1-byte integer (`BYTEINT`, legacy only).
+    ByteInt,
+    /// 2-byte integer.
+    SmallInt,
+    /// 4-byte integer.
+    Integer,
+    /// 8-byte integer.
+    BigInt,
+    /// 8-byte float.
+    Float,
+    /// Fixed-point decimal.
+    Decimal(u8, u8),
+    /// Fixed-width character.
+    Char(u16, Charset),
+    /// Variable-width character.
+    VarChar(u16, Charset),
+    /// National (Unicode) varchar — the CDW spelling of Unicode strings.
+    NVarChar(u16),
+    /// Calendar date.
+    Date,
+    /// Timestamp.
+    Timestamp,
+    /// Variable-length bytes.
+    VarByte(u16),
+}
+
+impl SqlType {
+    /// Map a legacy declared type to the CDW type used for staging/target
+    /// columns (the paper's §6: "a Unicode character type in the source
+    /// script could be mapped to the national varchar type in the CDW").
+    pub fn legacy_to_cdw(self) -> SqlType {
+        match self {
+            // The CDW has no 1-byte integer; widen.
+            SqlType::ByteInt => SqlType::SmallInt,
+            SqlType::Char(n, Charset::Unicode) => SqlType::NVarChar(n),
+            SqlType::VarChar(n, Charset::Unicode) => SqlType::NVarChar(n),
+            other => other,
+        }
+    }
+
+    /// Convert a wire-level [`LegacyType`] into the SQL type it declares.
+    pub fn from_legacy(ty: LegacyType) -> SqlType {
+        match ty {
+            LegacyType::ByteInt => SqlType::ByteInt,
+            LegacyType::SmallInt => SqlType::SmallInt,
+            LegacyType::Integer => SqlType::Integer,
+            LegacyType::BigInt => SqlType::BigInt,
+            LegacyType::Float => SqlType::Float,
+            LegacyType::Decimal(p, s) => SqlType::Decimal(p, s),
+            LegacyType::Char(n) => SqlType::Char(n, Charset::Latin),
+            LegacyType::VarChar(n) => SqlType::VarChar(n, Charset::Latin),
+            LegacyType::VarCharUnicode(n) => SqlType::VarChar(n, Charset::Unicode),
+            LegacyType::Date => SqlType::Date,
+            LegacyType::Timestamp => SqlType::Timestamp,
+            LegacyType::VarByte(n) => SqlType::VarByte(n),
+        }
+    }
+
+    /// Convert to the wire-level [`LegacyType`] used when returning result
+    /// sets to a legacy client.
+    pub fn to_legacy(self) -> LegacyType {
+        match self {
+            SqlType::ByteInt => LegacyType::ByteInt,
+            SqlType::SmallInt => LegacyType::SmallInt,
+            SqlType::Integer => LegacyType::Integer,
+            SqlType::BigInt => LegacyType::BigInt,
+            SqlType::Float => LegacyType::Float,
+            SqlType::Decimal(p, s) => LegacyType::Decimal(p, s),
+            SqlType::Char(n, Charset::Latin) => LegacyType::Char(n),
+            SqlType::Char(n, Charset::Unicode) => LegacyType::VarCharUnicode(n),
+            SqlType::VarChar(n, Charset::Latin) => LegacyType::VarChar(n),
+            SqlType::VarChar(n, Charset::Unicode) | SqlType::NVarChar(n) => {
+                LegacyType::VarCharUnicode(n)
+            }
+            SqlType::Date => LegacyType::Date,
+            SqlType::Timestamp => LegacyType::Timestamp,
+            SqlType::VarByte(n) => LegacyType::VarByte(n),
+        }
+    }
+
+    /// Render this type in the given dialect.
+    pub fn render(self, dialect: Dialect) -> String {
+        match (self, dialect) {
+            (SqlType::ByteInt, Dialect::Legacy) => "BYTEINT".into(),
+            // The CDW never prints BYTEINT — rendering a legacy tree in the
+            // CDW dialect implies the legacy→CDW mapping was applied; if it
+            // wasn't, print the mapped type anyway to stay executable.
+            (SqlType::ByteInt, Dialect::Cdw) => "SMALLINT".into(),
+            (SqlType::SmallInt, _) => "SMALLINT".into(),
+            (SqlType::Integer, _) => "INTEGER".into(),
+            (SqlType::BigInt, _) => "BIGINT".into(),
+            (SqlType::Float, _) => "FLOAT".into(),
+            (SqlType::Decimal(p, s), _) => format!("DECIMAL({p},{s})"),
+            (SqlType::Char(n, Charset::Latin), _) => format!("CHAR({n})"),
+            (SqlType::Char(n, Charset::Unicode), Dialect::Legacy) => {
+                format!("CHAR({n}) CHARACTER SET UNICODE")
+            }
+            (SqlType::Char(n, Charset::Unicode), Dialect::Cdw) => format!("NVARCHAR({n})"),
+            (SqlType::VarChar(n, Charset::Latin), _) => format!("VARCHAR({n})"),
+            (SqlType::VarChar(n, Charset::Unicode), Dialect::Legacy) => {
+                format!("VARCHAR({n}) CHARACTER SET UNICODE")
+            }
+            (SqlType::VarChar(n, Charset::Unicode), Dialect::Cdw) => format!("NVARCHAR({n})"),
+            (SqlType::NVarChar(n), Dialect::Cdw) => format!("NVARCHAR({n})"),
+            (SqlType::NVarChar(n), Dialect::Legacy) => {
+                format!("VARCHAR({n}) CHARACTER SET UNICODE")
+            }
+            (SqlType::Date, _) => "DATE".into(),
+            (SqlType::Timestamp, _) => "TIMESTAMP".into(),
+            (SqlType::VarByte(n), _) => format!("VARBYTE({n})"),
+        }
+    }
+
+    /// Whether values of this type are character data.
+    pub fn is_character(self) -> bool {
+        matches!(
+            self,
+            SqlType::Char(_, _) | SqlType::VarChar(_, _) | SqlType::NVarChar(_)
+        )
+    }
+
+    /// Whether values of this type are numeric.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            SqlType::ByteInt
+                | SqlType::SmallInt
+                | SqlType::Integer
+                | SqlType::BigInt
+                | SqlType::Float
+                | SqlType::Decimal(_, _)
+        )
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(Dialect::Legacy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_to_cdw_mapping() {
+        assert_eq!(SqlType::ByteInt.legacy_to_cdw(), SqlType::SmallInt);
+        assert_eq!(
+            SqlType::VarChar(50, Charset::Unicode).legacy_to_cdw(),
+            SqlType::NVarChar(50)
+        );
+        assert_eq!(
+            SqlType::VarChar(50, Charset::Latin).legacy_to_cdw(),
+            SqlType::VarChar(50, Charset::Latin)
+        );
+        assert_eq!(SqlType::Date.legacy_to_cdw(), SqlType::Date);
+    }
+
+    #[test]
+    fn wire_type_roundtrip() {
+        for ty in [
+            LegacyType::ByteInt,
+            LegacyType::Integer,
+            LegacyType::Decimal(12, 3),
+            LegacyType::VarChar(10),
+            LegacyType::VarCharUnicode(20),
+            LegacyType::Date,
+        ] {
+            assert_eq!(SqlType::from_legacy(ty).to_legacy(), ty);
+        }
+    }
+
+    #[test]
+    fn dialect_rendering() {
+        assert_eq!(
+            SqlType::VarChar(50, Charset::Unicode).render(Dialect::Legacy),
+            "VARCHAR(50) CHARACTER SET UNICODE"
+        );
+        assert_eq!(
+            SqlType::VarChar(50, Charset::Unicode).render(Dialect::Cdw),
+            "NVARCHAR(50)"
+        );
+        assert_eq!(SqlType::ByteInt.render(Dialect::Cdw), "SMALLINT");
+        assert_eq!(SqlType::Decimal(10, 2).render(Dialect::Cdw), "DECIMAL(10,2)");
+    }
+}

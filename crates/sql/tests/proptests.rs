@@ -1,0 +1,196 @@
+//! Property tests for the SQL front end: render→parse is the identity on
+//! generated expression trees and statements, in both dialects.
+
+use proptest::prelude::*;
+
+use etlv_protocol::data::{Date, Decimal};
+use etlv_sql::ast::*;
+use etlv_sql::render::render_stmt;
+use etlv_sql::types::{Charset, SqlType};
+use etlv_sql::{parse_statement, Dialect, Parser};
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,8}".prop_filter("not reserved", |s| {
+        !matches!(
+            s.as_str(),
+            "SELECT" | "SEL" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "NULL" | "IN"
+                | "IS" | "AS" | "BETWEEN" | "LIKE" | "CASE" | "WHEN" | "THEN" | "ELSE"
+                | "END" | "CAST" | "DATE" | "GROUP" | "HAVING" | "ORDER" | "BY" | "LIMIT"
+                | "MOD" | "JOIN" | "ON" | "INNER" | "LEFT" | "OUTER" | "DESC" | "ASC"
+                | "TOP" | "DISTINCT" | "VALUES" | "SET" | "INTEGER" | "INT" | "BIGINT"
+                | "SMALLINT" | "BYTEINT" | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL"
+                | "NUMERIC" | "CHAR" | "CHARACTER" | "VARCHAR" | "NVARCHAR" | "VARBYTE"
+                | "TIMESTAMP" | "UNION" | "INSERT" | "INS" | "UPDATE" | "UPD" | "DELETE"
+                | "DEL" | "INTO" | "CREATE" | "DROP" | "TABLE" | "COPY" | "LOCKING"
+                | "FOR" | "ACCESS" | "ALL" | "EXISTS" | "IF" | "PRIMARY" | "KEY"
+                | "UNIQUE" | "INDEX"
+        )
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<i32>().prop_map(|v| Literal::Integer(v as i64)),
+        (any::<i32>(), 1u8..5)
+            .prop_map(|(u, s)| Literal::Decimal(Decimal::new(u as i128, s))),
+        "[ -~]{0,20}".prop_map(Literal::Str),
+        (1i32..9999, 1u8..13, 1u8..29)
+            .prop_map(|(y, m, d)| Literal::Date(Date::new(y, m, d).unwrap())),
+    ]
+}
+
+fn type_strategy() -> impl Strategy<Value = SqlType> {
+    prop_oneof![
+        Just(SqlType::SmallInt),
+        Just(SqlType::Integer),
+        Just(SqlType::BigInt),
+        Just(SqlType::Float),
+        (1u8..38, 0u8..6).prop_map(|(p, s)| SqlType::Decimal(p.max(s), s)),
+        (1u16..100).prop_map(|n| SqlType::VarChar(n, Charset::Latin)),
+        (1u16..100).prop_map(|n| SqlType::VarChar(n, Charset::Unicode)),
+        Just(SqlType::Date),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::Literal),
+        ident_strategy().prop_map(|n| Expr::Column(ObjectName::simple(n))),
+        (ident_strategy(), ident_strategy())
+            .prop_map(|(a, b)| Expr::Column(ObjectName(vec![a, b]))),
+        ident_strategy().prop_map(Expr::Placeholder),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), binary_op_strategy()).prop_map(|(l, r, op)| {
+                Expr::Binary {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r),
+                }
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (inner.clone(), type_strategy()).prop_map(|(e, ty)| Expr::Cast {
+                expr: Box::new(e),
+                ty,
+                format: None,
+            }),
+            (inner.clone(), Just("YYYY-MM-DD".to_string())).prop_map(|(e, fmt)| Expr::Cast {
+                expr: Box::new(e),
+                ty: SqlType::Date,
+                format: Some(fmt),
+            }),
+            (ident_strategy(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Function {
+                    name,
+                    args,
+                    distinct: false,
+                }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(w, t, e)| Expr::Case {
+                operand: None,
+                branches: vec![(w, t)],
+                else_expr: Some(Box::new(e)),
+            }),
+        ]
+    })
+}
+
+fn binary_op_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+        Just(BinaryOp::Concat),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expr_render_parse_fixpoint(expr in expr_strategy()) {
+        // Wrap in SELECT to parse a full statement (legacy: placeholders ok).
+        let stmt = Stmt::Select(SelectStmt::new(vec![SelectItem::Expr {
+            expr,
+            alias: None,
+        }]));
+        let sql = render_stmt(&stmt, Dialect::Legacy);
+        let reparsed = parse_statement(&sql, Dialect::Legacy)
+            .unwrap_or_else(|e| panic!("`{sql}` failed: {e}"));
+        prop_assert_eq!(&reparsed, &stmt, "sql was `{}`", sql);
+        // Render must be a fixpoint.
+        prop_assert_eq!(render_stmt(&reparsed, Dialect::Legacy), sql);
+    }
+
+    #[test]
+    fn insert_values_roundtrip(
+        table in ident_strategy(),
+        exprs in proptest::collection::vec(expr_strategy(), 1..4),
+    ) {
+        let stmt = Stmt::Insert(Insert {
+            table: ObjectName::simple(table),
+            columns: None,
+            source: InsertSource::Values(vec![exprs]),
+        });
+        let sql = render_stmt(&stmt, Dialect::Legacy);
+        let reparsed = parse_statement(&sql, Dialect::Legacy)
+            .unwrap_or_else(|e| panic!("`{sql}` failed: {e}"));
+        prop_assert_eq!(reparsed, stmt);
+    }
+
+    #[test]
+    fn type_render_parses_back(ty in type_strategy()) {
+        for dialect in [Dialect::Legacy, Dialect::Cdw] {
+            let text = ty.render(dialect);
+            let mut parser = Parser::new(&text, dialect).unwrap();
+            let parsed = parser.parse_type().unwrap();
+            // Rendering in the CDW dialect applies the legacy->CDW mapping.
+            let expected = if dialect == Dialect::Cdw { ty.legacy_to_cdw() } else { ty };
+            prop_assert_eq!(parsed, expected, "text `{}`", text);
+        }
+    }
+
+    #[test]
+    fn string_literals_escape_correctly(s in "[ -~]{0,40}") {
+        let stmt = Stmt::Select(SelectStmt::new(vec![SelectItem::Expr {
+            expr: Expr::Literal(Literal::Str(s.clone())),
+            alias: None,
+        }]));
+        let sql = render_stmt(&stmt, Dialect::Cdw);
+        let Stmt::Select(sel) = parse_statement(&sql, Dialect::Cdw).unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr: Expr::Literal(Literal::Str(back)), .. } = &sel.projection[0] else {
+            panic!("got {:?}", sel.projection[0])
+        };
+        prop_assert_eq!(back, &s);
+    }
+}
