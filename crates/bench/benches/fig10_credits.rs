@@ -24,16 +24,18 @@ const CREDITS: [usize; 6] = [2, 8, 32, 128, 512, 1024];
 const ROWS: u64 = 30_000;
 
 fn config_for(credits: usize) -> VirtualizerConfig {
-    let mut config = VirtualizerConfig::default();
-    config.credits = credits;
-    config.converter_mode = ConverterMode::PerChunk;
-    config
+    VirtualizerConfig {
+        credits,
+        converter_mode: ConverterMode::PerChunk,
+        ..Default::default()
+    }
 }
 
 fn options() -> ClientOptions {
     ClientOptions {
         chunk_rows: 50, // many small chunks: the credit pool is the governor
         sessions: Some(8),
+        ..Default::default()
     }
 }
 

@@ -33,7 +33,6 @@ fn workload_for(error_rate: f64) -> etlv_core::workload::Workload {
         sessions: 2,
         unique_key: false, // isolate conversion errors, as in the figure
         seed: 31,
-        ..Default::default()
     })
 }
 
@@ -42,16 +41,18 @@ fn config_for(strategy: ApplyStrategy) -> VirtualizerConfig {
 }
 
 fn config_with_cap(strategy: ApplyStrategy, max_errors: u64) -> VirtualizerConfig {
-    let mut config = VirtualizerConfig::default();
-    config.apply_strategy = strategy;
-    config.max_errors = max_errors;
-    config
+    VirtualizerConfig {
+        apply_strategy: strategy,
+        max_errors,
+        ..Default::default()
+    }
 }
 
 fn options() -> ClientOptions {
     ClientOptions {
         chunk_rows: 500,
         sessions: Some(2),
+        ..Default::default()
     }
 }
 

@@ -25,6 +25,7 @@ fn options() -> ClientOptions {
     ClientOptions {
         chunk_rows: 2_000,
         sessions: Some(4),
+        ..Default::default()
     }
 }
 
@@ -55,7 +56,7 @@ fn print_figure() {
                 .1
             })
             .collect();
-        reports.sort_by(|a, b| a.total().cmp(&b.total()));
+        reports.sort_by_key(|r| r.total());
         let report = reports[1].clone();
         let acq = report.acquisition.as_secs_f64();
         let app = report.application.as_secs_f64();

@@ -32,6 +32,7 @@ fn options() -> ClientOptions {
     ClientOptions {
         chunk_rows: 1_000,
         sessions: Some(4),
+        ..Default::default()
     }
 }
 
@@ -55,7 +56,7 @@ fn print_figure() {
                 .1
             })
             .collect();
-        reports.sort_by(|a, b| a.total().cmp(&b.total()));
+        reports.sort_by_key(|r| r.total());
         let report = reports[1].clone();
         println!(
             "{:>8} {:>10} {:>12} {:>12} {:>10} {:>10.1}",

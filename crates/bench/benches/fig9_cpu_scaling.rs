@@ -22,22 +22,25 @@ const WORKERS: [usize; 5] = [2, 4, 8, 12, 16];
 const ROWS: u64 = 25_000;
 
 fn config_for(workers: usize) -> VirtualizerConfig {
-    let mut config = VirtualizerConfig::default();
-    config.converter_mode = ConverterMode::Pool(workers);
-    config.file_writers = (workers / 4).max(1);
-    config.credits = workers * 4;
-    // On hosts with fewer cores than the paper's 16-core testbed, model
-    // conversion as overlappable work (see VirtualizerConfig docs) so the
-    // sweep exercises the scaling behaviour rather than the host's core
-    // count. Set to ZERO on a >=16-core machine for CPU-bound numbers.
-    config.simulated_convert_cost_per_mb = Duration::from_millis(150);
-    config
+    VirtualizerConfig {
+        converter_mode: ConverterMode::Pool(workers),
+        file_writers: (workers / 4).max(1),
+        credits: workers * 4,
+        // On hosts with fewer cores than the paper's 16-core testbed, model
+        // conversion as overlappable work (see VirtualizerConfig docs) so
+        // the sweep exercises the scaling behaviour rather than the host's
+        // core count. Set to ZERO on a >=16-core machine for CPU-bound
+        // numbers.
+        simulated_convert_cost_per_mb: Duration::from_millis(150),
+        ..Default::default()
+    }
 }
 
 fn options() -> ClientOptions {
     ClientOptions {
         chunk_rows: 500,
         sessions: Some(8),
+        ..Default::default()
     }
 }
 

@@ -12,6 +12,11 @@ use crate::error::CdwError;
 use crate::exec::{execute, ExecCtx};
 pub use crate::exec::QueryResult;
 
+/// Fault-injection hook consulted before each statement. Returning `true`
+/// makes the statement fail with [`CdwError::Transient`] *before* any
+/// execution, so the failure is always side-effect free.
+pub type TransientFaultHook = Arc<dyn Fn() -> bool + Send + Sync>;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct CdwConfig {
@@ -47,6 +52,7 @@ struct Inner {
     catalog: Mutex<Catalog>,
     store: Option<Arc<dyn ObjectStore>>,
     config: CdwConfig,
+    transient_fault: Mutex<Option<TransientFaultHook>>,
 }
 
 impl Cdw {
@@ -62,6 +68,7 @@ impl Cdw {
                 catalog: Mutex::new(Catalog::new()),
                 store,
                 config,
+                transient_fault: Mutex::new(None),
             }),
         }
     }
@@ -82,8 +89,23 @@ impl Cdw {
         self.execute_stmt(stmt)
     }
 
+    /// Install (or clear) a transient-fault hook. Shared across all clones
+    /// of this warehouse handle; used by the virtualizer's deterministic
+    /// fault injection.
+    pub fn set_transient_fault(&self, hook: Option<TransientFaultHook>) {
+        *self.inner.transient_fault.lock() = hook;
+    }
+
     /// Execute one pre-parsed statement.
     pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
+        let hook = self.inner.transient_fault.lock().clone();
+        if let Some(hook) = hook {
+            if hook() {
+                return Err(CdwError::Transient(
+                    "injected transient warehouse failure".into(),
+                ));
+            }
+        }
         if !self.inner.config.statement_latency.is_zero() {
             std::thread::sleep(self.inner.config.statement_latency);
         }
@@ -160,6 +182,31 @@ mod tests {
         )
         .unwrap();
         cdw
+    }
+
+    #[test]
+    fn transient_fault_hook_fails_before_execution() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let cdw = setup();
+        let remaining = Arc::new(AtomicU32::new(2));
+        let hook_remaining = Arc::clone(&remaining);
+        cdw.set_transient_fault(Some(Arc::new(move || {
+            hook_remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        })));
+        let sql = "INSERT INTO PROD.CUSTOMER VALUES ('123', 'Smith', DATE '2012-01-01')";
+        // Two injected failures, each with no side effects, then success.
+        for _ in 0..2 {
+            let err = cdw.execute(sql).unwrap_err();
+            assert!(err.is_transient(), "{err}");
+            assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 0);
+        }
+        cdw.execute(sql).unwrap();
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 1);
+        // Clearing the hook stops injection.
+        cdw.set_transient_fault(None);
+        cdw.execute("SELECT CUST_ID FROM PROD.CUSTOMER").unwrap();
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub enum CdwError {
     Unsupported(String),
     /// Object-store failure during COPY.
     Store(String),
+    /// A transient infrastructure failure (network blip, warehouse
+    /// queue timeout). The statement had no effect; retrying it is safe
+    /// and expected. Raised by the engine's fault-injection hook.
+    Transient(String),
     /// Column count mismatch in INSERT.
     ColumnCount {
         /// Expected number of columns.
@@ -74,6 +78,7 @@ impl fmt::Display for CdwError {
             CdwError::Eval(m) => write!(f, "evaluation error: {m}"),
             CdwError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CdwError::Store(m) => write!(f, "store error: {m}"),
+            CdwError::Transient(m) => write!(f, "transient error: {m}"),
             CdwError::ColumnCount { expected, actual } => {
                 write!(f, "expected {expected} columns, got {actual}")
             }
@@ -106,5 +111,18 @@ impl CdwError {
     /// for adaptive error handling).
     pub fn is_bulk_abort(&self) -> bool {
         matches!(self, CdwError::BulkAbort { .. })
+    }
+
+    /// Whether this is a transient infrastructure failure that left no
+    /// state behind — the class a consumer may retry verbatim.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CdwError::Transient(_))
+    }
+
+    /// Whether retrying the statement unchanged can succeed: transient
+    /// failures plus object-store I/O errors (COPY reads everything
+    /// before mutating, so a failed COPY left the table untouched).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CdwError::Transient(_) | CdwError::Store(_))
     }
 }

@@ -538,7 +538,7 @@ fn resolve_from(ctx: &mut ExecCtx<'_>, from: &TableRef) -> Result<Relation, CdwE
                 }
                 if !matched && *kind == JoinKind::Left {
                     let mut combined = lrow.clone();
-                    combined.extend(std::iter::repeat(Value::Null).take(r.bindings.len()));
+                    combined.extend(std::iter::repeat_n(Value::Null, r.bindings.len()));
                     rows.push(combined);
                 }
             }
@@ -636,11 +636,14 @@ fn compile_range_filter(expr: &Expr, bindings: &[Binding]) -> Option<(usize, i64
     }
 }
 
+/// Projected result rows plus their output column names and types.
+type ProjectedRows = (Vec<Vec<Value>>, Vec<(String, SqlType)>);
+
 fn exec_plain(
     sel: &SelectStmt,
     bindings: &[Binding],
     rows: Vec<Vec<Value>>,
-) -> Result<(Vec<Vec<Value>>, Vec<(String, SqlType)>), CdwError> {
+) -> Result<ProjectedRows, CdwError> {
     let items = expand_projection(sel, bindings);
     let columns = projection_columns(&items, bindings)?;
 
@@ -837,7 +840,7 @@ fn exec_aggregate(
     sel: &SelectStmt,
     bindings: &[Binding],
     rows: Vec<Vec<Value>>,
-) -> Result<(Vec<Vec<Value>>, Vec<(String, SqlType)>), CdwError> {
+) -> Result<ProjectedRows, CdwError> {
     // Collect the distinct aggregate calls appearing anywhere.
     let mut agg_calls: Vec<Expr> = Vec::new();
     let mut collect = |e: &Expr| {

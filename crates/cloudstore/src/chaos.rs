@@ -1,0 +1,164 @@
+//! Fault-injecting object-store wrapper.
+//!
+//! [`ChaosStore`] decorates any [`ObjectStore`] with a hook consulted on
+//! every `put`/`get`. The hook decides whether the operation proceeds,
+//! fails outright, or — for `put` — tears mid-write, leaving a truncated
+//! object behind exactly as an interrupted multipart upload would. The
+//! decision logic (seeding, rates, budgets) lives with the caller; this
+//! wrapper only applies verdicts, so the same store wiring serves unit
+//! tests, the virtualizer's chaos suite, and manual experiments.
+
+use std::sync::Arc;
+
+use crate::store::{ObjectStore, StoreError};
+
+/// Which store operation a fault verdict is being requested for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// An object write.
+    Put,
+    /// An object read.
+    Get,
+}
+
+/// The verdict for one store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Perform the operation normally.
+    None,
+    /// Fail with an I/O error; the backing store is untouched.
+    Error,
+    /// `put` only: write the first half of the data, then fail — a torn
+    /// upload. A later successful retry overwrites the partial object.
+    /// Treated as [`StoreFault::Error`] for `get`.
+    PartialWrite,
+}
+
+/// Per-operation fault decision hook.
+pub type StoreFaultHook = Arc<dyn Fn(StoreOp) -> StoreFault + Send + Sync>;
+
+/// An [`ObjectStore`] decorator that injects faults on `put`/`get`.
+/// `list`/`delete` pass through untouched.
+pub struct ChaosStore {
+    inner: Arc<dyn ObjectStore>,
+    hook: StoreFaultHook,
+}
+
+impl ChaosStore {
+    /// Wrap `inner`, consulting `hook` on every put/get.
+    pub fn new(inner: Arc<dyn ObjectStore>, hook: StoreFaultHook) -> ChaosStore {
+        ChaosStore { inner, hook }
+    }
+}
+
+impl ObjectStore for ChaosStore {
+    fn put(&self, bucket: &str, key: &str, data: Vec<u8>) -> Result<(), StoreError> {
+        match (self.hook)(StoreOp::Put) {
+            StoreFault::None => self.inner.put(bucket, key, data),
+            StoreFault::Error => Err(StoreError::Io(format!(
+                "injected fault: put {bucket}/{key} failed"
+            ))),
+            StoreFault::PartialWrite => {
+                let torn = data[..data.len() / 2].to_vec();
+                self.inner.put(bucket, key, torn)?;
+                Err(StoreError::Io(format!(
+                    "injected fault: put {bucket}/{key} torn mid-write"
+                )))
+            }
+        }
+    }
+
+    fn get(&self, bucket: &str, key: &str) -> Result<Vec<u8>, StoreError> {
+        match (self.hook)(StoreOp::Get) {
+            StoreFault::None => self.inner.get(bucket, key),
+            _ => Err(StoreError::Io(format!(
+                "injected fault: get {bucket}/{key} failed"
+            ))),
+        }
+    }
+
+    fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<String>, StoreError> {
+        self.inner.list(bucket, prefix)
+    }
+
+    fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        self.inner.delete(bucket, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn chaos_first_n_puts(n: u32) -> (ChaosStore, Arc<MemStore>) {
+        let mem = Arc::new(MemStore::new());
+        let remaining = AtomicU32::new(n);
+        let hook: StoreFaultHook = Arc::new(move |op| {
+            if op == StoreOp::Put
+                && remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                    .is_ok()
+            {
+                StoreFault::Error
+            } else {
+                StoreFault::None
+            }
+        });
+        (
+            ChaosStore::new(Arc::clone(&mem) as Arc<dyn ObjectStore>, hook),
+            mem,
+        )
+    }
+
+    #[test]
+    fn error_faults_leave_store_untouched_then_clear() {
+        let (chaos, mem) = chaos_first_n_puts(2);
+        assert!(chaos.put("b", "k", b"data".to_vec()).is_err());
+        assert!(chaos.put("b", "k", b"data".to_vec()).is_err());
+        assert_eq!(mem.object_count("b"), 0);
+        chaos.put("b", "k", b"data".to_vec()).unwrap();
+        assert_eq!(chaos.get("b", "k").unwrap(), b"data");
+    }
+
+    #[test]
+    fn partial_write_leaves_torn_object_retry_overwrites() {
+        let mem = Arc::new(MemStore::new());
+        let once = AtomicU32::new(1);
+        let hook: StoreFaultHook = Arc::new(move |op| {
+            if op == StoreOp::Put && once.swap(0, Ordering::Relaxed) == 1 {
+                StoreFault::PartialWrite
+            } else {
+                StoreFault::None
+            }
+        });
+        let chaos = ChaosStore::new(Arc::clone(&mem) as Arc<dyn ObjectStore>, hook);
+        let err = chaos.put("b", "k", b"12345678".to_vec()).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        // Torn half is visible — exactly the hazard retry must overwrite.
+        assert_eq!(mem.get("b", "k").unwrap(), b"1234");
+        chaos.put("b", "k", b"12345678".to_vec()).unwrap();
+        assert_eq!(chaos.get("b", "k").unwrap(), b"12345678");
+    }
+
+    #[test]
+    fn get_faults_and_passthrough_ops() {
+        let mem = Arc::new(MemStore::new());
+        mem.put("b", "k", b"x".to_vec()).unwrap();
+        let flaky = AtomicU32::new(1);
+        let hook: StoreFaultHook = Arc::new(move |op| {
+            if op == StoreOp::Get && flaky.swap(0, Ordering::Relaxed) == 1 {
+                StoreFault::Error
+            } else {
+                StoreFault::None
+            }
+        });
+        let chaos = ChaosStore::new(Arc::clone(&mem) as Arc<dyn ObjectStore>, hook);
+        assert!(chaos.get("b", "k").is_err());
+        assert_eq!(chaos.get("b", "k").unwrap(), b"x");
+        assert_eq!(chaos.list("b", "").unwrap(), vec!["k".to_string()]);
+        chaos.delete("b", "k").unwrap();
+        assert_eq!(mem.object_count("b"), 0);
+    }
+}

@@ -285,7 +285,7 @@ mod tests {
         // A repeat spaced wider than the window still roundtrips.
         let mut input = vec![0u8; 0];
         input.extend_from_slice(b"needle-needle-needle");
-        input.extend(std::iter::repeat(b'.').take(WINDOW + 100));
+        input.extend(std::iter::repeat_n(b'.', WINDOW + 100));
         input.extend_from_slice(b"needle-needle-needle");
         let c = compress(&input);
         assert_eq!(decompress(&c).unwrap(), input);

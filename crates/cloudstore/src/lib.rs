@@ -15,11 +15,13 @@
 //! - [`throttle`]: bandwidth/latency shaping so benches can model slow
 //!   links between the virtualizer node and the cloud.
 
+pub mod chaos;
 pub mod compress;
 pub mod loader;
 pub mod store;
 pub mod throttle;
 
+pub use chaos::{ChaosStore, StoreFault, StoreFaultHook, StoreOp};
 pub use compress::{compress, decompress, CompressError};
 pub use loader::{BulkLoader, LoaderConfig, UploadReport};
 pub use store::{parse_url, MemStore, ObjectStore, StoreError, StoreUrl};

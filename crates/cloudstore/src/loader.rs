@@ -81,6 +81,22 @@ impl BulkLoader {
         } else {
             data
         };
+        self.transfer(key, raw_len, payload)
+    }
+
+    /// Like [`upload_part`](BulkLoader::upload_part) but borrows the data,
+    /// so the caller can retry the same part after a failed transfer.
+    pub fn upload_part_from(&self, key: &str, data: &[u8]) -> Result<u64, StoreError> {
+        let raw_len = data.len() as u64;
+        let payload = if self.config.compress {
+            compress::compress(data)
+        } else {
+            data.to_vec()
+        };
+        self.transfer(key, raw_len, payload)
+    }
+
+    fn transfer(&self, key: &str, raw_len: u64, payload: Vec<u8>) -> Result<u64, StoreError> {
         let out_len = payload.len() as u64;
         self.config.throttle.consume(out_len);
         self.store.put(&self.config.bucket, key, payload)?;
@@ -148,6 +164,17 @@ mod tests {
         let mut cfg = LoaderConfig::new("staging");
         cfg.compress = compress;
         BulkLoader::new(Arc::new(MemStore::new()), cfg)
+    }
+
+    #[test]
+    fn upload_part_from_matches_owned_upload() {
+        let l = loader(true);
+        let data: Vec<u8> = b"row|row|row\n".repeat(50);
+        let n1 = l.upload_part("j/a", data.clone()).unwrap();
+        let n2 = l.upload_part_from("j/b", &data).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(l.fetch_part("j/b").unwrap(), data);
+        assert_eq!(l.report().parts, 2);
     }
 
     #[test]

@@ -92,10 +92,13 @@ pub trait ObjectStore: Send + Sync {
     }
 }
 
+/// One bucket's objects, keyed by object key.
+type Bucket = BTreeMap<String, Arc<Vec<u8>>>;
+
 /// In-memory store (the default for tests and benches).
 #[derive(Debug, Default)]
 pub struct MemStore {
-    buckets: RwLock<BTreeMap<String, BTreeMap<String, Arc<Vec<u8>>>>>,
+    buckets: RwLock<BTreeMap<String, Bucket>>,
 }
 
 impl MemStore {

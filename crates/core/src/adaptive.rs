@@ -23,6 +23,7 @@ use etlv_sql::ast::{Expr, Insert, InsertSource, Literal, Stmt};
 use etlv_sql::transform::map_expr;
 
 use crate::emulate::UniqueEmulation;
+use crate::fault::{retry_cdw, RetryPolicy};
 use crate::xcompile::CompiledDml;
 
 /// Which input rows an error record covers.
@@ -58,6 +59,12 @@ pub struct AdaptiveParams {
     pub max_errors: u64,
     /// Maximum split depth before giving up on a range.
     pub max_retries: u32,
+    /// Retry policy for transient CDW failures. Only
+    /// [`CdwError::is_retryable`] errors are retried; bulk aborts still
+    /// flow straight to the adaptive splitter.
+    pub retry: RetryPolicy,
+    /// Seed for retry backoff jitter.
+    pub retry_seed: u64,
 }
 
 impl Default for AdaptiveParams {
@@ -65,6 +72,8 @@ impl Default for AdaptiveParams {
         AdaptiveParams {
             max_errors: 0,
             max_retries: 64,
+            retry: RetryPolicy::default(),
+            retry_seed: 0,
         }
     }
 }
@@ -79,8 +88,11 @@ pub struct AdaptiveOutcome {
     /// Number of range splits performed.
     pub splits: u64,
     /// CDW statements issued (DML attempts + emulation checks + row
-    /// fetches) — the cost the paper's Figure 11 measures.
+    /// fetches) — the cost the paper's Figure 11 measures. Transient
+    /// retries of the same statement are not counted again.
     pub statements: u64,
+    /// Transient CDW failures absorbed by retry during application.
+    pub transient_retries: u64,
 }
 
 impl AdaptiveOutcome {
@@ -104,6 +116,7 @@ struct StagingCache {
 }
 
 impl StagingCache {
+    #[allow(clippy::too_many_arguments)]
     fn tuple(
         &mut self,
         cdw: &Cdw,
@@ -111,12 +124,18 @@ impl StagingCache {
         lo: u64,
         hi: u64,
         seq: u64,
+        params: AdaptiveParams,
         outcome: &mut AdaptiveOutcome,
     ) -> Result<Vec<Value>, CdwError> {
         if self.rows.is_none() {
             outcome.statements += 1;
             let scan = compiled.staging_scan(Some(lo), Some(hi));
-            let result = cdw.execute_stmt(&scan)?;
+            let result = retry_cdw(
+                params.retry,
+                params.retry_seed ^ 0x5ca9,
+                &mut outcome.transient_retries,
+                || cdw.execute_stmt(&scan),
+            )?;
             let mut map = HashMap::with_capacity(result.rows.len());
             for row in result.rows {
                 if let Some(Value::Int(s)) = row.first() {
@@ -172,14 +191,14 @@ fn recurse(
     if lo >= hi {
         return Ok(());
     }
-    match try_apply_range(cdw, compiled, emulation, lo, hi, outcome) {
+    match try_apply_range(cdw, compiled, emulation, lo, hi, params, outcome) {
         Ok(applied) => {
             outcome.applied += applied;
             Ok(())
         }
         Err(err) if err.is_bulk_abort() => {
             if hi - lo == 1 {
-                let tuple = cache.tuple(cdw, compiled, job_lo, job_hi, lo, outcome)?;
+                let tuple = cache.tuple(cdw, compiled, job_lo, job_hi, lo, params, outcome)?;
                 record_singleton(compiled, layout, lo, tuple, &err, outcome);
                 return Ok(());
             }
@@ -230,24 +249,35 @@ fn recurse(
 }
 
 /// One application attempt: emulated uniqueness pre-check, then the
-/// range-restricted DML.
+/// range-restricted DML. Transient CDW failures are retried in place —
+/// both statements are safe to re-issue (the pre-check is a read, the
+/// DML validates every tuple before mutating) — so infrastructure blips
+/// never masquerade as data errors and trigger a pointless bisection.
 fn try_apply_range(
     cdw: &Cdw,
     compiled: &CompiledDml,
     emulation: Option<&UniqueEmulation>,
     lo: u64,
     hi: u64,
+    params: AdaptiveParams,
     outcome: &mut AdaptiveOutcome,
 ) -> Result<u64, CdwError> {
+    let seed = params.retry_seed ^ lo ^ (hi << 20);
     if let Some(emu) = emulation {
         outcome.statements += 1;
-        if emu.violations_in_range(cdw, lo, hi)? > 0 {
+        let violations = retry_cdw(params.retry, seed, &mut outcome.transient_retries, || {
+            emu.violations_in_range(cdw, lo, hi)
+        })?;
+        if violations > 0 {
             return Err(emu.violation_error());
         }
     }
     outcome.statements += 1;
     let stmt = compiled.range_stmt(Some(lo), Some(hi));
-    cdw.execute_stmt(&stmt).map(|r| r.affected)
+    retry_cdw(params.retry, seed ^ 1, &mut outcome.transient_retries, || {
+        cdw.execute_stmt(&stmt)
+    })
+    .map(|r| r.affected)
 }
 
 /// Record the error for a single failing row given its staging tuple.
@@ -402,6 +432,68 @@ mod tests {
     }
 
     #[test]
+    fn transient_faults_are_retried_not_bisected() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let (cdw, compiled, layout) = setup();
+        for seq in 1..=4u64 {
+            cdw.execute(&format!(
+                "INSERT INTO STG VALUES ({seq}, 'id{seq}', 'n', '2012-01-0{seq}')"
+            ))
+            .unwrap();
+        }
+        let emu = emulate::plan(&cdw, &compiled).unwrap();
+        let remaining = Arc::new(AtomicU32::new(2));
+        let hook = {
+            let remaining = Arc::clone(&remaining);
+            Arc::new(move || {
+                remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                    .is_ok()
+            })
+        };
+        cdw.set_transient_fault(Some(hook));
+        let params = AdaptiveParams {
+            retry: RetryPolicy {
+                budget: 4,
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(100),
+            },
+            ..AdaptiveParams::default()
+        };
+        let outcome =
+            apply_adaptive(&cdw, &compiled, emu.as_ref(), &layout, 1, 5, params).unwrap();
+        // The two injected blips are absorbed in place: same statement
+        // count as the clean path, no bisection, no recorded errors.
+        assert_eq!(outcome.applied, 4);
+        assert!(outcome.errors.is_empty());
+        assert_eq!(outcome.splits, 0);
+        assert_eq!(outcome.statements, 2);
+        assert_eq!(outcome.transient_retries, 2);
+    }
+
+    #[test]
+    fn transient_faults_beyond_budget_surface() {
+        use std::time::Duration;
+
+        let (cdw, compiled, layout) = setup();
+        stage_figure5(&cdw);
+        cdw.set_transient_fault(Some(std::sync::Arc::new(|| true)));
+        let params = AdaptiveParams {
+            retry: RetryPolicy {
+                budget: 2,
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(100),
+            },
+            ..AdaptiveParams::default()
+        };
+        let result = apply_adaptive(&cdw, &compiled, None, &layout, 1, 6, params);
+        assert!(matches!(result, Err(CdwError::Transient(_))));
+    }
+
+    #[test]
     fn figure5_unlimited_errors() {
         let (cdw, compiled, layout) = setup();
         stage_figure5(&cdw);
@@ -453,7 +545,7 @@ mod tests {
             6,
             AdaptiveParams {
                 max_errors: 2,
-                max_retries: 64,
+                ..AdaptiveParams::default()
             },
         )
         .unwrap();
@@ -493,8 +585,8 @@ mod tests {
             1,
             6,
             AdaptiveParams {
-                max_errors: 0,
                 max_retries: 1,
+                ..AdaptiveParams::default()
             },
         )
         .unwrap();
@@ -504,10 +596,12 @@ mod tests {
             .errors
             .iter()
             .any(|e| e.code == ErrCode::MAX_RETRIES));
+        // Every range record is a depth-limit record (never a 9057
+        // max-errors record — the error budget here is unlimited).
         assert!(outcome
             .errors
             .iter()
-            .all(|e| !matches!(e.rows, ErrorRows::Single(_)) || e.code != ErrCode::DML_CONVERSION || true));
+            .all(|e| matches!(e.rows, ErrorRows::Single(_)) || e.code == ErrCode::MAX_RETRIES));
     }
 
     #[test]

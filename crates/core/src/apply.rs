@@ -12,6 +12,7 @@ use crate::adaptive::{
     apply_adaptive, attribute_field, AdaptiveOutcome, AdaptiveParams, ErrorRows, RecordedError,
 };
 use crate::emulate::UniqueEmulation;
+use crate::fault::retry_cdw;
 use crate::xcompile::CompiledDml;
 
 /// How the application phase executes the job's DML.
@@ -28,6 +29,7 @@ pub enum ApplyStrategy {
 }
 
 /// Apply the compiled DML to staging rows `[lo, hi)`.
+#[allow(clippy::too_many_arguments)]
 pub fn apply(
     cdw: &Cdw,
     compiled: &CompiledDml,
@@ -43,12 +45,24 @@ pub fn apply(
             let mut outcome = AdaptiveOutcome::default();
             if let Some(emu) = emulation {
                 outcome.statements += 1;
-                if emu.violations_in_range(cdw, lo, hi)? > 0 {
+                let violations = retry_cdw(
+                    params.retry,
+                    params.retry_seed,
+                    &mut outcome.transient_retries,
+                    || emu.violations_in_range(cdw, lo, hi),
+                )?;
+                if violations > 0 {
                     return Err(emu.violation_error());
                 }
             }
             outcome.statements += 1;
-            let result = cdw.execute_stmt(&compiled.range_stmt(Some(lo), Some(hi)))?;
+            let stmt = compiled.range_stmt(Some(lo), Some(hi));
+            let result = retry_cdw(
+                params.retry,
+                params.retry_seed ^ 1,
+                &mut outcome.transient_retries,
+                || cdw.execute_stmt(&stmt),
+            )?;
             outcome.applied = result.affected;
             Ok(outcome)
         }
@@ -56,7 +70,7 @@ pub fn apply(
             apply_adaptive(cdw, compiled, emulation, layout, lo, hi, params)
         }
         ApplyStrategy::Singleton => {
-            apply_singleton(cdw, compiled, emulation, layout, lo, hi)
+            apply_singleton(cdw, compiled, emulation, layout, lo, hi, params)
         }
     }
 }
@@ -73,12 +87,18 @@ fn apply_singleton(
     layout: &Layout,
     lo: u64,
     hi: u64,
+    params: AdaptiveParams,
 ) -> Result<AdaptiveOutcome, CdwError> {
     let mut outcome = AdaptiveOutcome::default();
     outcome.statements += 1;
-    let rows = cdw
-        .execute_stmt(&compiled.staging_scan(Some(lo), Some(hi)))?
-        .rows;
+    let scan = compiled.staging_scan(Some(lo), Some(hi));
+    let rows = retry_cdw(
+        params.retry,
+        params.retry_seed ^ 0x51,
+        &mut outcome.transient_retries,
+        || cdw.execute_stmt(&scan),
+    )?
+    .rows;
 
     for row in rows {
         let Some(Value::Int(seq)) = row.first() else {
@@ -90,7 +110,13 @@ fn apply_singleton(
         // Emulated uniqueness check for this one tuple.
         if let Some(emu) = emulation {
             outcome.statements += 1;
-            if emu.violations_in_range(cdw, seq, seq + 1)? > 0 {
+            let violations = retry_cdw(
+                params.retry,
+                params.retry_seed ^ seq,
+                &mut outcome.transient_retries,
+                || emu.violations_in_range(cdw, seq, seq + 1),
+            )?;
+            if violations > 0 {
                 outcome.errors.push(RecordedError {
                     code: ErrCode::UNIQUENESS,
                     field: None,
@@ -112,7 +138,13 @@ fn apply_singleton(
                 .map(|i| Literal::from_value(&tuple[i]))
         });
         outcome.statements += 1;
-        match cdw.execute_stmt(&bound) {
+        let attempt = retry_cdw(
+            params.retry,
+            params.retry_seed ^ seq ^ (1 << 32),
+            &mut outcome.transient_retries,
+            || cdw.execute_stmt(&bound),
+        );
+        match attempt {
             Ok(r) => outcome.applied += r.affected,
             Err(CdwError::BulkAbort { kind, message }) => {
                 let (code, uv_tuple) = if kind == BulkAbortKind::Uniqueness {

@@ -6,6 +6,7 @@ use std::time::Duration;
 use etlv_cloudstore::Throttle;
 
 use crate::apply::ApplyStrategy;
+use crate::fault::{FaultPlan, RetryPolicy};
 
 /// How DataConverter work is scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,17 @@ pub struct VirtualizerConfig {
     /// conversion as overlappable work so the Figure 9 core sweep remains
     /// reproducible; leave at zero for genuine CPU-bound measurement.
     pub simulated_convert_cost_per_mb: Duration,
+    /// Per-job retry budget for each transient-failure site (staged-file
+    /// upload, COPY trigger, retryable application statements).
+    pub retry_budget: u32,
+    /// First retry backoff delay.
+    pub retry_base_delay: Duration,
+    /// Retry backoff ceiling.
+    pub retry_max_delay: Duration,
+    /// Optional deterministic fault plan. `None` (the default) disables
+    /// injection entirely; a plan arms the store, CDW, converter, and
+    /// transport hooks with the plan's seed.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for VirtualizerConfig {
@@ -92,6 +104,10 @@ impl Default for VirtualizerConfig {
             export_prefetch_chunks: 4,
             drain_timeout: Duration::from_secs(600),
             simulated_convert_cost_per_mb: Duration::ZERO,
+            retry_budget: 4,
+            retry_base_delay: Duration::from_millis(2),
+            retry_max_delay: Duration::from_millis(200),
+            fault_plan: None,
         }
     }
 }
@@ -121,7 +137,24 @@ impl VirtualizerConfig {
         if self.export_chunk_rows == 0 {
             return Err("export_chunk_rows must be positive".into());
         }
+        if self.retry_base_delay > self.retry_max_delay {
+            return Err("retry_base_delay must not exceed retry_max_delay".into());
+        }
         Ok(())
+    }
+
+    /// The retry policy the config's budget/backoff knobs describe.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            budget: self.retry_budget,
+            base: self.retry_base_delay,
+            cap: self.retry_max_delay,
+        }
+    }
+
+    /// The fault seed retry jitter derives from (0 when injection is off).
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_plan.as_ref().map(|p| p.seed).unwrap_or(0)
     }
 }
 
@@ -136,21 +169,35 @@ mod tests {
 
     #[test]
     fn validation_catches_zeros() {
-        let mut c = VirtualizerConfig::default();
-        c.credits = 0;
+        let c = VirtualizerConfig {
+            credits: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = VirtualizerConfig::default();
-        c.file_writers = 0;
+        let c = VirtualizerConfig {
+            file_writers: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = VirtualizerConfig::default();
-        c.file_size_threshold = 0;
+        let c = VirtualizerConfig {
+            file_size_threshold: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            retry_base_delay: Duration::from_secs(1),
+            retry_max_delay: Duration::from_millis(1),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn converter_workers_by_mode() {
-        let mut c = VirtualizerConfig::default();
-        c.converter_mode = ConverterMode::Pool(3);
+        let mut c = VirtualizerConfig {
+            converter_mode: ConverterMode::Pool(3),
+            ..Default::default()
+        };
         assert_eq!(c.converter_workers(), 3);
         c.converter_mode = ConverterMode::PerChunk;
         c.credits = 7;

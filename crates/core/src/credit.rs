@@ -33,7 +33,10 @@ pub struct CreditManager {
     pool: Arc<Pool>,
 }
 
-/// One credit. Dropping it returns it to the pool.
+/// One credit. Dropping it returns it to the pool — on every path,
+/// including panics and injected faults; the guard, not the happy path,
+/// owns the release, so the pool can never leak.
+#[must_use = "dropping the Credit immediately returns it to the pool"]
 pub struct Credit {
     pool: Arc<Pool>,
 }
@@ -55,6 +58,7 @@ impl CreditManager {
     }
 
     /// Acquire a credit, blocking while the pool is empty.
+    #[must_use = "the credit returns to the pool the moment it is dropped"]
     pub fn acquire(&self) -> Credit {
         let mut available = self.pool.available.lock();
         if *available == 0 {
@@ -216,6 +220,19 @@ mod tests {
         t.join().unwrap();
         assert_eq!(mgr.stalls(), 1);
         assert!(mgr.stall_time() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn panicking_holder_still_returns_credit() {
+        let mgr = CreditManager::new(2);
+        let mgr2 = mgr.clone();
+        let t = thread::spawn(move || {
+            let _held = mgr2.acquire();
+            panic!("worker died mid-chunk");
+        });
+        assert!(t.join().is_err());
+        // Unwinding dropped the guard: no leak.
+        assert_eq!(mgr.available(), 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use etlv_cdw::{Cdw, CdwConfig};
-use etlv_cloudstore::{BulkLoader, LoaderConfig, MemStore, ObjectStore};
+use etlv_cloudstore::{BulkLoader, ChaosStore, LoaderConfig, MemStore, ObjectStore};
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::layout::Layout;
 use etlv_protocol::message::{
@@ -35,6 +35,7 @@ use crate::convert::DataConverter;
 use crate::credit::CreditManager;
 use crate::cursor::TdfCursor;
 use crate::emulate;
+use crate::fault::{retry_cdw, FaultCounts, FaultInjector};
 use crate::memory::MemoryGauge;
 use crate::pipeline::{Pipeline, PipelineReport, RawChunk};
 use crate::report::{JobReport, NodeMetrics};
@@ -66,6 +67,7 @@ struct Node {
     config: VirtualizerConfig,
     cdw: Cdw,
     store: Arc<dyn ObjectStore>,
+    injector: Option<Arc<FaultInjector>>,
     credits: CreditManager,
     memory: MemoryGauge,
     jobs: Mutex<HashMap<u64, Job>>,
@@ -87,23 +89,58 @@ pub struct Virtualizer {
 
 impl Virtualizer {
     /// Create a node with its own in-memory object store and CDW.
+    ///
+    /// When [`VirtualizerConfig::fault_plan`] is set, the store is wrapped
+    /// in a [`ChaosStore`] *before* the CDW is constructed over it, so
+    /// injected store faults hit both the uploader's puts and COPY's gets.
     pub fn new(config: VirtualizerConfig) -> Virtualizer {
-        let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+        let injector = config
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let mut store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+        if let Some(injector) = &injector {
+            store = Arc::new(ChaosStore::new(store, injector.store_hook()));
+        }
         let cdw = Cdw::with_config(CdwConfig::default(), Some(Arc::clone(&store)));
-        Virtualizer::with_backends(config, cdw, store)
+        Virtualizer::assemble(config, cdw, store, injector)
     }
 
     /// Create a node over an existing CDW and object store. The CDW must
     /// have been constructed with the same store attached (COPY reads
-    /// staged files from it).
+    /// staged files from it). With a fault plan configured, only the
+    /// uploader-facing store handle is chaos-wrapped here — the CDW keeps
+    /// reading through the handle the caller built it with.
     pub fn with_backends(
         config: VirtualizerConfig,
         cdw: Cdw,
         store: Arc<dyn ObjectStore>,
     ) -> Virtualizer {
+        let injector = config
+            .fault_plan
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
+        let store = match &injector {
+            Some(injector) => {
+                Arc::new(ChaosStore::new(store, injector.store_hook())) as Arc<dyn ObjectStore>
+            }
+            None => store,
+        };
+        Virtualizer::assemble(config, cdw, store, injector)
+    }
+
+    fn assemble(
+        config: VirtualizerConfig,
+        cdw: Cdw,
+        store: Arc<dyn ObjectStore>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Virtualizer {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid virtualizer config: {e}"));
+        if let Some(injector) = &injector {
+            cdw.set_transient_fault(Some(injector.cdw_hook()));
+        }
         Virtualizer {
             node: Arc::new(Node {
                 credits: CreditManager::new(config.credits),
@@ -111,6 +148,7 @@ impl Virtualizer {
                 config,
                 cdw,
                 store,
+                injector,
                 jobs: Mutex::new(HashMap::new()),
                 next_token: AtomicU64::new(1),
                 next_session: AtomicU32::new(1),
@@ -118,6 +156,18 @@ impl Virtualizer {
                 last_report: Mutex::new(None),
             }),
         }
+    }
+
+    /// The node's fault injector, when a fault plan is configured. Chaos
+    /// tests read injected-fault counts through this.
+    pub fn fault_counts(&self) -> Option<FaultCounts> {
+        self.node.injector.as_ref().map(|i| i.counts())
+    }
+
+    /// The configured fault injector (for wiring client-side transport
+    /// chaos to the same plan).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.node.injector.clone()
     }
 
     /// The CDW this node virtualizes onto (test/bench assertions).
@@ -294,7 +344,13 @@ impl Virtualizer {
                 throttle: node.config.upload_throttle,
             },
         ));
-        let pipeline = Pipeline::spawn(&node.config, converter, loader, prefix.clone());
+        let pipeline = Pipeline::spawn(
+            &node.config,
+            converter,
+            loader,
+            prefix.clone(),
+            node.injector.clone(),
+        );
         let sender = pipeline.sender();
 
         node.jobs.lock().insert(
@@ -314,10 +370,14 @@ impl Virtualizer {
     }
 
     fn create_job_tables(&self, spec: &BeginLoad, staging_table: &str) -> Result<(), String> {
-        let run = |sql: &str| -> Result<(), String> {
-            self.node
-                .cdw
-                .execute(sql)
+        // Job setup DDL retries transient blips like any other statement —
+        // with an armed cdw_exec fault spec these are the first statements
+        // the plan can hit.
+        let policy = self.node.config.retry_policy();
+        let seed = self.node.config.fault_seed();
+        let mut retries = 0u64;
+        let mut run = |sql: &str| -> Result<(), String> {
+            retry_cdw(policy, seed, &mut retries, || self.node.cdw.execute(sql))
                 .map(|_| ())
                 .map_err(|e| format!("{sql}: {e}"))
         };
@@ -438,7 +498,10 @@ impl Virtualizer {
             Err((code, message)) => {
                 self.node.metrics.lock().jobs_failed += 1;
                 self.cleanup_job(&job);
-                error_msg(code, message, true)
+                // A failed load is a clean job failure, not a session
+                // failure: the client gets the error reply and the control
+                // session stays usable for diagnostics or another attempt.
+                error_msg(code, message, false)
             }
         }
     }
@@ -465,7 +528,13 @@ impl Virtualizer {
             return Err((ErrCode::INTERNAL, pipe_report.fatal.join("; ")));
         }
 
-        // In-cloud COPY into the staging table completes acquisition.
+        // In-cloud COPY into the staging table completes acquisition. COPY
+        // validates every staged file before mutating the staging table,
+        // so re-issuing it after a transient engine or store-read failure
+        // cannot duplicate rows.
+        let retry_policy = node.config.retry_policy();
+        let retry_seed = node.config.fault_seed();
+        let mut cdw_retries = 0u64;
         if !pipe_report.files.is_empty() {
             let copy = format!(
                 "COPY INTO {} FROM 'store://{}/{}' DELIMITER '{}'{}",
@@ -479,9 +548,10 @@ impl Virtualizer {
                     ""
                 }
             );
-            node.cdw
-                .execute(&copy)
-                .map_err(|e| (ErrCode::INTERNAL, format!("COPY failed: {e}")))?;
+            retry_cdw(retry_policy, retry_seed ^ 0xC0, &mut cdw_retries, || {
+                node.cdw.execute(&copy)
+            })
+            .map_err(|e| (ErrCode::INTERNAL, format!("COPY failed: {e}")))?;
         }
         let acquisition = job.started.elapsed();
 
@@ -495,6 +565,8 @@ impl Virtualizer {
         let params = AdaptiveParams {
             max_errors: effective_max_errors(node.config.max_errors, job.spec.error_limit),
             max_retries: node.config.max_retries,
+            retry: retry_policy,
+            retry_seed,
         };
         let outcome = apply(
             &node.cdw,
@@ -507,11 +579,12 @@ impl Virtualizer {
             params,
         )
         .map_err(|e| (ErrCode::SQL_ERROR, format!("application failed: {e}")))?;
+        cdw_retries += outcome.transient_retries;
         let application = application_started.elapsed();
 
         // Error tables: acquisition errors + application errors.
         let teardown_started = Instant::now();
-        self.write_error_tables(job, &pipe_report, &outcome.errors)
+        self.write_error_tables(job, &pipe_report, &outcome.errors, &mut cdw_retries)
             .map_err(|e| (ErrCode::INTERNAL, e))?;
         self.cleanup_job(job);
 
@@ -533,6 +606,13 @@ impl Virtualizer {
             other: teardown_started.elapsed(),
             files_staged: pipe_report.files.len() as u64,
             bytes_staged: pipe_report.bytes_staged,
+            upload_retries: pipe_report.upload_retries,
+            cdw_retries,
+            faults_injected: node
+                .injector
+                .as_ref()
+                .map(|i| i.counts().total())
+                .unwrap_or(0),
         })
     }
 
@@ -541,6 +621,7 @@ impl Virtualizer {
         job: &ImportJobState,
         pipe_report: &PipelineReport,
         app_errors: &[RecordedError],
+        retries: &mut u64,
     ) -> Result<(), String> {
         let mut et_rows: Vec<Vec<Expr>> = Vec::new();
         for e in &pipe_report.acq_errors {
@@ -589,25 +670,33 @@ impl Virtualizer {
             }
         }
         if !et_rows.is_empty() {
-            self.insert_rows(&job.spec.error_table_et, et_rows)?;
+            self.insert_rows(&job.spec.error_table_et, et_rows, retries)?;
         }
         if !uv_rows.is_empty() {
-            self.insert_rows(&job.spec.error_table_uv, uv_rows)?;
+            self.insert_rows(&job.spec.error_table_uv, uv_rows, retries)?;
         }
         Ok(())
     }
 
-    fn insert_rows(&self, table: &str, rows: Vec<Vec<Expr>>) -> Result<(), String> {
+    fn insert_rows(
+        &self,
+        table: &str,
+        rows: Vec<Vec<Expr>>,
+        retries: &mut u64,
+    ) -> Result<(), String> {
         let stmt = Stmt::Insert(Insert {
             table: ObjectName(table.split('.').map(str::to_string).collect()),
             columns: None,
             source: InsertSource::Values(rows),
         });
-        self.node
-            .cdw
-            .execute_stmt(&stmt)
-            .map(|_| ())
-            .map_err(|e| format!("writing error table {table}: {e}"))
+        retry_cdw(
+            self.node.config.retry_policy(),
+            self.node.config.fault_seed() ^ 0xE7,
+            retries,
+            || self.node.cdw.execute_stmt(&stmt),
+        )
+        .map(|_| ())
+        .map_err(|e| format!("writing error table {table}: {e}"))
     }
 
     fn cleanup_job(&self, job: &ImportJobState) {
@@ -744,9 +833,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid virtualizer config")]
     fn invalid_config_panics() {
-        let mut config = VirtualizerConfig::default();
-        config.credits = 0;
-        let _ = Virtualizer::new(config);
+        let _ = Virtualizer::new(VirtualizerConfig {
+            credits: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

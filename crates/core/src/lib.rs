@@ -38,6 +38,8 @@
 //!   singleton baseline from Figure 11 (§7).
 //! - [`adaptive`]: recursive chunk-splitting error handler (§7, Fig. 6).
 //! - [`emulate`]: uniqueness emulation on CDWs without native UNIQUE (§7).
+//! - [`fault`]: seeded deterministic fault injection + retry/backoff
+//!   policy hardening the acquisition pipeline (§9, DESIGN §7).
 //! - [`tdf`] / [`cursor`]: the Tabular Data Format and TDFCursor serving
 //!   parallel export sessions (§3, §4).
 //! - [`report`]: phase-timed job reports and node metrics (§9).
@@ -51,6 +53,7 @@ pub mod convert;
 pub mod credit;
 pub mod cursor;
 pub mod emulate;
+pub mod fault;
 pub mod gateway;
 pub mod memory;
 pub mod pipeline;
@@ -62,6 +65,10 @@ pub mod xcompile;
 pub use apply::ApplyStrategy;
 pub use config::{ConverterMode, VirtualizerConfig};
 pub use credit::{Credit, CreditManager};
+pub use fault::{
+    Backoff, FaultCounts, FaultInjector, FaultPlan, FaultSpec, InjectionPoint, RetryPolicy,
+    StorePutFailure, TransportFailure,
+};
 pub use gateway::Virtualizer;
 pub use memory::{MemoryGauge, OutOfMemory};
 pub use report::{JobReport, NodeMetrics};

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use crate::config::{ConverterMode, VirtualizerConfig};
 use crate::convert::{AcqError, DataConverter};
 use crate::credit::Credit;
+use crate::fault::{retry_with, FaultInjector};
 use crate::memory::MemGuard;
 
 /// A raw chunk travelling from a session handler into the pipeline. The
@@ -56,6 +57,8 @@ pub struct PipelineReport {
     pub acq_errors: Vec<AcqError>,
     /// Fatal pipeline failures (conversion framing, upload).
     pub fatal: Vec<String>,
+    /// Upload attempts retried after transient store failures.
+    pub upload_retries: u64,
 }
 
 /// A running acquisition pipeline for one job.
@@ -72,11 +75,14 @@ impl Pipeline {
         converter: DataConverter,
         loader: Arc<BulkLoader>,
         prefix: String,
+        injector: Option<Arc<FaultInjector>>,
     ) -> Pipeline {
         let workers = config.converter_workers();
         let sim_cost = config.simulated_convert_cost_per_mb;
+        let retry_policy = config.retry_policy();
+        let retry_seed = config.fault_seed();
         let (chunk_tx, chunk_rx) = bounded::<RawChunk>(config.credits.min(1 << 16));
-        let (conv_tx, conv_rx) = bounded::<Converted>(workers.min(1 << 16).max(1));
+        let (conv_tx, conv_rx) = bounded::<Converted>(workers.clamp(1, 1 << 16));
         let (file_tx, file_rx) = bounded::<Vec<u8>>(config.file_writers * 2);
 
         let shared_errors: Arc<Mutex<Vec<AcqError>>> = Arc::new(Mutex::new(Vec::new()));
@@ -89,6 +95,7 @@ impl Pipeline {
             let errors = Arc::clone(&shared_errors);
             let fatal = Arc::clone(&shared_fatal);
             let conv_tx = conv_tx.clone();
+            let injector = injector.clone();
             std::thread::spawn(move || match mode {
                 ConverterMode::Pool(n) => {
                     let mut pool = Vec::new();
@@ -98,9 +105,13 @@ impl Pipeline {
                         let converter = converter.clone();
                         let errors = Arc::clone(&errors);
                         let fatal = Arc::clone(&fatal);
+                        let injector = injector.clone();
                         pool.push(std::thread::spawn(move || {
                             while let Ok(chunk) = rx.recv() {
-                                convert_one(&converter, chunk, &tx, &errors, &fatal, sim_cost);
+                                convert_one(
+                                    &converter, chunk, &tx, &errors, &fatal, sim_cost,
+                                    injector.as_deref(),
+                                );
                             }
                         }));
                     }
@@ -117,9 +128,13 @@ impl Pipeline {
                         let converter = converter.clone();
                         let errors = Arc::clone(&errors);
                         let fatal = Arc::clone(&fatal);
+                        let injector = injector.clone();
                         let wg = wg.clone();
                         std::thread::spawn(move || {
-                            convert_one(&converter, chunk, &tx, &errors, &fatal, sim_cost);
+                            convert_one(
+                                &converter, chunk, &tx, &errors, &fatal, sim_cost,
+                                injector.as_deref(),
+                            );
                             drop(wg);
                         });
                     }
@@ -169,21 +184,34 @@ impl Pipeline {
         drop(file_tx);
 
         // ---- Stage 4: uploader ----------------------------------------
-        let uploader: JoinHandle<(Vec<String>, Vec<String>)> = {
+        // Each part gets `retry_budget` additional attempts with capped,
+        // seeded backoff: a torn or failed put is simply re-put (object
+        // stores overwrite whole objects, so a retry erases a partial
+        // write). When the budget runs dry the failure is recorded and the
+        // job fails cleanly at EndLoad — never a hang.
+        let uploader: JoinHandle<(Vec<String>, Vec<String>, u64)> = {
             let loader = Arc::clone(&loader);
             std::thread::spawn(move || {
                 let mut keys = Vec::new();
                 let mut failures = Vec::new();
+                let mut retries = 0u64;
                 let mut part = 0u32;
                 while let Ok(file) = file_rx.recv() {
                     let key = format!("{prefix}part-{part:05}");
                     part += 1;
-                    match loader.upload_part(&key, file) {
+                    let attempt = retry_with(
+                        retry_policy,
+                        retry_seed ^ part as u64,
+                        &mut retries,
+                        |_| true,
+                        || loader.upload_part_from(&key, &file),
+                    );
+                    match attempt {
                         Ok(_) => keys.push(key),
                         Err(e) => failures.push(format!("upload {key}: {e}")),
                     }
                 }
-                (keys, failures)
+                (keys, failures, retries)
             })
         };
 
@@ -198,13 +226,14 @@ impl Pipeline {
                     bytes_staged += bytes;
                 }
             }
-            let (files, upload_failures) = uploader.join().unwrap_or_default();
+            let (files, upload_failures, upload_retries) = uploader.join().unwrap_or_default();
             let mut report = PipelineReport {
                 rows_staged,
                 bytes_staged,
                 files,
                 acq_errors: std::mem::take(&mut *shared_errors.lock()),
                 fatal: std::mem::take(&mut *shared_fatal.lock()),
+                upload_retries,
             };
             report.fatal.extend(upload_failures);
             report.acq_errors.sort_by_key(|e| e.seq);
@@ -241,12 +270,41 @@ fn convert_one(
     errors: &Mutex<Vec<AcqError>>,
     fatal: &Mutex<Vec<String>>,
     sim_cost_per_mb: std::time::Duration,
+    injector: Option<&FaultInjector>,
 ) {
     if !sim_cost_per_mb.is_zero() {
         let cost = sim_cost_per_mb.mul_f64(chunk.data.len() as f64 / 1_000_000.0);
         std::thread::sleep(cost);
     }
-    match converter.convert(chunk.base_seq, &chunk.data) {
+    if injector.is_some_and(|i| i.convert_should_fail()) {
+        fatal.lock().push(format!(
+            "injected fault: converter worker failed on chunk at row {}",
+            chunk.base_seq
+        ));
+        // Dropping the chunk releases its credit and memory reservation —
+        // the guards, not the happy path, own the cleanup.
+        return;
+    }
+    // A panicking converter must not wedge the pipeline: contain it, record
+    // a fatal error, and let the chunk's guards release credit + memory.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        converter.convert(chunk.base_seq, &chunk.data)
+    }));
+    let result = match outcome {
+        Ok(result) => result,
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            fatal
+                .lock()
+                .push(format!("converter worker panicked: {what}"));
+            return;
+        }
+    };
+    match result {
         Ok(mut converted) => {
             if !converted.errors.is_empty() {
                 errors.lock().append(&mut converted.errors);
@@ -299,7 +357,7 @@ mod tests {
             },
         ));
         let converter = DataConverter::new(layout(), WIRE_VT, config.staging_delimiter);
-        let pipeline = Pipeline::spawn(config, converter, loader, "job1/".into());
+        let pipeline = Pipeline::spawn(config, converter, loader, "job1/".into(), None);
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(config.memory_cap);
         let sender = pipeline.sender();
@@ -328,9 +386,11 @@ mod tests {
 
     #[test]
     fn stages_all_rows_small_files() {
-        let mut config = VirtualizerConfig::default();
-        config.file_size_threshold = 64; // force many rotations
-        config.file_writers = 3;
+        let config = VirtualizerConfig {
+            file_size_threshold: 64, // force many rotations
+            file_writers: 3,
+            ..Default::default()
+        };
         let (report, store) = run_pipeline(&config, 10, 20);
         assert!(report.fatal.is_empty(), "{:?}", report.fatal);
         assert_eq!(report.rows_staged, 200);
@@ -347,9 +407,11 @@ mod tests {
 
     #[test]
     fn per_chunk_mode_stages_everything() {
-        let mut config = VirtualizerConfig::default();
-        config.converter_mode = ConverterMode::PerChunk;
-        config.credits = 8;
+        let config = VirtualizerConfig {
+            converter_mode: ConverterMode::PerChunk,
+            credits: 8,
+            ..Default::default()
+        };
         let (report, _) = run_pipeline(&config, 20, 5);
         assert!(report.fatal.is_empty());
         assert_eq!(report.rows_staged, 100);
@@ -357,8 +419,10 @@ mod tests {
 
     #[test]
     fn compressed_staging() {
-        let mut config = VirtualizerConfig::default();
-        config.compress_staged = true;
+        let config = VirtualizerConfig {
+            compress_staged: true,
+            ..Default::default()
+        };
         let (report, store) = run_pipeline(&config, 4, 50);
         assert_eq!(report.rows_staged, 200);
         let key = &report.files[0];
@@ -375,7 +439,7 @@ mod tests {
             LoaderConfig::new(config.staging_bucket.clone()),
         ));
         let converter = DataConverter::new(layout(), WIRE_VT, b'|');
-        let pipeline = Pipeline::spawn(&config, converter, loader, "j/".into());
+        let pipeline = Pipeline::spawn(&config, converter, loader, "j/".into(), None);
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
         let sender = pipeline.sender();
@@ -398,11 +462,118 @@ mod tests {
     }
 
     #[test]
+    fn uploader_retries_flaky_store_then_succeeds() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        use etlv_cloudstore::ChaosStore;
+
+        let mut plan = FaultPlan::seeded(11);
+        plan.store_put = FaultSpec::FirstN(2);
+        let config = VirtualizerConfig {
+            file_size_threshold: 64,
+            retry_base_delay: std::time::Duration::from_micros(50),
+            retry_max_delay: std::time::Duration::from_micros(500),
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let injector = Arc::new(FaultInjector::new(config.fault_plan.clone().unwrap()));
+
+        let mem = Arc::new(MemStore::new());
+        let chaos: Arc<dyn ObjectStore> = Arc::new(ChaosStore::new(
+            Arc::clone(&mem) as Arc<dyn ObjectStore>,
+            injector.store_hook(),
+        ));
+        let loader = Arc::new(BulkLoader::new(
+            chaos,
+            LoaderConfig::new(config.staging_bucket.clone()),
+        ));
+        let converter = DataConverter::new(layout(), WIRE_VT, b'|');
+        let pipeline = Pipeline::spawn(
+            &config,
+            converter,
+            loader,
+            "j/".into(),
+            Some(Arc::clone(&injector)),
+        );
+        let credits = CreditManager::new(config.credits);
+        let memory = MemoryGauge::new(0);
+        let sender = pipeline.sender();
+        for c in 0..6u64 {
+            let data: Vec<u8> = format!("a{c}|b{c}\n").repeat(10).into_bytes();
+            let credit = credits.acquire();
+            let mem_guard = memory.reserve(data.len()).unwrap();
+            sender
+                .send(RawChunk {
+                    base_seq: c * 10 + 1,
+                    data: data.into(),
+                    credit,
+                    memory: mem_guard,
+                })
+                .unwrap();
+        }
+        drop(sender);
+        let report = pipeline.finish();
+        assert!(report.fatal.is_empty(), "{:?}", report.fatal);
+        assert_eq!(report.upload_retries, 2, "both injected failures retried");
+        assert_eq!(report.rows_staged, 60);
+        assert_eq!(
+            mem.object_count(&config.staging_bucket),
+            report.files.len(),
+            "every part landed despite the flaky store"
+        );
+        assert_eq!(credits.available(), config.credits);
+        assert_eq!(memory.in_flight(), 0);
+    }
+
+    #[test]
+    fn injected_converter_failure_fails_cleanly() {
+        use crate::fault::{FaultPlan, FaultSpec};
+
+        let mut config = VirtualizerConfig::default();
+        let mut plan = FaultPlan::seeded(3);
+        plan.convert = FaultSpec::AtOps(vec![1]);
+        config.fault_plan = Some(plan);
+        let injector = Arc::new(FaultInjector::new(config.fault_plan.clone().unwrap()));
+
+        let store = Arc::new(MemStore::new());
+        let loader = Arc::new(BulkLoader::new(
+            Arc::clone(&store) as Arc<dyn ObjectStore>,
+            LoaderConfig::new(config.staging_bucket.clone()),
+        ));
+        // One pool worker so chunk order = op order.
+        config.converter_mode = ConverterMode::Pool(1);
+        let converter = DataConverter::new(layout(), WIRE_VT, b'|');
+        let pipeline = Pipeline::spawn(&config, converter, loader, "j/".into(), Some(injector));
+        let credits = CreditManager::new(4);
+        let memory = MemoryGauge::new(0);
+        let sender = pipeline.sender();
+        for base in [1u64, 2, 3] {
+            sender
+                .send(RawChunk {
+                    base_seq: base,
+                    data: Bytes::copy_from_slice(b"a|b\n"),
+                    credit: credits.acquire(),
+                    memory: memory.reserve(4).unwrap(),
+                })
+                .unwrap();
+        }
+        drop(sender);
+        let report = pipeline.finish();
+        assert_eq!(report.fatal.len(), 1, "{:?}", report.fatal);
+        assert!(report.fatal[0].contains("injected fault"), "{:?}", report.fatal);
+        assert_eq!(report.rows_staged, 2, "other chunks still staged");
+        // The dropped chunk's credit and memory came back via the guards.
+        assert_eq!(credits.available(), 4);
+        assert_eq!(memory.in_flight(), 0);
+    }
+
+    #[test]
     fn back_pressure_blocks_when_out_of_credits() {
         // 1 credit: the second acquire blocks until the pipeline returns
         // the first — proving credits flow through to the writer stage.
-        let mut config = VirtualizerConfig::default();
-        config.credits = 1;
+        let config = VirtualizerConfig {
+            credits: 1,
+            ..Default::default()
+        };
         let (report, _) = run_pipeline(&config, 8, 2);
         assert_eq!(report.rows_staged, 16);
     }

@@ -27,6 +27,14 @@ pub struct JobReport {
     pub files_staged: u64,
     /// Bytes written to staging files.
     pub bytes_staged: u64,
+    /// Upload attempts retried after transient store failures.
+    pub upload_retries: u64,
+    /// CDW statements retried after transient engine/store failures
+    /// (COPY trigger, application DML, error-table writes).
+    pub cdw_retries: u64,
+    /// Faults injected by the node's fault plan over the job's lifetime
+    /// (0 when no plan is configured).
+    pub faults_injected: u64,
 }
 
 impl JobReport {
@@ -40,6 +48,8 @@ impl JobReport {
             acquisition_micros: self.acquisition.as_micros() as u64,
             application_micros: self.application.as_micros() as u64,
             other_micros: self.other.as_micros() as u64,
+            retries: self.upload_retries + self.cdw_retries,
+            faults_injected: self.faults_injected,
         }
     }
 
@@ -84,12 +94,17 @@ mod tests {
             other: Duration::from_micros(250),
             files_staged: 2,
             bytes_staged: 1024,
+            upload_retries: 3,
+            cdw_retries: 2,
+            faults_injected: 5,
         };
         let wire = report.to_wire();
         assert_eq!(wire.rows_received, 10);
         assert_eq!(wire.acquisition_micros, 5000);
         assert_eq!(wire.application_micros, 7000);
         assert_eq!(wire.other_micros, 250);
+        assert_eq!(wire.retries, 5, "upload + cdw retries combined");
+        assert_eq!(wire.faults_injected, 5);
         assert_eq!(report.total(), Duration::from_micros(12_250));
     }
 }

@@ -139,12 +139,12 @@ impl TdfPacket {
             return Err(TdfError::BadMagic);
         }
         data.advance(4);
-        need(&data, 2)?;
+        need(data, 2)?;
         let ncols = data.get_u16_le() as usize;
         let mut columns = Vec::with_capacity(ncols);
         for _ in 0..ncols {
             let name = get_string(&mut data)?;
-            need(&data, 5)?;
+            need(data, 5)?;
             let tag = data.get_u8();
             let p1 = data.get_u16_le();
             let p2 = data.get_u16_le();
@@ -152,7 +152,7 @@ impl TdfPacket {
                 .ok_or(TdfError::Malformed("unknown column type"))?;
             columns.push((name, ty));
         }
-        need(&data, 4)?;
+        need(data, 4)?;
         let nrows = data.get_u32_le() as usize;
         let mut rows = Vec::with_capacity(nrows);
         for _ in 0..nrows {

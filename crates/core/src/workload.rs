@@ -109,7 +109,7 @@ pub fn customer_workload(spec: &CustomerSpec) -> Workload {
         );
     }
 
-    let payload_decl = payload_width.max(1).min(60_000);
+    let payload_decl = payload_width.clamp(1, 60_000);
     let unique_clause = if spec.unique_key {
         " UNIQUE PRIMARY INDEX (CUST_ID)"
     } else {

@@ -186,6 +186,72 @@ proptest! {
     }
 
     #[test]
+    fn backoff_monotone_capped_for_any_policy(
+        base_us in 1u64..5_000,
+        cap_us in 1u64..50_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = etlv_core::RetryPolicy {
+            budget: 16,
+            base: std::time::Duration::from_micros(base_us),
+            cap: std::time::Duration::from_micros(cap_us),
+        };
+        let schedule: Vec<std::time::Duration> = {
+            let mut b = policy.backoff(seed);
+            (0..24).map(|_| b.next_delay()).collect()
+        };
+        let again: Vec<std::time::Duration> = {
+            let mut b = policy.backoff(seed);
+            (0..24).map(|_| b.next_delay()).collect()
+        };
+        prop_assert_eq!(&schedule, &again);
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[1] >= pair[0], "monotone violated: {:?}", &schedule);
+        }
+        for delay in &schedule {
+            prop_assert!(*delay <= policy.cap, "cap violated: {:?}", &schedule);
+        }
+    }
+
+    #[test]
+    fn credit_pool_survives_arbitrary_fault_interleavings(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec(0u8..3, 1..40),
+    ) {
+        // Ops: 0 = acquire and hold, 1 = release one held credit, 2 = a
+        // worker acquires and then dies mid-chunk (an injected fault).
+        // Whatever the interleaving, credits never leak and never
+        // double-release: available + held always equals capacity once the
+        // faulted workers are reaped, and the pool refills completely.
+        let mgr = etlv_core::CreditManager::new(capacity);
+        let mut held = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if let Some(c) = mgr.try_acquire_for(std::time::Duration::from_millis(1)) {
+                        held.push(c);
+                    }
+                }
+                1 => {
+                    held.pop();
+                }
+                _ => {
+                    let mgr2 = mgr.clone();
+                    let worker = std::thread::spawn(move || {
+                        let _credit = mgr2.try_acquire_for(std::time::Duration::from_millis(5));
+                        panic!("injected fault: worker died holding a credit");
+                    });
+                    prop_assert!(worker.join().is_err());
+                }
+            }
+            prop_assert_eq!(mgr.available() + held.len(), capacity);
+            prop_assert!(held.len() <= capacity);
+        }
+        drop(held);
+        prop_assert_eq!(mgr.available(), capacity);
+    }
+
+    #[test]
     fn tdf_roundtrip_scalar_tables(
         rows in proptest::collection::vec(
             (any::<i32>(), "[ -~]{0,20}", proptest::option::of(any::<i16>())),

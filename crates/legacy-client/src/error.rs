@@ -21,6 +21,9 @@ pub enum ClientError {
     Script(String),
     /// Malformed input data file.
     Input(String),
+    /// No reply arrived within the session's configured read timeout —
+    /// the link (or the server) went quiet mid-job.
+    Timeout(std::time::Duration),
 }
 
 impl fmt::Display for ClientError {
@@ -33,6 +36,9 @@ impl fmt::Display for ClientError {
             }
             ClientError::Script(m) => write!(f, "script error: {m}"),
             ClientError::Input(m) => write!(f, "input error: {m}"),
+            ClientError::Timeout(t) => {
+                write!(f, "no reply within read timeout ({t:?})")
+            }
         }
     }
 }

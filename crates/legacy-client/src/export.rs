@@ -44,6 +44,7 @@ pub fn run_export(
         SessionRole::Control,
         0,
     )?;
+    control.set_read_timeout(options.read_timeout);
     let (export_token, layout) = match control.request(Message::BeginExport(BeginExport {
         select: job.select.clone(),
         format: job.format,
@@ -55,10 +56,11 @@ pub fn run_export(
     };
 
     // Parallel sessions claim chunk indexes from a shared counter; each
-    // chunk lands in the ordered buffer.
+    // chunk lands in the ordered buffer as (index, data, record count).
+    type ReceivedChunk = (u64, Vec<u8>, u32);
     let next_index = Arc::new(AtomicU64::new(0));
     let done = Arc::new(AtomicBool::new(false));
-    let received: Arc<Mutex<Vec<(u64, Vec<u8>, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let received: Arc<Mutex<Vec<ReceivedChunk>>> = Arc::new(Mutex::new(Vec::new()));
 
     let mut workers = Vec::new();
     for _ in 0..sessions {
@@ -68,6 +70,7 @@ pub fn run_export(
         let received = Arc::clone(&received);
         let user = job.logon.user.clone();
         let password = job.logon.password.clone();
+        let read_timeout = options.read_timeout;
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
             let mut session = Session::logon(
                 connector.as_ref(),
@@ -76,6 +79,7 @@ pub fn run_export(
                 SessionRole::Data,
                 export_token,
             )?;
+            session.set_read_timeout(read_timeout);
             loop {
                 if done.load(Ordering::Acquire) {
                     break;

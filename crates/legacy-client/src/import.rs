@@ -58,6 +58,7 @@ pub fn run_import(
         SessionRole::Control,
         0,
     )?;
+    control.set_read_timeout(options.read_timeout);
     let begin = BeginLoad {
         target_table: job.target.clone(),
         error_table_et: job.error_table_et.clone(),
@@ -93,6 +94,7 @@ pub fn run_import(
         let connector = Arc::clone(connector);
         let user = job.logon.user.clone();
         let password = job.logon.password.clone();
+        let read_timeout = options.read_timeout;
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
             let mut session = Session::logon(
                 connector.as_ref(),
@@ -101,6 +103,7 @@ pub fn run_import(
                 SessionRole::Data,
                 load_token,
             )?;
+            session.set_read_timeout(read_timeout);
             let mut chunk_seq = (worker_id as u64) << 32;
             while let Ok(chunk) = rx.recv() {
                 chunk_seq += 1;

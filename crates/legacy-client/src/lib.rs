@@ -43,6 +43,10 @@ pub struct ClientOptions {
     pub chunk_rows: usize,
     /// Override the plan's session count.
     pub sessions: Option<u16>,
+    /// Per-read reply timeout on every session. `None` (the default)
+    /// blocks indefinitely — legacy behavior; setting it turns a severed
+    /// or silent link into [`ClientError::Timeout`] instead of a hang.
+    pub read_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ClientOptions {
@@ -50,6 +54,7 @@ impl Default for ClientOptions {
         ClientOptions {
             chunk_rows: 1000,
             sessions: None,
+            read_timeout: None,
         }
     }
 }

@@ -13,6 +13,7 @@ pub struct Session {
     transport: Box<dyn Transport>,
     session_id: u32,
     seq: u32,
+    read_timeout: Option<Duration>,
 }
 
 impl Session {
@@ -29,6 +30,7 @@ impl Session {
             transport,
             session_id: 0,
             seq: 0,
+            read_timeout: None,
         };
         let reply = session.request(Message::Logon(Logon {
             username: user.to_string(),
@@ -59,10 +61,27 @@ impl Session {
         Ok(())
     }
 
+    /// Bound every subsequent [`recv`](Session::recv) by `timeout`: if no
+    /// reply arrives in time the call fails with [`ClientError::Timeout`]
+    /// instead of blocking forever — the difference between a job that
+    /// reports a severed link and one that hangs on it. `None` (the
+    /// default) restores unbounded blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
     /// Receive the next message; server [`Message::Error`]s become
-    /// [`ClientError::Server`].
+    /// [`ClientError::Server`]. Honors the configured read timeout.
     pub fn recv(&mut self) -> Result<Message, ClientError> {
-        match self.transport.recv()? {
+        let frame = match self.read_timeout {
+            Some(timeout) => self
+                .transport
+                .recv_timeout(timeout)?
+                .map(Some)
+                .ok_or(ClientError::Timeout(timeout))?,
+            None => self.transport.recv()?,
+        };
+        match frame {
             Some(frame) => {
                 let msg = Message::from_frame(&frame)
                     .map_err(|e| ClientError::Protocol(e.to_string()))?;

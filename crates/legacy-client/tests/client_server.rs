@@ -134,6 +134,7 @@ fn parallel_sessions_and_small_chunks() {
         ClientOptions {
             chunk_rows: 1, // one record per chunk: maximum protocol churn
             sessions: Some(4),
+            ..Default::default()
         },
     );
     let result = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap();

@@ -384,6 +384,9 @@ impl LegacyServer {
             acquisition_micros: acquisition.as_micros() as u64,
             application_micros: application.as_micros() as u64,
             other_micros: 0,
+            // The reference EDW neither retries nor injects faults.
+            retries: 0,
+            faults_injected: 0,
         })
     }
 

@@ -31,10 +31,24 @@ fn err(reason: impl Into<String>) -> DecimalError {
 }
 
 /// A fixed-point decimal value: `unscaled * 10^-scale`.
-#[derive(Debug, Clone, Copy, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Eq)]
 pub struct Decimal {
     unscaled: i128,
     scale: u8,
+}
+
+impl std::hash::Hash for Decimal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Equality ignores trailing zeros (1.50 == 1.5), so hashing must
+        // too: hash the normalized form.
+        let (mut unscaled, mut scale) = (self.unscaled, self.scale);
+        while scale > 0 && unscaled % 10 == 0 {
+            unscaled /= 10;
+            scale -= 1;
+        }
+        unscaled.hash(state);
+        scale.hash(state);
+    }
 }
 
 fn pow10(n: u8) -> i128 {
@@ -330,6 +344,6 @@ mod tests {
 
     #[test]
     fn f64_conversion() {
-        assert!((Decimal::parse("3.14").unwrap().to_f64() - 3.14).abs() < 1e-12);
+        assert!((Decimal::parse("3.75").unwrap().to_f64() - 3.75).abs() < 1e-12);
     }
 }

@@ -158,6 +158,12 @@ pub struct LoadReport {
     pub application_micros: u64,
     /// Everything else (startup/teardown), microseconds.
     pub other_micros: u64,
+    /// Operations retried after transient infrastructure failures
+    /// (uploads + CDW statements).
+    pub retries: u64,
+    /// Faults injected by the server's fault plan during the job (0 in
+    /// production — nonzero only under chaos testing).
+    pub faults_injected: u64,
 }
 
 /// Begin an export job.
@@ -350,6 +356,8 @@ impl Message {
                 buf.put_u64_le(m.acquisition_micros);
                 buf.put_u64_le(m.application_micros);
                 buf.put_u64_le(m.other_micros);
+                buf.put_u64_le(m.retries);
+                buf.put_u64_le(m.faults_injected);
             }
             Message::BeginExport(m) => {
                 write_lstring(buf, &m.select);
@@ -509,7 +517,7 @@ impl Message {
                 dml: read_lstring(buf)?,
             }),
             MsgKind::LoadReport => {
-                if buf.remaining() < 56 {
+                if buf.remaining() < 72 {
                     return Err(FrameError::Truncated);
                 }
                 Message::LoadReport(LoadReport {
@@ -520,6 +528,8 @@ impl Message {
                     acquisition_micros: buf.get_u64_le(),
                     application_micros: buf.get_u64_le(),
                     other_micros: buf.get_u64_le(),
+                    retries: buf.get_u64_le(),
+                    faults_injected: buf.get_u64_le(),
                 })
             }
             MsgKind::BeginExport => {
@@ -786,6 +796,8 @@ mod tests {
                 acquisition_micros: 1000,
                 application_micros: 2000,
                 other_micros: 30,
+                retries: 4,
+                faults_injected: 6,
             }),
         ] {
             assert_eq!(roundtrip(msg.clone()), msg);

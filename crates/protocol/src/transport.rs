@@ -29,6 +29,17 @@ pub trait Transport: Send {
 
     /// Receive with a timeout; `Ok(None)` means timeout or end-of-stream.
     fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Frame>>;
+
+    /// Write raw bytes to the peer without framing — they land in the
+    /// peer's [`FrameDecoder`] as-is. Only fault injection uses this (to
+    /// deliver a torn frame); transports that cannot support it keep the
+    /// default `Unsupported` error.
+    fn send_raw(&mut self, _bytes: &[u8]) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "raw byte injection not supported by this transport",
+        ))
+    }
 }
 
 fn frame_err(e: crate::frame::FrameError) -> io::Error {
@@ -72,6 +83,10 @@ impl Transport for TcpTransport {
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
         let bytes = frame.to_bytes();
         self.stream.write_all(&bytes)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
     }
 
     fn recv(&mut self) -> io::Result<Option<Frame>> {
@@ -143,6 +158,12 @@ impl Transport for MemTransport {
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))
     }
 
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(bytes.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))
+    }
+
     fn recv(&mut self) -> io::Result<Option<Frame>> {
         loop {
             if let Some(frame) = self.decoder.next_frame().map_err(frame_err)? {
@@ -165,6 +186,100 @@ impl Transport for MemTransport {
                 Err(mpsc::RecvTimeoutError::Timeout) => return Ok(None),
                 Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(None),
             }
+        }
+    }
+}
+
+/// The verdict for one outgoing frame on a [`ChaosTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Deliver the frame normally.
+    Deliver,
+    /// Silently discard the frame; the send appears to succeed. The peer
+    /// never sees it — the sender's next read is what surfaces the loss.
+    Drop,
+    /// Deliver only the first half of the frame's bytes, then sever the
+    /// connection: a link cut mid-transfer. The peer's decoder is left
+    /// holding an incomplete frame.
+    Truncate,
+    /// Sever immediately: this send fails and every later operation on the
+    /// transport errors with `BrokenPipe`.
+    Sever,
+}
+
+/// Per-frame fault decision hook: `(outgoing frame index, message kind)`.
+pub type TransportFaultHook =
+    std::sync::Arc<dyn Fn(u64, crate::frame::MsgKind) -> TransportFault + Send + Sync>;
+
+/// A [`Transport`] decorator that injects frame-delivery faults on the
+/// send path. Receives pass through until the link is severed.
+pub struct ChaosTransport<T: Transport> {
+    inner: Option<T>,
+    hook: TransportFaultHook,
+    sent: u64,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wrap `inner`, consulting `hook` for every outgoing frame.
+    pub fn new(inner: T, hook: TransportFaultHook) -> ChaosTransport<T> {
+        ChaosTransport {
+            inner: Some(inner),
+            hook,
+            sent: 0,
+        }
+    }
+
+    fn severed() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "injected fault: transport severed",
+        )
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let index = self.sent;
+        self.sent += 1;
+        let Some(inner) = self.inner.as_mut() else {
+            return Err(Self::severed());
+        };
+        match (self.hook)(index, frame.kind) {
+            TransportFault::Deliver => inner.send(frame),
+            TransportFault::Drop => Ok(()),
+            TransportFault::Truncate => {
+                let bytes = frame.to_bytes();
+                let result = inner.send_raw(&bytes[..bytes.len() / 2]);
+                // Dropping the inner transport models the cut link: the
+                // peer sees EOF after the torn prefix.
+                self.inner = None;
+                result
+            }
+            TransportFault::Sever => {
+                self.inner = None;
+                Err(Self::severed())
+            }
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Frame>> {
+        match self.inner.as_mut() {
+            Some(inner) => inner.recv(),
+            None => Err(Self::severed()),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Frame>> {
+        match self.inner.as_mut() {
+            Some(inner) => inner.recv_timeout(timeout),
+            None => Err(Self::severed()),
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self.inner.as_mut() {
+            Some(inner) => inner.send_raw(bytes),
+            None => Err(Self::severed()),
         }
     }
 }
@@ -201,6 +316,41 @@ mod tests {
         let (mut a, _b) = duplex();
         let got = a.recv_timeout(Duration::from_millis(10)).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn chaos_drop_truncate_sever() {
+        use std::sync::Arc;
+
+        // Frame 1 dropped, frame 2 truncated (then severed).
+        let (client, mut server) = duplex();
+        let hook: TransportFaultHook = Arc::new(|index, _kind| match index {
+            0 => TransportFault::Deliver,
+            1 => TransportFault::Drop,
+            _ => TransportFault::Truncate,
+        });
+        let mut chaos = ChaosTransport::new(client, hook);
+        let f = Frame::new(MsgKind::Sql, 1, 1, b"SELECT 1".to_vec());
+        chaos.send(&f).unwrap();
+        chaos.send(&f).unwrap(); // silently dropped
+        chaos.send(&f).unwrap(); // torn prefix delivered, then cut
+        assert!(chaos.send(&f).is_err(), "severed after truncate");
+        assert!(chaos.recv().is_err());
+
+        // Peer: one whole frame, then EOF with the torn prefix pending.
+        assert_eq!(server.recv().unwrap().unwrap(), f);
+        assert!(server.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn chaos_sever_fails_send_and_disconnects_peer() {
+        use std::sync::Arc;
+        let (client, mut server) = duplex();
+        let hook: TransportFaultHook = Arc::new(|_, _| TransportFault::Sever);
+        let mut chaos = ChaosTransport::new(client, hook);
+        let f = Frame::new(MsgKind::Keepalive, 0, 0, Vec::new());
+        assert!(chaos.send(&f).is_err());
+        assert!(server.recv().unwrap().is_none(), "peer sees EOF");
     }
 
     #[test]

@@ -209,9 +209,7 @@ impl<'a> Scanner<'a> {
         // No semicolon: only legal for a trailing `.end ...`.
         let text = self.src[start..].trim().to_string();
         self.pos = bytes.len();
-        if text.to_ascii_lowercase().starts_with(".end") {
-            Ok((self.line_at(start), text))
-        } else if text.is_empty() {
+        if text.to_ascii_lowercase().starts_with(".end") || text.is_empty() {
             Ok((self.line_at(start), text))
         } else {
             Err(ParseError {

@@ -540,9 +540,9 @@ impl Parser {
                 projection.push(SelectItem::Wildcard);
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_keyword("AS") {
-                    Some(self.parse_ident()?)
-                } else if matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w)) {
+                let alias = if self.eat_keyword("AS")
+                    || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w))
+                {
                     Some(self.parse_ident()?)
                 } else {
                     None
@@ -648,9 +648,9 @@ impl Parser {
             });
         }
         let name = self.parse_object_name()?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.parse_ident()?)
-        } else if matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w)) {
+        let alias = if self.eat_keyword("AS")
+            || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w))
+        {
             Some(self.parse_ident()?)
         } else {
             None

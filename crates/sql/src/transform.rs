@@ -220,7 +220,7 @@ mod tests {
     fn unbound_placeholders_survive() {
         let stmt = legacy("INSERT INTO T VALUES (:A, :B)");
         let bound = bind_placeholders(&stmt, |name| {
-            (name == "A").then(|| Literal::Integer(1))
+            (name == "A").then_some(Literal::Integer(1))
         });
         assert_eq!(bound.placeholders(), vec!["B".to_string()]);
     }

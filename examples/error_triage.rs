@@ -41,9 +41,10 @@ const DATA: &[u8] = b"123|Smith|2012-01-01\n\
 157|Jones|2012-12-01\n";
 
 fn run_with(max_errors: u64) {
-    let mut config = VirtualizerConfig::default();
-    config.max_errors = max_errors;
-    let virtualizer = Virtualizer::new(config);
+    let virtualizer = Virtualizer::new(VirtualizerConfig {
+        max_errors,
+        ..Default::default()
+    });
 
     let v = virtualizer.clone();
     let connector = Arc::new(FnConnector(move || {

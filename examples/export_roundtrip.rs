@@ -51,6 +51,7 @@ fn main() {
         ClientOptions {
             chunk_rows: 250,
             sessions: None,
+            ..Default::default()
         },
     );
     let loaded = client.run_import_data(&import, &workload.data).unwrap();

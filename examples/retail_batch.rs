@@ -210,6 +210,7 @@ insert into {table} values (
         ClientOptions {
             chunk_rows: 100,
             sessions: None,
+            ..Default::default()
         },
     );
     let result = client.run_import_data(&job, &data).unwrap();

@@ -1,0 +1,273 @@
+//! Minimal `criterion`-compatible benchmark harness for offline builds.
+//!
+//! Runs each benchmark for `sample_size` timed iterations after a short
+//! warmup and prints mean time per iteration (plus throughput when the
+//! group declares one). No statistics, plots, or comparisons — enough to
+//! keep the figure benches runnable and their numbers meaningful.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Values accepted wherever criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup round so lazy initialization stays out of the measurement.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the closure time `iters` iterations itself.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn report(label: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = if iters > 0 {
+        elapsed / iters as u32
+    } else {
+        Duration::ZERO
+    };
+    let mut line = format!("{label:<48} {per_iter:>12.2?}/iter ({iters} iters)");
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(bytes) => {
+                    let mbps = bytes as f64 / secs / 1_000_000.0;
+                    line.push_str(&format!("  {mbps:.1} MB/s"));
+                }
+                Throughput::Elements(n) => {
+                    let eps = n as f64 / secs;
+                    line.push_str(&format!("  {eps:.0} elem/s"));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments, for API parity with the real
+    /// harness's `cargo bench -- <filter>` handling.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API parity; the shim always runs exactly
+    /// `sample_size` iterations.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(&id.into_id(), bencher.iters, bencher.elapsed, None);
+        self
+    }
+
+    /// Finish the run (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API parity (see [`Criterion::measurement_time`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        report(&label, bencher.iters, bencher.elapsed, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        report(&label, bencher.iters, bencher.elapsed, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().configure_from_args().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // warmup + 3 timed iterations
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_with_throughput_and_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &v| {
+            b.iter(|| black_box(v * 2))
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(Duration::from_micros)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,419 @@
+//! Minimal `crossbeam`-compatible MPMC channels and a wait group, built
+//! on `std::sync`, for offline builds.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        /// `None` = unbounded; `Some(0)` behaves as capacity 1.
+        cap: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // Like real crossbeam: no `T: Debug` bound, payload elided.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait hit its deadline.
+        Timeout,
+        /// All senders disconnected with the channel empty.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    /// Channel buffering at most `cap` messages (`0` is treated as `1`).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while a bounded channel is full. Fails
+        /// only once every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if self.chan.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.chan.cap {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self
+                            .chan
+                            .not_full
+                            .wait(queue)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the channel is empty. Fails only once
+        /// the channel is empty and every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.chan.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .chan
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.chan.not_full.notify_one();
+                    return Ok(value);
+                }
+                if self.chan.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, _) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(queue, left)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
+            }
+        }
+
+        /// Receive without blocking; `None` if empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut queue = self
+                .chan
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let value = queue.pop_front();
+            drop(queue);
+            if value.is_some() {
+                self.chan.not_full.notify_one();
+            }
+            value
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Notify under the queue lock so a receiver between its
+                // disconnect check and its wait cannot miss the wakeup.
+                let guard = self
+                    .chan
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                self.chan.not_empty.notify_all();
+                drop(guard);
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.chan.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let guard = self
+                    .chan
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                self.chan.not_full.notify_all();
+                drop(guard);
+            }
+        }
+    }
+}
+
+/// Thread coordination helpers.
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct WgInner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Waits for a set of cloned handles to drop (crossbeam semantics:
+    /// each clone is one unit of outstanding work).
+    pub struct WaitGroup {
+        inner: Arc<WgInner>,
+    }
+
+    impl WaitGroup {
+        /// New group with one outstanding handle (this one).
+        pub fn new() -> WaitGroup {
+            WaitGroup {
+                inner: Arc::new(WgInner {
+                    count: Mutex::new(1),
+                    zero: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drop this handle and block until every other handle drops.
+        pub fn wait(self) {
+            let inner = Arc::clone(&self.inner);
+            drop(self);
+            let mut count = inner.count.lock().unwrap_or_else(PoisonError::into_inner);
+            while *count > 0 {
+                count = inner
+                    .zero
+                    .wait(count)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> WaitGroup {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> WaitGroup {
+            *self
+                .inner
+                .count
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) += 1;
+            WaitGroup {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self
+                .inner
+                .count
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *count -= 1;
+            if *count == 0 {
+                drop(count);
+                self.inner.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
+    use super::sync::WaitGroup;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_after_senders_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_then_drains() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || tx.send(3)); // blocks until a recv
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn mpmc_clone_receivers() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = std::thread::spawn(move || std::iter::from_fn(|| rx.recv().ok()).count());
+        let b = std::thread::spawn(move || std::iter::from_fn(|| rx2.recv().ok()).count());
+        assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn wait_group_waits_for_clones() {
+        let wg = WaitGroup::new();
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for _ in 0..4 {
+            let wg = wg.clone();
+            let done = std::sync::Arc::clone(&done);
+            std::thread::spawn(move || {
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,444 @@
+//! Seeded chaos suite: end-to-end fault-injection scenarios across the
+//! acquisition pipeline. Every scenario drives a real client against a
+//! virtualizer armed with a deterministic [`FaultPlan`] and asserts one of
+//! two outcomes — the job completes with correct table contents, or it
+//! fails cleanly with a reportable error — and that either way the node is
+//! quiescent afterwards: the credit pool is back to capacity and no
+//! in-flight memory is leaked. Nothing here ever hangs: severed links
+//! surface through the client's read timeout.
+
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etlv_core::{
+    FaultPlan, FaultSpec, StorePutFailure, TransportFailure, Virtualizer, VirtualizerConfig,
+};
+use etlv_legacy_client::{ClientError, ClientOptions, FnConnector, LegacyEtlClient, Session};
+use etlv_protocol::message::SessionRole;
+use etlv_protocol::transport::{duplex, ChaosTransport, Transport};
+use etlv_script::{compile, parse_script, ImportJob, JobPlan};
+
+const SCRIPT: &str = r#"
+.logon h/u,p;
+.layout L;
+.field A varchar(8);
+.field B varchar(32);
+.begin import tables T errortables T_ET T_UV;
+.dml label Go;
+insert into T values (:A, :B);
+.import infile f format vartext '|' layout L apply Go;
+.end load
+"#;
+
+fn import_job() -> ImportJob {
+    let JobPlan::Import(job) = compile(&parse_script(SCRIPT).unwrap()).unwrap() else {
+        panic!("script is an import job")
+    };
+    job
+}
+
+fn rows(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| format!("k{i:04}|value-{i:04}\n").into_bytes())
+        .collect()
+}
+
+/// Plain connector: each connect is a fresh duplex pair with a server
+/// thread on the far end.
+fn connector(
+    v: &Virtualizer,
+) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
+    let v = v.clone();
+    Arc::new(FnConnector(move || {
+        let (client_end, server_end) = duplex();
+        let v = v.clone();
+        std::thread::spawn(move || {
+            let _ = v.serve(server_end);
+        });
+        Ok(Box::new(client_end) as Box<dyn Transport>)
+    }))
+}
+
+/// Connector whose client end runs through a [`ChaosTransport`] driven by
+/// the virtualizer's own fault injector — the plan's `transport` spec
+/// decides which outgoing data-chunk frames are dropped, truncated, or
+/// severed.
+fn chaos_connector(
+    v: &Virtualizer,
+) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
+    let hook = v
+        .fault_injector()
+        .expect("config must carry a fault plan")
+        .transport_hook();
+    let v = v.clone();
+    Arc::new(FnConnector(move || {
+        let (client_end, server_end) = duplex();
+        let v = v.clone();
+        std::thread::spawn(move || {
+            let _ = v.serve(server_end);
+        });
+        Ok(Box::new(ChaosTransport::new(client_end, hook.clone())) as Box<dyn Transport>)
+    }))
+}
+
+fn create_target(connector: &dyn etlv_legacy_client::Connect) {
+    let mut session = Session::logon(connector, "ops", "pw", SessionRole::Control, 0).unwrap();
+    session
+        .sql("CREATE TABLE T (A VARCHAR(8), B VARCHAR(32))")
+        .unwrap();
+    session.logoff();
+}
+
+fn config_with(plan: FaultPlan) -> VirtualizerConfig {
+    VirtualizerConfig {
+        fault_plan: Some(plan),
+        ..Default::default()
+    }
+}
+
+/// The node must end every scenario with all credits home and zero bytes
+/// in flight; server-side drains finish asynchronously after a client
+/// error, so poll briefly before declaring a leak.
+fn assert_quiescent(v: &Virtualizer) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if v.credits().available() == v.credits().capacity() && v.memory().in_flight() == 0 {
+            return;
+        }
+        if Instant::now() > deadline {
+            panic!(
+                "node not quiescent: {}/{} credits available, {} bytes in flight",
+                v.credits().available(),
+                v.credits().capacity(),
+                v.memory().in_flight()
+            );
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn store_put_flake_is_retried_to_success() {
+    let mut plan = FaultPlan::seeded(11);
+    plan.store_put = FaultSpec::FirstN(2);
+    let v = Virtualizer::new(config_with(plan));
+    let connector = connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+
+    assert_eq!(result.report.rows_applied, 40);
+    assert_eq!(result.report.retries, 2, "both flaky puts were retried");
+    assert_eq!(result.report.faults_injected, 2);
+    assert_eq!(v.fault_counts().unwrap().store_put, 2);
+    assert_eq!(v.cdw().table_len("T").unwrap(), 40);
+    assert_quiescent(&v);
+}
+
+#[test]
+fn store_put_partial_write_is_absorbed_by_retry() {
+    let mut plan = FaultPlan::seeded(12);
+    plan.store_put = FaultSpec::FirstN(1);
+    plan.store_put_failure = StorePutFailure::PartialWrite;
+    let v = Virtualizer::new(config_with(plan));
+    let connector = connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+
+    // The retried put overwrites the torn object whole: every row lands
+    // exactly once despite half an object having hit the store.
+    assert_eq!(result.report.rows_applied, 40);
+    assert!(result.report.retries >= 1);
+    assert_eq!(v.cdw().table_len("T").unwrap(), 40);
+    let r = v
+        .cdw()
+        .execute("SELECT B FROM T WHERE A = 'k0039'")
+        .unwrap();
+    assert_eq!(r.rows[0][0].display_text(), "value-0039");
+    assert_quiescent(&v);
+}
+
+#[test]
+fn persistent_store_failure_fails_job_cleanly() {
+    let mut plan = FaultPlan::seeded(13);
+    plan.store_put = FaultSpec::FirstN(1000); // never recovers
+    let mut config = config_with(plan);
+    config.retry_budget = 2; // keep the exhaustion quick
+    let v = Virtualizer::new(config);
+    let connector = connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let err = client
+        .run_import_data(&import_job(), &rows(40))
+        .unwrap_err();
+    match err {
+        ClientError::Server { message, .. } => {
+            assert!(message.contains("injected fault"), "{message}")
+        }
+        other => panic!("expected a server-reported job failure, got {other:?}"),
+    }
+
+    // The failed job released everything and the node still serves.
+    assert_quiescent(&v);
+    let mut session =
+        Session::logon(connector.as_ref(), "ops", "pw", SessionRole::Control, 0).unwrap();
+    assert!(session.sql("SEL COUNT(*) FROM T").is_ok());
+    session.logoff();
+}
+
+#[test]
+fn store_get_flake_during_copy_is_retried() {
+    let mut plan = FaultPlan::seeded(14);
+    plan.store_get = FaultSpec::FirstN(1);
+    let v = Virtualizer::new(config_with(plan));
+    let connector = connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+
+    // COPY validates before it mutates, so the re-issued statement after
+    // the failed staged-file read cannot duplicate rows.
+    assert_eq!(result.report.rows_applied, 40);
+    assert!(result.report.retries >= 1, "COPY was retried");
+    assert_eq!(v.fault_counts().unwrap().store_get, 1);
+    assert_eq!(v.cdw().table_len("T").unwrap(), 40);
+    assert_quiescent(&v);
+}
+
+#[test]
+fn cdw_transient_faults_are_retried_to_success() {
+    // Ops 0..=5 are the staging/error-table DDL at BeginLoad; op 6 is the
+    // COPY. Fault the COPY twice: both retries must land in the job report.
+    let mut plan = FaultPlan::seeded(15);
+    plan.cdw_exec = FaultSpec::AtOps(vec![6, 7]);
+    let v = Virtualizer::new(config_with(plan));
+    let connector = connector(&v);
+
+    // Setup DDL runs with the hook disarmed so the scenario's op indices
+    // start at the load itself.
+    v.cdw().set_transient_fault(None);
+    create_target(connector.as_ref());
+    v.cdw()
+        .set_transient_fault(Some(v.fault_injector().unwrap().cdw_hook()));
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+
+    assert_eq!(result.report.rows_applied, 40);
+    assert_eq!(result.report.retries, 2);
+    assert_eq!(v.fault_counts().unwrap().cdw_exec, 2);
+    assert_eq!(v.cdw().table_len("T").unwrap(), 40);
+    assert_quiescent(&v);
+}
+
+#[test]
+fn cdw_transient_budget_exhaustion_fails_cleanly() {
+    // The COPY faults on every attempt (ops 6..) — the retry budget runs
+    // out and the job must fail with a server error, not hang, and the
+    // control session must survive to see the reply.
+    let mut plan = FaultPlan::seeded(16);
+    plan.cdw_exec = FaultSpec::AtOps((6..36).collect());
+    let mut config = config_with(plan);
+    config.retry_budget = 3;
+    let v = Virtualizer::new(config);
+    let connector = connector(&v);
+
+    v.cdw().set_transient_fault(None);
+    create_target(connector.as_ref());
+    v.cdw()
+        .set_transient_fault(Some(v.fault_injector().unwrap().cdw_hook()));
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let err = client
+        .run_import_data(&import_job(), &rows(40))
+        .unwrap_err();
+    match err {
+        ClientError::Server { message, .. } => assert!(message.contains("COPY"), "{message}"),
+        other => panic!("expected a server-reported job failure, got {other:?}"),
+    }
+    // The initial attempt plus three budget retries faulted, and so did
+    // the best-effort staging-table DROP in job cleanup (which is exactly
+    // why that DROP is best-effort).
+    assert_eq!(v.fault_counts().unwrap().cdw_exec, 5);
+    assert_quiescent(&v);
+}
+
+#[test]
+fn converter_worker_fault_fails_job_cleanly() {
+    let mut plan = FaultPlan::seeded(17);
+    plan.convert = FaultSpec::AtOps(vec![0]);
+    let v = Virtualizer::new(config_with(plan));
+    let connector = connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let err = client
+        .run_import_data(&import_job(), &rows(40))
+        .unwrap_err();
+    match err {
+        ClientError::Server { message, .. } => {
+            assert!(message.contains("injected fault"), "{message}")
+        }
+        other => panic!("expected a server-reported job failure, got {other:?}"),
+    }
+
+    // The dead worker's chunk released its credit and memory on the way
+    // down — the RAII guards, not the happy path, own the release.
+    assert_quiescent(&v);
+    assert_eq!(v.fault_counts().unwrap().convert, 1);
+}
+
+#[test]
+fn transport_drop_surfaces_as_timeout_not_hang() {
+    // The second data chunk vanishes in flight. Without a read timeout the
+    // legacy client would wait for its ack forever; with one, the severed
+    // acquisition surfaces as a timeout error.
+    let mut plan = FaultPlan::seeded(18);
+    plan.transport = FaultSpec::AtOps(vec![1]);
+    plan.transport_failure = TransportFailure::Drop;
+    let v = Virtualizer::new(config_with(plan));
+    let connector = chaos_connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::with_options(
+        connector.clone(),
+        ClientOptions {
+            chunk_rows: 10,
+            sessions: Some(1),
+            read_timeout: Some(Duration::from_millis(300)),
+        },
+    );
+    let err = client
+        .run_import_data(&import_job(), &rows(30))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Timeout(_)),
+        "expected a read timeout, got {err:?}"
+    );
+    assert_eq!(v.fault_counts().unwrap().transport, 1);
+    // The server saw EOF when the client gave up; the one delivered chunk
+    // drains and every credit comes home.
+    assert_quiescent(&v);
+}
+
+#[test]
+fn transport_truncate_mid_chunk_surfaces_as_error() {
+    // Half the second chunk's bytes arrive, then the link is cut: the
+    // client's next read fails fast, and the server's decoder discards the
+    // torn prefix at EOF instead of applying a partial chunk.
+    let mut plan = FaultPlan::seeded(19);
+    plan.transport = FaultSpec::AtOps(vec![1]);
+    plan.transport_failure = TransportFailure::Truncate;
+    let v = Virtualizer::new(config_with(plan));
+    let connector = chaos_connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::with_options(
+        connector.clone(),
+        ClientOptions {
+            chunk_rows: 10,
+            sessions: Some(1),
+            read_timeout: Some(Duration::from_secs(2)),
+        },
+    );
+    let err = client
+        .run_import_data(&import_job(), &rows(30))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Io(_) | ClientError::Timeout(_)),
+        "expected the cut link to surface, got {err:?}"
+    );
+    assert_eq!(v.fault_counts().unwrap().transport, 1);
+    assert_quiescent(&v);
+}
+
+#[test]
+fn transport_sever_fails_fast() {
+    let mut plan = FaultPlan::seeded(20);
+    plan.transport = FaultSpec::AtOps(vec![0]);
+    plan.transport_failure = TransportFailure::Sever;
+    let v = Virtualizer::new(config_with(plan));
+    let connector = chaos_connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::with_options(
+        connector.clone(),
+        ClientOptions {
+            chunk_rows: 10,
+            sessions: Some(1),
+            read_timeout: Some(Duration::from_secs(2)),
+        },
+    );
+    let err = client
+        .run_import_data(&import_job(), &rows(30))
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Io(_)),
+        "a severed send fails immediately, got {err:?}"
+    );
+    assert_quiescent(&v);
+}
+
+#[test]
+fn random_faults_with_same_seed_reproduce_exactly() {
+    // The determinism contract: the same seeded plan over the same input
+    // yields the same injected-fault sequence and the same report
+    // counters, run after run — that is what makes a chaos failure
+    // debuggable.
+    let run = || {
+        let mut plan = FaultPlan::seeded(0xD5);
+        plan.store_put = FaultSpec::Random {
+            rate_ppm: 300_000,
+            limit: 0,
+        };
+        let mut config = config_with(plan);
+        config.file_size_threshold = 256; // several staged files per job
+        let v = Virtualizer::new(config);
+        let connector = connector(&v);
+        create_target(connector.as_ref());
+        let client = LegacyEtlClient::with_options(
+            connector.clone(),
+            ClientOptions {
+                chunk_rows: 10,
+                sessions: Some(1),
+                read_timeout: None,
+            },
+        );
+        let result = client.run_import_data(&import_job(), &rows(120)).unwrap();
+        assert_quiescent(&v);
+        assert_eq!(v.cdw().table_len("T").unwrap(), 120);
+        (
+            result.report.retries,
+            result.report.faults_injected,
+            v.fault_counts().unwrap(),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed, same faults, same counters");
+    assert!(first.1 > 0, "the scenario actually injected faults");
+    assert_eq!(first.0, first.1, "every injected put fault cost one retry");
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    // An armed injector whose specs are all Never must be a no-op: no
+    // faults, no retries, same outcome as an unfaulted run.
+    let v = Virtualizer::new(config_with(FaultPlan::seeded(99)));
+    let connector = connector(&v);
+    create_target(connector.as_ref());
+
+    let client = LegacyEtlClient::new(connector.clone());
+    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+    assert_eq!(result.report.rows_applied, 40);
+    assert_eq!(result.report.retries, 0);
+    assert_eq!(result.report.faults_injected, 0);
+    assert_eq!(v.fault_counts().unwrap().total(), 0);
+    assert_quiescent(&v);
+}

@@ -65,6 +65,7 @@ fn run_both(spec: &CustomerSpec) -> (etlv_legacy_client::ImportResult, etlv_lega
             ClientOptions {
                 chunk_rows: 37,
                 sessions: None,
+                ..Default::default()
             },
         );
         client.run_import_data(&job, &workload.data).unwrap()

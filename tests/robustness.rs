@@ -128,6 +128,7 @@ fn wide_table_50_columns() {
         ClientOptions {
             chunk_rows: 25,
             sessions: Some(3),
+            ..Default::default()
         },
     );
     let result = client.run_import_data(&job, &workload.data).unwrap();
@@ -179,6 +180,7 @@ insert into M values (:ID, :AMT, :D);
         ClientOptions {
             chunk_rows: 7,
             sessions: Some(2),
+            ..Default::default()
         },
     );
     let result = client.run_import_data(&job, &data).unwrap();
@@ -196,12 +198,15 @@ insert into M values (:ID, :AMT, :D);
 
 #[test]
 fn throttled_compressed_upload_still_correct() {
-    let mut config = VirtualizerConfig::default();
-    config.compress_staged = true;
-    config.upload_throttle =
-        etlv_cloudstore::Throttle::shaped(std::time::Duration::from_millis(1), 50_000_000);
-    config.file_size_threshold = 4096;
-    let v = Virtualizer::new(config);
+    let v = Virtualizer::new(VirtualizerConfig {
+        compress_staged: true,
+        upload_throttle: etlv_cloudstore::Throttle::shaped(
+            std::time::Duration::from_millis(1),
+            50_000_000,
+        ),
+        file_size_threshold: 4096,
+        ..Default::default()
+    });
     let connector = connector(&v);
     let mut session =
         Session::logon(connector.as_ref(), "ops", "pw", SessionRole::Control, 0).unwrap();

@@ -59,6 +59,7 @@ fn vartext_export_with_parallel_sessions() {
         ClientOptions {
             chunk_rows: 7, // many chunks across 3 sessions
             sessions: None,
+            ..Default::default()
         },
     );
     let job = export_job(

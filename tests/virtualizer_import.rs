@@ -153,9 +153,10 @@ fn figure5_semantics_through_virtualizer() {
 
 #[test]
 fn figure6_adaptive_error_table_max_errors_2() {
-    let mut config = VirtualizerConfig::default();
-    config.max_errors = 2;
-    let v = new_virtualizer(config);
+    let v = new_virtualizer(VirtualizerConfig {
+        max_errors: 2,
+        ..Default::default()
+    });
     let client = LegacyEtlClient::new(connector(&v));
     let result = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap();
 
@@ -192,6 +193,7 @@ fn parallel_sessions_small_chunks_same_outcome() {
         ClientOptions {
             chunk_rows: 1,
             sessions: Some(4),
+            ..Default::default()
         },
     );
     let result = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap();
@@ -202,15 +204,17 @@ fn parallel_sessions_small_chunks_same_outcome() {
 
 #[test]
 fn clean_bulk_load_with_compression_and_rotation() {
-    let mut config = VirtualizerConfig::default();
-    config.compress_staged = true;
-    config.file_size_threshold = 2048; // force several staged files
-    let v = Virtualizer::new(config);
+    let v = Virtualizer::new(VirtualizerConfig {
+        compress_staged: true,
+        file_size_threshold: 2048, // force several staged files
+        ..Default::default()
+    });
     let client = LegacyEtlClient::with_options(
         connector(&v),
         ClientOptions {
             chunk_rows: 50, // several chunks -> several staged files
             sessions: None,
+            ..Default::default()
         },
     );
 
@@ -252,15 +256,17 @@ fn acquisition_data_errors_reach_et_table() {
 
 #[test]
 fn oom_cap_fails_job_not_process() {
-    let mut config = VirtualizerConfig::default();
-    config.memory_cap = 64; // absurdly small: the first chunk trips it
-    config.credits = 64;
-    let v = new_virtualizer(config);
+    let v = new_virtualizer(VirtualizerConfig {
+        memory_cap: 64, // absurdly small: the first chunk trips it
+        credits: 64,
+        ..Default::default()
+    });
     let client = LegacyEtlClient::with_options(
         connector(&v),
         ClientOptions {
             chunk_rows: 1000,
             sessions: Some(1),
+            ..Default::default()
         },
     );
     let err = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap_err();
@@ -276,9 +282,10 @@ fn oom_cap_fails_job_not_process() {
 
 #[test]
 fn singleton_baseline_matches_adaptive_results() {
-    let mut config = VirtualizerConfig::default();
-    config.apply_strategy = etlv_core::ApplyStrategy::Singleton;
-    let v = new_virtualizer(config);
+    let v = new_virtualizer(VirtualizerConfig {
+        apply_strategy: etlv_core::ApplyStrategy::Singleton,
+        ..Default::default()
+    });
     let client = LegacyEtlClient::new(connector(&v));
     let result = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap();
     assert_eq!(result.report.rows_applied, 2);
@@ -288,9 +295,10 @@ fn singleton_baseline_matches_adaptive_results() {
 
 #[test]
 fn concurrent_jobs_share_one_credit_pool() {
-    let mut config = VirtualizerConfig::default();
-    config.credits = 4;
-    let v = Virtualizer::new(config);
+    let v = Virtualizer::new(VirtualizerConfig {
+        credits: 4,
+        ..Default::default()
+    });
     {
         let client = LegacyEtlClient::new(connector(&v));
         let mut s = etlv_legacy_client::Session::logon(
@@ -327,6 +335,7 @@ fn concurrent_jobs_share_one_credit_pool() {
             ClientOptions {
                 chunk_rows: 10,
                 sessions: Some(2),
+                ..Default::default()
             },
         );
         client.run_import_data(&import_job(), &data1).unwrap()
@@ -338,6 +347,7 @@ fn concurrent_jobs_share_one_credit_pool() {
             ClientOptions {
                 chunk_rows: 10,
                 sessions: Some(2),
+                ..Default::default()
             },
         );
         client.run_import_data(&job2, &data).unwrap()
