@@ -1,0 +1,279 @@
+//! PR 2 performance evidence: conversion-kernel before/after plus
+//! end-to-end import throughput for the Figure 7/8/9 workloads.
+//!
+//! Writes `BENCH_PR2.json` at the repo root (format documented in
+//! EXPERIMENTS.md). The kernel comparison runs the retained naive
+//! implementation (`convert_reference`, the pre-change hot path) and the
+//! zero-allocation streaming kernel (`convert_into`) over identical
+//! chunks in the same process, so the speedup is measured like-for-like.
+//!
+//! Usage: `bench_pr2 [--smoke] [--out PATH]`
+//!   --smoke  shrink workloads and iteration counts for a CI sanity run
+//!   --out    output path (default BENCH_PR2.json)
+
+use std::time::{Duration, Instant};
+
+use etlv_bench::run_import;
+use etlv_core::convert::{ConvertScratch, DataConverter};
+use etlv_core::workload::{customer_workload, wide_workload, CustomerSpec, Workload};
+use etlv_core::{ConverterMode, VirtualizerConfig};
+use etlv_legacy_client::ClientOptions;
+use etlv_script::{compile, parse_script, JobPlan};
+
+#[derive(Clone, Copy)]
+struct Rates {
+    rows_per_s: f64,
+    bytes_per_s: f64,
+}
+
+struct KernelResult {
+    name: &'static str,
+    rows: u64,
+    bytes: u64,
+    baseline: Rates,
+    after: Rates,
+}
+
+struct EndToEndResult {
+    name: String,
+    rows: u64,
+    bytes: u64,
+    total: Rates,
+    acquisition_s: f64,
+    application_s: f64,
+}
+
+fn rates(rows: u64, bytes: u64, elapsed: Duration) -> Rates {
+    let s = elapsed.as_secs_f64().max(1e-9);
+    Rates {
+        rows_per_s: rows as f64 / s,
+        bytes_per_s: bytes as f64 / s,
+    }
+}
+
+/// Build the job's DataConverter exactly as the gateway does.
+fn converter_for(workload: &Workload) -> DataConverter {
+    let JobPlan::Import(job) = compile(&parse_script(&workload.script).unwrap()).unwrap() else {
+        panic!("workload script is not an import job")
+    };
+    DataConverter::new(
+        job.layout,
+        job.format,
+        VirtualizerConfig::default().staging_delimiter,
+    )
+}
+
+/// Best-of-`iters` wall time for `f` over the full chunk.
+fn best_of(iters: u32, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Kernel before/after on one workload's data, chunked like the wire.
+fn bench_kernel(name: &'static str, workload: &Workload, iters: u32) -> KernelResult {
+    let conv = converter_for(workload);
+    let data = &workload.data;
+
+    let baseline = best_of(iters, || {
+        let chunk = conv.convert_reference(1, data).unwrap();
+        assert_eq!(chunk.rows as u64, workload.rows);
+        std::hint::black_box(&chunk.bytes);
+    });
+
+    // The pipeline's steady state: one reused output buffer, one scratch.
+    let mut out = Vec::new();
+    let mut scratch = ConvertScratch::new();
+    let after = best_of(iters, || {
+        out.clear();
+        let rows = conv.convert_into(1, data, &mut out, &mut scratch).unwrap();
+        assert_eq!(rows as u64, workload.rows);
+        std::hint::black_box(&out);
+    });
+
+    KernelResult {
+        name,
+        rows: workload.rows,
+        bytes: data.len() as u64,
+        baseline: rates(workload.rows, data.len() as u64, baseline),
+        after: rates(workload.rows, data.len() as u64, after),
+    }
+}
+
+fn bench_end_to_end(
+    name: String,
+    workload: &Workload,
+    config: VirtualizerConfig,
+    options: ClientOptions,
+    runs: u32,
+) -> EndToEndResult {
+    let mut best_total = Duration::MAX;
+    let mut best = None;
+    for _ in 0..runs {
+        let (_, report) = run_import(config.clone(), Duration::ZERO, workload, options.clone());
+        if report.total() < best_total {
+            best_total = report.total();
+            best = Some(report);
+        }
+    }
+    let report = best.unwrap();
+    EndToEndResult {
+        name,
+        rows: workload.rows,
+        bytes: workload.data.len() as u64,
+        total: rates(workload.rows, workload.data.len() as u64, report.total()),
+        acquisition_s: report.acquisition.as_secs_f64(),
+        application_s: report.application.as_secs_f64(),
+    }
+}
+
+fn customer(rows: u64, row_bytes: usize) -> Workload {
+    customer_workload(&CustomerSpec {
+        rows,
+        row_bytes,
+        sessions: 4,
+        unique_key: false,
+        ..Default::default()
+    })
+}
+
+fn json_rates(out: &mut String, r: Rates) {
+    out.push_str(&format!(
+        "{{\"rows_per_s\": {:.0}, \"bytes_per_s\": {:.0}}}",
+        r.rows_per_s, r.bytes_per_s
+    ));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let (total_bytes, kernel_iters, e2e_runs) = if smoke {
+        (1_000_000u64, 3u32, 1u32)
+    } else {
+        (12_500_000u64, 7u32, 3u32)
+    };
+
+    // --- conversion kernel, before vs after ---------------------------
+    eprintln!("kernel: fig8 narrow (250 B rows)...");
+    let narrow = customer(total_bytes / 250, 250);
+    let k_narrow = bench_kernel("fig8_narrow_250B", &narrow, kernel_iters);
+
+    eprintln!("kernel: fig8 wide (2000 B rows)...");
+    let wide = customer(total_bytes / 2000, 2000);
+    let k_wide = bench_kernel("fig8_wide_2000B", &wide, kernel_iters);
+
+    eprintln!("kernel: fig10 50-column table...");
+    let cols = wide_workload(total_bytes / 500, 50, 9, 42);
+    let k_cols = bench_kernel("fig10_50_columns", &cols, kernel_iters);
+
+    let kernels = [k_narrow, k_wide, k_cols];
+
+    // --- end-to-end imports -------------------------------------------
+    let options = ClientOptions {
+        chunk_rows: 1_000,
+        sessions: Some(4),
+        ..Default::default()
+    };
+    let mut e2e = Vec::new();
+
+    eprintln!("end-to-end: fig7 dataset ({} B)...", total_bytes);
+    e2e.push(bench_end_to_end(
+        "fig7_dataset".into(),
+        &customer(total_bytes / 100, 100),
+        VirtualizerConfig::default(),
+        options.clone(),
+        e2e_runs,
+    ));
+
+    for width in [250usize, 2000] {
+        eprintln!("end-to-end: fig8 width {width}...");
+        e2e.push(bench_end_to_end(
+            format!("fig8_width_{width}B"),
+            &customer(total_bytes / width as u64, width),
+            VirtualizerConfig::default(),
+            options.clone(),
+            e2e_runs,
+        ));
+    }
+
+    for workers in [1usize, 2, 4] {
+        eprintln!("end-to-end: fig9 pool {workers}...");
+        let config = VirtualizerConfig {
+            converter_mode: ConverterMode::Pool(workers),
+            file_writers: (workers / 4).max(1),
+            credits: workers * 4,
+            ..Default::default()
+        };
+        e2e.push(bench_end_to_end(
+            format!("fig9_pool_{workers}"),
+            &customer(total_bytes / 250, 250),
+            config,
+            options.clone(),
+            e2e_runs,
+        ));
+    }
+
+    // --- report --------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"kernel\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let speedup = k.after.rows_per_s / k.baseline.rows_per_s;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"bytes\": {}, \"baseline\": ",
+            k.name, k.rows, k.bytes
+        ));
+        json_rates(&mut json, k.baseline);
+        json.push_str(", \"after\": ");
+        json_rates(&mut json, k.after);
+        json.push_str(&format!(", \"speedup\": {speedup:.2}}}"));
+        json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+        eprintln!(
+            "  {:>18}: {:>12.0} -> {:>12.0} rows/s  ({speedup:.2}x)",
+            k.name, k.baseline.rows_per_s, k.after.rows_per_s
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"end_to_end\": [\n");
+    for (i, r) in e2e.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"bytes\": {}, \"total\": ",
+            r.name, r.rows, r.bytes
+        ));
+        json_rates(&mut json, r.total);
+        json.push_str(&format!(
+            ", \"acquisition_s\": {:.3}, \"application_s\": {:.3}}}",
+            r.acquisition_s, r.application_s
+        ));
+        json.push_str(if i + 1 < e2e.len() { ",\n" } else { "\n" });
+        eprintln!(
+            "  {:>18}: {:>12.0} rows/s, {:>12.0} bytes/s",
+            r.name, r.total.rows_per_s, r.total.bytes_per_s
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // The PR's headline claim: the kernel at least doubles wide-row
+    // conversion throughput. Fail loudly if a regression sneaks in.
+    let wide = &kernels[1];
+    let speedup = wide.after.rows_per_s / wide.baseline.rows_per_s;
+    if !smoke && speedup < 2.0 {
+        eprintln!("FAIL: fig8 wide-row kernel speedup {speedup:.2}x < 2.0x");
+        std::process::exit(1);
+    }
+}

@@ -101,6 +101,22 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Append pre-validated rows in one shot, optionally maintaining the
+    /// uniqueness index incrementally — the storage half of the CDW's
+    /// batched ingest. Rows are moved, never cloned; callers must have
+    /// validated width, types, and (if enforced) uniqueness already.
+    pub fn append_rows(&mut self, rows: Vec<Vec<Value>>, maintain_unique_index: bool) {
+        self.rows.reserve(rows.len());
+        for row in rows {
+            if maintain_unique_index {
+                if let Some(key) = self.unique_key(&row) {
+                    self.unique_index.insert(key, self.rows.len());
+                }
+            }
+            self.rows.push(row);
+        }
+    }
+
     /// Rebuild the uniqueness index from current rows (used after bulk
     /// mutations when native enforcement is on).
     pub fn rebuild_unique_index(&mut self) {
@@ -259,6 +275,24 @@ mod tests {
         assert_eq!(t.column_index("id"), Some(0));
         assert_eq!(t.column_index("Name"), Some(1));
         assert_eq!(t.column_index("missing"), None);
+    }
+
+    #[test]
+    fn append_rows_maintains_index_when_asked() {
+        let mut t = make_table("T");
+        t.append_rows(
+            vec![
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Null],
+            ],
+            true,
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.unique_index.get(&RowKey(vec![Value::Int(2)])), Some(&1));
+
+        let mut t = make_table("T");
+        t.append_rows(vec![vec![Value::Int(1), Value::Null]], false);
+        assert!(t.unique_index.is_empty());
     }
 
     #[test]

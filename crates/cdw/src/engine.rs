@@ -96,8 +96,10 @@ impl Cdw {
         *self.inner.transient_fault.lock() = hook;
     }
 
-    /// Execute one pre-parsed statement.
-    pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
+    /// Per-statement prelude shared by every execution entry point: consult
+    /// the transient-fault hook (failing side-effect free), then model the
+    /// client↔warehouse round-trip latency.
+    fn begin_statement(&self) -> Result<(), CdwError> {
         let hook = self.inner.transient_fault.lock().clone();
         if let Some(hook) = hook {
             if hook() {
@@ -109,6 +111,12 @@ impl Cdw {
         if !self.inner.config.statement_latency.is_zero() {
             std::thread::sleep(self.inner.config.statement_latency);
         }
+        Ok(())
+    }
+
+    /// Execute one pre-parsed statement.
+    pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
+        self.begin_statement()?;
         let mut catalog = self.inner.catalog.lock();
         let mut ctx = ExecCtx {
             catalog: &mut catalog,
@@ -116,6 +124,28 @@ impl Cdw {
             native_unique: self.inner.config.native_unique,
         };
         execute(&mut ctx, stmt)
+    }
+
+    /// Batched ingest fast path: validate and append pre-materialized rows
+    /// to `table` under a single catalog-lock acquisition and a single
+    /// statement round-trip — no SQL text, no AST, no per-row cloning.
+    /// Semantics match a set-oriented `INSERT` of full-width rows: the
+    /// whole batch is validated (column count, NOT NULL, coercion, native
+    /// uniqueness) before any state changes, and aborts leave the table
+    /// untouched. Returns the number of rows appended.
+    pub fn copy_batch(
+        &self,
+        table: &str,
+        rows: Vec<Vec<etlv_protocol::data::Value>>,
+    ) -> Result<u64, CdwError> {
+        self.begin_statement()?;
+        let mut catalog = self.inner.catalog.lock();
+        let mut ctx = ExecCtx {
+            catalog: &mut catalog,
+            store: self.inner.store.as_ref(),
+            native_unique: self.inner.config.native_unique,
+        };
+        crate::exec::copy_batch(&mut ctx, table, rows)
     }
 
     /// Execute a `;`-separated script, stopping at the first error.
@@ -365,6 +395,81 @@ mod tests {
             r.rows,
             vec![vec![Value::Int(3)], vec![Value::Int(2)]]
         );
+    }
+
+    #[test]
+    fn copy_batch_appends_and_validates_atomically() {
+        let cdw = setup();
+        let n = cdw
+            .copy_batch(
+                "PROD.CUSTOMER",
+                vec![
+                    vec![
+                        Value::Str("1".into()),
+                        Value::Str("ann".into()),
+                        Value::Str("2012-01-01".into()),
+                    ],
+                    vec![Value::Str("2".into()), Value::Str("bob".into()), Value::Null],
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 2);
+        // The text date was coerced against the column type.
+        let r = cdw
+            .execute("SELECT JOIN_DATE FROM PROD.CUSTOMER WHERE CUST_ID = '1'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Date(Date::new(2012, 1, 1).unwrap()));
+
+        // A NOT NULL violation anywhere aborts the whole batch.
+        let err = cdw
+            .copy_batch(
+                "PROD.CUSTOMER",
+                vec![
+                    vec![Value::Str("3".into()), Value::Null, Value::Null],
+                    vec![Value::Null, Value::Null, Value::Null],
+                ],
+            )
+            .unwrap_err();
+        assert!(err.is_bulk_abort(), "{err}");
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 2);
+
+        // Width mismatches are rejected before any mutation.
+        let err = cdw
+            .copy_batch("PROD.CUSTOMER", vec![vec![Value::Str("4".into())]])
+            .unwrap_err();
+        assert!(matches!(err, CdwError::ColumnCount { .. }));
+        assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 2);
+    }
+
+    #[test]
+    fn copy_batch_native_unique_and_faults() {
+        let cdw = Cdw::with_config(
+            CdwConfig {
+                native_unique: true,
+                ..Default::default()
+            },
+            None,
+        );
+        cdw.execute("CREATE TABLE T (A INTEGER, PRIMARY KEY (A))").unwrap();
+        cdw.copy_batch("T", vec![vec![Value::Int(1)]]).unwrap();
+        // Duplicate against existing rows and within the batch both abort.
+        let err = cdw.copy_batch("T", vec![vec![Value::Int(1)]]).unwrap_err();
+        assert!(err.is_uniqueness());
+        let err = cdw
+            .copy_batch("T", vec![vec![Value::Int(2)], vec![Value::Int(2)]])
+            .unwrap_err();
+        assert!(err.is_uniqueness());
+        assert_eq!(cdw.table_len("T").unwrap(), 1);
+        // The index stays consistent for subsequent statement-path inserts.
+        let err = cdw.execute("INSERT INTO T VALUES (1)").unwrap_err();
+        assert!(err.is_uniqueness());
+
+        // The transient-fault hook guards copy_batch like any statement.
+        cdw.set_transient_fault(Some(Arc::new(|| true)));
+        let err = cdw.copy_batch("T", vec![vec![Value::Int(9)]]).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(cdw.table_len("T").unwrap(), 1);
     }
 
     #[test]

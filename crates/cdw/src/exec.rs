@@ -164,9 +164,10 @@ fn exec_insert(ctx: &mut ExecCtx<'_>, ins: &Insert) -> Result<QueryResult, CdwEr
         }
     };
 
-    // Validate and coerce every row BEFORE mutating (set-oriented).
+    // Validate and coerce every row BEFORE mutating (set-oriented). Source
+    // rows are consumed by value — no per-value clone on the ingest path.
     let mut staged: Vec<Vec<Value>> = Vec::with_capacity(src_rows.len());
-    for row in &src_rows {
+    for row in src_rows {
         if row.len() != col_map.len() {
             return Err(CdwError::ColumnCount {
                 expected: col_map.len(),
@@ -174,63 +175,96 @@ fn exec_insert(ctx: &mut ExecCtx<'_>, ins: &Insert) -> Result<QueryResult, CdwEr
             });
         }
         let mut full = vec![Value::Null; ncols];
-        for (v, &ci) in row.iter().zip(&col_map) {
-            full[ci] = v.clone();
+        for (v, &ci) in row.into_iter().zip(&col_map) {
+            full[ci] = v;
         }
         staged.push(coerce_row(table, full)?);
     }
 
-    // Uniqueness (native mode): check against existing rows and within the
-    // batch itself.
+    // Uniqueness (native mode) + append via the shared batch path.
     let table = ctx.catalog.get_mut(&ins.table.dotted())?;
-    if ctx.native_unique && table.unique_columns.is_some() {
+    let n = append_unique_checked(table, staged, ctx.native_unique, "duplicate key")?;
+    Ok(QueryResult::dml(n))
+}
+
+/// Coerce one value to its column's type, enforcing NOT NULL.
+fn coerce_col(table: &Table, ci: usize, v: Value) -> Result<Value, CdwError> {
+    let col = &table.columns[ci];
+    if v.is_null() {
+        if col.not_null {
+            return Err(CdwError::BulkAbort {
+                kind: BulkAbortKind::NullViolation,
+                message: format!("NULL in NOT NULL column {}.{}", table.name, col.name),
+            });
+        }
+        return Ok(Value::Null);
+    }
+    v.coerce_to(col.ty.to_legacy())
+        .map_err(|e| conv_err(format!("column {}.{}: {}", table.name, col.name, e.reason)))
+}
+
+/// Coerce a full-width row to the table's column types, enforcing NOT NULL.
+fn coerce_row(table: &Table, row: Vec<Value>) -> Result<Vec<Value>, CdwError> {
+    row.into_iter()
+        .enumerate()
+        .map(|(ci, v)| coerce_col(table, ci, v))
+        .collect()
+}
+
+/// Validate batch uniqueness (native mode) against existing rows and within
+/// the batch itself, then append every row — the single append path shared
+/// by INSERT, COPY, and the batched-ingest fast path. `conflict` names the
+/// operation in the abort message ("duplicate key", "COPY", ...). Rows must
+/// already be full-width and coerced.
+fn append_unique_checked(
+    table: &mut Table,
+    staged: Vec<Vec<Value>>,
+    native_unique: bool,
+    conflict: &str,
+) -> Result<u64, CdwError> {
+    if native_unique && table.unique_columns.is_some() {
         let mut batch_keys: HashMap<RowKey, ()> = HashMap::with_capacity(staged.len());
         for row in &staged {
             let key = table.unique_key(row).expect("unique declared");
             if table.unique_index.contains_key(&key) || batch_keys.insert(key, ()).is_some() {
                 return Err(CdwError::BulkAbort {
                     kind: BulkAbortKind::Uniqueness,
-                    message: format!(
-                        "duplicate key violates unique constraint on {}",
-                        table.name
-                    ),
+                    message: format!("{conflict} violates unique constraint on {}", table.name),
                 });
             }
         }
     }
-
     let n = staged.len() as u64;
-    for row in staged {
-        if ctx.native_unique {
-            if let Some(key) = table.unique_key(&row) {
-                table.unique_index.insert(key, table.rows.len());
-            }
-        }
-        table.rows.push(row);
-    }
-    Ok(QueryResult::dml(n))
+    table.append_rows(staged, native_unique);
+    Ok(n)
 }
 
-/// Coerce a full-width row to the table's column types, enforcing NOT NULL.
-fn coerce_row(table: &Table, row: Vec<Value>) -> Result<Vec<Value>, CdwError> {
-    let mut out = Vec::with_capacity(row.len());
-    for (v, col) in row.into_iter().zip(&table.columns) {
-        if v.is_null() {
-            if col.not_null {
-                return Err(CdwError::BulkAbort {
-                    kind: BulkAbortKind::NullViolation,
-                    message: format!("NULL in NOT NULL column {}.{}", table.name, col.name),
-                });
-            }
-            out.push(Value::Null);
-            continue;
+/// Batched ingest fast path: validate and append pre-materialized rows to
+/// `table_name` in one shot — no SQL, no AST, no per-row cloning, and the
+/// caller (the engine) holds the catalog lock exactly once for the whole
+/// batch. Semantics match `INSERT INTO t VALUES ...` over full-width rows:
+/// set-oriented validation (column count, NOT NULL, type coercion,
+/// uniqueness under native enforcement) before any table state changes.
+pub fn copy_batch(
+    ctx: &mut ExecCtx<'_>,
+    table_name: &str,
+    rows: Vec<Vec<Value>>,
+) -> Result<u64, CdwError> {
+    let table = ctx.catalog.get(table_name)?;
+    let ncols = table.columns.len();
+    let mut staged: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.len() != ncols {
+            return Err(CdwError::ColumnCount {
+                expected: ncols,
+                actual: row.len(),
+            });
         }
-        let coerced = v.coerce_to(col.ty.to_legacy()).map_err(|e| {
-            conv_err(format!("column {}.{}: {}", table.name, col.name, e.reason))
-        })?;
-        out.push(coerced);
+        staged.push(coerce_row(table, row)?);
     }
-    Ok(out)
+    let native_unique = ctx.native_unique;
+    let table = ctx.catalog.get_mut(table_name)?;
+    append_unique_checked(table, staged, native_unique, "batched ingest")
 }
 
 // ------------------------------------------------------------------ UPDATE
@@ -247,7 +281,17 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
         );
     }
 
-    // Phase 1 (read-only): compute the new value of every affected row.
+    // Positions whose assignment survives (the last write to its column),
+    // visited in column order so coercion errors surface in the same order
+    // the old whole-row coercion reported them.
+    let mut final_positions: Vec<usize> = (0..assignment_idx.len())
+        .filter(|&p| !assignment_idx[p + 1..].contains(&assignment_idx[p]))
+        .collect();
+    final_positions.sort_by_key(|&p| assignment_idx[p]);
+
+    // Phase 1 (read-only): compute the assigned values of every affected
+    // row. Only assigned columns are materialized — the rest of the row is
+    // updated in place during phase 3, never cloned.
     let mut updates: Vec<(usize, Vec<Value>)> = Vec::new();
     for (i, row) in table.rows.iter().enumerate() {
         let env = RowEnv {
@@ -261,38 +305,62 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
         if !hit {
             continue;
         }
-        let mut new_row = row.clone();
-        for ((_, expr), &ci) in u.assignments.iter().zip(&assignment_idx) {
-            new_row[ci] = eval(expr, &env)?;
+        let mut vals: Vec<Value> = Vec::with_capacity(assignment_idx.len());
+        for (_, expr) in &u.assignments {
+            vals.push(eval(expr, &env)?);
         }
-        updates.push((i, coerce_row(table, new_row)?));
+        // Coerce only values that actually land (duplicate assignments to
+        // one column are overwritten uncoerced, as before).
+        for &p in &final_positions {
+            let v = std::mem::replace(&mut vals[p], Value::Null);
+            vals[p] = coerce_col(table, assignment_idx[p], v)?;
+        }
+        updates.push((i, vals));
     }
 
-    // Phase 2: uniqueness re-validation under native enforcement.
-    if ctx.native_unique && table.unique_columns.is_some() {
-        let mut keys: HashMap<RowKey, ()> = HashMap::new();
-        let updated: HashMap<usize, &Vec<Value>> =
-            updates.iter().map(|(i, r)| (*i, r)).collect();
-        for (i, row) in table.rows.iter().enumerate() {
-            let effective: &Vec<Value> = updated.get(&i).copied().unwrap_or(row);
-            let key = table.unique_key(effective).expect("unique declared");
-            if keys.insert(key, ()).is_some() {
-                return Err(CdwError::BulkAbort {
-                    kind: BulkAbortKind::Uniqueness,
-                    message: format!(
-                        "UPDATE would violate unique constraint on {}",
-                        table.name
+    // Phase 2: uniqueness re-validation under native enforcement, using
+    // each row's *effective* key (assigned values where present, stored
+    // values elsewhere).
+    if ctx.native_unique {
+        if let Some(unique_cols) = &table.unique_columns {
+            let updated: HashMap<usize, &Vec<Value>> =
+                updates.iter().map(|(i, vals)| (*i, vals)).collect();
+            let mut keys: HashMap<RowKey, ()> = HashMap::new();
+            for (i, row) in table.rows.iter().enumerate() {
+                let key = match updated.get(&i) {
+                    Some(vals) => RowKey(
+                        unique_cols
+                            .iter()
+                            .map(|&uc| {
+                                match assignment_idx.iter().rposition(|&ci| ci == uc) {
+                                    Some(p) => vals[p].clone(),
+                                    None => row[uc].clone(),
+                                }
+                            })
+                            .collect(),
                     ),
-                });
+                    None => table.unique_key(row).expect("unique declared"),
+                };
+                if keys.insert(key, ()).is_some() {
+                    return Err(CdwError::BulkAbort {
+                        kind: BulkAbortKind::Uniqueness,
+                        message: format!(
+                            "UPDATE would violate unique constraint on {}",
+                            table.name
+                        ),
+                    });
+                }
             }
         }
     }
 
-    // Phase 3: apply.
+    // Phase 3: apply in place — only the assigned cells change.
     let n = updates.len() as u64;
     let table = ctx.catalog.get_mut(&u.table.dotted())?;
-    for (i, new_row) in updates {
-        table.rows[i] = new_row;
+    for (i, vals) in updates {
+        for (&ci, v) in assignment_idx.iter().zip(vals) {
+            table.rows[i][ci] = v;
+        }
     }
     if ctx.native_unique {
         table.rebuild_unique_index();
@@ -305,7 +373,9 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
 fn exec_delete(ctx: &mut ExecCtx<'_>, d: &Delete) -> Result<QueryResult, CdwError> {
     let table = ctx.catalog.get(&d.table.dotted())?;
     let bindings = table_bindings(table, None);
-    let mut keep = Vec::with_capacity(table.rows.len());
+    // Phase 1 (read-only): mark victims, so a WHERE evaluation error leaves
+    // the table untouched (set-oriented, like every other mutation).
+    let mut hits: Vec<bool> = Vec::with_capacity(table.rows.len());
     let mut removed = 0u64;
     for row in &table.rows {
         let env = RowEnv {
@@ -318,13 +388,18 @@ fn exec_delete(ctx: &mut ExecCtx<'_>, d: &Delete) -> Result<QueryResult, CdwErro
         };
         if hit {
             removed += 1;
-        } else {
-            keep.push(row.clone());
         }
+        hits.push(hit);
     }
+    // Phase 2: compact in place — survivors shift down, nothing is cloned.
     let native_unique = ctx.native_unique;
     let table = ctx.catalog.get_mut(&d.table.dotted())?;
-    table.rows = keep;
+    let mut idx = 0;
+    table.rows.retain(|_| {
+        let keep = !hits[idx];
+        idx += 1;
+        keep
+    });
     if native_unique {
         table.rebuild_unique_index();
     }
@@ -368,27 +443,7 @@ fn exec_copy(ctx: &mut ExecCtx<'_>, c: &CopyStmt) -> Result<QueryResult, CdwErro
 
     let native_unique = ctx.native_unique;
     let table = ctx.catalog.get_mut(&c.table.dotted())?;
-    if native_unique && table.unique_columns.is_some() {
-        let mut batch: HashMap<RowKey, ()> = HashMap::with_capacity(staged.len());
-        for row in &staged {
-            let key = table.unique_key(row).expect("unique declared");
-            if table.unique_index.contains_key(&key) || batch.insert(key, ()).is_some() {
-                return Err(CdwError::BulkAbort {
-                    kind: BulkAbortKind::Uniqueness,
-                    message: format!("COPY violates unique constraint on {}", table.name),
-                });
-            }
-        }
-    }
-    let n = staged.len() as u64;
-    for row in staged {
-        if native_unique {
-            if let Some(key) = table.unique_key(&row) {
-                table.unique_index.insert(key, table.rows.len());
-            }
-        }
-        table.rows.push(row);
-    }
+    let n = append_unique_checked(table, staged, native_unique, "COPY")?;
     Ok(QueryResult::dml(n))
 }
 

@@ -32,6 +32,11 @@ impl StagedFormat {
         self.inner.delimiter
     }
 
+    /// The quote byte (fixed at construction).
+    pub fn quote(&self) -> u8 {
+        self.inner.quote
+    }
+
     /// Append one row to a staged buffer (adds the trailing newline).
     pub fn write_row(&self, values: &[Value], out: &mut Vec<u8>) {
         self.inner.encode_row(values, out);
@@ -45,13 +50,43 @@ impl StagedFormat {
         fields: impl Iterator<Item = Option<&'a str>>,
         out: &mut Vec<u8>,
     ) {
-        let vals: Vec<Value> = fields
-            .map(|f| match f {
-                None => Value::Null,
-                Some(s) => Value::Str(s.to_string()),
-            })
-            .collect();
-        self.write_row(&vals, out);
+        for (i, f) in fields.enumerate() {
+            if i > 0 {
+                self.push_delimiter(out);
+            }
+            match f {
+                None => {}
+                Some("") => self.push_empty(out),
+                Some(s) => self.push_escaped(s.as_bytes(), out),
+            }
+        }
+        self.end_row(out);
+    }
+
+    /// Append the field delimiter. The streaming writers below let callers
+    /// build a staged row field-by-field with zero intermediate
+    /// allocation; together they produce byte-identical output to
+    /// [`write_row`](Self::write_row) on the equivalent `Value` row.
+    pub fn push_delimiter(&self, out: &mut Vec<u8>) {
+        out.push(self.inner.delimiter);
+    }
+
+    /// Append the quoted-empty marker (`""`) — the staged rendering of an
+    /// empty (non-NULL) string. A NULL field appends nothing at all.
+    pub fn push_empty(&self, out: &mut Vec<u8>) {
+        out.push(self.inner.quote);
+        out.push(self.inner.quote);
+    }
+
+    /// Append one non-empty field's content, escaping delimiter, quote,
+    /// backslash, and CR/LF exactly as [`write_row`](Self::write_row) does.
+    pub fn push_escaped(&self, content: &[u8], out: &mut Vec<u8>) {
+        self.inner.escape_bytes_into(content, out);
+    }
+
+    /// Terminate the current row.
+    pub fn end_row(&self, out: &mut Vec<u8>) {
+        out.push(b'\n');
     }
 
     /// Parse a staged buffer into rows of text fields.
@@ -97,6 +132,30 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn streaming_writers_match_write_row() {
+        let f = StagedFormat::new(b'|');
+        let row = vec![
+            Value::Int(7),
+            Value::Null,
+            Value::Str(String::new()),
+            Value::Str("a|b\\c\"d\ne".into()),
+        ];
+        let mut via_row = Vec::new();
+        f.write_row(&row, &mut via_row);
+
+        let mut via_stream = Vec::new();
+        f.push_escaped(b"7", &mut via_stream);
+        f.push_delimiter(&mut via_stream);
+        // NULL: nothing.
+        f.push_delimiter(&mut via_stream);
+        f.push_empty(&mut via_stream);
+        f.push_delimiter(&mut via_stream);
+        f.push_escaped("a|b\\c\"d\ne".as_bytes(), &mut via_stream);
+        f.end_row(&mut via_stream);
+        assert_eq!(via_row, via_stream);
     }
 
     #[test]

@@ -80,6 +80,13 @@ pub struct VirtualizerConfig {
     /// injection entirely; a plan arms the store, CDW, converter, and
     /// transport hooks with the plan's seed.
     pub fault_plan: Option<FaultPlan>,
+    /// Ceiling on converter worker threads regardless of mode. Per-chunk
+    /// mode historically spawned one OS thread per in-flight chunk, so a
+    /// large credit pool (Figure 10 sweeps up to 10⁶) translated directly
+    /// into thread-creation overhead — or resource exhaustion. The
+    /// persistent pool sizes itself to `min(credits, max_converter_threads)`
+    /// instead; chunks beyond that simply queue on the bounded channel.
+    pub max_converter_threads: usize,
 }
 
 impl Default for VirtualizerConfig {
@@ -108,6 +115,7 @@ impl Default for VirtualizerConfig {
             retry_base_delay: Duration::from_millis(2),
             retry_max_delay: Duration::from_millis(200),
             fault_plan: None,
+            max_converter_threads: (cores * 8).clamp(16, 256),
         }
     }
 }
@@ -117,9 +125,11 @@ impl VirtualizerConfig {
     pub fn converter_workers(&self) -> usize {
         match self.converter_mode {
             ConverterMode::Pool(n) => n.max(1),
-            // Per-chunk mode spawns as it goes; the pipeline uses this
-            // only for channel sizing.
-            ConverterMode::PerChunk => self.credits.max(1),
+            // Per-chunk semantics: enough workers that every in-flight
+            // chunk (bounded by the credit pool) can convert concurrently —
+            // but capped, so huge credit counts don't translate into huge
+            // thread counts.
+            ConverterMode::PerChunk => self.credits.clamp(1, self.max_converter_threads.max(1)),
         }
     }
 
@@ -139,6 +149,9 @@ impl VirtualizerConfig {
         }
         if self.retry_base_delay > self.retry_max_delay {
             return Err("retry_base_delay must not exceed retry_max_delay".into());
+        }
+        if self.max_converter_threads == 0 {
+            return Err("max_converter_threads must be at least 1".into());
         }
         Ok(())
     }
@@ -202,5 +215,21 @@ mod tests {
         c.converter_mode = ConverterMode::PerChunk;
         c.credits = 7;
         assert_eq!(c.converter_workers(), 7);
+    }
+
+    #[test]
+    fn per_chunk_workers_capped() {
+        let c = VirtualizerConfig {
+            converter_mode: ConverterMode::PerChunk,
+            credits: 100_000,
+            max_converter_threads: 32,
+            ..Default::default()
+        };
+        assert_eq!(c.converter_workers(), 32);
+        let c = VirtualizerConfig {
+            max_converter_threads: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
     }
 }

@@ -23,7 +23,7 @@ use etlv_protocol::message::{
 };
 use etlv_protocol::record::encode_rows;
 use etlv_protocol::transport::Transport;
-use etlv_sql::ast::{Expr, Insert, InsertSource, Literal, ObjectName, Stmt};
+use etlv_protocol::data::Value;
 use etlv_sql::types::SqlType;
 use etlv_sql::Dialect;
 use parking_lot::Mutex;
@@ -623,49 +623,49 @@ impl Virtualizer {
         app_errors: &[RecordedError],
         retries: &mut u64,
     ) -> Result<(), String> {
-        let mut et_rows: Vec<Vec<Expr>> = Vec::new();
+        let mut et_rows: Vec<Vec<Value>> = Vec::new();
         for e in &pipe_report.acq_errors {
             et_rows.push(vec![
-                Expr::Literal(Literal::Integer(e.seq as i64)),
-                Expr::Literal(Literal::Integer(e.code.0 as i64)),
-                Expr::Literal(Literal::Null),
-                Expr::Literal(Literal::Str(e.message.clone())),
+                Value::Int(e.seq as i64),
+                Value::Int(e.code.0 as i64),
+                Value::Null,
+                Value::Str(e.message.clone()),
             ]);
         }
-        let mut uv_rows: Vec<Vec<Expr>> = Vec::new();
+        let mut uv_rows: Vec<Vec<Value>> = Vec::new();
         for e in app_errors {
             if e.code == ErrCode::UNIQUENESS {
                 let seq = match e.rows {
                     ErrorRows::Single(s) => s,
                     ErrorRows::Range(a, _) => a,
                 };
-                let mut row: Vec<Expr> = e
+                let mut row: Vec<Value> = e
                     .uv_tuple
                     .clone()
                     .unwrap_or_default()
-                    .iter()
-                    .map(|v| Expr::Literal(Literal::from_value(v)))
+                    .into_iter()
+                    .map(uv_column_value)
                     .collect();
                 // Pad if the tuple was unavailable.
                 while row.len() < job.spec.layout.arity() {
-                    row.push(Expr::Literal(Literal::Null));
+                    row.push(Value::Null);
                 }
-                row.push(Expr::Literal(Literal::Integer(seq as i64)));
-                row.push(Expr::Literal(Literal::Integer(e.code.0 as i64)));
+                row.push(Value::Int(seq as i64));
+                row.push(Value::Int(e.code.0 as i64));
                 uv_rows.push(row);
             } else {
                 let seqno = match e.rows {
-                    ErrorRows::Single(s) => Expr::Literal(Literal::Integer(s as i64)),
-                    ErrorRows::Range(_, _) => Expr::Literal(Literal::Null),
+                    ErrorRows::Single(s) => Value::Int(s as i64),
+                    ErrorRows::Range(_, _) => Value::Null,
                 };
                 et_rows.push(vec![
                     seqno,
-                    Expr::Literal(Literal::Integer(e.code.0 as i64)),
+                    Value::Int(e.code.0 as i64),
                     match &e.field {
-                        Some(f) => Expr::Literal(Literal::Str(f.clone())),
-                        None => Expr::Literal(Literal::Null),
+                        Some(f) => Value::Str(f.clone()),
+                        None => Value::Null,
                     },
-                    Expr::Literal(Literal::Str(e.message.clone())),
+                    Value::Str(e.message.clone()),
                 ]);
             }
         }
@@ -678,22 +678,21 @@ impl Virtualizer {
         Ok(())
     }
 
+    /// Write error rows via the CDW's batched ingest fast path. The rows
+    /// are pre-built `Value`s, so no SQL text or VALUES AST is constructed
+    /// and the warehouse validates/appends the whole batch under one
+    /// catalog-lock acquisition.
     fn insert_rows(
         &self,
         table: &str,
-        rows: Vec<Vec<Expr>>,
+        rows: Vec<Vec<Value>>,
         retries: &mut u64,
     ) -> Result<(), String> {
-        let stmt = Stmt::Insert(Insert {
-            table: ObjectName(table.split('.').map(str::to_string).collect()),
-            columns: None,
-            source: InsertSource::Values(rows),
-        });
         retry_cdw(
             self.node.config.retry_policy(),
             self.node.config.fault_seed() ^ 0xE7,
             retries,
-            || self.node.cdw.execute_stmt(&stmt),
+            || self.node.cdw.copy_batch(table, rows.clone()),
         )
         .map(|_| ())
         .map_err(|e| format!("writing error table {table}: {e}"))
@@ -793,6 +792,16 @@ impl Virtualizer {
             last: chunk.last,
             data: data.into(),
         })
+    }
+}
+
+/// Normalize a UV-table column the way the old INSERT literal path did:
+/// types without a SQL literal form (bytes, timestamps) are written as
+/// their display text; everything else passes through unchanged.
+fn uv_column_value(v: Value) -> Value {
+    match v {
+        Value::Bytes(_) | Value::Timestamp(_) => Value::Str(v.display_text()),
+        other => other,
     }
 }
 

@@ -57,6 +57,7 @@ pub mod fault;
 pub mod gateway;
 pub mod memory;
 pub mod pipeline;
+pub mod pool;
 pub mod report;
 pub mod tdf;
 pub mod workload;

@@ -10,6 +10,7 @@
 //! returned *just before the write*, exactly as Figure 4 shows. Stage 4 —
 //! the **uploader** — ships finalized files to the object store.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -18,11 +19,12 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use etlv_cloudstore::BulkLoader;
 use parking_lot::Mutex;
 
-use crate::config::{ConverterMode, VirtualizerConfig};
-use crate::convert::{AcqError, DataConverter};
+use crate::config::VirtualizerConfig;
+use crate::convert::{AcqError, ConvertScratch, DataConverter};
 use crate::credit::Credit;
 use crate::fault::{retry_with, FaultInjector};
 use crate::memory::MemGuard;
+use crate::pool::BufferPool;
 
 /// A raw chunk travelling from a session handler into the pipeline. The
 /// credit and memory reservation ride along.
@@ -59,6 +61,10 @@ pub struct PipelineReport {
     pub fatal: Vec<String>,
     /// Upload attempts retried after transient store failures.
     pub upload_retries: u64,
+    /// Converter worker threads spawned over the pipeline's lifetime —
+    /// with the persistent pool this equals the configured worker count,
+    /// never the chunk count.
+    pub converter_workers: usize,
 }
 
 /// A running acquisition pipeline for one job.
@@ -89,59 +95,44 @@ impl Pipeline {
         let shared_fatal: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
 
         // ---- Stage 2: converters -------------------------------------
-        let mode = config.converter_mode;
-        let conv_stage: JoinHandle<()> = {
+        // One persistent pool for both scheduling modes: `converter_workers()`
+        // long-lived threads pulling from the bounded chunk channel. In
+        // per-chunk mode the pool is sized to the credit count (capped by
+        // `max_converter_threads`), which preserves the paper's
+        // one-worker-per-in-flight-chunk concurrency without creating an
+        // OS thread per chunk. Output buffers recycle through a freelist so
+        // the steady-state convert loop never touches the allocator.
+        let buffers = Arc::new(BufferPool::new(workers + config.file_writers.max(1) + 2));
+        let workers_started = Arc::new(AtomicUsize::new(0));
+        let mut conv_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = chunk_rx.clone();
+            let tx = conv_tx.clone();
             let converter = converter.clone();
             let errors = Arc::clone(&shared_errors);
             let fatal = Arc::clone(&shared_fatal);
-            let conv_tx = conv_tx.clone();
             let injector = injector.clone();
-            std::thread::spawn(move || match mode {
-                ConverterMode::Pool(n) => {
-                    let mut pool = Vec::new();
-                    for _ in 0..n.max(1) {
-                        let rx = chunk_rx.clone();
-                        let tx = conv_tx.clone();
-                        let converter = converter.clone();
-                        let errors = Arc::clone(&errors);
-                        let fatal = Arc::clone(&fatal);
-                        let injector = injector.clone();
-                        pool.push(std::thread::spawn(move || {
-                            while let Ok(chunk) = rx.recv() {
-                                convert_one(
-                                    &converter, chunk, &tx, &errors, &fatal, sim_cost,
-                                    injector.as_deref(),
-                                );
-                            }
-                        }));
-                    }
-                    for worker in pool {
-                        let _ = worker.join();
-                    }
+            let buffers = Arc::clone(&buffers);
+            let started = Arc::clone(&workers_started);
+            conv_handles.push(std::thread::spawn(move || {
+                started.fetch_add(1, Ordering::Relaxed);
+                let mut scratch = ConvertScratch::new();
+                while let Ok(chunk) = rx.recv() {
+                    convert_one(
+                        &converter,
+                        chunk,
+                        &tx,
+                        &errors,
+                        &fatal,
+                        sim_cost,
+                        injector.as_deref(),
+                        &buffers,
+                        &mut scratch,
+                    );
                 }
-                ConverterMode::PerChunk => {
-                    // One thread per in-flight chunk; concurrency is
-                    // bounded by the credit pool (each chunk holds one).
-                    let wg = crossbeam::sync::WaitGroup::new();
-                    while let Ok(chunk) = chunk_rx.recv() {
-                        let tx = conv_tx.clone();
-                        let converter = converter.clone();
-                        let errors = Arc::clone(&errors);
-                        let fatal = Arc::clone(&fatal);
-                        let injector = injector.clone();
-                        let wg = wg.clone();
-                        std::thread::spawn(move || {
-                            convert_one(
-                                &converter, chunk, &tx, &errors, &fatal, sim_cost,
-                                injector.as_deref(),
-                            );
-                            drop(wg);
-                        });
-                    }
-                    wg.wait();
-                }
-            })
-        };
+            }));
+        }
+        drop(chunk_rx);
         drop(conv_tx);
 
         // ---- Stage 3: file writers ------------------------------------
@@ -150,20 +141,30 @@ impl Pipeline {
         for _ in 0..config.file_writers.max(1) {
             let conv_rx: Receiver<Converted> = conv_rx.clone();
             let file_tx = file_tx.clone();
+            let buffers = Arc::clone(&buffers);
             writer_handles.push(std::thread::spawn(move || -> (u64, u64) {
                 let mut current: Vec<u8> = Vec::with_capacity(threshold.min(1 << 22));
                 let mut rows = 0u64;
                 let mut bytes = 0u64;
                 while let Ok(converted) = conv_rx.recv() {
+                    let Converted {
+                        bytes: staged,
+                        rows: staged_rows,
+                        credit,
+                        memory,
+                    } = converted;
                     // Figure 4: the credit returns to the pool just before
                     // the data is written out.
-                    drop(converted.credit);
-                    current.extend_from_slice(&converted.bytes);
-                    rows += converted.rows as u64;
-                    bytes += converted.bytes.len() as u64;
+                    drop(credit);
+                    current.extend_from_slice(&staged);
+                    rows += staged_rows as u64;
+                    bytes += staged.len() as u64;
+                    // The chunk's output buffer goes back to the freelist
+                    // for the next conversion.
+                    buffers.put(staged);
                     // Data now lives in the staging file: release the
                     // in-flight reservation.
-                    drop(converted.memory);
+                    drop(memory);
                     if current.len() >= threshold {
                         let full = std::mem::replace(
                             &mut current,
@@ -217,7 +218,9 @@ impl Pipeline {
 
         // ---- Collector: joins all stages, assembles the report --------
         let collector = std::thread::spawn(move || {
-            let _ = conv_stage.join();
+            for worker in conv_handles {
+                let _ = worker.join();
+            }
             let mut rows_staged = 0u64;
             let mut bytes_staged = 0u64;
             for writer in writer_handles {
@@ -234,6 +237,7 @@ impl Pipeline {
                 acq_errors: std::mem::take(&mut *shared_errors.lock()),
                 fatal: std::mem::take(&mut *shared_fatal.lock()),
                 upload_retries,
+                converter_workers: workers_started.load(Ordering::Relaxed),
             };
             report.fatal.extend(upload_failures);
             report.acq_errors.sort_by_key(|e| e.seq);
@@ -263,6 +267,7 @@ impl Pipeline {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn convert_one(
     converter: &DataConverter,
     chunk: RawChunk,
@@ -271,6 +276,8 @@ fn convert_one(
     fatal: &Mutex<Vec<String>>,
     sim_cost_per_mb: std::time::Duration,
     injector: Option<&FaultInjector>,
+    buffers: &BufferPool,
+    scratch: &mut ConvertScratch,
 ) {
     if !sim_cost_per_mb.is_zero() {
         let cost = sim_cost_per_mb.mul_f64(chunk.data.len() as f64 / 1_000_000.0);
@@ -285,10 +292,11 @@ fn convert_one(
         // the guards, not the happy path, own the cleanup.
         return;
     }
+    let mut out = buffers.take();
     // A panicking converter must not wedge the pipeline: contain it, record
     // a fatal error, and let the chunk's guards release credit + memory.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        converter.convert(chunk.base_seq, &chunk.data)
+        converter.convert_into(chunk.base_seq, &chunk.data, &mut out, scratch)
     }));
     let result = match outcome {
         Ok(result) => result,
@@ -301,25 +309,27 @@ fn convert_one(
             fatal
                 .lock()
                 .push(format!("converter worker panicked: {what}"));
+            buffers.put(out);
             return;
         }
     };
     match result {
-        Ok(mut converted) => {
-            if !converted.errors.is_empty() {
-                errors.lock().append(&mut converted.errors);
+        Ok(rows) => {
+            if scratch.has_errors() {
+                scratch.drain_errors_into(&mut errors.lock());
             }
             let mut memory = chunk.memory;
-            memory.shrink_to(converted.bytes.len());
+            memory.shrink_to(out.len());
             let _ = tx.send(Converted {
-                bytes: converted.bytes,
-                rows: converted.rows,
+                bytes: out,
+                rows,
                 credit: chunk.credit,
                 memory,
             });
         }
         Err(e) => {
             fatal.lock().push(e.to_string());
+            buffers.put(out);
             // Credit and memory release on drop.
         }
     }
@@ -328,6 +338,7 @@ fn convert_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ConverterMode;
     use crate::credit::CreditManager;
     use crate::memory::MemoryGauge;
     use etlv_cloudstore::{LoaderConfig, MemStore, ObjectStore};
@@ -415,6 +426,31 @@ mod tests {
         let (report, _) = run_pipeline(&config, 20, 5);
         assert!(report.fatal.is_empty());
         assert_eq!(report.rows_staged, 100);
+        // The pool is persistent: 8 workers for 20 chunks, not 20 threads.
+        assert_eq!(report.converter_workers, 8);
+    }
+
+    #[test]
+    fn workers_spawned_once_per_pipeline_not_per_chunk() {
+        let config = VirtualizerConfig {
+            converter_mode: ConverterMode::Pool(3),
+            ..Default::default()
+        };
+        let (report, _) = run_pipeline(&config, 50, 4);
+        assert_eq!(report.rows_staged, 200);
+        assert_eq!(report.converter_workers, 3);
+
+        // Per-chunk mode with a credit count above the thread cap: the
+        // pool clamps instead of spawning unbounded threads.
+        let config = VirtualizerConfig {
+            converter_mode: ConverterMode::PerChunk,
+            credits: 10_000,
+            max_converter_threads: 4,
+            ..Default::default()
+        };
+        let (report, _) = run_pipeline(&config, 30, 2);
+        assert_eq!(report.rows_staged, 60);
+        assert_eq!(report.converter_workers, 4);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! A freelist of reusable byte buffers for the acquisition pipeline.
+//!
+//! Converter workers take a buffer, fill it with staged text, and send it
+//! downstream; file writers return it after copying into the staging file.
+//! Buffers keep their capacity across trips, so after warm-up the convert
+//! hot path performs no per-chunk output allocation. The idle list is
+//! capped: when the pipeline drains and workers outnumber writers, excess
+//! buffers are simply dropped instead of pinning peak memory forever.
+
+use parking_lot::Mutex;
+
+/// A capped freelist of `Vec<u8>` buffers.
+#[derive(Debug)]
+pub struct BufferPool {
+    slots: Mutex<Vec<Vec<u8>>>,
+    max_idle: usize,
+}
+
+impl BufferPool {
+    /// Pool retaining at most `max_idle` idle buffers.
+    pub fn new(max_idle: usize) -> BufferPool {
+        BufferPool {
+            slots: Mutex::new(Vec::with_capacity(max_idle)),
+            max_idle,
+        }
+    }
+
+    /// Take a buffer (empty, capacity retained from its previous trip) or
+    /// a fresh one if the freelist is dry.
+    pub fn take(&self) -> Vec<u8> {
+        self.slots.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the freelist; dropped if the pool is full.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut slots = self.slots.lock();
+        if slots.len() < self.max_idle {
+            slots.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_with_capacity() {
+        let pool = BufferPool::new(2);
+        let mut a = pool.take();
+        a.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn idle_cap_enforced() {
+        let pool = BufferPool::new(1);
+        pool.put(Vec::with_capacity(8));
+        pool.put(Vec::with_capacity(8));
+        assert_eq!(pool.idle(), 1);
+    }
+}

@@ -189,6 +189,29 @@ fn encode_value(value: &Value, ty: LegacyType, out: &mut Vec<u8>) -> Result<(), 
     Ok(())
 }
 
+/// One field decoded from a binary record, borrowing variable-width data
+/// from the record body — the allocation-free twin of [`Value`] used by
+/// the conversion kernel's streaming decode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldRef<'a> {
+    /// SQL NULL (indicator bit set).
+    Null,
+    /// Any integer type.
+    Int(i64),
+    /// FLOAT.
+    Float(f64),
+    /// DECIMAL (scale from the layout).
+    Decimal(Decimal),
+    /// DATE.
+    Date(Date),
+    /// TIMESTAMP.
+    Timestamp(Timestamp),
+    /// CHAR/VARCHAR, borrowed from the record body.
+    Str(&'a str),
+    /// VARBYTE, borrowed from the record body.
+    Bytes(&'a [u8]),
+}
+
 /// Decodes legacy binary records back into [`Value`] rows.
 #[derive(Debug, Clone)]
 pub struct RecordDecoder {
@@ -241,6 +264,51 @@ impl RecordDecoder {
             });
         }
         Ok(values)
+    }
+
+    /// Streaming twin of [`decode_record`](Self::decode_record): decode
+    /// one record from the front of `buf`, handing each field to `emit` as
+    /// a borrowed [`FieldRef`] — no per-field allocation. Like
+    /// `decode_record`, `buf` advances past the whole record before field
+    /// decode, so framing errors leave the caller at the same position
+    /// either way; `emit` may have observed a prefix of the fields when an
+    /// error is returned.
+    pub fn decode_record_with<'a>(
+        &self,
+        buf: &mut &'a [u8],
+        mut emit: impl FnMut(FieldRef<'a>),
+    ) -> Result<(), RecordError> {
+        if buf.remaining() < 2 {
+            return Err(RecordError::Truncated);
+        }
+        let body_len = buf.get_u16_le() as usize;
+        if buf.remaining() < body_len {
+            return Err(RecordError::Truncated);
+        }
+        let (record, rest) = buf.split_at(body_len);
+        *buf = rest;
+
+        let ind_bytes = self.layout.indicator_bytes();
+        if record.len() < ind_bytes {
+            return Err(RecordError::Truncated);
+        }
+        let indicators = &record[..ind_bytes];
+        let mut body = &record[ind_bytes..];
+
+        for (i, field) in self.layout.fields.iter().enumerate() {
+            if indicators[i / 8] & (0x80 >> (i % 8)) != 0 {
+                emit(FieldRef::Null);
+                continue;
+            }
+            emit(decode_field_ref(field.ty, &mut body)?);
+        }
+        if body.has_remaining() {
+            return Err(RecordError::LengthMismatch {
+                declared: body_len,
+                actual: body_len - body.remaining(),
+            });
+        }
+        Ok(())
     }
 
     /// Decode every record in `data`.
@@ -355,6 +423,97 @@ fn decode_value(ty: LegacyType, body: &mut &[u8]) -> Result<Value, RecordError> 
             let mut bytes = vec![0u8; len];
             body.copy_to_slice(&mut bytes);
             Value::Bytes(bytes)
+        }
+    })
+}
+
+/// Borrowed-field twin of [`decode_value`]: identical wire layout, length
+/// guards and error messages, but variable-width fields stay slices of the
+/// record body instead of owned `String`/`Vec` values.
+fn decode_field_ref<'a>(ty: LegacyType, body: &mut &'a [u8]) -> Result<FieldRef<'a>, RecordError> {
+    macro_rules! need {
+        ($n:expr) => {
+            if body.remaining() < $n {
+                return Err(RecordError::Truncated);
+            }
+        };
+    }
+    fn take<'a>(body: &mut &'a [u8], n: usize) -> &'a [u8] {
+        let s: &'a [u8] = body;
+        let (bytes, rest) = s.split_at(n);
+        *body = rest;
+        bytes
+    }
+    Ok(match ty {
+        LegacyType::ByteInt => {
+            need!(1);
+            FieldRef::Int(body.get_i8() as i64)
+        }
+        LegacyType::SmallInt => {
+            need!(2);
+            FieldRef::Int(body.get_i16_le() as i64)
+        }
+        LegacyType::Integer => {
+            need!(4);
+            FieldRef::Int(body.get_i32_le() as i64)
+        }
+        LegacyType::BigInt => {
+            need!(8);
+            FieldRef::Int(body.get_i64_le())
+        }
+        LegacyType::Float => {
+            need!(8);
+            FieldRef::Float(body.get_f64_le())
+        }
+        LegacyType::Decimal(_, s) => {
+            need!(16);
+            FieldRef::Decimal(Decimal::new(body.get_i128_le(), s))
+        }
+        LegacyType::Date => {
+            need!(4);
+            let raw = body.get_i32_le();
+            FieldRef::Date(
+                Date::from_legacy_int(raw)
+                    .map_err(|e| RecordError::BadValue(e.to_string()))?,
+            )
+        }
+        LegacyType::Timestamp => {
+            need!(8);
+            FieldRef::Timestamp(Timestamp::from_micros(body.get_i64_le()))
+        }
+        LegacyType::Char(n) => {
+            need!(n as usize);
+            let bytes = take(body, n as usize);
+            FieldRef::Str(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| RecordError::BadValue("CHAR field is not UTF-8".into()))?,
+            )
+        }
+        LegacyType::VarChar(max) | LegacyType::VarCharUnicode(max) => {
+            need!(2);
+            let len = body.get_u16_le() as usize;
+            if len > max as usize {
+                return Err(RecordError::BadValue(format!(
+                    "VARCHAR length {len} exceeds declared {max}"
+                )));
+            }
+            need!(len);
+            let bytes = take(body, len);
+            FieldRef::Str(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| RecordError::BadValue("VARCHAR field is not UTF-8".into()))?,
+            )
+        }
+        LegacyType::VarByte(max) => {
+            need!(2);
+            let len = body.get_u16_le() as usize;
+            if len > max as usize {
+                return Err(RecordError::BadValue(format!(
+                    "VARBYTE length {len} exceeds declared {max}"
+                )));
+            }
+            need!(len);
+            FieldRef::Bytes(take(body, len))
         }
     })
 }
@@ -496,6 +655,72 @@ mod tests {
             dec.decode_record(&mut slice),
             Err(RecordError::BadValue(_))
         ));
+    }
+
+    fn field_ref_to_value(f: FieldRef<'_>) -> Value {
+        match f {
+            FieldRef::Null => Value::Null,
+            FieldRef::Int(v) => Value::Int(v),
+            FieldRef::Float(v) => Value::Float(v),
+            FieldRef::Decimal(d) => Value::Decimal(d),
+            FieldRef::Date(d) => Value::Date(d),
+            FieldRef::Timestamp(ts) => Value::Timestamp(ts),
+            FieldRef::Str(s) => Value::Str(s.to_string()),
+            FieldRef::Bytes(b) => Value::Bytes(b.to_vec()),
+        }
+    }
+
+    #[test]
+    fn streaming_decode_matches_decode_record() {
+        let layout = full_layout();
+        let enc = RecordEncoder::new(layout.clone());
+        let dec = RecordDecoder::new(layout.clone());
+
+        let mut rows: Vec<Vec<Value>> = vec![sample_row(), vec![Value::Null; layout.arity()]];
+        // Row with alternating nulls.
+        let mut alt = sample_row();
+        for (i, v) in alt.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                *v = Value::Null;
+            }
+        }
+        rows.push(alt);
+        let buf = enc.encode_batch(&rows).unwrap();
+
+        // Valid batch: both decoders agree field-for-field and consume
+        // identical byte spans.
+        let mut a = buf.as_slice();
+        let mut b = buf.as_slice();
+        for _ in 0..rows.len() {
+            let owned = dec.decode_record(&mut a).unwrap();
+            let mut streamed = Vec::new();
+            dec.decode_record_with(&mut b, |f| streamed.push(field_ref_to_value(f)))
+                .unwrap();
+            assert_eq!(owned, streamed);
+            assert_eq!(a.len(), b.len());
+        }
+        assert!(b.is_empty());
+
+        // Corrupted inputs: identical errors at identical positions.
+        let mut one = Vec::new();
+        enc.encode_record(&sample_row(), &mut one).unwrap();
+        let mut corruptions: Vec<Vec<u8>> = Vec::new();
+        for cut in [0, 1, 3, one.len() / 2, one.len() - 1] {
+            corruptions.push(one[..cut].to_vec());
+        }
+        for i in 0..one.len() {
+            let mut c = one.clone();
+            c[i] ^= 0xFF;
+            corruptions.push(c);
+        }
+        for c in corruptions {
+            let mut a = c.as_slice();
+            let mut b = c.as_slice();
+            let owned = dec.decode_record(&mut a);
+            let streamed = dec.decode_record_with(&mut b, |_| {});
+            assert_eq!(owned.err(), streamed.err(), "corrupt input {c:02X?}");
+            assert_eq!(a.len(), b.len());
+        }
     }
 
     #[test]

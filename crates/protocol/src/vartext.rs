@@ -93,20 +93,35 @@ impl VartextFormat {
     }
 
     fn escape_into(&self, s: &str, out: &mut Vec<u8>) {
-        for &b in s.as_bytes() {
+        self.escape_bytes_into(s.as_bytes(), out);
+    }
+
+    /// Escape raw field bytes into `out`: the delimiter, quote and
+    /// backslash get a backslash prefix, newline becomes `\n` and carriage
+    /// return `\r`. This is the allocation-free twin of the `&str` path —
+    /// the conversion kernel feeds it pre-rendered field bytes directly.
+    pub fn escape_bytes_into(&self, bytes: &[u8], out: &mut Vec<u8>) {
+        // Copy maximal runs of clean bytes in one shot; fields rarely
+        // contain escapable bytes, so the common case is a single memcpy.
+        let mut run_start = 0usize;
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let b = bytes[i];
             if b == self.delimiter || b == self.quote || b == b'\\' || b == b'\n' || b == b'\r' {
+                out.extend_from_slice(&bytes[run_start..i]);
                 out.push(b'\\');
-                if b == b'\n' {
-                    out.push(b'n');
-                    continue;
-                }
-                if b == b'\r' {
-                    out.push(b'r');
-                    continue;
-                }
+                out.push(match b {
+                    b'\n' => b'n',
+                    b'\r' => b'r',
+                    other => other,
+                });
+                i += 1;
+                run_start = i;
+            } else {
+                i += 1;
             }
-            out.push(b);
         }
+        out.extend_from_slice(&bytes[run_start..]);
     }
 
     /// Decode one vartext line into field values. All non-null fields come
@@ -169,6 +184,103 @@ impl VartextFormat {
             }
         }
         Ok(fields)
+    }
+
+    /// Streaming twin of [`decode_line`](Self::decode_line): decode one
+    /// line, handing each field to `emit` without allocating. A field
+    /// borrows from `line` when it contains no escape sequences and from
+    /// `scratch` (reused across fields and calls) when it does. `None` is
+    /// NULL (zero-length field); `Some("")` is the quoted empty string.
+    ///
+    /// Returns the field count; arity enforcement is the caller's job, so
+    /// field-level errors (bad UTF-8, dangling escape) keep precedence
+    /// over the count check exactly as `decode_line` orders them.
+    pub fn decode_line_with(
+        &self,
+        line: &[u8],
+        scratch: &mut Vec<u8>,
+        mut emit: impl FnMut(Option<&str>),
+    ) -> Result<usize, VartextError> {
+        let mut nfields = 0usize;
+        let mut i = 0usize;
+        let mut field_start = 0usize;
+        let mut has_escape = false;
+        let mut quoted_empty = false;
+        macro_rules! finish {
+            ($end:expr) => {{
+                let value = if quoted_empty {
+                    // The `""` bytes were consumed without contributing
+                    // content; nothing else can follow them in the field.
+                    Some("")
+                } else {
+                    let content: &[u8] = if has_escape {
+                        &scratch[..]
+                    } else {
+                        &line[field_start..$end]
+                    };
+                    if content.is_empty() {
+                        None
+                    } else {
+                        Some(std::str::from_utf8(content).map_err(|_| VartextError::BadUtf8)?)
+                    }
+                };
+                emit(value);
+                nfields += 1;
+            }};
+        }
+        while i < line.len() {
+            let b = line[i];
+            if b == b'\\' {
+                if i + 1 >= line.len() {
+                    return Err(VartextError::DanglingEscape);
+                }
+                if !has_escape {
+                    scratch.clear();
+                    scratch.extend_from_slice(&line[field_start..i]);
+                    has_escape = true;
+                }
+                let nxt = line[i + 1];
+                scratch.push(match nxt {
+                    b'n' => b'\n',
+                    b'r' => b'\r',
+                    other => other,
+                });
+                i += 2;
+                continue;
+            }
+            if b == self.delimiter {
+                finish!(i);
+                i += 1;
+                field_start = i;
+                has_escape = false;
+                quoted_empty = false;
+                continue;
+            }
+            if b == self.quote
+                && i == field_start
+                && i + 1 < line.len()
+                && line[i + 1] == self.quote
+                && (i + 2 == line.len() || line[i + 2] == self.delimiter)
+            {
+                quoted_empty = true;
+                i += 2;
+                continue;
+            }
+            if has_escape {
+                scratch.push(b);
+                i += 1;
+                continue;
+            }
+            // Clean-span fast path: past the field's first byte only a
+            // backslash or the delimiter can change state, so skip the
+            // whole run in a tight scan (the field borrows from `line`).
+            i += 1;
+            while i < line.len() && line[i] != b'\\' && line[i] != self.delimiter {
+                i += 1;
+            }
+        }
+        finish!(line.len());
+        Ok(nfields)
     }
 
     /// Split a byte buffer into lines (handling a trailing line without a
@@ -286,6 +398,76 @@ mod tests {
             fmt().decode_line(b"abc\\", Some(1)),
             Err(VartextError::DanglingEscape)
         ));
+    }
+
+    /// Run `decode_line_with` and collect into the `decode_line` value
+    /// model for direct comparison.
+    fn stream_decode(
+        f: &VartextFormat,
+        line: &[u8],
+        expected_arity: Option<usize>,
+    ) -> Result<Vec<Value>, VartextError> {
+        let mut scratch = Vec::new();
+        let mut fields = Vec::new();
+        let n = f.decode_line_with(line, &mut scratch, |field| {
+            fields.push(match field {
+                None => Value::Null,
+                Some(s) => Value::Str(s.to_string()),
+            });
+        })?;
+        if let Some(expected) = expected_arity {
+            if n != expected {
+                return Err(VartextError::FieldCount {
+                    expected,
+                    actual: n,
+                });
+            }
+        }
+        Ok(fields)
+    }
+
+    #[test]
+    fn streaming_decode_matches_decode_line() {
+        let cases: &[&[u8]] = &[
+            b"123|Smith|2012-01-01",
+            b"a||c",
+            b"\"\"|",
+            b"a\\|b|c\\\\d|e\\\"f|g\\nh|i\\rj",
+            b"say \"hi\"",
+            b"",
+            b"|",
+            b"\"\"",
+            b"\"\"x|y",
+            b"x\"\"|y",
+            b"\\\"\"|tail",
+            b"abc\\",
+            b"\xff|ok",
+            b"ok|\\\xff",
+            b"only_one",
+        ];
+        for f in [fmt(), VartextFormat::with_delimiter(b',')] {
+            for &line in cases {
+                for arity in [None, Some(1), Some(2), Some(3)] {
+                    assert_eq!(
+                        stream_decode(&f, line, arity),
+                        f.decode_line(line, arity),
+                        "line {:?} arity {arity:?}",
+                        String::from_utf8_lossy(line)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn escape_bytes_matches_str_escaping() {
+        let f = fmt();
+        let row = strs(&["a|b\\c\"d\ne\rf"]);
+        let mut via_str = Vec::new();
+        f.encode_row(&row, &mut via_str);
+        let mut via_bytes = Vec::new();
+        f.escape_bytes_into("a|b\\c\"d\ne\rf".as_bytes(), &mut via_bytes);
+        assert_eq!(via_str, via_bytes);
     }
 
     #[test]
