@@ -17,6 +17,20 @@ pub use crate::exec::QueryResult;
 /// execution, so the failure is always side-effect free.
 pub type TransientFaultHook = Arc<dyn Fn() -> bool + Send + Sync>;
 
+/// Which execution entry point an [`ExecObserver`] callback reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOp {
+    /// A SQL statement (`execute`/`execute_stmt`/`execute_script`).
+    Statement,
+    /// A batched ingest (`copy_batch`).
+    CopyBatch,
+}
+
+/// Observation callback invoked after every statement or batch:
+/// `(op, elapsed, ok)`. Installed by the virtualizer to feed its metrics
+/// registry; this crate carries no metrics machinery of its own.
+pub type ExecObserver = Arc<dyn Fn(ExecOp, Duration, bool) + Send + Sync>;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct CdwConfig {
@@ -53,6 +67,7 @@ struct Inner {
     store: Option<Arc<dyn ObjectStore>>,
     config: CdwConfig,
     transient_fault: Mutex<Option<TransientFaultHook>>,
+    exec_observer: Mutex<Option<ExecObserver>>,
 }
 
 impl Cdw {
@@ -69,6 +84,7 @@ impl Cdw {
                 store,
                 config,
                 transient_fault: Mutex::new(None),
+                exec_observer: Mutex::new(None),
             }),
         }
     }
@@ -96,6 +112,33 @@ impl Cdw {
         *self.inner.transient_fault.lock() = hook;
     }
 
+    /// Install (or clear) an execution observer. Shared across all clones
+    /// of this warehouse handle. The observer sees every statement and
+    /// batch — including ones failed by the transient-fault hook — with
+    /// its wall time and outcome.
+    pub fn set_exec_observer(&self, observer: Option<ExecObserver>) {
+        *self.inner.exec_observer.lock() = observer;
+    }
+
+    /// Run `f` under the installed observer (if any), timing it and
+    /// reporting the outcome.
+    fn observed<T>(
+        &self,
+        op: ExecOp,
+        f: impl FnOnce() -> Result<T, CdwError>,
+    ) -> Result<T, CdwError> {
+        let observer = self.inner.exec_observer.lock().clone();
+        match observer {
+            None => f(),
+            Some(observer) => {
+                let start = std::time::Instant::now();
+                let result = f();
+                observer(op, start.elapsed(), result.is_ok());
+                result
+            }
+        }
+    }
+
     /// Per-statement prelude shared by every execution entry point: consult
     /// the transient-fault hook (failing side-effect free), then model the
     /// client↔warehouse round-trip latency.
@@ -116,14 +159,16 @@ impl Cdw {
 
     /// Execute one pre-parsed statement.
     pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
-        self.begin_statement()?;
-        let mut catalog = self.inner.catalog.lock();
-        let mut ctx = ExecCtx {
-            catalog: &mut catalog,
-            store: self.inner.store.as_ref(),
-            native_unique: self.inner.config.native_unique,
-        };
-        execute(&mut ctx, stmt)
+        self.observed(ExecOp::Statement, || {
+            self.begin_statement()?;
+            let mut catalog = self.inner.catalog.lock();
+            let mut ctx = ExecCtx {
+                catalog: &mut catalog,
+                store: self.inner.store.as_ref(),
+                native_unique: self.inner.config.native_unique,
+            };
+            execute(&mut ctx, stmt)
+        })
     }
 
     /// Batched ingest fast path: validate and append pre-materialized rows
@@ -138,14 +183,16 @@ impl Cdw {
         table: &str,
         rows: Vec<Vec<etlv_protocol::data::Value>>,
     ) -> Result<u64, CdwError> {
-        self.begin_statement()?;
-        let mut catalog = self.inner.catalog.lock();
-        let mut ctx = ExecCtx {
-            catalog: &mut catalog,
-            store: self.inner.store.as_ref(),
-            native_unique: self.inner.config.native_unique,
-        };
-        crate::exec::copy_batch(&mut ctx, table, rows)
+        self.observed(ExecOp::CopyBatch, || {
+            self.begin_statement()?;
+            let mut catalog = self.inner.catalog.lock();
+            let mut ctx = ExecCtx {
+                catalog: &mut catalog,
+                store: self.inner.store.as_ref(),
+                native_unique: self.inner.config.native_unique,
+            };
+            crate::exec::copy_batch(&mut ctx, table, rows)
+        })
     }
 
     /// Execute a `;`-separated script, stopping at the first error.
@@ -237,6 +284,47 @@ mod tests {
         // Clearing the hook stops injection.
         cdw.set_transient_fault(None);
         cdw.execute("SELECT CUST_ID FROM PROD.CUSTOMER").unwrap();
+    }
+
+    #[test]
+    fn exec_observer_sees_statements_batches_and_failures() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cdw = setup();
+        let statements = Arc::new(AtomicU64::new(0));
+        let batches = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let (s, b, f) = (statements.clone(), batches.clone(), failures.clone());
+        cdw.set_exec_observer(Some(Arc::new(move |op, _elapsed, ok| {
+            match op {
+                ExecOp::Statement => s.fetch_add(1, Ordering::Relaxed),
+                ExecOp::CopyBatch => b.fetch_add(1, Ordering::Relaxed),
+            };
+            if !ok {
+                f.fetch_add(1, Ordering::Relaxed);
+            }
+        })));
+
+        cdw.execute("INSERT INTO PROD.CUSTOMER VALUES ('1', 'A', DATE '2012-01-01')")
+            .unwrap();
+        cdw.copy_batch(
+            "PROD.CUSTOMER",
+            vec![vec![
+                Value::Str("2".into()),
+                Value::Str("B".into()),
+                Value::Date(Date::new(2012, 1, 2).unwrap()),
+            ]],
+        )
+        .unwrap();
+        assert!(cdw.execute("SELECT * FROM NO.SUCH_TABLE").is_err());
+
+        assert_eq!(statements.load(Ordering::Relaxed), 2);
+        assert_eq!(batches.load(Ordering::Relaxed), 1);
+        assert_eq!(failures.load(Ordering::Relaxed), 1);
+
+        // Clearing the observer stops reporting.
+        cdw.set_exec_observer(None);
+        cdw.execute("SELECT CUST_ID FROM PROD.CUSTOMER").unwrap();
+        assert_eq!(statements.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod key;
 pub mod staged;
 
 pub use catalog::{Catalog, Column, Table};
-pub use engine::{Cdw, CdwConfig, QueryResult, TransientFaultHook};
+pub use engine::{Cdw, CdwConfig, ExecObserver, ExecOp, QueryResult, TransientFaultHook};
 pub use error::CdwError;
 pub use key::RowKey;

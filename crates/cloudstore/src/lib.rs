@@ -14,15 +14,19 @@
 //!   optionally compressing, with configurable part size.
 //! - [`throttle`]: bandwidth/latency shaping so benches can model slow
 //!   links between the virtualizer node and the cloud.
+//! - [`observe`]: the [`ObservedStore`] decorator reporting put/get
+//!   latency and byte counts to a caller-supplied observer.
 
 pub mod chaos;
 pub mod compress;
 pub mod loader;
+pub mod observe;
 pub mod store;
 pub mod throttle;
 
 pub use chaos::{ChaosStore, StoreFault, StoreFaultHook, StoreOp};
 pub use compress::{compress, decompress, CompressError};
 pub use loader::{BulkLoader, LoaderConfig, UploadReport};
+pub use observe::{ObservedStore, StoreObserver};
 pub use store::{parse_url, MemStore, ObjectStore, StoreError, StoreUrl};
 pub use throttle::Throttle;

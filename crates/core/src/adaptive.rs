@@ -24,6 +24,7 @@ use etlv_sql::transform::map_expr;
 
 use crate::emulate::UniqueEmulation;
 use crate::fault::{retry_cdw, RetryPolicy};
+use crate::obs::JobObs;
 use crate::xcompile::CompiledDml;
 
 /// Which input rows an error record covers.
@@ -155,7 +156,9 @@ impl StagingCache {
 }
 
 /// Apply `compiled` to staging rows `[lo, hi)` with adaptive error
-/// handling.
+/// handling. `obs` (when supplied) journals every bisection decision and
+/// range failure under the owning job's token.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_adaptive(
     cdw: &Cdw,
     compiled: &CompiledDml,
@@ -164,11 +167,12 @@ pub fn apply_adaptive(
     lo: u64,
     hi: u64,
     params: AdaptiveParams,
+    obs: Option<&JobObs>,
 ) -> Result<AdaptiveOutcome, CdwError> {
     let mut outcome = AdaptiveOutcome::default();
     let mut cache = StagingCache { rows: None };
     recurse(
-        cdw, compiled, emulation, layout, lo, hi, 0, params, &mut outcome, lo, hi, &mut cache,
+        cdw, compiled, emulation, layout, lo, hi, 0, params, &mut outcome, lo, hi, &mut cache, obs,
     )?;
     Ok(outcome)
 }
@@ -187,6 +191,7 @@ fn recurse(
     job_lo: u64,
     job_hi: u64,
     cache: &mut StagingCache,
+    obs: Option<&JobObs>,
 ) -> Result<(), CdwError> {
     if lo >= hi {
         return Ok(());
@@ -197,6 +202,9 @@ fn recurse(
             Ok(())
         }
         Err(err) if err.is_bulk_abort() => {
+            if let Some(obs) = obs {
+                obs.range_error(lo, hi - 1);
+            }
             if hi - lo == 1 {
                 let tuple = cache.tuple(cdw, compiled, job_lo, job_hi, lo, params, outcome)?;
                 record_singleton(compiled, layout, lo, tuple, &err, outcome);
@@ -233,14 +241,17 @@ fn recurse(
                 return Ok(());
             }
             outcome.splits += 1;
+            if let Some(obs) = obs {
+                obs.split(lo, hi - 1);
+            }
             let mid = lo + (hi - lo) / 2;
             recurse(
                 cdw, compiled, emulation, layout, lo, mid, depth + 1, params, outcome, job_lo,
-                job_hi, cache,
+                job_hi, cache, obs,
             )?;
             recurse(
                 cdw, compiled, emulation, layout, mid, hi, depth + 1, params, outcome, job_lo,
-                job_hi, cache,
+                job_hi, cache, obs,
             )
         }
         // Structural failures (missing tables, SQL errors) abort the job.
@@ -421,6 +432,7 @@ mod tests {
             1,
             5,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         assert_eq!(outcome.applied, 4);
@@ -464,7 +476,7 @@ mod tests {
             ..AdaptiveParams::default()
         };
         let outcome =
-            apply_adaptive(&cdw, &compiled, emu.as_ref(), &layout, 1, 5, params).unwrap();
+            apply_adaptive(&cdw, &compiled, emu.as_ref(), &layout, 1, 5, params, None).unwrap();
         // The two injected blips are absorbed in place: same statement
         // count as the clean path, no bisection, no recorded errors.
         assert_eq!(outcome.applied, 4);
@@ -489,7 +501,7 @@ mod tests {
             },
             ..AdaptiveParams::default()
         };
-        let result = apply_adaptive(&cdw, &compiled, None, &layout, 1, 6, params);
+        let result = apply_adaptive(&cdw, &compiled, None, &layout, 1, 6, params, None);
         assert!(matches!(result, Err(CdwError::Transient(_))));
     }
 
@@ -506,6 +518,7 @@ mod tests {
             1,
             6,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         // Rows 1 and 5 load; 2,3 conversion errors; 4 uniqueness.
@@ -547,6 +560,7 @@ mod tests {
                 max_errors: 2,
                 ..AdaptiveParams::default()
             },
+            None,
         )
         .unwrap();
         // Figure 6: rows 2 and 3 recorded individually as 3103, then the
@@ -588,6 +602,7 @@ mod tests {
                 max_retries: 1,
                 ..AdaptiveParams::default()
             },
+            None,
         )
         .unwrap();
         // Depth 1 means at most one split: sub-ranges still failing get
@@ -616,6 +631,7 @@ mod tests {
             5,
             5,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         assert_eq!(outcome.applied, 0);
@@ -640,6 +656,7 @@ mod tests {
             1,
             6,
             AdaptiveParams::default(),
+            None,
         );
         assert!(matches!(result, Err(CdwError::TableNotFound(_))));
     }

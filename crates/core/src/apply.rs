@@ -13,6 +13,7 @@ use crate::adaptive::{
 };
 use crate::emulate::UniqueEmulation;
 use crate::fault::retry_cdw;
+use crate::obs::JobObs;
 use crate::xcompile::CompiledDml;
 
 /// How the application phase executes the job's DML.
@@ -39,6 +40,7 @@ pub fn apply(
     hi: u64,
     strategy: ApplyStrategy,
     params: AdaptiveParams,
+    obs: Option<&JobObs>,
 ) -> Result<AdaptiveOutcome, CdwError> {
     match strategy {
         ApplyStrategy::Bulk => {
@@ -67,7 +69,7 @@ pub fn apply(
             Ok(outcome)
         }
         ApplyStrategy::BulkAdaptive => {
-            apply_adaptive(cdw, compiled, emulation, layout, lo, hi, params)
+            apply_adaptive(cdw, compiled, emulation, layout, lo, hi, params, obs)
         }
         ApplyStrategy::Singleton => {
             apply_singleton(cdw, compiled, emulation, layout, lo, hi, params)
@@ -226,6 +228,7 @@ mod tests {
             6,
             ApplyStrategy::Singleton,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         assert_eq!(outcome.applied, 2);
@@ -253,6 +256,7 @@ mod tests {
             6,
             ApplyStrategy::Bulk,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap_err();
         assert!(err.is_bulk_abort());
@@ -273,6 +277,7 @@ mod tests {
             2,
             ApplyStrategy::Bulk,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         assert_eq!(outcome.applied, 1);
@@ -294,6 +299,7 @@ mod tests {
             6,
             ApplyStrategy::BulkAdaptive,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
 
@@ -308,6 +314,7 @@ mod tests {
             6,
             ApplyStrategy::Singleton,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
 

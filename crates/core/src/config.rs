@@ -80,6 +80,17 @@ pub struct VirtualizerConfig {
     /// injection entirely; a plan arms the store, CDW, converter, and
     /// transport hooks with the plan's seed.
     pub fault_plan: Option<FaultPlan>,
+    /// How many recent [`JobReport`](crate::report::JobReport)s the node
+    /// retains (ring buffer, oldest evicted). Exposed through
+    /// `recent_job_reports()` and the stats snapshot. Must be ≥ 1.
+    pub report_history: usize,
+    /// Capacity of the in-memory span/event journal (ring buffer). Must
+    /// be ≥ 1. Irrelevant when the `obs` feature is compiled out.
+    pub journal_capacity: usize,
+    /// Optional JSONL sink: every journal event is appended to this file
+    /// as one JSON object per line. `None` (the default) keeps the
+    /// journal in-memory only.
+    pub journal_jsonl: Option<std::path::PathBuf>,
     /// Ceiling on converter worker threads regardless of mode. Per-chunk
     /// mode historically spawned one OS thread per in-flight chunk, so a
     /// large credit pool (Figure 10 sweeps up to 10⁶) translated directly
@@ -115,6 +126,9 @@ impl Default for VirtualizerConfig {
             retry_base_delay: Duration::from_millis(2),
             retry_max_delay: Duration::from_millis(200),
             fault_plan: None,
+            report_history: 16,
+            journal_capacity: 4096,
+            journal_jsonl: None,
             max_converter_threads: (cores * 8).clamp(16, 256),
         }
     }
@@ -152,6 +166,12 @@ impl VirtualizerConfig {
         }
         if self.max_converter_threads == 0 {
             return Err("max_converter_threads must be at least 1".into());
+        }
+        if self.report_history == 0 {
+            return Err("report_history must be at least 1".into());
+        }
+        if self.journal_capacity == 0 {
+            return Err("journal_capacity must be at least 1".into());
         }
         Ok(())
     }
@@ -200,6 +220,16 @@ mod tests {
         let c = VirtualizerConfig {
             retry_base_delay: Duration::from_secs(1),
             retry_max_delay: Duration::from_millis(1),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            report_history: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            journal_capacity: 0,
             ..Default::default()
         };
         assert!(c.validate().is_err());

@@ -15,6 +15,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::obs::CreditObs;
+
 struct Pool {
     available: Mutex<usize>,
     returned: Condvar,
@@ -25,6 +27,10 @@ struct Pool {
     stall_micros: AtomicU64,
     /// Total credits ever acquired.
     acquired: AtomicU64,
+    /// Optional registry handles: per-stall latency histogram plus
+    /// acquire/stall counters (the atomics above remain authoritative
+    /// for `NodeMetrics`).
+    obs: Option<CreditObs>,
 }
 
 /// A shared credit pool.
@@ -44,6 +50,15 @@ pub struct Credit {
 impl CreditManager {
     /// Pool with `capacity` credits (clamped to ≥ 1).
     pub fn new(capacity: usize) -> CreditManager {
+        CreditManager::build(capacity, None)
+    }
+
+    /// Pool reporting into pre-registered observability handles.
+    pub fn with_obs(capacity: usize, obs: CreditObs) -> CreditManager {
+        CreditManager::build(capacity, Some(obs))
+    }
+
+    fn build(capacity: usize, obs: Option<CreditObs>) -> CreditManager {
         let capacity = capacity.max(1);
         CreditManager {
             pool: Arc::new(Pool {
@@ -53,6 +68,7 @@ impl CreditManager {
                 stalls: AtomicU64::new(0),
                 stall_micros: AtomicU64::new(0),
                 acquired: AtomicU64::new(0),
+                obs,
             }),
         }
     }
@@ -67,12 +83,20 @@ impl CreditManager {
             while *available == 0 {
                 self.pool.returned.wait(&mut available);
             }
+            let stalled = start.elapsed();
             self.pool
                 .stall_micros
-                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                .fetch_add(stalled.as_micros() as u64, Ordering::Relaxed);
+            if let Some(obs) = &self.pool.obs {
+                obs.stalls.inc();
+                obs.stall_us.record_duration(stalled);
+            }
         }
         *available -= 1;
         self.pool.acquired.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.pool.obs {
+            obs.acquires.inc();
+        }
         Credit {
             pool: Arc::clone(&self.pool),
         }
@@ -99,6 +123,9 @@ impl CreditManager {
         }
         *available -= 1;
         self.pool.acquired.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.pool.obs {
+            obs.acquires.inc();
+        }
         Some(Credit {
             pool: Arc::clone(&self.pool),
         })
@@ -233,6 +260,30 @@ mod tests {
         assert!(t.join().is_err());
         // Unwinding dropped the guard: no leak.
         assert_eq!(mgr.available(), 2);
+    }
+
+    #[test]
+    fn obs_handles_record_acquires_and_stalls() {
+        let obs = crate::obs::Obs::default();
+        let mgr = CreditManager::with_obs(1, obs.credit.clone());
+        let held = mgr.acquire();
+        let mgr2 = mgr.clone();
+        let t = thread::spawn(move || {
+            let _c = mgr2.acquire();
+        });
+        thread::sleep(Duration::from_millis(30));
+        drop(held);
+        t.join().unwrap();
+        if crate::obs::enabled() {
+            assert_eq!(obs.credit.acquires.value(), 2);
+            assert_eq!(obs.credit.stalls.value(), 1);
+            let stall = obs.credit.stall_us.snapshot("credit.stall_us");
+            assert_eq!(stall.count, 1);
+            assert!(stall.max >= 20_000, "stall_us max {}", stall.max);
+        }
+        // The built-in atomics stay authoritative either way.
+        assert_eq!(mgr.stalls(), 1);
+        assert_eq!(mgr.total_acquired(), 2);
     }
 
     #[test]

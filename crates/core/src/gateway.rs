@@ -6,20 +6,22 @@
 //! cross-compiled and executed on the CDW through the acquisition
 //! pipeline, COPY bulk loading, and the adaptive application phase.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use etlv_cdw::{Cdw, CdwConfig};
-use etlv_cloudstore::{BulkLoader, ChaosStore, LoaderConfig, MemStore, ObjectStore};
+use etlv_cdw::{Cdw, CdwConfig, ExecOp};
+use etlv_cloudstore::{
+    BulkLoader, ChaosStore, LoaderConfig, MemStore, ObjectStore, ObservedStore, StoreOp,
+};
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::layout::Layout;
 use etlv_protocol::message::{
     BeginExportOk, BeginLoad, ExportChunk, Message, RecordFormat, SessionRole, SqlResult,
-    WireError,
+    StatsFormat, StatsReply, WireError,
 };
 use etlv_protocol::record::encode_rows;
 use etlv_protocol::transport::Transport;
@@ -37,6 +39,7 @@ use crate::cursor::TdfCursor;
 use crate::emulate;
 use crate::fault::{retry_cdw, FaultCounts, FaultInjector};
 use crate::memory::MemoryGauge;
+use crate::obs::{stats_json, stats_prometheus, JobObs, Obs};
 use crate::pipeline::{Pipeline, PipelineReport, RawChunk};
 use crate::report::{JobReport, NodeMetrics};
 use crate::xcompile;
@@ -45,6 +48,9 @@ struct ImportJobState {
     spec: BeginLoad,
     staging_table: String,
     prefix: String,
+    /// CDW statements retried while creating the job's tables — folded
+    /// into the report's `cdw_retries` at job end.
+    setup_retries: u64,
     pipeline: Mutex<Option<Pipeline>>,
     sender: Mutex<Option<crossbeam::channel::Sender<RawChunk>>>,
     rows_received: AtomicU64,
@@ -70,11 +76,14 @@ struct Node {
     injector: Option<Arc<FaultInjector>>,
     credits: CreditManager,
     memory: MemoryGauge,
+    obs: Arc<Obs>,
     jobs: Mutex<HashMap<u64, Job>>,
     next_token: AtomicU64,
     next_session: AtomicU32,
     metrics: Mutex<NodeMetrics>,
-    last_report: Mutex<Option<JobReport>>,
+    /// Ring of the most recent completed load reports, newest last
+    /// (capacity `config.report_history`).
+    reports: Mutex<VecDeque<JobReport>>,
 }
 
 /// A virtualizer node.
@@ -94,6 +103,7 @@ impl Virtualizer {
     /// in a [`ChaosStore`] *before* the CDW is constructed over it, so
     /// injected store faults hit both the uploader's puts and COPY's gets.
     pub fn new(config: VirtualizerConfig) -> Virtualizer {
+        let obs = build_obs(&config);
         let injector = config
             .fault_plan
             .clone()
@@ -102,8 +112,12 @@ impl Virtualizer {
         if let Some(injector) = &injector {
             store = Arc::new(ChaosStore::new(store, injector.store_hook()));
         }
+        // The observed decorator wraps *outside* the chaos layer and
+        // *before* the CDW is constructed, so both the uploader's puts and
+        // COPY's gets — injected faults included — land in the registry.
+        store = Arc::new(ObservedStore::new(store, store_observer(&obs)));
         let cdw = Cdw::with_config(CdwConfig::default(), Some(Arc::clone(&store)));
-        Virtualizer::assemble(config, cdw, store, injector)
+        Virtualizer::assemble(config, cdw, store, injector, obs)
     }
 
     /// Create a node over an existing CDW and object store. The CDW must
@@ -116,6 +130,7 @@ impl Virtualizer {
         cdw: Cdw,
         store: Arc<dyn ObjectStore>,
     ) -> Virtualizer {
+        let obs = build_obs(&config);
         let injector = config
             .fault_plan
             .clone()
@@ -126,7 +141,9 @@ impl Virtualizer {
             }
             None => store,
         };
-        Virtualizer::assemble(config, cdw, store, injector)
+        let store: Arc<dyn ObjectStore> =
+            Arc::new(ObservedStore::new(store, store_observer(&obs)));
+        Virtualizer::assemble(config, cdw, store, injector, obs)
     }
 
     fn assemble(
@@ -134,6 +151,7 @@ impl Virtualizer {
         cdw: Cdw,
         store: Arc<dyn ObjectStore>,
         injector: Option<Arc<FaultInjector>>,
+        obs: Arc<Obs>,
     ) -> Virtualizer {
         config
             .validate()
@@ -141,19 +159,31 @@ impl Virtualizer {
         if let Some(injector) = &injector {
             cdw.set_transient_fault(Some(injector.cdw_hook()));
         }
+        let cdw_obs = obs.cdw.clone();
+        cdw.set_exec_observer(Some(Arc::new(move |op, elapsed, ok| {
+            match op {
+                ExecOp::Statement => cdw_obs.statements.inc(),
+                ExecOp::CopyBatch => cdw_obs.batches.inc(),
+            }
+            if !ok {
+                cdw_obs.errors.inc();
+            }
+            cdw_obs.exec_us.record_duration(elapsed);
+        })));
         Virtualizer {
             node: Arc::new(Node {
-                credits: CreditManager::new(config.credits),
+                credits: CreditManager::with_obs(config.credits, obs.credit.clone()),
                 memory: MemoryGauge::new(config.memory_cap),
                 config,
                 cdw,
                 store,
                 injector,
+                obs,
                 jobs: Mutex::new(HashMap::new()),
                 next_token: AtomicU64::new(1),
                 next_session: AtomicU32::new(1),
                 metrics: Mutex::new(NodeMetrics::default()),
-                last_report: Mutex::new(None),
+                reports: Mutex::new(VecDeque::new()),
             }),
         }
     }
@@ -202,7 +232,59 @@ impl Virtualizer {
     /// The most recent completed load job's report (benches read phase
     /// timings here).
     pub fn last_job_report(&self) -> Option<JobReport> {
-        self.node.last_report.lock().clone()
+        self.node.reports.lock().back().cloned()
+    }
+
+    /// The retained ring of recent load reports, oldest first (capacity
+    /// [`VirtualizerConfig::report_history`]).
+    pub fn recent_job_reports(&self) -> Vec<JobReport> {
+        self.node.reports.lock().iter().cloned().collect()
+    }
+
+    /// The node's observability hub (registry + journal + handles).
+    pub fn obs(&self) -> &Obs {
+        &self.node.obs
+    }
+
+    /// Copy point-in-time state (credit/memory/fault-injector levels) into
+    /// the registry's gauges so a snapshot is self-consistent.
+    fn refresh_gauges(&self) {
+        let node = &self.node;
+        let o = &node.obs;
+        o.credit.in_flight.set(node.credits.in_flight() as u64);
+        o.memory.in_flight.set(node.memory.in_flight());
+        o.memory.peak.set(node.memory.peak());
+        if let Some(injector) = &node.injector {
+            let c = injector.counts();
+            o.fault.injected_total.set(c.total());
+            o.fault.injected_store_put.set(c.store_put);
+            o.fault.injected_store_get.set(c.store_get);
+            o.fault.injected_cdw_exec.set(c.cdw_exec);
+            o.fault.injected_convert.set(c.convert);
+            o.fault.injected_transport.set(c.transport);
+        }
+    }
+
+    /// The full stats surface as one JSON document: node metrics, every
+    /// registered counter/gauge/histogram, the recent-report ring, and
+    /// journal occupancy. This is what a `Stats` wire request returns.
+    pub fn stats_snapshot(&self) -> String {
+        self.refresh_gauges();
+        let snap = self.node.obs.snapshot();
+        let recent = self.recent_job_reports();
+        stats_json(
+            &self.metrics(),
+            &snap,
+            &recent,
+            self.node.obs.journal.emitted(),
+            self.node.obs.journal.retained(),
+        )
+    }
+
+    /// The same registry rendered as Prometheus text exposition.
+    pub fn stats_prometheus(&self) -> String {
+        self.refresh_gauges();
+        stats_prometheus(&self.metrics(), &self.node.obs.snapshot())
     }
 
     /// Serve one connection until logoff/disconnect (one thread per
@@ -232,6 +314,15 @@ impl Virtualizer {
                         session_id = node.next_session.fetch_add(1, Ordering::Relaxed);
                         role = logon.role;
                         job_token = logon.job_token;
+                        node.obs.gateway.sessions_opened.inc();
+                        node.obs.journal.emit(
+                            "session.logon",
+                            job_token,
+                            session_id as u64,
+                            0,
+                            0,
+                            Duration::ZERO,
+                        );
                         Message::LogonOk(etlv_protocol::message::LogonOk {
                             session: session_id,
                             banner: "etlv virtualizer 1.0 (legacy protocol)".into(),
@@ -250,6 +341,13 @@ impl Virtualizer {
                 Message::EndLoad(end) => self.handle_end_load(job_token, &end.dml),
                 Message::BeginExport(spec) => self.handle_begin_export(spec),
                 Message::ExportChunkReq { index } => self.handle_export_req(job_token, index),
+                Message::StatsReq { format } => {
+                    let body = match format {
+                        StatsFormat::Json => self.stats_snapshot(),
+                        StatsFormat::Prometheus => self.stats_prometheus(),
+                    };
+                    Message::StatsReply(StatsReply { format, body })
+                }
                 Message::Logoff => {
                     transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
                     return Ok(());
@@ -326,9 +424,10 @@ impl Virtualizer {
         let prefix = xcompile::staging_prefix(token);
 
         // Staging + error tables on the CDW.
-        if let Err(e) = self.create_job_tables(&spec, &staging_table) {
-            return error_msg(ErrCode::SQL_ERROR, e, true);
-        }
+        let setup_retries = match self.create_job_tables(&spec, &staging_table) {
+            Ok(retries) => retries,
+            Err(e) => return error_msg(ErrCode::SQL_ERROR, e, true),
+        };
 
         // Spin up the acquisition pipeline.
         let converter = DataConverter::new(
@@ -350,8 +449,14 @@ impl Virtualizer {
             loader,
             prefix.clone(),
             node.injector.clone(),
+            Arc::clone(&node.obs),
+            token,
         );
         let sender = pipeline.sender();
+        node.obs.gateway.jobs_started.inc();
+        node.obs
+            .journal
+            .emit("job.begin", token, 0, 0, 0, Duration::ZERO);
 
         node.jobs.lock().insert(
             token,
@@ -359,6 +464,7 @@ impl Virtualizer {
                 spec,
                 staging_table,
                 prefix,
+                setup_retries,
                 pipeline: Mutex::new(Some(pipeline)),
                 sender: Mutex::new(Some(sender)),
                 rows_received: AtomicU64::new(0),
@@ -369,7 +475,9 @@ impl Virtualizer {
         Message::BeginLoadOk { load_token: token }
     }
 
-    fn create_job_tables(&self, spec: &BeginLoad, staging_table: &str) -> Result<(), String> {
+    /// Create the job's staging + error tables; returns how many setup
+    /// statements had to be retried after transient faults.
+    fn create_job_tables(&self, spec: &BeginLoad, staging_table: &str) -> Result<u64, String> {
         // Job setup DDL retries transient blips like any other statement —
         // with an armed cdw_exec fault spec these are the first statements
         // the plan can hit.
@@ -409,7 +517,8 @@ impl Virtualizer {
             "CREATE TABLE {} ({})",
             spec.error_table_uv,
             uv_cols.join(", ")
-        ))
+        ))?;
+        Ok(retries)
     }
 
     /// The PXC data path: acquire a credit (back-pressure), reserve
@@ -421,6 +530,10 @@ impl Virtualizer {
         token: u64,
         chunk: etlv_protocol::message::DataChunk,
     ) -> Message {
+        // Hot-path instrumentation is counters + one histogram — all
+        // pre-registered sharded handles, no journal event per chunk.
+        let handle_started = Instant::now();
+        let chunk_bytes = chunk.data.len() as u64;
         let job = {
             let jobs = self.node.jobs.lock();
             match jobs.get(&token) {
@@ -469,6 +582,10 @@ impl Virtualizer {
         {
             return error_msg(ErrCode::INTERNAL, "acquisition pipeline closed", true);
         }
+        let obs = &self.node.obs.gateway;
+        obs.chunks_received.inc();
+        obs.chunk_bytes.add(chunk_bytes);
+        obs.chunk_handle_us.record_duration(handle_started.elapsed());
         Message::Ack { chunk_seq }
     }
 
@@ -486,17 +603,36 @@ impl Virtualizer {
                 }
             }
         };
-        match self.finish_load(&job, dml) {
+        match self.finish_load(token, &job, dml) {
             Ok(report) => {
                 let mut metrics = self.node.metrics.lock();
                 metrics.jobs_completed += 1;
                 metrics.rows_ingested += report.rows_received;
                 drop(metrics);
-                *self.node.last_report.lock() = Some(report.clone());
+                self.node.obs.gateway.jobs_completed.inc();
+                self.node.obs.journal.emit(
+                    "job.end",
+                    token,
+                    0,
+                    0,
+                    report.rows_received,
+                    report.total(),
+                );
+                let mut reports = self.node.reports.lock();
+                while reports.len() >= self.node.config.report_history {
+                    reports.pop_front();
+                }
+                reports.push_back(report.clone());
+                drop(reports);
                 Message::LoadReport(report.to_wire())
             }
             Err((code, message)) => {
                 self.node.metrics.lock().jobs_failed += 1;
+                self.node.obs.gateway.jobs_failed.inc();
+                self.node
+                    .obs
+                    .journal
+                    .emit("job.fail", token, 0, 0, code.0 as u64, Duration::ZERO);
                 self.cleanup_job(&job);
                 // A failed load is a clean job failure, not a session
                 // failure: the client gets the error reply and the control
@@ -508,6 +644,7 @@ impl Virtualizer {
 
     fn finish_load(
         &self,
+        token: u64,
         job: &ImportJobState,
         dml: &str,
     ) -> Result<JobReport, (ErrCode, String)> {
@@ -534,7 +671,7 @@ impl Virtualizer {
         // cannot duplicate rows.
         let retry_policy = node.config.retry_policy();
         let retry_seed = node.config.fault_seed();
-        let mut cdw_retries = 0u64;
+        let mut cdw_retries = job.setup_retries;
         if !pipe_report.files.is_empty() {
             let copy = format!(
                 "COPY INTO {} FROM 'store://{}/{}' DELIMITER '{}'{}",
@@ -548,10 +685,21 @@ impl Virtualizer {
                     ""
                 }
             );
+            let copy_started = Instant::now();
             retry_cdw(retry_policy, retry_seed ^ 0xC0, &mut cdw_retries, || {
                 node.cdw.execute(&copy)
             })
             .map_err(|e| (ErrCode::INTERNAL, format!("COPY failed: {e}")))?;
+            let copy_elapsed = copy_started.elapsed();
+            node.obs.adaptive.copy_us.record_duration(copy_elapsed);
+            node.obs.journal.emit(
+                "copy",
+                token,
+                0,
+                0,
+                pipe_report.files.len() as u64,
+                copy_elapsed,
+            );
         }
         let acquisition = job.started.elapsed();
 
@@ -568,6 +716,10 @@ impl Virtualizer {
             retry: retry_policy,
             retry_seed,
         };
+        let job_obs = JobObs {
+            obs: &node.obs,
+            job: token,
+        };
         let outcome = apply(
             &node.cdw,
             &compiled,
@@ -577,10 +729,17 @@ impl Virtualizer {
             rows_received + 1,
             node.config.apply_strategy,
             params,
+            Some(&job_obs),
         )
         .map_err(|e| (ErrCode::SQL_ERROR, format!("application failed: {e}")))?;
         cdw_retries += outcome.transient_retries;
         let application = application_started.elapsed();
+        node.obs.adaptive.statements.add(outcome.statements);
+        node.obs
+            .adaptive
+            .transient_retries
+            .add(outcome.transient_retries);
+        node.obs.adaptive.apply_us.record_duration(application);
 
         // Error tables: acquisition errors + application errors.
         let teardown_started = Instant::now();
@@ -786,6 +945,15 @@ impl Virtualizer {
             Ok(d) => d,
             Err(e) => return error_msg(ErrCode::INTERNAL, e.to_string(), true),
         };
+        {
+            let mut metrics = self.node.metrics.lock();
+            metrics.rows_exported += rows.len() as u64;
+            metrics.bytes_exported += data.len() as u64;
+        }
+        let export = &self.node.obs.export;
+        export.chunks.inc();
+        export.rows.add(rows.len() as u64);
+        export.bytes.add(data.len() as u64);
         Message::ExportChunk(ExportChunk {
             index,
             record_count: rows.len() as u32,
@@ -803,6 +971,40 @@ fn uv_column_value(v: Value) -> Value {
         Value::Bytes(_) | Value::Timestamp(_) => Value::Str(v.display_text()),
         other => other,
     }
+}
+
+/// The node's observability hub, shaped by the config's journal knobs.
+fn build_obs(config: &VirtualizerConfig) -> Arc<Obs> {
+    Arc::new(Obs::new(
+        config.journal_capacity,
+        config.journal_jsonl.as_deref(),
+    ))
+}
+
+/// The callback an [`ObservedStore`] feeds: op counts, byte totals, error
+/// counts, and wall-time histograms per store operation.
+fn store_observer(obs: &Obs) -> etlv_cloudstore::StoreObserver {
+    let store = obs.store.clone();
+    Arc::new(move |op, bytes, elapsed, ok| match op {
+        StoreOp::Put => {
+            store.put_ops.inc();
+            if ok {
+                store.put_bytes.add(bytes);
+            } else {
+                store.put_errors.inc();
+            }
+            store.put_us.record_duration(elapsed);
+        }
+        StoreOp::Get => {
+            store.get_ops.inc();
+            if ok {
+                store.get_bytes.add(bytes);
+            } else {
+                store.get_errors.inc();
+            }
+            store.get_us.record_duration(elapsed);
+        }
+    })
 }
 
 fn error_msg(code: ErrCode, message: impl Into<String>, fatal: bool) -> Message {

@@ -42,6 +42,8 @@
 //!   policy hardening the acquisition pipeline (§9, DESIGN §7).
 //! - [`tdf`] / [`cursor`]: the Tabular Data Format and TDFCursor serving
 //!   parallel export sessions (§3, §4).
+//! - [`obs`]: observability — sharded metrics registry, span journal,
+//!   and the stats snapshot renderers (§9, DESIGN §9).
 //! - [`report`]: phase-timed job reports and node metrics (§9).
 //! - [`workload`]: deterministic workload generators for tests, examples,
 //!   and the figure benches.
@@ -56,6 +58,7 @@ pub mod emulate;
 pub mod fault;
 pub mod gateway;
 pub mod memory;
+pub mod obs;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
@@ -72,4 +75,5 @@ pub use fault::{
 };
 pub use gateway::Virtualizer;
 pub use memory::{MemoryGauge, OutOfMemory};
+pub use obs::{Obs, RegistrySnapshot, SpanEvent};
 pub use report::{JobReport, NodeMetrics};

@@ -1,0 +1,404 @@
+//! The live metrics registry: sharded counters, gauges, and log-linear
+//! histograms. Compiled only with the `obs` feature; `noop.rs` supplies
+//! the same API as zero-size stubs otherwise.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use super::{HistogramSnapshot, RegistrySnapshot};
+
+/// Shards per counter. Converter pools top out well below this on the
+/// testbed; more shards only pad the (cheap) snapshot merge.
+const SHARDS: usize = 16;
+
+/// One cache line per shard so two workers bumping the same counter never
+/// write the same line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+static NEXT_THREAD_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a sticky shard index assigned round-robin on
+    /// first use, spreading steady-state workers evenly.
+    static THREAD_SHARD: usize =
+        NEXT_THREAD_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing counter, sharded per thread. `add` is one
+/// relaxed `fetch_add` on a thread-private cache line; `value` merges the
+/// shards.
+#[derive(Clone)]
+pub struct Counter {
+    shards: Arc<[PaddedCell; SHARDS]>,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            shards: Arc::new(std::array::from_fn(|_| PaddedCell::default())),
+        }
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Merged value across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A last-writer-wins gauge.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v`.
+    #[inline]
+    pub fn fetch_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-linear bucket layout: values 0–3 get exact buckets; above that,
+/// each power of two is split into 4 linear sub-buckets (≤ 12.5% relative
+/// width). The full u64 range needs `(63 - 1) * 4 + 4 = 252` buckets.
+const BUCKETS: usize = 252;
+
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // ≥ 2
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    (msb - 1) * 4 + sub
+}
+
+/// Inclusive upper bound of bucket `idx` — the value quantiles report, so
+/// estimates never undershoot the true quantile by more than the bucket
+/// width.
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < 4 {
+        return idx as u64;
+    }
+    let msb = idx / 4 + 1;
+    let sub = (idx % 4) as u128;
+    // The topmost bucket's bound exceeds u64::MAX; widen then saturate.
+    let bound = ((4 + sub + 1) << (msb - 2)) - 1;
+    bound.min(u64::MAX as u128) as u64
+}
+
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-footprint latency histogram. `record` is three relaxed atomic
+/// ops and never allocates.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Summarize as count/sum/max plus p50/p95/p99.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (idx, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_upper_bound(idx);
+                }
+            }
+            bucket_upper_bound(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            max: self.inner.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+}
+
+/// Owns every registered metric; handles stay valid for the registry's
+/// lifetime. Registration is idempotent by name, so subsystems can share
+/// a metric without coordinating.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or fetch) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock();
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Register (or fetch) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.lock();
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Register (or fetch) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.inner.histograms.lock();
+        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Snapshot every metric, name-sorted.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.value()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, u64)> = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.value()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_bounded() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 4, v + v / 2, v.wrapping_mul(2).wrapping_sub(1)] {
+                let idx = bucket_index(probe);
+                assert!(idx < BUCKETS, "v={probe} idx={idx}");
+                assert!(idx >= last || probe < v, "non-monotone at {probe}");
+                last = last.max(idx);
+                // The bucket's upper bound must not undershoot the value.
+                assert!(
+                    bucket_upper_bound(idx) >= probe,
+                    "upper bound {} < value {probe}",
+                    bucket_upper_bound(idx)
+                );
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+        // 4..8 land in distinct exact buckets too (sub-bucket width 1).
+        for v in 4..8u64 {
+            assert_eq!(bucket_upper_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_with_known_distribution() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t");
+        // 100 values: 1..=100.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot("t");
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050);
+        assert_eq!(snap.max, 100);
+        // Log-linear error ≤ 12.5%: p50 ∈ [50, 57], p99 ∈ [99, 112].
+        assert!((50..=57).contains(&snap.p50), "p50={}", snap.p50);
+        assert!((95..=108).contains(&snap.p95), "p95={}", snap.p95);
+        assert!((99..=112).contains(&snap.p99), "p99={}", snap.p99);
+    }
+
+    #[test]
+    fn counter_merges_shards_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("same");
+        let b = reg.counter("same");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.counter("same").value(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0], ("same".to_string(), 5));
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("g");
+        g.set(10);
+        g.fetch_max(7);
+        assert_eq!(g.value(), 10);
+        g.fetch_max(12);
+        assert_eq!(g.value(), 12);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z");
+        reg.counter("a");
+        reg.histogram("m");
+        reg.histogram("b");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "z");
+        assert_eq!(snap.histograms[0].name, "b");
+        assert_eq!(snap.histograms[1].name, "m");
+    }
+}

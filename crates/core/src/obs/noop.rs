@@ -1,0 +1,143 @@
+//! Zero-size no-op stand-ins for the metrics and journal types, compiled
+//! when the `obs` feature is off. Same API as the live versions in
+//! `metrics.rs`/`journal.rs`, so instrumentation call sites stay
+//! unconditional and the compiler deletes them entirely — this is the
+//! "compiled out" baseline `bench_pr3` measures overhead against.
+
+use std::path::Path;
+use std::time::Duration;
+
+use super::{HistogramSnapshot, RegistrySnapshot, SpanEvent};
+
+/// No-op counter.
+#[derive(Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always 0.
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn fetch_max(&self, _v: u64) {}
+
+    /// Always 0.
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op histogram.
+#[derive(Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_duration(&self, _d: Duration) {}
+
+    /// Empty snapshot.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+}
+
+/// No-op registry: hands out stub handles, snapshots empty.
+#[derive(Clone, Copy, Default)]
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// New stub registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry
+    }
+
+    /// Stub counter.
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// Stub gauge.
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+
+    /// Stub histogram.
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// Always empty.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot::default()
+    }
+}
+
+/// No-op journal: drops every event.
+#[derive(Clone, Copy, Default)]
+pub struct Journal;
+
+impl Journal {
+    /// Stub journal; `jsonl` is ignored.
+    pub fn new(_capacity: usize, _jsonl: Option<&Path>) -> Journal {
+        Journal
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn emit(
+        &self,
+        _kind: &'static str,
+        _job: u64,
+        _session: u64,
+        _chunk: u64,
+        _value: u64,
+        _dur: Duration,
+    ) {
+    }
+
+    /// Always empty.
+    pub fn tail(&self, _n: usize) -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    /// Always 0.
+    pub fn emitted(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    pub fn retained(&self) -> usize {
+        0
+    }
+
+    /// No-op.
+    pub fn flush(&self) {}
+}

@@ -1,0 +1,234 @@
+//! Snapshot renderers: the JSON document behind
+//! `Virtualizer::stats_snapshot()` and the Prometheus text exposition.
+//! Hand-rolled (the workspace carries no serialization dependency) and
+//! compiled regardless of the `obs` feature — with instrumentation off
+//! the registry snapshot is simply empty.
+
+use crate::report::{JobReport, NodeMetrics};
+
+use super::RegistrySnapshot;
+
+fn push_node_fields(out: &mut String, node: &NodeMetrics, indent: &str) {
+    out.push_str(&format!(
+        "{indent}\"jobs_completed\": {},\n\
+         {indent}\"jobs_failed\": {},\n\
+         {indent}\"exports_completed\": {},\n\
+         {indent}\"rows_ingested\": {},\n\
+         {indent}\"rows_exported\": {},\n\
+         {indent}\"bytes_exported\": {},\n\
+         {indent}\"credit_stalls\": {},\n\
+         {indent}\"credit_stall_micros\": {},\n\
+         {indent}\"peak_memory\": {}\n",
+        node.jobs_completed,
+        node.jobs_failed,
+        node.exports_completed,
+        node.rows_ingested,
+        node.rows_exported,
+        node.bytes_exported,
+        node.credit_stalls,
+        node.credit_stall_time.as_micros(),
+        node.peak_memory,
+    ));
+}
+
+fn push_job(out: &mut String, job: &JobReport) {
+    out.push_str(&format!(
+        "{{\"rows_received\": {}, \"rows_applied\": {}, \"errors_et\": {}, \
+         \"errors_uv\": {}, \"acquisition_micros\": {}, \"application_micros\": {}, \
+         \"other_micros\": {}, \"files_staged\": {}, \"bytes_staged\": {}, \
+         \"upload_retries\": {}, \"cdw_retries\": {}, \"faults_injected\": {}}}",
+        job.rows_received,
+        job.rows_applied,
+        job.errors_et,
+        job.errors_uv,
+        job.acquisition.as_micros(),
+        job.application.as_micros(),
+        job.other.as_micros(),
+        job.files_staged,
+        job.bytes_staged,
+        job.upload_retries,
+        job.cdw_retries,
+        job.faults_injected,
+    ));
+}
+
+/// Render the full stats snapshot as a JSON document.
+pub fn stats_json(
+    node: &NodeMetrics,
+    snap: &RegistrySnapshot,
+    recent_jobs: &[JobReport],
+    journal_emitted: u64,
+    journal_retained: usize,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"obs_enabled\": {},\n", super::enabled()));
+    out.push_str("  \"node\": {\n");
+    push_node_fields(&mut out, node, "    ");
+    out.push_str("  },\n");
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{name}\": {value}"));
+    }
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    \"{name}\": {value}"));
+    }
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"histograms\": {");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+             \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            h.name, h.count, h.sum, h.max, h.p50, h.p95, h.p99
+        ));
+    }
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"recent_jobs\": [");
+    for (i, job) in recent_jobs.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        push_job(&mut out, job);
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str(&format!(
+        "  \"journal\": {{\"emitted\": {journal_emitted}, \"retained\": {journal_retained}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("etlv_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Render the stats snapshot as Prometheus text exposition: counters and
+/// gauges as single samples, histograms as `_count`/`_sum`/`_max` plus
+/// `quantile`-labelled samples.
+pub fn stats_prometheus(node: &NodeMetrics, snap: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let node_samples: [(&str, u64); 9] = [
+        ("node.jobs_completed", node.jobs_completed),
+        ("node.jobs_failed", node.jobs_failed),
+        ("node.exports_completed", node.exports_completed),
+        ("node.rows_ingested", node.rows_ingested),
+        ("node.rows_exported", node.rows_exported),
+        ("node.bytes_exported", node.bytes_exported),
+        ("node.credit_stalls", node.credit_stalls),
+        (
+            "node.credit_stall_micros",
+            node.credit_stall_time.as_micros() as u64,
+        ),
+        ("node.peak_memory", node.peak_memory),
+    ];
+    for (name, value) in node_samples {
+        out.push_str(&format!("{} {value}\n", prom_name(name)));
+    }
+    for (name, value) in &snap.counters {
+        out.push_str(&format!("{} {value}\n", prom_name(name)));
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str(&format!("{} {value}\n", prom_name(name)));
+    }
+    for h in &snap.histograms {
+        let base = prom_name(&h.name);
+        out.push_str(&format!("{base}_count {}\n", h.count));
+        out.push_str(&format!("{base}_sum {}\n", h.sum));
+        out.push_str(&format!("{base}_max {}\n", h.max));
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            out.push_str(&format!("{base}{{quantile=\"{q}\"}} {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::HistogramSnapshot;
+    use std::time::Duration;
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: vec![
+                ("gateway.chunks_received".into(), 12),
+                ("pipeline.convert_rows".into(), 480),
+            ],
+            gauges: vec![("credit.in_flight".into(), 3)],
+            histograms: vec![HistogramSnapshot {
+                name: "pipeline.convert_us".into(),
+                count: 12,
+                sum: 600,
+                max: 90,
+                p50: 47,
+                p95: 85,
+                p99: 90,
+            }],
+        }
+    }
+
+    fn sample_node() -> NodeMetrics {
+        NodeMetrics {
+            jobs_completed: 2,
+            rows_ingested: 480,
+            credit_stalls: 5,
+            credit_stall_time: Duration::from_micros(1500),
+            peak_memory: 65536,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn json_document_contains_all_sections() {
+        let job = JobReport {
+            rows_received: 240,
+            upload_retries: 1,
+            cdw_retries: 2,
+            ..Default::default()
+        };
+        let doc = stats_json(&sample_node(), &sample_snapshot(), &[job], 40, 30);
+        for needle in [
+            "\"obs_enabled\"",
+            "\"jobs_completed\": 2",
+            "\"credit_stalls\": 5",
+            "\"credit_stall_micros\": 1500",
+            "\"gateway.chunks_received\": 12",
+            "\"credit.in_flight\": 3",
+            "\"pipeline.convert_us\": {\"count\": 12",
+            "\"p95\": 85",
+            "\"upload_retries\": 1",
+            "\"cdw_retries\": 2",
+            "\"journal\": {\"emitted\": 40, \"retained\": 30}",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = stats_prometheus(&sample_node(), &sample_snapshot());
+        for needle in [
+            "etlv_node_jobs_completed 2\n",
+            "etlv_node_peak_memory 65536\n",
+            "etlv_gateway_chunks_received 12\n",
+            "etlv_credit_in_flight 3\n",
+            "etlv_pipeline_convert_us_count 12\n",
+            "etlv_pipeline_convert_us{quantile=\"0.95\"} 85\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

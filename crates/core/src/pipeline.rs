@@ -24,6 +24,7 @@ use crate::convert::{AcqError, ConvertScratch, DataConverter};
 use crate::credit::Credit;
 use crate::fault::{retry_with, FaultInjector};
 use crate::memory::MemGuard;
+use crate::obs::Obs;
 use crate::pool::BufferPool;
 
 /// A raw chunk travelling from a session handler into the pipeline. The
@@ -75,13 +76,16 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Spawn the pipeline for one load job. `prefix` is the object-key
-    /// prefix staged files upload under (e.g. `job42/`).
+    /// prefix staged files upload under (e.g. `job42/`); `job` is the load
+    /// token stamped on every journal event the stages emit.
     pub fn spawn(
         config: &VirtualizerConfig,
         converter: DataConverter,
         loader: Arc<BulkLoader>,
         prefix: String,
         injector: Option<Arc<FaultInjector>>,
+        obs: Arc<Obs>,
+        job: u64,
     ) -> Pipeline {
         let workers = config.converter_workers();
         let sim_cost = config.simulated_convert_cost_per_mb;
@@ -114,6 +118,7 @@ impl Pipeline {
             let injector = injector.clone();
             let buffers = Arc::clone(&buffers);
             let started = Arc::clone(&workers_started);
+            let obs = Arc::clone(&obs);
             conv_handles.push(std::thread::spawn(move || {
                 started.fetch_add(1, Ordering::Relaxed);
                 let mut scratch = ConvertScratch::new();
@@ -128,6 +133,8 @@ impl Pipeline {
                         injector.as_deref(),
                         &buffers,
                         &mut scratch,
+                        &obs,
+                        job,
                     );
                 }
             }));
@@ -142,6 +149,7 @@ impl Pipeline {
             let conv_rx: Receiver<Converted> = conv_rx.clone();
             let file_tx = file_tx.clone();
             let buffers = Arc::clone(&buffers);
+            let obs = Arc::clone(&obs);
             writer_handles.push(std::thread::spawn(move || -> (u64, u64) {
                 let mut current: Vec<u8> = Vec::with_capacity(threshold.min(1 << 22));
                 let mut rows = 0u64;
@@ -170,6 +178,15 @@ impl Pipeline {
                             &mut current,
                             Vec::with_capacity(threshold.min(1 << 22)),
                         );
+                        obs.pipeline.files_rotated.inc();
+                        obs.journal.emit(
+                            "file.rotate",
+                            job,
+                            0,
+                            0,
+                            full.len() as u64,
+                            std::time::Duration::ZERO,
+                        );
                         if file_tx.send(full).is_err() {
                             break;
                         }
@@ -192,6 +209,7 @@ impl Pipeline {
         // job fails cleanly at EndLoad — never a hang.
         let uploader: JoinHandle<(Vec<String>, Vec<String>, u64)> = {
             let loader = Arc::clone(&loader);
+            let obs = Arc::clone(&obs);
             std::thread::spawn(move || {
                 let mut keys = Vec::new();
                 let mut failures = Vec::new();
@@ -200,6 +218,8 @@ impl Pipeline {
                 while let Ok(file) = file_rx.recv() {
                     let key = format!("{prefix}part-{part:05}");
                     part += 1;
+                    let retries_before = retries;
+                    let upload_started = std::time::Instant::now();
                     let attempt = retry_with(
                         retry_policy,
                         retry_seed ^ part as u64,
@@ -207,8 +227,34 @@ impl Pipeline {
                         |_| true,
                         || loader.upload_part_from(&key, &file),
                     );
+                    let elapsed = upload_started.elapsed();
+                    obs.pipeline.upload_us.record_duration(elapsed);
+                    let part_retries = retries - retries_before;
+                    if part_retries > 0 {
+                        obs.pipeline.upload_retries.add(part_retries);
+                        obs.journal.emit(
+                            "upload.retry",
+                            job,
+                            0,
+                            part as u64,
+                            part_retries,
+                            std::time::Duration::ZERO,
+                        );
+                    }
                     match attempt {
-                        Ok(_) => keys.push(key),
+                        Ok(_) => {
+                            obs.pipeline.upload_parts.inc();
+                            obs.pipeline.upload_bytes.add(file.len() as u64);
+                            obs.journal.emit(
+                                "file.upload",
+                                job,
+                                0,
+                                part as u64,
+                                file.len() as u64,
+                                elapsed,
+                            );
+                            keys.push(key)
+                        }
                         Err(e) => failures.push(format!("upload {key}: {e}")),
                     }
                 }
@@ -278,12 +324,15 @@ fn convert_one(
     injector: Option<&FaultInjector>,
     buffers: &BufferPool,
     scratch: &mut ConvertScratch,
+    obs: &Obs,
+    job: u64,
 ) {
     if !sim_cost_per_mb.is_zero() {
         let cost = sim_cost_per_mb.mul_f64(chunk.data.len() as f64 / 1_000_000.0);
         std::thread::sleep(cost);
     }
     if injector.is_some_and(|i| i.convert_should_fail()) {
+        obs.pipeline.convert_errors.inc();
         fatal.lock().push(format!(
             "injected fault: converter worker failed on chunk at row {}",
             chunk.base_seq
@@ -295,9 +344,11 @@ fn convert_one(
     let mut out = buffers.take();
     // A panicking converter must not wedge the pipeline: contain it, record
     // a fatal error, and let the chunk's guards release credit + memory.
+    let convert_started = std::time::Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         converter.convert_into(chunk.base_seq, &chunk.data, &mut out, scratch)
     }));
+    let elapsed = convert_started.elapsed();
     let result = match outcome {
         Ok(result) => result,
         Err(panic) => {
@@ -306,6 +357,7 @@ fn convert_one(
                 .map(|s| s.to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".into());
+            obs.pipeline.convert_errors.inc();
             fatal
                 .lock()
                 .push(format!("converter worker panicked: {what}"));
@@ -318,6 +370,12 @@ fn convert_one(
             if scratch.has_errors() {
                 scratch.drain_errors_into(&mut errors.lock());
             }
+            obs.pipeline.convert_chunks.inc();
+            obs.pipeline.convert_rows.add(rows as u64);
+            obs.pipeline.convert_bytes.add(out.len() as u64);
+            obs.pipeline.convert_us.record_duration(elapsed);
+            obs.journal
+                .emit("chunk.convert", job, 0, chunk.base_seq, rows as u64, elapsed);
             let mut memory = chunk.memory;
             memory.shrink_to(out.len());
             let _ = tx.send(Converted {
@@ -328,6 +386,7 @@ fn convert_one(
             });
         }
         Err(e) => {
+            obs.pipeline.convert_errors.inc();
             fatal.lock().push(e.to_string());
             buffers.put(out);
             // Credit and memory release on drop.
@@ -368,7 +427,15 @@ mod tests {
             },
         ));
         let converter = DataConverter::new(layout(), WIRE_VT, config.staging_delimiter);
-        let pipeline = Pipeline::spawn(config, converter, loader, "job1/".into(), None);
+        let pipeline = Pipeline::spawn(
+            config,
+            converter,
+            loader,
+            "job1/".into(),
+            None,
+            Arc::new(Obs::default()),
+            1,
+        );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(config.memory_cap);
         let sender = pipeline.sender();
@@ -475,7 +542,15 @@ mod tests {
             LoaderConfig::new(config.staging_bucket.clone()),
         ));
         let converter = DataConverter::new(layout(), WIRE_VT, b'|');
-        let pipeline = Pipeline::spawn(&config, converter, loader, "j/".into(), None);
+        let pipeline = Pipeline::spawn(
+            &config,
+            converter,
+            loader,
+            "j/".into(),
+            None,
+            Arc::new(Obs::default()),
+            1,
+        );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
         let sender = pipeline.sender();
@@ -529,6 +604,8 @@ mod tests {
             loader,
             "j/".into(),
             Some(Arc::clone(&injector)),
+            Arc::new(Obs::default()),
+            1,
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(0);
@@ -578,7 +655,15 @@ mod tests {
         // One pool worker so chunk order = op order.
         config.converter_mode = ConverterMode::Pool(1);
         let converter = DataConverter::new(layout(), WIRE_VT, b'|');
-        let pipeline = Pipeline::spawn(&config, converter, loader, "j/".into(), Some(injector));
+        let pipeline = Pipeline::spawn(
+            &config,
+            converter,
+            loader,
+            "j/".into(),
+            Some(injector),
+            Arc::new(Obs::default()),
+            1,
+        );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
         let sender = pipeline.sender();

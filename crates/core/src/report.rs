@@ -50,6 +50,8 @@ impl JobReport {
             other_micros: self.other.as_micros() as u64,
             retries: self.upload_retries + self.cdw_retries,
             faults_injected: self.faults_injected,
+            upload_retries: self.upload_retries,
+            cdw_retries: self.cdw_retries,
         }
     }
 
@@ -70,6 +72,10 @@ pub struct NodeMetrics {
     pub exports_completed: u64,
     /// Total records ingested.
     pub rows_ingested: u64,
+    /// Total records served to export sessions.
+    pub rows_exported: u64,
+    /// Total encoded bytes served to export sessions.
+    pub bytes_exported: u64,
     /// Credit-pool stalls (back-pressure engagements).
     pub credit_stalls: u64,
     /// Total time sessions spent blocked on credits.
@@ -104,6 +110,13 @@ mod tests {
         assert_eq!(wire.application_micros, 7000);
         assert_eq!(wire.other_micros, 250);
         assert_eq!(wire.retries, 5, "upload + cdw retries combined");
+        assert_eq!(wire.upload_retries, 3);
+        assert_eq!(wire.cdw_retries, 2);
+        assert_eq!(
+            wire.retries,
+            wire.upload_retries + wire.cdw_retries,
+            "total stays consistent with the split"
+        );
         assert_eq!(wire.faults_injected, 5);
         assert_eq!(report.total(), Duration::from_micros(12_250));
     }

@@ -71,6 +71,7 @@ proptest! {
             1,
             total + 1,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         let found: HashSet<u64> = outcome
@@ -113,6 +114,7 @@ proptest! {
             1,
             total + 1,
             AdaptiveParams::default(),
+            None,
         )
         .unwrap();
         // Every bad-date row is an ET-class single error; every dup row

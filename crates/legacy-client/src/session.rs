@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use etlv_protocol::message::{Logon, Message, SessionRole, SqlResult};
+use etlv_protocol::message::{Logon, Message, SessionRole, SqlResult, StatsFormat, StatsReply};
 use etlv_protocol::transport::Transport;
 
 use crate::connect::Connect;
@@ -122,6 +122,15 @@ impl Session {
         })? {
             Message::SqlResult(r) => Ok(r),
             other => Err(unexpected("SqlResult", &other)),
+        }
+    }
+
+    /// Request a server statistics snapshot in the given rendering
+    /// (JSON document or Prometheus text exposition).
+    pub fn stats(&mut self, format: StatsFormat) -> Result<StatsReply, ClientError> {
+        match self.request(Message::StatsReq { format })? {
+            Message::StatsReply(reply) => Ok(reply),
+            other => Err(unexpected("StatsReply", &other)),
         }
     }
 

@@ -387,6 +387,8 @@ impl LegacyServer {
             // The reference EDW neither retries nor injects faults.
             retries: 0,
             faults_injected: 0,
+            upload_retries: 0,
+            cdw_retries: 0,
         })
     }
 

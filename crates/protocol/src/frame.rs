@@ -70,6 +70,10 @@ pub enum MsgKind {
     LogoffOk = 17,
     /// Liveness probe.
     Keepalive = 18,
+    /// Request a server statistics snapshot (control sessions).
+    StatsReq = 19,
+    /// Statistics snapshot response.
+    StatsReply = 20,
 }
 
 impl MsgKind {
@@ -94,6 +98,8 @@ impl MsgKind {
             16 => MsgKind::Logoff,
             17 => MsgKind::LogoffOk,
             18 => MsgKind::Keepalive,
+            19 => MsgKind::StatsReq,
+            20 => MsgKind::StatsReply,
             _ => return None,
         })
     }
@@ -367,11 +373,11 @@ mod tests {
 
     #[test]
     fn kind_byte_roundtrip() {
-        for k in 1..=18u8 {
+        for k in 1..=20u8 {
             let kind = MsgKind::from_u8(k).unwrap();
             assert_eq!(kind as u8, k);
         }
         assert_eq!(MsgKind::from_u8(0), None);
-        assert_eq!(MsgKind::from_u8(19), None);
+        assert_eq!(MsgKind::from_u8(21), None);
     }
 }

@@ -159,11 +159,16 @@ pub struct LoadReport {
     /// Everything else (startup/teardown), microseconds.
     pub other_micros: u64,
     /// Operations retried after transient infrastructure failures
-    /// (uploads + CDW statements).
+    /// (uploads + CDW statements). Always `upload_retries + cdw_retries`;
+    /// retained so existing clients keep a single total to assert on.
     pub retries: u64,
     /// Faults injected by the server's fault plan during the job (0 in
     /// production — nonzero only under chaos testing).
     pub faults_injected: u64,
+    /// Staging-upload operations retried (subset of `retries`).
+    pub upload_retries: u64,
+    /// CDW statements retried (subset of `retries`).
+    pub cdw_retries: u64,
 }
 
 /// Begin an export job.
@@ -200,6 +205,44 @@ pub struct ExportChunk {
     pub last: bool,
     /// Encoded records.
     pub data: Bytes,
+}
+
+/// Rendering requested for a [`Message::StatsReq`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// JSON document (the `Virtualizer::stats_snapshot` output).
+    Json,
+    /// Prometheus text exposition.
+    Prometheus,
+}
+
+impl StatsFormat {
+    fn encode(self, buf: &mut impl BufMut) {
+        buf.put_u8(match self {
+            StatsFormat::Json => 0,
+            StatsFormat::Prometheus => 1,
+        });
+    }
+
+    fn decode(buf: &mut impl Buf) -> Result<StatsFormat, FrameError> {
+        if buf.remaining() < 1 {
+            return Err(FrameError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(StatsFormat::Json),
+            1 => Ok(StatsFormat::Prometheus),
+            _ => Err(FrameError::Malformed("unknown stats format")),
+        }
+    }
+}
+
+/// A server statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// The format `body` is rendered in.
+    pub format: StatsFormat,
+    /// The rendered snapshot document.
+    pub body: String,
 }
 
 /// A session-level error report.
@@ -264,6 +307,13 @@ pub enum Message {
     LogoffOk,
     /// Liveness probe.
     Keepalive,
+    /// Request a statistics snapshot (control sessions).
+    StatsReq {
+        /// Rendering requested for the snapshot body.
+        format: StatsFormat,
+    },
+    /// Statistics snapshot response.
+    StatsReply(StatsReply),
 }
 
 impl Message {
@@ -288,6 +338,8 @@ impl Message {
             Message::Logoff => MsgKind::Logoff,
             Message::LogoffOk => MsgKind::LogoffOk,
             Message::Keepalive => MsgKind::Keepalive,
+            Message::StatsReq { .. } => MsgKind::StatsReq,
+            Message::StatsReply(_) => MsgKind::StatsReply,
         }
     }
 
@@ -358,6 +410,8 @@ impl Message {
                 buf.put_u64_le(m.other_micros);
                 buf.put_u64_le(m.retries);
                 buf.put_u64_le(m.faults_injected);
+                buf.put_u64_le(m.upload_retries);
+                buf.put_u64_le(m.cdw_retries);
             }
             Message::BeginExport(m) => {
                 write_lstring(buf, &m.select);
@@ -381,6 +435,11 @@ impl Message {
                 buf.put_u16_le(m.code);
                 buf.put_u8(m.fatal as u8);
                 write_lstring(buf, &m.message);
+            }
+            Message::StatsReq { format } => format.encode(buf),
+            Message::StatsReply(m) => {
+                m.format.encode(buf);
+                write_lstring(buf, &m.body);
             }
             Message::Logoff | Message::LogoffOk | Message::Keepalive => {}
         }
@@ -517,7 +576,7 @@ impl Message {
                 dml: read_lstring(buf)?,
             }),
             MsgKind::LoadReport => {
-                if buf.remaining() < 72 {
+                if buf.remaining() < 88 {
                     return Err(FrameError::Truncated);
                 }
                 Message::LoadReport(LoadReport {
@@ -530,6 +589,8 @@ impl Message {
                     other_micros: buf.get_u64_le(),
                     retries: buf.get_u64_le(),
                     faults_injected: buf.get_u64_le(),
+                    upload_retries: buf.get_u64_le(),
+                    cdw_retries: buf.get_u64_le(),
                 })
             }
             MsgKind::BeginExport => {
@@ -601,6 +662,14 @@ impl Message {
             MsgKind::Logoff => Message::Logoff,
             MsgKind::LogoffOk => Message::LogoffOk,
             MsgKind::Keepalive => Message::Keepalive,
+            MsgKind::StatsReq => Message::StatsReq {
+                format: StatsFormat::decode(buf)?,
+            },
+            MsgKind::StatsReply => {
+                let format = StatsFormat::decode(buf)?;
+                let body = read_lstring(buf)?;
+                Message::StatsReply(StatsReply { format, body })
+            }
         })
     }
 }
@@ -798,6 +867,8 @@ mod tests {
                 other_micros: 30,
                 retries: 4,
                 faults_injected: 6,
+                upload_retries: 3,
+                cdw_retries: 1,
             }),
         ] {
             assert_eq!(roundtrip(msg.clone()), msg);
@@ -846,6 +917,28 @@ mod tests {
             Message::Logoff,
             Message::LogoffOk,
             Message::Keepalive,
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        for msg in [
+            Message::StatsReq {
+                format: StatsFormat::Json,
+            },
+            Message::StatsReq {
+                format: StatsFormat::Prometheus,
+            },
+            Message::StatsReply(StatsReply {
+                format: StatsFormat::Json,
+                body: "{\"counters\": {\"gateway.chunks_received\": 12}}".into(),
+            }),
+            Message::StatsReply(StatsReply {
+                format: StatsFormat::Prometheus,
+                body: "etlv_gateway_chunks_received 12\n".into(),
+            }),
         ] {
             assert_eq!(roundtrip(msg.clone()), msg);
         }

@@ -98,7 +98,10 @@ fn flaky_store_recovers() {
     let result = client.run_import_data(&import_job(), &rows(50)).unwrap();
     println!("rows applied    : {}", result.report.rows_applied);
     println!("faults injected : {}", result.report.faults_injected);
-    println!("retries         : {}", result.report.retries);
+    println!(
+        "retries         : {} (upload={} cdw={})",
+        result.report.retries, result.report.upload_retries, result.report.cdw_retries
+    );
     println!(
         "credits after   : {}/{}\n",
         v.credits().available(),
@@ -136,10 +139,12 @@ fn same_seed_reproduces() {
         let result = client.run_import_data(&import_job(), &rows(120)).unwrap();
         let counts = v.fault_injector().unwrap().counts();
         println!(
-            "run {run}: applied={} faults={} retries={} (store_put faults={})",
+            "run {run}: applied={} faults={} retries={} (upload={} cdw={} store_put faults={})",
             result.report.rows_applied,
             result.report.faults_injected,
             result.report.retries,
+            result.report.upload_retries,
+            result.report.cdw_retries,
             counts.store_put
         );
     }

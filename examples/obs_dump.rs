@@ -1,0 +1,128 @@
+//! Dump the virtualizer's observability surface while a load job runs:
+//! live journal events mid-flight, then the full stats snapshot (JSON),
+//! a Prometheus excerpt, and the same document fetched over the wire with
+//! a legacy `Stats` request.
+//!
+//! Run with `cargo run --example obs_dump`.
+
+use std::io;
+use std::sync::Arc;
+
+use etlv_core::{Virtualizer, VirtualizerConfig};
+use etlv_legacy_client::{ClientOptions, FnConnector, LegacyEtlClient};
+use etlv_protocol::message::{SessionRole, StatsFormat};
+use etlv_protocol::transport::{duplex, Transport};
+use etlv_script::{compile, parse_script, JobPlan};
+
+const IMPORT_SCRIPT: &str = r#"
+.logon host/user,pass;
+.layout CustLayout;
+.field CUST_ID varchar(8);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+    trim(:CUST_ID), trim(:CUST_NAME),
+    cast(:JOIN_DATE as DATE format `YYYY-MM-DD') );
+.import infile input.txt
+    format vartext `|' layout CustLayout
+    apply InsApply;
+.end load
+"#;
+
+fn connector(
+    v: &Virtualizer,
+) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
+    let v = v.clone();
+    Arc::new(FnConnector(move || {
+        let (client_end, server_end) = duplex();
+        let v = v.clone();
+        std::thread::spawn(move || {
+            let _ = v.serve(server_end);
+        });
+        Ok(Box::new(client_end) as Box<dyn Transport>)
+    }))
+}
+
+fn main() {
+    let v = Virtualizer::new(VirtualizerConfig {
+        file_size_threshold: 4096, // several staged files for this data size
+        ..Default::default()
+    });
+    v.cdw()
+        .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(8), CUST_NAME VARCHAR(50), JOIN_DATE DATE)")
+        .unwrap();
+    let job = match compile(&parse_script(IMPORT_SCRIPT).unwrap()).unwrap() {
+        JobPlan::Import(j) => j,
+        _ => unreachable!(),
+    };
+    let data: Vec<u8> = (0..5_000)
+        .flat_map(|i| format!("c{i:06}|customer number {i}|2023-0{}-15\n", i % 9 + 1).into_bytes())
+        .collect();
+
+    // Run the load on a background thread; this thread watches the journal.
+    let loader = {
+        let v = v.clone();
+        std::thread::spawn(move || {
+            let client = LegacyEtlClient::with_options(
+                connector(&v),
+                ClientOptions {
+                    chunk_rows: 250,
+                    sessions: Some(2),
+                    ..Default::default()
+                },
+            );
+            client.run_import_data(&job, &data).unwrap()
+        })
+    };
+
+    println!("== live journal (sampled while the job runs) ==");
+    let mut last_seq = 0u64;
+    while !loader.is_finished() {
+        for event in v.obs().journal.tail(64) {
+            if event.seq >= last_seq {
+                last_seq = event.seq + 1;
+                println!("  {}", event.to_json());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let result = loader.join().unwrap();
+    println!(
+        "\nload finished: {} rows applied, {} retries (upload={} cdw={})",
+        result.report.rows_applied,
+        result.report.retries,
+        result.report.upload_retries,
+        result.report.cdw_retries
+    );
+
+    println!("\n== stats_snapshot() (JSON) ==");
+    println!("{}", v.stats_snapshot());
+
+    println!("== Prometheus excerpt (first 20 lines) ==");
+    for line in v.stats_prometheus().lines().take(20) {
+        println!("{line}");
+    }
+
+    // The same surface over the wire: a control session's Stats request.
+    println!("\n== Stats over the legacy wire protocol ==");
+    let client = LegacyEtlClient::new(connector(&v));
+    let mut session = etlv_legacy_client::Session::logon(
+        client.connector().as_ref(),
+        "admin",
+        "pw",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let reply = session.stats(StatsFormat::Json).unwrap();
+    println!(
+        "StatsReply({:?}): {} bytes, obs_enabled={}",
+        reply.format,
+        reply.body.len(),
+        etlv_core::obs::enabled()
+    );
+    session.logoff();
+}

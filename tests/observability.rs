@@ -1,0 +1,348 @@
+//! The PR 3 observability surface, end to end: concurrent metric
+//! aggregation, registry wiring through real import/export jobs, the
+//! recent-report ring, and the `Stats` wire round trip.
+
+use std::io;
+use std::sync::Arc;
+
+use etlv_core::{Virtualizer, VirtualizerConfig};
+use etlv_legacy_client::{ClientOptions, FnConnector, LegacyEtlClient};
+use etlv_protocol::message::{SessionRole, StatsFormat};
+use etlv_protocol::transport::{duplex, Transport};
+use etlv_script::{compile, parse_script, JobPlan};
+
+fn connector(
+    v: &Virtualizer,
+) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
+    let v = v.clone();
+    Arc::new(FnConnector(move || {
+        let (client_end, server_end) = duplex();
+        let v = v.clone();
+        std::thread::spawn(move || {
+            let _ = v.serve(server_end);
+        });
+        Ok(Box::new(client_end) as Box<dyn Transport>)
+    }))
+}
+
+const IMPORT_SCRIPT: &str = r#"
+.logon host/user,pass;
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+    trim(:CUST_ID), trim(:CUST_NAME),
+    cast(:JOIN_DATE as DATE format `YYYY-MM-DD') );
+.import infile input.txt
+    format vartext `|' layout CustLayout
+    apply InsApply;
+.end load
+"#;
+
+fn import_job() -> etlv_script::ImportJob {
+    match compile(&parse_script(IMPORT_SCRIPT).unwrap()).unwrap() {
+        JobPlan::Import(job) => job,
+        _ => panic!("expected import"),
+    }
+}
+
+fn clean_rows(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| format!("i{i:03}|name{i}|2012-01-01\n").into_bytes())
+        .collect()
+}
+
+fn new_virtualizer(config: VirtualizerConfig) -> Virtualizer {
+    let v = Virtualizer::new(config);
+    v.cdw()
+        .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE)")
+        .unwrap();
+    v
+}
+
+fn counter(snapshot: &str, name: &str) -> u64 {
+    // The JSON document renders counters as `"name": value` pairs; pull
+    // one out without a JSON parser (the workspace carries none).
+    let key = format!("\"{name}\": ");
+    let at = snapshot.find(&key).unwrap_or_else(|| panic!("{name} not in snapshot"));
+    snapshot[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Counters registered once, hammered from many threads, summed at
+/// snapshot: the shard merge must never lose an increment, and histogram
+/// bucket totals must equal the number of recorded values.
+#[test]
+fn concurrent_counter_and_histogram_aggregation() {
+    let obs = Arc::new(etlv_core::Obs::default());
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let obs = Arc::clone(&obs);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                obs.pipeline.convert_rows.inc();
+                obs.pipeline.convert_bytes.add(3);
+                obs.pipeline.convert_us.record(t as u64 * PER_THREAD + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(obs.pipeline.convert_rows.value(), total);
+    assert_eq!(obs.pipeline.convert_bytes.value(), 3 * total);
+    let snap = obs.snapshot();
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "pipeline.convert_us")
+        .unwrap();
+    assert_eq!(hist.count, total, "every recorded value landed in a bucket");
+    assert_eq!(hist.max, total - 1);
+    assert!(hist.p50 >= total / 2, "p50 {} conservative", hist.p50);
+    assert!(hist.p95 >= hist.p50 && hist.p99 >= hist.p95);
+}
+
+/// A multi-session import drives every subsystem's metrics: gateway
+/// intake, pipeline conversion, store puts, CDW statements, credits.
+#[test]
+fn import_populates_every_subsystem() {
+    let v = new_virtualizer(VirtualizerConfig {
+        credits: 4,
+        file_size_threshold: 256,
+        ..Default::default()
+    });
+    let client = LegacyEtlClient::with_options(
+        connector(&v),
+        ClientOptions {
+            chunk_rows: 10,
+            sessions: Some(4),
+            ..Default::default()
+        },
+    );
+    let rows = 200usize;
+    let data = clean_rows(rows);
+    let result = client.run_import_data(&import_job(), &data).unwrap();
+    assert_eq!(result.report.rows_applied, rows as u64);
+
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    let obs = v.obs();
+    assert_eq!(obs.pipeline.convert_rows.value(), rows as u64);
+    assert_eq!(obs.gateway.chunks_received.value(), 20);
+    assert_eq!(obs.gateway.chunk_bytes.value(), data.len() as u64);
+    assert_eq!(obs.gateway.jobs_started.value(), 1);
+    assert_eq!(obs.gateway.jobs_completed.value(), 1);
+    assert!(obs.pipeline.upload_parts.value() >= 1);
+    assert!(obs.store.put_ops.value() >= obs.pipeline.upload_parts.value());
+    assert!(obs.store.get_ops.value() >= 1, "COPY reads staged files");
+    assert!(obs.cdw.statements.value() >= 3, "DDL + COPY + DML at least");
+    assert_eq!(obs.credit.acquires.value(), 20, "one credit per chunk");
+    // The journal saw the job's lifecycle.
+    let kinds: Vec<&str> = obs.journal.tail(4096).iter().map(|e| e.kind).collect();
+    for kind in ["job.begin", "chunk.convert", "file.upload", "copy", "job.end"] {
+        assert!(kinds.contains(&kind), "journal missing {kind}: {kinds:?}");
+    }
+}
+
+/// The snapshot JSON carries all five required subsystems and stays
+/// numerically consistent with `NodeMetrics` (credit stalls, peak memory).
+#[test]
+fn stats_snapshot_consistent_with_node_metrics() {
+    let v = new_virtualizer(VirtualizerConfig {
+        credits: 2, // tiny pool: back-pressure stalls are likely
+        ..Default::default()
+    });
+    let client = LegacyEtlClient::with_options(
+        connector(&v),
+        ClientOptions {
+            chunk_rows: 5,
+            sessions: Some(2),
+            ..Default::default()
+        },
+    );
+    client.run_import_data(&import_job(), &clean_rows(100)).unwrap();
+
+    let snapshot = v.stats_snapshot();
+    let metrics = v.metrics();
+    assert_eq!(counter(&snapshot, "credit_stalls"), metrics.credit_stalls);
+    assert_eq!(counter(&snapshot, "peak_memory"), metrics.peak_memory);
+    assert_eq!(counter(&snapshot, "rows_ingested"), 100);
+    if etlv_core::obs::enabled() {
+        for subsystem in ["gateway.", "pipeline.", "cloudstore.", "cdw.", "credit."] {
+            assert!(snapshot.contains(subsystem), "snapshot missing {subsystem}");
+        }
+        assert_eq!(
+            counter(&snapshot, "memory.peak"),
+            metrics.peak_memory,
+            "gauge refreshed at snapshot"
+        );
+        assert_eq!(counter(&snapshot, "credit.stalls"), metrics.credit_stalls);
+    }
+}
+
+/// The `Stats` request round-trips over the wire in both renderings.
+#[test]
+fn stats_wire_round_trip() {
+    let v = new_virtualizer(VirtualizerConfig::default());
+    let client = LegacyEtlClient::new(connector(&v));
+    client
+        .run_import_data(&import_job(), &clean_rows(10))
+        .unwrap();
+
+    let mut session = etlv_legacy_client::Session::logon(
+        client.connector().as_ref(),
+        "admin",
+        "pw",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let json = session.stats(StatsFormat::Json).unwrap();
+    assert_eq!(json.format, StatsFormat::Json);
+    assert!(json.body.contains("\"node\""), "{}", json.body);
+    assert!(json.body.contains("\"recent_jobs\""), "{}", json.body);
+    assert_eq!(counter(&json.body, "jobs_completed"), 1);
+
+    let prom = session.stats(StatsFormat::Prometheus).unwrap();
+    assert_eq!(prom.format, StatsFormat::Prometheus);
+    assert!(
+        prom.body.contains("etlv_node_jobs_completed 1"),
+        "{}",
+        prom.body
+    );
+    if etlv_core::obs::enabled() {
+        assert!(
+            prom.body.contains("etlv_gateway_chunks_received"),
+            "{}",
+            prom.body
+        );
+        assert!(prom.body.contains("quantile=\"0.99\""), "{}", prom.body);
+    }
+    session.logoff();
+}
+
+/// The node retains a bounded ring of recent reports, newest last.
+#[test]
+fn report_ring_is_bounded() {
+    let v = new_virtualizer(VirtualizerConfig {
+        report_history: 2,
+        ..Default::default()
+    });
+    for n in [10usize, 20, 30] {
+        let client = LegacyEtlClient::new(connector(&v));
+        client.run_import_data(&import_job(), &clean_rows(n)).unwrap();
+    }
+    let recent = v.recent_job_reports();
+    assert_eq!(recent.len(), 2, "oldest report evicted");
+    assert_eq!(recent[0].rows_received, 20);
+    assert_eq!(recent[1].rows_received, 30);
+    assert_eq!(v.last_job_report().unwrap().rows_received, 30);
+    let snapshot = v.stats_snapshot();
+    assert_eq!(
+        snapshot.matches("\"rows_received\"").count(),
+        2,
+        "ring exposed through the snapshot"
+    );
+}
+
+/// Export accounting: `NodeMetrics` row/byte totals and the export
+/// counters advance with served chunks.
+#[test]
+fn export_rows_and_bytes_counted() {
+    let v = Virtualizer::new(VirtualizerConfig::default());
+    v.cdw()
+        .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(8), CUST_NAME VARCHAR(20))")
+        .unwrap();
+    for i in 0..50 {
+        v.cdw()
+            .execute(&format!("INSERT INTO PROD.CUSTOMER VALUES ('c{i:03}', 'name{i}')"))
+            .unwrap();
+    }
+    let src = ".logon h/u,p;\n.begin export sessions 2;\n.export outfile out format vartext '|';\nselect CUST_ID, CUST_NAME from PROD.CUSTOMER order by CUST_ID;\n.end export;\n";
+    let JobPlan::Export(job) = compile(&parse_script(src).unwrap()).unwrap() else {
+        panic!()
+    };
+    let client = LegacyEtlClient::new(connector(&v));
+    let result = client.run_export(&job).unwrap();
+    assert_eq!(result.rows, 50);
+
+    let metrics = v.metrics();
+    assert_eq!(metrics.rows_exported, 50);
+    assert!(
+        metrics.bytes_exported >= result.data.len() as u64,
+        "encoded bytes counted"
+    );
+    if etlv_core::obs::enabled() {
+        let obs = v.obs();
+        assert_eq!(obs.export.rows.value(), 50);
+        assert_eq!(obs.export.bytes.value(), metrics.bytes_exported);
+        assert!(obs.export.chunks.value() >= 1);
+    }
+}
+
+/// A fault plan that hits both the uploader and the CDW: the wire report's
+/// split retry counts stay consistent with the retained total.
+#[test]
+fn load_report_retry_split_consistent() {
+    use etlv_core::{FaultPlan, FaultSpec};
+    let mut plan = FaultPlan::seeded(42);
+    plan.store_put = FaultSpec::FirstN(2);
+    // Op 1 is the setup CREATE below; op 4 lands inside the job's table
+    // DDL, which runs under the node's retry machinery.
+    plan.cdw_exec = FaultSpec::AtOps(vec![4]);
+    let v = Virtualizer::new(VirtualizerConfig {
+        file_size_threshold: 256,
+        retry_base_delay: std::time::Duration::from_micros(50),
+        retry_max_delay: std::time::Duration::from_micros(500),
+        fault_plan: Some(plan),
+        ..Default::default()
+    });
+    v.cdw()
+        .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE)")
+        .unwrap();
+    let client = LegacyEtlClient::with_options(
+        connector(&v),
+        ClientOptions {
+            chunk_rows: 20,
+            sessions: Some(1),
+            ..Default::default()
+        },
+    );
+    let result = client.run_import_data(&import_job(), &clean_rows(100)).unwrap();
+    let report = &result.report;
+    assert_eq!(report.rows_applied, 100, "faults absorbed by retries");
+    assert!(report.upload_retries >= 1, "store_put faults retried");
+    assert!(report.cdw_retries >= 1, "cdw_exec fault retried");
+    assert_eq!(
+        report.retries,
+        report.upload_retries + report.cdw_retries,
+        "total equals the split"
+    );
+    let node_report = v.last_job_report().unwrap();
+    assert_eq!(node_report.upload_retries, report.upload_retries);
+    assert_eq!(node_report.cdw_retries, report.cdw_retries);
+    if etlv_core::obs::enabled() {
+        assert_eq!(
+            v.obs().pipeline.upload_retries.value(),
+            report.upload_retries
+        );
+        let snapshot = v.stats_snapshot();
+        assert!(counter(&snapshot, "fault.injected_total") >= 3);
+    }
+}
