@@ -91,6 +91,20 @@ pub struct VirtualizerConfig {
     /// as one JSON object per line. `None` (the default) keeps the
     /// journal in-memory only.
     pub journal_jsonl: Option<std::path::PathBuf>,
+    /// Time-series sampler tick. `Duration::ZERO` (the default) disables
+    /// the background sampler entirely; a nonzero tick snapshots the
+    /// metrics named in `sampler_metrics` every tick into bounded rings
+    /// (see `Virtualizer::sampler_json`). Irrelevant when the `obs`
+    /// feature is compiled out.
+    pub sampler_tick: Duration,
+    /// Points retained per sampled metric (sliding window). Must be ≥ 2
+    /// when the sampler is enabled, so rates can be derived from
+    /// consecutive deltas.
+    pub sampler_capacity: usize,
+    /// Registry counter/gauge names the sampler tracks. The default set
+    /// covers the paper's Fig. 8/9 series: rows/sec, bytes/sec, credit
+    /// occupancy, and adaptive/upload retry rates.
+    pub sampler_metrics: Vec<String>,
     /// Ceiling on converter worker threads regardless of mode. Per-chunk
     /// mode historically spawned one OS thread per in-flight chunk, so a
     /// large credit pool (Figure 10 sweeps up to 10⁶) translated directly
@@ -129,9 +143,31 @@ impl Default for VirtualizerConfig {
             report_history: 16,
             journal_capacity: 4096,
             journal_jsonl: None,
+            sampler_tick: Duration::ZERO,
+            sampler_capacity: 512,
+            sampler_metrics: default_sampler_metrics(),
             max_converter_threads: (cores * 8).clamp(16, 256),
         }
     }
+}
+
+/// The default sampled-metric set: the series the paper's Fig. 8/9 plots
+/// are built from.
+pub fn default_sampler_metrics() -> Vec<String> {
+    [
+        "pipeline.convert_rows",
+        "pipeline.convert_bytes",
+        "gateway.chunks_received",
+        "gateway.chunk_bytes",
+        "cloudstore.put_bytes",
+        "credit.in_flight",
+        "memory.in_flight",
+        "pipeline.upload_retries",
+        "adaptive.transient_retries",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
 }
 
 impl VirtualizerConfig {
@@ -172,6 +208,9 @@ impl VirtualizerConfig {
         }
         if self.journal_capacity == 0 {
             return Err("journal_capacity must be at least 1".into());
+        }
+        if !self.sampler_tick.is_zero() && self.sampler_capacity < 2 {
+            return Err("sampler_capacity must be at least 2 when the sampler is enabled".into());
         }
         Ok(())
     }
@@ -233,6 +272,18 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            sampler_tick: Duration::from_millis(10),
+            sampler_capacity: 1,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            sampler_tick: Duration::from_millis(10),
+            sampler_capacity: 2,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

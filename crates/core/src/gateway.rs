@@ -21,8 +21,9 @@ use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::layout::Layout;
 use etlv_protocol::message::{
     BeginExportOk, BeginLoad, ExportChunk, Message, RecordFormat, SessionRole, SqlResult,
-    StatsFormat, StatsReply, WireError,
+    StatsFormat, StatsReply, TraceReply, WireError,
 };
+use etlv_protocol::trace::TraceContext;
 use etlv_protocol::record::encode_rows;
 use etlv_protocol::transport::Transport;
 use etlv_protocol::data::Value;
@@ -39,9 +40,10 @@ use crate::cursor::TdfCursor;
 use crate::emulate;
 use crate::fault::{retry_cdw, FaultCounts, FaultInjector};
 use crate::memory::MemoryGauge;
-use crate::obs::{stats_json, stats_prometheus, JobObs, Obs};
+use crate::obs::{stats_json, stats_prometheus, JobObs, Obs, Sampler, SpanIds};
 use crate::pipeline::{Pipeline, PipelineReport, RawChunk};
 use crate::report::{JobReport, NodeMetrics};
+use crate::trace::JobTrace;
 use crate::xcompile;
 
 struct ImportJobState {
@@ -51,6 +53,14 @@ struct ImportJobState {
     /// CDW statements retried while creating the job's tables — folded
     /// into the report's `cdw_retries` at job end.
     setup_retries: u64,
+    /// The job's root span identity: trace id from the client's
+    /// `TraceContext` (or minted on entry), root span parenting every
+    /// stage span the job emits.
+    ids: SpanIds,
+    /// Accumulated gateway-side ack turnaround (credit acquire + memory
+    /// reserve + enqueue per chunk), µs — emitted as one aggregate
+    /// `ack.wait` span at job end so the hot path stays journal-free.
+    ack_wait_micros: AtomicU64,
     pipeline: Mutex<Option<Pipeline>>,
     sender: Mutex<Option<crossbeam::channel::Sender<RawChunk>>>,
     rows_received: AtomicU64,
@@ -84,6 +94,16 @@ struct Node {
     /// Ring of the most recent completed load reports, newest last
     /// (capacity `config.report_history`).
     reports: Mutex<VecDeque<JobReport>>,
+    /// Background time-series sampler (`config.sampler_tick > 0` only).
+    sampler: Option<Sampler>,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if let Some(sampler) = &self.sampler {
+            sampler.stop();
+        }
+    }
 }
 
 /// A virtualizer node.
@@ -170,10 +190,34 @@ impl Virtualizer {
             }
             cdw_obs.exec_us.record_duration(elapsed);
         })));
+        let credits = CreditManager::with_obs(config.credits, obs.credit.clone());
+        let memory = MemoryGauge::new(config.memory_cap);
+        let sampler = if crate::obs::enabled() && !config.sampler_tick.is_zero() {
+            // The sampler's refresh mirrors `refresh_gauges` so gauge
+            // series (credit occupancy, memory) are current every tick.
+            let refresh: Box<dyn Fn() + Send + Sync> = {
+                let obs = Arc::clone(&obs);
+                let credits = credits.clone();
+                let memory = memory.clone();
+                let injector = injector.clone();
+                Box::new(move || {
+                    refresh_gauges_into(&obs, &credits, &memory, injector.as_deref());
+                })
+            };
+            Some(Sampler::start(
+                Arc::clone(&obs),
+                refresh,
+                config.sampler_tick,
+                config.sampler_capacity,
+                config.sampler_metrics.clone(),
+            ))
+        } else {
+            None
+        };
         Virtualizer {
             node: Arc::new(Node {
-                credits: CreditManager::with_obs(config.credits, obs.credit.clone()),
-                memory: MemoryGauge::new(config.memory_cap),
+                credits,
+                memory,
                 config,
                 cdw,
                 store,
@@ -184,6 +228,7 @@ impl Virtualizer {
                 next_session: AtomicU32::new(1),
                 metrics: Mutex::new(NodeMetrics::default()),
                 reports: Mutex::new(VecDeque::new()),
+                sampler,
             }),
         }
     }
@@ -250,19 +295,12 @@ impl Virtualizer {
     /// the registry's gauges so a snapshot is self-consistent.
     fn refresh_gauges(&self) {
         let node = &self.node;
-        let o = &node.obs;
-        o.credit.in_flight.set(node.credits.in_flight() as u64);
-        o.memory.in_flight.set(node.memory.in_flight());
-        o.memory.peak.set(node.memory.peak());
-        if let Some(injector) = &node.injector {
-            let c = injector.counts();
-            o.fault.injected_total.set(c.total());
-            o.fault.injected_store_put.set(c.store_put);
-            o.fault.injected_store_get.set(c.store_get);
-            o.fault.injected_cdw_exec.set(c.cdw_exec);
-            o.fault.injected_convert.set(c.convert);
-            o.fault.injected_transport.set(c.transport);
-        }
+        refresh_gauges_into(
+            &node.obs,
+            &node.credits,
+            &node.memory,
+            node.injector.as_deref(),
+        );
     }
 
     /// The full stats surface as one JSON document: node metrics, every
@@ -278,13 +316,41 @@ impl Virtualizer {
             &recent,
             self.node.obs.journal.emitted(),
             self.node.obs.journal.retained(),
+            self.node.obs.journal.dropped(),
         )
     }
 
     /// The same registry rendered as Prometheus text exposition.
     pub fn stats_prometheus(&self) -> String {
         self.refresh_gauges();
-        stats_prometheus(&self.metrics(), &self.node.obs.snapshot())
+        stats_prometheus(
+            &self.metrics(),
+            &self.node.obs.snapshot(),
+            self.node.obs.journal.emitted(),
+            self.node.obs.journal.dropped(),
+        )
+    }
+
+    /// Assemble the causal trace of one job from the journal's retained
+    /// events. `None` when the journal no longer holds the job's
+    /// `job.begin` (ring evicted it, job unknown, or `obs` compiled out).
+    pub fn trace(&self, job: u64) -> Option<JobTrace> {
+        JobTrace::assemble(&self.node.obs.journal.events_for_job(job))
+    }
+
+    /// The trace rendered as JSON (the `Trace` wire reply body).
+    pub fn trace_json(&self, job: u64) -> Option<String> {
+        self.trace(job).map(|t| t.to_json())
+    }
+
+    /// The background sampler's time-series rings as JSON. A disabled (or
+    /// compiled-out) sampler yields `{"enabled": false, ...}` so callers
+    /// can always parse the same shape.
+    pub fn sampler_json(&self) -> String {
+        match &self.node.sampler {
+            Some(sampler) => sampler.series_json(),
+            None => "{\"enabled\": false, \"tick_micros\": 0, \"series\": []}\n".to_string(),
+        }
     }
 
     /// Serve one connection until logoff/disconnect (one thread per
@@ -345,8 +411,17 @@ impl Virtualizer {
                     let body = match format {
                         StatsFormat::Json => self.stats_snapshot(),
                         StatsFormat::Prometheus => self.stats_prometheus(),
+                        StatsFormat::Series => self.sampler_json(),
                     };
                     Message::StatsReply(StatsReply { format, body })
+                }
+                Message::TraceReq { job } => {
+                    let body = self.trace_json(job);
+                    Message::TraceReply(TraceReply {
+                        job,
+                        found: body.is_some(),
+                        body: body.unwrap_or_default(),
+                    })
                 }
                 Message::Logoff => {
                     transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
@@ -423,6 +498,15 @@ impl Virtualizer {
         let staging_table = xcompile::staging_table_name(token);
         let prefix = xcompile::staging_prefix(token);
 
+        // Causal identity: adopt the client's trace context; a trace-free
+        // legacy client gets one minted here, so every job is traceable.
+        let ctx = spec.trace.unwrap_or_else(TraceContext::mint);
+        let ids = SpanIds {
+            trace: ctx.trace_id,
+            span: node.obs.journal.next_span_id(),
+            parent: ctx.parent_span,
+        };
+
         // Staging + error tables on the CDW.
         let setup_retries = match self.create_job_tables(&spec, &staging_table) {
             Ok(retries) => retries,
@@ -451,12 +535,19 @@ impl Virtualizer {
             node.injector.clone(),
             Arc::clone(&node.obs),
             token,
+            ids,
         );
         let sender = pipeline.sender();
         node.obs.gateway.jobs_started.inc();
-        node.obs
-            .journal
-            .emit("job.begin", token, 0, 0, 0, Duration::ZERO);
+        node.obs.journal.emit_span(
+            "job.begin",
+            ids,
+            token,
+            0,
+            0,
+            spec.sessions as u64,
+            Duration::ZERO,
+        );
 
         node.jobs.lock().insert(
             token,
@@ -465,6 +556,8 @@ impl Virtualizer {
                 staging_table,
                 prefix,
                 setup_retries,
+                ids,
+                ack_wait_micros: AtomicU64::new(0),
                 pipeline: Mutex::new(Some(pipeline)),
                 sender: Mutex::new(Some(sender)),
                 rows_received: AtomicU64::new(0),
@@ -577,6 +670,7 @@ impl Virtualizer {
                 data: chunk.data,
                 credit,
                 memory,
+                enqueued: handle_started,
             })
             .is_err()
         {
@@ -585,7 +679,12 @@ impl Virtualizer {
         let obs = &self.node.obs.gateway;
         obs.chunks_received.inc();
         obs.chunk_bytes.add(chunk_bytes);
-        obs.chunk_handle_us.record_duration(handle_started.elapsed());
+        let handle_elapsed = handle_started.elapsed();
+        obs.chunk_handle_us.record_duration(handle_elapsed);
+        // One relaxed add per chunk — the only tracing cost on this path;
+        // the aggregate becomes the job's `ack.wait` span at job end.
+        job.ack_wait_micros
+            .fetch_add(handle_elapsed.as_micros() as u64, Ordering::Relaxed);
         Message::Ack { chunk_seq }
     }
 
@@ -610,8 +709,9 @@ impl Virtualizer {
                 metrics.rows_ingested += report.rows_received;
                 drop(metrics);
                 self.node.obs.gateway.jobs_completed.inc();
-                self.node.obs.journal.emit(
+                self.node.obs.journal.emit_span(
                     "job.end",
+                    job.ids,
                     token,
                     0,
                     0,
@@ -629,10 +729,15 @@ impl Virtualizer {
             Err((code, message)) => {
                 self.node.metrics.lock().jobs_failed += 1;
                 self.node.obs.gateway.jobs_failed.inc();
-                self.node
-                    .obs
-                    .journal
-                    .emit("job.fail", token, 0, 0, code.0 as u64, Duration::ZERO);
+                self.node.obs.journal.emit_span(
+                    "job.fail",
+                    job.ids,
+                    token,
+                    0,
+                    0,
+                    code.0 as u64,
+                    Duration::ZERO,
+                );
                 self.cleanup_job(&job);
                 // A failed load is a clean job failure, not a session
                 // failure: the client gets the error reply and the control
@@ -692,8 +797,9 @@ impl Virtualizer {
             .map_err(|e| (ErrCode::INTERNAL, format!("COPY failed: {e}")))?;
             let copy_elapsed = copy_started.elapsed();
             node.obs.adaptive.copy_us.record_duration(copy_elapsed);
-            node.obs.journal.emit(
+            node.obs.journal.emit_span(
                 "copy",
+                job.ids.child(node.obs.journal.next_span_id()),
                 token,
                 0,
                 0,
@@ -716,9 +822,11 @@ impl Virtualizer {
             retry: retry_policy,
             retry_seed,
         };
+        let apply_ids = job.ids.child(node.obs.journal.next_span_id());
         let job_obs = JobObs {
             obs: &node.obs,
             job: token,
+            ids: apply_ids,
         };
         let outcome = apply(
             &node.cdw,
@@ -740,6 +848,27 @@ impl Virtualizer {
             .transient_retries
             .add(outcome.transient_retries);
         node.obs.adaptive.apply_us.record_duration(application);
+        node.obs.journal.emit_span(
+            "apply",
+            apply_ids,
+            token,
+            0,
+            0,
+            outcome.applied,
+            application,
+        );
+        let ack_wait = Duration::from_micros(job.ack_wait_micros.load(Ordering::Relaxed));
+        if !ack_wait.is_zero() {
+            node.obs.journal.emit_span(
+                "ack.wait",
+                job.ids.child(node.obs.journal.next_span_id()),
+                token,
+                0,
+                0,
+                0,
+                ack_wait,
+            );
+        }
 
         // Error tables: acquisition errors + application errors.
         let teardown_started = Instant::now();
@@ -970,6 +1099,28 @@ fn uv_column_value(v: Value) -> Value {
     match v {
         Value::Bytes(_) | Value::Timestamp(_) => Value::Str(v.display_text()),
         other => other,
+    }
+}
+
+/// Shared gauge refresh used by both the snapshot path and the sampler
+/// thread.
+fn refresh_gauges_into(
+    obs: &Obs,
+    credits: &CreditManager,
+    memory: &MemoryGauge,
+    injector: Option<&FaultInjector>,
+) {
+    obs.credit.in_flight.set(credits.in_flight() as u64);
+    obs.memory.in_flight.set(memory.in_flight());
+    obs.memory.peak.set(memory.peak());
+    if let Some(injector) = injector {
+        let c = injector.counts();
+        obs.fault.injected_total.set(c.total());
+        obs.fault.injected_store_put.set(c.store_put);
+        obs.fault.injected_store_get.set(c.store_get);
+        obs.fault.injected_cdw_exec.set(c.cdw_exec);
+        obs.fault.injected_convert.set(c.convert);
+        obs.fault.injected_transport.set(c.transport);
     }
 }
 

@@ -43,7 +43,9 @@
 //! - [`tdf`] / [`cursor`]: the Tabular Data Format and TDFCursor serving
 //!   parallel export sessions (§3, §4).
 //! - [`obs`]: observability — sharded metrics registry, span journal,
-//!   and the stats snapshot renderers (§9, DESIGN §9).
+//!   time-series sampler, and the stats snapshot renderers (§9, DESIGN §9).
+//! - [`trace`]: causal job tracing — assembles journal events into a
+//!   per-job span tree with critical-path attribution (DESIGN §10).
 //! - [`report`]: phase-timed job reports and node metrics (§9).
 //! - [`workload`]: deterministic workload generators for tests, examples,
 //!   and the figure benches.
@@ -63,6 +65,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod report;
 pub mod tdf;
+pub mod trace;
 pub mod workload;
 pub mod xcompile;
 
@@ -75,5 +78,6 @@ pub use fault::{
 };
 pub use gateway::Virtualizer;
 pub use memory::{MemoryGauge, OutOfMemory};
-pub use obs::{Obs, RegistrySnapshot, SpanEvent};
+pub use obs::{Obs, RegistrySnapshot, SpanEvent, SpanIds};
 pub use report::{JobReport, NodeMetrics};
+pub use trace::{JobTrace, SpanNode, Stage};

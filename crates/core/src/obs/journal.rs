@@ -12,12 +12,14 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use super::SpanEvent;
+use super::{SpanEvent, SpanIds};
 
 struct JournalInner {
     epoch: Instant,
     capacity: usize,
     seq: AtomicU64,
+    next_span: AtomicU64,
+    dropped: AtomicU64,
     ring: Mutex<VecDeque<SpanEvent>>,
     sink: Option<Mutex<BufWriter<File>>>,
 }
@@ -48,17 +50,34 @@ impl Journal {
                 epoch: Instant::now(),
                 capacity: capacity.max(1),
                 seq: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
+                dropped: AtomicU64::new(0),
                 ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
                 sink,
             }),
         }
     }
 
-    /// Emit one event. `chunk` and `value` are kind-specific payloads
-    /// (see [`SpanEvent`]).
+    /// Emit one untraced event (zero span ids). `chunk` and `value` are
+    /// kind-specific payloads (see [`SpanEvent`]).
     pub fn emit(
         &self,
         kind: &'static str,
+        job: u64,
+        session: u64,
+        chunk: u64,
+        value: u64,
+        dur: Duration,
+    ) {
+        self.emit_span(kind, SpanIds::default(), job, session, chunk, value, dur);
+    }
+
+    /// Emit one event carrying a causal identity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_span(
+        &self,
+        kind: &'static str,
+        ids: SpanIds,
         job: u64,
         session: u64,
         chunk: u64,
@@ -69,6 +88,7 @@ impl Journal {
             seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
             at_micros: self.inner.epoch.elapsed().as_micros() as u64,
             kind,
+            ids,
             job,
             session,
             chunk,
@@ -79,6 +99,7 @@ impl Journal {
             let mut ring = self.inner.ring.lock();
             if ring.len() == self.inner.capacity {
                 ring.pop_front();
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
             }
             ring.push_back(event);
         }
@@ -86,6 +107,27 @@ impl Journal {
             let mut w = sink.lock();
             let _ = writeln!(w, "{}", event.to_json());
         }
+    }
+
+    /// Mint a node-unique span id (nonzero, monotonic).
+    pub fn next_span_id(&self) -> u64 {
+        self.inner.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// All retained events for one job, oldest first.
+    pub fn events_for_job(&self, job: u64) -> Vec<SpanEvent> {
+        let ring = self.inner.ring.lock();
+        ring.iter().filter(|e| e.job == job).copied().collect()
+    }
+
+    /// Microseconds since the journal epoch (the `at_micros` clock).
+    pub fn now_micros(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
     }
 
     /// The most recent `n` events, oldest first.
@@ -134,6 +176,43 @@ mod tests {
         assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq));
         assert_eq!(j.tail(2).len(), 2);
         assert_eq!(j.tail(2)[1].job, 4);
+    }
+
+    #[test]
+    fn overflow_counts_dropped_events() {
+        let j = Journal::new(3, None);
+        assert_eq!(j.dropped(), 0);
+        for i in 0..5u64 {
+            j.emit("t", i, 0, 0, 0, Duration::ZERO);
+        }
+        assert_eq!(j.dropped(), 2);
+    }
+
+    #[test]
+    fn events_for_job_filters_and_keeps_ids() {
+        let j = Journal::new(16, None);
+        let root = SpanIds {
+            trace: 9,
+            span: j.next_span_id(),
+            parent: 0,
+        };
+        j.emit_span("job.begin", root, 7, 1, 0, 0, Duration::ZERO);
+        j.emit("noise", 8, 0, 0, 0, Duration::ZERO);
+        j.emit_span(
+            "chunk.convert",
+            root.child(j.next_span_id()),
+            7,
+            0,
+            3,
+            100,
+            Duration::from_micros(40),
+        );
+        let events = j.events_for_job(7);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "job.begin");
+        assert_eq!(events[1].ids.trace, 9);
+        assert_eq!(events[1].ids.parent, root.span);
+        assert_ne!(events[1].ids.span, root.span);
     }
 
     #[test]

@@ -27,21 +27,25 @@
 use std::time::Duration;
 
 mod render;
-pub use render::{stats_json, stats_prometheus};
+pub use render::{prom_escape_label, stats_json, stats_prometheus};
 
 #[cfg(feature = "obs")]
 mod journal;
 #[cfg(feature = "obs")]
 mod metrics;
 #[cfg(feature = "obs")]
+mod sampler;
+#[cfg(feature = "obs")]
 pub use journal::Journal;
 #[cfg(feature = "obs")]
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+#[cfg(feature = "obs")]
+pub use sampler::Sampler;
 
 #[cfg(not(feature = "obs"))]
 mod noop;
 #[cfg(not(feature = "obs"))]
-pub use noop::{Counter, Gauge, Histogram, Journal, MetricsRegistry};
+pub use noop::{Counter, Gauge, Histogram, Journal, MetricsRegistry, Sampler};
 
 /// Whether instrumentation is compiled in (the `obs` feature).
 pub const fn enabled() -> bool {
@@ -78,6 +82,32 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
+/// Causal identity of a journal event: which trace it belongs to, which
+/// span it *is*, and which span caused it. All-zero means "untraced" —
+/// events emitted through the legacy [`Journal::emit`] path and events in
+/// a `--no-default-features` build carry zero ids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanIds {
+    /// Trace identifier shared by every span of one job (0 = untraced).
+    pub trace: u64,
+    /// This event's own span id (unique within the node).
+    pub span: u64,
+    /// Span id of the causing span (0 = root of the trace).
+    pub parent: u64,
+}
+
+impl SpanIds {
+    /// A child identity under this span: same trace, fresh span id,
+    /// parented here.
+    pub fn child(&self, span: u64) -> SpanIds {
+        SpanIds {
+            trace: self.trace,
+            span,
+            parent: self.span,
+        }
+    }
+}
+
 /// One structured journal event. Fixed shape — identity fields plus two
 /// generic numeric payloads — so emitting never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +118,8 @@ pub struct SpanEvent {
     pub at_micros: u64,
     /// Event kind, e.g. `"chunk.convert"` or `"apply.split"`.
     pub kind: &'static str,
+    /// Causal identity (zero ids = untraced event).
+    pub ids: SpanIds,
     /// Load/export token of the owning job (0 = node-level event).
     pub job: u64,
     /// Session id the event originated from (0 = internal worker).
@@ -104,11 +136,15 @@ impl SpanEvent {
     /// One-line JSON rendering (the JSONL sink format).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"seq\": {}, \"at_micros\": {}, \"kind\": \"{}\", \"job\": {}, \
+            "{{\"seq\": {}, \"at_micros\": {}, \"kind\": \"{}\", \
+             \"trace\": {}, \"span\": {}, \"parent\": {}, \"job\": {}, \
              \"session\": {}, \"chunk\": {}, \"value\": {}, \"dur_micros\": {}}}",
             self.seq,
             self.at_micros,
             self.kind,
+            self.ids.trace,
+            self.ids.span,
+            self.ids.parent,
             self.job,
             self.session,
             self.chunk,
@@ -388,30 +424,33 @@ pub struct JobObs<'a> {
     pub obs: &'a Obs,
     /// The owning job's load token.
     pub job: u64,
+    /// Causal identity of the application span these events parent to.
+    pub ids: SpanIds,
 }
 
 impl JobObs<'_> {
+    fn emit(&self, kind: &'static str, lo: u64, hi: u64) {
+        let ids = self.ids.child(self.obs.journal.next_span_id());
+        self.obs
+            .journal
+            .emit_span(kind, ids, self.job, 0, lo, hi, Duration::ZERO);
+    }
+
     /// Record one bisection decision over rows `[lo, hi)`.
     pub fn split(&self, lo: u64, hi: u64) {
         self.obs.adaptive.splits.inc();
-        self.obs
-            .journal
-            .emit("apply.split", self.job, 0, lo, hi, Duration::ZERO);
+        self.emit("apply.split", lo, hi);
     }
 
     /// Record a range application attempt that failed with a row error
     /// (the trigger for bisection or singleton isolation).
     pub fn range_error(&self, lo: u64, hi: u64) {
-        self.obs
-            .journal
-            .emit("apply.range_error", self.job, 0, lo, hi, Duration::ZERO);
+        self.emit("apply.range_error", lo, hi);
     }
 
     /// Record a transient failure retried during application.
     pub fn transient_retry(&self, lo: u64, hi: u64) {
-        self.obs
-            .journal
-            .emit("apply.retry", self.job, 0, lo, hi, Duration::ZERO);
+        self.emit("apply.retry", lo, hi);
     }
 }
 
@@ -425,6 +464,11 @@ mod tests {
             seq: 3,
             at_micros: 1000,
             kind: "chunk.convert",
+            ids: SpanIds {
+                trace: 11,
+                span: 5,
+                parent: 1,
+            },
             job: 7,
             session: 2,
             chunk: 41,
@@ -434,6 +478,9 @@ mod tests {
         let json = e.to_json();
         assert!(json.contains("\"kind\": \"chunk.convert\""), "{json}");
         assert!(json.contains("\"job\": 7"), "{json}");
+        assert!(json.contains("\"trace\": 11"), "{json}");
+        assert!(json.contains("\"span\": 5"), "{json}");
+        assert!(json.contains("\"parent\": 1"), "{json}");
         assert!(json.contains("\"dur_micros\": 120"), "{json}");
     }
 

@@ -7,7 +7,7 @@
 use std::path::Path;
 use std::time::Duration;
 
-use super::{HistogramSnapshot, RegistrySnapshot, SpanEvent};
+use super::{HistogramSnapshot, RegistrySnapshot, SpanEvent, SpanIds};
 
 /// No-op counter.
 #[derive(Clone, Copy, Default)]
@@ -123,6 +123,42 @@ impl Journal {
     ) {
     }
 
+    /// No-op.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_span(
+        &self,
+        _kind: &'static str,
+        _ids: SpanIds,
+        _job: u64,
+        _session: u64,
+        _chunk: u64,
+        _value: u64,
+        _dur: Duration,
+    ) {
+    }
+
+    /// Always 0 — with tracing compiled out there are no span identities.
+    #[inline(always)]
+    pub fn next_span_id(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    pub fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// Always empty.
+    pub fn events_for_job(&self, _job: u64) -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    /// Always 0.
+    pub fn now_micros(&self) -> u64 {
+        0
+    }
+
     /// Always empty.
     pub fn tail(&self, _n: usize) -> Vec<SpanEvent> {
         Vec::new()
@@ -140,4 +176,61 @@ impl Journal {
 
     /// No-op.
     pub fn flush(&self) {}
+}
+
+/// No-op time-series sampler: never spawns a thread, yields an empty
+/// (disabled) series document.
+#[derive(Clone, Copy, Default)]
+pub struct Sampler;
+
+impl Sampler {
+    /// Stub sampler; every argument is dropped.
+    pub fn start(
+        _obs: std::sync::Arc<super::Obs>,
+        _refresh: Box<dyn Fn() + Send + Sync>,
+        _tick: Duration,
+        _capacity: usize,
+        _metrics: Vec<String>,
+    ) -> Sampler {
+        Sampler
+    }
+
+    /// A valid-but-disabled series document.
+    pub fn series_json(&self) -> String {
+        "{\"enabled\": false, \"tick_micros\": 0, \"series\": []}".to_string()
+    }
+
+    /// Always 0.
+    pub fn points_for(&self, _metric: &str) -> usize {
+        0
+    }
+
+    /// No-op.
+    pub fn stop(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handles_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        assert_eq!(std::mem::size_of::<MetricsRegistry>(), 0);
+        assert_eq!(std::mem::size_of::<Journal>(), 0);
+        assert_eq!(std::mem::size_of::<Sampler>(), 0);
+    }
+
+    #[test]
+    fn noop_journal_reports_nothing() {
+        let j = Journal::new(64, None);
+        j.emit("t", 1, 0, 0, 0, Duration::ZERO);
+        j.emit_span("t", SpanIds::default(), 1, 0, 0, 0, Duration::ZERO);
+        assert_eq!(j.emitted(), 0);
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.next_span_id(), 0);
+        assert!(j.events_for_job(1).is_empty());
+    }
 }

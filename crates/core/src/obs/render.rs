@@ -59,6 +59,7 @@ pub fn stats_json(
     recent_jobs: &[JobReport],
     journal_emitted: u64,
     journal_retained: usize,
+    journal_dropped: u64,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
@@ -100,7 +101,8 @@ pub fn stats_json(
     out.push_str("\n  ],\n");
 
     out.push_str(&format!(
-        "  \"journal\": {{\"emitted\": {journal_emitted}, \"retained\": {journal_retained}}}\n"
+        "  \"journal\": {{\"emitted\": {journal_emitted}, \"retained\": {journal_retained}, \
+         \"dropped\": {journal_dropped}}}\n"
     ));
     out.push_str("}\n");
     out
@@ -115,10 +117,32 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline must be escaped inside the
+/// quoted value.
+pub fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render the stats snapshot as Prometheus text exposition: counters and
-/// gauges as single samples, histograms as `_count`/`_sum`/`_max` plus
+/// gauges as single samples (with `# TYPE` metadata), histograms as
+/// `summary` families with `_count`/`_sum`/`_max` plus
 /// `quantile`-labelled samples.
-pub fn stats_prometheus(node: &NodeMetrics, snap: &RegistrySnapshot) -> String {
+pub fn stats_prometheus(
+    node: &NodeMetrics,
+    snap: &RegistrySnapshot,
+    journal_emitted: u64,
+    journal_dropped: u64,
+) -> String {
     let mut out = String::with_capacity(4096);
     let node_samples: [(&str, u64); 9] = [
         ("node.jobs_completed", node.jobs_completed),
@@ -135,21 +159,35 @@ pub fn stats_prometheus(node: &NodeMetrics, snap: &RegistrySnapshot) -> String {
         ("node.peak_memory", node.peak_memory),
     ];
     for (name, value) in node_samples {
-        out.push_str(&format!("{} {value}\n", prom_name(name)));
+        let base = prom_name(name);
+        out.push_str(&format!("# TYPE {base} gauge\n{base} {value}\n"));
     }
     for (name, value) in &snap.counters {
-        out.push_str(&format!("{} {value}\n", prom_name(name)));
+        let base = prom_name(name);
+        out.push_str(&format!("# TYPE {base} counter\n{base} {value}\n"));
     }
     for (name, value) in &snap.gauges {
-        out.push_str(&format!("{} {value}\n", prom_name(name)));
+        let base = prom_name(name);
+        out.push_str(&format!("# TYPE {base} gauge\n{base} {value}\n"));
+    }
+    for (name, value) in [
+        ("journal.events_emitted", journal_emitted),
+        ("journal.events_dropped", journal_dropped),
+    ] {
+        let base = prom_name(name);
+        out.push_str(&format!("# TYPE {base} counter\n{base} {value}\n"));
     }
     for h in &snap.histograms {
         let base = prom_name(&h.name);
+        out.push_str(&format!("# TYPE {base} summary\n"));
         out.push_str(&format!("{base}_count {}\n", h.count));
         out.push_str(&format!("{base}_sum {}\n", h.sum));
         out.push_str(&format!("{base}_max {}\n", h.max));
         for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
-            out.push_str(&format!("{base}{{quantile=\"{q}\"}} {v}\n"));
+            out.push_str(&format!(
+                "{base}{{quantile=\"{}\"}} {v}\n",
+                prom_escape_label(q)
+            ));
         }
     }
     out
@@ -199,7 +237,7 @@ mod tests {
             cdw_retries: 2,
             ..Default::default()
         };
-        let doc = stats_json(&sample_node(), &sample_snapshot(), &[job], 40, 30);
+        let doc = stats_json(&sample_node(), &sample_snapshot(), &[job], 40, 30, 10);
         for needle in [
             "\"obs_enabled\"",
             "\"jobs_completed\": 2",
@@ -211,7 +249,7 @@ mod tests {
             "\"p95\": 85",
             "\"upload_retries\": 1",
             "\"cdw_retries\": 2",
-            "\"journal\": {\"emitted\": 40, \"retained\": 30}",
+            "\"journal\": {\"emitted\": 40, \"retained\": 30, \"dropped\": 10}",
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
@@ -219,16 +257,73 @@ mod tests {
 
     #[test]
     fn prometheus_exposition_shape() {
-        let text = stats_prometheus(&sample_node(), &sample_snapshot());
+        let text = stats_prometheus(&sample_node(), &sample_snapshot(), 40, 10);
         for needle in [
             "etlv_node_jobs_completed 2\n",
             "etlv_node_peak_memory 65536\n",
             "etlv_gateway_chunks_received 12\n",
             "etlv_credit_in_flight 3\n",
+            "etlv_journal_events_emitted 40\n",
+            "etlv_journal_events_dropped 10\n",
             "etlv_pipeline_convert_us_count 12\n",
             "etlv_pipeline_convert_us{quantile=\"0.95\"} 85\n",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn prometheus_conformance() {
+        // Every sample line must parse as `name{labels} value` or
+        // `name value` with a sane metric name, and every metric family
+        // must be preceded by exactly one `# TYPE` line naming it.
+        let text = stats_prometheus(&sample_node(), &sample_snapshot(), 1, 0);
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE line has a name");
+                let kind = parts.next().expect("TYPE line has a kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "summary" | "histogram"),
+                    "bad TYPE kind: {line}"
+                );
+                assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line}"));
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line}"
+            );
+            // The family (name minus _count/_sum/_max suffix) must have
+            // been announced by a TYPE line.
+            let family = ["_count", "_sum", "_max"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .unwrap_or(name);
+            assert!(
+                typed.contains(family) || typed.contains(name),
+                "sample {name} missing TYPE metadata"
+            );
+        }
+        // Histograms are announced as summaries.
+        assert!(text.contains("# TYPE etlv_pipeline_convert_us summary\n"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(prom_escape_label("plain"), "plain");
+        assert_eq!(prom_escape_label("a\\b"), "a\\\\b");
+        assert_eq!(prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prom_escape_label("line1\nline2"), "line1\\nline2");
+        assert_eq!(
+            prom_escape_label("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three escapes compose"
+        );
     }
 }

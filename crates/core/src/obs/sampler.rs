@@ -1,0 +1,276 @@
+//! Background time-series sampler: snapshots selected counters and gauges
+//! on a fixed tick into bounded per-metric rings, turning the registry's
+//! monotonic totals into Fig. 8/9-style rate-over-time series. Compiled
+//! only with the `obs` feature; the noop build substitutes a zero-size
+//! stub that never spawns a thread.
+//!
+//! Design constraints:
+//!
+//! - The sampled subsystems never see the sampler: it reads the same
+//!   [`MetricsRegistry`] snapshots the Stats endpoint does, so the hot
+//!   path cost is zero regardless of tick rate.
+//! - Rings are bounded (`capacity` points per metric); old points fall
+//!   off the front, so a long-running node holds a sliding window rather
+//!   than growing without bound.
+//! - Rates are derived at render time from consecutive counter deltas
+//!   (`rate_per_s`); gauges render their raw value with a zero rate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use super::Obs;
+
+/// Whether a sampled metric is a monotonic counter (rates are meaningful)
+/// or a gauge (instantaneous level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SampleKind {
+    Counter,
+    Gauge,
+}
+
+/// One observation: the sampler-relative timestamp and the raw value.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    t_micros: u64,
+    value: u64,
+}
+
+struct Series {
+    metric: String,
+    kind: SampleKind,
+    points: VecDeque<Point>,
+}
+
+struct SamplerInner {
+    epoch: Instant,
+    tick: Duration,
+    capacity: usize,
+    series: Mutex<Vec<Series>>,
+    stop: AtomicBool,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Handle to the background sampling thread. Cloning shares the rings;
+/// [`Sampler::stop`] joins the thread (also done on the owning node's
+/// drop).
+#[derive(Clone)]
+pub struct Sampler {
+    inner: Arc<SamplerInner>,
+}
+
+impl Sampler {
+    /// Start sampling `metrics` (registry counter/gauge names) every
+    /// `tick`, retaining up to `capacity` points per metric. `refresh` is
+    /// invoked before each snapshot so gauge-backed values (credit
+    /// occupancy, memory, fault totals) are current.
+    pub fn start(
+        obs: Arc<Obs>,
+        refresh: Box<dyn Fn() + Send + Sync>,
+        tick: Duration,
+        capacity: usize,
+        metrics: Vec<String>,
+    ) -> Sampler {
+        let inner = Arc::new(SamplerInner {
+            epoch: Instant::now(),
+            tick,
+            capacity: capacity.max(2),
+            series: Mutex::new(
+                metrics
+                    .into_iter()
+                    .map(|metric| Series {
+                        metric,
+                        // Kind is resolved on first observation; counters
+                        // dominate the default set, so start there.
+                        kind: SampleKind::Counter,
+                        points: VecDeque::new(),
+                    })
+                    .collect(),
+            ),
+            stop: AtomicBool::new(false),
+            thread: Mutex::new(None),
+        });
+        let sampler = Sampler {
+            inner: Arc::clone(&inner),
+        };
+        let handle = std::thread::Builder::new()
+            .name("etlv-sampler".into())
+            .spawn(move || {
+                while !inner.stop.load(Ordering::Relaxed) {
+                    refresh();
+                    let snap = obs.registry.snapshot();
+                    let now = inner.epoch.elapsed().as_micros() as u64;
+                    let mut series = inner.series.lock();
+                    for s in series.iter_mut() {
+                        let (value, kind) =
+                            if let Some((_, v)) = snap.counters.iter().find(|(n, _)| *n == s.metric)
+                            {
+                                (Some(*v), SampleKind::Counter)
+                            } else if let Some((_, v)) =
+                                snap.gauges.iter().find(|(n, _)| *n == s.metric)
+                            {
+                                (Some(*v), SampleKind::Gauge)
+                            } else {
+                                (None, s.kind)
+                            };
+                        if let Some(value) = value {
+                            s.kind = kind;
+                            if s.points.len() == inner.capacity {
+                                s.points.pop_front();
+                            }
+                            s.points.push_back(Point {
+                                t_micros: now,
+                                value,
+                            });
+                        }
+                    }
+                    drop(series);
+                    // Sleep in short slices so stop() never blocks a full
+                    // tick.
+                    let mut left = inner.tick;
+                    while !left.is_zero() && !inner.stop.load(Ordering::Relaxed) {
+                        let slice = left.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        *sampler.inner.thread.lock() = Some(handle);
+        sampler
+    }
+
+    /// Stop the sampling thread and join it. Idempotent; the rings stay
+    /// readable afterwards.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.inner.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Render every ring as a JSON document. Counters get a derived
+    /// `rate_per_s` from consecutive deltas (first point rates 0); gauges
+    /// report their raw level.
+    pub fn series_json(&self) -> String {
+        let series = self.inner.series.lock();
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"enabled\": true, \"tick_micros\": {}, \"series\": [",
+            self.inner.tick.as_micros()
+        ));
+        for (i, s) in series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "  {{\"metric\": \"{}\", \"kind\": \"{}\", \"points\": [",
+                s.metric,
+                match s.kind {
+                    SampleKind::Counter => "counter",
+                    SampleKind::Gauge => "gauge",
+                }
+            ));
+            let mut prev: Option<Point> = None;
+            for (j, p) in s.points.iter().enumerate() {
+                let rate = match (s.kind, prev) {
+                    (SampleKind::Counter, Some(q)) if p.t_micros > q.t_micros => {
+                        (p.value.saturating_sub(q.value)) as f64
+                            / ((p.t_micros - q.t_micros) as f64 / 1e6)
+                    }
+                    _ => 0.0,
+                };
+                out.push_str(if j == 0 { "" } else { ", " });
+                out.push_str(&format!(
+                    "{{\"t_micros\": {}, \"value\": {}, \"rate_per_s\": {rate:.3}}}",
+                    p.t_micros, p.value
+                ));
+                prev = Some(*p);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Number of points currently held for `metric` (0 if unknown).
+    pub fn points_for(&self, metric: &str) -> usize {
+        self.inner
+            .series
+            .lock()
+            .iter()
+            .find(|s| s.metric == metric)
+            .map_or(0, |s| s.points.len())
+    }
+}
+
+impl Drop for SamplerInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_counters_into_bounded_rings() {
+        let obs = Arc::new(Obs::new(64, None));
+        let sampler = Sampler::start(
+            Arc::clone(&obs),
+            Box::new(|| {}),
+            Duration::from_millis(5),
+            4,
+            vec![
+                "pipeline.convert_rows".to_string(),
+                "credit.in_flight".to_string(),
+                "no.such.metric".to_string(),
+            ],
+        );
+        for i in 0..10 {
+            obs.pipeline.convert_rows.add(100 + i);
+            obs.credit.in_flight.set(3);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        assert!(sampler.points_for("pipeline.convert_rows") >= 2);
+        assert!(sampler.points_for("pipeline.convert_rows") <= 4, "ring bounded");
+        assert_eq!(sampler.points_for("no.such.metric"), 0);
+
+        let json = sampler.series_json();
+        assert!(json.contains("\"enabled\": true"), "{json}");
+        assert!(
+            json.contains("\"metric\": \"pipeline.convert_rows\", \"kind\": \"counter\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"metric\": \"credit.in_flight\", \"kind\": \"gauge\""),
+            "{json}"
+        );
+        assert!(json.contains("\"rate_per_s\""), "{json}");
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_fast() {
+        let obs = Arc::new(Obs::new(16, None));
+        let sampler = Sampler::start(
+            obs,
+            Box::new(|| {}),
+            Duration::from_secs(3600),
+            8,
+            vec!["gateway.chunks_received".to_string()],
+        );
+        let t0 = Instant::now();
+        sampler.stop();
+        sampler.stop();
+        assert!(t0.elapsed() < Duration::from_secs(2), "stop joins promptly");
+        // One sample was taken on entry before the long sleep.
+        assert!(sampler.points_for("gateway.chunks_received") >= 1);
+    }
+}

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -24,7 +25,7 @@ use crate::convert::{AcqError, ConvertScratch, DataConverter};
 use crate::credit::Credit;
 use crate::fault::{retry_with, FaultInjector};
 use crate::memory::MemGuard;
-use crate::obs::Obs;
+use crate::obs::{Obs, SpanIds};
 use crate::pool::BufferPool;
 
 /// A raw chunk travelling from a session handler into the pipeline. The
@@ -38,6 +39,9 @@ pub struct RawChunk {
     pub credit: Credit,
     /// The in-flight memory reservation (released once staged).
     pub memory: MemGuard,
+    /// When the session handler enqueued the chunk — converter workers
+    /// derive the `chunk.queue` wait span from this.
+    pub enqueued: Instant,
 }
 
 struct Converted {
@@ -77,7 +81,11 @@ pub struct Pipeline {
 impl Pipeline {
     /// Spawn the pipeline for one load job. `prefix` is the object-key
     /// prefix staged files upload under (e.g. `job42/`); `job` is the load
-    /// token stamped on every journal event the stages emit.
+    /// token stamped on every journal event the stages emit; `ids` is the
+    /// job's root span — every stage span the pipeline emits is minted as
+    /// a child of it, so the trace assembler can hang chunk.queue /
+    /// chunk.convert / file.upload under the job root.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         config: &VirtualizerConfig,
         converter: DataConverter,
@@ -86,6 +94,7 @@ impl Pipeline {
         injector: Option<Arc<FaultInjector>>,
         obs: Arc<Obs>,
         job: u64,
+        ids: SpanIds,
     ) -> Pipeline {
         let workers = config.converter_workers();
         let sim_cost = config.simulated_convert_cost_per_mb;
@@ -135,6 +144,7 @@ impl Pipeline {
                         &mut scratch,
                         &obs,
                         job,
+                        ids,
                     );
                 }
             }));
@@ -179,8 +189,9 @@ impl Pipeline {
                             Vec::with_capacity(threshold.min(1 << 22)),
                         );
                         obs.pipeline.files_rotated.inc();
-                        obs.journal.emit(
+                        obs.journal.emit_span(
                             "file.rotate",
+                            ids.child(obs.journal.next_span_id()),
                             job,
                             0,
                             0,
@@ -232,8 +243,9 @@ impl Pipeline {
                     let part_retries = retries - retries_before;
                     if part_retries > 0 {
                         obs.pipeline.upload_retries.add(part_retries);
-                        obs.journal.emit(
+                        obs.journal.emit_span(
                             "upload.retry",
+                            ids.child(obs.journal.next_span_id()),
                             job,
                             0,
                             part as u64,
@@ -245,8 +257,9 @@ impl Pipeline {
                         Ok(_) => {
                             obs.pipeline.upload_parts.inc();
                             obs.pipeline.upload_bytes.add(file.len() as u64);
-                            obs.journal.emit(
+                            obs.journal.emit_span(
                                 "file.upload",
+                                ids.child(obs.journal.next_span_id()),
                                 job,
                                 0,
                                 part as u64,
@@ -326,7 +339,20 @@ fn convert_one(
     scratch: &mut ConvertScratch,
     obs: &Obs,
     job: u64,
+    ids: SpanIds,
 ) {
+    // How long the chunk sat on the bounded channel before a worker picked
+    // it up — the trace's queue_wait stage.
+    let queue_wait = chunk.enqueued.elapsed();
+    obs.journal.emit_span(
+        "chunk.queue",
+        ids.child(obs.journal.next_span_id()),
+        job,
+        0,
+        chunk.base_seq,
+        chunk.data.len() as u64,
+        queue_wait,
+    );
     if !sim_cost_per_mb.is_zero() {
         let cost = sim_cost_per_mb.mul_f64(chunk.data.len() as f64 / 1_000_000.0);
         std::thread::sleep(cost);
@@ -374,8 +400,15 @@ fn convert_one(
             obs.pipeline.convert_rows.add(rows as u64);
             obs.pipeline.convert_bytes.add(out.len() as u64);
             obs.pipeline.convert_us.record_duration(elapsed);
-            obs.journal
-                .emit("chunk.convert", job, 0, chunk.base_seq, rows as u64, elapsed);
+            obs.journal.emit_span(
+                "chunk.convert",
+                ids.child(obs.journal.next_span_id()),
+                job,
+                0,
+                chunk.base_seq,
+                rows as u64,
+                elapsed,
+            );
             let mut memory = chunk.memory;
             memory.shrink_to(out.len());
             let _ = tx.send(Converted {
@@ -435,6 +468,7 @@ mod tests {
             None,
             Arc::new(Obs::default()),
             1,
+            SpanIds::default(),
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(config.memory_cap);
@@ -452,6 +486,7 @@ mod tests {
                     data: data.into(),
                     credit,
                     memory: mem,
+                    enqueued: Instant::now(),
                 })
                 .unwrap();
         }
@@ -550,6 +585,7 @@ mod tests {
             None,
             Arc::new(Obs::default()),
             1,
+            SpanIds::default(),
         );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
@@ -562,6 +598,7 @@ mod tests {
                     data: Bytes::copy_from_slice(data),
                     credit: credits.acquire(),
                     memory: memory.reserve(data.len()).unwrap(),
+                    enqueued: Instant::now(),
                 })
                 .unwrap();
         }
@@ -606,6 +643,7 @@ mod tests {
             Some(Arc::clone(&injector)),
             Arc::new(Obs::default()),
             1,
+            SpanIds::default(),
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(0);
@@ -620,6 +658,7 @@ mod tests {
                     data: data.into(),
                     credit,
                     memory: mem_guard,
+                    enqueued: Instant::now(),
                 })
                 .unwrap();
         }
@@ -663,6 +702,7 @@ mod tests {
             Some(injector),
             Arc::new(Obs::default()),
             1,
+            SpanIds::default(),
         );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
@@ -674,6 +714,7 @@ mod tests {
                     data: Bytes::copy_from_slice(b"a|b\n"),
                     credit: credits.acquire(),
                     memory: memory.reserve(4).unwrap(),
+                    enqueued: Instant::now(),
                 })
                 .unwrap();
         }

@@ -8,6 +8,7 @@ use crossbeam::channel;
 use etlv_protocol::message::{
     BeginLoad, DataChunk, EndLoad, LoadReport, Message, SessionRole,
 };
+use etlv_protocol::trace::TraceContext;
 use etlv_script::ImportJob;
 
 use crate::connect::Connect;
@@ -38,6 +39,9 @@ pub struct ImportResult {
     pub rows_sent: u64,
     /// Raw bytes sent in data chunks.
     pub bytes_sent: u64,
+    /// The client-minted trace id the job's server-side spans carry —
+    /// correlate with `Session::trace(job)` or the journal JSONL sink.
+    pub trace_id: u64,
 }
 
 /// Run an import job: `data` is the content of the job's input file.
@@ -59,6 +63,10 @@ pub fn run_import(
         0,
     )?;
     control.set_read_timeout(options.read_timeout);
+    // Mint the job's trace context client-side: every server-side span —
+    // gateway, converter, uploader, COPY, apply — carries this trace id,
+    // so one id correlates the client's view with the server's span tree.
+    let trace = TraceContext::mint();
     let begin = BeginLoad {
         target_table: job.target.clone(),
         error_table_et: job.error_table_et.clone(),
@@ -67,6 +75,7 @@ pub fn run_import(
         format: job.format,
         sessions,
         error_limit: job.errlimit,
+        trace: Some(trace),
     };
     let load_token = match control.request(Message::BeginLoad(begin))? {
         Message::BeginLoadOk { load_token } => load_token,
@@ -96,12 +105,13 @@ pub fn run_import(
         let password = job.logon.password.clone();
         let read_timeout = options.read_timeout;
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
-            let mut session = Session::logon(
+            let mut session = Session::logon_traced(
                 connector.as_ref(),
                 &user,
                 &password,
                 SessionRole::Data,
                 load_token,
+                Some(trace),
             )?;
             session.set_read_timeout(read_timeout);
             let mut chunk_seq = (worker_id as u64) << 32;
@@ -155,5 +165,6 @@ pub fn run_import(
         },
         rows_sent,
         bytes_sent,
+        trace_id: trace.trace_id,
     })
 }

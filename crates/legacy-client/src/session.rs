@@ -2,7 +2,10 @@
 
 use std::time::Duration;
 
-use etlv_protocol::message::{Logon, Message, SessionRole, SqlResult, StatsFormat, StatsReply};
+use etlv_protocol::message::{
+    Logon, Message, SessionRole, SqlResult, StatsFormat, StatsReply, TraceReply,
+};
+use etlv_protocol::trace::TraceContext;
 use etlv_protocol::transport::Transport;
 
 use crate::connect::Connect;
@@ -17,13 +20,28 @@ pub struct Session {
 }
 
 impl Session {
-    /// Connect and log on.
+    /// Connect and log on without a trace context — the legacy client
+    /// behavior; the gateway mints a fresh trace for the session's jobs.
     pub fn logon(
         connector: &dyn Connect,
         user: &str,
         password: &str,
         role: SessionRole,
         job_token: u64,
+    ) -> Result<Session, ClientError> {
+        Session::logon_traced(connector, user, password, role, job_token, None)
+    }
+
+    /// Connect and log on, optionally propagating a client-minted
+    /// [`TraceContext`] so the session's server-side spans join the
+    /// client's trace.
+    pub fn logon_traced(
+        connector: &dyn Connect,
+        user: &str,
+        password: &str,
+        role: SessionRole,
+        job_token: u64,
+        trace: Option<TraceContext>,
     ) -> Result<Session, ClientError> {
         let transport = connector.connect()?;
         let mut session = Session {
@@ -37,6 +55,7 @@ impl Session {
             password: password.to_string(),
             role,
             job_token,
+            trace,
         }))?;
         match reply {
             Message::LogonOk(ok) => {
@@ -131,6 +150,16 @@ impl Session {
         match self.request(Message::StatsReq { format })? {
             Message::StatsReply(reply) => Ok(reply),
             other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Request the assembled span tree for a finished (or failed) load
+    /// job. `found` is false when the job's events have aged out of the
+    /// server's journal ring or tracing is compiled out.
+    pub fn trace(&mut self, job: u64) -> Result<TraceReply, ClientError> {
+        match self.request(Message::TraceReq { job })? {
+            Message::TraceReply(reply) => Ok(reply),
+            other => Err(unexpected("TraceReply", &other)),
         }
     }
 

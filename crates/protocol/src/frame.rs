@@ -74,6 +74,10 @@ pub enum MsgKind {
     StatsReq = 19,
     /// Statistics snapshot response.
     StatsReply = 20,
+    /// Request a job's causal trace (control sessions).
+    TraceReq = 21,
+    /// Trace response (span tree + attribution as JSON).
+    TraceReply = 22,
 }
 
 impl MsgKind {
@@ -100,6 +104,8 @@ impl MsgKind {
             18 => MsgKind::Keepalive,
             19 => MsgKind::StatsReq,
             20 => MsgKind::StatsReply,
+            21 => MsgKind::TraceReq,
+            22 => MsgKind::TraceReply,
             _ => return None,
         })
     }
@@ -373,11 +379,11 @@ mod tests {
 
     #[test]
     fn kind_byte_roundtrip() {
-        for k in 1..=20u8 {
+        for k in 1..=22u8 {
             let kind = MsgKind::from_u8(k).unwrap();
             assert_eq!(kind as u8, k);
         }
         assert_eq!(MsgKind::from_u8(0), None);
-        assert_eq!(MsgKind::from_u8(21), None);
+        assert_eq!(MsgKind::from_u8(23), None);
     }
 }

@@ -25,6 +25,8 @@
 //! - [`record`]: the legacy binary record codec.
 //! - [`vartext`]: the delimited-text record codec.
 //! - [`errcode`]: the legacy error-code table (2666, 2794, 3103, 9057, ...).
+//! - [`trace`]: wire-propagated causal trace context (optional payload
+//!   trailer; legacy peers interoperate unchanged).
 //! - [`transport`]: byte transports (TCP and in-memory duplex).
 
 pub mod crc;
@@ -34,6 +36,7 @@ pub mod frame;
 pub mod layout;
 pub mod message;
 pub mod record;
+pub mod trace;
 pub mod transport;
 pub mod vartext;
 
@@ -43,4 +46,5 @@ pub use frame::{Frame, FrameDecoder, FrameError, MsgKind};
 pub use layout::{FieldDef, Layout};
 pub use message::Message;
 pub use record::{RecordDecoder, RecordEncoder};
+pub use trace::TraceContext;
 pub use transport::{duplex, MemTransport, Transport};

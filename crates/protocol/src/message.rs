@@ -9,6 +9,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::data::{Date, Decimal, LegacyType, Timestamp, Value};
 use crate::frame::{Frame, FrameError, MsgKind};
 use crate::layout::{read_lstring, read_string, write_lstring, write_string, Layout};
+use crate::trace::TraceContext;
 
 /// The role a session plays within a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,9 @@ pub struct Logon {
     /// For data sessions: the job token issued by `BeginLoadOk` /
     /// `BeginExportOk`.
     pub job_token: u64,
+    /// Optional causal trace context (encoded as a payload trailer;
+    /// `None` on the wire is byte-identical to the legacy payload).
+    pub trace: Option<TraceContext>,
 }
 
 /// Server logon acknowledgment.
@@ -116,6 +120,9 @@ pub struct BeginLoad {
     pub sessions: u16,
     /// Abort the job if more than this many records error (0 = unlimited).
     pub error_limit: u64,
+    /// Optional causal trace context (encoded as a payload trailer;
+    /// `None` on the wire is byte-identical to the legacy payload).
+    pub trace: Option<TraceContext>,
 }
 
 /// A chunk of encoded records on a data session.
@@ -214,6 +221,9 @@ pub enum StatsFormat {
     Json,
     /// Prometheus text exposition.
     Prometheus,
+    /// Time-series sampler rings rendered as JSON (Fig. 8/9-style
+    /// rate-over-time data).
+    Series,
 }
 
 impl StatsFormat {
@@ -221,6 +231,7 @@ impl StatsFormat {
         buf.put_u8(match self {
             StatsFormat::Json => 0,
             StatsFormat::Prometheus => 1,
+            StatsFormat::Series => 2,
         });
     }
 
@@ -231,6 +242,7 @@ impl StatsFormat {
         match buf.get_u8() {
             0 => Ok(StatsFormat::Json),
             1 => Ok(StatsFormat::Prometheus),
+            2 => Ok(StatsFormat::Series),
             _ => Err(FrameError::Malformed("unknown stats format")),
         }
     }
@@ -242,6 +254,18 @@ pub struct StatsReply {
     /// The format `body` is rendered in.
     pub format: StatsFormat,
     /// The rendered snapshot document.
+    pub body: String,
+}
+
+/// A job's causal trace rendered as a span tree with critical-path
+/// attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReply {
+    /// The job id the trace was requested for.
+    pub job: u64,
+    /// Whether the journal still held the job's spans.
+    pub found: bool,
+    /// JSON document (empty when `found` is false).
     pub body: String,
 }
 
@@ -314,6 +338,13 @@ pub enum Message {
     },
     /// Statistics snapshot response.
     StatsReply(StatsReply),
+    /// Request a job's causal trace (control sessions).
+    TraceReq {
+        /// The job id to trace.
+        job: u64,
+    },
+    /// Trace response.
+    TraceReply(TraceReply),
 }
 
 impl Message {
@@ -340,6 +371,8 @@ impl Message {
             Message::Keepalive => MsgKind::Keepalive,
             Message::StatsReq { .. } => MsgKind::StatsReq,
             Message::StatsReply(_) => MsgKind::StatsReply,
+            Message::TraceReq { .. } => MsgKind::TraceReq,
+            Message::TraceReply(_) => MsgKind::TraceReply,
         }
     }
 
@@ -358,6 +391,7 @@ impl Message {
                 write_string(buf, &m.password);
                 buf.put_u8(matches!(m.role, SessionRole::Data) as u8);
                 buf.put_u64_le(m.job_token);
+                TraceContext::encode_opt(m.trace.as_ref(), buf);
             }
             Message::LogonOk(m) => {
                 buf.put_u32_le(m.session);
@@ -389,6 +423,7 @@ impl Message {
                 m.format.encode(buf);
                 buf.put_u16_le(m.sessions);
                 buf.put_u64_le(m.error_limit);
+                TraceContext::encode_opt(m.trace.as_ref(), buf);
             }
             Message::BeginLoadOk { load_token } => buf.put_u64_le(*load_token),
             Message::DataChunk(m) => {
@@ -441,6 +476,12 @@ impl Message {
                 m.format.encode(buf);
                 write_lstring(buf, &m.body);
             }
+            Message::TraceReq { job } => buf.put_u64_le(*job),
+            Message::TraceReply(m) => {
+                buf.put_u64_le(m.job);
+                buf.put_u8(m.found as u8);
+                write_lstring(buf, &m.body);
+            }
             Message::Logoff | Message::LogoffOk | Message::Keepalive => {}
         }
     }
@@ -461,11 +502,13 @@ impl Message {
                     SessionRole::Control
                 };
                 let job_token = buf.get_u64_le();
+                let trace = TraceContext::decode_opt(buf)?;
                 Message::Logon(Logon {
                     username,
                     password,
                     role,
                     job_token,
+                    trace,
                 })
             }
             MsgKind::LogonOk => {
@@ -527,6 +570,7 @@ impl Message {
                 }
                 let sessions = buf.get_u16_le();
                 let error_limit = buf.get_u64_le();
+                let trace = TraceContext::decode_opt(buf)?;
                 Message::BeginLoad(BeginLoad {
                     target_table,
                     error_table_et,
@@ -535,6 +579,7 @@ impl Message {
                     format,
                     sessions,
                     error_limit,
+                    trace,
                 })
             }
             MsgKind::BeginLoadOk => {
@@ -670,6 +715,23 @@ impl Message {
                 let body = read_lstring(buf)?;
                 Message::StatsReply(StatsReply { format, body })
             }
+            MsgKind::TraceReq => {
+                if buf.remaining() < 8 {
+                    return Err(FrameError::Truncated);
+                }
+                Message::TraceReq {
+                    job: buf.get_u64_le(),
+                }
+            }
+            MsgKind::TraceReply => {
+                if buf.remaining() < 9 {
+                    return Err(FrameError::Truncated);
+                }
+                let job = buf.get_u64_le();
+                let found = buf.get_u8() != 0;
+                let body = read_lstring(buf)?;
+                Message::TraceReply(TraceReply { job, found, body })
+            }
         })
     }
 }
@@ -787,8 +849,63 @@ mod tests {
             password: "pass".into(),
             role: SessionRole::Data,
             job_token: 0xDEAD_BEEF,
+            trace: None,
         });
         assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn logon_trace_roundtrip() {
+        let msg = Message::Logon(Logon {
+            username: "user".into(),
+            password: "pass".into(),
+            role: SessionRole::Data,
+            job_token: 7,
+            trace: Some(TraceContext {
+                trace_id: 0x1234_5678_9ABC_DEF1,
+                parent_span: 3,
+            }),
+        });
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn legacy_logon_without_trailer_decodes() {
+        // A payload encoded exactly as the pre-trace wire format: the new
+        // decoder must yield trace: None.
+        let mut buf = BytesMut::new();
+        write_string(&mut buf, "user");
+        write_string(&mut buf, "pass");
+        buf.put_u8(0); // control
+        buf.put_u64_le(0);
+        let frame = Frame::new(MsgKind::Logon, 0, 0, buf.freeze());
+        let Message::Logon(l) = Message::from_frame(&frame).unwrap() else {
+            panic!("expected Logon");
+        };
+        assert_eq!(l.trace, None);
+        assert_eq!(l.username, "user");
+    }
+
+    #[test]
+    fn corrupted_trace_trailer_rejected() {
+        let msg = Message::BeginLoad(BeginLoad {
+            target_table: "T".into(),
+            error_table_et: "T_ET".into(),
+            error_table_uv: "T_UV".into(),
+            layout: Layout::new("L").field("A", T::Integer),
+            format: RecordFormat::Binary,
+            sessions: 1,
+            error_limit: 0,
+            trace: Some(TraceContext {
+                trace_id: 42,
+                parent_span: 0,
+            }),
+        });
+        let mut frame = msg.into_frame(0, 0);
+        // Chop the last 5 bytes: the trailer marker survives but the body
+        // is truncated — must be rejected, not silently dropped.
+        frame.payload = frame.payload.slice(0..frame.payload.len() - 5);
+        assert!(Message::from_frame(&frame).is_err());
     }
 
     #[test]
@@ -833,7 +950,19 @@ mod tests {
             },
             sessions: 4,
             error_limit: 0,
+            trace: None,
         });
+        assert_eq!(roundtrip(msg.clone()), msg);
+
+        // And with a trace context attached.
+        let Message::BeginLoad(mut bl) = msg else {
+            unreachable!()
+        };
+        bl.trace = Some(TraceContext {
+            trace_id: 99,
+            parent_span: 12,
+        });
+        let msg = Message::BeginLoad(bl);
         assert_eq!(roundtrip(msg.clone()), msg);
     }
 
@@ -938,6 +1067,28 @@ mod tests {
             Message::StatsReply(StatsReply {
                 format: StatsFormat::Prometheus,
                 body: "etlv_gateway_chunks_received 12\n".into(),
+            }),
+            Message::StatsReq {
+                format: StatsFormat::Series,
+            },
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn trace_req_reply_roundtrip() {
+        for msg in [
+            Message::TraceReq { job: 17 },
+            Message::TraceReply(TraceReply {
+                job: 17,
+                found: true,
+                body: "{\"job\": 17, \"wall_micros\": 1200}".into(),
+            }),
+            Message::TraceReply(TraceReply {
+                job: 99,
+                found: false,
+                body: String::new(),
             }),
         ] {
             assert_eq!(roundtrip(msg.clone()), msg);

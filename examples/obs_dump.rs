@@ -4,6 +4,15 @@
 //! a legacy `Stats` request.
 //!
 //! Run with `cargo run --example obs_dump`.
+//!
+//! With `--trace <job>` the example instead renders the finished job's
+//! span tree — per-stage durations with the critical path highlighted —
+//! plus the wall-clock attribution and the raw trace JSON fetched over
+//! the wire with the `Trace` request (the example's own load is job 1):
+//!
+//! ```text
+//! cargo run --example obs_dump -- --trace 1
+//! ```
 
 use std::io;
 use std::sync::Arc;
@@ -47,6 +56,15 @@ fn connector(
 }
 
 fn main() {
+    // `--trace <job>`: render the span tree for <job> after the load
+    // instead of the stats dump.
+    let args: Vec<String> = std::env::args().collect();
+    let trace_job: Option<u64> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|at| args.get(at + 1))
+        .map(|j| j.parse().expect("--trace takes a numeric job token"));
+
     let v = Virtualizer::new(VirtualizerConfig {
         file_size_threshold: 4096, // several staged files for this data size
         ..Default::default()
@@ -97,6 +115,40 @@ fn main() {
         result.report.upload_retries,
         result.report.cdw_retries
     );
+
+    if let Some(job) = trace_job {
+        match v.trace(job) {
+            Some(trace) => {
+                println!("\n== span tree for job {job} (critical path marked *) ==");
+                print!("{}", trace.render_ascii());
+                println!("\n== wall-clock attribution ==");
+                for (stage, micros) in &trace.attribution {
+                    let share = if trace.wall_micros > 0 {
+                        *micros as f64 * 100.0 / trace.wall_micros as f64
+                    } else {
+                        0.0
+                    };
+                    println!("  {stage:<12} {micros:>10} us  {share:5.1}%");
+                }
+            }
+            None => println!("\nno trace for job {job} (aged out, or obs compiled off)"),
+        }
+        // The same tree over the wire: a control session's Trace request.
+        let client = LegacyEtlClient::new(connector(&v));
+        let mut session = etlv_legacy_client::Session::logon(
+            client.connector().as_ref(),
+            "admin",
+            "pw",
+            SessionRole::Control,
+            0,
+        )
+        .unwrap();
+        let reply = session.trace(job).unwrap();
+        println!("\n== Trace over the legacy wire protocol ==");
+        println!("TraceReply(job={}, found={}): {} bytes", reply.job, reply.found, reply.body.len());
+        session.logoff();
+        return;
+    }
 
     println!("\n== stats_snapshot() (JSON) ==");
     println!("{}", v.stats_snapshot());

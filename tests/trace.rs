@@ -1,0 +1,329 @@
+//! PR 4 causal tracing, end to end: wire-propagated trace context, span
+//! trees assembled over the `Trace` request, critical-path attribution
+//! that sums to the measured wall time, the time-series sampler, and
+//! backward compatibility with trace-free legacy clients.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use etlv_core::{Virtualizer, VirtualizerConfig};
+use etlv_legacy_client::{ClientOptions, FnConnector, LegacyEtlClient, Session};
+use etlv_protocol::message::{
+    BeginLoad, DataChunk, EndLoad, Message, SessionRole, StatsFormat,
+};
+use etlv_protocol::transport::{duplex, Transport};
+use etlv_script::{compile, parse_script, JobPlan};
+
+fn connector(
+    v: &Virtualizer,
+) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
+    let v = v.clone();
+    Arc::new(FnConnector(move || {
+        let (client_end, server_end) = duplex();
+        let v = v.clone();
+        std::thread::spawn(move || {
+            let _ = v.serve(server_end);
+        });
+        Ok(Box::new(client_end) as Box<dyn Transport>)
+    }))
+}
+
+const IMPORT_SCRIPT: &str = r#"
+.logon host/user,pass;
+.layout CustLayout;
+.field CUST_ID varchar(5);
+.field CUST_NAME varchar(50);
+.field JOIN_DATE varchar(10);
+.begin import tables PROD.CUSTOMER
+errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+.dml label InsApply;
+insert into PROD.CUSTOMER values (
+    trim(:CUST_ID), trim(:CUST_NAME),
+    cast(:JOIN_DATE as DATE format `YYYY-MM-DD') );
+.import infile input.txt
+    format vartext `|' layout CustLayout
+    apply InsApply;
+.end load
+"#;
+
+fn import_job() -> etlv_script::ImportJob {
+    match compile(&parse_script(IMPORT_SCRIPT).unwrap()).unwrap() {
+        JobPlan::Import(job) => job,
+        _ => panic!("expected import"),
+    }
+}
+
+fn clean_rows(n: usize) -> Vec<u8> {
+    (0..n)
+        .flat_map(|i| format!("i{i:03}|name{i}|2012-01-01\n").into_bytes())
+        .collect()
+}
+
+fn new_virtualizer(config: VirtualizerConfig) -> Virtualizer {
+    let v = Virtualizer::new(config);
+    v.cdw()
+        .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE)")
+        .unwrap();
+    v
+}
+
+/// The acceptance scenario: a seeded multi-chunk import yields a complete
+/// span tree via the `Trace` wire request — chunk convert/upload/copy
+/// spans parent to the job root, the client-minted trace id survives the
+/// wire, and the stage attribution partitions the measured wall time.
+#[test]
+fn multi_chunk_import_yields_complete_span_tree() {
+    let v = new_virtualizer(VirtualizerConfig {
+        file_size_threshold: 256, // several uploads
+        ..Default::default()
+    });
+    let client = LegacyEtlClient::with_options(
+        connector(&v),
+        ClientOptions {
+            chunk_rows: 10, // 20 chunks
+            sessions: Some(3),
+            ..Default::default()
+        },
+    );
+    let result = client.run_import_data(&import_job(), &clean_rows(200)).unwrap();
+    assert_eq!(result.report.rows_applied, 200);
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    assert_ne!(result.trace_id, 0, "client minted a trace id");
+
+    // Assembled server-side: a complete tree rooted at job.begin.
+    let trace = v.trace(1).expect("trace for job 1");
+    assert!(trace.complete, "job.end folded into the root");
+    assert_eq!(trace.job, 1);
+    assert_eq!(
+        trace.trace_id, result.trace_id,
+        "client trace id propagated over the wire"
+    );
+    assert_eq!(trace.orphans, 0, "every span's parent was retained");
+
+    // Every pipeline stage appears, and parents to the job root.
+    let root_span = trace.nodes[trace.root].span;
+    for kind in ["chunk.queue", "chunk.convert", "file.upload", "copy", "apply", "ack.wait"] {
+        let spans: Vec<_> = trace.nodes.iter().filter(|n| n.kind == kind).collect();
+        assert!(!spans.is_empty(), "no {kind} spans in trace");
+        for n in &spans {
+            assert_eq!(n.parent, root_span, "{kind} span parents to the job root");
+        }
+    }
+    assert_eq!(
+        trace.nodes.iter().filter(|n| n.kind == "chunk.convert").count(),
+        20,
+        "one convert span per chunk"
+    );
+
+    // Attribution partitions the wall: buckets sum to wall_micros exactly
+    // (well within the 5% acceptance bound), and the wall tracks the
+    // node's own phase-timed report.
+    assert_eq!(trace.attributed_total(), trace.wall_micros);
+    let report = v.last_job_report().unwrap();
+    let measured =
+        (report.acquisition + report.application).as_micros() as u64;
+    assert!(
+        trace.wall_micros >= measured,
+        "trace wall {} covers the phase-timed report {}",
+        trace.wall_micros,
+        measured
+    );
+    assert!(
+        trace.wall_micros as f64 <= measured as f64 * 1.05 + 2_000.0,
+        "trace wall {} within 5% of measured {} (+bookkeeping slack)",
+        trace.wall_micros,
+        measured
+    );
+
+    // The same tree over the wire: Trace request on a control session.
+    let mut session = Session::logon(
+        client.connector().as_ref(),
+        "admin",
+        "pw",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let reply = session.trace(1).unwrap();
+    assert!(reply.found);
+    assert_eq!(reply.job, 1);
+    for needle in [
+        "\"kind\": \"job.begin\"",
+        "\"kind\": \"chunk.convert\"",
+        "\"kind\": \"file.upload\"",
+        "\"kind\": \"copy\"",
+        "\"kind\": \"apply\"",
+        "\"critical_stage\"",
+        "\"attribution\"",
+    ] {
+        assert!(reply.body.contains(needle), "{needle} missing: {}", reply.body);
+    }
+
+    // Unknown jobs answer found=false rather than erroring.
+    let missing = session.trace(999).unwrap();
+    assert!(!missing.found);
+    assert!(missing.body.is_empty());
+    session.logoff();
+}
+
+/// The background sampler captures a non-empty rows/sec series during a
+/// load, renderable as JSON locally and over the wire (`Stats` with the
+/// `Series` format).
+#[test]
+fn sampler_records_rows_per_second_series() {
+    let v = new_virtualizer(VirtualizerConfig {
+        sampler_tick: Duration::from_millis(2),
+        sampler_capacity: 4096,
+        file_size_threshold: 512,
+        // Stretch the job over enough ticks to see the series move.
+        simulated_convert_cost_per_mb: Duration::from_millis(400),
+        ..Default::default()
+    });
+    let client = LegacyEtlClient::with_options(
+        connector(&v),
+        ClientOptions {
+            chunk_rows: 25,
+            sessions: Some(2),
+            ..Default::default()
+        },
+    );
+    let result = client.run_import_data(&import_job(), &clean_rows(400)).unwrap();
+    assert_eq!(result.report.rows_applied, 400);
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+
+    let json = v.sampler_json();
+    assert!(json.contains("\"enabled\": true"), "{json}");
+    assert!(
+        json.contains("\"metric\": \"pipeline.convert_rows\", \"kind\": \"counter\""),
+        "{json}"
+    );
+    assert!(json.contains("\"rate_per_s\""), "{json}");
+    // At least one sampled point carries a nonzero convert_rows total.
+    let at = json.find("pipeline.convert_rows").unwrap();
+    let window = &json[at..json[at..].find("]}").map_or(json.len(), |e| at + e)];
+    assert!(
+        window.contains("\"value\": 4") || window.contains("\"value\": 400"),
+        "rows/sec series saw conversion progress: {window}"
+    );
+    // Gauges sampled alongside counters.
+    assert!(
+        json.contains("\"metric\": \"credit.in_flight\", \"kind\": \"gauge\""),
+        "{json}"
+    );
+
+    // The same series over the wire.
+    let mut session = Session::logon(
+        client.connector().as_ref(),
+        "admin",
+        "pw",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let reply = session.stats(StatsFormat::Series).unwrap();
+    assert_eq!(reply.format, StatsFormat::Series);
+    assert_eq!(reply.body, json, "wire body is the sampler document");
+    session.logoff();
+}
+
+/// A sampler that is configured off (the default) answers the Series
+/// stats request with a disabled document instead of failing.
+#[test]
+fn series_request_with_sampler_disabled() {
+    let v = new_virtualizer(VirtualizerConfig::default());
+    let client = LegacyEtlClient::new(connector(&v));
+    let mut session = Session::logon(
+        client.connector().as_ref(),
+        "admin",
+        "pw",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let reply = session.stats(StatsFormat::Series).unwrap();
+    assert!(reply.body.contains("\"enabled\": false"), "{}", reply.body);
+    session.logoff();
+}
+
+/// Backward compatibility: an unmodified legacy client — no trace trailer
+/// on Logon or BeginLoad — still loads against the instrumented gateway,
+/// which mints a root trace server-side.
+#[test]
+fn trace_free_legacy_client_still_loads() {
+    let v = new_virtualizer(VirtualizerConfig::default());
+    let client = LegacyEtlClient::new(connector(&v));
+    let job = import_job();
+
+    // Hand-run the wire conversation run_import performs, with trace: None
+    // everywhere (Session::logon never attaches one).
+    let mut control = Session::logon(
+        client.connector().as_ref(),
+        "user",
+        "pass",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let load_token = match control
+        .request(Message::BeginLoad(BeginLoad {
+            target_table: job.target.clone(),
+            error_table_et: job.error_table_et.clone(),
+            error_table_uv: job.error_table_uv.clone(),
+            layout: job.layout.clone(),
+            format: job.format,
+            sessions: 1,
+            error_limit: job.errlimit,
+            trace: None,
+        }))
+        .unwrap()
+    {
+        Message::BeginLoadOk { load_token } => load_token,
+        other => panic!("expected BeginLoadOk, got {:?}", other.kind()),
+    };
+
+    let mut data_session = Session::logon(
+        client.connector().as_ref(),
+        "user",
+        "pass",
+        SessionRole::Data,
+        load_token,
+    )
+    .unwrap();
+    let data = clean_rows(30);
+    let reply = data_session
+        .request(Message::DataChunk(DataChunk {
+            chunk_seq: 1,
+            base_seq: 1,
+            record_count: 30,
+            data: data.into(),
+        }))
+        .unwrap();
+    assert!(matches!(reply, Message::Ack { chunk_seq: 1 }));
+    data_session.logoff();
+
+    let report = match control
+        .request(Message::EndLoad(EndLoad {
+            dml: job.dml.clone(),
+        }))
+        .unwrap()
+    {
+        Message::LoadReport(r) => r,
+        other => panic!("expected LoadReport, got {:?}", other.kind()),
+    };
+    assert_eq!(report.rows_applied, 30, "trace-free load applied fully");
+
+    if etlv_core::obs::enabled() {
+        // The gateway minted a trace of its own: the tree is still
+        // complete and queryable.
+        let trace = v.trace(load_token).expect("gateway-minted trace");
+        assert!(trace.complete);
+        assert_ne!(trace.trace_id, 0, "server minted a nonzero trace id");
+        assert!(trace.nodes.iter().any(|n| n.kind == "chunk.convert"));
+    }
+    control.logoff();
+}
