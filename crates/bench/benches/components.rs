@@ -110,12 +110,21 @@ fn bench_convert(c: &mut Criterion) {
 
 fn bench_compression(c: &mut Criterion) {
     let staged: Vec<u8> = (0..2_000)
-        .flat_map(|i| format!("{i}|C{:07}|name{:05}|2020-01-01|payload\n", i % 999, i % 333).into_bytes())
+        .flat_map(|i| {
+            format!(
+                "{i}|C{:07}|name{:05}|2020-01-01|payload\n",
+                i % 999,
+                i % 333
+            )
+            .into_bytes()
+        })
         .collect();
     let compressed = etlv_cloudstore::compress(&staged);
     let mut group = c.benchmark_group("lzss");
     group.throughput(Throughput::Bytes(staged.len() as u64));
-    group.bench_function("compress", |b| b.iter(|| etlv_cloudstore::compress(&staged)));
+    group.bench_function("compress", |b| {
+        b.iter(|| etlv_cloudstore::compress(&staged))
+    });
     group.bench_function("decompress", |b| {
         b.iter(|| etlv_cloudstore::decompress(&compressed).unwrap())
     });

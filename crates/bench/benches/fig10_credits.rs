@@ -43,7 +43,10 @@ fn print_figure() {
     println!("\n=== Figure 10: acquisition rate vs credit pool size (50-col table, per-chunk converters) ===");
     let workload = wide_workload(ROWS, 50, 12, 7);
     let bytes = workload.data.len() as u64;
-    println!("{:>9} {:>12} {:>10} {:>14}", "credits", "acq-time", "MB/s", "credit stalls");
+    println!(
+        "{:>9} {:>12} {:>10} {:>14}",
+        "credits", "acq-time", "MB/s", "credit stalls"
+    );
     for credits in CREDITS {
         let mut best = f64::INFINITY;
         let mut stalls = 0u64;

@@ -104,20 +104,38 @@ fn bench(c: &mut Criterion) {
     let clean = workload_for(0.0);
     let dirty = workload_for(0.05);
     group.bench_with_input(BenchmarkId::new("adaptive", "0pct"), &clean, |b, w| {
-        b.iter(|| run_import(config_for(ApplyStrategy::BulkAdaptive), LATENCY, w, options()))
-    });
-    group.bench_with_input(BenchmarkId::new("adaptive_capped", "5pct"), &dirty, |b, w| {
         b.iter(|| {
             run_import(
-                config_with_cap(ApplyStrategy::BulkAdaptive, 40),
+                config_for(ApplyStrategy::BulkAdaptive),
                 LATENCY,
                 w,
                 options(),
             )
         })
     });
+    group.bench_with_input(
+        BenchmarkId::new("adaptive_capped", "5pct"),
+        &dirty,
+        |b, w| {
+            b.iter(|| {
+                run_import(
+                    config_with_cap(ApplyStrategy::BulkAdaptive, 40),
+                    LATENCY,
+                    w,
+                    options(),
+                )
+            })
+        },
+    );
     group.bench_with_input(BenchmarkId::new("adaptive", "5pct"), &dirty, |b, w| {
-        b.iter(|| run_import(config_for(ApplyStrategy::BulkAdaptive), LATENCY, w, options()))
+        b.iter(|| {
+            run_import(
+                config_for(ApplyStrategy::BulkAdaptive),
+                LATENCY,
+                w,
+                options(),
+            )
+        })
     });
     group.bench_with_input(BenchmarkId::new("singleton", "0pct"), &clean, |b, w| {
         b.iter(|| run_import(config_for(ApplyStrategy::Singleton), LATENCY, w, options()))

@@ -89,14 +89,7 @@ fn bench(c: &mut Criterion) {
         });
         group.throughput(criterion::Throughput::Bytes(workload.data.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &workload, |b, w| {
-            b.iter(|| {
-                run_import(
-                    VirtualizerConfig::default(),
-                    Duration::ZERO,
-                    w,
-                    options(),
-                )
-            })
+            b.iter(|| run_import(VirtualizerConfig::default(), Duration::ZERO, w, options()))
         });
     }
     group.finish();

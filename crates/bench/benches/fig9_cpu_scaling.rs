@@ -51,7 +51,10 @@ fn acquisition_secs(workers: usize, workload: &etlv_core::workload::Workload) ->
 
 fn print_figure() {
     println!("\n=== Figure 9: acquisition scalability with converter workers ===");
-    println!("host parallelism: {:?}", std::thread::available_parallelism());
+    println!(
+        "host parallelism: {:?}",
+        std::thread::available_parallelism()
+    );
     let workload = customer_workload(&CustomerSpec {
         rows: ROWS,
         row_bytes: 500,
@@ -66,7 +69,9 @@ fn print_figure() {
     let mut baseline = None;
     for workers in WORKERS {
         // Median of 3 runs to stabilize wall clock.
-        let mut runs: Vec<f64> = (0..3).map(|_| acquisition_secs(workers, &workload)).collect();
+        let mut runs: Vec<f64> = (0..3)
+            .map(|_| acquisition_secs(workers, &workload))
+            .collect();
         runs.sort_by(f64::total_cmp);
         let t = runs[1];
         let ts = *baseline.get_or_insert(t);

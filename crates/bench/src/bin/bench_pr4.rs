@@ -272,7 +272,12 @@ fn main() {
             "    {{\"workload\": \"{}\", \"rows\": {}, \"bytes\": {}, \"chunks\": {}, \
              \"plain_rows_per_s\": {:.0}, \"traced_rows_per_s\": {:.0}, \
              \"overhead_pct\": {:.3}}}",
-            k.name, k.rows, k.bytes, k.chunks, k.plain_rows_per_s, k.traced_rows_per_s,
+            k.name,
+            k.rows,
+            k.bytes,
+            k.chunks,
+            k.plain_rows_per_s,
+            k.traced_rows_per_s,
             k.overhead_pct
         ));
         json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });

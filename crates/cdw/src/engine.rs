@@ -9,8 +9,8 @@ use parking_lot::Mutex;
 
 use crate::catalog::Catalog;
 use crate::error::CdwError;
-use crate::exec::{execute, ExecCtx};
 pub use crate::exec::QueryResult;
+use crate::exec::{execute, ExecCtx};
 
 /// Fault-injection hook consulted before each statement. Returning `true`
 /// makes the statement fail with [`CdwError::Transient`] *before* any
@@ -356,9 +356,7 @@ mod tests {
         // The middle row has a bad date: the whole INSERT..SELECT aborts and
         // the target stays empty — and the error does NOT say which row.
         let err = cdw
-            .execute(
-                "INSERT INTO PROD.CUSTOMER SELECT ID, NAME, TO_DATE(D, 'YYYY-MM-DD') FROM STG",
-            )
+            .execute("INSERT INTO PROD.CUSTOMER SELECT ID, NAME, TO_DATE(D, 'YYYY-MM-DD') FROM STG")
             .unwrap_err();
         assert!(err.is_bulk_abort(), "{err}");
         assert!(!format!("{err}").contains("row"), "no row identity: {err}");
@@ -383,7 +381,8 @@ mod tests {
             },
             None,
         );
-        cdw.execute("CREATE TABLE T (A INTEGER, PRIMARY KEY (A))").unwrap();
+        cdw.execute("CREATE TABLE T (A INTEGER, PRIMARY KEY (A))")
+            .unwrap();
         cdw.execute("INSERT INTO T VALUES (1)").unwrap();
         let err = cdw.execute("INSERT INTO T VALUES (1)").unwrap_err();
         assert!(err.is_uniqueness());
@@ -420,7 +419,9 @@ mod tests {
             .execute("SELECT CUST_NAME FROM PROD.CUSTOMER ORDER BY CUST_ID")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Str("A".into()));
-        let r = cdw.execute("DELETE FROM PROD.CUSTOMER WHERE CUST_ID = '2'").unwrap();
+        let r = cdw
+            .execute("DELETE FROM PROD.CUSTOMER WHERE CUST_ID = '2'")
+            .unwrap();
         assert_eq!(r.affected, 1);
         assert_eq!(cdw.table_len("PROD.CUSTOMER").unwrap(), 1);
     }
@@ -461,7 +462,9 @@ mod tests {
     fn global_aggregate_on_empty_table() {
         let cdw = Cdw::new();
         cdw.execute("CREATE TABLE T (A INTEGER)").unwrap();
-        let r = cdw.execute("SELECT COUNT(*), SUM(A), AVG(A) FROM T").unwrap();
+        let r = cdw
+            .execute("SELECT COUNT(*), SUM(A), AVG(A) FROM T")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::Int(0));
         assert_eq!(r.rows[0][1], Value::Null);
@@ -479,10 +482,7 @@ mod tests {
         let r = cdw
             .execute("SELECT DISTINCT A FROM T ORDER BY A DESC LIMIT 2")
             .unwrap();
-        assert_eq!(
-            r.rows,
-            vec![vec![Value::Int(3)], vec![Value::Int(2)]]
-        );
+        assert_eq!(r.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
     }
 
     #[test]
@@ -497,7 +497,11 @@ mod tests {
                         Value::Str("ann".into()),
                         Value::Str("2012-01-01".into()),
                     ],
-                    vec![Value::Str("2".into()), Value::Str("bob".into()), Value::Null],
+                    vec![
+                        Value::Str("2".into()),
+                        Value::Str("bob".into()),
+                        Value::Null,
+                    ],
                 ],
             )
             .unwrap();
@@ -539,7 +543,8 @@ mod tests {
             },
             None,
         );
-        cdw.execute("CREATE TABLE T (A INTEGER, PRIMARY KEY (A))").unwrap();
+        cdw.execute("CREATE TABLE T (A INTEGER, PRIMARY KEY (A))")
+            .unwrap();
         cdw.copy_batch("T", vec![vec![Value::Int(1)]]).unwrap();
         // Duplicate against existing rows and within the batch both abort.
         let err = cdw.copy_batch("T", vec![vec![Value::Int(1)]]).unwrap_err();
@@ -599,9 +604,7 @@ mod tests {
         )
         .unwrap();
         let r = cdw
-            .execute(
-                "SELECT G FROM (SELECT G, SUM(V) AS S FROM T GROUP BY G HAVING SUM(V) > 10) q",
-            )
+            .execute("SELECT G FROM (SELECT G, SUM(V) AS S FROM T GROUP BY G HAVING SUM(V) > 10) q")
             .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
     }
@@ -611,7 +614,8 @@ mod tests {
         // The adaptive error handler's access pattern: range scans over a
         // sequence column.
         let cdw = Cdw::new();
-        cdw.execute("CREATE TABLE STG (SEQ BIGINT, V VARCHAR(10))").unwrap();
+        cdw.execute("CREATE TABLE STG (SEQ BIGINT, V VARCHAR(10))")
+            .unwrap();
         for i in 0..10 {
             cdw.execute(&format!("INSERT INTO STG VALUES ({i}, 'v{i}')"))
                 .unwrap();

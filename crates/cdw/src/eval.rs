@@ -195,12 +195,7 @@ fn negate(v: Value) -> Result<Value, CdwError> {
     })
 }
 
-fn eval_binary(
-    left: &Expr,
-    op: BinaryOp,
-    right: &Expr,
-    env: &dyn Env,
-) -> Result<Value, CdwError> {
+fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, env: &dyn Env) -> Result<Value, CdwError> {
     // AND/OR need lazy-ish three-valued handling.
     if matches!(op, BinaryOp::And | BinaryOp::Or) {
         let l = eval(left, env)?;
@@ -325,7 +320,11 @@ fn arith(l: Value, op: BinaryOp, r: Value) -> Result<Value, CdwError> {
                 if bf == 0.0 {
                     return Err(conv_err("division by zero"));
                 }
-                Value::Float(if op == BinaryOp::Div { af / bf } else { af % bf })
+                Value::Float(if op == BinaryOp::Div {
+                    af / bf
+                } else {
+                    af % bf
+                })
             }
             _ => unreachable!(),
         }
@@ -383,9 +382,7 @@ impl Num {
         match self {
             Num::Int(v) => Ok(Decimal::from_i64(v)),
             Num::Dec(d) => Ok(d),
-            Num::Float(f) => {
-                Decimal::parse(&format!("{f}")).map_err(|e| conv_err(e.to_string()))
-            }
+            Num::Float(f) => Decimal::parse(&format!("{f}")).map_err(|e| conv_err(e.to_string())),
         }
     }
 }
@@ -545,7 +542,8 @@ fn eval_function(name: &str, args: &[Expr], env: &dyn Env) -> Result<Value, CdwE
             }
             let s = v.display_text();
             let chars: Vec<char> = s.chars().collect();
-            let Value::Int(start) = start.coerce_to(etlv_protocol::data::LegacyType::BigInt)
+            let Value::Int(start) = start
+                .coerce_to(etlv_protocol::data::LegacyType::BigInt)
                 .map_err(|e| conv_err(e.reason))?
             else {
                 unreachable!()
@@ -612,12 +610,8 @@ fn eval_function(name: &str, args: &[Expr], env: &dyn Env) -> Result<Value, CdwE
                 Value::Null => Value::Null,
                 Value::Int(x) => Value::Int(x.abs()),
                 Value::Float(f) => Value::Float(f.abs()),
-                Value::Decimal(d) => {
-                    Value::Decimal(Decimal::new(d.unscaled().abs(), d.scale()))
-                }
-                other => {
-                    return Err(conv_err(format!("ABS of {}", other.type_name())))
-                }
+                Value::Decimal(d) => Value::Decimal(Decimal::new(d.unscaled().abs(), d.scale())),
+                other => return Err(conv_err(format!("ABS of {}", other.type_name()))),
             })
         }
         "TO_DATE" => {

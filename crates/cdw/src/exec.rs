@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use etlv_cloudstore::store::{parse_url, ObjectStore};
 use etlv_cloudstore::compress;
+use etlv_cloudstore::store::{parse_url, ObjectStore};
 use etlv_protocol::data::Value;
 use etlv_sql::ast::*;
 use etlv_sql::types::Charset;
@@ -331,12 +331,12 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
                     Some(vals) => RowKey(
                         unique_cols
                             .iter()
-                            .map(|&uc| {
-                                match assignment_idx.iter().rposition(|&ci| ci == uc) {
+                            .map(
+                                |&uc| match assignment_idx.iter().rposition(|&ci| ci == uc) {
                                     Some(p) => vals[p].clone(),
                                     None => row[uc].clone(),
-                                }
-                            })
+                                },
+                            )
                             .collect(),
                     ),
                     None => table.unique_key(row).expect("unique declared"),
@@ -500,7 +500,10 @@ fn exec_select(ctx: &mut ExecCtx<'_>, sel: &SelectStmt) -> Result<QueryResult, C
                         bindings: &relation.bindings,
                         row: &row,
                     };
-                    truthy(&eval(sel.selection.as_ref().expect("fast implies filter"), &env)?)
+                    truthy(&eval(
+                        sel.selection.as_ref().expect("fast implies filter"),
+                        &env,
+                    )?)
                 }
             },
             (None, Some(w)) => {
@@ -662,8 +665,11 @@ fn compile_range_filter(expr: &Expr, bindings: &[Binding]) -> Option<(usize, i64
                 high,
                 negated: false,
             } => {
-                let (Expr::Column(n), Expr::Literal(Literal::Integer(a)), Expr::Literal(Literal::Integer(b))) =
-                    (&**inner, &**low, &**high)
+                let (
+                    Expr::Column(n),
+                    Expr::Literal(Literal::Integer(a)),
+                    Expr::Literal(Literal::Integer(b)),
+                ) = (&**inner, &**low, &**high)
                 else {
                     return false;
                 };
@@ -1089,7 +1095,10 @@ enum AggState {
     Sum(Option<Value>),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, n: u64 },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
 }
 
 impl AggState {

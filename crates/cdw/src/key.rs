@@ -82,12 +82,8 @@ pub fn cmp_values(a: &Value, b: &Value) -> Ordering {
         (Bytes(x), Bytes(y)) => x.cmp(y),
         (Date(x), Date(y)) => x.cmp(y),
         (Timestamp(x), Timestamp(y)) => x.cmp(y),
-        (Date(x), Timestamp(y)) => {
-            etlv_protocol::data::Timestamp::from_date(*x).cmp(y)
-        }
-        (Timestamp(x), Date(y)) => {
-            x.cmp(&etlv_protocol::data::Timestamp::from_date(*y))
-        }
+        (Date(x), Timestamp(y)) => etlv_protocol::data::Timestamp::from_date(*x).cmp(y),
+        (Timestamp(x), Date(y)) => x.cmp(&etlv_protocol::data::Timestamp::from_date(*y)),
         // Mixed incomparable types: order by type rank for determinism.
         _ => type_rank(a).cmp(&type_rank(b)),
     }

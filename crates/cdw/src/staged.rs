@@ -9,7 +9,7 @@
 //! per row, and files may be LZSS-compressed as a whole.
 
 use etlv_protocol::data::Value;
-use etlv_protocol::vartext::{VartextFormat, VartextError};
+use etlv_protocol::vartext::{VartextError, VartextFormat};
 
 use crate::error::{BulkAbortKind, CdwError};
 
@@ -112,7 +112,14 @@ mod tests {
             &[Value::Int(1), Value::Null, Value::Str("a|b".into())],
             &mut buf,
         );
-        f.write_row(&[Value::Int(2), Value::Str(String::new()), Value::Str("c".into())], &mut buf);
+        f.write_row(
+            &[
+                Value::Int(2),
+                Value::Str(String::new()),
+                Value::Str("c".into()),
+            ],
+            &mut buf,
+        );
         let rows = f.parse(&buf, 3).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0], Value::Str("1".into())); // text fields come back as text

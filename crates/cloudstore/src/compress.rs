@@ -264,7 +264,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let input: Vec<u8> = (0..10_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();

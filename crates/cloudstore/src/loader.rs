@@ -6,8 +6,8 @@
 //! the normal mode, mirroring the paper's note that uploading a directory
 //! of files can beat uploading files one at a time.
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::compress;
 use crate::store::{ObjectStore, StoreError};
@@ -206,7 +206,10 @@ mod tests {
         std::fs::write(dir.join("part-001"), b"b").unwrap();
         let l = loader(false);
         let keys = l.upload_dir(&dir, "job7/").unwrap();
-        assert_eq!(keys, vec!["job7/part-000".to_string(), "job7/part-001".to_string()]);
+        assert_eq!(
+            keys,
+            vec!["job7/part-000".to_string(), "job7/part-001".to_string()]
+        );
         assert_eq!(l.fetch_part("job7/part-001").unwrap(), b"b");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -74,10 +74,7 @@ mod tests {
     fn duration_math() {
         let t = Throttle::shaped(Duration::from_millis(5), 1_000_000);
         // 1 MB at 1 MB/s = 1s + 5ms latency.
-        assert_eq!(
-            t.duration_for(1_000_000),
-            Duration::from_millis(1005)
-        );
+        assert_eq!(t.duration_for(1_000_000), Duration::from_millis(1005));
         assert_eq!(t.duration_for(0), Duration::from_millis(5));
     }
 

@@ -172,7 +172,19 @@ pub fn apply_adaptive(
     let mut outcome = AdaptiveOutcome::default();
     let mut cache = StagingCache { rows: None };
     recurse(
-        cdw, compiled, emulation, layout, lo, hi, 0, params, &mut outcome, lo, hi, &mut cache, obs,
+        cdw,
+        compiled,
+        emulation,
+        layout,
+        lo,
+        hi,
+        0,
+        params,
+        &mut outcome,
+        lo,
+        hi,
+        &mut cache,
+        obs,
     )?;
     Ok(outcome)
 }
@@ -246,12 +258,34 @@ fn recurse(
             }
             let mid = lo + (hi - lo) / 2;
             recurse(
-                cdw, compiled, emulation, layout, lo, mid, depth + 1, params, outcome, job_lo,
-                job_hi, cache, obs,
+                cdw,
+                compiled,
+                emulation,
+                layout,
+                lo,
+                mid,
+                depth + 1,
+                params,
+                outcome,
+                job_lo,
+                job_hi,
+                cache,
+                obs,
             )?;
             recurse(
-                cdw, compiled, emulation, layout, mid, hi, depth + 1, params, outcome, job_lo,
-                job_hi, cache, obs,
+                cdw,
+                compiled,
+                emulation,
+                layout,
+                mid,
+                hi,
+                depth + 1,
+                params,
+                outcome,
+                job_lo,
+                job_hi,
+                cache,
+                obs,
             )
         }
         // Structural failures (missing tables, SQL errors) abort the job.
@@ -285,9 +319,12 @@ fn try_apply_range(
     }
     outcome.statements += 1;
     let stmt = compiled.range_stmt(Some(lo), Some(hi));
-    retry_cdw(params.retry, seed ^ 1, &mut outcome.transient_retries, || {
-        cdw.execute_stmt(&stmt)
-    })
+    retry_cdw(
+        params.retry,
+        seed ^ 1,
+        &mut outcome.transient_retries,
+        || cdw.execute_stmt(&stmt),
+    )
     .map(|r| r.affected)
 }
 
@@ -342,11 +379,7 @@ fn record_singleton(
 
 /// Find which layout field a failing tuple's conversion error comes from
 /// by evaluating each projection expression with the tuple's values bound.
-pub fn attribute_field(
-    compiled: &CompiledDml,
-    layout: &Layout,
-    tuple: &[Value],
-) -> Option<String> {
+pub fn attribute_field(compiled: &CompiledDml, layout: &Layout, tuple: &[Value]) -> Option<String> {
     let Stmt::Insert(Insert {
         source: InsertSource::Values(rows),
         ..
@@ -535,7 +568,11 @@ mod tests {
         assert!(singles.contains(&(2, ErrCode::DML_CONVERSION)));
         assert!(singles.contains(&(3, ErrCode::DML_CONVERSION)));
         assert!(singles.contains(&(4, ErrCode::UNIQUENESS)));
-        let uv: Vec<_> = outcome.errors.iter().filter(|e| e.uv_tuple.is_some()).collect();
+        let uv: Vec<_> = outcome
+            .errors
+            .iter()
+            .filter(|e| e.uv_tuple.is_some())
+            .collect();
         assert_eq!(uv.len(), 1);
         assert_eq!(
             uv[0].uv_tuple.as_ref().unwrap()[1],
@@ -570,7 +607,9 @@ mod tests {
         assert_eq!(outcome.errors[0].rows, ErrorRows::Single(2));
         assert_eq!(outcome.errors[0].field.as_deref(), Some("JOIN_DATE"));
         assert!(
-            outcome.errors[0].message.contains("DATE conversion failed during DML on PROD.CUSTOMER, row number: 2"),
+            outcome.errors[0]
+                .message
+                .contains("DATE conversion failed during DML on PROD.CUSTOMER, row number: 2"),
             "{}",
             outcome.errors[0].message
         );

@@ -20,6 +20,22 @@ pub enum ConverterMode {
     PerChunk,
 }
 
+/// How pipeline worker threads relate to jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// One node-wide [`WorkerRuntime`](crate::pipeline::WorkerRuntime):
+    /// converter and writer threads are sized once from the config and
+    /// multiplex every concurrent job's chunk queues round-robin, so the
+    /// node's thread count is fixed regardless of job concurrency.
+    #[default]
+    Shared,
+    /// The original design: every `BeginLoad` spawns its own converter and
+    /// writer threads and joins them at `EndLoad`. Thread count grows with
+    /// concurrent jobs — kept as the baseline the shared runtime is
+    /// benchmarked against.
+    PerJob,
+}
+
 /// All virtualizer tuning knobs.
 #[derive(Debug, Clone)]
 pub struct VirtualizerConfig {
@@ -112,6 +128,21 @@ pub struct VirtualizerConfig {
     /// persistent pool sizes itself to `min(credits, max_converter_threads)`
     /// instead; chunks beyond that simply queue on the bounded channel.
     pub max_converter_threads: usize,
+    /// How pipeline worker threads are provisioned across jobs.
+    pub runtime_mode: RuntimeMode,
+    /// Maximum concurrently connected sessions per node. A logon beyond
+    /// this limit is refused with retryable `SERVER_BUSY`. Must be ≥ 1.
+    pub max_sessions: usize,
+    /// Maximum concurrently running jobs (imports + exports) per node.
+    /// `BeginLoad`/`BeginExport` beyond this is refused with retryable
+    /// `SERVER_BUSY` — the legacy client backs off and retries. Must be
+    /// ≥ 1.
+    pub max_concurrent_jobs: usize,
+    /// Close a session when no frame (including `Keepalive`) arrives for
+    /// this long. `Duration::ZERO` (the default) disables idle timeout.
+    /// The session's in-flight jobs are aborted and their resources
+    /// released, exactly as on disconnect.
+    pub session_idle_timeout: Duration,
 }
 
 impl Default for VirtualizerConfig {
@@ -147,6 +178,10 @@ impl Default for VirtualizerConfig {
             sampler_capacity: 512,
             sampler_metrics: default_sampler_metrics(),
             max_converter_threads: (cores * 8).clamp(16, 256),
+            runtime_mode: RuntimeMode::Shared,
+            max_sessions: 256,
+            max_concurrent_jobs: 64,
+            session_idle_timeout: Duration::ZERO,
         }
     }
 }
@@ -164,6 +199,8 @@ pub fn default_sampler_metrics() -> Vec<String> {
         "memory.in_flight",
         "pipeline.upload_retries",
         "adaptive.transient_retries",
+        "gateway.active_sessions",
+        "gateway.active_jobs",
     ]
     .into_iter()
     .map(String::from)
@@ -202,6 +239,12 @@ impl VirtualizerConfig {
         }
         if self.max_converter_threads == 0 {
             return Err("max_converter_threads must be at least 1".into());
+        }
+        if self.max_sessions == 0 {
+            return Err("max_sessions must be at least 1".into());
+        }
+        if self.max_concurrent_jobs == 0 {
+            return Err("max_concurrent_jobs must be at least 1".into());
         }
         if self.report_history == 0 {
             return Err("report_history must be at least 1".into());
@@ -264,6 +307,16 @@ mod tests {
         assert!(c.validate().is_err());
         let c = VirtualizerConfig {
             report_history: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            max_sessions: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            max_concurrent_jobs: 0,
             ..Default::default()
         };
         assert!(c.validate().is_err());

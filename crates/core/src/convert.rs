@@ -251,9 +251,7 @@ impl DataConverter {
                 }
                 // A zero-length field is NULL (nothing emitted at all);
                 // anything else must be valid UTF-8.
-                if i != field_start
-                    && saw_high
-                    && std::str::from_utf8(&out[check_start..]).is_err()
+                if i != field_start && saw_high && std::str::from_utf8(&out[check_start..]).is_err()
                 {
                     return Err(VartextError::BadUtf8);
                 }
@@ -505,7 +503,9 @@ impl DataConverter {
                         }
                         Err(e) => {
                             return Err(ConvertFatal {
-                                message: format!("binary chunk framing broken at record {seq}: {e}"),
+                                message: format!(
+                                    "binary chunk framing broken at record {seq}: {e}"
+                                ),
                             })
                         }
                     }
@@ -631,7 +631,12 @@ mod tests {
                 Value::Decimal(Decimal::parse("3.50").unwrap()),
                 Value::Str("hi|there".into()),
             ],
-            vec![Value::Null, Value::Null, Value::Null, Value::Str(String::new())],
+            vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Str(String::new()),
+            ],
         ];
         let data = enc.encode_batch(&rows).unwrap();
         let conv = DataConverter::new(layout, RecordFormat::Binary, b'|');

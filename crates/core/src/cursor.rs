@@ -161,7 +161,8 @@ mod tests {
 
     fn cdw_with_rows(n: usize) -> Cdw {
         let cdw = Cdw::new();
-        cdw.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10))").unwrap();
+        cdw.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10))")
+            .unwrap();
         for i in 0..n {
             cdw.execute(&format!("INSERT INTO T VALUES ({i}, 'v{i}')"))
                 .unwrap();

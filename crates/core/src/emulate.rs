@@ -61,9 +61,7 @@ pub fn plan(cdw: &Cdw, compiled: &CompiledDml) -> Result<Option<UniqueEmulation>
     let mut key_exprs = Vec::with_capacity(unique_cols.len());
     for ucol in &unique_cols {
         let pos = match &compiled.insert_columns {
-            Some(cols) => cols
-                .iter()
-                .position(|c| c.eq_ignore_ascii_case(ucol)),
+            Some(cols) => cols.iter().position(|c| c.eq_ignore_ascii_case(ucol)),
             None => schema
                 .iter()
                 .position(|(name, _)| name.eq_ignore_ascii_case(ucol)),
@@ -312,7 +310,8 @@ mod tests {
             },
             None,
         );
-        cdw.execute("CREATE TABLE T (A VARCHAR(5), PRIMARY KEY (A))").unwrap();
+        cdw.execute("CREATE TABLE T (A VARCHAR(5), PRIMARY KEY (A))")
+            .unwrap();
         let layout = Layout::new("L").field("A", T::VarChar(5));
         let compiled = compile_dml("insert into T values (:A)", &layout, "STG").unwrap();
         assert!(plan(&cdw, &compiled).unwrap().is_none());
@@ -324,7 +323,13 @@ mod tests {
         let emu = plan(&cdw, &compiled).unwrap().unwrap();
         cdw.execute("INSERT INTO PROD.CUSTOMER VALUES ('123', 'Smith', NULL)")
             .unwrap();
-        stage(&cdw, &[(1, "123", "Jones", "2012-01-01"), (2, "456", "Ok", "2012-01-01")]);
+        stage(
+            &cdw,
+            &[
+                (1, "123", "Jones", "2012-01-01"),
+                (2, "456", "Ok", "2012-01-01"),
+            ],
+        );
         assert_eq!(emu.violations_in_range(&cdw, 1, 3).unwrap(), 1);
         assert_eq!(emu.violations_in_range(&cdw, 2, 3).unwrap(), 0);
         assert_eq!(emu.violations_in_range(&cdw, 1, 2).unwrap(), 1);
@@ -356,7 +361,10 @@ mod tests {
         let emu = plan(&cdw, &compiled).unwrap().unwrap();
         stage(
             &cdw,
-            &[(1, "  99", "a", "2012-01-01"), (2, "99  ", "b", "2012-01-01")],
+            &[
+                (1, "  99", "a", "2012-01-01"),
+                (2, "99  ", "b", "2012-01-01"),
+            ],
         );
         assert_eq!(emu.violations_in_range(&cdw, 1, 3).unwrap(), 1);
     }

@@ -21,24 +21,19 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use etlv_cdw::error::CdwError;
 use etlv_cdw::TransientFaultHook;
 use etlv_cloudstore::{StoreFault, StoreFaultHook, StoreOp};
+use etlv_protocol::backoff::splitmix64;
 use etlv_protocol::frame::MsgKind;
 use etlv_protocol::transport::{TransportFault, TransportFaultHook};
 
-/// SplitMix64 — the one-u64-in, one-u64-out mixer all fault decisions and
-/// jitter derive from. Stateless, so decisions depend only on (seed,
-/// point, op index), never on thread interleaving.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The retry schedule itself (policy + capped deterministic-jitter
+// backoff) moved down to `etlv-protocol::backoff` so the legacy client
+// can share it for `SERVER_BUSY` admission backoff; re-exported here so
+// existing `etlv_core::fault::{RetryPolicy, Backoff}` paths keep working.
+pub use etlv_protocol::backoff::{Backoff, RetryPolicy};
 
 /// When a fault fires at one injection point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,73 +313,6 @@ impl FaultInjector {
     }
 }
 
-/// Retry policy: how many times to retry a failed operation and how to
-/// space the attempts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Maximum retries per operation (0 = fail on first error). This is
-    /// the per-job budget each upload/statement draws from.
-    pub budget: u32,
-    /// First backoff delay.
-    pub base: Duration,
-    /// Backoff ceiling.
-    pub cap: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            budget: 4,
-            base: Duration::from_millis(2),
-            cap: Duration::from_millis(200),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A backoff schedule for one operation, jittered by `seed`.
-    pub fn backoff(&self, seed: u64) -> Backoff {
-        Backoff {
-            base: self.base,
-            cap: self.cap,
-            seed,
-            attempt: 0,
-            prev: Duration::ZERO,
-        }
-    }
-}
-
-/// Capped exponential backoff with deterministic jitter.
-///
-/// The schedule is monotone non-decreasing (each delay is at least the
-/// previous one) and never exceeds `cap`. Jitter adds up to 50% of the
-/// un-jittered delay, derived from `seed` and the attempt number — the
-/// same seed always produces the same schedule.
-#[derive(Debug, Clone)]
-pub struct Backoff {
-    base: Duration,
-    cap: Duration,
-    seed: u64,
-    attempt: u32,
-    prev: Duration,
-}
-
-impl Backoff {
-    /// The delay to sleep before the next attempt.
-    pub fn next_delay(&mut self) -> Duration {
-        let doubling = self.attempt.min(20);
-        let raw = self.base.saturating_mul(1u32 << doubling);
-        // 53-bit mantissa fraction in [0, 1).
-        let frac =
-            (splitmix64(self.seed ^ self.attempt as u64) >> 11) as f64 / (1u64 << 53) as f64;
-        let jittered = raw.saturating_add(raw.mul_f64(0.5 * frac));
-        let delay = jittered.min(self.cap).max(self.prev);
-        self.prev = delay;
-        self.attempt += 1;
-        delay
-    }
-}
-
 /// Run `op`, retrying failures `is_retryable` accepts up to
 /// `policy.budget` times with backoff. Increments `retries` once per
 /// retry performed; returns the final result either way.
@@ -426,43 +354,7 @@ pub fn retry_cdw<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn backoff_is_monotone_capped_and_deterministic() {
-        let policy = RetryPolicy {
-            budget: 10,
-            base: Duration::from_millis(1),
-            cap: Duration::from_millis(40),
-        };
-        let schedule: Vec<Duration> =
-            std::iter::repeat_with({
-                let mut b = policy.backoff(7);
-                move || b.next_delay()
-            })
-            .take(12)
-            .collect();
-        let again: Vec<Duration> =
-            std::iter::repeat_with({
-                let mut b = policy.backoff(7);
-                move || b.next_delay()
-            })
-            .take(12)
-            .collect();
-        assert_eq!(schedule, again, "same seed, same schedule");
-        for pair in schedule.windows(2) {
-            assert!(pair[1] >= pair[0], "monotone: {schedule:?}");
-        }
-        assert!(schedule.iter().all(|d| *d <= policy.cap), "{schedule:?}");
-        assert_eq!(*schedule.last().unwrap(), policy.cap, "reaches the cap");
-        let other: Vec<Duration> =
-            std::iter::repeat_with({
-                let mut b = policy.backoff(8);
-                move || b.next_delay()
-            })
-            .take(12)
-            .collect();
-        assert_ne!(schedule, other, "different seed, different jitter");
-    }
+    use std::time::Duration;
 
     #[test]
     fn first_n_and_at_ops_specs() {
@@ -515,14 +407,20 @@ mod tests {
         // Succeeds on the third attempt.
         let mut retries = 0u64;
         let mut failures_left = 2;
-        let result: Result<u32, &str> = retry_with(policy, 0, &mut retries, |_| true, || {
-            if failures_left > 0 {
-                failures_left -= 1;
-                Err("flaky")
-            } else {
-                Ok(99)
-            }
-        });
+        let result: Result<u32, &str> = retry_with(
+            policy,
+            0,
+            &mut retries,
+            |_| true,
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err("flaky")
+                } else {
+                    Ok(99)
+                }
+            },
+        );
         assert_eq!(result, Ok(99));
         assert_eq!(retries, 2);
 
@@ -545,17 +443,13 @@ mod tests {
     fn retry_cdw_passes_bulk_aborts_through() {
         use etlv_cdw::error::BulkAbortKind;
         let mut retries = 0u64;
-        let result: Result<(), CdwError> = retry_cdw(
-            RetryPolicy::default(),
-            0,
-            &mut retries,
-            || {
+        let result: Result<(), CdwError> =
+            retry_cdw(RetryPolicy::default(), 0, &mut retries, || {
                 Err(CdwError::BulkAbort {
                     kind: BulkAbortKind::Conversion,
                     message: "bad date".into(),
                 })
-            },
-        );
+            });
         assert!(result.unwrap_err().is_bulk_abort());
         assert_eq!(retries, 0, "per-tuple errors are not retried");
     }

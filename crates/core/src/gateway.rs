@@ -1,15 +1,19 @@
-//! The virtualizer node: listener, session state machine, and job
-//! orchestration (the paper's Alpha/Coalescer/PXC/Beta roles, §3).
+//! The virtualizer node: job orchestration (the paper's
+//! Alpha/Coalescer/PXC/Beta roles, §3).
 //!
 //! From the outside this is a legacy EDW server — same frames, same
 //! message flow, same error tables. Inside, every request is
 //! cross-compiled and executed on the CDW through the acquisition
 //! pipeline, COPY bulk loading, and the adaptive application phase.
+//!
+//! The per-connection message loop lives in [`crate::session`]; the TCP
+//! accept loop and server lifecycle ([`crate::server::ServerHandle`]) in
+//! [`crate::server`]. This module owns the node state and the request
+//! handlers they dispatch into.
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::TcpListener;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -17,23 +21,22 @@ use etlv_cdw::{Cdw, CdwConfig, ExecOp};
 use etlv_cloudstore::{
     BulkLoader, ChaosStore, LoaderConfig, MemStore, ObjectStore, ObservedStore, StoreOp,
 };
+use etlv_protocol::data::Value;
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::layout::Layout;
 use etlv_protocol::message::{
-    BeginExportOk, BeginLoad, ExportChunk, Message, RecordFormat, SessionRole, SqlResult,
-    StatsFormat, StatsReply, TraceReply, WireError,
+    BeginExportOk, BeginLoad, ExportChunk, Message, RecordFormat, SqlResult, WireError,
 };
-use etlv_protocol::trace::TraceContext;
 use etlv_protocol::record::encode_rows;
+use etlv_protocol::trace::TraceContext;
 use etlv_protocol::transport::Transport;
-use etlv_protocol::data::Value;
 use etlv_sql::types::SqlType;
 use etlv_sql::Dialect;
 use parking_lot::Mutex;
 
 use crate::adaptive::{AdaptiveParams, ErrorRows, RecordedError};
 use crate::apply::apply;
-use crate::config::VirtualizerConfig;
+use crate::config::{RuntimeMode, VirtualizerConfig};
 use crate::convert::DataConverter;
 use crate::credit::CreditManager;
 use crate::cursor::TdfCursor;
@@ -41,12 +44,13 @@ use crate::emulate;
 use crate::fault::{retry_cdw, FaultCounts, FaultInjector};
 use crate::memory::MemoryGauge;
 use crate::obs::{stats_json, stats_prometheus, JobObs, Obs, Sampler, SpanIds};
-use crate::pipeline::{Pipeline, PipelineReport, RawChunk};
+use crate::pipeline::{ChunkSink, Pipeline, PipelineReport, RawChunk, WorkerRuntime};
 use crate::report::{JobReport, NodeMetrics};
+use crate::session::SessionRegistry;
 use crate::trace::JobTrace;
 use crate::xcompile;
 
-struct ImportJobState {
+pub(crate) struct ImportJobState {
     spec: BeginLoad,
     staging_table: String,
     prefix: String,
@@ -62,40 +66,48 @@ struct ImportJobState {
     /// `ack.wait` span at job end so the hot path stays journal-free.
     ack_wait_micros: AtomicU64,
     pipeline: Mutex<Option<Pipeline>>,
-    sender: Mutex<Option<crossbeam::channel::Sender<RawChunk>>>,
+    sink: Mutex<Option<ChunkSink>>,
     rows_received: AtomicU64,
     oom: Mutex<Option<String>>,
     started: Instant,
 }
 
-struct ExportJobState {
+pub(crate) struct ExportJobState {
     cursor: TdfCursor,
     format: RecordFormat,
     layout: Layout,
 }
 
-enum Job {
+pub(crate) enum Job {
     Import(Arc<ImportJobState>),
     Export(Arc<ExportJobState>),
 }
 
-struct Node {
-    config: VirtualizerConfig,
-    cdw: Cdw,
-    store: Arc<dyn ObjectStore>,
-    injector: Option<Arc<FaultInjector>>,
-    credits: CreditManager,
-    memory: MemoryGauge,
-    obs: Arc<Obs>,
-    jobs: Mutex<HashMap<u64, Job>>,
-    next_token: AtomicU64,
-    next_session: AtomicU32,
-    metrics: Mutex<NodeMetrics>,
+pub(crate) struct Node {
+    pub(crate) config: VirtualizerConfig,
+    pub(crate) cdw: Cdw,
+    pub(crate) store: Arc<dyn ObjectStore>,
+    pub(crate) injector: Option<Arc<FaultInjector>>,
+    pub(crate) credits: CreditManager,
+    pub(crate) memory: MemoryGauge,
+    pub(crate) obs: Arc<Obs>,
+    pub(crate) jobs: Mutex<HashMap<u64, Job>>,
+    pub(crate) next_token: AtomicU64,
+    pub(crate) next_session: AtomicU32,
+    pub(crate) metrics: Mutex<NodeMetrics>,
     /// Ring of the most recent completed load reports, newest last
     /// (capacity `config.report_history`).
-    reports: Mutex<VecDeque<JobReport>>,
+    pub(crate) reports: Mutex<VecDeque<JobReport>>,
     /// Background time-series sampler (`config.sampler_tick > 0` only).
-    sampler: Option<Sampler>,
+    pub(crate) sampler: Option<Sampler>,
+    /// The node-wide worker runtime (`RuntimeMode::Shared`); `None` in
+    /// per-job-spawn mode, where every `BeginLoad` starts its own.
+    pub(crate) runtime: Option<WorkerRuntime>,
+    /// Active-session table (logon admission + per-session owned jobs).
+    pub(crate) registry: SessionRegistry,
+    /// Set by `ServerHandle::drain`: refuse new logons and new jobs,
+    /// finish what's in flight.
+    pub(crate) draining: AtomicBool,
 }
 
 impl Drop for Node {
@@ -113,7 +125,7 @@ impl Drop for Node {
 /// prescribes.
 #[derive(Clone)]
 pub struct Virtualizer {
-    node: Arc<Node>,
+    pub(crate) node: Arc<Node>,
 }
 
 impl Virtualizer {
@@ -161,8 +173,7 @@ impl Virtualizer {
             }
             None => store,
         };
-        let store: Arc<dyn ObjectStore> =
-            Arc::new(ObservedStore::new(store, store_observer(&obs)));
+        let store: Arc<dyn ObjectStore> = Arc::new(ObservedStore::new(store, store_observer(&obs)));
         Virtualizer::assemble(config, cdw, store, injector, obs)
     }
 
@@ -214,6 +225,15 @@ impl Virtualizer {
         } else {
             None
         };
+        let runtime = match config.runtime_mode {
+            RuntimeMode::Shared => Some(WorkerRuntime::start(
+                &config,
+                Arc::clone(&obs),
+                injector.clone(),
+            )),
+            RuntimeMode::PerJob => None,
+        };
+        let registry = SessionRegistry::new(config.max_sessions);
         Virtualizer {
             node: Arc::new(Node {
                 credits,
@@ -229,6 +249,9 @@ impl Virtualizer {
                 metrics: Mutex::new(NodeMetrics::default()),
                 reports: Mutex::new(VecDeque::new()),
                 sampler,
+                runtime,
+                registry,
+                draining: AtomicBool::new(false),
             }),
         }
     }
@@ -354,124 +377,40 @@ impl Virtualizer {
     }
 
     /// Serve one connection until logoff/disconnect (one thread per
-    /// connection).
-    pub fn serve(&self, mut transport: impl Transport) -> io::Result<()> {
-        let node = &self.node;
-        let mut session_id = 0u32;
-        let mut seq = 0u32;
-        let mut role = SessionRole::Control;
-        let mut job_token = 0u64;
-
-        while let Some(frame) = transport.recv()? {
-            let msg = match Message::from_frame(&frame) {
-                Ok(m) => m,
-                Err(e) => {
-                    let reply = error_msg(ErrCode::PROTOCOL, e.to_string(), true);
-                    transport.send(&reply.into_frame(session_id, seq))?;
-                    return Ok(());
-                }
-            };
-            seq = seq.wrapping_add(1);
-            let reply = match msg {
-                Message::Logon(logon) => {
-                    if logon.username.is_empty() || logon.password.is_empty() {
-                        error_msg(ErrCode::LOGON_FAILED, "missing credentials", true)
-                    } else {
-                        session_id = node.next_session.fetch_add(1, Ordering::Relaxed);
-                        role = logon.role;
-                        job_token = logon.job_token;
-                        node.obs.gateway.sessions_opened.inc();
-                        node.obs.journal.emit(
-                            "session.logon",
-                            job_token,
-                            session_id as u64,
-                            0,
-                            0,
-                            Duration::ZERO,
-                        );
-                        Message::LogonOk(etlv_protocol::message::LogonOk {
-                            session: session_id,
-                            banner: "etlv virtualizer 1.0 (legacy protocol)".into(),
-                        })
-                    }
-                }
-                Message::Sql { text } => self.handle_sql(&text),
-                Message::BeginLoad(spec) => self.handle_begin_load(spec),
-                Message::DataChunk(chunk) => {
-                    if role != SessionRole::Data {
-                        error_msg(ErrCode::PROTOCOL, "data chunk on a control session", true)
-                    } else {
-                        self.handle_data_chunk(job_token, chunk)
-                    }
-                }
-                Message::EndLoad(end) => self.handle_end_load(job_token, &end.dml),
-                Message::BeginExport(spec) => self.handle_begin_export(spec),
-                Message::ExportChunkReq { index } => self.handle_export_req(job_token, index),
-                Message::StatsReq { format } => {
-                    let body = match format {
-                        StatsFormat::Json => self.stats_snapshot(),
-                        StatsFormat::Prometheus => self.stats_prometheus(),
-                        StatsFormat::Series => self.sampler_json(),
-                    };
-                    Message::StatsReply(StatsReply { format, body })
-                }
-                Message::TraceReq { job } => {
-                    let body = self.trace_json(job);
-                    Message::TraceReply(TraceReply {
-                        job,
-                        found: body.is_some(),
-                        body: body.unwrap_or_default(),
-                    })
-                }
-                Message::Logoff => {
-                    transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
-                    return Ok(());
-                }
-                Message::Keepalive => Message::Keepalive,
-                other => error_msg(
-                    ErrCode::PROTOCOL,
-                    format!("unexpected message {:?}", other.kind()),
-                    true,
-                ),
-            };
-            match &reply {
-                Message::BeginLoadOk { load_token } => job_token = *load_token,
-                Message::BeginExportOk(ok) => job_token = ok.export_token,
-                _ => {}
-            }
-            let fatal = matches!(&reply, Message::Error(e) if e.fatal);
-            transport.send(&reply.into_frame(session_id, seq))?;
-            if fatal {
-                return Ok(());
-            }
-        }
-        Ok(())
+    /// connection). Registers a session on logon and tears it down —
+    /// aborting any jobs it still owns — when the connection ends for any
+    /// reason. The full loop lives in [`crate::session::serve_session`].
+    pub fn serve(&self, transport: impl Transport) -> io::Result<()> {
+        crate::session::serve_session(self, transport, None)
     }
 
-    /// TCP accept loop (one thread per connection); returns the bound
-    /// address.
-    pub fn listen_tcp(&self, addr: &str) -> io::Result<std::net::SocketAddr> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let this = self.clone();
-        std::thread::spawn(move || {
-            for stream in listener.incoming().flatten() {
-                let this = this.clone();
-                std::thread::spawn(move || {
-                    if let Ok(t) = etlv_protocol::transport::TcpTransport::new(stream) {
-                        let _ = this.serve(t);
-                    }
-                });
-            }
-        });
-        Ok(local)
+    /// Jobs currently registered (imports + exports).
+    pub fn active_jobs(&self) -> usize {
+        self.node.jobs.lock().len()
+    }
+
+    /// Sessions currently registered.
+    pub fn active_sessions(&self) -> usize {
+        self.node.registry.active()
+    }
+
+    /// Refuse new logons and new jobs from here on; in-flight jobs run to
+    /// completion. [`crate::server::ServerHandle::drain`] calls this and
+    /// then waits for `active_jobs()` to reach zero.
+    pub fn begin_drain(&self) {
+        self.node.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `begin_drain` has been called.
+    pub fn draining(&self) -> bool {
+        self.node.draining.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------- SQL
 
     /// Control-session SQL: cross-compile legacy text, execute on the CDW,
     /// convert results back to the legacy representation.
-    fn handle_sql(&self, text: &str) -> Message {
+    pub(crate) fn handle_sql(&self, text: &str) -> Message {
         let translated = match xcompile::translate_sql(text) {
             Ok(t) => t,
             Err(e) => return error_msg(ErrCode::SQL_ERROR, e.to_string(), false),
@@ -492,8 +431,26 @@ impl Virtualizer {
 
     // ------------------------------------------------------------ import
 
-    fn handle_begin_load(&self, spec: BeginLoad) -> Message {
+    pub(crate) fn handle_begin_load(&self, spec: BeginLoad) -> Message {
         let node = &self.node;
+        if node.draining.load(Ordering::Relaxed) {
+            return error_msg(ErrCode::SHUTTING_DOWN, "server is draining", false);
+        }
+        // Admission control: a node already running its configured job
+        // complement answers with retryable SERVER_BUSY instead of
+        // accepting unbounded concurrent pipelines. The legacy client
+        // backs off and re-issues BeginLoad.
+        if node.jobs.lock().len() >= node.config.max_concurrent_jobs {
+            node.obs.gateway.admission_rejections.inc();
+            return error_msg(
+                ErrCode::SERVER_BUSY,
+                format!(
+                    "job limit reached ({} active), retry later",
+                    node.config.max_concurrent_jobs
+                ),
+                false,
+            );
+        }
         let token = node.next_token.fetch_add(1, Ordering::Relaxed);
         let staging_table = xcompile::staging_table_name(token);
         let prefix = xcompile::staging_prefix(token);
@@ -527,17 +484,27 @@ impl Virtualizer {
                 throttle: node.config.upload_throttle,
             },
         ));
-        let pipeline = Pipeline::spawn(
-            &node.config,
-            converter,
-            loader,
-            prefix.clone(),
-            node.injector.clone(),
-            Arc::clone(&node.obs),
-            token,
-            ids,
-        );
-        let sender = pipeline.sender();
+        let pipeline = match &node.runtime {
+            Some(runtime) => runtime.begin_job(
+                converter,
+                loader,
+                prefix.clone(),
+                token,
+                ids,
+                node.config.drain_timeout,
+            ),
+            None => Pipeline::spawn(
+                &node.config,
+                converter,
+                loader,
+                prefix.clone(),
+                node.injector.clone(),
+                Arc::clone(&node.obs),
+                token,
+                ids,
+            ),
+        };
+        let sink = pipeline.sink();
         node.obs.gateway.jobs_started.inc();
         node.obs.journal.emit_span(
             "job.begin",
@@ -549,7 +516,8 @@ impl Virtualizer {
             Duration::ZERO,
         );
 
-        node.jobs.lock().insert(
+        let mut jobs = node.jobs.lock();
+        jobs.insert(
             token,
             Job::Import(Arc::new(ImportJobState {
                 spec,
@@ -559,12 +527,13 @@ impl Virtualizer {
                 ids,
                 ack_wait_micros: AtomicU64::new(0),
                 pipeline: Mutex::new(Some(pipeline)),
-                sender: Mutex::new(Some(sender)),
+                sink: Mutex::new(Some(sink)),
                 rows_received: AtomicU64::new(0),
                 oom: Mutex::new(None),
                 started: Instant::now(),
             })),
         );
+        node.obs.gateway.active_jobs.set(jobs.len() as u64);
         Message::BeginLoadOk { load_token: token }
     }
 
@@ -618,7 +587,7 @@ impl Virtualizer {
     /// memory, push the raw chunk to the converters, ack immediately. No
     /// parsing happens on this thread beyond the header fields — the
     /// paper's "lazy parsing of data messages".
-    fn handle_data_chunk(
+    pub(crate) fn handle_data_chunk(
         &self,
         token: u64,
         chunk: etlv_protocol::message::DataChunk,
@@ -651,29 +620,20 @@ impl Virtualizer {
                 return error_msg(ErrCode::OUT_OF_MEMORY, e.to_string(), true);
             }
         };
-        let sender = match job.sender.lock().as_ref() {
+        let sink = match job.sink.lock().as_ref() {
             Some(s) => s.clone(),
-            None => {
-                return error_msg(
-                    ErrCode::PROTOCOL,
-                    "data chunk after the load ended",
-                    true,
-                )
-            }
+            None => return error_msg(ErrCode::PROTOCOL, "data chunk after the load ended", true),
         };
         let chunk_seq = chunk.chunk_seq;
         job.rows_received
             .fetch_add(chunk.record_count as u64, Ordering::Relaxed);
-        if sender
-            .send(RawChunk {
-                base_seq: chunk.base_seq,
-                data: chunk.data,
-                credit,
-                memory,
-                enqueued: handle_started,
-            })
-            .is_err()
-        {
+        if !sink.push(RawChunk {
+            base_seq: chunk.base_seq,
+            data: chunk.data,
+            credit,
+            memory,
+            enqueued: handle_started,
+        }) {
             return error_msg(ErrCode::INTERNAL, "acquisition pipeline closed", true);
         }
         let obs = &self.node.obs.gateway;
@@ -688,11 +648,14 @@ impl Virtualizer {
         Message::Ack { chunk_seq }
     }
 
-    fn handle_end_load(&self, token: u64, dml: &str) -> Message {
+    pub(crate) fn handle_end_load(&self, token: u64, dml: &str) -> Message {
         let job = {
             let mut jobs = self.node.jobs.lock();
             match jobs.remove(&token) {
-                Some(Job::Import(j)) => j,
+                Some(Job::Import(j)) => {
+                    self.node.obs.gateway.active_jobs.set(jobs.len() as u64);
+                    j
+                }
                 _ => {
                     return error_msg(
                         ErrCode::PROTOCOL,
@@ -761,7 +724,7 @@ impl Virtualizer {
             .lock()
             .take()
             .ok_or((ErrCode::PROTOCOL, "load already ended".to_string()))?;
-        drop(job.sender.lock().take());
+        drop(job.sink.lock().take());
         let pipe_report: PipelineReport = pipeline.finish();
         if let Some(oom) = job.oom.lock().clone() {
             return Err((ErrCode::OUT_OF_MEMORY, oom));
@@ -813,8 +776,8 @@ impl Virtualizer {
         let application_started = Instant::now();
         let compiled = xcompile::compile_dml(dml, &job.spec.layout, &job.staging_table)
             .map_err(|e| (ErrCode::SQL_ERROR, e.to_string()))?;
-        let emulation = emulate::plan(&node.cdw, &compiled)
-            .map_err(|e| (ErrCode::SQL_ERROR, e.to_string()))?;
+        let emulation =
+            emulate::plan(&node.cdw, &compiled).map_err(|e| (ErrCode::SQL_ERROR, e.to_string()))?;
         let rows_received = job.rows_received.load(Ordering::Relaxed);
         let params = AdaptiveParams {
             max_errors: effective_max_errors(node.config.max_errors, job.spec.error_limit),
@@ -881,9 +844,8 @@ impl Virtualizer {
             .iter()
             .filter(|e| e.code == ErrCode::UNIQUENESS)
             .count() as u64;
-        let errors_et = pipe_report.acq_errors.len() as u64
-            + outcome.errors.len() as u64
-            - errors_uv;
+        let errors_et =
+            pipe_report.acq_errors.len() as u64 + outcome.errors.len() as u64 - errors_uv;
         Ok(JobReport {
             rows_received,
             rows_applied: outcome.applied,
@@ -901,6 +863,7 @@ impl Virtualizer {
                 .as_ref()
                 .map(|i| i.counts().total())
                 .unwrap_or(0),
+            aborted: false,
         })
     }
 
@@ -997,15 +960,101 @@ impl Virtualizer {
             .list(&self.node.config.staging_bucket, &job.prefix)
         {
             for key in keys {
-                let _ = self.node.store.delete(&self.node.config.staging_bucket, &key);
+                let _ = self
+                    .node
+                    .store
+                    .delete(&self.node.config.staging_bucket, &key);
             }
+        }
+    }
+
+    /// Abort one job its owning session abandoned (disconnect, idle
+    /// timeout, or shutdown) — the disconnect-safe half of the job
+    /// lifecycle. For an import: discard the pipeline's queued and
+    /// in-flight chunks (credits and memory release immediately), drop
+    /// the staging and error tables, delete staged objects, and record an
+    /// aborted [`JobReport`] so the loss is visible in `recent_job_reports`.
+    /// For an export: deregister the cursor. A `clean` close (explicit
+    /// logoff) silently retires exports — they have no end-of-job message,
+    /// so logoff *is* their normal completion — but an import still open
+    /// at logoff was abandoned mid-load and is aborted like a disconnect.
+    /// Unknown tokens (job already completed) are a no-op.
+    pub(crate) fn abort_job(&self, token: u64, clean: bool) {
+        let node = &self.node;
+        let job = {
+            let mut jobs = node.jobs.lock();
+            let job = jobs.remove(&token);
+            if job.is_some() {
+                node.obs.gateway.active_jobs.set(jobs.len() as u64);
+            }
+            job
+        };
+        match job {
+            Some(Job::Import(job)) => {
+                let pipeline = job.pipeline.lock().take();
+                drop(job.sink.lock().take());
+                if let Some(pipeline) = pipeline {
+                    let _ = pipeline.abort();
+                }
+                self.cleanup_job(&job);
+                let _ = node
+                    .cdw
+                    .execute(&format!("DROP TABLE IF EXISTS {}", job.spec.error_table_et));
+                let _ = node
+                    .cdw
+                    .execute(&format!("DROP TABLE IF EXISTS {}", job.spec.error_table_uv));
+                node.obs.gateway.jobs_aborted.inc();
+                node.metrics.lock().jobs_aborted += 1;
+                node.obs.journal.emit_span(
+                    "job.abort",
+                    job.ids,
+                    token,
+                    0,
+                    0,
+                    job.rows_received.load(Ordering::Relaxed),
+                    job.started.elapsed(),
+                );
+                let report = JobReport {
+                    rows_received: job.rows_received.load(Ordering::Relaxed),
+                    acquisition: job.started.elapsed(),
+                    aborted: true,
+                    ..JobReport::default()
+                };
+                let mut reports = node.reports.lock();
+                while reports.len() >= node.config.report_history {
+                    reports.pop_front();
+                }
+                reports.push_back(report);
+            }
+            Some(Job::Export(_)) if !clean => {
+                node.obs.gateway.jobs_aborted.inc();
+                node.metrics.lock().jobs_aborted += 1;
+                node.obs
+                    .journal
+                    .emit("job.abort", token, 0, 0, 0, Duration::ZERO);
+            }
+            Some(Job::Export(_)) | None => {}
         }
     }
 
     // ------------------------------------------------------------ export
 
-    fn handle_begin_export(&self, spec: etlv_protocol::message::BeginExport) -> Message {
+    pub(crate) fn handle_begin_export(&self, spec: etlv_protocol::message::BeginExport) -> Message {
         let node = &self.node;
+        if node.draining.load(Ordering::Relaxed) {
+            return error_msg(ErrCode::SHUTTING_DOWN, "server is draining", false);
+        }
+        if node.jobs.lock().len() >= node.config.max_concurrent_jobs {
+            node.obs.gateway.admission_rejections.inc();
+            return error_msg(
+                ErrCode::SERVER_BUSY,
+                format!(
+                    "job limit reached ({} active), retry later",
+                    node.config.max_concurrent_jobs
+                ),
+                false,
+            );
+        }
         let translated = match xcompile::translate_sql(&spec.select) {
             Ok(t) => t,
             Err(e) => return error_msg(ErrCode::SQL_ERROR, e.to_string(), true),
@@ -1033,14 +1082,18 @@ impl Virtualizer {
                 .collect(),
         };
         let token = node.next_token.fetch_add(1, Ordering::Relaxed);
-        node.jobs.lock().insert(
-            token,
-            Job::Export(Arc::new(ExportJobState {
-                cursor,
-                format: spec.format,
-                layout: layout.clone(),
-            })),
-        );
+        {
+            let mut jobs = node.jobs.lock();
+            jobs.insert(
+                token,
+                Job::Export(Arc::new(ExportJobState {
+                    cursor,
+                    format: spec.format,
+                    layout: layout.clone(),
+                })),
+            );
+            node.obs.gateway.active_jobs.set(jobs.len() as u64);
+        }
         node.metrics.lock().exports_completed += 1;
         Message::BeginExportOk(BeginExportOk {
             export_token: token,
@@ -1051,7 +1104,7 @@ impl Virtualizer {
     /// Serve one export chunk: pull the TDF packet from the cursor, unwrap
     /// it, and re-encode rows in the legacy wire format (the PXC's result
     /// conversion, §4).
-    fn handle_export_req(&self, token: u64, index: u64) -> Message {
+    pub(crate) fn handle_export_req(&self, token: u64, index: u64) -> Message {
         let job = {
             let jobs = self.node.jobs.lock();
             match jobs.get(&token) {
@@ -1158,7 +1211,7 @@ fn store_observer(obs: &Obs) -> etlv_cloudstore::StoreObserver {
     })
 }
 
-fn error_msg(code: ErrCode, message: impl Into<String>, fatal: bool) -> Message {
+pub(crate) fn error_msg(code: ErrCode, message: impl Into<String>, fatal: bool) -> Message {
     Message::Error(WireError {
         code: code.0,
         message: message.into(),

@@ -25,8 +25,12 @@
 //!
 //! Module map (paper section in parentheses):
 //!
-//! - [`gateway`]: the listener + per-session protocol state machine
+//! - [`gateway`]: node state + request handlers
 //!   (Alpha/Coalescer/PXC, §3).
+//! - [`session`]: per-connection serve loop, session registry, and
+//!   disconnect-safe teardown (DESIGN §11).
+//! - [`server`]: TCP accept loop and [`server::ServerHandle`] lifecycle —
+//!   `shutdown()` and graceful `drain()` (DESIGN §11).
 //! - [`xcompile`]: SQL cross-compilation, placeholder → staging-column
 //!   mapping, staging DDL, type mapping (§3, §6).
 //! - [`convert`]: DataConverter — binary/vartext → CDW staged text (§4).
@@ -64,13 +68,15 @@ pub mod obs;
 pub mod pipeline;
 pub mod pool;
 pub mod report;
+pub mod server;
+pub mod session;
 pub mod tdf;
 pub mod trace;
 pub mod workload;
 pub mod xcompile;
 
 pub use apply::ApplyStrategy;
-pub use config::{ConverterMode, VirtualizerConfig};
+pub use config::{ConverterMode, RuntimeMode, VirtualizerConfig};
 pub use credit::{Credit, CreditManager};
 pub use fault::{
     Backoff, FaultCounts, FaultInjector, FaultPlan, FaultSpec, InjectionPoint, RetryPolicy,
@@ -79,5 +85,7 @@ pub use fault::{
 pub use gateway::Virtualizer;
 pub use memory::{MemoryGauge, OutOfMemory};
 pub use obs::{Obs, RegistrySnapshot, SpanEvent, SpanIds};
+pub use pipeline::{ChunkSink, Pipeline, PipelineReport, RawChunk, WorkerRuntime};
 pub use report::{JobReport, NodeMetrics};
+pub use server::ServerHandle;
 pub use trace::{JobTrace, SpanNode, Stage};

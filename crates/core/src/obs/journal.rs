@@ -133,7 +133,10 @@ impl Journal {
     /// The most recent `n` events, oldest first.
     pub fn tail(&self, n: usize) -> Vec<SpanEvent> {
         let ring = self.inner.ring.lock();
-        ring.iter().skip(ring.len().saturating_sub(n)).copied().collect()
+        ring.iter()
+            .skip(ring.len().saturating_sub(n))
+            .copied()
+            .collect()
     }
 
     /// Events emitted over the journal's lifetime (including evicted ones).
@@ -227,7 +230,11 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("\"kind\": \"upload.part\""), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"kind\": \"upload.part\""),
+            "{}",
+            lines[0]
+        );
         assert!(lines[1].contains("\"dur_micros\": 900"), "{}", lines[1]);
         std::fs::remove_file(&path).ok();
     }

@@ -51,7 +51,9 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.shards[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+        self.shards[thread_shard()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Add 1.

@@ -159,6 +159,12 @@ impl SpanEvent {
 pub struct GatewayObs {
     /// Sessions that completed logon.
     pub sessions_opened: Counter,
+    /// Sessions closed (logoff, disconnect, or idle timeout).
+    pub sessions_closed: Counter,
+    /// Sessions currently registered (eagerly maintained gauge).
+    pub active_sessions: Gauge,
+    /// Jobs currently in the node's job table (eagerly maintained gauge).
+    pub active_jobs: Gauge,
     /// Data chunks accepted.
     pub chunks_received: Counter,
     /// Raw bytes accepted in data chunks.
@@ -169,8 +175,33 @@ pub struct GatewayObs {
     pub jobs_completed: Counter,
     /// Load jobs failed.
     pub jobs_failed: Counter,
+    /// Jobs aborted by session teardown (disconnect, idle timeout, or
+    /// server shutdown) rather than a client-visible failure.
+    pub jobs_aborted: Counter,
+    /// Logons or job admissions rejected with `SERVER_BUSY`.
+    pub admission_rejections: Counter,
     /// Chunk intake handling time (credit acquire + enqueue), µs.
     pub chunk_handle_us: Histogram,
+}
+
+/// TCP server lifecycle handles (`listen_tcp` accept loop).
+#[derive(Clone)]
+pub struct ServerObs {
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Accept-loop errors (previously `.flatten()`ed away silently).
+    pub accept_errors: Counter,
+}
+
+/// Shared job-worker runtime handles.
+#[derive(Clone)]
+pub struct RuntimeObs {
+    /// Worker threads (converters + writers) the runtime is sized to.
+    pub workers: Gauge,
+    /// Worker threads actually started over the runtime's lifetime.
+    pub threads_started: Counter,
+    /// Per-job chunk-queue depth observed at each enqueue.
+    pub queue_depth: Histogram,
 }
 
 /// Acquisition-pipeline handles: converter workers, writers, uploader.
@@ -306,6 +337,10 @@ pub struct Obs {
     pub journal: Journal,
     /// Gateway handles.
     pub gateway: GatewayObs,
+    /// TCP server lifecycle handles.
+    pub server: ServerObs,
+    /// Shared worker-runtime handles.
+    pub runtime: RuntimeObs,
     /// Pipeline handles.
     pub pipeline: PipelineObs,
     /// Object-store handles.
@@ -334,12 +369,26 @@ impl Obs {
         Obs {
             gateway: GatewayObs {
                 sessions_opened: r.counter("gateway.sessions_opened"),
+                sessions_closed: r.counter("gateway.sessions_closed"),
+                active_sessions: r.gauge("gateway.active_sessions"),
+                active_jobs: r.gauge("gateway.active_jobs"),
                 chunks_received: r.counter("gateway.chunks_received"),
                 chunk_bytes: r.counter("gateway.chunk_bytes"),
                 jobs_started: r.counter("gateway.jobs_started"),
                 jobs_completed: r.counter("gateway.jobs_completed"),
                 jobs_failed: r.counter("gateway.jobs_failed"),
+                jobs_aborted: r.counter("gateway.jobs_aborted"),
+                admission_rejections: r.counter("gateway.admission_rejections"),
                 chunk_handle_us: r.histogram("gateway.chunk_handle_us"),
+            },
+            server: ServerObs {
+                connections: r.counter("server.connections"),
+                accept_errors: r.counter("server.accept_errors"),
+            },
+            runtime: RuntimeObs {
+                workers: r.gauge("runtime.workers"),
+                threads_started: r.counter("runtime.threads_started"),
+                queue_depth: r.histogram("runtime.queue_depth"),
             },
             pipeline: PipelineObs {
                 convert_chunks: r.counter("pipeline.convert_chunks"),

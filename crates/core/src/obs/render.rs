@@ -12,6 +12,7 @@ fn push_node_fields(out: &mut String, node: &NodeMetrics, indent: &str) {
     out.push_str(&format!(
         "{indent}\"jobs_completed\": {},\n\
          {indent}\"jobs_failed\": {},\n\
+         {indent}\"jobs_aborted\": {},\n\
          {indent}\"exports_completed\": {},\n\
          {indent}\"rows_ingested\": {},\n\
          {indent}\"rows_exported\": {},\n\
@@ -21,6 +22,7 @@ fn push_node_fields(out: &mut String, node: &NodeMetrics, indent: &str) {
          {indent}\"peak_memory\": {}\n",
         node.jobs_completed,
         node.jobs_failed,
+        node.jobs_aborted,
         node.exports_completed,
         node.rows_ingested,
         node.rows_exported,
@@ -36,7 +38,8 @@ fn push_job(out: &mut String, job: &JobReport) {
         "{{\"rows_received\": {}, \"rows_applied\": {}, \"errors_et\": {}, \
          \"errors_uv\": {}, \"acquisition_micros\": {}, \"application_micros\": {}, \
          \"other_micros\": {}, \"files_staged\": {}, \"bytes_staged\": {}, \
-         \"upload_retries\": {}, \"cdw_retries\": {}, \"faults_injected\": {}}}",
+         \"upload_retries\": {}, \"cdw_retries\": {}, \"faults_injected\": {}, \
+         \"aborted\": {}}}",
         job.rows_received,
         job.rows_applied,
         job.errors_et,
@@ -49,6 +52,7 @@ fn push_job(out: &mut String, job: &JobReport) {
         job.upload_retries,
         job.cdw_retries,
         job.faults_injected,
+        job.aborted,
     ));
 }
 
@@ -144,9 +148,10 @@ pub fn stats_prometheus(
     journal_dropped: u64,
 ) -> String {
     let mut out = String::with_capacity(4096);
-    let node_samples: [(&str, u64); 9] = [
+    let node_samples: [(&str, u64); 10] = [
         ("node.jobs_completed", node.jobs_completed),
         ("node.jobs_failed", node.jobs_failed),
+        ("node.jobs_aborted", node.jobs_aborted),
         ("node.exports_completed", node.exports_completed),
         ("node.rows_ingested", node.rows_ingested),
         ("node.rows_exported", node.rows_exported),
@@ -221,6 +226,7 @@ mod tests {
     fn sample_node() -> NodeMetrics {
         NodeMetrics {
             jobs_completed: 2,
+            jobs_aborted: 1,
             rows_ingested: 480,
             credit_stalls: 5,
             credit_stall_time: Duration::from_micros(1500),
@@ -235,12 +241,15 @@ mod tests {
             rows_received: 240,
             upload_retries: 1,
             cdw_retries: 2,
+            aborted: true,
             ..Default::default()
         };
         let doc = stats_json(&sample_node(), &sample_snapshot(), &[job], 40, 30, 10);
         for needle in [
             "\"obs_enabled\"",
             "\"jobs_completed\": 2",
+            "\"jobs_aborted\": 1",
+            "\"aborted\": true",
             "\"credit_stalls\": 5",
             "\"credit_stall_micros\": 1500",
             "\"gateway.chunks_received\": 12",
@@ -260,6 +269,7 @@ mod tests {
         let text = stats_prometheus(&sample_node(), &sample_snapshot(), 40, 10);
         for needle in [
             "etlv_node_jobs_completed 2\n",
+            "etlv_node_jobs_aborted 1\n",
             "etlv_node_peak_memory 65536\n",
             "etlv_gateway_chunks_received 12\n",
             "etlv_credit_in_flight 3\n",
@@ -292,7 +302,9 @@ mod tests {
                 continue;
             }
             let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
-            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line}"));
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad value in {line}"));
             let name = series.split('{').next().unwrap();
             assert!(
                 name.chars()

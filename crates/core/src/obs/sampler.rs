@@ -106,17 +106,17 @@ impl Sampler {
                     let now = inner.epoch.elapsed().as_micros() as u64;
                     let mut series = inner.series.lock();
                     for s in series.iter_mut() {
-                        let (value, kind) =
-                            if let Some((_, v)) = snap.counters.iter().find(|(n, _)| *n == s.metric)
-                            {
-                                (Some(*v), SampleKind::Counter)
-                            } else if let Some((_, v)) =
-                                snap.gauges.iter().find(|(n, _)| *n == s.metric)
-                            {
-                                (Some(*v), SampleKind::Gauge)
-                            } else {
-                                (None, s.kind)
-                            };
+                        let (value, kind) = if let Some((_, v)) =
+                            snap.counters.iter().find(|(n, _)| *n == s.metric)
+                        {
+                            (Some(*v), SampleKind::Counter)
+                        } else if let Some((_, v)) =
+                            snap.gauges.iter().find(|(n, _)| *n == s.metric)
+                        {
+                            (Some(*v), SampleKind::Gauge)
+                        } else {
+                            (None, s.kind)
+                        };
                         if let Some(value) = value {
                             s.kind = kind;
                             if s.points.len() == inner.capacity {
@@ -240,7 +240,10 @@ mod tests {
         }
         sampler.stop();
         assert!(sampler.points_for("pipeline.convert_rows") >= 2);
-        assert!(sampler.points_for("pipeline.convert_rows") <= 4, "ring bounded");
+        assert!(
+            sampler.points_for("pipeline.convert_rows") <= 4,
+            "ring bounded"
+        );
         assert_eq!(sampler.points_for("no.such.metric"), 0);
 
         let json = sampler.series_json();

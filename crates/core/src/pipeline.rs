@@ -1,29 +1,39 @@
-//! The acquisition pipeline (paper §5, Figures 2/4).
+//! The acquisition pipeline (paper §5, Figures 2/4), multiplexed over a
+//! node-wide worker runtime.
 //!
 //! Stage 1 — the session handler (PXC) — receives a raw chunk, acquires a
-//! **credit**, reserves **memory**, pushes the chunk to stage 2, and acks
-//! the client immediately. Stage 2 — **DataConverter** workers — decode and
-//! convert chunks concurrently (a fixed pool, or one worker per in-flight
-//! chunk in [`ConverterMode::PerChunk`]). Stage 3 — **FileWriters** —
-//! serialize converted chunks into staging files, rotating at the size
-//! threshold and finalizing (compressing) full files; the credit is
-//! returned *just before the write*, exactly as Figure 4 shows. Stage 4 —
-//! the **uploader** — ships finalized files to the object store.
+//! **credit**, reserves **memory**, pushes the chunk onto its job's queue,
+//! and acks the client immediately. Stage 2 — **DataConverter** workers —
+//! decode and convert chunks. Stage 3 — **FileWriters** — append converted
+//! chunks to the job's staging buffer, rotating at the size threshold and
+//! uploading full parts; the credit is returned *just before the write*,
+//! exactly as Figure 4 shows.
+//!
+//! Unlike the original per-job design (a fresh set of converter/writer/
+//! uploader threads per `BeginLoad`), a [`WorkerRuntime`] is created once
+//! per node and shared by every concurrent job: `converter_workers()`
+//! converter threads and `file_writers` writer threads scan the registered
+//! jobs' queues round-robin, so N concurrent jobs still cost a fixed
+//! number of OS threads and no job can starve another of workers. A
+//! [`Pipeline`] is now the lightweight per-job handle onto that runtime:
+//! it registers the job at `BeginLoad`, collects its accounting, and
+//! deregisters at `finish()` (clean drain) or `abort()` (discard, used by
+//! session teardown when a client disconnects mid-load).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use etlv_cloudstore::BulkLoader;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::config::VirtualizerConfig;
 use crate::convert::{AcqError, ConvertScratch, DataConverter};
 use crate::credit::Credit;
-use crate::fault::{retry_with, FaultInjector};
+use crate::fault::{retry_with, FaultInjector, RetryPolicy};
 use crate::memory::MemGuard;
 use crate::obs::{Obs, SpanIds};
 use crate::pool::BufferPool;
@@ -58,7 +68,7 @@ pub struct PipelineReport {
     pub rows_staged: u64,
     /// Bytes written into staging files (pre-compression).
     pub bytes_staged: u64,
-    /// Staged files uploaded (object keys).
+    /// Staged files uploaded (object keys, part order).
     pub files: Vec<String>,
     /// Per-record acquisition errors (→ ET table).
     pub acq_errors: Vec<AcqError>,
@@ -66,25 +76,366 @@ pub struct PipelineReport {
     pub fatal: Vec<String>,
     /// Upload attempts retried after transient store failures.
     pub upload_retries: u64,
-    /// Converter worker threads spawned over the pipeline's lifetime —
-    /// with the persistent pool this equals the configured worker count,
-    /// never the chunk count.
+    /// Converter worker threads serving the job — with the shared runtime
+    /// this is the node's fixed pool size, never the chunk or job count.
     pub converter_workers: usize,
 }
 
-/// A running acquisition pipeline for one job.
+/// Per-job state registered with the runtime. Queue fields are only ever
+/// touched under the runtime's state lock (see [`RtShared::state`]);
+/// accounting fields are atomics or their own locks.
+struct JobRt {
+    job: u64,
+    ids: SpanIds,
+    converter: DataConverter,
+    loader: Arc<BulkLoader>,
+    prefix: String,
+    chunks: Mutex<VecDeque<RawChunk>>,
+    converted: Mutex<VecDeque<Converted>>,
+    /// Chunks accepted via the sink.
+    queued: AtomicU64,
+    /// Chunks fully processed: staged, failed, or discarded.
+    retired: AtomicU64,
+    /// No further chunks will be accepted.
+    closed: AtomicBool,
+    /// Discard instead of staging (session teardown).
+    aborted: AtomicBool,
+    done_lock: Mutex<()>,
+    done: Condvar,
+    /// The job's current staging-file accumulation buffer.
+    accum: Mutex<Vec<u8>>,
+    errors: Mutex<Vec<AcqError>>,
+    fatal: Mutex<Vec<String>>,
+    rows_staged: AtomicU64,
+    bytes_staged: AtomicU64,
+    upload_retries: AtomicU64,
+    next_part: AtomicU32,
+    files: Mutex<Vec<(u32, String)>>,
+}
+
+impl JobRt {
+    fn drained(&self) -> bool {
+        self.retired.load(Ordering::Acquire) >= self.queued.load(Ordering::Acquire)
+    }
+}
+
+/// Round-robin job table: worker threads scan from the saved cursor so
+/// every registered job gets chunks converted and written at the same
+/// rate regardless of arrival order.
+struct RtState {
+    jobs: Vec<Arc<JobRt>>,
+    next_convert: usize,
+    next_write: usize,
+}
+
+struct RtShared {
+    /// Guards the job table *and* every per-job queue operation: pushes,
+    /// pops, and the closed/aborted transitions all serialize here, which
+    /// is what makes the wait/notify protocol race-free. The critical
+    /// sections are a queue op plus a notify — conversion and upload work
+    /// happen outside it.
+    state: Mutex<RtState>,
+    /// Converters sleep here; signalled once per raw chunk enqueued.
+    raw_work: Condvar,
+    /// Writers sleep here; signalled once per converted chunk enqueued.
+    /// Separate condvars (with `notify_one` on the push paths) keep a
+    /// chunk push from waking the whole pool just to have all but one
+    /// thread find nothing and sleep again.
+    conv_work: Condvar,
+    stop: AtomicBool,
+    converters: usize,
+    writers: usize,
+    threshold: usize,
+    sim_cost: Duration,
+    retry_policy: RetryPolicy,
+    retry_seed: u64,
+    injector: Option<Arc<FaultInjector>>,
+    buffers: Arc<BufferPool>,
+    obs: Arc<Obs>,
+    threads_started: AtomicUsize,
+}
+
+impl RtShared {
+    /// Mark one chunk of `job` fully processed and wake its drain waiter.
+    fn retire(&self, job: &JobRt) {
+        let _guard = job.done_lock.lock();
+        job.retired.fetch_add(1, Ordering::Release);
+        job.done.notify_all();
+    }
+
+    /// Pop the next raw chunk, round-robin across jobs; blocks until work
+    /// arrives or the runtime stops.
+    fn next_chunk(&self) -> Option<(Arc<JobRt>, RawChunk)> {
+        let mut state = self.state.lock();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let n = state.jobs.len();
+            for i in 0..n {
+                let idx = (state.next_convert + i) % n;
+                let popped = state.jobs[idx].chunks.lock().pop_front();
+                if let Some(chunk) = popped {
+                    let job = Arc::clone(&state.jobs[idx]);
+                    state.next_convert = (idx + 1) % n;
+                    return Some((job, chunk));
+                }
+            }
+            self.raw_work.wait(&mut state);
+        }
+    }
+
+    /// Pop the next converted chunk, round-robin across jobs.
+    fn next_converted(&self) -> Option<(Arc<JobRt>, Converted)> {
+        let mut state = self.state.lock();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let n = state.jobs.len();
+            for i in 0..n {
+                let idx = (state.next_write + i) % n;
+                let popped = state.jobs[idx].converted.lock().pop_front();
+                if let Some(conv) = popped {
+                    let job = Arc::clone(&state.jobs[idx]);
+                    state.next_write = (idx + 1) % n;
+                    return Some((job, conv));
+                }
+            }
+            self.conv_work.wait(&mut state);
+        }
+    }
+
+    /// Hand a conversion result to the writers — unless the job was
+    /// aborted in the meantime, in which case the chunk is discarded and
+    /// its credit/memory released right here. The aborted check happens
+    /// under the state lock, so it cannot race `Pipeline::abort`'s drain.
+    fn push_converted(&self, job: &JobRt, conv: Converted) {
+        let discard = {
+            let state = self.state.lock();
+            if job.aborted.load(Ordering::Relaxed) {
+                Some(conv)
+            } else {
+                job.converted.lock().push_back(conv);
+                self.conv_work.notify_one();
+                drop(state);
+                None
+            }
+        };
+        if let Some(conv) = discard {
+            self.buffers.put(conv.bytes);
+            // credit + memory release via guard drops.
+            self.retire(job);
+        }
+    }
+}
+
+/// The node-wide worker runtime: a fixed set of converter and writer
+/// threads multiplexing every registered job's queues. Created once at
+/// node assembly (or per job when the config selects the per-job-spawn
+/// baseline) and stopped when the node drops.
+pub struct WorkerRuntime {
+    shared: Arc<RtShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerRuntime {
+    /// Start the worker pool: `converter_workers()` converters plus
+    /// `file_writers` writers, sized once from config.
+    pub fn start(
+        config: &VirtualizerConfig,
+        obs: Arc<Obs>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> WorkerRuntime {
+        let converters = config.converter_workers();
+        let writers = config.file_writers.max(1);
+        let shared = Arc::new(RtShared {
+            state: Mutex::new(RtState {
+                jobs: Vec::new(),
+                next_convert: 0,
+                next_write: 0,
+            }),
+            raw_work: Condvar::new(),
+            conv_work: Condvar::new(),
+            stop: AtomicBool::new(false),
+            converters,
+            writers,
+            threshold: config.file_size_threshold,
+            sim_cost: config.simulated_convert_cost_per_mb,
+            retry_policy: config.retry_policy(),
+            retry_seed: config.fault_seed(),
+            injector,
+            buffers: Arc::new(BufferPool::new(converters + writers + 2)),
+            obs,
+            threads_started: AtomicUsize::new(0),
+        });
+        shared
+            .obs
+            .runtime
+            .workers
+            .set((converters + writers) as u64);
+        let mut threads = Vec::with_capacity(converters + writers);
+        for _ in 0..converters {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                shared.threads_started.fetch_add(1, Ordering::Relaxed);
+                shared.obs.runtime.threads_started.inc();
+                let mut scratch = ConvertScratch::new();
+                while let Some((job, chunk)) = shared.next_chunk() {
+                    convert_work(&shared, &job, chunk, &mut scratch);
+                }
+            }));
+        }
+        for _ in 0..writers {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                shared.threads_started.fetch_add(1, Ordering::Relaxed);
+                shared.obs.runtime.threads_started.inc();
+                while let Some((job, conv)) = shared.next_converted() {
+                    write_work(&shared, &job, conv);
+                }
+            }));
+        }
+        WorkerRuntime {
+            shared,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Register a load job with the runtime and return its [`Pipeline`]
+    /// handle. `prefix` is the object-key prefix staged files upload
+    /// under (e.g. `job42/`); `job` is the load token stamped on every
+    /// journal event; `ids` is the job's root span.
+    pub fn begin_job(
+        &self,
+        converter: DataConverter,
+        loader: Arc<BulkLoader>,
+        prefix: String,
+        job: u64,
+        ids: SpanIds,
+        drain_timeout: Duration,
+    ) -> Pipeline {
+        let job_rt = Arc::new(JobRt {
+            job,
+            ids,
+            converter,
+            loader,
+            prefix,
+            chunks: Mutex::new(VecDeque::new()),
+            converted: Mutex::new(VecDeque::new()),
+            queued: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+            accum: Mutex::new(Vec::with_capacity(self.shared.threshold.min(1 << 22))),
+            errors: Mutex::new(Vec::new()),
+            fatal: Mutex::new(Vec::new()),
+            rows_staged: AtomicU64::new(0),
+            bytes_staged: AtomicU64::new(0),
+            upload_retries: AtomicU64::new(0),
+            next_part: AtomicU32::new(0),
+            files: Mutex::new(Vec::new()),
+        });
+        self.shared.state.lock().jobs.push(Arc::clone(&job_rt));
+        Pipeline {
+            shared: Arc::clone(&self.shared),
+            job: job_rt,
+            own: None,
+            drain_timeout,
+        }
+    }
+
+    /// Converter threads in the pool.
+    pub fn converter_workers(&self) -> usize {
+        self.shared.converters
+    }
+
+    /// Total worker threads (converters + writers) the pool is sized to.
+    pub fn total_workers(&self) -> usize {
+        self.shared.converters + self.shared.writers
+    }
+
+    /// Worker threads actually started over the runtime's lifetime —
+    /// the bounded-thread-count evidence: stays at `total_workers()` no
+    /// matter how many jobs run.
+    pub fn threads_started(&self) -> usize {
+        self.shared.threads_started.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently registered.
+    pub fn active_jobs(&self) -> usize {
+        self.shared.state.lock().jobs.len()
+    }
+
+    /// Stop and join every worker thread. Registered jobs' queued chunks
+    /// are dropped with their guards (credits/memory release); callers
+    /// abort or finish jobs before stopping in normal operation.
+    pub fn stop(&self) {
+        {
+            let _state = self.shared.state.lock();
+            self.shared.stop.store(true, Ordering::Relaxed);
+            self.shared.raw_work.notify_all();
+            self.shared.conv_work.notify_all();
+        }
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerRuntime {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A cloneable sink for pushing one job's chunks into the runtime (one
+/// per data session).
+#[derive(Clone)]
+pub struct ChunkSink {
+    shared: Arc<RtShared>,
+    job: Arc<JobRt>,
+}
+
+impl ChunkSink {
+    /// Enqueue a chunk. Returns `false` — dropping the chunk and thereby
+    /// releasing its credit and memory guards — if the job is closed,
+    /// aborted, or the runtime is stopping.
+    pub fn push(&self, chunk: RawChunk) -> bool {
+        let state = self.shared.state.lock();
+        if self.job.closed.load(Ordering::Relaxed) || self.shared.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.job.queued.fetch_add(1, Ordering::Release);
+        let depth = {
+            let mut q = self.job.chunks.lock();
+            q.push_back(chunk);
+            q.len()
+        };
+        self.shared.raw_work.notify_one();
+        drop(state);
+        self.shared.obs.runtime.queue_depth.record(depth as u64);
+        true
+    }
+}
+
+/// A running acquisition pipeline for one job: the per-job handle onto
+/// the worker runtime.
 pub struct Pipeline {
-    input: Option<Sender<RawChunk>>,
-    collector: JoinHandle<PipelineReport>,
+    shared: Arc<RtShared>,
+    job: Arc<JobRt>,
+    /// In per-job-spawn mode the pipeline owns a dedicated runtime that
+    /// dies with it; in shared mode this is `None`.
+    own: Option<WorkerRuntime>,
+    drain_timeout: Duration,
 }
 
 impl Pipeline {
-    /// Spawn the pipeline for one load job. `prefix` is the object-key
-    /// prefix staged files upload under (e.g. `job42/`); `job` is the load
-    /// token stamped on every journal event the stages emit; `ids` is the
-    /// job's root span — every stage span the pipeline emits is minted as
-    /// a child of it, so the trace assembler can hang chunk.queue /
-    /// chunk.convert / file.upload under the job root.
+    /// Spawn a *dedicated* runtime for one load job — the per-job thread
+    /// model the original design used, kept as the `RuntimeMode::PerJob`
+    /// baseline the shared runtime is benchmarked against.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         config: &VirtualizerConfig,
@@ -96,283 +447,186 @@ impl Pipeline {
         job: u64,
         ids: SpanIds,
     ) -> Pipeline {
-        let workers = config.converter_workers();
-        let sim_cost = config.simulated_convert_cost_per_mb;
-        let retry_policy = config.retry_policy();
-        let retry_seed = config.fault_seed();
-        let (chunk_tx, chunk_rx) = bounded::<RawChunk>(config.credits.min(1 << 16));
-        let (conv_tx, conv_rx) = bounded::<Converted>(workers.clamp(1, 1 << 16));
-        let (file_tx, file_rx) = bounded::<Vec<u8>>(config.file_writers * 2);
+        let runtime = WorkerRuntime::start(config, obs, injector);
+        let mut pipeline =
+            runtime.begin_job(converter, loader, prefix, job, ids, config.drain_timeout);
+        pipeline.own = Some(runtime);
+        pipeline
+    }
 
-        let shared_errors: Arc<Mutex<Vec<AcqError>>> = Arc::new(Mutex::new(Vec::new()));
-        let shared_fatal: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
-
-        // ---- Stage 2: converters -------------------------------------
-        // One persistent pool for both scheduling modes: `converter_workers()`
-        // long-lived threads pulling from the bounded chunk channel. In
-        // per-chunk mode the pool is sized to the credit count (capped by
-        // `max_converter_threads`), which preserves the paper's
-        // one-worker-per-in-flight-chunk concurrency without creating an
-        // OS thread per chunk. Output buffers recycle through a freelist so
-        // the steady-state convert loop never touches the allocator.
-        let buffers = Arc::new(BufferPool::new(workers + config.file_writers.max(1) + 2));
-        let workers_started = Arc::new(AtomicUsize::new(0));
-        let mut conv_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let rx = chunk_rx.clone();
-            let tx = conv_tx.clone();
-            let converter = converter.clone();
-            let errors = Arc::clone(&shared_errors);
-            let fatal = Arc::clone(&shared_fatal);
-            let injector = injector.clone();
-            let buffers = Arc::clone(&buffers);
-            let started = Arc::clone(&workers_started);
-            let obs = Arc::clone(&obs);
-            conv_handles.push(std::thread::spawn(move || {
-                started.fetch_add(1, Ordering::Relaxed);
-                let mut scratch = ConvertScratch::new();
-                while let Ok(chunk) = rx.recv() {
-                    convert_one(
-                        &converter,
-                        chunk,
-                        &tx,
-                        &errors,
-                        &fatal,
-                        sim_cost,
-                        injector.as_deref(),
-                        &buffers,
-                        &mut scratch,
-                        &obs,
-                        job,
-                        ids,
-                    );
-                }
-            }));
+    /// A sink for pushing chunks in (one clone per data session).
+    pub fn sink(&self) -> ChunkSink {
+        ChunkSink {
+            shared: Arc::clone(&self.shared),
+            job: Arc::clone(&self.job),
         }
-        drop(chunk_rx);
-        drop(conv_tx);
+    }
 
-        // ---- Stage 3: file writers ------------------------------------
-        let threshold = config.file_size_threshold;
-        let mut writer_handles = Vec::new();
-        for _ in 0..config.file_writers.max(1) {
-            let conv_rx: Receiver<Converted> = conv_rx.clone();
-            let file_tx = file_tx.clone();
-            let buffers = Arc::clone(&buffers);
-            let obs = Arc::clone(&obs);
-            writer_handles.push(std::thread::spawn(move || -> (u64, u64) {
-                let mut current: Vec<u8> = Vec::with_capacity(threshold.min(1 << 22));
-                let mut rows = 0u64;
-                let mut bytes = 0u64;
-                while let Ok(converted) = conv_rx.recv() {
-                    let Converted {
-                        bytes: staged,
-                        rows: staged_rows,
-                        credit,
-                        memory,
-                    } = converted;
-                    // Figure 4: the credit returns to the pool just before
-                    // the data is written out.
-                    drop(credit);
-                    current.extend_from_slice(&staged);
-                    rows += staged_rows as u64;
-                    bytes += staged.len() as u64;
-                    // The chunk's output buffer goes back to the freelist
-                    // for the next conversion.
-                    buffers.put(staged);
-                    // Data now lives in the staging file: release the
-                    // in-flight reservation.
-                    drop(memory);
-                    if current.len() >= threshold {
-                        let full = std::mem::replace(
-                            &mut current,
-                            Vec::with_capacity(threshold.min(1 << 22)),
-                        );
-                        obs.pipeline.files_rotated.inc();
-                        obs.journal.emit_span(
-                            "file.rotate",
-                            ids.child(obs.journal.next_span_id()),
-                            job,
-                            0,
-                            0,
-                            full.len() as u64,
-                            std::time::Duration::ZERO,
-                        );
-                        if file_tx.send(full).is_err() {
-                            break;
-                        }
-                    }
-                }
-                if !current.is_empty() {
-                    let _ = file_tx.send(current);
-                }
-                (rows, bytes)
-            }));
+    fn close(&self) {
+        let _state = self.shared.state.lock();
+        self.job.closed.store(true, Ordering::Relaxed);
+    }
+
+    /// Mark the job aborted and drop everything still queued, releasing
+    /// each chunk's credit/memory on the spot. In-flight chunks (already
+    /// popped by a worker) are discarded by the worker when it observes
+    /// the flag.
+    fn mark_aborted(&self) {
+        let mut discarded: Vec<Converted> = Vec::new();
+        let mut retired = 0u64;
+        {
+            let _state = self.shared.state.lock();
+            self.job.closed.store(true, Ordering::Relaxed);
+            self.job.aborted.store(true, Ordering::Relaxed);
+            while let Some(chunk) = self.job.chunks.lock().pop_front() {
+                drop(chunk); // credit + memory release
+                retired += 1;
+            }
+            while let Some(conv) = self.job.converted.lock().pop_front() {
+                discarded.push(conv);
+                retired += 1;
+            }
         }
-        drop(conv_rx);
-        drop(file_tx);
+        for conv in discarded {
+            self.shared.buffers.put(conv.bytes);
+        }
+        if retired > 0 {
+            let _guard = self.job.done_lock.lock();
+            self.job.retired.fetch_add(retired, Ordering::Release);
+            self.job.done.notify_all();
+        }
+    }
 
-        // ---- Stage 4: uploader ----------------------------------------
-        // Each part gets `retry_budget` additional attempts with capped,
-        // seeded backoff: a torn or failed put is simply re-put (object
-        // stores overwrite whole objects, so a retry erases a partial
-        // write). When the budget runs dry the failure is recorded and the
-        // job fails cleanly at EndLoad — never a hang.
-        let uploader: JoinHandle<(Vec<String>, Vec<String>, u64)> = {
-            let loader = Arc::clone(&loader);
-            let obs = Arc::clone(&obs);
-            std::thread::spawn(move || {
-                let mut keys = Vec::new();
-                let mut failures = Vec::new();
-                let mut retries = 0u64;
-                let mut part = 0u32;
-                while let Ok(file) = file_rx.recv() {
-                    let key = format!("{prefix}part-{part:05}");
-                    part += 1;
-                    let retries_before = retries;
-                    let upload_started = std::time::Instant::now();
-                    let attempt = retry_with(
-                        retry_policy,
-                        retry_seed ^ part as u64,
-                        &mut retries,
-                        |_| true,
-                        || loader.upload_part_from(&key, &file),
-                    );
-                    let elapsed = upload_started.elapsed();
-                    obs.pipeline.upload_us.record_duration(elapsed);
-                    let part_retries = retries - retries_before;
-                    if part_retries > 0 {
-                        obs.pipeline.upload_retries.add(part_retries);
-                        obs.journal.emit_span(
-                            "upload.retry",
-                            ids.child(obs.journal.next_span_id()),
-                            job,
-                            0,
-                            part as u64,
-                            part_retries,
-                            std::time::Duration::ZERO,
-                        );
-                    }
-                    match attempt {
-                        Ok(_) => {
-                            obs.pipeline.upload_parts.inc();
-                            obs.pipeline.upload_bytes.add(file.len() as u64);
-                            obs.journal.emit_span(
-                                "file.upload",
-                                ids.child(obs.journal.next_span_id()),
-                                job,
-                                0,
-                                part as u64,
-                                file.len() as u64,
-                                elapsed,
-                            );
-                            keys.push(key)
-                        }
-                        Err(e) => failures.push(format!("upload {key}: {e}")),
-                    }
-                }
-                (keys, failures, retries)
-            })
+    /// Wait until every accepted chunk is retired; `false` on timeout.
+    fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.job.done_lock.lock();
+        while !self.job.drained() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.job.done.wait_until(&mut guard, deadline);
+        }
+        true
+    }
+
+    fn unregister(&self) {
+        let mut state = self.shared.state.lock();
+        state.jobs.retain(|j| !Arc::ptr_eq(j, &self.job));
+    }
+
+    fn report(&self) -> PipelineReport {
+        let mut files = std::mem::take(&mut *self.job.files.lock());
+        files.sort_by_key(|(part, _)| *part);
+        let mut report = PipelineReport {
+            rows_staged: self.job.rows_staged.load(Ordering::Relaxed),
+            bytes_staged: self.job.bytes_staged.load(Ordering::Relaxed),
+            files: files.into_iter().map(|(_, key)| key).collect(),
+            acq_errors: std::mem::take(&mut *self.job.errors.lock()),
+            fatal: std::mem::take(&mut *self.job.fatal.lock()),
+            upload_retries: self.job.upload_retries.load(Ordering::Relaxed),
+            converter_workers: self.shared.converters,
         };
-
-        // ---- Collector: joins all stages, assembles the report --------
-        let collector = std::thread::spawn(move || {
-            for worker in conv_handles {
-                let _ = worker.join();
-            }
-            let mut rows_staged = 0u64;
-            let mut bytes_staged = 0u64;
-            for writer in writer_handles {
-                if let Ok((rows, bytes)) = writer.join() {
-                    rows_staged += rows;
-                    bytes_staged += bytes;
-                }
-            }
-            let (files, upload_failures, upload_retries) = uploader.join().unwrap_or_default();
-            let mut report = PipelineReport {
-                rows_staged,
-                bytes_staged,
-                files,
-                acq_errors: std::mem::take(&mut *shared_errors.lock()),
-                fatal: std::mem::take(&mut *shared_fatal.lock()),
-                upload_retries,
-                converter_workers: workers_started.load(Ordering::Relaxed),
-            };
-            report.fatal.extend(upload_failures);
-            report.acq_errors.sort_by_key(|e| e.seq);
-            report
-        });
-
-        Pipeline {
-            input: Some(chunk_tx),
-            collector,
-        }
+        report.acq_errors.sort_by_key(|e| e.seq);
+        report
     }
 
-    /// A sender for pushing chunks in (one clone per data session).
-    pub fn sender(&self) -> Sender<RawChunk> {
-        self.input.as_ref().expect("pipeline open").clone()
-    }
-
-    /// Close the input and wait for the pipeline to drain.
+    /// Close the input, wait for the job's chunks to drain, upload the
+    /// final partial staging file, and assemble the report.
     pub fn finish(mut self) -> PipelineReport {
-        drop(self.input.take());
-        self.collector
-            .join()
-            .unwrap_or_else(|_| PipelineReport {
-                fatal: vec!["pipeline collector panicked".into()],
-                ..Default::default()
-            })
+        self.close();
+        if !self.wait_drained(self.drain_timeout) {
+            // Give up on the stragglers: discard whatever is still queued
+            // (releasing guards) and record the failure. Workers discard
+            // in-flight chunks of an aborted job promptly, so the second
+            // wait is short.
+            self.mark_aborted();
+            self.job
+                .fatal
+                .lock()
+                .push("pipeline drain timed out".into());
+            let _ = self.wait_drained(Duration::from_secs(60));
+        }
+        let tail = std::mem::take(&mut *self.job.accum.lock());
+        if !tail.is_empty() && !self.job.aborted.load(Ordering::Relaxed) {
+            let part = self.job.next_part.fetch_add(1, Ordering::Relaxed);
+            upload_part(&self.shared, &self.job, tail, part);
+        }
+        self.unregister();
+        let report = self.report();
+        if let Some(runtime) = self.own.take() {
+            runtime.stop();
+        }
+        report
+    }
+
+    /// Abort the job: discard queued and in-flight chunks (credits and
+    /// memory release immediately), skip the final upload, and deregister.
+    /// Used by session teardown when a client disconnects mid-load.
+    pub fn abort(mut self) -> PipelineReport {
+        self.mark_aborted();
+        // In-flight chunks are bounded by the worker count; discarding is
+        // quick, but never wait forever on a wedged worker.
+        let _ = self.wait_drained(Duration::from_secs(60));
+        self.job.accum.lock().clear();
+        self.unregister();
+        let report = self.report();
+        if let Some(runtime) = self.own.take() {
+            runtime.stop();
+        }
+        report
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn convert_one(
-    converter: &DataConverter,
-    chunk: RawChunk,
-    tx: &Sender<Converted>,
-    errors: &Mutex<Vec<AcqError>>,
-    fatal: &Mutex<Vec<String>>,
-    sim_cost_per_mb: std::time::Duration,
-    injector: Option<&FaultInjector>,
-    buffers: &BufferPool,
-    scratch: &mut ConvertScratch,
-    obs: &Obs,
-    job: u64,
-    ids: SpanIds,
-) {
-    // How long the chunk sat on the bounded channel before a worker picked
-    // it up — the trace's queue_wait stage.
+/// Convert one chunk on a runtime worker: the queue-wait span, the
+/// (possibly fault-injected) conversion, and hand-off to the writers.
+fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut ConvertScratch) {
+    if job.aborted.load(Ordering::Relaxed) {
+        // Guards release when the chunk drops.
+        shared.retire(job);
+        return;
+    }
+    let obs = &shared.obs;
+    // How long the chunk sat on the job queue before a worker picked it
+    // up — the trace's queue_wait stage.
     let queue_wait = chunk.enqueued.elapsed();
     obs.journal.emit_span(
         "chunk.queue",
-        ids.child(obs.journal.next_span_id()),
-        job,
+        job.ids.child(obs.journal.next_span_id()),
+        job.job,
         0,
         chunk.base_seq,
         chunk.data.len() as u64,
         queue_wait,
     );
-    if !sim_cost_per_mb.is_zero() {
-        let cost = sim_cost_per_mb.mul_f64(chunk.data.len() as f64 / 1_000_000.0);
+    if !shared.sim_cost.is_zero() {
+        let cost = shared
+            .sim_cost
+            .mul_f64(chunk.data.len() as f64 / 1_000_000.0);
         std::thread::sleep(cost);
     }
-    if injector.is_some_and(|i| i.convert_should_fail()) {
+    if shared
+        .injector
+        .as_deref()
+        .is_some_and(|i| i.convert_should_fail())
+    {
         obs.pipeline.convert_errors.inc();
-        fatal.lock().push(format!(
+        job.fatal.lock().push(format!(
             "injected fault: converter worker failed on chunk at row {}",
             chunk.base_seq
         ));
         // Dropping the chunk releases its credit and memory reservation —
         // the guards, not the happy path, own the cleanup.
+        shared.retire(job);
         return;
     }
-    let mut out = buffers.take();
+    let mut out = shared.buffers.take();
     // A panicking converter must not wedge the pipeline: contain it, record
     // a fatal error, and let the chunk's guards release credit + memory.
-    let convert_started = std::time::Instant::now();
+    let convert_started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        converter.convert_into(chunk.base_seq, &chunk.data, &mut out, scratch)
+        job.converter
+            .convert_into(chunk.base_seq, &chunk.data, &mut out, scratch)
     }));
     let elapsed = convert_started.elapsed();
     let result = match outcome {
@@ -384,17 +638,18 @@ fn convert_one(
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".into());
             obs.pipeline.convert_errors.inc();
-            fatal
+            job.fatal
                 .lock()
                 .push(format!("converter worker panicked: {what}"));
-            buffers.put(out);
+            shared.buffers.put(out);
+            shared.retire(job);
             return;
         }
     };
     match result {
         Ok(rows) => {
             if scratch.has_errors() {
-                scratch.drain_errors_into(&mut errors.lock());
+                scratch.drain_errors_into(&mut job.errors.lock());
             }
             obs.pipeline.convert_chunks.inc();
             obs.pipeline.convert_rows.add(rows as u64);
@@ -402,8 +657,8 @@ fn convert_one(
             obs.pipeline.convert_us.record_duration(elapsed);
             obs.journal.emit_span(
                 "chunk.convert",
-                ids.child(obs.journal.next_span_id()),
-                job,
+                job.ids.child(obs.journal.next_span_id()),
+                job.job,
                 0,
                 chunk.base_seq,
                 rows as u64,
@@ -411,19 +666,132 @@ fn convert_one(
             );
             let mut memory = chunk.memory;
             memory.shrink_to(out.len());
-            let _ = tx.send(Converted {
-                bytes: out,
-                rows,
-                credit: chunk.credit,
-                memory,
-            });
+            shared.push_converted(
+                job,
+                Converted {
+                    bytes: out,
+                    rows,
+                    credit: chunk.credit,
+                    memory,
+                },
+            );
         }
         Err(e) => {
             obs.pipeline.convert_errors.inc();
-            fatal.lock().push(e.to_string());
-            buffers.put(out);
+            job.fatal.lock().push(e.to_string());
+            shared.buffers.put(out);
+            shared.retire(job);
             // Credit and memory release on drop.
         }
+    }
+}
+
+/// Append one converted chunk to the job's staging buffer on a writer
+/// worker, rotating (and uploading) at the size threshold.
+fn write_work(shared: &RtShared, job: &JobRt, conv: Converted) {
+    let Converted {
+        bytes: staged,
+        rows,
+        credit,
+        memory,
+    } = conv;
+    if job.aborted.load(Ordering::Relaxed) {
+        drop(credit);
+        shared.buffers.put(staged);
+        drop(memory);
+        shared.retire(job);
+        return;
+    }
+    // Figure 4: the credit returns to the pool just before the data is
+    // written out.
+    drop(credit);
+    let staged_len = staged.len();
+    let full = {
+        let mut accum = job.accum.lock();
+        accum.extend_from_slice(&staged);
+        // The chunk's output buffer goes back to the freelist for the
+        // next conversion; the staged bytes now live in the accumulator,
+        // so the in-flight reservation releases.
+        shared.buffers.put(staged);
+        drop(memory);
+        if accum.len() >= shared.threshold {
+            let part = job.next_part.fetch_add(1, Ordering::Relaxed);
+            let full = std::mem::replace(
+                &mut *accum,
+                Vec::with_capacity(shared.threshold.min(1 << 22)),
+            );
+            Some((full, part))
+        } else {
+            None
+        }
+    };
+    job.rows_staged.fetch_add(rows as u64, Ordering::Relaxed);
+    job.bytes_staged
+        .fetch_add(staged_len as u64, Ordering::Relaxed);
+    if let Some((data, part)) = full {
+        shared.obs.pipeline.files_rotated.inc();
+        shared.obs.journal.emit_span(
+            "file.rotate",
+            job.ids.child(shared.obs.journal.next_span_id()),
+            job.job,
+            0,
+            part as u64,
+            data.len() as u64,
+            Duration::ZERO,
+        );
+        upload_part(shared, job, data, part);
+    }
+    shared.retire(job);
+}
+
+/// Upload one finalized staging part. Each part gets `retry_budget`
+/// additional attempts with capped, seeded backoff: a torn or failed put
+/// is simply re-put (object stores overwrite whole objects, so a retry
+/// erases a partial write). When the budget runs dry the failure is
+/// recorded and the job fails cleanly at EndLoad — never a hang.
+fn upload_part(shared: &RtShared, job: &JobRt, file: Vec<u8>, part: u32) {
+    let obs = &shared.obs;
+    let key = format!("{}part-{part:05}", job.prefix);
+    let mut retries = 0u64;
+    let upload_started = Instant::now();
+    let attempt = retry_with(
+        shared.retry_policy,
+        shared.retry_seed ^ (part as u64 + 1),
+        &mut retries,
+        |_| true,
+        || job.loader.upload_part_from(&key, &file),
+    );
+    let elapsed = upload_started.elapsed();
+    obs.pipeline.upload_us.record_duration(elapsed);
+    if retries > 0 {
+        obs.pipeline.upload_retries.add(retries);
+        obs.journal.emit_span(
+            "upload.retry",
+            job.ids.child(obs.journal.next_span_id()),
+            job.job,
+            0,
+            part as u64 + 1,
+            retries,
+            Duration::ZERO,
+        );
+        job.upload_retries.fetch_add(retries, Ordering::Relaxed);
+    }
+    match attempt {
+        Ok(_) => {
+            obs.pipeline.upload_parts.inc();
+            obs.pipeline.upload_bytes.add(file.len() as u64);
+            obs.journal.emit_span(
+                "file.upload",
+                job.ids.child(obs.journal.next_span_id()),
+                job.job,
+                0,
+                part as u64 + 1,
+                file.len() as u64,
+                elapsed,
+            );
+            job.files.lock().push((part, key));
+        }
+        Err(e) => job.fatal.lock().push(format!("upload {key}: {e}")),
     }
 }
 
@@ -449,16 +817,24 @@ mod tests {
             .field("B", T::VarChar(10))
     }
 
-    fn run_pipeline(config: &VirtualizerConfig, nchunks: u64, rows_per_chunk: u64) -> (PipelineReport, Arc<MemStore>) {
-        let store = Arc::new(MemStore::new());
-        let loader = Arc::new(BulkLoader::new(
-            Arc::clone(&store) as Arc<dyn ObjectStore>,
+    fn loader_for(config: &VirtualizerConfig, store: Arc<MemStore>) -> Arc<BulkLoader> {
+        Arc::new(BulkLoader::new(
+            store as Arc<dyn ObjectStore>,
             LoaderConfig {
                 bucket: config.staging_bucket.clone(),
                 compress: config.compress_staged,
                 throttle: config.upload_throttle,
             },
-        ));
+        ))
+    }
+
+    fn run_pipeline(
+        config: &VirtualizerConfig,
+        nchunks: u64,
+        rows_per_chunk: u64,
+    ) -> (PipelineReport, Arc<MemStore>) {
+        let store = Arc::new(MemStore::new());
+        let loader = loader_for(config, Arc::clone(&store));
         let converter = DataConverter::new(layout(), WIRE_VT, config.staging_delimiter);
         let pipeline = Pipeline::spawn(
             config,
@@ -472,7 +848,7 @@ mod tests {
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(config.memory_cap);
-        let sender = pipeline.sender();
+        let sink = pipeline.sink();
         for c in 0..nchunks {
             let mut data = Vec::new();
             for r in 0..rows_per_chunk {
@@ -480,17 +856,14 @@ mod tests {
             }
             let credit = credits.acquire();
             let mem = memory.reserve(data.len()).unwrap();
-            sender
-                .send(RawChunk {
-                    base_seq: c * rows_per_chunk + 1,
-                    data: data.into(),
-                    credit,
-                    memory: mem,
-                    enqueued: Instant::now(),
-                })
-                .unwrap();
+            assert!(sink.push(RawChunk {
+                base_seq: c * rows_per_chunk + 1,
+                data: data.into(),
+                credit,
+                memory: mem,
+                enqueued: Instant::now(),
+            }));
         }
-        drop(sender);
         let report = pipeline.finish();
         assert_eq!(credits.available(), config.credits, "credits all returned");
         assert_eq!(memory.in_flight(), 0, "memory all released");
@@ -507,13 +880,23 @@ mod tests {
         let (report, store) = run_pipeline(&config, 10, 20);
         assert!(report.fatal.is_empty(), "{:?}", report.fatal);
         assert_eq!(report.rows_staged, 200);
-        assert!(report.files.len() > 1, "expected rotation, got {}", report.files.len());
-        assert_eq!(store.object_count(&config.staging_bucket), report.files.len());
+        assert!(
+            report.files.len() > 1,
+            "expected rotation, got {}",
+            report.files.len()
+        );
+        assert_eq!(
+            store.object_count(&config.staging_bucket),
+            report.files.len()
+        );
         // Every staged row is present exactly once across all parts.
         let mut total_lines = 0;
         for key in &report.files {
             let data = store.get(&config.staging_bucket, key).unwrap();
-            total_lines += data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+            total_lines += data
+                .split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .count();
         }
         assert_eq!(total_lines, 200);
     }
@@ -572,10 +955,7 @@ mod tests {
     fn acquisition_errors_collected_sorted() {
         let config = VirtualizerConfig::default();
         let store = Arc::new(MemStore::new());
-        let loader = Arc::new(BulkLoader::new(
-            Arc::clone(&store) as Arc<dyn ObjectStore>,
-            LoaderConfig::new(config.staging_bucket.clone()),
-        ));
+        let loader = loader_for(&config, store);
         let converter = DataConverter::new(layout(), WIRE_VT, b'|');
         let pipeline = Pipeline::spawn(
             &config,
@@ -589,20 +969,21 @@ mod tests {
         );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
-        let sender = pipeline.sender();
+        let sink = pipeline.sink();
         // Chunk 2 has a bad record (field count).
-        for (base, data) in [(1u64, &b"a|b\n"[..]), (2, b"only_one_field\n"), (3, b"c|d\n")] {
-            sender
-                .send(RawChunk {
-                    base_seq: base,
-                    data: Bytes::copy_from_slice(data),
-                    credit: credits.acquire(),
-                    memory: memory.reserve(data.len()).unwrap(),
-                    enqueued: Instant::now(),
-                })
-                .unwrap();
+        for (base, data) in [
+            (1u64, &b"a|b\n"[..]),
+            (2, b"only_one_field\n"),
+            (3, b"c|d\n"),
+        ] {
+            assert!(sink.push(RawChunk {
+                base_seq: base,
+                data: Bytes::copy_from_slice(data),
+                credit: credits.acquire(),
+                memory: memory.reserve(data.len()).unwrap(),
+                enqueued: Instant::now(),
+            }));
         }
-        drop(sender);
         let report = pipeline.finish();
         assert_eq!(report.rows_staged, 2);
         assert_eq!(report.acq_errors.len(), 1);
@@ -647,22 +1028,19 @@ mod tests {
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(0);
-        let sender = pipeline.sender();
+        let sink = pipeline.sink();
         for c in 0..6u64 {
             let data: Vec<u8> = format!("a{c}|b{c}\n").repeat(10).into_bytes();
             let credit = credits.acquire();
             let mem_guard = memory.reserve(data.len()).unwrap();
-            sender
-                .send(RawChunk {
-                    base_seq: c * 10 + 1,
-                    data: data.into(),
-                    credit,
-                    memory: mem_guard,
-                    enqueued: Instant::now(),
-                })
-                .unwrap();
+            assert!(sink.push(RawChunk {
+                base_seq: c * 10 + 1,
+                data: data.into(),
+                credit,
+                memory: mem_guard,
+                enqueued: Instant::now(),
+            }));
         }
-        drop(sender);
         let report = pipeline.finish();
         assert!(report.fatal.is_empty(), "{:?}", report.fatal);
         assert_eq!(report.upload_retries, 2, "both injected failures retried");
@@ -687,10 +1065,7 @@ mod tests {
         let injector = Arc::new(FaultInjector::new(config.fault_plan.clone().unwrap()));
 
         let store = Arc::new(MemStore::new());
-        let loader = Arc::new(BulkLoader::new(
-            Arc::clone(&store) as Arc<dyn ObjectStore>,
-            LoaderConfig::new(config.staging_bucket.clone()),
-        ));
+        let loader = loader_for(&config, store);
         // One pool worker so chunk order = op order.
         config.converter_mode = ConverterMode::Pool(1);
         let converter = DataConverter::new(layout(), WIRE_VT, b'|');
@@ -706,22 +1081,23 @@ mod tests {
         );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
-        let sender = pipeline.sender();
+        let sink = pipeline.sink();
         for base in [1u64, 2, 3] {
-            sender
-                .send(RawChunk {
-                    base_seq: base,
-                    data: Bytes::copy_from_slice(b"a|b\n"),
-                    credit: credits.acquire(),
-                    memory: memory.reserve(4).unwrap(),
-                    enqueued: Instant::now(),
-                })
-                .unwrap();
+            assert!(sink.push(RawChunk {
+                base_seq: base,
+                data: Bytes::copy_from_slice(b"a|b\n"),
+                credit: credits.acquire(),
+                memory: memory.reserve(4).unwrap(),
+                enqueued: Instant::now(),
+            }));
         }
-        drop(sender);
         let report = pipeline.finish();
         assert_eq!(report.fatal.len(), 1, "{:?}", report.fatal);
-        assert!(report.fatal[0].contains("injected fault"), "{:?}", report.fatal);
+        assert!(
+            report.fatal[0].contains("injected fault"),
+            "{:?}",
+            report.fatal
+        );
         assert_eq!(report.rows_staged, 2, "other chunks still staged");
         // The dropped chunk's credit and memory came back via the guards.
         assert_eq!(credits.available(), 4);
@@ -738,5 +1114,123 @@ mod tests {
         };
         let (report, _) = run_pipeline(&config, 8, 2);
         assert_eq!(report.rows_staged, 16);
+    }
+
+    #[test]
+    fn shared_runtime_multiplexes_jobs_with_fixed_threads() {
+        // One runtime, 6 jobs: every job's rows land, the files stay
+        // per-job (no cross-talk), and the thread count is the configured
+        // pool size, not jobs × pool size.
+        let config = VirtualizerConfig {
+            converter_mode: ConverterMode::Pool(2),
+            file_writers: 2,
+            file_size_threshold: 128,
+            ..Default::default()
+        };
+        let store = Arc::new(MemStore::new());
+        let runtime = WorkerRuntime::start(&config, Arc::new(Obs::default()), None);
+        let credits = CreditManager::new(config.credits);
+        let memory = MemoryGauge::new(0);
+
+        let mut pipelines = Vec::new();
+        for j in 0..6u64 {
+            let loader = loader_for(&config, Arc::clone(&store));
+            let converter = DataConverter::new(layout(), WIRE_VT, b'|');
+            pipelines.push(runtime.begin_job(
+                converter,
+                loader,
+                format!("job{j}/"),
+                j + 1,
+                SpanIds::default(),
+                config.drain_timeout,
+            ));
+        }
+        assert_eq!(runtime.active_jobs(), 6);
+        for (j, pipeline) in pipelines.iter().enumerate() {
+            let sink = pipeline.sink();
+            for c in 0..10u64 {
+                let data: Vec<u8> = format!("j{j}c{c}|x\n").repeat(5).into_bytes();
+                assert!(sink.push(RawChunk {
+                    base_seq: c * 5 + 1,
+                    data: data.into(),
+                    credit: credits.acquire(),
+                    memory: memory.reserve(1).unwrap(),
+                    enqueued: Instant::now(),
+                }));
+            }
+        }
+        for (j, pipeline) in pipelines.into_iter().enumerate() {
+            let report = pipeline.finish();
+            assert!(report.fatal.is_empty(), "job {j}: {:?}", report.fatal);
+            assert_eq!(report.rows_staged, 50, "job {j}");
+            assert_eq!(report.converter_workers, 2);
+            for key in &report.files {
+                assert!(
+                    key.starts_with(&format!("job{j}/")),
+                    "job {j} file {key} crossed into another job's prefix"
+                );
+            }
+        }
+        assert_eq!(runtime.active_jobs(), 0, "jobs deregister at finish");
+        assert_eq!(
+            runtime.threads_started(),
+            runtime.total_workers(),
+            "worker threads spawned once for the runtime, not per job"
+        );
+        assert_eq!(credits.available(), config.credits);
+        assert_eq!(memory.in_flight(), 0);
+        runtime.stop();
+    }
+
+    #[test]
+    fn abort_discards_and_releases_everything() {
+        let config = VirtualizerConfig {
+            converter_mode: ConverterMode::Pool(2),
+            // Make conversion slow enough that chunks are still queued
+            // and in flight when the abort lands.
+            simulated_convert_cost_per_mb: Duration::from_millis(2000),
+            ..Default::default()
+        };
+        let store = Arc::new(MemStore::new());
+        let loader = loader_for(&config, Arc::clone(&store));
+        let converter = DataConverter::new(layout(), WIRE_VT, b'|');
+        let pipeline = Pipeline::spawn(
+            &config,
+            converter,
+            loader,
+            "j/".into(),
+            None,
+            Arc::new(Obs::default()),
+            1,
+            SpanIds::default(),
+        );
+        let credits = CreditManager::new(16);
+        let memory = MemoryGauge::new(0);
+        let sink = pipeline.sink();
+        for base in 0..8u64 {
+            let data: Vec<u8> = b"a|b\n".repeat(500); // 2 KB → 4 ms simulated
+            assert!(sink.push(RawChunk {
+                base_seq: base * 500 + 1,
+                data: data.into(),
+                credit: credits.acquire(),
+                memory: memory.reserve(2000).unwrap(),
+                enqueued: Instant::now(),
+            }));
+        }
+        let report = pipeline.abort();
+        assert_eq!(credits.available(), 16, "credits released by abort");
+        assert_eq!(memory.in_flight(), 0, "memory released by abort");
+        assert_eq!(store.object_count(&config.staging_bucket), 0, "no uploads");
+        assert!(report.files.is_empty());
+        // Late pushes after abort are rejected and their guards released.
+        assert!(!sink.push(RawChunk {
+            base_seq: 1,
+            data: Bytes::copy_from_slice(b"a|b\n"),
+            credit: credits.acquire(),
+            memory: memory.reserve(4).unwrap(),
+            enqueued: Instant::now(),
+        }));
+        assert_eq!(credits.available(), 16);
+        assert_eq!(memory.in_flight(), 0);
     }
 }

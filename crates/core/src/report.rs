@@ -35,6 +35,9 @@ pub struct JobReport {
     /// Faults injected by the node's fault plan over the job's lifetime
     /// (0 when no plan is configured).
     pub faults_injected: u64,
+    /// The job was aborted mid-flight (client disconnect, idle timeout,
+    /// or shutdown) rather than running to completion or a clean failure.
+    pub aborted: bool,
 }
 
 impl JobReport {
@@ -70,6 +73,8 @@ pub struct NodeMetrics {
     pub jobs_failed: u64,
     /// Export jobs served.
     pub exports_completed: u64,
+    /// Jobs aborted mid-flight (disconnect, idle timeout, shutdown).
+    pub jobs_aborted: u64,
     /// Total records ingested.
     pub rows_ingested: u64,
     /// Total records served to export sessions.
@@ -103,6 +108,7 @@ mod tests {
             upload_retries: 3,
             cdw_retries: 2,
             faults_injected: 5,
+            aborted: false,
         };
         let wire = report.to_wire();
         assert_eq!(wire.rows_received, 10);

@@ -1,0 +1,313 @@
+//! The session layer: per-connection serve loop, the node-wide session
+//! registry, and disconnect-safe teardown.
+//!
+//! Every connection runs [`serve_session`]. A successful logon registers
+//! a [`SessionEntry`] in the node's [`SessionRegistry`] (bounded by
+//! `max_sessions` — a full table answers with retryable `SERVER_BUSY`).
+//! The entry tracks the jobs the session *owns* (its `BeginLoad`s and
+//! `BeginExport`s); when the session ends — explicit logoff, peer
+//! disconnect, idle timeout, or server shutdown — [`close_session`]
+//! aborts whatever those jobs still have in flight, so a yanked cable
+//! never leaks credits, memory reservations, staging tables, or staged
+//! objects.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etlv_protocol::errcode::ErrCode;
+use etlv_protocol::frame::Frame;
+use etlv_protocol::message::{Message, SessionRole, StatsFormat, StatsReply, TraceReply};
+use etlv_protocol::transport::{RecvOutcome, Transport};
+use parking_lot::Mutex;
+
+use crate::gateway::{error_msg, Virtualizer};
+
+/// How often a polling serve loop wakes to check the stop flag and the
+/// idle clock. Only sessions that need polling (a server stop flag or a
+/// nonzero idle timeout) pay this; plain `serve()` blocks on the socket.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// One logged-on session's registry entry.
+pub(crate) struct SessionEntry {
+    pub(crate) id: u32,
+    pub(crate) role: SessionRole,
+    /// Tokens of jobs this session opened and has not yet completed.
+    /// Whatever is still here at teardown gets aborted.
+    pub(crate) jobs: Mutex<Vec<u64>>,
+}
+
+/// The node-wide active-session table.
+pub(crate) struct SessionRegistry {
+    sessions: Mutex<HashMap<u32, Arc<SessionEntry>>>,
+    max_sessions: usize,
+}
+
+impl SessionRegistry {
+    pub(crate) fn new(max_sessions: usize) -> SessionRegistry {
+        SessionRegistry {
+            sessions: Mutex::new(HashMap::new()),
+            max_sessions,
+        }
+    }
+
+    /// Register a freshly logged-on session; `false` when the table is
+    /// at `max_sessions` (the caller answers `SERVER_BUSY`).
+    pub(crate) fn register(&self, entry: Arc<SessionEntry>) -> bool {
+        let mut sessions = self.sessions.lock();
+        if sessions.len() >= self.max_sessions {
+            return false;
+        }
+        sessions.insert(entry.id, entry);
+        true
+    }
+
+    pub(crate) fn unregister(&self, id: u32) -> Option<Arc<SessionEntry>> {
+        self.sessions.lock().remove(&id)
+    }
+
+    /// Sessions currently registered.
+    pub(crate) fn active(&self) -> usize {
+        self.sessions.lock().len()
+    }
+}
+
+/// Serve one connection until logoff, disconnect, idle timeout, or server
+/// stop. `stop` is the server's shutdown flag (TCP connections); `None`
+/// for directly-served transports (tests, in-memory duplex).
+pub(crate) fn serve_session(
+    v: &Virtualizer,
+    mut transport: impl Transport,
+    stop: Option<&AtomicBool>,
+) -> io::Result<()> {
+    let node = &v.node;
+    let idle_timeout = node.config.session_idle_timeout;
+    // Blocking recv cannot observe a stop flag or an idle clock; poll
+    // only when one of them exists so the common path stays wake-free.
+    let poll = stop.is_some() || !idle_timeout.is_zero();
+
+    let mut seq = 0u32;
+    let mut session: Option<Arc<SessionEntry>> = None;
+    let mut role = SessionRole::Control;
+    let mut job_token = 0u64;
+    let mut last_activity = Instant::now();
+    let mut clean = false;
+
+    let result = (|| -> io::Result<()> {
+        loop {
+            let session_id = session.as_ref().map(|s| s.id).unwrap_or(0);
+            let frame: Frame = if poll {
+                match transport.recv_wait(POLL_TICK)? {
+                    RecvOutcome::Frame(f) => {
+                        last_activity = Instant::now();
+                        f
+                    }
+                    RecvOutcome::TimedOut => {
+                        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                            let reply =
+                                error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true);
+                            let _ = transport.send(&reply.into_frame(session_id, seq));
+                            return Ok(());
+                        }
+                        if !idle_timeout.is_zero() && last_activity.elapsed() >= idle_timeout {
+                            let reply =
+                                error_msg(ErrCode::IDLE_TIMEOUT, "session idle timeout", true);
+                            let _ = transport.send(&reply.into_frame(session_id, seq));
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    RecvOutcome::Closed => return Ok(()),
+                }
+            } else {
+                match transport.recv()? {
+                    Some(f) => f,
+                    None => return Ok(()),
+                }
+            };
+            let msg = match Message::from_frame(&frame) {
+                Ok(m) => m,
+                Err(e) => {
+                    let reply = error_msg(ErrCode::PROTOCOL, e.to_string(), true);
+                    transport.send(&reply.into_frame(session_id, seq))?;
+                    return Ok(());
+                }
+            };
+            seq = seq.wrapping_add(1);
+            let reply = match msg {
+                Message::Logon(logon) => {
+                    if logon.username.is_empty() || logon.password.is_empty() {
+                        error_msg(ErrCode::LOGON_FAILED, "missing credentials", true)
+                    } else if node.draining.load(Ordering::Relaxed)
+                        || stop.is_some_and(|s| s.load(Ordering::Relaxed))
+                    {
+                        error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true)
+                    } else {
+                        let id = node.next_session.fetch_add(1, Ordering::Relaxed);
+                        let entry = Arc::new(SessionEntry {
+                            id,
+                            role: logon.role,
+                            jobs: Mutex::new(Vec::new()),
+                        });
+                        if !node.registry.register(Arc::clone(&entry)) {
+                            node.obs.gateway.admission_rejections.inc();
+                            error_msg(
+                                ErrCode::SERVER_BUSY,
+                                format!(
+                                    "session limit reached ({} active), retry later",
+                                    node.config.max_sessions
+                                ),
+                                true,
+                            )
+                        } else {
+                            node.obs
+                                .gateway
+                                .active_sessions
+                                .set(node.registry.active() as u64);
+                            role = logon.role;
+                            job_token = logon.job_token;
+                            session = Some(entry);
+                            node.obs.gateway.sessions_opened.inc();
+                            node.obs.journal.emit(
+                                "session.logon",
+                                job_token,
+                                id as u64,
+                                0,
+                                0,
+                                Duration::ZERO,
+                            );
+                            Message::LogonOk(etlv_protocol::message::LogonOk {
+                                session: id,
+                                banner: "etlv virtualizer 1.0 (legacy protocol)".into(),
+                            })
+                        }
+                    }
+                }
+                Message::Sql { text } => v.handle_sql(&text),
+                Message::BeginLoad(spec) => v.handle_begin_load(spec),
+                Message::DataChunk(chunk) => {
+                    if role != SessionRole::Data {
+                        error_msg(ErrCode::PROTOCOL, "data chunk on a control session", true)
+                    } else {
+                        v.handle_data_chunk(job_token, chunk)
+                    }
+                }
+                Message::EndLoad(end) => v.handle_end_load(job_token, &end.dml),
+                Message::BeginExport(spec) => v.handle_begin_export(spec),
+                Message::ExportChunkReq { index } => v.handle_export_req(job_token, index),
+                Message::StatsReq { format } => {
+                    let body = match format {
+                        StatsFormat::Json => v.stats_snapshot(),
+                        StatsFormat::Prometheus => v.stats_prometheus(),
+                        StatsFormat::Series => v.sampler_json(),
+                    };
+                    Message::StatsReply(StatsReply { format, body })
+                }
+                Message::TraceReq { job } => {
+                    let body = v.trace_json(job);
+                    Message::TraceReply(TraceReply {
+                        job,
+                        found: body.is_some(),
+                        body: body.unwrap_or_default(),
+                    })
+                }
+                Message::Logoff => {
+                    clean = true;
+                    transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
+                    return Ok(());
+                }
+                Message::Keepalive => Message::Keepalive,
+                other => error_msg(
+                    ErrCode::PROTOCOL,
+                    format!("unexpected message {:?}", other.kind()),
+                    true,
+                ),
+            };
+            match &reply {
+                Message::BeginLoadOk { load_token } => {
+                    job_token = *load_token;
+                    if let Some(s) = &session {
+                        s.jobs.lock().push(*load_token);
+                    }
+                }
+                Message::BeginExportOk(ok) => {
+                    job_token = ok.export_token;
+                    if let Some(s) = &session {
+                        s.jobs.lock().push(ok.export_token);
+                    }
+                }
+                // A LoadReport means EndLoad retired the job — it is no
+                // longer the session's to abort.
+                Message::LoadReport(_) => {
+                    if let Some(s) = &session {
+                        s.jobs.lock().retain(|t| *t != job_token);
+                    }
+                }
+                _ => {}
+            }
+            let fatal = matches!(&reply, Message::Error(e) if e.fatal);
+            transport.send(&reply.into_frame(session_id, seq))?;
+            if fatal {
+                return Ok(());
+            }
+        }
+    })();
+    if let Some(entry) = session {
+        close_session(v, &entry, clean);
+    }
+    result
+}
+
+/// Tear a session down: abort every job it still owns (releasing the
+/// jobs' credits, memory, and staging residue), deregister it, and keep
+/// the session gauges truthful. `clean` distinguishes an explicit logoff
+/// — which retires exports silently — from a disconnect/timeout.
+pub(crate) fn close_session(v: &Virtualizer, entry: &SessionEntry, clean: bool) {
+    let node = &v.node;
+    let owned: Vec<u64> = std::mem::take(&mut *entry.jobs.lock());
+    for token in owned {
+        v.abort_job(token, clean);
+    }
+    node.registry.unregister(entry.id);
+    node.obs.gateway.sessions_closed.inc();
+    node.obs
+        .gateway
+        .active_sessions
+        .set(node.registry.active() as u64);
+    node.obs.journal.emit(
+        "session.close",
+        0,
+        entry.id as u64,
+        u64::from(clean),
+        u64::from(entry.role == SessionRole::Data),
+        Duration::ZERO,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32) -> Arc<SessionEntry> {
+        Arc::new(SessionEntry {
+            id,
+            role: SessionRole::Control,
+            jobs: Mutex::new(Vec::new()),
+        })
+    }
+
+    #[test]
+    fn registry_enforces_max_sessions() {
+        let reg = SessionRegistry::new(2);
+        assert!(reg.register(entry(1)));
+        assert!(reg.register(entry(2)));
+        assert!(!reg.register(entry(3)), "third session refused");
+        assert_eq!(reg.active(), 2);
+        assert!(reg.unregister(1).is_some());
+        assert!(reg.register(entry(3)), "slot freed by unregister");
+        assert_eq!(reg.active(), 2);
+        assert!(reg.unregister(99).is_none());
+    }
+}

@@ -138,8 +138,14 @@ impl JobTrace {
 
         // Wall time: job.end carries the measured duration; fall back to
         // the latest event timestamp for in-flight jobs.
-        let end = events.iter().find(|e| e.kind == "job.end" && e.ids.span == root_ids.span);
-        let last_at = events.iter().map(|e| e.at_micros).max().unwrap_or(begin.at_micros);
+        let end = events
+            .iter()
+            .find(|e| e.kind == "job.end" && e.ids.span == root_ids.span);
+        let last_at = events
+            .iter()
+            .map(|e| e.at_micros)
+            .max()
+            .unwrap_or(begin.at_micros);
         let wall_micros = match end {
             Some(e) if e.dur_micros > 0 => e.dur_micros,
             Some(e) => e.at_micros.saturating_sub(begin.at_micros),
@@ -158,7 +164,11 @@ impl JobTrace {
             }
             nodes.push(SpanNode {
                 span: e.ids.span,
-                parent: if e.kind == "job.begin" { 0 } else { e.ids.parent },
+                parent: if e.kind == "job.begin" {
+                    0
+                } else {
+                    e.ids.parent
+                },
                 kind: e.kind,
                 at_micros: e.at_micros,
                 dur_micros: e.dur_micros,
@@ -219,7 +229,10 @@ impl JobTrace {
             let (lo, hi) = if stage == Stage::AckWait {
                 (t0, t0.saturating_add(node.dur_micros))
             } else {
-                (node.at_micros.saturating_sub(node.dur_micros), node.at_micros)
+                (
+                    node.at_micros.saturating_sub(node.dur_micros),
+                    node.at_micros,
+                )
             };
             let lo = lo.clamp(t0, t1);
             let hi = hi.clamp(t0, t1);
@@ -248,8 +261,7 @@ impl JobTrace {
                 .max();
             match winner {
                 Some(stage) => {
-                    totals[Stage::ALL.iter().position(|&s| s == stage).unwrap()] +=
-                        hi - lo;
+                    totals[Stage::ALL.iter().position(|&s| s == stage).unwrap()] += hi - lo;
                 }
                 None => other += hi - lo,
             }
@@ -335,7 +347,11 @@ impl JobTrace {
             } else {
                 0.0
             };
-            let mark = if *name == self.critical_stage { " *" } else { "" };
+            let mark = if *name == self.critical_stage {
+                " *"
+            } else {
+                ""
+            };
             out.push_str(&format!("  {name:<10} {micros:>10}us {pct:5.1}%{mark}\n"));
         }
         out.push_str("spans:\n");

@@ -104,9 +104,7 @@ pub fn customer_workload(spec: &CustomerSpec) -> Workload {
         let payload: String = (0..payload_width)
             .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
             .collect();
-        data.extend_from_slice(
-            format!("C{id:07}|{name}|{date}|{payload}\n").as_bytes(),
-        );
+        data.extend_from_slice(format!("C{id:07}|{name}|{date}|{payload}\n").as_bytes());
     }
 
     let payload_decl = payload_width.clamp(1, 60_000);
@@ -264,7 +262,11 @@ mod tests {
         assert!((0.06..=0.14).contains(&bad), "bad rate {bad}");
         assert!((0.02..=0.08).contains(&dup), "dup rate {dup}");
         // Row counts line up with the data.
-        let lines = w.data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+        let lines = w
+            .data
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .count();
         assert_eq!(lines as u64, w.rows);
     }
 

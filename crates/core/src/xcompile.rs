@@ -219,9 +219,7 @@ pub fn compile_dml(
     if let Stmt::Insert(ins) = &original {
         if let InsertSource::Values(rows) = &ins.source {
             if rows.len() != 1 {
-                return Err(XcError::Unsupported(
-                    "multi-row VALUES in load DML".into(),
-                ));
+                return Err(XcError::Unsupported("multi-row VALUES in load DML".into()));
             }
             // :FIELD -> staging column reference.
             let mapped = map_placeholders(&original, |name| {
@@ -311,12 +309,19 @@ mod tests {
     #[test]
     fn staging_ddl_maps_types_and_adds_seq() {
         let mut l = layout();
-        l.fields
-            .push(etlv_protocol::layout::FieldDef::new("U", LegacyType::VarCharUnicode(7)));
-        l.fields
-            .push(etlv_protocol::layout::FieldDef::new("B", LegacyType::ByteInt));
+        l.fields.push(etlv_protocol::layout::FieldDef::new(
+            "U",
+            LegacyType::VarCharUnicode(7),
+        ));
+        l.fields.push(etlv_protocol::layout::FieldDef::new(
+            "B",
+            LegacyType::ByteInt,
+        ));
         let ddl = staging_ddl("ETLV_STG_9", &l);
-        assert!(ddl.starts_with("CREATE TABLE ETLV_STG_9 (__SEQ BIGINT, "), "{ddl}");
+        assert!(
+            ddl.starts_with("CREATE TABLE ETLV_STG_9 (__SEQ BIGINT, "),
+            "{ddl}"
+        );
         assert!(ddl.contains("U NVARCHAR(7)"), "{ddl}");
         assert!(ddl.contains("B SMALLINT"), "{ddl}");
         // The DDL parses in the CDW dialect.
@@ -325,12 +330,7 @@ mod tests {
 
     #[test]
     fn unknown_placeholder_rejected() {
-        let err = compile_dml(
-            "insert into T values (:NOPE)",
-            &layout(),
-            "S",
-        )
-        .unwrap_err();
+        let err = compile_dml("insert into T values (:NOPE)", &layout(), "S").unwrap_err();
         assert_eq!(err, XcError::UnknownPlaceholder("NOPE".into()));
     }
 
@@ -349,12 +349,7 @@ mod tests {
 
     #[test]
     fn placeholders_outside_insert_values_rejected() {
-        let err = compile_dml(
-            "update T set A = :CUST_ID",
-            &layout(),
-            "S",
-        )
-        .unwrap_err();
+        let err = compile_dml("update T set A = :CUST_ID", &layout(), "S").unwrap_err();
         assert!(matches!(err, XcError::Unsupported(_)));
     }
 

@@ -87,7 +87,11 @@ fn wide_layout() -> Layout {
 fn sample_values(i: u64) -> Vec<Value> {
     vec![
         Value::Int(i as i64 * 7919),
-        if i.is_multiple_of(5) { Value::Null } else { Value::Int(i as i64 % 1000) },
+        if i.is_multiple_of(5) {
+            Value::Null
+        } else {
+            Value::Int(i as i64 % 1000)
+        },
         Value::Decimal(Decimal::new(123450 + i as i128, 2)),
         Value::Float(i as f64 + 0.5),
         Value::Str(format!("customer-{i}")),
@@ -118,7 +122,9 @@ fn steady_state_convert_loop_does_not_allocate() {
 
     out.clear();
     let allocs = count_allocs(|| {
-        let rows = conv.convert_into(201, &data, &mut out, &mut scratch).unwrap();
+        let rows = conv
+            .convert_into(201, &data, &mut out, &mut scratch)
+            .unwrap();
         assert_eq!(rows, 200);
     });
     assert_eq!(
@@ -156,7 +162,9 @@ fn steady_state_convert_loop_does_not_allocate() {
 
     out.clear();
     let allocs = count_allocs(|| {
-        let rows = conv.convert_into(201, &data, &mut out, &mut scratch).unwrap();
+        let rows = conv
+            .convert_into(201, &data, &mut out, &mut scratch)
+            .unwrap();
         assert_eq!(rows, 200);
     });
     assert_eq!(

@@ -181,7 +181,7 @@ fn vartext_chunk(seed: u64) -> (Layout, u8, u8, Vec<u8>) {
                 data.push(delimiter);
             }
             match rng.below(8) {
-                0 => {}                                     // NULL (zero-length)
+                0 => {}                                       // NULL (zero-length)
                 1 => data.extend_from_slice(&[quote, quote]), // quoted empty
                 2 => {
                     // Escaped content: delimiter, quote, backslash.
@@ -189,8 +189,8 @@ fn vartext_chunk(seed: u64) -> (Layout, u8, u8, Vec<u8>) {
                     data.push(delimiter);
                     data.extend_from_slice(b"b\\\\");
                 }
-                3 if rng.chance(50) => data.push(0xC3),     // lone UTF-8 lead byte
-                4 if rng.chance(30) => data.push(b'\\'),    // dangling escape
+                3 if rng.chance(50) => data.push(0xC3), // lone UTF-8 lead byte
+                4 if rng.chance(30) => data.push(b'\\'), // dangling escape
                 _ => {
                     let len = 1 + rng.below(12) as usize;
                     for _ in 0..len {

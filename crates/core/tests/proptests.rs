@@ -18,12 +18,14 @@ use etlv_core::xcompile::{compile_dml, staging_ddl};
 use etlv_protocol::data::{LegacyType as T, Value};
 use etlv_protocol::layout::Layout;
 
-fn setup(total_rows: u64, bad: &HashSet<u64>, dups: &HashSet<u64>) -> (Cdw, etlv_core::xcompile::CompiledDml, Layout) {
+fn setup(
+    total_rows: u64,
+    bad: &HashSet<u64>,
+    dups: &HashSet<u64>,
+) -> (Cdw, etlv_core::xcompile::CompiledDml, Layout) {
     let cdw = Cdw::new();
-    cdw.execute(
-        "CREATE TABLE TGT (ID VARCHAR(10), D DATE, PRIMARY KEY (ID))",
-    )
-    .unwrap();
+    cdw.execute("CREATE TABLE TGT (ID VARCHAR(10), D DATE, PRIMARY KEY (ID))")
+        .unwrap();
     let layout = Layout::new("L")
         .field("ID", T::VarChar(10))
         .field("D", T::VarChar(10));

@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 
 use crate::connect::Connect;
 use crate::error::ClientError;
+use crate::retry::{next_seed, with_busy_retry};
 use crate::session::{unexpected, Session};
 use crate::ClientOptions;
 
@@ -37,23 +38,35 @@ pub fn run_export(
     let started = Instant::now();
     let sessions = options.sessions.unwrap_or(job.sessions).max(1);
 
-    let mut control = Session::logon(
-        connector.as_ref(),
-        &job.logon.user,
-        &job.logon.password,
-        SessionRole::Control,
-        0,
-    )?;
+    // Admission rejections (session/job limits) come back as retryable
+    // SERVER_BUSY — back off under the options' policy. The seed is a
+    // per-process counter so concurrent exports don't retry in lockstep.
+    let job_seed = next_seed();
+    let mut control = with_busy_retry(options.busy_retry, job_seed, || {
+        Session::logon(
+            connector.as_ref(),
+            &job.logon.user,
+            &job.logon.password,
+            SessionRole::Control,
+            0,
+        )
+    })?;
     control.set_read_timeout(options.read_timeout);
-    let (export_token, layout) = match control.request(Message::BeginExport(BeginExport {
+    let begin = BeginExport {
         select: job.select.clone(),
         format: job.format,
         sessions,
         chunk_rows: options.chunk_rows as u32,
-    }))? {
-        Message::BeginExportOk(ok) => (ok.export_token, ok.layout),
-        other => return Err(unexpected("BeginExportOk", &other)),
     };
+    // SERVER_BUSY here is non-fatal server-side: the control session stays
+    // usable, so the retry re-asks on the same connection.
+    let (export_token, layout) =
+        with_busy_retry(options.busy_retry, job_seed ^ 1, || {
+            match control.request(Message::BeginExport(begin.clone()))? {
+                Message::BeginExportOk(ok) => Ok((ok.export_token, ok.layout)),
+                other => Err(unexpected("BeginExportOk", &other)),
+            }
+        })?;
 
     // Parallel sessions claim chunk indexes from a shared counter; each
     // chunk lands in the ordered buffer as (index, data, record count).
@@ -71,14 +84,18 @@ pub fn run_export(
         let user = job.logon.user.clone();
         let password = job.logon.password.clone();
         let read_timeout = options.read_timeout;
+        let busy_retry = options.busy_retry;
+        let seed = next_seed();
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
-            let mut session = Session::logon(
-                connector.as_ref(),
-                &user,
-                &password,
-                SessionRole::Data,
-                export_token,
-            )?;
+            let mut session = with_busy_retry(busy_retry, seed, || {
+                Session::logon(
+                    connector.as_ref(),
+                    &user,
+                    &password,
+                    SessionRole::Data,
+                    export_token,
+                )
+            })?;
             session.set_read_timeout(read_timeout);
             loop {
                 if done.load(Ordering::Acquire) {

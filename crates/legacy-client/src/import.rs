@@ -5,15 +5,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
-use etlv_protocol::message::{
-    BeginLoad, DataChunk, EndLoad, LoadReport, Message, SessionRole,
-};
+use etlv_protocol::message::{BeginLoad, DataChunk, EndLoad, LoadReport, Message, SessionRole};
 use etlv_protocol::trace::TraceContext;
 use etlv_script::ImportJob;
 
 use crate::connect::Connect;
 use crate::error::ClientError;
 use crate::input::{split_chunks, InputChunk};
+use crate::retry::with_busy_retry;
 use crate::session::{unexpected, Session};
 use crate::ClientOptions;
 
@@ -54,19 +53,26 @@ pub fn run_import(
     let started = Instant::now();
     let sessions = options.sessions.unwrap_or(job.sessions).max(1);
 
-    // Control session: logon + begin the load.
-    let mut control = Session::logon(
-        connector.as_ref(),
-        &job.logon.user,
-        &job.logon.password,
-        SessionRole::Control,
-        0,
-    )?;
-    control.set_read_timeout(options.read_timeout);
     // Mint the job's trace context client-side: every server-side span —
     // gateway, converter, uploader, COPY, apply — carries this trace id,
     // so one id correlates the client's view with the server's span tree.
+    // It doubles as the backoff jitter seed, decorrelating concurrent
+    // clients' retry schedules when the node answers SERVER_BUSY.
     let trace = TraceContext::mint();
+
+    // Control session: logon + begin the load. Both can bounce off the
+    // node's admission limits (sessions, concurrent jobs) — back off and
+    // re-attempt under the options' busy-retry policy.
+    let mut control = with_busy_retry(options.busy_retry, trace.trace_id, || {
+        Session::logon(
+            connector.as_ref(),
+            &job.logon.user,
+            &job.logon.password,
+            SessionRole::Control,
+            0,
+        )
+    })?;
+    control.set_read_timeout(options.read_timeout);
     let begin = BeginLoad {
         target_table: job.target.clone(),
         error_table_et: job.error_table_et.clone(),
@@ -77,10 +83,14 @@ pub fn run_import(
         error_limit: job.errlimit,
         trace: Some(trace),
     };
-    let load_token = match control.request(Message::BeginLoad(begin))? {
-        Message::BeginLoadOk { load_token } => load_token,
-        other => return Err(unexpected("BeginLoadOk", &other)),
-    };
+    // A SERVER_BUSY here is non-fatal server-side: the control session
+    // stays usable, so the retry re-asks on the same connection.
+    let load_token = with_busy_retry(options.busy_retry, trace.trace_id ^ 1, || {
+        match control.request(Message::BeginLoad(begin.clone()))? {
+            Message::BeginLoadOk { load_token } => Ok(load_token),
+            other => Err(unexpected("BeginLoadOk", &other)),
+        }
+    })?;
 
     // Chunk the input.
     let chunks = split_chunks(data, job.format, options.chunk_rows)?;
@@ -104,15 +114,19 @@ pub fn run_import(
         let user = job.logon.user.clone();
         let password = job.logon.password.clone();
         let read_timeout = options.read_timeout;
+        let busy_retry = options.busy_retry;
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
-            let mut session = Session::logon_traced(
-                connector.as_ref(),
-                &user,
-                &password,
-                SessionRole::Data,
-                load_token,
-                Some(trace),
-            )?;
+            let seed = trace.trace_id ^ ((worker_id as u64) << 8);
+            let mut session = with_busy_retry(busy_retry, seed, || {
+                Session::logon_traced(
+                    connector.as_ref(),
+                    &user,
+                    &password,
+                    SessionRole::Data,
+                    load_token,
+                    Some(trace),
+                )
+            })?;
             session.set_read_timeout(read_timeout);
             let mut chunk_seq = (worker_id as u64) << 32;
             while let Ok(chunk) = rx.recv() {

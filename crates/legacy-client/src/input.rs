@@ -155,7 +155,9 @@ mod tests {
     fn empty_input_no_chunks() {
         assert!(split_chunks(b"", VT, 10).unwrap().is_empty());
         assert!(split_chunks(b"\n\n", VT, 10).unwrap().is_empty());
-        assert!(split_chunks(b"", RecordFormat::Binary, 10).unwrap().is_empty());
+        assert!(split_chunks(b"", RecordFormat::Binary, 10)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

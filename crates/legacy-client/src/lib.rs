@@ -23,10 +23,12 @@ pub mod error;
 pub mod export;
 pub mod import;
 pub mod input;
+pub mod retry;
 pub mod session;
 
 pub use connect::{Connect, FnConnector, TcpConnector};
 pub use error::ClientError;
+pub use etlv_protocol::backoff::RetryPolicy;
 pub use export::ExportResult;
 pub use import::{ImportResult, PhaseTimes};
 pub use session::Session;
@@ -47,6 +49,11 @@ pub struct ClientOptions {
     /// blocks indefinitely — legacy behavior; setting it turns a severed
     /// or silent link into [`ClientError::Timeout`] instead of a hang.
     pub read_timeout: Option<std::time::Duration>,
+    /// Backoff schedule for retryable `SERVER_BUSY` admission rejections
+    /// (the node's session or concurrent-job limit). `budget` is the
+    /// number of re-attempts after the first try; set it to 0 to surface
+    /// the rejection immediately.
+    pub busy_retry: RetryPolicy,
 }
 
 impl Default for ClientOptions {
@@ -55,6 +62,11 @@ impl Default for ClientOptions {
             chunk_rows: 1000,
             sessions: None,
             read_timeout: None,
+            busy_retry: RetryPolicy {
+                budget: 8,
+                base: std::time::Duration::from_millis(5),
+                cap: std::time::Duration::from_millis(250),
+            },
         }
     }
 }
@@ -126,10 +138,7 @@ impl LegacyEtlClient {
     }
 
     /// Run an export job, returning the exported bytes.
-    pub fn run_export(
-        &self,
-        job: &etlv_script::ExportJob,
-    ) -> Result<ExportResult, ClientError> {
+    pub fn run_export(&self, job: &etlv_script::ExportJob) -> Result<ExportResult, ClientError> {
         export::run_export(&self.connector, job, &self.options)
     }
 }

@@ -1,0 +1,124 @@
+//! Client-side admission backoff.
+//!
+//! A virtualizer node at its session or job limit answers logon /
+//! `BeginLoad` / `BeginExport` with the retryable `SERVER_BUSY` code
+//! instead of queueing the request. The legacy client absorbs that here:
+//! the operation is re-attempted under the options' busy-retry policy
+//! with capped, seeded-jitter backoff (the same deterministic schedule
+//! the server uses for its cloud retries — `etlv_protocol::backoff`).
+//! Any other error, and budget exhaustion, surface to the caller
+//! unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use etlv_protocol::backoff::{splitmix64, RetryPolicy};
+use etlv_protocol::errcode::ErrCode;
+
+use crate::error::ClientError;
+
+/// Process-wide seed counter for jobs that carry no trace id (exports):
+/// each call yields a distinct, well-mixed jitter seed so concurrent
+/// clients in one process don't retry in lockstep.
+static SEED_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn next_seed() -> u64 {
+    splitmix64(SEED_COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+impl ClientError {
+    /// Whether the server told us to back off and try again
+    /// (`SERVER_BUSY` admission rejection).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Server { code, .. } if ErrCode(*code).is_retryable())
+    }
+}
+
+/// Run `op`, retrying `SERVER_BUSY` rejections under `policy`. The seed
+/// decorrelates concurrent clients' schedules — pass something unique to
+/// the job (the trace id) so a thundering herd spreads out.
+pub(crate) fn with_busy_retry<T>(
+    policy: RetryPolicy,
+    seed: u64,
+    mut op: impl FnMut() -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let mut backoff = policy.backoff(seed);
+    let mut attempts = 0u32;
+    loop {
+        match op() {
+            Err(e) if e.is_busy() && attempts < policy.budget => {
+                attempts += 1;
+                std::thread::sleep(backoff.next_delay());
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn busy() -> ClientError {
+        ClientError::Server {
+            code: ErrCode::SERVER_BUSY.0,
+            message: "busy".into(),
+        }
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            budget: 3,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn retries_busy_until_success() {
+        let mut calls = 0;
+        let result = with_busy_retry(policy(), 7, || {
+            calls += 1;
+            if calls < 3 {
+                Err(busy())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_busy() {
+        let mut calls = 0;
+        let result: Result<(), _> = with_busy_retry(policy(), 7, || {
+            calls += 1;
+            Err(busy())
+        });
+        assert!(result.unwrap_err().is_busy());
+        assert_eq!(calls, 4, "initial attempt + budget retries");
+    }
+
+    #[test]
+    fn non_busy_errors_pass_through_immediately() {
+        let mut calls = 0;
+        let result: Result<(), _> = with_busy_retry(policy(), 7, || {
+            calls += 1;
+            Err(ClientError::Protocol("boom".into()))
+        });
+        assert!(matches!(result.unwrap_err(), ClientError::Protocol(_)));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn other_server_codes_are_not_busy() {
+        assert!(!ClientError::Server {
+            code: ErrCode::SHUTTING_DOWN.0,
+            message: String::new()
+        }
+        .is_busy());
+        assert!(!ClientError::Protocol("x".into()).is_busy());
+        assert!(busy().is_busy());
+    }
+}

@@ -5,16 +5,16 @@
 use std::io;
 use std::sync::Arc;
 
-use etlv_legacy_client::{
-    ClientOptions, FnConnector, LegacyEtlClient, ScriptResult, TcpConnector,
-};
+use etlv_legacy_client::{ClientOptions, FnConnector, LegacyEtlClient, ScriptResult, TcpConnector};
 use etlv_legacy_server::LegacyServer;
 use etlv_protocol::data::{Date, Value};
 use etlv_protocol::transport::{duplex, Transport};
 use etlv_script::{compile, parse_script, JobPlan};
 
 /// Connector that opens in-memory duplex pipes served by `server`.
-fn mem_connector(server: &Arc<LegacyServer>) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
+fn mem_connector(
+    server: &Arc<LegacyServer>,
+) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
     let server = Arc::clone(server);
     Arc::new(FnConnector(move || {
         let (client_end, server_end) = duplex();
@@ -87,8 +87,16 @@ fn figure5_error_tables_on_legacy_server() {
     assert_eq!(
         et.rows,
         vec![
-            vec![Value::Int(2), Value::Int(2666), Value::Str("JOIN_DATE".into())],
-            vec![Value::Int(3), Value::Int(2666), Value::Str("JOIN_DATE".into())],
+            vec![
+                Value::Int(2),
+                Value::Int(2666),
+                Value::Str("JOIN_DATE".into())
+            ],
+            vec![
+                Value::Int(3),
+                Value::Int(2666),
+                Value::Str("JOIN_DATE".into())
+            ],
         ]
     );
     // Figure 5(c): the duplicate tuple in the UV table.

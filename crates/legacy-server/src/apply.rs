@@ -254,7 +254,10 @@ mod tests {
             classify_conversion("string length 9 exceeds VARCHAR(5)"),
             ErrCode::STRING_TOO_LONG
         );
-        assert_eq!(classify_conversion("integer overflow"), ErrCode::NUMERIC_OVERFLOW);
+        assert_eq!(
+            classify_conversion("integer overflow"),
+            ErrCode::NUMERIC_OVERFLOW
+        );
         assert_eq!(classify_conversion("whatever"), ErrCode::BAD_VALUE);
     }
 

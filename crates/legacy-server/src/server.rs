@@ -12,13 +12,13 @@ use etlv_cdw::{Cdw, CdwConfig};
 use etlv_protocol::data::Value;
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::layout::{FieldDef, Layout};
+use etlv_protocol::message::RecordFormat;
 use etlv_protocol::message::{
     BeginExportOk, BeginLoad, ExportChunk, LoadReport, Message, SessionRole, SqlResult, WireError,
 };
 use etlv_protocol::record::RecordDecoder;
 use etlv_protocol::transport::Transport;
 use etlv_protocol::vartext::VartextFormat;
-use etlv_protocol::message::RecordFormat;
 use etlv_sql::ast::{Expr, Insert, InsertSource, Literal, ObjectName, Stmt};
 use etlv_sql::types::SqlType;
 use etlv_sql::{parse_statement, Dialect};
@@ -282,11 +282,7 @@ impl LegacyServer {
         ))
     }
 
-    fn handle_data_chunk(
-        &self,
-        token: u64,
-        chunk: etlv_protocol::message::DataChunk,
-    ) -> Message {
+    fn handle_data_chunk(&self, token: u64, chunk: etlv_protocol::message::DataChunk) -> Message {
         let job = {
             let jobs = self.jobs.lock();
             match jobs.get(&token) {
@@ -304,10 +300,9 @@ impl LegacyServer {
         // conversion pipeline to hide; this is the behaviour the
         // virtualizer must match from the client's point of view.
         let decoded = match job.spec.format {
-            RecordFormat::Binary => {
-                RecordDecoder::new(job.spec.layout.clone()).decode_batch(&chunk.data)
-                    .map_err(|e| e.to_string())
-            }
+            RecordFormat::Binary => RecordDecoder::new(job.spec.layout.clone())
+                .decode_batch(&chunk.data)
+                .map_err(|e| e.to_string()),
             RecordFormat::Vartext { delimiter, .. } => VartextFormat::with_delimiter(delimiter)
                 .decode_lines(&chunk.data, Some(job.spec.layout.arity()))
                 .map_err(|e| e.to_string()),

@@ -50,7 +50,9 @@ impl Date {
         }
         let dim = days_in_month(year, month);
         if day == 0 || day > dim {
-            return Err(err(format!("day {day} out of range 1..={dim} for {year}-{month:02}")));
+            return Err(err(format!(
+                "day {day} out of range 1..={dim} for {year}-{month:02}"
+            )));
         }
         Ok(Date { year, month, day })
     }
@@ -337,7 +339,10 @@ impl DateFormat {
 
         let read_digits = |pos: &mut usize, n: usize| -> Result<i32, DateParseError> {
             if *pos + n > chars.len() {
-                return Err(err(format!("'{text}' too short for pattern '{}'", self.pattern)));
+                return Err(err(format!(
+                    "'{text}' too short for pattern '{}'",
+                    self.pattern
+                )));
             }
             let slice = &chars[*pos..*pos + n];
             if !slice.iter().all(|c| c.is_ascii_digit()) {
@@ -347,7 +352,9 @@ impl DateFormat {
                 )));
             }
             *pos += n;
-            Ok(slice.iter().fold(0i32, |acc, c| acc * 10 + (*c as i32 - '0' as i32)))
+            Ok(slice
+                .iter()
+                .fold(0i32, |acc, c| acc * 10 + (*c as i32 - '0' as i32)))
         };
 
         for token in &self.tokens {
@@ -426,7 +433,13 @@ mod tests {
 
     #[test]
     fn ordinal_roundtrip() {
-        for (y, m, d) in [(1, 1, 1), (1970, 1, 1), (2000, 2, 29), (2023, 12, 31), (9999, 12, 31)] {
+        for (y, m, d) in [
+            (1, 1, 1),
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (2023, 12, 31),
+            (9999, 12, 31),
+        ] {
             let date = Date::new(y, m, d).unwrap();
             assert_eq!(Date::from_ordinal(date.to_ordinal()).unwrap(), date);
         }
@@ -445,20 +458,32 @@ mod tests {
     #[test]
     fn format_patterns() {
         let f = DateFormat::parse_pattern("YYYY-MM-DD").unwrap();
-        assert_eq!(f.parse("2012-01-01").unwrap(), Date::new(2012, 1, 1).unwrap());
+        assert_eq!(
+            f.parse("2012-01-01").unwrap(),
+            Date::new(2012, 1, 1).unwrap()
+        );
         assert!(f.parse("xxxx").is_err());
         assert!(f.parse("2012-13-01").is_err());
         assert!(f.parse("2012-01-01x").is_err());
 
         let f = DateFormat::parse_pattern("DD/MM/YYYY").unwrap();
-        assert_eq!(f.parse("31/12/1999").unwrap(), Date::new(1999, 12, 31).unwrap());
+        assert_eq!(
+            f.parse("31/12/1999").unwrap(),
+            Date::new(1999, 12, 31).unwrap()
+        );
 
         let f = DateFormat::parse_pattern("YYYYMMDD").unwrap();
         assert_eq!(f.parse("20230704").unwrap(), Date::new(2023, 7, 4).unwrap());
 
         let f = DateFormat::parse_pattern("MM/DD/YY").unwrap();
-        assert_eq!(f.parse("12/12/01").unwrap(), Date::new(2001, 12, 12).unwrap());
-        assert_eq!(f.parse("12/12/75").unwrap(), Date::new(1975, 12, 12).unwrap());
+        assert_eq!(
+            f.parse("12/12/01").unwrap(),
+            Date::new(2001, 12, 12).unwrap()
+        );
+        assert_eq!(
+            f.parse("12/12/75").unwrap(),
+            Date::new(1975, 12, 12).unwrap()
+        );
     }
 
     #[test]

@@ -269,11 +269,7 @@ impl fmt::Display for Decimal {
         let int = abs / factor;
         let frac = abs % factor;
         let sign = if neg { "-" } else { "" };
-        write!(
-            f,
-            "{sign}{int}.{frac:0width$}",
-            width = self.scale as usize
-        )
+        write!(f, "{sign}{int}.{frac:0width$}", width = self.scale as usize)
     }
 }
 
@@ -305,7 +301,14 @@ mod tests {
         let d = Decimal::parse("1.25").unwrap();
         assert_eq!(d.rescale(4).unwrap().to_string(), "1.2500");
         assert_eq!(d.rescale(1).unwrap().to_string(), "1.3"); // round half away
-        assert_eq!(Decimal::parse("-1.25").unwrap().rescale(1).unwrap().to_string(), "-1.3");
+        assert_eq!(
+            Decimal::parse("-1.25")
+                .unwrap()
+                .rescale(1)
+                .unwrap()
+                .to_string(),
+            "-1.3"
+        );
         assert_eq!(d.rescale(0).unwrap().to_string(), "1");
     }
 

@@ -82,9 +82,7 @@ impl Value {
             LegacyType::SmallInt => {
                 self.to_int_ranged(i16::MIN as i64, i16::MAX as i64, "SMALLINT")
             }
-            LegacyType::Integer => {
-                self.to_int_ranged(i32::MIN as i64, i32::MAX as i64, "INTEGER")
-            }
+            LegacyType::Integer => self.to_int_ranged(i32::MIN as i64, i32::MAX as i64, "INTEGER"),
             LegacyType::BigInt => self.to_int_ranged(i64::MIN, i64::MAX, "BIGINT"),
             LegacyType::Float => Ok(Value::Float(self.to_f64()?)),
             LegacyType::Decimal(p, s) => {
@@ -150,10 +148,7 @@ impl Value {
                     }
                     Ok(Value::Bytes(b.clone()))
                 }
-                other => Err(err(format!(
-                    "cannot cast {} to VARBYTE",
-                    other.type_name()
-                ))),
+                other => Err(err(format!("cannot cast {} to VARBYTE", other.type_name()))),
             },
         }
     }
@@ -208,10 +203,7 @@ impl Value {
             Value::Decimal(d) => Ok(*d),
             Value::Str(s) => Decimal::parse(s).map_err(|e| err(e.to_string())),
             Value::Float(f) => Decimal::parse(&format!("{f}")).map_err(|e| err(e.to_string())),
-            other => Err(err(format!(
-                "cannot cast {} to DECIMAL",
-                other.type_name()
-            ))),
+            other => Err(err(format!("cannot cast {} to DECIMAL", other.type_name()))),
         }
     }
 
@@ -298,7 +290,11 @@ mod tests {
 
     #[test]
     fn null_coerces_to_anything() {
-        for ty in [LegacyType::Integer, LegacyType::Date, LegacyType::VarChar(5)] {
+        for ty in [
+            LegacyType::Integer,
+            LegacyType::Date,
+            LegacyType::VarChar(5),
+        ] {
             assert_eq!(Value::Null.coerce_to(ty).unwrap(), Value::Null);
         }
     }
@@ -315,21 +311,31 @@ mod tests {
     #[test]
     fn string_to_int() {
         assert_eq!(
-            Value::Str(" 42 ".into()).coerce_to(LegacyType::Integer).unwrap(),
+            Value::Str(" 42 ".into())
+                .coerce_to(LegacyType::Integer)
+                .unwrap(),
             Value::Int(42)
         );
-        assert!(Value::Str("4x2".into()).coerce_to(LegacyType::Integer).is_err());
+        assert!(Value::Str("4x2".into())
+            .coerce_to(LegacyType::Integer)
+            .is_err());
     }
 
     #[test]
     fn char_pads_varchar_checks_length() {
         assert_eq!(
-            Value::Str("ab".into()).coerce_to(LegacyType::Char(4)).unwrap(),
+            Value::Str("ab".into())
+                .coerce_to(LegacyType::Char(4))
+                .unwrap(),
             Value::Str("ab  ".into())
         );
-        assert!(Value::Str("abcdef".into()).coerce_to(LegacyType::VarChar(5)).is_err());
+        assert!(Value::Str("abcdef".into())
+            .coerce_to(LegacyType::VarChar(5))
+            .is_err());
         assert_eq!(
-            Value::Str("abcde".into()).coerce_to(LegacyType::VarChar(5)).unwrap(),
+            Value::Str("abcde".into())
+                .coerce_to(LegacyType::VarChar(5))
+                .unwrap(),
             Value::Str("abcde".into())
         );
     }
@@ -338,14 +344,20 @@ mod tests {
     fn date_coercions() {
         let d = Date::new(2012, 1, 1).unwrap();
         assert_eq!(
-            Value::Str("2012-01-01".into()).coerce_to(LegacyType::Date).unwrap(),
+            Value::Str("2012-01-01".into())
+                .coerce_to(LegacyType::Date)
+                .unwrap(),
             Value::Date(d)
         );
         assert_eq!(
-            Value::Int(d.to_legacy_int() as i64).coerce_to(LegacyType::Date).unwrap(),
+            Value::Int(d.to_legacy_int() as i64)
+                .coerce_to(LegacyType::Date)
+                .unwrap(),
             Value::Date(d)
         );
-        assert!(Value::Str("xxxx".into()).coerce_to(LegacyType::Date).is_err());
+        assert!(Value::Str("xxxx".into())
+            .coerce_to(LegacyType::Date)
+            .is_err());
         assert!(Value::Float(1.5).coerce_to(LegacyType::Date).is_err());
     }
 
@@ -361,7 +373,10 @@ mod tests {
 
     #[test]
     fn float_to_int_requires_integral() {
-        assert_eq!(Value::Float(5.0).coerce_to(LegacyType::Integer).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Float(5.0).coerce_to(LegacyType::Integer).unwrap(),
+            Value::Int(5)
+        );
         assert!(Value::Float(5.5).coerce_to(LegacyType::Integer).is_err());
     }
 

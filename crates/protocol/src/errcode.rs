@@ -49,6 +49,16 @@ impl ErrCode {
     /// (reproduces the paper's Figure 10 one-million-credit crash as a
     /// reportable error).
     pub const OUT_OF_MEMORY: ErrCode = ErrCode(8998);
+    /// The server is at capacity (session table full or the concurrent-job
+    /// admission limit reached). Retryable: clients back off and resubmit
+    /// with the deterministic schedule in [`crate::backoff`].
+    pub const SERVER_BUSY: ErrCode = ErrCode(8055);
+    /// The server is draining or shutting down and no longer admits new
+    /// sessions or jobs. Not retryable against the same node.
+    pub const SHUTTING_DOWN: ErrCode = ErrCode(8056);
+    /// The session sat idle past the server's configured idle timeout and
+    /// was closed (legacy clients refresh with `Keepalive`).
+    pub const IDLE_TIMEOUT: ErrCode = ErrCode(8057);
     /// Internal error.
     pub const INTERNAL: ErrCode = ErrCode(8999);
 
@@ -69,9 +79,19 @@ impl ErrCode {
             ErrCode::PROTOCOL => "protocol violation",
             ErrCode::SQL_ERROR => "SQL error",
             ErrCode::OUT_OF_MEMORY => "out of memory",
+            ErrCode::SERVER_BUSY => "server busy, retry later",
+            ErrCode::SHUTTING_DOWN => "server is shutting down",
+            ErrCode::IDLE_TIMEOUT => "session idle timeout",
             ErrCode::INTERNAL => "internal error",
             _ => "unknown error",
         }
+    }
+
+    /// Whether a client should back off and retry the same request
+    /// against the same node. Only admission-control rejections qualify;
+    /// everything else is either fatal or job-level.
+    pub fn is_retryable(self) -> bool {
+        self == ErrCode::SERVER_BUSY
     }
 
     /// Whether this error is recorded in the *uniqueness-violation* (UV)

@@ -137,7 +137,10 @@ impl fmt::Display for FrameError {
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             FrameError::BadKind(k) => write!(f, "unknown message kind {k}"),
             FrameError::BadCrc { expected, actual } => {
-                write!(f, "frame CRC mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "frame CRC mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             FrameError::OversizedPayload(n) => write!(f, "payload of {n} bytes exceeds limit"),
             FrameError::Truncated => write!(f, "payload truncated"),

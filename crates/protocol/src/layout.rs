@@ -204,7 +204,9 @@ mod tests {
         let mut layout = Layout::new("L");
         assert_eq!(layout.indicator_bytes(), 0);
         for i in 0..8 {
-            layout.fields.push(FieldDef::new(format!("F{i}"), LegacyType::Integer));
+            layout
+                .fields
+                .push(FieldDef::new(format!("F{i}"), LegacyType::Integer));
         }
         assert_eq!(layout.indicator_bytes(), 1);
         layout.fields.push(FieldDef::new("F8", LegacyType::Integer));

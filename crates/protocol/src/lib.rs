@@ -28,7 +28,10 @@
 //! - [`trace`]: wire-propagated causal trace context (optional payload
 //!   trailer; legacy peers interoperate unchanged).
 //! - [`transport`]: byte transports (TCP and in-memory duplex).
+//! - [`backoff`]: deterministic capped-jitter retry schedule, shared by
+//!   the server's cloud retries and the client's `SERVER_BUSY` backoff.
 
+pub mod backoff;
 pub mod crc;
 pub mod data;
 pub mod errcode;
@@ -40,6 +43,7 @@ pub mod trace;
 pub mod transport;
 pub mod vartext;
 
+pub use backoff::{Backoff, RetryPolicy};
 pub use data::{Date, Decimal, LegacyType, Value};
 pub use errcode::ErrCode;
 pub use frame::{Frame, FrameDecoder, FrameError, MsgKind};
@@ -47,4 +51,4 @@ pub use layout::{FieldDef, Layout};
 pub use message::Message;
 pub use record::{RecordDecoder, RecordEncoder};
 pub use trace::TraceContext;
-pub use transport::{duplex, MemTransport, Transport};
+pub use transport::{duplex, MemTransport, RecvOutcome, Transport};

@@ -70,7 +70,10 @@ impl std::fmt::Display for RecordError {
         match self {
             RecordError::Truncated => write!(f, "record truncated"),
             RecordError::LengthMismatch { declared, actual } => {
-                write!(f, "record length mismatch: declared {declared}, actual {actual}")
+                write!(
+                    f,
+                    "record length mismatch: declared {declared}, actual {actual}"
+                )
             }
             RecordError::BadValue(msg) => write!(f, "bad value: {msg}"),
             RecordError::TooManyFields => write!(f, "too many fields"),
@@ -380,8 +383,7 @@ fn decode_value(ty: LegacyType, body: &mut &[u8]) -> Result<Value, RecordError> 
             need!(4);
             let raw = body.get_i32_le();
             Value::Date(
-                Date::from_legacy_int(raw)
-                    .map_err(|e| RecordError::BadValue(e.to_string()))?,
+                Date::from_legacy_int(raw).map_err(|e| RecordError::BadValue(e.to_string()))?,
             )
         }
         LegacyType::Timestamp => {
@@ -473,8 +475,7 @@ fn decode_field_ref<'a>(ty: LegacyType, body: &mut &'a [u8]) -> Result<FieldRef<
             need!(4);
             let raw = body.get_i32_le();
             FieldRef::Date(
-                Date::from_legacy_int(raw)
-                    .map_err(|e| RecordError::BadValue(e.to_string()))?,
+                Date::from_legacy_int(raw).map_err(|e| RecordError::BadValue(e.to_string()))?,
             )
         }
         LegacyType::Timestamp => {
@@ -732,10 +733,13 @@ mod tests {
         let enc = RecordEncoder::new(layout.clone());
         let dec = RecordDecoder::new(layout);
         let mut buf = Vec::new();
-        enc.encode_record(&[Value::Str("17".into())], &mut buf).unwrap();
+        enc.encode_record(&[Value::Str("17".into())], &mut buf)
+            .unwrap();
         assert_eq!(dec.decode_batch(&buf).unwrap()[0][0], Value::Int(17));
         // Non-numeric text in an INTEGER field is a client-side error.
         let mut buf = Vec::new();
-        assert!(enc.encode_record(&[Value::Str("xx".into())], &mut buf).is_err());
+        assert!(enc
+            .encode_record(&[Value::Str("xx".into())], &mut buf)
+            .is_err());
     }
 }

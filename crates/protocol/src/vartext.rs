@@ -371,7 +371,10 @@ mod tests {
     fn field_count_enforced() {
         assert!(matches!(
             fmt().decode_line(b"a|b", Some(3)),
-            Err(VartextError::FieldCount { expected: 3, actual: 2 })
+            Err(VartextError::FieldCount {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

@@ -47,10 +47,7 @@ fn rows_strategy() -> impl Strategy<Value = (Vec<LegacyType>, Vec<Vec<Value>>)> 
     proptest::collection::vec(field_value(), 1..8).prop_flat_map(|first_row| {
         let types: Vec<LegacyType> = first_row.iter().map(|(t, _)| *t).collect();
         let types2 = types.clone();
-        let row_strategies: Vec<_> = types
-            .iter()
-            .map(|t| value_for_type(*t).boxed())
-            .collect();
+        let row_strategies: Vec<_> = types.iter().map(|t| value_for_type(*t).boxed()).collect();
         proptest::collection::vec(row_strategies, 1..20)
             .prop_map(move |rows| (types2.clone(), rows))
     })

@@ -291,10 +291,7 @@ pub fn parse_script(src: &str) -> Result<Script, ParseError> {
         if !raw.starts_with('.') {
             return Err(ParseError {
                 line,
-                message: format!(
-                    "SQL outside a .dml/.export block: `{}`",
-                    truncate(raw)
-                ),
+                message: format!("SQL outside a .dml/.export block: `{}`", truncate(raw)),
             });
         }
         let head_end = raw
@@ -414,14 +411,12 @@ pub fn parse_script(src: &str) -> Result<Script, ParseError> {
                         while i < w.len() {
                             match w[i].to_ascii_lowercase().as_str() {
                                 "sessions" => {
-                                    sessions = Some(
-                                        get(i + 1, "session count")?.parse().map_err(|_| {
-                                            ParseError {
-                                                line,
-                                                message: "sessions expects a number".into(),
-                                            }
-                                        })?,
-                                    );
+                                    sessions = Some(get(i + 1, "session count")?.parse().map_err(
+                                        |_| ParseError {
+                                            line,
+                                            message: "sessions expects a number".into(),
+                                        },
+                                    )?);
                                     i += 2;
                                 }
                                 other => {
@@ -583,11 +578,7 @@ fn unquote(token: &str) -> String {
 
 /// Parse `vartext '|'` or `binary` starting at `w[i]`; returns the format
 /// and the number of words consumed.
-fn parse_format(
-    w: &[String],
-    i: usize,
-    line: usize,
-) -> Result<(ScriptFormat, usize), ParseError> {
+fn parse_format(w: &[String], i: usize, line: usize) -> Result<(ScriptFormat, usize), ParseError> {
     let kind = w
         .get(i)
         .ok_or_else(|| ParseError {

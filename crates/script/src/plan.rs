@@ -167,10 +167,9 @@ pub fn compile(script: &Script) -> Result<JobPlan, PlanError> {
                         layout.name
                     )));
                 }
-                layout.fields.push(etlv_protocol::layout::FieldDef::new(
-                    name.clone(),
-                    *ty,
-                ));
+                layout
+                    .fields
+                    .push(etlv_protocol::layout::FieldDef::new(name.clone(), *ty));
             }
             Command::BeginImport {
                 target,
@@ -396,7 +395,9 @@ insert into T values (:A);
 "#;
         assert!(compile_src(src).unwrap_err().message.contains("NOPE"));
 
-        let src2 = src.replace("layout NOPE", "layout L").replace("apply X", "apply Y");
+        let src2 = src
+            .replace("layout NOPE", "layout L")
+            .replace("apply X", "apply Y");
         assert!(compile_src(&src2).unwrap_err().message.contains('Y'));
     }
 
@@ -421,7 +422,10 @@ insert into T values (:A);
 
     #[test]
     fn structural_validation() {
-        assert!(compile_src(".logon h/u,p;").unwrap_err().message.contains("no .begin"));
+        assert!(compile_src(".logon h/u,p;")
+            .unwrap_err()
+            .message
+            .contains("no .begin"));
         let no_end = r#"
 .logon h/u,p;
 .layout L;
@@ -431,7 +435,10 @@ insert into T values (:A);
 insert into T values (:A);
 .import infile f.txt format vartext '|' layout L apply X;
 "#;
-        assert!(compile_src(no_end).unwrap_err().message.contains(".end load"));
+        assert!(compile_src(no_end)
+            .unwrap_err()
+            .message
+            .contains(".end load"));
     }
 
     #[test]
@@ -452,7 +459,10 @@ this is not sql at all;
 .import infile f.txt format vartext '|' layout L apply X;
 .end load
 "#;
-        assert!(compile_src(src).unwrap_err().message.contains("does not parse"));
+        assert!(compile_src(src)
+            .unwrap_err()
+            .message
+            .contains("does not parse"));
     }
 
     #[test]

@@ -410,10 +410,7 @@ mod tests {
     #[test]
     fn quoted_idents_preserve_case() {
         assert_eq!(lex("\"MiXeD\""), vec![Token::QuotedIdent("MiXeD".into())]);
-        assert_eq!(
-            lex("\"a\"\"b\""),
-            vec![Token::QuotedIdent("a\"b".into())]
-        );
+        assert_eq!(lex("\"a\"\"b\""), vec![Token::QuotedIdent("a\"b".into())]);
     }
 
     #[test]
@@ -445,10 +442,7 @@ mod tests {
 
     #[test]
     fn placeholders() {
-        assert_eq!(
-            lex(":cust_id"),
-            vec![Token::Placeholder("CUST_ID".into())]
-        );
+        assert_eq!(lex(":cust_id"), vec![Token::Placeholder("CUST_ID".into())]);
         assert!(Lexer::tokenize(": x").is_err());
     }
 

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.token_index, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.token_index, self.message
+        )
     }
 }
 
@@ -204,9 +208,7 @@ impl Parser {
                 "UPDATE" | "UPD" => self.parse_update(),
                 "DELETE" | "DEL" => self.parse_delete(),
                 "SELECT" => self.parse_select().map(Stmt::Select),
-                "SEL" if self.dialect.allows_sel_keyword() => {
-                    self.parse_select().map(Stmt::Select)
-                }
+                "SEL" if self.dialect.allows_sel_keyword() => self.parse_select().map(Stmt::Select),
                 "COPY" if self.dialect.allows_copy() => self.parse_copy(),
                 other => Err(self.err(format!("unexpected statement keyword {other}"))),
             },
@@ -441,7 +443,9 @@ impl Parser {
                 }
             }
             InsertSource::Values(rows)
-        } else if self.at_keyword("SELECT") || (self.dialect.allows_sel_keyword() && self.at_keyword("SEL")) {
+        } else if self.at_keyword("SELECT")
+            || (self.dialect.allows_sel_keyword() && self.at_keyword("SEL"))
+        {
             InsertSource::Select(Box::new(self.parse_select()?))
         } else {
             return Err(self.err("expected VALUES or SELECT after INSERT INTO"));
@@ -796,9 +800,9 @@ impl Parser {
                 // literal -5 (and render→parse is structurally stable).
                 Ok(match e {
                     Expr::Literal(Literal::Integer(v)) => Expr::Literal(Literal::Integer(-v)),
-                    Expr::Literal(Literal::Decimal(d)) => Expr::Literal(Literal::Decimal(
-                        Decimal::new(-d.unscaled(), d.scale()),
-                    )),
+                    Expr::Literal(Literal::Decimal(d)) => {
+                        Expr::Literal(Literal::Decimal(Decimal::new(-d.unscaled(), d.scale())))
+                    }
                     Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
                     other => Expr::Unary {
                         op: UnaryOp::Neg,
@@ -1149,8 +1153,18 @@ mod tests {
         };
         // 1 + (2 * 3)
         match expr {
-            Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                assert!(matches!(**right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("got {other:?}"),
         }
@@ -1163,8 +1177,18 @@ mod tests {
         };
         // OR at top.
         match sel.selection.unwrap() {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => {
-                assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("got {other:?}"),
         }
@@ -1197,7 +1221,11 @@ mod tests {
             panic!()
         };
         match sel.selection.unwrap() {
-            Expr::Binary { op: BinaryOp::And, left, .. } => {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                ..
+            } => {
                 assert!(matches!(*left, Expr::Between { .. }));
             }
             other => panic!("got {other:?}"),
@@ -1206,16 +1234,22 @@ mod tests {
 
     #[test]
     fn case_expressions() {
-        let Stmt::Select(sel) =
-            cdw("SELECT CASE WHEN A > 0 THEN 'pos' ELSE 'neg' END, CASE B WHEN 1 THEN 'one' END FROM T")
-        else {
+        let Stmt::Select(sel) = cdw(
+            "SELECT CASE WHEN A > 0 THEN 'pos' ELSE 'neg' END, CASE B WHEN 1 THEN 'one' END FROM T",
+        ) else {
             panic!()
         };
         assert_eq!(sel.projection.len(), 2);
         let SelectItem::Expr { expr, .. } = &sel.projection[1] else {
             panic!()
         };
-        assert!(matches!(expr, Expr::Case { operand: Some(_), .. }));
+        assert!(matches!(
+            expr,
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1307,10 +1341,7 @@ mod tests {
         let SelectItem::Expr { expr, .. } = &sel.projection[0] else {
             panic!()
         };
-        assert!(matches!(
-            expr,
-            Expr::Function { distinct: true, .. }
-        ));
+        assert!(matches!(expr, Expr::Function { distinct: true, .. }));
     }
 
     #[test]

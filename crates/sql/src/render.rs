@@ -88,7 +88,11 @@ fn write_stmt(out: &mut String, stmt: &Stmt, d: Dialect) {
                 }
                 first = false;
                 let TableConstraint::Unique { columns, primary } = c;
-                out.push_str(if *primary { "PRIMARY KEY (" } else { "UNIQUE (" });
+                out.push_str(if *primary {
+                    "PRIMARY KEY ("
+                } else {
+                    "UNIQUE ("
+                });
                 for (i, col) in columns.iter().enumerate() {
                     if i > 0 {
                         out.push_str(", ");

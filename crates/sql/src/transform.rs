@@ -185,10 +185,7 @@ pub fn map_placeholders(stmt: &Stmt, mut lookup: impl FnMut(&str) -> Option<Expr
 }
 
 /// Substitute placeholders with literal values (per-tuple binding).
-pub fn bind_placeholders(
-    stmt: &Stmt,
-    mut value_of: impl FnMut(&str) -> Option<Literal>,
-) -> Stmt {
+pub fn bind_placeholders(stmt: &Stmt, mut value_of: impl FnMut(&str) -> Option<Literal>) -> Stmt {
     map_placeholders(stmt, |name| value_of(name).map(Expr::Literal))
 }
 
@@ -219,9 +216,7 @@ mod tests {
     #[test]
     fn unbound_placeholders_survive() {
         let stmt = legacy("INSERT INTO T VALUES (:A, :B)");
-        let bound = bind_placeholders(&stmt, |name| {
-            (name == "A").then_some(Literal::Integer(1))
-        });
+        let bound = bind_placeholders(&stmt, |name| (name == "A").then_some(Literal::Integer(1)));
         assert_eq!(bound.placeholders(), vec!["B".to_string()]);
     }
 
@@ -255,7 +250,8 @@ mod tests {
 
     #[test]
     fn select_positions_rewritten() {
-        let stmt = legacy("SELECT :A FROM T WHERE C = :B GROUP BY D HAVING COUNT(*) > :A ORDER BY :B");
+        let stmt =
+            legacy("SELECT :A FROM T WHERE C = :B GROUP BY D HAVING COUNT(*) > :A ORDER BY :B");
         let bound = bind_placeholders(&stmt, |_| Some(Literal::Integer(1)));
         assert!(bound.placeholders().is_empty());
     }

@@ -204,6 +204,9 @@ mod tests {
             "NVARCHAR(50)"
         );
         assert_eq!(SqlType::ByteInt.render(Dialect::Cdw), "SMALLINT");
-        assert_eq!(SqlType::Decimal(10, 2).render(Dialect::Cdw), "DECIMAL(10,2)");
+        assert_eq!(
+            SqlType::Decimal(10, 2).render(Dialect::Cdw),
+            "DECIMAL(10,2)"
+        );
     }
 }

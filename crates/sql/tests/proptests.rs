@@ -13,17 +13,81 @@ fn ident_strategy() -> impl Strategy<Value = String> {
     "[A-Z][A-Z0-9_]{0,8}".prop_filter("not reserved", |s| {
         !matches!(
             s.as_str(),
-            "SELECT" | "SEL" | "FROM" | "WHERE" | "AND" | "OR" | "NOT" | "NULL" | "IN"
-                | "IS" | "AS" | "BETWEEN" | "LIKE" | "CASE" | "WHEN" | "THEN" | "ELSE"
-                | "END" | "CAST" | "DATE" | "GROUP" | "HAVING" | "ORDER" | "BY" | "LIMIT"
-                | "MOD" | "JOIN" | "ON" | "INNER" | "LEFT" | "OUTER" | "DESC" | "ASC"
-                | "TOP" | "DISTINCT" | "VALUES" | "SET" | "INTEGER" | "INT" | "BIGINT"
-                | "SMALLINT" | "BYTEINT" | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL"
-                | "NUMERIC" | "CHAR" | "CHARACTER" | "VARCHAR" | "NVARCHAR" | "VARBYTE"
-                | "TIMESTAMP" | "UNION" | "INSERT" | "INS" | "UPDATE" | "UPD" | "DELETE"
-                | "DEL" | "INTO" | "CREATE" | "DROP" | "TABLE" | "COPY" | "LOCKING"
-                | "FOR" | "ACCESS" | "ALL" | "EXISTS" | "IF" | "PRIMARY" | "KEY"
-                | "UNIQUE" | "INDEX"
+            "SELECT"
+                | "SEL"
+                | "FROM"
+                | "WHERE"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "NULL"
+                | "IN"
+                | "IS"
+                | "AS"
+                | "BETWEEN"
+                | "LIKE"
+                | "CASE"
+                | "WHEN"
+                | "THEN"
+                | "ELSE"
+                | "END"
+                | "CAST"
+                | "DATE"
+                | "GROUP"
+                | "HAVING"
+                | "ORDER"
+                | "BY"
+                | "LIMIT"
+                | "MOD"
+                | "JOIN"
+                | "ON"
+                | "INNER"
+                | "LEFT"
+                | "OUTER"
+                | "DESC"
+                | "ASC"
+                | "TOP"
+                | "DISTINCT"
+                | "VALUES"
+                | "SET"
+                | "INTEGER"
+                | "INT"
+                | "BIGINT"
+                | "SMALLINT"
+                | "BYTEINT"
+                | "FLOAT"
+                | "REAL"
+                | "DOUBLE"
+                | "DECIMAL"
+                | "NUMERIC"
+                | "CHAR"
+                | "CHARACTER"
+                | "VARCHAR"
+                | "NVARCHAR"
+                | "VARBYTE"
+                | "TIMESTAMP"
+                | "UNION"
+                | "INSERT"
+                | "INS"
+                | "UPDATE"
+                | "UPD"
+                | "DELETE"
+                | "DEL"
+                | "INTO"
+                | "CREATE"
+                | "DROP"
+                | "TABLE"
+                | "COPY"
+                | "LOCKING"
+                | "FOR"
+                | "ACCESS"
+                | "ALL"
+                | "EXISTS"
+                | "IF"
+                | "PRIMARY"
+                | "KEY"
+                | "UNIQUE"
+                | "INDEX"
         )
     })
 }
@@ -32,8 +96,7 @@ fn literal_strategy() -> impl Strategy<Value = Literal> {
     prop_oneof![
         Just(Literal::Null),
         any::<i32>().prop_map(|v| Literal::Integer(v as i64)),
-        (any::<i32>(), 1u8..5)
-            .prop_map(|(u, s)| Literal::Decimal(Decimal::new(u as i128, s))),
+        (any::<i32>(), 1u8..5).prop_map(|(u, s)| Literal::Decimal(Decimal::new(u as i128, s))),
         "[ -~]{0,20}".prop_map(Literal::Str),
         (1i32..9999, 1u8..13, 1u8..29)
             .prop_map(|(y, m, d)| Literal::Date(Date::new(y, m, d).unwrap())),
@@ -74,7 +137,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 expr: Box::new(e),
                 negated,
             }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -98,7 +165,10 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 ty: SqlType::Date,
                 format: Some(fmt),
             }),
-            (ident_strategy(), proptest::collection::vec(inner.clone(), 0..3))
+            (
+                ident_strategy(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(name, args)| Expr::Function {
                     name,
                     args,

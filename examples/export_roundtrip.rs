@@ -42,8 +42,7 @@ fn main() {
     session.sql(&workload.target_ddl).unwrap();
     session.logoff();
 
-    let JobPlan::Import(import) = compile(&parse_script(&workload.script).unwrap()).unwrap()
-    else {
+    let JobPlan::Import(import) = compile(&parse_script(&workload.script).unwrap()).unwrap() else {
         unreachable!()
     };
     let client = LegacyEtlClient::with_options(
@@ -96,5 +95,8 @@ from PROD.CUSTOMER order by CUST_ID;
     let mut sorted = ids.clone();
     sorted.sort();
     assert_eq!(ids, sorted, "export chunks reassembled out of order");
-    println!("\nexport order verified: {} records, strictly sorted", ids.len());
+    println!(
+        "\nexport order verified: {} records, strictly sorted",
+        ids.len()
+    );
 }

@@ -182,6 +182,7 @@ fn dropped_frame_times_out_cleanly() {
             chunk_rows: 10,
             sessions: Some(1),
             read_timeout: Some(Duration::from_millis(300)),
+            ..Default::default()
         },
     );
     match client.run_import_data(&import_job(), &rows(50)) {

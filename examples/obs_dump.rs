@@ -145,7 +145,12 @@ fn main() {
         .unwrap();
         let reply = session.trace(job).unwrap();
         println!("\n== Trace over the legacy wire protocol ==");
-        println!("TraceReply(job={}, found={}): {} bytes", reply.job, reply.found, reply.body.len());
+        println!(
+            "TraceReply(job={}, found={}): {} bytes",
+            reply.job,
+            reply.found,
+            reply.body.len()
+        );
         session.logoff();
         return;
     }

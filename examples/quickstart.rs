@@ -94,13 +94,21 @@ fn main() {
     //    legacy protocol.
     let mut session =
         Session::logon(connector.as_ref(), "admin", "pw", SessionRole::Control, 0).unwrap();
-    print_table(&mut session, "PROD.CUSTOMER", "select * from PROD.CUSTOMER order by CUST_ID");
+    print_table(
+        &mut session,
+        "PROD.CUSTOMER",
+        "select * from PROD.CUSTOMER order by CUST_ID",
+    );
     print_table(
         &mut session,
         "PROD.CUSTOMER_ET",
         "select * from PROD.CUSTOMER_ET order by SEQNO",
     );
-    print_table(&mut session, "PROD.CUSTOMER_UV", "select * from PROD.CUSTOMER_UV");
+    print_table(
+        &mut session,
+        "PROD.CUSTOMER_UV",
+        "select * from PROD.CUSTOMER_UV",
+    );
     session.logoff();
 }
 

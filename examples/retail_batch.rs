@@ -245,4 +245,3 @@ fn run_transform_group(connector: &Arc<dyn etlv_legacy_client::Connect>, group: 
     }
     session.logoff();
 }
-

@@ -198,7 +198,10 @@ impl BytesMut {
         let front = self[..at].to_vec();
         self.head += at;
         self.compact();
-        BytesMut { buf: front, head: 0 }
+        BytesMut {
+            buf: front,
+            head: 0,
+        }
     }
 
     /// Freeze into an immutable [`Bytes`].

@@ -265,9 +265,7 @@ mod tests {
         group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &v| {
             b.iter(|| black_box(v * 2))
         });
-        group.bench_function("custom", |b| {
-            b.iter_custom(Duration::from_micros)
-        });
+        group.bench_function("custom", |b| b.iter_custom(Duration::from_micros));
         group.finish();
     }
 }

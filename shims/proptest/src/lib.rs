@@ -486,9 +486,11 @@ mod tests {
                 Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
-            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
-        });
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::for_case("rec", 1);
         for _ in 0..100 {
             assert!(depth(&strat.generate(&mut rng)) <= 4);

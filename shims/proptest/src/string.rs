@@ -78,9 +78,7 @@ pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
     Ok(RegexGeneratorStrategy { segments })
 }
 
-fn parse_class(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-) -> Result<Vec<char>, Error> {
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
     let mut items: Vec<char> = Vec::new();
     let mut choices = Vec::new();
     loop {
@@ -220,8 +218,7 @@ mod tests {
             assert!(s.len() <= 40);
             for c in s.chars() {
                 assert!(
-                    c.is_ascii_alphanumeric()
-                        || " _|,\\\"'-".contains(c),
+                    c.is_ascii_alphanumeric() || " _|,\\\"'-".contains(c),
                     "unexpected {c:?} in {s:?}"
                 );
             }

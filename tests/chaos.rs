@@ -11,11 +11,15 @@ use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use etlv_cdw::{Cdw, CdwConfig};
+use etlv_cloudstore::{MemStore, ObjectStore};
 use etlv_core::{
     FaultPlan, FaultSpec, StorePutFailure, TransportFailure, Virtualizer, VirtualizerConfig,
 };
-use etlv_legacy_client::{ClientError, ClientOptions, FnConnector, LegacyEtlClient, Session};
-use etlv_protocol::message::SessionRole;
+use etlv_legacy_client::{
+    ClientError, ClientOptions, FnConnector, LegacyEtlClient, Session, TcpConnector,
+};
+use etlv_protocol::message::{BeginLoad, DataChunk, Message, SessionRole};
 use etlv_protocol::transport::{duplex, ChaosTransport, Transport};
 use etlv_script::{compile, parse_script, ImportJob, JobPlan};
 
@@ -312,6 +316,7 @@ fn transport_drop_surfaces_as_timeout_not_hang() {
             chunk_rows: 10,
             sessions: Some(1),
             read_timeout: Some(Duration::from_millis(300)),
+            ..Default::default()
         },
     );
     let err = client
@@ -345,6 +350,7 @@ fn transport_truncate_mid_chunk_surfaces_as_error() {
             chunk_rows: 10,
             sessions: Some(1),
             read_timeout: Some(Duration::from_secs(2)),
+            ..Default::default()
         },
     );
     let err = client
@@ -373,6 +379,7 @@ fn transport_sever_fails_fast() {
             chunk_rows: 10,
             sessions: Some(1),
             read_timeout: Some(Duration::from_secs(2)),
+            ..Default::default()
         },
     );
     let err = client
@@ -408,6 +415,7 @@ fn random_faults_with_same_seed_reproduce_exactly() {
                 chunk_rows: 10,
                 sessions: Some(1),
                 read_timeout: None,
+                ..Default::default()
             },
         );
         let result = client.run_import_data(&import_job(), &rows(120)).unwrap();
@@ -441,4 +449,87 @@ fn fault_free_plan_changes_nothing() {
     assert_eq!(result.report.faults_injected, 0);
     assert_eq!(v.fault_counts().unwrap().total(), 0);
     assert_quiescent(&v);
+}
+
+/// The PR-5 orphaned-job regression: a legacy client that dies mid-load
+/// (process crash, network partition — here: both TCP links dropped with
+/// the job still open) must leave NOTHING behind on the node. The session
+/// layer aborts the orphaned job on disconnect: queued chunks are
+/// discarded (credits and memory come home), the staging table, error
+/// tables, and staged objects are deleted, and the loss is recorded as an
+/// aborted job report.
+#[test]
+fn client_disconnect_mid_load_leaves_no_residue() {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cdw = Cdw::with_config(CdwConfig::default(), Some(Arc::clone(&store)));
+    let config = VirtualizerConfig::default();
+    let bucket = config.staging_bucket.clone();
+    let v = Virtualizer::with_backends(config, cdw, Arc::clone(&store));
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let connector = TcpConnector::new(server.addr().to_string());
+    create_target(&connector);
+
+    // Open the load by hand (the real client would never stop half-way).
+    let job = import_job();
+    let mut control = Session::logon(&connector, "u", "p", SessionRole::Control, 0).unwrap();
+    let load_token = match control
+        .request(Message::BeginLoad(BeginLoad {
+            target_table: job.target.clone(),
+            error_table_et: job.error_table_et.clone(),
+            error_table_uv: job.error_table_uv.clone(),
+            layout: job.layout.clone(),
+            format: job.format,
+            sessions: 1,
+            error_limit: 0,
+            trace: None,
+        }))
+        .unwrap()
+    {
+        Message::BeginLoadOk { load_token } => load_token,
+        other => panic!("expected BeginLoadOk, got {other:?}"),
+    };
+    let mut data = Session::logon(&connector, "u", "p", SessionRole::Data, load_token).unwrap();
+    let payload = rows(50);
+    let reply = data
+        .request(Message::DataChunk(DataChunk {
+            chunk_seq: 1,
+            base_seq: 1,
+            record_count: 50,
+            data: payload.into(),
+        }))
+        .unwrap();
+    assert!(matches!(reply, Message::Ack { chunk_seq: 1 }));
+    assert_eq!(v.active_jobs(), 1);
+
+    // Sever both links without EndLoad or Logoff: the client is gone.
+    drop(data);
+    drop(control);
+
+    // The server notices the dead control session and aborts its job.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while v.active_jobs() > 0 || v.active_sessions() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "orphaned job not reaped: {} jobs, {} sessions still active",
+            v.active_jobs(),
+            v.active_sessions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Zero residue: credits home, no in-flight memory, no staged objects,
+    // no staging or error tables; the target table is untouched.
+    assert_quiescent(&v);
+    assert_eq!(store.list(&bucket, "").unwrap(), Vec::<String>::new());
+    assert!(!v.cdw().table_exists(&format!("ETLV_STG_{load_token}")));
+    assert!(!v.cdw().table_exists("T_ET"));
+    assert!(!v.cdw().table_exists("T_UV"));
+    assert_eq!(v.cdw().table_len("T").unwrap(), 0);
+
+    // The loss is visible: an aborted report and the node counter.
+    let report = v.last_job_report().expect("abort recorded a report");
+    assert!(report.aborted, "report must be marked aborted");
+    assert_eq!(report.rows_received, 50);
+    assert_eq!(v.metrics().jobs_aborted, 1);
+    server.shutdown();
 }

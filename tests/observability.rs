@@ -68,7 +68,9 @@ fn counter(snapshot: &str, name: &str) -> u64 {
     // The JSON document renders counters as `"name": value` pairs; pull
     // one out without a JSON parser (the workspace carries none).
     let key = format!("\"{name}\": ");
-    let at = snapshot.find(&key).unwrap_or_else(|| panic!("{name} not in snapshot"));
+    let at = snapshot
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} not in snapshot"));
     snapshot[at + key.len()..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
@@ -155,7 +157,13 @@ fn import_populates_every_subsystem() {
     assert_eq!(obs.credit.acquires.value(), 20, "one credit per chunk");
     // The journal saw the job's lifecycle.
     let kinds: Vec<&str> = obs.journal.tail(4096).iter().map(|e| e.kind).collect();
-    for kind in ["job.begin", "chunk.convert", "file.upload", "copy", "job.end"] {
+    for kind in [
+        "job.begin",
+        "chunk.convert",
+        "file.upload",
+        "copy",
+        "job.end",
+    ] {
         assert!(kinds.contains(&kind), "journal missing {kind}: {kinds:?}");
     }
 }
@@ -176,7 +184,9 @@ fn stats_snapshot_consistent_with_node_metrics() {
             ..Default::default()
         },
     );
-    client.run_import_data(&import_job(), &clean_rows(100)).unwrap();
+    client
+        .run_import_data(&import_job(), &clean_rows(100))
+        .unwrap();
 
     let snapshot = v.stats_snapshot();
     let metrics = v.metrics();
@@ -246,7 +256,9 @@ fn report_ring_is_bounded() {
     });
     for n in [10usize, 20, 30] {
         let client = LegacyEtlClient::new(connector(&v));
-        client.run_import_data(&import_job(), &clean_rows(n)).unwrap();
+        client
+            .run_import_data(&import_job(), &clean_rows(n))
+            .unwrap();
     }
     let recent = v.recent_job_reports();
     assert_eq!(recent.len(), 2, "oldest report evicted");
@@ -271,7 +283,9 @@ fn export_rows_and_bytes_counted() {
         .unwrap();
     for i in 0..50 {
         v.cdw()
-            .execute(&format!("INSERT INTO PROD.CUSTOMER VALUES ('c{i:03}', 'name{i}')"))
+            .execute(&format!(
+                "INSERT INTO PROD.CUSTOMER VALUES ('c{i:03}', 'name{i}')"
+            ))
             .unwrap();
     }
     let src = ".logon h/u,p;\n.begin export sessions 2;\n.export outfile out format vartext '|';\nselect CUST_ID, CUST_NAME from PROD.CUSTOMER order by CUST_ID;\n.end export;\n";
@@ -324,7 +338,9 @@ fn load_report_retry_split_consistent() {
             ..Default::default()
         },
     );
-    let result = client.run_import_data(&import_job(), &clean_rows(100)).unwrap();
+    let result = client
+        .run_import_data(&import_job(), &clean_rows(100))
+        .unwrap();
     let report = &result.report;
     assert_eq!(report.rows_applied, 100, "faults absorbed by retries");
     assert!(report.upload_retries >= 1, "store_put faults retried");
@@ -344,5 +360,106 @@ fn load_report_retry_split_consistent() {
         );
         let snapshot = v.stats_snapshot();
         assert!(counter(&snapshot, "fault.injected_total") >= 3);
+    }
+}
+
+/// The PR 5 session-lifecycle surface: session open/close counters stay
+/// symmetric, the active-session/job gauges return to zero, and an
+/// abandoned job shows up as `jobs_aborted` in both snapshot formats —
+/// with the Prometheus rendering carrying TYPE metadata for each.
+#[test]
+fn session_lifecycle_metrics_are_symmetric_and_rendered() {
+    use etlv_legacy_client::Session;
+    use etlv_protocol::message::{BeginLoad, Message};
+
+    let v = new_virtualizer(VirtualizerConfig::default());
+    v.cdw()
+        .execute("CREATE TABLE T (A VARCHAR(5), B VARCHAR(50))")
+        .unwrap();
+    let connector = connector(&v);
+
+    // One clean import...
+    let client = LegacyEtlClient::with_options(
+        connector.clone(),
+        ClientOptions {
+            chunk_rows: 25,
+            sessions: Some(2),
+            ..Default::default()
+        },
+    );
+    client
+        .run_import_data(&import_job(), &clean_rows(100))
+        .unwrap();
+
+    // ...and one abandoned one: logon, begin a load, vanish without
+    // EndLoad or Logoff. The serve loop notices the dead link and aborts.
+    let job = import_job();
+    let mut control =
+        Session::logon(connector.as_ref(), "u", "p", SessionRole::Control, 0).unwrap();
+    let reply = control
+        .request(Message::BeginLoad(BeginLoad {
+            target_table: job.target.clone(),
+            error_table_et: job.error_table_et.clone(),
+            error_table_uv: job.error_table_uv.clone(),
+            layout: job.layout.clone(),
+            format: job.format,
+            sessions: 1,
+            error_limit: 0,
+            trace: None,
+        }))
+        .unwrap();
+    assert!(matches!(reply, Message::BeginLoadOk { .. }));
+    drop(control);
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while v.active_jobs() > 0 || v.active_sessions() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned job not reaped"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(v.metrics().jobs_aborted, 1);
+
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    let obs = v.obs();
+    assert_eq!(
+        obs.gateway.sessions_opened.value(),
+        obs.gateway.sessions_closed.value(),
+        "every opened session must be closed"
+    );
+    assert_eq!(obs.gateway.active_sessions.value(), 0);
+    assert_eq!(obs.gateway.active_jobs.value(), 0);
+    assert_eq!(obs.gateway.jobs_aborted.value(), 1);
+    assert!(obs.runtime.threads_started.value() >= 1, "shared pool ran");
+
+    // JSON snapshot carries the new counters and the node-level total.
+    let snapshot = v.stats_snapshot();
+    assert!(counter(&snapshot, "gateway.sessions_opened") >= 4);
+    assert_eq!(
+        counter(&snapshot, "gateway.sessions_opened"),
+        counter(&snapshot, "gateway.sessions_closed")
+    );
+    assert_eq!(counter(&snapshot, "gateway.active_sessions"), 0);
+    assert_eq!(counter(&snapshot, "gateway.active_jobs"), 0);
+    assert_eq!(counter(&snapshot, "gateway.jobs_aborted"), 1);
+    assert_eq!(counter(&snapshot, "jobs_aborted"), 1, "node section");
+
+    // Prometheus: samples present, each under its own TYPE line.
+    let prom = v.stats_prometheus();
+    assert!(prom.contains("etlv_node_jobs_aborted 1\n"), "{prom}");
+    for metric in [
+        "etlv_gateway_sessions_closed",
+        "etlv_gateway_active_sessions",
+        "etlv_gateway_active_jobs",
+        "etlv_gateway_jobs_aborted",
+        "etlv_gateway_admission_rejections",
+        "etlv_server_connections",
+        "etlv_runtime_threads_started",
+    ] {
+        assert!(prom.contains(&format!("# TYPE {metric} ")), "{metric} TYPE");
+        assert!(prom.contains(&format!("\n{metric} ")), "{metric} sample");
     }
 }

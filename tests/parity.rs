@@ -43,7 +43,12 @@ fn virtualizer_connector(v: &Virtualizer) -> Conn {
 
 /// Run the workload against both systems (creating the target through the
 /// legacy protocol in both cases) and compare outcomes.
-fn run_both(spec: &CustomerSpec) -> (etlv_legacy_client::ImportResult, etlv_legacy_client::ImportResult) {
+fn run_both(
+    spec: &CustomerSpec,
+) -> (
+    etlv_legacy_client::ImportResult,
+    etlv_legacy_client::ImportResult,
+) {
     let workload = customer_workload(spec);
     let JobPlan::Import(job) = compile(&parse_script(&workload.script).unwrap()).unwrap() else {
         panic!()

@@ -38,7 +38,9 @@ fn sql_passthrough_dml_and_recovery() {
     session
         .sql("CREATE TABLE T (A INTEGER, B VARCHAR(10) CHARACTER SET UNICODE)")
         .unwrap();
-    session.sql("INSERT INTO T VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
+    session
+        .sql("INSERT INTO T VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+        .unwrap();
 
     // A SQL error must not kill the control session.
     assert!(session.sql("SELECT nope FROM T").is_err());
@@ -210,7 +212,9 @@ fn throttled_compressed_upload_still_correct() {
     let connector = connector(&v);
     let mut session =
         Session::logon(connector.as_ref(), "ops", "pw", SessionRole::Control, 0).unwrap();
-    session.sql("CREATE TABLE T (A VARCHAR(8), B VARCHAR(64))").unwrap();
+    session
+        .sql("CREATE TABLE T (A VARCHAR(8), B VARCHAR(64))")
+        .unwrap();
     session.logoff();
 
     let script = r#"

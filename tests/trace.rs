@@ -9,9 +9,7 @@ use std::time::Duration;
 
 use etlv_core::{Virtualizer, VirtualizerConfig};
 use etlv_legacy_client::{ClientOptions, FnConnector, LegacyEtlClient, Session};
-use etlv_protocol::message::{
-    BeginLoad, DataChunk, EndLoad, Message, SessionRole, StatsFormat,
-};
+use etlv_protocol::message::{BeginLoad, DataChunk, EndLoad, Message, SessionRole, StatsFormat};
 use etlv_protocol::transport::{duplex, Transport};
 use etlv_script::{compile, parse_script, JobPlan};
 
@@ -86,7 +84,9 @@ fn multi_chunk_import_yields_complete_span_tree() {
             ..Default::default()
         },
     );
-    let result = client.run_import_data(&import_job(), &clean_rows(200)).unwrap();
+    let result = client
+        .run_import_data(&import_job(), &clean_rows(200))
+        .unwrap();
     assert_eq!(result.report.rows_applied, 200);
     if !etlv_core::obs::enabled() {
         return;
@@ -105,7 +105,14 @@ fn multi_chunk_import_yields_complete_span_tree() {
 
     // Every pipeline stage appears, and parents to the job root.
     let root_span = trace.nodes[trace.root].span;
-    for kind in ["chunk.queue", "chunk.convert", "file.upload", "copy", "apply", "ack.wait"] {
+    for kind in [
+        "chunk.queue",
+        "chunk.convert",
+        "file.upload",
+        "copy",
+        "apply",
+        "ack.wait",
+    ] {
         let spans: Vec<_> = trace.nodes.iter().filter(|n| n.kind == kind).collect();
         assert!(!spans.is_empty(), "no {kind} spans in trace");
         for n in &spans {
@@ -113,7 +120,11 @@ fn multi_chunk_import_yields_complete_span_tree() {
         }
     }
     assert_eq!(
-        trace.nodes.iter().filter(|n| n.kind == "chunk.convert").count(),
+        trace
+            .nodes
+            .iter()
+            .filter(|n| n.kind == "chunk.convert")
+            .count(),
         20,
         "one convert span per chunk"
     );
@@ -123,8 +134,7 @@ fn multi_chunk_import_yields_complete_span_tree() {
     // node's own phase-timed report.
     assert_eq!(trace.attributed_total(), trace.wall_micros);
     let report = v.last_job_report().unwrap();
-    let measured =
-        (report.acquisition + report.application).as_micros() as u64;
+    let measured = (report.acquisition + report.application).as_micros() as u64;
     assert!(
         trace.wall_micros >= measured,
         "trace wall {} covers the phase-timed report {}",
@@ -159,7 +169,11 @@ fn multi_chunk_import_yields_complete_span_tree() {
         "\"critical_stage\"",
         "\"attribution\"",
     ] {
-        assert!(reply.body.contains(needle), "{needle} missing: {}", reply.body);
+        assert!(
+            reply.body.contains(needle),
+            "{needle} missing: {}",
+            reply.body
+        );
     }
 
     // Unknown jobs answer found=false rather than erroring.
@@ -190,7 +204,9 @@ fn sampler_records_rows_per_second_series() {
             ..Default::default()
         },
     );
-    let result = client.run_import_data(&import_job(), &clean_rows(400)).unwrap();
+    let result = client
+        .run_import_data(&import_job(), &clean_rows(400))
+        .unwrap();
     assert_eq!(result.report.rows_applied, 400);
     if !etlv_core::obs::enabled() {
         return;

@@ -123,8 +123,16 @@ fn figure5_semantics_through_virtualizer() {
     assert_eq!(
         et.rows,
         vec![
-            vec![Value::Int(2), Value::Int(3103), Value::Str("JOIN_DATE".into())],
-            vec![Value::Int(3), Value::Int(3103), Value::Str("JOIN_DATE".into())],
+            vec![
+                Value::Int(2),
+                Value::Int(3103),
+                Value::Str("JOIN_DATE".into())
+            ],
+            vec![
+                Value::Int(3),
+                Value::Int(3103),
+                Value::Str("JOIN_DATE".into())
+            ],
         ]
     );
 
@@ -269,7 +277,9 @@ fn oom_cap_fails_job_not_process() {
             ..Default::default()
         },
     );
-    let err = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap_err();
+    let err = client
+        .run_import_data(&import_job(), FIGURE5_DATA)
+        .unwrap_err();
     match err {
         etlv_legacy_client::ClientError::Server { code, message } => {
             assert_eq!(code, 8998, "{message}");
@@ -366,11 +376,13 @@ fn concurrent_jobs_share_one_credit_pool() {
 #[test]
 fn virtualizer_over_tcp() {
     let v = new_virtualizer(VirtualizerConfig::default());
-    let addr = v.listen_tcp("127.0.0.1:0").unwrap();
+    let server = v.listen_tcp("127.0.0.1:0").unwrap();
     let client = LegacyEtlClient::new(Arc::new(etlv_legacy_client::TcpConnector::new(
-        addr.to_string(),
+        server.addr().to_string(),
     )));
     let result = client.run_import_data(&import_job(), FIGURE5_DATA).unwrap();
     assert_eq!(result.report.rows_applied, 2);
     assert_eq!(result.report.errors_uv, 1);
+    // Explicit shutdown joins the accept loop and every connection thread.
+    server.shutdown();
 }
