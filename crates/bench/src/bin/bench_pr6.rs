@@ -1,0 +1,216 @@
+//! PR 6 workload-replay evidence: the three named regression scenarios
+//! (`steady`, `bursty_zipf`, `error_heavy`) synthesized by
+//! `etlv-workloadgen` and replayed over real TCP against a node running
+//! the shared multi-session runtime.
+//!
+//! Three claims are on trial:
+//!
+//! 1. **Reproducibility**: synthesizing a scenario twice yields
+//!    fingerprint-identical traces, and replaying the same trace on two
+//!    fresh nodes yields identical outcome counts (jobs completed, rows
+//!    applied, ET/UV attribution) — the seed fully determines the
+//!    workload and its data-dependent outcomes.
+//! 2. **SLO visibility**: every scenario reports p50/p95/p99 job
+//!    latency, the admission-rejection rate, and retry totals — the
+//!    regression surface later PRs are measured against.
+//! 3. **Error accounting**: in `error_heavy`, the ET/UV totals the node
+//!    reports equal the error mix the generator planned, row for row.
+//!
+//! Writes `BENCH_PR6.json` at the repo root (format documented in
+//! EXPERIMENTS.md).
+//!
+//! Usage: `bench_pr6 [--smoke] [--out PATH]`
+//!   --smoke  shrink scenarios for a CI sanity run (gates still apply —
+//!            determinism does not need statistical mass)
+//!   --out    output path (default BENCH_PR6.json)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use etlv_bench::virtualizer_with_latency;
+use etlv_core::VirtualizerConfig;
+use etlv_legacy_client::{Connect, TcpConnector};
+use etlv_workloadgen::{
+    replay, synthesize, OutcomeCounts, ReplayOptions, Scenario, SloSummary, WorkloadTrace,
+};
+
+const SEED: u64 = 0x00E7_C006;
+
+struct ScenarioResult {
+    name: String,
+    fingerprint: u64,
+    planned_bad_dates: u64,
+    planned_dup_keys: u64,
+    counts: [OutcomeCounts; 2],
+    slo: SloSummary,
+}
+
+fn shrink(s: &mut Scenario) {
+    s.jobs = (s.jobs / 4).max(6);
+    s.tenants = s.tenants.min(3);
+    s.horizon_ms /= 4;
+    s.rows_hot = (s.rows_hot / 4).max(s.rows_base.min(40));
+    s.rows_base = s.rows_base.min(40);
+}
+
+fn replay_once(trace: &WorkloadTrace, options: &ReplayOptions) -> etlv_workloadgen::ReplayReport {
+    let v = virtualizer_with_latency(VirtualizerConfig::default(), Duration::ZERO);
+    let handle = v.listen_tcp("127.0.0.1:0").expect("bind TCP listener");
+    eprintln!("    [debug] node up at {}", handle.addr());
+    let connector: Arc<dyn Connect> = Arc::new(TcpConnector::new(handle.addr().to_string()));
+    let report = replay(&connector, trace, options).expect("replay runs to completion");
+    eprintln!("    [debug] replay finished, shutting node down");
+    handle.shutdown();
+    eprintln!("    [debug] node down");
+    report
+}
+
+fn run_scenario(scenario: &Scenario, options: &ReplayOptions) -> ScenarioResult {
+    // Generate twice: the traces must be fingerprint-identical.
+    let trace = synthesize(scenario);
+    let again = synthesize(scenario);
+    assert_eq!(
+        trace.fingerprint(),
+        again.fingerprint(),
+        "synthesis of '{}' is not deterministic",
+        scenario.name
+    );
+    let truth = trace.ground_truth();
+
+    // Replay twice on fresh nodes: outcome counts must match.
+    let first = replay_once(&trace, options);
+    let second = replay_once(&trace, options);
+    let slo = first.slo(&scenario.name);
+    eprintln!(
+        "  {:<12} jobs {:>3}  p50 {:>8.1} ms  p95 {:>8.1} ms  p99 {:>8.1} ms  \
+         rejected {}  failed {}  et {}  uv {}  adm-retries {}",
+        scenario.name,
+        slo.jobs,
+        slo.p50_ms,
+        slo.p95_ms,
+        slo.p99_ms,
+        slo.rejected,
+        slo.failed,
+        slo.errors_et,
+        slo.errors_uv,
+        slo.admission_retries,
+    );
+    ScenarioResult {
+        name: scenario.name.clone(),
+        fingerprint: trace.fingerprint(),
+        planned_bad_dates: truth.bad_dates,
+        planned_dup_keys: truth.dup_keys,
+        counts: [first.counts(), second.counts()],
+        slo,
+    }
+}
+
+fn counts_json(c: &OutcomeCounts) -> String {
+    format!(
+        "{{\"jobs\":{},\"completed\":{},\"rejected\":{},\"failed\":{},\"rows_applied\":{},\
+         \"rows_exported\":{},\"errors_et\":{},\"errors_uv\":{}}}",
+        c.jobs,
+        c.completed,
+        c.rejected,
+        c.failed,
+        c.rows_applied,
+        c.rows_exported,
+        c.errors_et,
+        c.errors_uv
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+
+    let mut scenarios = Scenario::presets(SEED);
+    if smoke {
+        for s in &mut scenarios {
+            shrink(s);
+        }
+    }
+    let options = ReplayOptions {
+        time_scale: if smoke { 0.5 } else { 1.0 },
+        // The error-heavy tail convoys on the CDW's serialized uniqueness
+        // probes; leave slack for loaded CI machines.
+        read_timeout: Some(Duration::from_secs(120)),
+        ..ReplayOptions::default()
+    };
+
+    let results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .map(|s| run_scenario(s, &options))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"trace_fingerprint\": \"{:#018x}\", \
+             \"planned_bad_dates\": {}, \"planned_dup_keys\": {}, \
+             \"counts_run1\": {}, \"counts_run2\": {}, \"slo\": {}}}",
+            r.name,
+            r.fingerprint,
+            r.planned_bad_dates,
+            r.planned_dup_keys,
+            counts_json(&r.counts[0]),
+            counts_json(&r.counts[1]),
+            r.slo.to_json(),
+        ));
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Gates. Determinism holds at any scale, so smoke runs gate too.
+    let mut failed = false;
+    for r in &results {
+        if r.counts[0] != r.counts[1] {
+            eprintln!(
+                "FAIL: '{}' replays disagree: {:?} vs {:?}",
+                r.name, r.counts[0], r.counts[1]
+            );
+            failed = true;
+        }
+        if r.counts[0].completed != r.counts[0].jobs {
+            eprintln!(
+                "FAIL: '{}' did not complete every job ({} of {}; {} rejected, {} failed)",
+                r.name,
+                r.counts[0].completed,
+                r.counts[0].jobs,
+                r.counts[0].rejected,
+                r.counts[0].failed
+            );
+            failed = true;
+        }
+        // With every job completed, error attribution must equal the
+        // planned mix exactly — the generator's ground truth is the oracle.
+        if r.counts[0].errors_et != r.planned_bad_dates
+            || r.counts[0].errors_uv != r.planned_dup_keys
+        {
+            eprintln!(
+                "FAIL: '{}' error accounting: ET {} (planned {}), UV {} (planned {})",
+                r.name,
+                r.counts[0].errors_et,
+                r.planned_bad_dates,
+                r.counts[0].errors_uv,
+                r.planned_dup_keys
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

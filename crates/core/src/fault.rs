@@ -25,8 +25,8 @@ use std::sync::Arc;
 use etlv_cdw::error::CdwError;
 use etlv_cdw::TransientFaultHook;
 use etlv_cloudstore::{StoreFault, StoreFaultHook, StoreOp};
-use etlv_protocol::backoff::splitmix64;
 use etlv_protocol::frame::MsgKind;
+use etlv_protocol::rng::splitmix64;
 use etlv_protocol::transport::{TransportFault, TransportFaultHook};
 
 // The retry schedule itself (policy + capped deterministic-jitter

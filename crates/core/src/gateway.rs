@@ -376,6 +376,16 @@ impl Virtualizer {
         }
     }
 
+    /// Stop the background sampler (idempotent). Freezes the series
+    /// document — after this, successive [`Self::sampler_json`] calls
+    /// (local or over the wire) return identical bytes, which is what
+    /// exact-comparison tests need.
+    pub fn stop_sampler(&self) {
+        if let Some(sampler) = &self.node.sampler {
+            sampler.stop();
+        }
+    }
+
     /// Serve one connection until logoff/disconnect (one thread per
     /// connection). Registers a session on logon and tears it down —
     /// aborting any jobs it still owns — when the connection ends for any

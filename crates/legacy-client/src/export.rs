@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use crate::connect::Connect;
 use crate::error::ClientError;
-use crate::retry::{next_seed, with_busy_retry};
+use crate::retry::{next_seed, with_busy_retry_counted};
 use crate::session::{unexpected, Session};
 use crate::ClientOptions;
 
@@ -27,6 +27,9 @@ pub struct ExportResult {
     pub layout: Layout,
     /// Total wall time.
     pub elapsed: std::time::Duration,
+    /// `SERVER_BUSY` admission rejections absorbed by backoff across the
+    /// job's control and data sessions.
+    pub admission_retries: u64,
 }
 
 /// Run an export job.
@@ -42,15 +45,17 @@ pub fn run_export(
     // SERVER_BUSY — back off under the options' policy. The seed is a
     // per-process counter so concurrent exports don't retry in lockstep.
     let job_seed = next_seed();
-    let mut control = with_busy_retry(options.busy_retry, job_seed, || {
-        Session::logon(
-            connector.as_ref(),
-            &job.logon.user,
-            &job.logon.password,
-            SessionRole::Control,
-            0,
-        )
-    })?;
+    let admission_retries = Arc::new(AtomicU64::new(0));
+    let mut control =
+        with_busy_retry_counted(options.busy_retry, job_seed, &admission_retries, || {
+            Session::logon(
+                connector.as_ref(),
+                &job.logon.user,
+                &job.logon.password,
+                SessionRole::Control,
+                0,
+            )
+        })?;
     control.set_read_timeout(options.read_timeout);
     let begin = BeginExport {
         select: job.select.clone(),
@@ -61,7 +66,7 @@ pub fn run_export(
     // SERVER_BUSY here is non-fatal server-side: the control session stays
     // usable, so the retry re-asks on the same connection.
     let (export_token, layout) =
-        with_busy_retry(options.busy_retry, job_seed ^ 1, || {
+        with_busy_retry_counted(options.busy_retry, job_seed ^ 1, &admission_retries, || {
             match control.request(Message::BeginExport(begin.clone()))? {
                 Message::BeginExportOk(ok) => Ok((ok.export_token, ok.layout)),
                 other => Err(unexpected("BeginExportOk", &other)),
@@ -86,16 +91,18 @@ pub fn run_export(
         let read_timeout = options.read_timeout;
         let busy_retry = options.busy_retry;
         let seed = next_seed();
+        let admission_retries = Arc::clone(&admission_retries);
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
-            let mut session = with_busy_retry(busy_retry, seed, || {
-                Session::logon(
-                    connector.as_ref(),
-                    &user,
-                    &password,
-                    SessionRole::Data,
-                    export_token,
-                )
-            })?;
+            let mut session =
+                with_busy_retry_counted(busy_retry, seed, &admission_retries, || {
+                    Session::logon(
+                        connector.as_ref(),
+                        &user,
+                        &password,
+                        SessionRole::Data,
+                        export_token,
+                    )
+                })?;
             session.set_read_timeout(read_timeout);
             loop {
                 if done.load(Ordering::Acquire) {
@@ -142,5 +149,6 @@ pub fn run_export(
         rows,
         layout,
         elapsed: started.elapsed(),
+        admission_retries: admission_retries.load(Ordering::Relaxed),
     })
 }

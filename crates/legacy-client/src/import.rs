@@ -1,6 +1,7 @@
 //! Import-job execution: parallel data sessions with synchronous
 //! chunk acknowledgment, then the DML application phase.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -12,7 +13,7 @@ use etlv_script::ImportJob;
 use crate::connect::Connect;
 use crate::error::ClientError;
 use crate::input::{split_chunks, InputChunk};
-use crate::retry::with_busy_retry;
+use crate::retry::with_busy_retry_counted;
 use crate::session::{unexpected, Session};
 use crate::ClientOptions;
 
@@ -41,6 +42,10 @@ pub struct ImportResult {
     /// The client-minted trace id the job's server-side spans carry —
     /// correlate with `Session::trace(job)` or the journal JSONL sink.
     pub trace_id: u64,
+    /// `SERVER_BUSY` admission rejections absorbed by backoff across the
+    /// job's control and data sessions — how hard this job had to knock
+    /// before the node let it in.
+    pub admission_retries: u64,
 }
 
 /// Run an import job: `data` is the content of the job's input file.
@@ -62,16 +67,23 @@ pub fn run_import(
 
     // Control session: logon + begin the load. Both can bounce off the
     // node's admission limits (sessions, concurrent jobs) — back off and
-    // re-attempt under the options' busy-retry policy.
-    let mut control = with_busy_retry(options.busy_retry, trace.trace_id, || {
-        Session::logon(
-            connector.as_ref(),
-            &job.logon.user,
-            &job.logon.password,
-            SessionRole::Control,
-            0,
-        )
-    })?;
+    // re-attempt under the options' busy-retry policy. Every absorbed
+    // rejection is tallied per job for the result.
+    let admission_retries = Arc::new(AtomicU64::new(0));
+    let mut control = with_busy_retry_counted(
+        options.busy_retry,
+        trace.trace_id,
+        &admission_retries,
+        || {
+            Session::logon(
+                connector.as_ref(),
+                &job.logon.user,
+                &job.logon.password,
+                SessionRole::Control,
+                0,
+            )
+        },
+    )?;
     control.set_read_timeout(options.read_timeout);
     let begin = BeginLoad {
         target_table: job.target.clone(),
@@ -85,12 +97,15 @@ pub fn run_import(
     };
     // A SERVER_BUSY here is non-fatal server-side: the control session
     // stays usable, so the retry re-asks on the same connection.
-    let load_token = with_busy_retry(options.busy_retry, trace.trace_id ^ 1, || {
-        match control.request(Message::BeginLoad(begin.clone()))? {
+    let load_token = with_busy_retry_counted(
+        options.busy_retry,
+        trace.trace_id ^ 1,
+        &admission_retries,
+        || match control.request(Message::BeginLoad(begin.clone()))? {
             Message::BeginLoadOk { load_token } => Ok(load_token),
             other => Err(unexpected("BeginLoadOk", &other)),
-        }
-    })?;
+        },
+    )?;
 
     // Chunk the input.
     let chunks = split_chunks(data, job.format, options.chunk_rows)?;
@@ -115,18 +130,20 @@ pub fn run_import(
         let password = job.logon.password.clone();
         let read_timeout = options.read_timeout;
         let busy_retry = options.busy_retry;
+        let admission_retries = Arc::clone(&admission_retries);
         workers.push(std::thread::spawn(move || -> Result<(), ClientError> {
             let seed = trace.trace_id ^ ((worker_id as u64) << 8);
-            let mut session = with_busy_retry(busy_retry, seed, || {
-                Session::logon_traced(
-                    connector.as_ref(),
-                    &user,
-                    &password,
-                    SessionRole::Data,
-                    load_token,
-                    Some(trace),
-                )
-            })?;
+            let mut session =
+                with_busy_retry_counted(busy_retry, seed, &admission_retries, || {
+                    Session::logon_traced(
+                        connector.as_ref(),
+                        &user,
+                        &password,
+                        SessionRole::Data,
+                        load_token,
+                        Some(trace),
+                    )
+                })?;
             session.set_read_timeout(read_timeout);
             let mut chunk_seq = (worker_id as u64) << 32;
             while let Ok(chunk) = rx.recv() {
@@ -180,5 +197,6 @@ pub fn run_import(
         rows_sent,
         bytes_sent,
         trace_id: trace.trace_id,
+        admission_retries: admission_retries.load(Ordering::Relaxed),
     })
 }

@@ -11,8 +11,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use etlv_protocol::backoff::{splitmix64, RetryPolicy};
+use etlv_protocol::backoff::RetryPolicy;
 use etlv_protocol::errcode::ErrCode;
+use etlv_protocol::rng::splitmix64;
 
 use crate::error::ClientError;
 
@@ -33,12 +34,18 @@ impl ClientError {
     }
 }
 
-/// Run `op`, retrying `SERVER_BUSY` rejections under `policy`. The seed
+/// Run `op`, retrying `SERVER_BUSY` rejections under `policy` and
+/// accumulating every backed-off re-attempt into `retries`. The seed
 /// decorrelates concurrent clients' schedules — pass something unique to
-/// the job (the trace id) so a thundering herd spreads out.
-pub(crate) fn with_busy_retry<T>(
+/// the job (the trace id) so a thundering herd spreads out. The counter
+/// is atomic because a job's admission points span its control session
+/// and all its parallel data-session threads; the per-job total lands in
+/// `ImportResult`/`ExportResult` so the workload replay harness can
+/// attribute admission pressure per job.
+pub(crate) fn with_busy_retry_counted<T>(
     policy: RetryPolicy,
     seed: u64,
+    retries: &AtomicU64,
     mut op: impl FnMut() -> Result<T, ClientError>,
 ) -> Result<T, ClientError> {
     let mut backoff = policy.backoff(seed);
@@ -47,6 +54,7 @@ pub(crate) fn with_busy_retry<T>(
         match op() {
             Err(e) if e.is_busy() && attempts < policy.budget => {
                 attempts += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(backoff.next_delay());
             }
             other => return other,
@@ -77,7 +85,7 @@ mod tests {
     #[test]
     fn retries_busy_until_success() {
         let mut calls = 0;
-        let result = with_busy_retry(policy(), 7, || {
+        let result = with_busy_retry_counted(policy(), 7, &AtomicU64::new(0), || {
             calls += 1;
             if calls < 3 {
                 Err(busy())
@@ -92,10 +100,11 @@ mod tests {
     #[test]
     fn budget_exhaustion_surfaces_busy() {
         let mut calls = 0;
-        let result: Result<(), _> = with_busy_retry(policy(), 7, || {
-            calls += 1;
-            Err(busy())
-        });
+        let result: Result<(), _> =
+            with_busy_retry_counted(policy(), 7, &AtomicU64::new(0), || {
+                calls += 1;
+                Err(busy())
+            });
         assert!(result.unwrap_err().is_busy());
         assert_eq!(calls, 4, "initial attempt + budget retries");
     }
@@ -103,12 +112,29 @@ mod tests {
     #[test]
     fn non_busy_errors_pass_through_immediately() {
         let mut calls = 0;
-        let result: Result<(), _> = with_busy_retry(policy(), 7, || {
-            calls += 1;
-            Err(ClientError::Protocol("boom".into()))
-        });
+        let result: Result<(), _> =
+            with_busy_retry_counted(policy(), 7, &AtomicU64::new(0), || {
+                calls += 1;
+                Err(ClientError::Protocol("boom".into()))
+            });
         assert!(matches!(result.unwrap_err(), ClientError::Protocol(_)));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn counted_variant_accumulates_retries() {
+        let retries = AtomicU64::new(0);
+        let mut calls = 0;
+        let result = with_busy_retry_counted(policy(), 7, &retries, || {
+            calls += 1;
+            if calls < 3 {
+                Err(busy())
+            } else {
+                Ok(1)
+            }
+        });
+        assert_eq!(result.unwrap(), 1);
+        assert_eq!(retries.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -13,16 +13,10 @@
 
 use std::time::Duration;
 
-/// SplitMix64 — the one-u64-in, one-u64-out mixer fault decisions and
-/// backoff jitter derive from. Stateless, so outputs depend only on the
-/// inputs, never on thread interleaving.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The mixer moved to the shared seeded-RNG utility (`crate::rng`);
+// re-exported here because the fault injector and the client's busy-retry
+// historically import it from this path.
+pub use crate::rng::splitmix64;
 
 /// Retry policy: how many times to retry a failed operation and how to
 /// space the attempts.

@@ -30,6 +30,9 @@
 //! - [`transport`]: byte transports (TCP and in-memory duplex).
 //! - [`backoff`]: deterministic capped-jitter retry schedule, shared by
 //!   the server's cloud retries and the client's `SERVER_BUSY` backoff.
+//! - [`rng`]: the workspace's one seeded SplitMix64 — the stateless mixer
+//!   behind backoff jitter, fault decisions, and trace-id minting, and the
+//!   stateful stream workload synthesis draws from.
 
 pub mod backoff;
 pub mod crc;
@@ -39,6 +42,7 @@ pub mod frame;
 pub mod layout;
 pub mod message;
 pub mod record;
+pub mod rng;
 pub mod trace;
 pub mod transport;
 pub mod vartext;

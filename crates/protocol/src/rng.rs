@@ -1,0 +1,151 @@
+//! The workspace's one seeded RNG: SplitMix64, in both shapes it is used.
+//!
+//! Before this module existed the same mixer was pasted in three places —
+//! the backoff jitter (`backoff`), the trace-id mint (`trace`), and the
+//! fault injector's random decisions (`etlv-core::fault`) — each one a
+//! chance for a constant to drift and silently de-synchronize the chaos
+//! and backoff suites, whose scenarios are pinned to these exact
+//! sequences. Now there is one implementation with two faces:
+//!
+//! - [`splitmix64`]: the stateless one-u64-in, one-u64-out finalizer.
+//!   Outputs depend only on the input, never on call order, which is what
+//!   fault decisions hashed from `(seed, point, index)` and per-attempt
+//!   backoff jitter need under thread interleaving.
+//! - [`SeededRng`]: the stateful stream built by iterating the same
+//!   finalizer over a Weyl sequence — identical word-for-word to the
+//!   `rand` shim's `StdRng`, so workload synthesis and the property-test
+//!   harness draw from the same generator family.
+//!
+//! The pinned-sequence tests at the bottom are the compatibility
+//! contract: they hard-code the first outputs for known seeds, so any
+//! edit that would change the sequences (and thereby every seeded chaos
+//! scenario, backoff schedule, and workload trace in the repo) fails
+//! loudly instead of shifting results.
+
+/// SplitMix64 finalizer: one u64 in, one well-mixed u64 out. Stateless.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded SplitMix64 stream: `state` advances by the golden-gamma Weyl
+/// constant and each output is the finalizer of the new state. The
+/// sequence for a given seed is identical to the `rand` shim's `StdRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Stream fully determined by `seed`.
+    pub fn new(seed: u64) -> SeededRng {
+        SeededRng { state: seed }
+    }
+
+    /// A decorrelated child stream: the `index`-th substream of this
+    /// seed. Used to give every generated job its own data stream whose
+    /// draws don't depend on how much the parent stream was consumed.
+    pub fn substream(seed: u64, index: u64) -> SeededRng {
+        SeededRng::new(splitmix64(seed) ^ splitmix64(index.wrapping_mul(0xA076_1D64_78BD_642F)))
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 mantissa bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)`. Panics on an empty range.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The compatibility pin: these are the canonical SplitMix64 outputs.
+    /// Changing the mixer constants — or "simplifying" the arithmetic —
+    /// re-seeds every chaos scenario, backoff schedule, and workload trace
+    /// in the repo. If this test fails, revert the change.
+    #[test]
+    fn splitmix64_sequence_is_pinned() {
+        // splitmix64(0) is the first output of the reference SplitMix64
+        // generator seeded with 0; the rest are spot values captured at
+        // introduction time.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(splitmix64(2), 0x9758_35DE_1C97_56CE);
+        assert_eq!(splitmix64(42), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(splitmix64(0xDEAD_BEEF), 0x4ADF_B90F_68C9_EB9B);
+    }
+
+    #[test]
+    fn seeded_stream_is_pinned_and_matches_the_finalizer_iteration() {
+        let mut rng = SeededRng::new(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F
+            ],
+            "stream(seed) must equal the reference SplitMix64 sequence"
+        );
+        // Stream k of seed s is the finalizer of s + k·gamma.
+        let mut rng = SeededRng::new(7);
+        for k in 0u64..16 {
+            assert_eq!(
+                rng.next_u64(),
+                splitmix64(7u64.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            );
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_in_range() {
+        let mut a = SeededRng::new(99);
+        let mut b = SeededRng::new(99);
+        for _ in 0..200 {
+            let x = a.gen_range(10, 20);
+            assert_eq!(x, b.gen_range(10, 20));
+            assert!((10..20).contains(&x));
+            let f = a.next_f64();
+            assert_eq!(f, b.next_f64());
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(!SeededRng::new(1).gen_bool(0.0));
+        assert!(SeededRng::new(1).gen_bool(1.0));
+    }
+
+    #[test]
+    fn substreams_are_decorrelated() {
+        let mut parent = SeededRng::new(5);
+        let mut sub0 = SeededRng::substream(5, 0);
+        let mut sub1 = SeededRng::substream(5, 1);
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let s0: Vec<u64> = (0..8).map(|_| sub0.next_u64()).collect();
+        let s1: Vec<u64> = (0..8).map(|_| sub1.next_u64()).collect();
+        assert_ne!(p, s0);
+        assert_ne!(s0, s1);
+        assert_eq!(s0, {
+            let mut again = SeededRng::substream(5, 0);
+            (0..8).map(|_| again.next_u64()).collect::<Vec<u64>>()
+        });
+    }
+}

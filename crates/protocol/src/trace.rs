@@ -116,11 +116,7 @@ pub fn mint_trace_id() -> u64 {
     let seed = nanos
         ^ ((std::process::id() as u64) << 32)
         ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    z | 1 // never zero
+    crate::rng::splitmix64(seed) | 1 // never zero
 }
 
 #[cfg(test)]

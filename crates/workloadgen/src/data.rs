@@ -1,0 +1,223 @@
+//! Per-job artifacts: table names, DDL, legacy scripts, and the seeded
+//! payload bytes for import jobs.
+//!
+//! The error plan and the payload come from the *same* generator run, so
+//! the planned bad-date / duplicate-key counts a trace carries can never
+//! drift from the bytes the replay actually sends: `ImportSpec::shape`
+//! is defined as "generate the payload, keep the counts".
+
+use etlv_protocol::rng::SeededRng;
+use etlv_script::{compile, parse_script, ImportJob, JobPlan};
+
+use crate::gen::ImportSpec;
+
+/// Canonical table name for a tenant's Zipf rank (rank 1 = hottest).
+/// Namespaced so workload tables can't collide with anything a test
+/// created by hand on the same node.
+pub fn table_name(tenant: u16, rank: u16) -> String {
+    format!("WG_T{tenant:02}_TAB{rank:02}")
+}
+
+/// Generated import-file bytes plus the error ground truth that is
+/// *guaranteed* to match them.
+#[derive(Debug, Clone)]
+pub struct ImportPayload {
+    /// Vartext record bytes (`K|D|P\n`).
+    pub data: Vec<u8>,
+    /// Rows with a malformed date — each must land in the ET table.
+    pub bad_dates: u32,
+    /// Rows duplicating an earlier clean row's key — each must land in
+    /// the UV table under uniqueness emulation.
+    pub dup_keys: u32,
+}
+
+/// Payload column width for a target row-byte budget: key (13) + date
+/// (10) + two delimiters + newline leave the rest to the payload column.
+fn payload_width(row_bytes: u32) -> u32 {
+    row_bytes.saturating_sub(26).max(1)
+}
+
+/// Target-table DDL (legacy dialect). `UNIQUE PRIMARY INDEX` arms
+/// uniqueness emulation, which is what turns duplicate keys into UV rows
+/// instead of silent double-inserts.
+pub fn target_ddl(table: &str, row_bytes: u32) -> String {
+    format!(
+        "CREATE TABLE {table} (K VARCHAR(16) NOT NULL, D DATE, P VARCHAR({})) UNIQUE PRIMARY INDEX (K)",
+        payload_width(row_bytes)
+    )
+}
+
+impl ImportSpec {
+    /// This import's target-table DDL.
+    pub fn target_ddl(&self) -> String {
+        target_ddl(&self.table, self.row_bytes)
+    }
+
+    /// The legacy import script for this job.
+    pub fn script(&self) -> String {
+        let table = &self.table;
+        let width = payload_width(self.row_bytes);
+        format!(
+            ".logon edw/wg,secret;\n\
+             .sessions {sessions};\n\
+             .layout WgLayout;\n\
+             .field K varchar(16);\n\
+             .field D varchar(10);\n\
+             .field P varchar({width});\n\
+             .begin import tables {table} errortables {table}_ET {table}_UV;\n\
+             .dml label Apply;\n\
+             insert into {table} values (:K, cast(:D as DATE format 'YYYY-MM-DD'), :P);\n\
+             .import infile wg.txt format vartext '|' layout WgLayout apply Apply;\n\
+             .end load\n",
+            sessions = self.sessions,
+        )
+    }
+
+    /// Compile the script into the client's job plan.
+    pub fn job(&self) -> ImportJob {
+        match compile(&parse_script(&self.script()).expect("generated script parses"))
+            .expect("generated script compiles")
+        {
+            JobPlan::Import(job) => job,
+            _ => unreachable!("import script compiles to an import job"),
+        }
+    }
+
+    /// Generate the payload bytes. Pure function of the spec: two
+    /// decorrelated substreams of `data_seed` drive row *shape* (error
+    /// placement, dup targets) and row *fill* (dates, payload chars), so
+    /// the same spec always yields the same bytes.
+    pub fn payload(&self) -> ImportPayload {
+        let mut shape = SeededRng::substream(self.data_seed, 0);
+        let mut fill = SeededRng::substream(self.data_seed, 1);
+        let width = payload_width(self.row_bytes) as usize;
+        let p_bad = f64::from(self.date_error_ppm) / 1e6;
+        let p_dup = f64::from(self.dup_key_ppm) / 1e6;
+
+        let mut data = Vec::with_capacity(self.rows as usize * self.row_bytes as usize);
+        // Keys of clean rows seen so far: rows that *apply* — a
+        // duplicate must collide with one of these. Bad-date rows never
+        // reach the target, so duplicating them would not be a UV error;
+        // the two error populations stay disjoint by construction.
+        let mut clean_keys: Vec<String> = Vec::new();
+        let (mut bad_dates, mut dup_keys) = (0u32, 0u32);
+
+        for i in 0..self.rows {
+            let bad = shape.gen_bool(p_bad);
+            let dup = !bad && !clean_keys.is_empty() && shape.gen_bool(p_dup);
+            let key = if dup {
+                dup_keys += 1;
+                let target = shape.gen_range(0, clean_keys.len() as u64) as usize;
+                clean_keys[target].clone()
+            } else {
+                format!("K{:05}R{:06}", self.key_space, i)
+            };
+            let date = if bad {
+                bad_dates += 1;
+                "not-a-date".to_string()
+            } else {
+                format!(
+                    "{:04}-{:02}-{:02}",
+                    2000 + fill.gen_range(0, 25),
+                    1 + fill.gen_range(0, 12),
+                    1 + fill.gen_range(0, 28)
+                )
+            };
+            if !bad && !dup {
+                clean_keys.push(key.clone());
+            }
+            data.extend_from_slice(key.as_bytes());
+            data.push(b'|');
+            data.extend_from_slice(date.as_bytes());
+            data.push(b'|');
+            for _ in 0..width {
+                data.push(b'a' + fill.gen_range(0, 26) as u8);
+            }
+            data.push(b'\n');
+        }
+        ImportPayload {
+            data,
+            bad_dates,
+            dup_keys,
+        }
+    }
+
+    /// Planned error counts — by definition the counts of the payload
+    /// this spec generates.
+    pub fn shape(&self) -> (u32, u32) {
+        let p = self.payload();
+        (p.bad_dates, p.dup_keys)
+    }
+}
+
+/// The legacy export script selecting a table back out.
+pub fn export_script(table: &str) -> String {
+    format!(
+        ".logon edw/wg,secret;\n\
+         .begin export sessions 2;\n\
+         .export outfile out format vartext '|';\n\
+         SELECT K, P FROM {table};\n\
+         .end export;\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ImportSpec {
+        ImportSpec {
+            table: table_name(3, 1),
+            rows: 400,
+            row_bytes: 80,
+            date_error_ppm: 100_000,
+            dup_key_ppm: 50_000,
+            sessions: 1,
+            key_space: 17,
+            data_seed: 0xFEED,
+            planned_bad_dates: 0,
+            planned_dup_keys: 0,
+        }
+    }
+
+    #[test]
+    fn payload_counts_match_embedded_errors() {
+        let p = spec().payload();
+        let text = String::from_utf8(p.data.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 400);
+        let bad = lines.iter().filter(|l| l.contains("|not-a-date|")).count();
+        assert_eq!(bad as u32, p.bad_dates);
+        // Duplicate keys: total rows minus distinct keys.
+        let mut keys: Vec<&str> = lines.iter().map(|l| l.split('|').next().unwrap()).collect();
+        keys.sort_unstable();
+        let distinct = {
+            keys.dedup();
+            keys.len()
+        };
+        assert_eq!((lines.len() - distinct) as u32, p.dup_keys);
+        assert!(
+            p.bad_dates > 0 && p.dup_keys > 0,
+            "rates high enough to hit"
+        );
+    }
+
+    #[test]
+    fn payload_is_deterministic_and_seed_sensitive() {
+        let a = spec().payload();
+        let b = spec().payload();
+        assert_eq!(a.data, b.data);
+        let mut other = spec();
+        other.data_seed ^= 1;
+        assert_ne!(a.data, other.payload().data);
+    }
+
+    #[test]
+    fn scripts_compile_and_name_the_error_tables() {
+        let job = spec().job();
+        assert_eq!(job.target, "WG_T03_TAB01");
+        assert_eq!(job.error_table_et, "WG_T03_TAB01_ET");
+        assert_eq!(job.error_table_uv, "WG_T03_TAB01_UV");
+        assert!(spec().target_ddl().contains("UNIQUE PRIMARY INDEX (K)"));
+    }
+}

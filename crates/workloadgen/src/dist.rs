@@ -1,0 +1,170 @@
+//! Sampling primitives: Zipf ranks and the three arrival processes.
+//!
+//! Everything draws exclusively from [`SeededRng`] so a scenario seed
+//! fixes every sample. No float is ever fed back into RNG state, so
+//! cross-platform determinism reduces to IEEE-754 arithmetic being
+//! deterministic (it is; only the *comparison* against a threshold uses
+//! floats, and both sides derive from the same integer draws).
+
+use etlv_protocol::rng::SeededRng;
+
+use crate::scenario::{ArrivalKind, Scenario};
+
+/// Zipf(s) sampler over ranks `1..=n` via inverse CDF on a precomputed
+/// table (n is small — tables per tenant — so a binary search beats
+/// rejection tricks and is exactly reproducible).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `1..=n` (rank 1 is the hottest).
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Expected rank under this distribution (for the shape tests).
+    pub fn mean_rank(&self) -> f64 {
+        let mut mean = 0.0;
+        let mut prev = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (i + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+/// Sample the scenario's job start offsets (µs since replay start),
+/// sorted ascending. Always exactly `scenario.jobs` arrivals inside
+/// `[0, horizon)`.
+pub fn arrival_times(scenario: &Scenario, rng: &mut SeededRng) -> Vec<u64> {
+    let horizon_us = u64::from(scenario.horizon_ms) * 1000;
+    let n = scenario.jobs as usize;
+    let mut times: Vec<u64> = match scenario.arrival {
+        // A Poisson process conditioned on N events in [0, T) is exactly
+        // N sorted uniforms — no inter-arrival bookkeeping needed.
+        ArrivalKind::Steady => (0..n).map(|_| rng.gen_range(0, horizon_us)).collect(),
+        ArrivalKind::Bursty => {
+            let bursts = scenario.bursts.max(1) as u64;
+            let factor = scenario.burst_factor.max(1) as u64;
+            let width = (horizon_us / (bursts * factor)).max(1);
+            (0..n)
+                .map(|_| {
+                    // 1/factor of the load is background; the rest piles
+                    // into one of the narrow burst windows.
+                    if rng.gen_range(0, factor) == 0 {
+                        rng.gen_range(0, horizon_us)
+                    } else {
+                        let b = rng.gen_range(0, bursts);
+                        let center = (2 * b + 1) * horizon_us / (2 * bursts);
+                        let lo = center.saturating_sub(width / 2);
+                        rng.gen_range(lo, (lo + width).min(horizon_us))
+                    }
+                })
+                .collect()
+        }
+        ArrivalKind::Diurnal => {
+            // Thinning: intensity peaks mid-horizon, sags to `trough` of
+            // peak at the edges. Accept a uniform candidate with
+            // probability rate(t)/peak; the trough floor bounds the
+            // rejection loop.
+            let trough = scenario.diurnal_trough.clamp(0.0, 1.0);
+            (0..n)
+                .map(|_| loop {
+                    let t = rng.gen_range(0, horizon_us);
+                    let phase = t as f64 / horizon_us as f64; // [0, 1)
+                    let day = 0.5 - 0.5 * (std::f64::consts::TAU * phase).cos();
+                    let accept = trough + (1.0 - trough) * day;
+                    if rng.next_f64() < accept {
+                        break t;
+                    }
+                })
+                .collect()
+        }
+    };
+    times.sort_unstable();
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let zipf = Zipf::new(10, 1.2);
+        let mut rng = SeededRng::new(99);
+        let mut hits = [0u32; 10];
+        for _ in 0..4000 {
+            hits[zipf.sample(&mut rng) - 1] += 1;
+        }
+        assert!(hits[0] > hits[4] && hits[4] > 0, "{hits:?}");
+        assert!(
+            f64::from(hits[0]) > 0.25 * 4000.0,
+            "rank 1 should dominate: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        assert!((zipf.mean_rank() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_in_range_and_complete() {
+        for scenario in crate::Scenario::presets(31) {
+            let mut rng = SeededRng::new(scenario.seed);
+            let times = arrival_times(&scenario, &mut rng);
+            assert_eq!(times.len(), scenario.jobs as usize, "{}", scenario.name);
+            let horizon_us = u64::from(scenario.horizon_ms) * 1000;
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+            assert!(times.iter().all(|&t| t < horizon_us));
+        }
+    }
+
+    #[test]
+    fn bursty_concentrates_mass_into_windows() {
+        let scenario = crate::Scenario::bursty_zipf(5);
+        let mut rng = SeededRng::new(scenario.seed);
+        let times = arrival_times(&scenario, &mut rng);
+        let horizon_us = u64::from(scenario.horizon_ms) * 1000;
+        // The burst windows jointly cover 1/burst_factor of the horizon;
+        // a steady process would put ~1/6 of jobs there, bursts put most.
+        let bursts = u64::from(scenario.bursts);
+        let width = horizon_us / (bursts * u64::from(scenario.burst_factor));
+        let in_burst = times
+            .iter()
+            .filter(|&&t| {
+                (0..bursts).any(|b| {
+                    let center = (2 * b + 1) * horizon_us / (2 * bursts);
+                    t + width / 2 >= center && t <= center + width / 2 + width
+                })
+            })
+            .count();
+        assert!(
+            in_burst * 2 > times.len(),
+            "only {in_burst}/{} arrivals in burst windows",
+            times.len()
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Trace synthesis: expand a [`Scenario`] into a deterministic,
+//! time-ordered event list.
+//!
+//! Determinism contract: synthesis touches exactly two RNG streams
+//! derived from the scenario seed — one for arrival times, one for job
+//! assignment — and consumes them in a fixed order (arrivals first, then
+//! one assignment block per event in time order). Payload bytes are NOT
+//! generated here; each import event carries a `data_seed` drawn from
+//! the assignment stream, and [`ImportSpec::payload`](crate::data) is a
+//! pure function of the spec. Same scenario → same trace, field for
+//! field, and same payload bytes at replay time on any machine.
+
+use etlv_protocol::rng::{splitmix64, SeededRng};
+
+use crate::data::table_name;
+use crate::dist::{arrival_times, Zipf};
+use crate::scenario::Scenario;
+
+/// One import job: everything needed to regenerate its payload and
+/// script, plus the planned error ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportSpec {
+    /// Fully qualified (namespaced) target table.
+    pub table: String,
+    /// Records in the generated input file.
+    pub rows: u32,
+    /// Approximate bytes per record.
+    pub row_bytes: u32,
+    /// Per-row malformed-date probability (ppm).
+    pub date_error_ppm: u32,
+    /// Per-row duplicate-key probability (ppm).
+    pub dup_key_ppm: u32,
+    /// Parallel data sessions.
+    pub sessions: u16,
+    /// Key namespace (the event's seq) — keys are unique across jobs so
+    /// only *planned* duplicates ever collide.
+    pub key_space: u32,
+    /// Seed the payload bytes derive from.
+    pub data_seed: u64,
+    /// Planned bad-date rows (equals what the payload contains).
+    pub planned_bad_dates: u32,
+    /// Planned duplicate-key rows (equals what the payload contains).
+    pub planned_dup_keys: u32,
+}
+
+/// What a trace event does when replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Batch import through the load path.
+    Import(ImportSpec),
+    /// Batch export (SELECT pulled through parallel data sessions).
+    Export {
+        /// Table being exported.
+        table: String,
+    },
+    /// Interactive SQL probe (a `SEL COUNT(*)` on the gateway path).
+    Sql {
+        /// Table being probed.
+        table: String,
+    },
+}
+
+impl JobKind {
+    /// Short tag for summaries.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobKind::Import(_) => "import",
+            JobKind::Export { .. } => "export",
+            JobKind::Sql { .. } => "sql",
+        }
+    }
+
+    /// The table this job touches.
+    pub fn table(&self) -> &str {
+        match self {
+            JobKind::Import(spec) => &spec.table,
+            JobKind::Export { table } | JobKind::Sql { table } => table,
+        }
+    }
+}
+
+/// One scheduled job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the trace (also the import key namespace).
+    pub seq: u32,
+    /// Scheduled offset from replay start, microseconds.
+    pub at_us: u64,
+    /// Issuing tenant; each tenant replays its events in order.
+    pub tenant: u16,
+    /// The job.
+    pub kind: JobKind,
+}
+
+/// A fully expanded scenario: the replayable artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    /// The scenario this trace was expanded from.
+    pub scenario: Scenario,
+    /// Events sorted by `at_us`; `seq` is the sort position.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Summed error ground truth across a trace's imports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Import jobs in the trace.
+    pub imports: u64,
+    /// Total records across all imports.
+    pub rows: u64,
+    /// Planned ET (bad-date) rows.
+    pub bad_dates: u64,
+    /// Planned UV (duplicate-key) rows.
+    pub dup_keys: u64,
+}
+
+impl WorkloadTrace {
+    /// Sum the planned per-import ground truth.
+    pub fn ground_truth(&self) -> GroundTruth {
+        let mut t = GroundTruth::default();
+        for event in &self.events {
+            if let JobKind::Import(spec) = &event.kind {
+                t.imports += 1;
+                t.rows += u64::from(spec.rows);
+                t.bad_dates += u64::from(spec.planned_bad_dates);
+                t.dup_keys += u64::from(spec.planned_dup_keys);
+            }
+        }
+        t
+    }
+
+    /// Order-sensitive digest over every field of every event (and the
+    /// scenario text). Two traces are byte-identical iff fingerprints
+    /// match — the cheap identity the determinism gates compare.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0x00E7_1ACE_0000_0000u64;
+        let mut mix = |x: u64| h = splitmix64(h ^ splitmix64(x));
+        for b in self.scenario.render().bytes() {
+            mix(u64::from(b));
+        }
+        for e in &self.events {
+            mix(u64::from(e.seq));
+            mix(e.at_us);
+            mix(u64::from(e.tenant));
+            for b in e.kind.table().bytes() {
+                mix(u64::from(b));
+            }
+            match &e.kind {
+                JobKind::Import(s) => {
+                    mix(1);
+                    mix(u64::from(s.rows));
+                    mix(u64::from(s.row_bytes));
+                    mix(u64::from(s.sessions));
+                    mix(u64::from(s.key_space));
+                    mix(s.data_seed);
+                    mix(u64::from(s.planned_bad_dates));
+                    mix(u64::from(s.planned_dup_keys));
+                }
+                JobKind::Export { .. } => mix(2),
+                JobKind::Sql { .. } => mix(3),
+            }
+        }
+        h
+    }
+}
+
+/// Expand a scenario into its trace. Pure: same scenario, same trace.
+pub fn synthesize(scenario: &Scenario) -> WorkloadTrace {
+    let mut arrivals_rng = SeededRng::substream(scenario.seed, 1);
+    let mut assign = SeededRng::substream(scenario.seed, 2);
+    let arrivals = arrival_times(scenario, &mut arrivals_rng);
+    let zipf = Zipf::new(scenario.tables_per_tenant as usize, scenario.zipf_s);
+
+    let mut events = Vec::with_capacity(arrivals.len());
+    for (seq, at_us) in arrivals.into_iter().enumerate() {
+        let seq = seq as u32;
+        let tenant = assign.gen_range(0, u64::from(scenario.tenants)) as u16;
+        let mix = assign.gen_range(0, 100) as u8;
+        let rank = zipf.sample(&mut assign) as u16;
+        let table = table_name(tenant, rank);
+        // Job size follows the same skew as table popularity — the
+        // hottest table gets the biggest batches — with ±25% jitter.
+        let ideal = f64::from(scenario.rows_base)
+            + (f64::from(scenario.rows_hot) - f64::from(scenario.rows_base))
+                / f64::from(rank).powf(scenario.zipf_s.max(0.0));
+        let rows = ((ideal * (0.75 + 0.5 * assign.next_f64())).round() as u32).max(1);
+        let data_seed = assign.next_u64();
+
+        let kind = if mix < scenario.import_pct {
+            let mut spec = ImportSpec {
+                table,
+                rows,
+                row_bytes: scenario.row_bytes,
+                date_error_ppm: scenario.date_error_ppm,
+                dup_key_ppm: scenario.dup_key_ppm,
+                sessions: scenario.sessions_per_import.max(1),
+                key_space: seq,
+                data_seed,
+                planned_bad_dates: 0,
+                planned_dup_keys: 0,
+            };
+            let (bad, dup) = spec.shape();
+            spec.planned_bad_dates = bad;
+            spec.planned_dup_keys = dup;
+            JobKind::Import(spec)
+        } else if mix < scenario.import_pct.saturating_add(scenario.export_pct) {
+            JobKind::Export { table }
+        } else {
+            JobKind::Sql { table }
+        };
+        events.push(TraceEvent {
+            seq,
+            at_us,
+            tenant,
+            kind,
+        });
+    }
+    WorkloadTrace {
+        scenario: scenario.clone(),
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        for scenario in Scenario::presets(77) {
+            let a = synthesize(&scenario);
+            let b = synthesize(&scenario);
+            assert_eq!(a, b, "{}", scenario.name);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let a = synthesize(&Scenario::bursty_zipf(1));
+        let b = synthesize(&Scenario::bursty_zipf(2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn job_mix_and_sizing_respect_the_scenario() {
+        let scenario = Scenario::bursty_zipf(123);
+        let trace = synthesize(&scenario);
+        assert_eq!(trace.events.len(), scenario.jobs as usize);
+        let truth = trace.ground_truth();
+        // 75% imports out of 36 jobs: allow wide slack, but the mix must
+        // lean heavily toward imports.
+        assert!(truth.imports >= 20, "imports: {}", truth.imports);
+        for event in &trace.events {
+            assert_eq!(
+                event.seq as usize,
+                trace.events[event.seq as usize].seq as usize
+            );
+            assert!(event.tenant < scenario.tenants);
+            if let JobKind::Import(spec) = &event.kind {
+                assert!(spec.rows >= 1);
+                assert_eq!(spec.key_space, event.seq);
+            }
+        }
+    }
+
+    #[test]
+    fn error_heavy_plans_a_nontrivial_dirty_fraction() {
+        let truth = synthesize(&Scenario::error_heavy(42)).ground_truth();
+        assert!(truth.bad_dates > 0, "{truth:?}");
+        assert!(truth.dup_keys > 0, "{truth:?}");
+        // Rates are 6% + 4%: the planned dirty fraction should be within
+        // a loose band around 10%.
+        let dirty = (truth.bad_dates + truth.dup_keys) as f64 / truth.rows as f64;
+        assert!((0.03..0.25).contains(&dirty), "dirty fraction {dirty}");
+    }
+}

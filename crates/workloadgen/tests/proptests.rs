@@ -1,0 +1,227 @@
+//! Property tests for the workload generator: synthesis is a pure
+//! function of the scenario, payload bytes always agree with the planned
+//! error counts, the scenario text form round-trips exactly, and the
+//! sampled distributions have the shape their parameters promise.
+
+use proptest::prelude::*;
+
+use etlv_protocol::rng::SeededRng;
+use etlv_workloadgen::dist::Zipf;
+use etlv_workloadgen::{synthesize, ArrivalKind, JobKind, Scenario};
+
+/// An arbitrary valid scenario: every knob swept over its useful range,
+/// kept small enough that synthesis stays cheap across hundreds of cases.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        (
+            any::<u64>(), // seed
+            1u16..6,      // tenants
+            1u32..40,     // jobs
+            50u32..800,   // horizon_ms
+            0u8..3,       // arrival selector
+        ),
+        (
+            2u32..8,  // burst_factor
+            1u32..4,  // bursts
+            1u16..8,  // tables_per_tenant
+            0u32..21, // zipf_s, tenths
+            5u32..80, // rows_base
+        ),
+        (
+            0u32..60_000, // date_error_ppm
+            0u32..30_000, // dup_key_ppm
+            0u8..=100,    // import_pct
+            0u8..=100,    // export share of the remainder, percent
+            1u16..4,      // sessions_per_import
+        ),
+    )
+        .prop_map(
+            |(
+                (seed, tenants, jobs, horizon_ms, arrival),
+                (burst_factor, bursts, tables_per_tenant, zipf_tenths, rows_base),
+                (date_error_ppm, dup_key_ppm, import_pct, export_share, sessions_per_import),
+            )| {
+                let export_pct = ((100 - import_pct) as u32 * export_share as u32 / 100) as u8;
+                Scenario {
+                    name: "prop".into(),
+                    seed,
+                    tenants,
+                    jobs,
+                    horizon_ms,
+                    arrival: match arrival {
+                        0 => ArrivalKind::Steady,
+                        1 => ArrivalKind::Bursty,
+                        _ => ArrivalKind::Diurnal,
+                    },
+                    burst_factor,
+                    bursts,
+                    diurnal_trough: 0.25,
+                    tables_per_tenant,
+                    zipf_s: f64::from(zipf_tenths) / 10.0,
+                    rows_base,
+                    rows_hot: rows_base * 3,
+                    row_bytes: 64,
+                    import_pct,
+                    export_pct,
+                    date_error_ppm,
+                    dup_key_ppm,
+                    sessions_per_import,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The seed fully determines the trace: synthesizing the same
+    /// scenario twice yields equal events and equal fingerprints.
+    #[test]
+    fn synthesis_is_deterministic(scenario in scenario_strategy()) {
+        let a = synthesize(&scenario);
+        let b = synthesize(&scenario);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Structural invariants of every trace: one event per job, sorted
+    /// by scheduled time with `seq` as the sort position, every arrival
+    /// inside the horizon, every tenant and table in range.
+    #[test]
+    fn trace_is_well_formed(scenario in scenario_strategy()) {
+        let trace = synthesize(&scenario);
+        prop_assert_eq!(trace.events.len() as u32, scenario.jobs);
+        let horizon_us = u64::from(scenario.horizon_ms) * 1000;
+        let mut prev = 0u64;
+        for (i, event) in trace.events.iter().enumerate() {
+            prop_assert_eq!(event.seq as usize, i);
+            prop_assert!(event.at_us >= prev, "events sorted by at_us");
+            prop_assert!(event.at_us < horizon_us);
+            prop_assert!(event.tenant < scenario.tenants);
+            prev = event.at_us;
+        }
+    }
+
+    /// The payload bytes and the planned error counts can never disagree:
+    /// reparsing the generated vartext finds exactly the planned number
+    /// of malformed dates, and exactly the planned number of rows whose
+    /// key collides with an earlier clean row.
+    #[test]
+    fn payload_matches_planned_mix(scenario in scenario_strategy()) {
+        let trace = synthesize(&scenario);
+        for event in &trace.events {
+            let JobKind::Import(spec) = &event.kind else { continue };
+            let payload = spec.payload();
+            prop_assert_eq!(payload.bad_dates, spec.planned_bad_dates);
+            prop_assert_eq!(payload.dup_keys, spec.planned_dup_keys);
+
+            let text = std::str::from_utf8(&payload.data).unwrap();
+            let mut clean: Vec<&str> = Vec::new();
+            let (mut bad, mut dup, mut rows) = (0u32, 0u32, 0u32);
+            for line in text.lines() {
+                rows += 1;
+                let mut cols = line.split('|');
+                let key = cols.next().unwrap();
+                let date = cols.next().unwrap();
+                if date == "not-a-date" {
+                    bad += 1;
+                } else if clean.contains(&key) {
+                    dup += 1;
+                } else {
+                    clean.push(key);
+                }
+            }
+            prop_assert_eq!(rows, spec.rows);
+            prop_assert_eq!(bad, spec.planned_bad_dates, "bad dates in bytes");
+            prop_assert_eq!(dup, spec.planned_dup_keys, "dup keys in bytes");
+        }
+    }
+
+    /// Ground truth is the column sum of the per-import plans.
+    #[test]
+    fn ground_truth_sums_the_plan(scenario in scenario_strategy()) {
+        let trace = synthesize(&scenario);
+        let truth = trace.ground_truth();
+        let mut imports = 0u64;
+        let mut rows = 0u64;
+        let mut bad = 0u64;
+        let mut dup = 0u64;
+        for event in &trace.events {
+            if let JobKind::Import(spec) = &event.kind {
+                imports += 1;
+                rows += u64::from(spec.rows);
+                bad += u64::from(spec.planned_bad_dates);
+                dup += u64::from(spec.planned_dup_keys);
+            }
+        }
+        prop_assert_eq!(truth.imports, imports);
+        prop_assert_eq!(truth.rows, rows);
+        prop_assert_eq!(truth.bad_dates, bad);
+        prop_assert_eq!(truth.dup_keys, dup);
+    }
+
+    /// The text form is lossless: render → parse gives back the exact
+    /// scenario (floats included — Display prints the shortest exact
+    /// representation), and re-rendering is byte-stable.
+    #[test]
+    fn scenario_text_roundtrips(scenario in scenario_strategy()) {
+        let text = scenario.render();
+        let parsed = Scenario::parse(&text).expect("rendered scenario parses");
+        prop_assert_eq!(&parsed, &scenario);
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// Zipf shape: with real skew the hottest rank dominates the coldest,
+    /// and the empirical mean rank tracks the analytic mean.
+    #[test]
+    fn zipf_sampling_has_the_promised_shape(
+        seed in any::<u64>(),
+        n in 3usize..30,
+        s_tenths in 8u32..20,
+    ) {
+        let s = f64::from(s_tenths) / 10.0;
+        let zipf = Zipf::new(n, s);
+        let mut rng = SeededRng::new(seed);
+        const SAMPLES: usize = 4000;
+        let mut counts = vec![0u32; n + 1];
+        let mut sum = 0f64;
+        for _ in 0..SAMPLES {
+            let rank = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&rank));
+            counts[rank] += 1;
+            sum += rank as f64;
+        }
+        prop_assert!(
+            counts[1] > counts[n],
+            "rank 1 ({}) must beat rank {} ({}) at s={}",
+            counts[1], n, counts[n], s
+        );
+        let empirical = sum / SAMPLES as f64;
+        let analytic = zipf.mean_rank();
+        prop_assert!(
+            (empirical - analytic).abs() < analytic * 0.25 + 0.5,
+            "empirical mean rank {} vs analytic {}",
+            empirical, analytic
+        );
+    }
+
+    /// At `s = 0` Zipf degenerates to uniform: the empirical mean rank
+    /// sits near `(n + 1) / 2`.
+    #[test]
+    fn zipf_at_zero_is_uniform(seed in any::<u64>(), n in 4usize..30) {
+        let zipf = Zipf::new(n, 0.0);
+        let mut rng = SeededRng::new(seed);
+        const SAMPLES: usize = 4000;
+        let mut sum = 0f64;
+        for _ in 0..SAMPLES {
+            sum += zipf.sample(&mut rng) as f64;
+        }
+        let empirical = sum / SAMPLES as f64;
+        let uniform_mean = (n as f64 + 1.0) / 2.0;
+        prop_assert!(
+            (empirical - uniform_mean).abs() < uniform_mean * 0.15,
+            "empirical {} vs uniform mean {}",
+            empirical, uniform_mean
+        );
+    }
+}

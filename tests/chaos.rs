@@ -7,7 +7,6 @@
 //! in-flight memory is leaked. Nothing here ever hangs: severed links
 //! surface through the client's read timeout.
 
-use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,83 +15,13 @@ use etlv_cloudstore::{MemStore, ObjectStore};
 use etlv_core::{
     FaultPlan, FaultSpec, StorePutFailure, TransportFailure, Virtualizer, VirtualizerConfig,
 };
-use etlv_legacy_client::{
-    ClientError, ClientOptions, FnConnector, LegacyEtlClient, Session, TcpConnector,
-};
+use etlv_legacy_client::{ClientError, ClientOptions, LegacyEtlClient, Session, TcpConnector};
 use etlv_protocol::message::{BeginLoad, DataChunk, Message, SessionRole};
-use etlv_protocol::transport::{duplex, ChaosTransport, Transport};
-use etlv_script::{compile, parse_script, ImportJob, JobPlan};
-
-const SCRIPT: &str = r#"
-.logon h/u,p;
-.layout L;
-.field A varchar(8);
-.field B varchar(32);
-.begin import tables T errortables T_ET T_UV;
-.dml label Go;
-insert into T values (:A, :B);
-.import infile f format vartext '|' layout L apply Go;
-.end load
-"#;
-
-fn import_job() -> ImportJob {
-    let JobPlan::Import(job) = compile(&parse_script(SCRIPT).unwrap()).unwrap() else {
-        panic!("script is an import job")
-    };
-    job
-}
-
-fn rows(n: usize) -> Vec<u8> {
-    (0..n)
-        .flat_map(|i| format!("k{i:04}|value-{i:04}\n").into_bytes())
-        .collect()
-}
-
-/// Plain connector: each connect is a fresh duplex pair with a server
-/// thread on the far end.
-fn connector(
-    v: &Virtualizer,
-) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
-    let v = v.clone();
-    Arc::new(FnConnector(move || {
-        let (client_end, server_end) = duplex();
-        let v = v.clone();
-        std::thread::spawn(move || {
-            let _ = v.serve(server_end);
-        });
-        Ok(Box::new(client_end) as Box<dyn Transport>)
-    }))
-}
-
-/// Connector whose client end runs through a [`ChaosTransport`] driven by
-/// the virtualizer's own fault injector — the plan's `transport` spec
-/// decides which outgoing data-chunk frames are dropped, truncated, or
-/// severed.
-fn chaos_connector(
-    v: &Virtualizer,
-) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
-    let hook = v
-        .fault_injector()
-        .expect("config must carry a fault plan")
-        .transport_hook();
-    let v = v.clone();
-    Arc::new(FnConnector(move || {
-        let (client_end, server_end) = duplex();
-        let v = v.clone();
-        std::thread::spawn(move || {
-            let _ = v.serve(server_end);
-        });
-        Ok(Box::new(ChaosTransport::new(client_end, hook.clone())) as Box<dyn Transport>)
-    }))
-}
-
-fn create_target(connector: &dyn etlv_legacy_client::Connect) {
-    let mut session = Session::logon(connector, "ops", "pw", SessionRole::Control, 0).unwrap();
-    session
-        .sql("CREATE TABLE T (A VARCHAR(8), B VARCHAR(32))")
-        .unwrap();
-    session.logoff();
-}
+mod common;
+use common::{
+    assert_quiescent, chaos_mem_connector, create_simple_target, kv_rows, mem_connector,
+    simple_import_job,
+};
 
 fn config_with(plan: FaultPlan) -> VirtualizerConfig {
     VirtualizerConfig {
@@ -101,37 +30,18 @@ fn config_with(plan: FaultPlan) -> VirtualizerConfig {
     }
 }
 
-/// The node must end every scenario with all credits home and zero bytes
-/// in flight; server-side drains finish asynchronously after a client
-/// error, so poll briefly before declaring a leak.
-fn assert_quiescent(v: &Virtualizer) {
-    let deadline = Instant::now() + Duration::from_secs(5);
-    loop {
-        if v.credits().available() == v.credits().capacity() && v.memory().in_flight() == 0 {
-            return;
-        }
-        if Instant::now() > deadline {
-            panic!(
-                "node not quiescent: {}/{} credits available, {} bytes in flight",
-                v.credits().available(),
-                v.credits().capacity(),
-                v.memory().in_flight()
-            );
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    }
-}
-
 #[test]
 fn store_put_flake_is_retried_to_success() {
     let mut plan = FaultPlan::seeded(11);
     plan.store_put = FaultSpec::FirstN(2);
     let v = Virtualizer::new(config_with(plan));
-    let connector = connector(&v);
-    create_target(connector.as_ref());
+    let connector = mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::new(connector.clone());
-    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+    let result = client
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
+        .unwrap();
 
     assert_eq!(result.report.rows_applied, 40);
     assert_eq!(result.report.retries, 2, "both flaky puts were retried");
@@ -147,11 +57,13 @@ fn store_put_partial_write_is_absorbed_by_retry() {
     plan.store_put = FaultSpec::FirstN(1);
     plan.store_put_failure = StorePutFailure::PartialWrite;
     let v = Virtualizer::new(config_with(plan));
-    let connector = connector(&v);
-    create_target(connector.as_ref());
+    let connector = mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::new(connector.clone());
-    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+    let result = client
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
+        .unwrap();
 
     // The retried put overwrites the torn object whole: every row lands
     // exactly once despite half an object having hit the store.
@@ -173,12 +85,12 @@ fn persistent_store_failure_fails_job_cleanly() {
     let mut config = config_with(plan);
     config.retry_budget = 2; // keep the exhaustion quick
     let v = Virtualizer::new(config);
-    let connector = connector(&v);
-    create_target(connector.as_ref());
+    let connector = mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::new(connector.clone());
     let err = client
-        .run_import_data(&import_job(), &rows(40))
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
         .unwrap_err();
     match err {
         ClientError::Server { message, .. } => {
@@ -200,11 +112,13 @@ fn store_get_flake_during_copy_is_retried() {
     let mut plan = FaultPlan::seeded(14);
     plan.store_get = FaultSpec::FirstN(1);
     let v = Virtualizer::new(config_with(plan));
-    let connector = connector(&v);
-    create_target(connector.as_ref());
+    let connector = mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::new(connector.clone());
-    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+    let result = client
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
+        .unwrap();
 
     // COPY validates before it mutates, so the re-issued statement after
     // the failed staged-file read cannot duplicate rows.
@@ -222,17 +136,19 @@ fn cdw_transient_faults_are_retried_to_success() {
     let mut plan = FaultPlan::seeded(15);
     plan.cdw_exec = FaultSpec::AtOps(vec![6, 7]);
     let v = Virtualizer::new(config_with(plan));
-    let connector = connector(&v);
+    let connector = mem_connector(&v);
 
     // Setup DDL runs with the hook disarmed so the scenario's op indices
     // start at the load itself.
     v.cdw().set_transient_fault(None);
-    create_target(connector.as_ref());
+    create_simple_target(connector.as_ref(), "T");
     v.cdw()
         .set_transient_fault(Some(v.fault_injector().unwrap().cdw_hook()));
 
     let client = LegacyEtlClient::new(connector.clone());
-    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+    let result = client
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
+        .unwrap();
 
     assert_eq!(result.report.rows_applied, 40);
     assert_eq!(result.report.retries, 2);
@@ -251,16 +167,16 @@ fn cdw_transient_budget_exhaustion_fails_cleanly() {
     let mut config = config_with(plan);
     config.retry_budget = 3;
     let v = Virtualizer::new(config);
-    let connector = connector(&v);
+    let connector = mem_connector(&v);
 
     v.cdw().set_transient_fault(None);
-    create_target(connector.as_ref());
+    create_simple_target(connector.as_ref(), "T");
     v.cdw()
         .set_transient_fault(Some(v.fault_injector().unwrap().cdw_hook()));
 
     let client = LegacyEtlClient::new(connector.clone());
     let err = client
-        .run_import_data(&import_job(), &rows(40))
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
         .unwrap_err();
     match err {
         ClientError::Server { message, .. } => assert!(message.contains("COPY"), "{message}"),
@@ -278,12 +194,12 @@ fn converter_worker_fault_fails_job_cleanly() {
     let mut plan = FaultPlan::seeded(17);
     plan.convert = FaultSpec::AtOps(vec![0]);
     let v = Virtualizer::new(config_with(plan));
-    let connector = connector(&v);
-    create_target(connector.as_ref());
+    let connector = mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::new(connector.clone());
     let err = client
-        .run_import_data(&import_job(), &rows(40))
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
         .unwrap_err();
     match err {
         ClientError::Server { message, .. } => {
@@ -307,8 +223,8 @@ fn transport_drop_surfaces_as_timeout_not_hang() {
     plan.transport = FaultSpec::AtOps(vec![1]);
     plan.transport_failure = TransportFailure::Drop;
     let v = Virtualizer::new(config_with(plan));
-    let connector = chaos_connector(&v);
-    create_target(connector.as_ref());
+    let connector = chaos_mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::with_options(
         connector.clone(),
@@ -320,7 +236,7 @@ fn transport_drop_surfaces_as_timeout_not_hang() {
         },
     );
     let err = client
-        .run_import_data(&import_job(), &rows(30))
+        .run_import_data(&simple_import_job("T"), &kv_rows(30))
         .unwrap_err();
     assert!(
         matches!(err, ClientError::Timeout(_)),
@@ -341,8 +257,8 @@ fn transport_truncate_mid_chunk_surfaces_as_error() {
     plan.transport = FaultSpec::AtOps(vec![1]);
     plan.transport_failure = TransportFailure::Truncate;
     let v = Virtualizer::new(config_with(plan));
-    let connector = chaos_connector(&v);
-    create_target(connector.as_ref());
+    let connector = chaos_mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::with_options(
         connector.clone(),
@@ -354,7 +270,7 @@ fn transport_truncate_mid_chunk_surfaces_as_error() {
         },
     );
     let err = client
-        .run_import_data(&import_job(), &rows(30))
+        .run_import_data(&simple_import_job("T"), &kv_rows(30))
         .unwrap_err();
     assert!(
         matches!(err, ClientError::Io(_) | ClientError::Timeout(_)),
@@ -370,8 +286,8 @@ fn transport_sever_fails_fast() {
     plan.transport = FaultSpec::AtOps(vec![0]);
     plan.transport_failure = TransportFailure::Sever;
     let v = Virtualizer::new(config_with(plan));
-    let connector = chaos_connector(&v);
-    create_target(connector.as_ref());
+    let connector = chaos_mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::with_options(
         connector.clone(),
@@ -383,7 +299,7 @@ fn transport_sever_fails_fast() {
         },
     );
     let err = client
-        .run_import_data(&import_job(), &rows(30))
+        .run_import_data(&simple_import_job("T"), &kv_rows(30))
         .unwrap_err();
     assert!(
         matches!(err, ClientError::Io(_)),
@@ -407,8 +323,8 @@ fn random_faults_with_same_seed_reproduce_exactly() {
         let mut config = config_with(plan);
         config.file_size_threshold = 256; // several staged files per job
         let v = Virtualizer::new(config);
-        let connector = connector(&v);
-        create_target(connector.as_ref());
+        let connector = mem_connector(&v);
+        create_simple_target(connector.as_ref(), "T");
         let client = LegacyEtlClient::with_options(
             connector.clone(),
             ClientOptions {
@@ -418,7 +334,9 @@ fn random_faults_with_same_seed_reproduce_exactly() {
                 ..Default::default()
             },
         );
-        let result = client.run_import_data(&import_job(), &rows(120)).unwrap();
+        let result = client
+            .run_import_data(&simple_import_job("T"), &kv_rows(120))
+            .unwrap();
         assert_quiescent(&v);
         assert_eq!(v.cdw().table_len("T").unwrap(), 120);
         (
@@ -439,11 +357,13 @@ fn fault_free_plan_changes_nothing() {
     // An armed injector whose specs are all Never must be a no-op: no
     // faults, no retries, same outcome as an unfaulted run.
     let v = Virtualizer::new(config_with(FaultPlan::seeded(99)));
-    let connector = connector(&v);
-    create_target(connector.as_ref());
+    let connector = mem_connector(&v);
+    create_simple_target(connector.as_ref(), "T");
 
     let client = LegacyEtlClient::new(connector.clone());
-    let result = client.run_import_data(&import_job(), &rows(40)).unwrap();
+    let result = client
+        .run_import_data(&simple_import_job("T"), &kv_rows(40))
+        .unwrap();
     assert_eq!(result.report.rows_applied, 40);
     assert_eq!(result.report.retries, 0);
     assert_eq!(result.report.faults_injected, 0);
@@ -467,10 +387,10 @@ fn client_disconnect_mid_load_leaves_no_residue() {
     let v = Virtualizer::with_backends(config, cdw, Arc::clone(&store));
     let server = v.listen_tcp("127.0.0.1:0").expect("bind");
     let connector = TcpConnector::new(server.addr().to_string());
-    create_target(&connector);
+    create_simple_target(&connector, "T");
 
     // Open the load by hand (the real client would never stop half-way).
-    let job = import_job();
+    let job = simple_import_job("T");
     let mut control = Session::logon(&connector, "u", "p", SessionRole::Control, 0).unwrap();
     let load_token = match control
         .request(Message::BeginLoad(BeginLoad {
@@ -489,7 +409,7 @@ fn client_disconnect_mid_load_leaves_no_residue() {
         other => panic!("expected BeginLoadOk, got {other:?}"),
     };
     let mut data = Session::logon(&connector, "u", "p", SessionRole::Data, load_token).unwrap();
-    let payload = rows(50);
+    let payload = kv_rows(50);
     let reply = data
         .request(Message::DataChunk(DataChunk {
             chunk_seq: 1,
@@ -532,4 +452,96 @@ fn client_disconnect_mid_load_leaves_no_residue() {
     assert_eq!(report.rows_received, 50);
     assert_eq!(v.metrics().jobs_aborted, 1);
     server.shutdown();
+}
+
+/// The chaos matrix meets the workload harness: a bursty multi-tenant
+/// trace from `etlv-workloadgen` replays through the real client while
+/// the node randomly flakes object-store puts and CDW statements
+/// mid-replay. Transient faults must stay invisible to the workload —
+/// every job completes, error-table attribution still equals the mix the
+/// generator planned row for row, every injected put fault surfaces as a
+/// server-side retry in some job's report, and the node drains clean.
+#[test]
+fn workload_trace_replays_clean_under_fault_matrix() {
+    use etlv_workloadgen::{synthesize, ReplayOptions, Scenario};
+
+    let mut scenario = Scenario::bursty_zipf(0x5EED_CA05);
+    scenario.name = "chaos_matrix".into();
+    scenario.jobs = 14;
+    scenario.tenants = 4;
+    scenario.horizon_ms = 300;
+    scenario.rows_base = 30;
+    scenario.rows_hot = 80;
+    scenario.date_error_ppm = 20_000;
+    scenario.dup_key_ppm = 10_000;
+    let trace = synthesize(&scenario);
+    let truth = trace.ground_truth();
+    assert!(
+        truth.bad_dates > 0 && truth.dup_keys > 0,
+        "scenario must exercise both error tables (got ET {} / UV {})",
+        truth.bad_dates,
+        truth.dup_keys
+    );
+
+    let mut plan = FaultPlan::seeded(0xCA05);
+    plan.store_put = FaultSpec::Random {
+        rate_ppm: 150_000,
+        limit: 8,
+    };
+    plan.cdw_exec = FaultSpec::Random {
+        rate_ppm: 40_000,
+        limit: 4,
+    };
+    let v = Virtualizer::new(config_with(plan));
+    let connector: Arc<dyn etlv_legacy_client::Connect> = mem_connector(&v);
+
+    // Create the trace's tables with the CDW hook disarmed so setup DDL
+    // cannot fault, then arm it for the replay proper (the same shape the
+    // single-job scenarios above use).
+    v.cdw().set_transient_fault(None);
+    etlv_workloadgen::replay::prepare_tables(&connector, &trace).expect("prepare tables");
+    v.cdw()
+        .set_transient_fault(Some(v.fault_injector().unwrap().cdw_hook()));
+
+    let options = ReplayOptions {
+        time_scale: 0.5,
+        read_timeout: Some(Duration::from_secs(30)),
+        prepare_tables: false,
+        ..ReplayOptions::default()
+    };
+    let report = etlv_workloadgen::replay(&connector, &trace, &options).expect("replay");
+    let counts = report.counts();
+
+    // Every job reached a terminal state, and the retry machinery absorbed
+    // every transient fault: nothing was rejected or failed.
+    assert_eq!(counts.jobs, trace.events.len() as u64);
+    assert_eq!(
+        counts.completed, counts.jobs,
+        "transient faults must be absorbed by retries ({} rejected, {} failed)",
+        counts.rejected, counts.failed
+    );
+
+    // Error attribution is untouched by the chaos: the node's ET/UV totals
+    // equal the generator's planned mix exactly.
+    assert_eq!(counts.errors_et, truth.bad_dates);
+    assert_eq!(counts.errors_uv, truth.dup_keys);
+    assert_eq!(
+        counts.rows_applied,
+        truth.rows - truth.bad_dates - truth.dup_keys
+    );
+
+    // The matrix actually fired, and every flaky put was paid for by a
+    // server-side retry attributed to some job (CDW faults on best-effort
+    // cleanup DROPs are the one place a fault can fire without a retry).
+    let faults = v.fault_counts().unwrap();
+    assert!(faults.store_put > 0, "store-put chaos never fired");
+    let server_retries: u64 = report.outcomes.iter().map(|o| o.server_retries).sum();
+    assert!(
+        server_retries >= faults.store_put,
+        "{} put faults but only {} retries reported",
+        faults.store_put,
+        server_retries
+    );
+
+    assert_quiescent(&v);
 }

@@ -15,70 +15,16 @@
 //! - **Lifecycle**: `drain()` finishes in-flight jobs while rejecting new
 //!   logons; `shutdown()` aborts sessions and joins the accept loop.
 
-use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use etlv_core::{Virtualizer, VirtualizerConfig};
 use etlv_legacy_client::{
-    ClientError, ClientOptions, FnConnector, LegacyEtlClient, RetryPolicy, Session, TcpConnector,
+    ClientError, ClientOptions, LegacyEtlClient, RetryPolicy, Session, TcpConnector,
 };
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::message::{BeginLoad, EndLoad, Message, SessionRole};
-use etlv_protocol::transport::{duplex, Transport};
-use etlv_script::{compile, parse_script, ExportJob, ImportJob, JobPlan};
-
-fn import_script(table: &str) -> String {
-    format!(
-        ".logon h/u,p;\n\
-         .layout L;\n\
-         .field A varchar(8);\n\
-         .field B varchar(32);\n\
-         .begin import tables {table} errortables {table}_ET {table}_UV;\n\
-         .dml label Go;\n\
-         insert into {table} values (:A, :B);\n\
-         .import infile f format vartext '|' layout L apply Go;\n\
-         .end load\n"
-    )
-}
-
-fn import_job(table: &str) -> ImportJob {
-    match compile(&parse_script(&import_script(table)).unwrap()).unwrap() {
-        JobPlan::Import(job) => job,
-        _ => panic!("script is an import job"),
-    }
-}
-
-fn export_job(select: &str) -> ExportJob {
-    let src = format!(
-        ".logon h/u,p;\n.begin export sessions 2;\n.export outfile out format vartext '|';\n{select};\n.end export;\n"
-    );
-    match compile(&parse_script(&src).unwrap()).unwrap() {
-        JobPlan::Export(job) => job,
-        _ => panic!("script is an export job"),
-    }
-}
-
-fn rows(n: usize, tag: usize) -> Vec<u8> {
-    (0..n)
-        .flat_map(|i| format!("k{i:04}|client-{tag}-row-{i:04}\n").into_bytes())
-        .collect()
-}
-
-/// In-process duplex connector (no TCP) for the registry-only tests.
-fn mem_connector(
-    v: &Virtualizer,
-) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
-    let v = v.clone();
-    Arc::new(FnConnector(move || {
-        let (client_end, server_end) = duplex();
-        let v = v.clone();
-        std::thread::spawn(move || {
-            let _ = v.serve(server_end);
-        });
-        Ok(Box::new(client_end) as Box<dyn Transport>)
-    }))
-}
+mod common;
 
 fn options() -> ClientOptions {
     ClientOptions {
@@ -88,19 +34,7 @@ fn options() -> ClientOptions {
         ..Default::default()
     }
 }
-
-fn wait_idle(v: &Virtualizer) {
-    let deadline = Instant::now() + Duration::from_secs(5);
-    while v.active_jobs() > 0 || v.active_sessions() > 0 {
-        assert!(
-            Instant::now() < deadline,
-            "node did not quiesce: {} jobs, {} sessions",
-            v.active_jobs(),
-            v.active_sessions()
-        );
-        std::thread::sleep(Duration::from_millis(5));
-    }
-}
+use common::{export_job, labeled_kv_rows, mem_connector, simple_import_job, wait_idle};
 
 /// 16 real TCP clients at once — 10 imports into distinct tables, 3
 /// exports, 3 SQL sessions — multiplexed over ONE fixed worker pool.
@@ -153,7 +87,10 @@ fn sixteen_concurrent_tcp_clients_share_one_worker_pool() {
             let client =
                 LegacyEtlClient::with_options(Arc::new(TcpConnector::new(addr)), options());
             let result = client
-                .run_import_data(&import_job(&format!("T{i}")), &rows(ROWS, i))
+                .run_import_data(
+                    &simple_import_job(&format!("T{i}")),
+                    &labeled_kv_rows(ROWS, i),
+                )
                 .unwrap();
             assert_eq!(result.report.rows_applied, ROWS as u64, "client {i}");
             assert_eq!(result.report.errors_et + result.report.errors_uv, 0);
@@ -240,7 +177,7 @@ fn job_admission_limit_bounces_then_recovers() {
     let connector = mem_connector(&v);
 
     // Occupy the single job slot by hand.
-    let hold = import_job("HOLD");
+    let hold = simple_import_job("HOLD");
     let mut control =
         Session::logon(connector.as_ref(), "u", "p", SessionRole::Control, 0).unwrap();
     let reply = control
@@ -269,7 +206,7 @@ fn job_admission_limit_bounces_then_recovers() {
         },
     );
     let err = impatient
-        .run_import_data(&import_job("T0"), &rows(20, 0))
+        .run_import_data(&simple_import_job("T0"), &labeled_kv_rows(20, 0))
         .unwrap_err();
     assert!(err.is_busy(), "expected SERVER_BUSY, got {err:?}");
     match err {
@@ -292,7 +229,7 @@ fn job_admission_limit_bounces_then_recovers() {
         control.logoff();
     });
     let result = patient
-        .run_import_data(&import_job("T0"), &rows(20, 0))
+        .run_import_data(&simple_import_job("T0"), &labeled_kv_rows(20, 0))
         .unwrap();
     assert_eq!(result.report.rows_applied, 20);
     releaser.join().unwrap();
@@ -352,7 +289,7 @@ fn drain_finishes_inflight_jobs_and_rejects_new_logons() {
     let connector = TcpConnector::new(server.addr().to_string());
 
     // A job mid-flight: load begun, nothing applied yet.
-    let job = import_job("T0");
+    let job = simple_import_job("T0");
     let mut control = Session::logon(&connector, "u", "p", SessionRole::Control, 0).unwrap();
     let reply = control
         .request(Message::BeginLoad(BeginLoad {
@@ -418,7 +355,7 @@ fn shutdown_aborts_open_sessions_and_joins_accept_loop() {
     let addr = server.addr();
     let connector = TcpConnector::new(addr.to_string());
 
-    let job = import_job("T0");
+    let job = simple_import_job("T0");
     let mut control = Session::logon(&connector, "u", "p", SessionRole::Control, 0).unwrap();
     let reply = control
         .request(Message::BeginLoad(BeginLoad {

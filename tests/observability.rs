@@ -2,82 +2,14 @@
 //! aggregation, registry wiring through real import/export jobs, the
 //! recent-report ring, and the `Stats` wire round trip.
 
-use std::io;
 use std::sync::Arc;
 
 use etlv_core::{Virtualizer, VirtualizerConfig};
-use etlv_legacy_client::{ClientOptions, FnConnector, LegacyEtlClient};
+use etlv_legacy_client::{ClientOptions, LegacyEtlClient};
 use etlv_protocol::message::{SessionRole, StatsFormat};
-use etlv_protocol::transport::{duplex, Transport};
 use etlv_script::{compile, parse_script, JobPlan};
-
-fn connector(
-    v: &Virtualizer,
-) -> Arc<FnConnector<impl Fn() -> io::Result<Box<dyn Transport>> + Send + Sync>> {
-    let v = v.clone();
-    Arc::new(FnConnector(move || {
-        let (client_end, server_end) = duplex();
-        let v = v.clone();
-        std::thread::spawn(move || {
-            let _ = v.serve(server_end);
-        });
-        Ok(Box::new(client_end) as Box<dyn Transport>)
-    }))
-}
-
-const IMPORT_SCRIPT: &str = r#"
-.logon host/user,pass;
-.layout CustLayout;
-.field CUST_ID varchar(5);
-.field CUST_NAME varchar(50);
-.field JOIN_DATE varchar(10);
-.begin import tables PROD.CUSTOMER
-errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
-.dml label InsApply;
-insert into PROD.CUSTOMER values (
-    trim(:CUST_ID), trim(:CUST_NAME),
-    cast(:JOIN_DATE as DATE format `YYYY-MM-DD') );
-.import infile input.txt
-    format vartext `|' layout CustLayout
-    apply InsApply;
-.end load
-"#;
-
-fn import_job() -> etlv_script::ImportJob {
-    match compile(&parse_script(IMPORT_SCRIPT).unwrap()).unwrap() {
-        JobPlan::Import(job) => job,
-        _ => panic!("expected import"),
-    }
-}
-
-fn clean_rows(n: usize) -> Vec<u8> {
-    (0..n)
-        .flat_map(|i| format!("i{i:03}|name{i}|2012-01-01\n").into_bytes())
-        .collect()
-}
-
-fn new_virtualizer(config: VirtualizerConfig) -> Virtualizer {
-    let v = Virtualizer::new(config);
-    v.cdw()
-        .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE)")
-        .unwrap();
-    v
-}
-
-fn counter(snapshot: &str, name: &str) -> u64 {
-    // The JSON document renders counters as `"name": value` pairs; pull
-    // one out without a JSON parser (the workspace carries none).
-    let key = format!("\"{name}\": ");
-    let at = snapshot
-        .find(&key)
-        .unwrap_or_else(|| panic!("{name} not in snapshot"));
-    snapshot[at + key.len()..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect::<String>()
-        .parse()
-        .unwrap()
-}
+mod common;
+use common::{counter, customer_import_job, customer_rows, customer_virtualizer, mem_connector};
 
 /// Counters registered once, hammered from many threads, summed at
 /// snapshot: the shard merge must never lose an increment, and histogram
@@ -123,13 +55,13 @@ fn concurrent_counter_and_histogram_aggregation() {
 /// intake, pipeline conversion, store puts, CDW statements, credits.
 #[test]
 fn import_populates_every_subsystem() {
-    let v = new_virtualizer(VirtualizerConfig {
+    let v = customer_virtualizer(VirtualizerConfig {
         credits: 4,
         file_size_threshold: 256,
         ..Default::default()
     });
     let client = LegacyEtlClient::with_options(
-        connector(&v),
+        mem_connector(&v),
         ClientOptions {
             chunk_rows: 10,
             sessions: Some(4),
@@ -137,8 +69,10 @@ fn import_populates_every_subsystem() {
         },
     );
     let rows = 200usize;
-    let data = clean_rows(rows);
-    let result = client.run_import_data(&import_job(), &data).unwrap();
+    let data = customer_rows(rows);
+    let result = client
+        .run_import_data(&customer_import_job(), &data)
+        .unwrap();
     assert_eq!(result.report.rows_applied, rows as u64);
 
     if !etlv_core::obs::enabled() {
@@ -172,12 +106,12 @@ fn import_populates_every_subsystem() {
 /// numerically consistent with `NodeMetrics` (credit stalls, peak memory).
 #[test]
 fn stats_snapshot_consistent_with_node_metrics() {
-    let v = new_virtualizer(VirtualizerConfig {
+    let v = customer_virtualizer(VirtualizerConfig {
         credits: 2, // tiny pool: back-pressure stalls are likely
         ..Default::default()
     });
     let client = LegacyEtlClient::with_options(
-        connector(&v),
+        mem_connector(&v),
         ClientOptions {
             chunk_rows: 5,
             sessions: Some(2),
@@ -185,7 +119,7 @@ fn stats_snapshot_consistent_with_node_metrics() {
         },
     );
     client
-        .run_import_data(&import_job(), &clean_rows(100))
+        .run_import_data(&customer_import_job(), &customer_rows(100))
         .unwrap();
 
     let snapshot = v.stats_snapshot();
@@ -209,10 +143,10 @@ fn stats_snapshot_consistent_with_node_metrics() {
 /// The `Stats` request round-trips over the wire in both renderings.
 #[test]
 fn stats_wire_round_trip() {
-    let v = new_virtualizer(VirtualizerConfig::default());
-    let client = LegacyEtlClient::new(connector(&v));
+    let v = customer_virtualizer(VirtualizerConfig::default());
+    let client = LegacyEtlClient::new(mem_connector(&v));
     client
-        .run_import_data(&import_job(), &clean_rows(10))
+        .run_import_data(&customer_import_job(), &customer_rows(10))
         .unwrap();
 
     let mut session = etlv_legacy_client::Session::logon(
@@ -250,14 +184,14 @@ fn stats_wire_round_trip() {
 /// The node retains a bounded ring of recent reports, newest last.
 #[test]
 fn report_ring_is_bounded() {
-    let v = new_virtualizer(VirtualizerConfig {
+    let v = customer_virtualizer(VirtualizerConfig {
         report_history: 2,
         ..Default::default()
     });
     for n in [10usize, 20, 30] {
-        let client = LegacyEtlClient::new(connector(&v));
+        let client = LegacyEtlClient::new(mem_connector(&v));
         client
-            .run_import_data(&import_job(), &clean_rows(n))
+            .run_import_data(&customer_import_job(), &customer_rows(n))
             .unwrap();
     }
     let recent = v.recent_job_reports();
@@ -292,7 +226,7 @@ fn export_rows_and_bytes_counted() {
     let JobPlan::Export(job) = compile(&parse_script(src).unwrap()).unwrap() else {
         panic!()
     };
-    let client = LegacyEtlClient::new(connector(&v));
+    let client = LegacyEtlClient::new(mem_connector(&v));
     let result = client.run_export(&job).unwrap();
     assert_eq!(result.rows, 50);
 
@@ -331,7 +265,7 @@ fn load_report_retry_split_consistent() {
         .execute("CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE)")
         .unwrap();
     let client = LegacyEtlClient::with_options(
-        connector(&v),
+        mem_connector(&v),
         ClientOptions {
             chunk_rows: 20,
             sessions: Some(1),
@@ -339,7 +273,7 @@ fn load_report_retry_split_consistent() {
         },
     );
     let result = client
-        .run_import_data(&import_job(), &clean_rows(100))
+        .run_import_data(&customer_import_job(), &customer_rows(100))
         .unwrap();
     let report = &result.report;
     assert_eq!(report.rows_applied, 100, "faults absorbed by retries");
@@ -372,11 +306,11 @@ fn session_lifecycle_metrics_are_symmetric_and_rendered() {
     use etlv_legacy_client::Session;
     use etlv_protocol::message::{BeginLoad, Message};
 
-    let v = new_virtualizer(VirtualizerConfig::default());
+    let v = customer_virtualizer(VirtualizerConfig::default());
     v.cdw()
         .execute("CREATE TABLE T (A VARCHAR(5), B VARCHAR(50))")
         .unwrap();
-    let connector = connector(&v);
+    let connector = mem_connector(&v);
 
     // One clean import...
     let client = LegacyEtlClient::with_options(
@@ -388,12 +322,12 @@ fn session_lifecycle_metrics_are_symmetric_and_rendered() {
         },
     );
     client
-        .run_import_data(&import_job(), &clean_rows(100))
+        .run_import_data(&customer_import_job(), &customer_rows(100))
         .unwrap();
 
     // ...and one abandoned one: logon, begin a load, vanish without
     // EndLoad or Logoff. The serve loop notices the dead link and aborts.
-    let job = import_job();
+    let job = customer_import_job();
     let mut control =
         Session::logon(connector.as_ref(), "u", "p", SessionRole::Control, 0).unwrap();
     let reply = control
