@@ -1,0 +1,441 @@
+//! PR 7 indexed-apply-path evidence: the workload scenarios from PR 6
+//! replayed against a node whose CDW now plans index seeks instead of
+//! scanning, plus a scaled `error_heavy_big` scenario that a scan-bound
+//! engine cannot finish in reasonable time.
+//!
+//! Three claims are on trial:
+//!
+//! 1. **Latency**: the `error_heavy` p95 collapses versus the PR 6
+//!    baseline (9093 ms) — gated at ≤ 1800 ms, a ≥ 5x improvement — at
+//!    identical outcome counts and exact ET/UV accounting. The planner
+//!    changed the access paths, not the answers.
+//! 2. **Throughput**: steady-state e2e imports (PR 5's measurement
+//!    shape — chunked COPY through the real legacy client — run
+//!    repeatedly into the *same* warm target). The prior 100–130k rows/s
+//!    plateau was a cold-table number; against a populated target the
+//!    scan engine's conflict probe decays with table size while the
+//!    indexed path holds the plateau. Gated relatively (indexed vs a
+//!    same-run scan-only engine, and warm vs its own cold rate) because
+//!    absolute rows/s are hardware-dependent.
+//! 3. **Plan shape in production**: the node-side plan counters show the
+//!    replay actually exercised index seeks and index maintenance; the
+//!    improvement is attributable, not incidental.
+//!
+//! Determinism and accounting gates are inherited verbatim from
+//! `bench_pr6`: double-synthesize fingerprints, double-replay outcome
+//! counts, completed == jobs, ET/UV equal to the generator's truth.
+//!
+//! Writes `BENCH_PR7.json` at the repo root (format documented in
+//! EXPERIMENTS.md).
+//!
+//! Usage: `bench_pr7 [--smoke] [--out PATH]`
+//!   --smoke  shrink workloads for a CI sanity run (determinism,
+//!            accounting, and plan-counter gates still apply; the
+//!            latency and throughput gates need full scale)
+//!   --out    output path (default BENCH_PR7.json)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etlv_bench::{connector, virtualizer_with_latency};
+use etlv_cdw::{Cdw, CdwConfig};
+use etlv_cloudstore::{MemStore, ObjectStore};
+use etlv_core::workload::{customer_workload, CustomerSpec};
+use etlv_core::{Virtualizer, VirtualizerConfig};
+use etlv_legacy_client::{ClientOptions, Connect, LegacyEtlClient, TcpConnector};
+use etlv_script::{compile, parse_script, JobPlan};
+use etlv_workloadgen::{
+    replay, synthesize, OutcomeCounts, ReplayOptions, Scenario, SloSummary, WorkloadTrace,
+};
+
+const SEED: u64 = 0x00E7_C007;
+/// PR 6 full-run `error_heavy` p95 (BENCH_PR6.json) — the baseline the
+/// ≥ 5x gate is measured against.
+const BASELINE_ERROR_HEAVY_P95_MS: f64 = 9093.043;
+/// Best single-job shared-mode rows/s from BENCH_PR5.json — the top of
+/// the plateau as recorded on the PR 5 reference machine. Absolute
+/// rows/s are hardware-dependent, so the gate below compares against a
+/// same-run scan-only reference engine rather than this constant; the
+/// constant rides along in the JSON for cross-report context.
+const BASELINE_E2E_ROWS_PER_S: f64 = 122_686.0;
+const ERROR_HEAVY_P95_GATE_MS: f64 = 1800.0;
+/// The indexed path must beat the scan-bound plateau, measured on the
+/// same machine in the same run, by at least this factor.
+const E2E_SPEEDUP_GATE: f64 = 1.10;
+const CHUNK_ROWS: usize = 500;
+
+/// Node-side CDW plan counters sampled after a replay.
+#[derive(Clone, Copy)]
+struct PlanCounters {
+    index_seek: u64,
+    full_scan: u64,
+    index_maintain: u64,
+}
+
+struct ScenarioResult {
+    name: String,
+    fingerprint: u64,
+    planned_bad_dates: u64,
+    planned_dup_keys: u64,
+    counts: [OutcomeCounts; 2],
+    plan: PlanCounters,
+    slo: SloSummary,
+}
+
+fn shrink(s: &mut Scenario) {
+    s.jobs = (s.jobs / 4).max(6);
+    s.tenants = s.tenants.min(3);
+    s.horizon_ms /= 4;
+    s.rows_hot = (s.rows_hot / 4).max(s.rows_base.min(40));
+    s.rows_base = s.rows_base.min(40);
+}
+
+fn replay_once(
+    trace: &WorkloadTrace,
+    options: &ReplayOptions,
+) -> (etlv_workloadgen::ReplayReport, PlanCounters) {
+    let v = virtualizer_with_latency(VirtualizerConfig::default(), Duration::ZERO);
+    let handle = v.listen_tcp("127.0.0.1:0").expect("bind TCP listener");
+    let connector: Arc<dyn Connect> = Arc::new(TcpConnector::new(handle.addr().to_string()));
+    let report = replay(&connector, trace, options).expect("replay runs to completion");
+    let cdw = &v.obs().cdw;
+    let plan = PlanCounters {
+        index_seek: cdw.plan_index_seek.value(),
+        full_scan: cdw.plan_full_scan.value(),
+        index_maintain: cdw.index_maintain.value(),
+    };
+    handle.shutdown();
+    (report, plan)
+}
+
+fn run_scenario(scenario: &Scenario, options: &ReplayOptions) -> ScenarioResult {
+    // Generate twice: the traces must be fingerprint-identical.
+    let trace = synthesize(scenario);
+    let again = synthesize(scenario);
+    assert_eq!(
+        trace.fingerprint(),
+        again.fingerprint(),
+        "synthesis of '{}' is not deterministic",
+        scenario.name
+    );
+    let truth = trace.ground_truth();
+
+    // Replay twice on fresh nodes: outcome counts must match.
+    let (first, plan) = replay_once(&trace, options);
+    let (second, _) = replay_once(&trace, options);
+    let slo = first.slo(&scenario.name);
+    eprintln!(
+        "  {:<16} jobs {:>3}  p50 {:>8.1} ms  p95 {:>8.1} ms  p99 {:>8.1} ms  \
+         et {}  uv {}  seeks {}  scans {}  maintains {}",
+        scenario.name,
+        slo.jobs,
+        slo.p50_ms,
+        slo.p95_ms,
+        slo.p99_ms,
+        slo.errors_et,
+        slo.errors_uv,
+        plan.index_seek,
+        plan.full_scan,
+        plan.index_maintain,
+    );
+    ScenarioResult {
+        name: scenario.name.clone(),
+        fingerprint: trace.fingerprint(),
+        planned_bad_dates: truth.bad_dates,
+        planned_dup_keys: truth.dup_keys,
+        counts: [first.counts(), second.counts()],
+        plan,
+        slo,
+    }
+}
+
+/// A node whose CDW runs with the planner disabled: full scans and
+/// nested-loop joins, the pre-PR-7 access paths. This is the same-run,
+/// same-machine reproduction of the PR 5 throughput plateau.
+fn scan_reference_virtualizer() -> Virtualizer {
+    let store: Arc<dyn ObjectStore> = Arc::new(MemStore::new());
+    let cdw = Cdw::with_config(
+        CdwConfig {
+            native_unique: false,
+            planner: false,
+            ..Default::default()
+        },
+        Some(Arc::clone(&store)),
+    );
+    Virtualizer::with_backends(VirtualizerConfig::default(), cdw, store)
+}
+
+/// Steady-state e2e measurement: `imports` successive imports of
+/// `rows_per_import` clean rows into the *same* warm target table
+/// (disjoint CUST_ID ranges, carved from one generated workload).
+///
+/// The first import lands in an empty table — that is PR 5's cold
+/// measurement, bounded by transport and conversion. Every later import
+/// runs the uniqueness-emulation conflict probe against an
+/// ever-larger target, which is exactly the stage a scanning engine
+/// pays O(batch × target) for and an indexed engine pays
+/// O(batch × log target). Returns per-import rows/s, in order.
+fn e2e_steady(
+    make_node: impl Fn() -> Virtualizer,
+    rows_per_import: u64,
+    imports: usize,
+) -> Vec<f64> {
+    let whole = customer_workload(&CustomerSpec {
+        rows: rows_per_import * imports as u64,
+        row_bytes: 250,
+        sessions: 1,
+        seed: 0x9A5E,
+        ..Default::default()
+    });
+    let lines: Vec<&[u8]> = whole.data.split_inclusive(|b| *b == b'\n').collect();
+    assert_eq!(lines.len() as u64, whole.rows, "one line per row");
+
+    let v = make_node();
+    v.cdw()
+        .execute(&etlv_core::xcompile::translate_sql(&whole.target_ddl).unwrap())
+        .unwrap();
+    let JobPlan::Import(job) = compile(&parse_script(&whole.script).unwrap()).unwrap() else {
+        panic!("workload script is not an import job")
+    };
+    let client = LegacyEtlClient::with_options(
+        connector(&v),
+        ClientOptions {
+            chunk_rows: CHUNK_ROWS,
+            sessions: Some(1),
+            ..Default::default()
+        },
+    );
+
+    let mut per_import = Vec::with_capacity(imports);
+    for (i, chunk) in lines.chunks(rows_per_import as usize).enumerate() {
+        let data: Vec<u8> = chunk.concat();
+        let started = Instant::now();
+        let result = client
+            .run_import_data(&job, &data)
+            .expect("import job failed");
+        let wall = started.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(
+            result.report.rows_applied, rows_per_import,
+            "import {i} clean"
+        );
+        let rps = rows_per_import as f64 / wall;
+        eprintln!(
+            "    import {i} (target had {} rows): {rps:>10.0} rows/s ({wall:.3} s)",
+            i as u64 * rows_per_import
+        );
+        per_import.push(rps);
+    }
+    per_import
+}
+
+fn counts_json(c: &OutcomeCounts) -> String {
+    format!(
+        "{{\"jobs\":{},\"completed\":{},\"rejected\":{},\"failed\":{},\"rows_applied\":{},\
+         \"rows_exported\":{},\"errors_et\":{},\"errors_uv\":{}}}",
+        c.jobs,
+        c.completed,
+        c.rejected,
+        c.failed,
+        c.rows_applied,
+        c.rows_exported,
+        c.errors_et,
+        c.errors_uv
+    )
+}
+
+fn plan_json(p: &PlanCounters) -> String {
+    format!(
+        "{{\"index_seek\":{},\"full_scan\":{},\"index_maintain\":{}}}",
+        p.index_seek, p.full_scan, p.index_maintain
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".into());
+
+    let mut scenarios = Scenario::presets(SEED);
+    scenarios.push(Scenario::error_heavy_big(SEED));
+    if smoke {
+        for s in &mut scenarios {
+            shrink(s);
+        }
+    }
+    let options = ReplayOptions {
+        time_scale: if smoke { 0.5 } else { 1.0 },
+        // Headroom for loaded CI machines; the gates below are what
+        // actually police the tail.
+        read_timeout: Some(Duration::from_secs(120)),
+        ..ReplayOptions::default()
+    };
+
+    // The throughput measurement runs first, on a cold process — the
+    // replay section leaves allocator and scheduler residue that costs
+    // a double-digit percentage on the timed import.
+    // 4k-row imports keep the scan reference's O(batch × target) warm
+    // probes inside a CI-friendly wall clock (its last import alone
+    // walks 48M row pairs); the indexed engine is indifferent to scale.
+    let (e2e_rows, e2e_imports) = if smoke { (2_000, 2) } else { (4_000, 4) };
+    eprintln!("  e2e steady, indexed engine:");
+    let indexed_rps = e2e_steady(
+        || virtualizer_with_latency(VirtualizerConfig::default(), Duration::ZERO),
+        e2e_rows,
+        e2e_imports,
+    );
+    eprintln!("  e2e steady, scan-only reference:");
+    let ref_rps = e2e_steady(scan_reference_virtualizer, e2e_rows, e2e_imports);
+    let e2e_rps = *indexed_rps.last().unwrap();
+    let e2e_cold_rps = indexed_rps[0];
+    let e2e_ref_rps = *ref_rps.last().unwrap();
+    let e2e_speedup = e2e_rps / e2e_ref_rps.max(1e-9);
+    eprintln!(
+        "  e2e steady-state (warm target, {} rows resident): indexed {e2e_rps:.0} rows/s vs \
+         scan reference {e2e_ref_rps:.0} rows/s ({e2e_speedup:.2}x); indexed cold \
+         {e2e_cold_rps:.0} rows/s",
+        e2e_rows * (e2e_imports as u64 - 1),
+    );
+
+    let results: Vec<ScenarioResult> = scenarios
+        .iter()
+        .map(|s| run_scenario(s, &options))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!(
+        "  \"baseline\": {{\"pr6_error_heavy_p95_ms\": {BASELINE_ERROR_HEAVY_P95_MS}, \
+         \"pr5_e2e_rows_per_s\": {BASELINE_E2E_ROWS_PER_S}}},\n"
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"trace_fingerprint\": \"{:#018x}\", \
+             \"planned_bad_dates\": {}, \"planned_dup_keys\": {}, \
+             \"counts_run1\": {}, \"counts_run2\": {}, \"plan\": {}, \"slo\": {}}}",
+            r.name,
+            r.fingerprint,
+            r.planned_bad_dates,
+            r.planned_dup_keys,
+            counts_json(&r.counts[0]),
+            counts_json(&r.counts[1]),
+            plan_json(&r.plan),
+            r.slo.to_json(),
+        ));
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    let series = |v: &[f64]| {
+        v.iter()
+            .map(|r| format!("{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"e2e_steady\": {{\"rows_per_import\": {e2e_rows}, \"imports\": {e2e_imports}, \
+         \"chunk_rows\": {CHUNK_ROWS}, \"indexed_rows_per_s\": [{}], \
+         \"scan_reference_rows_per_s\": [{}], \"warm_indexed_rows_per_s\": {e2e_rps:.0}, \
+         \"warm_scan_reference_rows_per_s\": {e2e_ref_rps:.0}, \
+         \"warm_speedup\": {e2e_speedup:.3}}}\n",
+        series(&indexed_rps),
+        series(&ref_rps),
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Gates. Determinism and accounting hold at any scale; the latency
+    // and throughput comparisons against the PR 5/6 baselines are only
+    // meaningful at full scale.
+    let mut failed = false;
+    for r in &results {
+        if r.counts[0] != r.counts[1] {
+            eprintln!(
+                "FAIL: '{}' replays disagree: {:?} vs {:?}",
+                r.name, r.counts[0], r.counts[1]
+            );
+            failed = true;
+        }
+        if r.counts[0].completed != r.counts[0].jobs {
+            eprintln!(
+                "FAIL: '{}' did not complete every job ({} of {}; {} rejected, {} failed)",
+                r.name,
+                r.counts[0].completed,
+                r.counts[0].jobs,
+                r.counts[0].rejected,
+                r.counts[0].failed
+            );
+            failed = true;
+        }
+        // With every job completed, error attribution must equal the
+        // planned mix exactly — the generator's ground truth is the oracle.
+        if r.counts[0].errors_et != r.planned_bad_dates
+            || r.counts[0].errors_uv != r.planned_dup_keys
+        {
+            eprintln!(
+                "FAIL: '{}' error accounting: ET {} (planned {}), UV {} (planned {})",
+                r.name,
+                r.counts[0].errors_et,
+                r.planned_bad_dates,
+                r.counts[0].errors_uv,
+                r.planned_dup_keys
+            );
+            failed = true;
+        }
+        if etlv_core::obs::enabled() {
+            // Every import stages through an indexed table, so index
+            // maintenance must show up; the error-heavy scenarios drive
+            // uniqueness probes and bisection, so seeks must too.
+            if r.plan.index_maintain == 0 {
+                eprintln!("FAIL: '{}' replay recorded no index maintenance", r.name);
+                failed = true;
+            }
+            if r.name.starts_with("error_heavy") && r.plan.index_seek == 0 {
+                eprintln!("FAIL: '{}' replay recorded no index seeks", r.name);
+                failed = true;
+            }
+        }
+    }
+    if !smoke {
+        if let Some(r) = results.iter().find(|r| r.name == "error_heavy") {
+            if r.slo.p95_ms > ERROR_HEAVY_P95_GATE_MS {
+                eprintln!(
+                    "FAIL: error_heavy p95 {:.1} ms exceeds the {:.0} ms gate \
+                     (PR 6 baseline {:.1} ms, ≥5x required)",
+                    r.slo.p95_ms, ERROR_HEAVY_P95_GATE_MS, BASELINE_ERROR_HEAVY_P95_MS
+                );
+                failed = true;
+            }
+        }
+        if e2e_speedup < E2E_SPEEDUP_GATE {
+            eprintln!(
+                "FAIL: warm-target e2e {:.0} rows/s is only {:.2}x the same-machine \
+                 scan-engine rate ({:.0} rows/s); gate requires ≥ {:.2}x \
+                 (PR 5 reference machine recorded the cold plateau at {:.0})",
+                e2e_rps, e2e_speedup, e2e_ref_rps, E2E_SPEEDUP_GATE, BASELINE_E2E_ROWS_PER_S
+            );
+            failed = true;
+        }
+        // The indexed engine must hold the cold-table plateau even with
+        // 45k rows resident — steady state no longer decays with table
+        // size (0.7 absorbs run-to-run noise, not a trend).
+        if e2e_rps < 0.7 * e2e_cold_rps {
+            eprintln!(
+                "FAIL: indexed warm-target rate {:.0} rows/s fell below 70% of its own \
+                 cold rate {:.0} rows/s — steady-state throughput still decays",
+                e2e_rps, e2e_cold_rps
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,7 @@ pub fn virtualizer_with_latency(
         CdwConfig {
             native_unique: false,
             statement_latency,
+            ..Default::default()
         },
         Some(Arc::clone(&store)),
     );

@@ -4,13 +4,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use etlv_cloudstore::store::ObjectStore;
+use etlv_sql::ast::{InsertSource, ObjectName, SelectStmt, TableRef};
 use etlv_sql::{parse_statements, Dialect, SqlType, Stmt};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use crate::catalog::Catalog;
+use crate::catalog::{canonical_name, Catalog, Table, TableGuard, TableSet};
 use crate::error::CdwError;
 pub use crate::exec::QueryResult;
 use crate::exec::{execute, ExecCtx};
+use crate::plan::PlanStats;
 
 /// Fault-injection hook consulted before each statement. Returning `true`
 /// makes the statement fail with [`CdwError::Transient`] *before* any
@@ -31,6 +33,11 @@ pub enum ExecOp {
 /// registry; this crate carries no metrics machinery of its own.
 pub type ExecObserver = Arc<dyn Fn(ExecOp, Duration, bool) + Send + Sync>;
 
+/// Plan observation callback invoked after every statement or batch that
+/// touched the planner, with that statement's access-path counters.
+/// Installed by the virtualizer to feed its metrics registry.
+pub type PlanObserver = Arc<dyn Fn(&PlanStats) + Send + Sync>;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct CdwConfig {
@@ -42,6 +49,10 @@ pub struct CdwConfig {
     /// (virtualizer) and the warehouse. This is what makes the Figure 11
     /// singleton-insert baseline slow.
     pub statement_latency: Duration,
+    /// Use index-aware access planning. Defaults to `true`; turning it
+    /// off forces full scans and nested-loop joins (indexes are still
+    /// maintained), which is the reference engine for differential tests.
+    pub planner: bool,
 }
 
 impl Default for CdwConfig {
@@ -49,6 +60,7 @@ impl Default for CdwConfig {
         CdwConfig {
             native_unique: false,
             statement_latency: Duration::ZERO,
+            planner: true,
         }
     }
 }
@@ -63,11 +75,13 @@ pub struct Cdw {
 }
 
 struct Inner {
-    catalog: Mutex<Catalog>,
+    catalog: RwLock<Catalog>,
     store: Option<Arc<dyn ObjectStore>>,
     config: CdwConfig,
     transient_fault: Mutex<Option<TransientFaultHook>>,
     exec_observer: Mutex<Option<ExecObserver>>,
+    plan_observer: Mutex<Option<PlanObserver>>,
+    plan_totals: Mutex<PlanStats>,
 }
 
 impl Cdw {
@@ -80,11 +94,13 @@ impl Cdw {
     pub fn with_config(config: CdwConfig, store: Option<Arc<dyn ObjectStore>>) -> Cdw {
         Cdw {
             inner: Arc::new(Inner {
-                catalog: Mutex::new(Catalog::new()),
+                catalog: RwLock::new(Catalog::new()),
                 store,
                 config,
                 transient_fault: Mutex::new(None),
                 exec_observer: Mutex::new(None),
+                plan_observer: Mutex::new(None),
+                plan_totals: Mutex::new(PlanStats::default()),
             }),
         }
     }
@@ -118,6 +134,33 @@ impl Cdw {
     /// its wall time and outcome.
     pub fn set_exec_observer(&self, observer: Option<ExecObserver>) {
         *self.inner.exec_observer.lock() = observer;
+    }
+
+    /// Install (or clear) a plan observer. Shared across all clones of
+    /// this warehouse handle. The observer sees per-statement access-path
+    /// counters (index seeks, full scans, index maintenance) for every
+    /// DML statement and batch.
+    pub fn set_plan_observer(&self, observer: Option<PlanObserver>) {
+        *self.inner.plan_observer.lock() = observer;
+    }
+
+    /// Cumulative access-path counters since the engine was created.
+    pub fn plan_stats(&self) -> PlanStats {
+        *self.inner.plan_totals.lock()
+    }
+
+    /// Fold one statement's counters into the totals and notify the plan
+    /// observer. Called on success *and* failure — a statement that
+    /// scanned and then aborted still scanned.
+    fn record_plan(&self, stats: &PlanStats) {
+        if stats.is_empty() {
+            return;
+        }
+        self.inner.plan_totals.lock().merge(stats);
+        let observer = self.inner.plan_observer.lock().clone();
+        if let Some(observer) = observer {
+            observer(stats);
+        }
     }
 
     /// Run `f` under the installed observer (if any), timing it and
@@ -161,14 +204,65 @@ impl Cdw {
     pub fn execute_stmt(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
         self.observed(ExecOp::Statement, || {
             self.begin_statement()?;
-            let mut catalog = self.inner.catalog.lock();
-            let mut ctx = ExecCtx {
-                catalog: &mut catalog,
-                store: self.inner.store.as_ref(),
-                native_unique: self.inner.config.native_unique,
-            };
-            execute(&mut ctx, stmt)
+            match stmt {
+                // DDL takes the catalog map's write lock; DML never does.
+                Stmt::CreateTable(ct) => {
+                    let table = Table::from_create(ct.name.dotted(), &ct.columns, &ct.constraints)?;
+                    self.inner.catalog.write().create(table, ct.if_not_exists)?;
+                    Ok(QueryResult::dml(0))
+                }
+                Stmt::DropTable { name, if_exists } => {
+                    self.inner
+                        .catalog
+                        .write()
+                        .drop_table(&name.dotted(), *if_exists)?;
+                    Ok(QueryResult::dml(0))
+                }
+                _ => self.run_dml(stmt),
+            }
         })
+    }
+
+    /// Execute a non-DDL statement: resolve the tables it touches, lock
+    /// exactly those (write locks for mutation targets, read locks for
+    /// sources, acquired in sorted-name order to stay deadlock-free), run
+    /// the executor, and record its access-path counters.
+    fn run_dml(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
+        let specs = stmt_tables(stmt);
+        // Clone the per-table lock handles out while holding only the
+        // catalog map's read lock; names that don't resolve are simply
+        // skipped so execution raises TableNotFound at the same place the
+        // old single-lock catalog lookup would have.
+        let handles: Vec<(String, bool, Arc<RwLock<Table>>)> = {
+            let catalog = self.inner.catalog.read();
+            specs
+                .iter()
+                .filter_map(|(name, write)| {
+                    catalog.handle_opt(name).map(|h| (name.clone(), *write, h))
+                })
+                .collect()
+        };
+        let mut tables = TableSet::new();
+        for (name, write, handle) in &handles {
+            let guard = if *write {
+                TableGuard::Write(handle.write())
+            } else {
+                TableGuard::Read(handle.read())
+            };
+            tables.insert(name.clone(), guard);
+        }
+        let mut ctx = ExecCtx {
+            tables,
+            store: self.inner.store.as_ref(),
+            native_unique: self.inner.config.native_unique,
+            planner: self.inner.config.planner,
+            stats: PlanStats::default(),
+        };
+        let result = execute(&mut ctx, stmt);
+        let stats = ctx.stats;
+        drop(ctx);
+        self.record_plan(&stats);
+        result
     }
 
     /// Batched ingest fast path: validate and append pre-materialized rows
@@ -185,13 +279,21 @@ impl Cdw {
     ) -> Result<u64, CdwError> {
         self.observed(ExecOp::CopyBatch, || {
             self.begin_statement()?;
-            let mut catalog = self.inner.catalog.lock();
+            let handle = self.inner.catalog.read().handle(table)?;
+            let mut tables = TableSet::new();
+            tables.insert(canonical_name(table), TableGuard::Write(handle.write()));
             let mut ctx = ExecCtx {
-                catalog: &mut catalog,
+                tables,
                 store: self.inner.store.as_ref(),
                 native_unique: self.inner.config.native_unique,
+                planner: self.inner.config.planner,
+                stats: PlanStats::default(),
             };
-            crate::exec::copy_batch(&mut ctx, table, rows)
+            let result = crate::exec::copy_batch(&mut ctx, table, rows);
+            let stats = ctx.stats;
+            drop(ctx);
+            self.record_plan(&stats);
+            result
         })
     }
 
@@ -210,20 +312,86 @@ impl Cdw {
         Ok(last)
     }
 
+    /// Explain the access plan for one SQL statement without executing
+    /// it: no latency, no fault injection, no observers. Returns one line
+    /// per plan node (indented by depth).
+    pub fn explain(&self, sql: &str) -> Result<Vec<String>, CdwError> {
+        let stmts = parse_statements(sql, Dialect::Cdw)?;
+        let [stmt] = stmts.as_slice() else {
+            return Err(CdwError::Unsupported(
+                "explain() takes exactly one statement".into(),
+            ));
+        };
+        self.explain_stmt(stmt)
+    }
+
+    /// Explain a pre-parsed statement. See [`Cdw::explain`].
+    pub fn explain_stmt(&self, stmt: &Stmt) -> Result<Vec<String>, CdwError> {
+        let specs = stmt_tables(stmt);
+        let handles: Vec<(String, Arc<RwLock<Table>>)> = {
+            let catalog = self.inner.catalog.read();
+            specs
+                .iter()
+                .filter_map(|(name, _)| catalog.handle_opt(name).map(|h| (name.clone(), h)))
+                .collect()
+        };
+        let mut tables = TableSet::new();
+        for (name, handle) in &handles {
+            tables.insert(name.clone(), TableGuard::Read(handle.read()));
+        }
+        let ctx = ExecCtx {
+            tables,
+            store: self.inner.store.as_ref(),
+            native_unique: self.inner.config.native_unique,
+            planner: self.inner.config.planner,
+            stats: PlanStats::default(),
+        };
+        crate::exec::explain(&ctx, stmt)
+    }
+
+    /// Create a named ordered secondary index on `table` over `columns`.
+    /// The index is built from current rows and maintained through every
+    /// subsequent mutation.
+    pub fn create_index(
+        &self,
+        table: &str,
+        name: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<(), CdwError> {
+        let handle = self.inner.catalog.read().handle(table)?;
+        let mut t = handle.write();
+        t.create_index(name, columns, unique)
+    }
+
+    /// Exhaustively check every index of every table against its rows.
+    /// Test-harness hook for the differential suite.
+    pub fn validate_indexes(&self) -> Result<(), String> {
+        let catalog = self.inner.catalog.read();
+        for name in catalog.table_names() {
+            if let Some(handle) = catalog.handle_opt(&name) {
+                handle.read().validate_indexes()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Number of rows in `table` (test/bench convenience).
     pub fn table_len(&self, table: &str) -> Result<usize, CdwError> {
-        Ok(self.inner.catalog.lock().get(table)?.len())
+        let handle = self.inner.catalog.read().handle(table)?;
+        let len = handle.read().len();
+        Ok(len)
     }
 
     /// Whether `table` exists.
     pub fn table_exists(&self, table: &str) -> bool {
-        self.inner.catalog.lock().exists(table)
+        self.inner.catalog.read().exists(table)
     }
 
     /// Column names and types of `table`.
     pub fn table_schema(&self, table: &str) -> Result<Vec<(String, SqlType)>, CdwError> {
-        let catalog = self.inner.catalog.lock();
-        let t = catalog.get(table)?;
+        let handle = self.inner.catalog.read().handle(table)?;
+        let t = handle.read();
         Ok(t.columns.iter().map(|c| (c.name.clone(), c.ty)).collect())
     }
 
@@ -232,12 +400,61 @@ impl Cdw {
     /// governed by [`CdwConfig::native_unique`] — the virtualizer reads
     /// this metadata to drive its uniqueness emulation.
     pub fn table_unique_columns(&self, table: &str) -> Result<Option<Vec<String>>, CdwError> {
-        let catalog = self.inner.catalog.lock();
-        let t = catalog.get(table)?;
+        let handle = self.inner.catalog.read().handle(table)?;
+        let t = handle.read();
         Ok(t.unique_columns
             .as_ref()
             .map(|idxs| idxs.iter().map(|&i| t.columns[i].name.clone()).collect()))
     }
+}
+
+/// The tables a statement touches, as `(canonical name, needs write)`
+/// pairs — sorted by name (the lock-acquisition order) with write
+/// winning over read on duplicates. DDL returns an empty list; it is
+/// handled against the catalog map directly.
+fn stmt_tables(stmt: &Stmt) -> Vec<(String, bool)> {
+    fn add(out: &mut Vec<(String, bool)>, name: &ObjectName, write: bool) {
+        out.push((canonical_name(&name.dotted()), write));
+    }
+    fn from_tables(out: &mut Vec<(String, bool)>, from: &TableRef) {
+        match from {
+            TableRef::Named { name, .. } => add(out, name, false),
+            TableRef::Join { left, right, .. } => {
+                from_tables(out, left);
+                from_tables(out, right);
+            }
+            TableRef::Subquery { query, .. } => select_tables(out, query),
+        }
+    }
+    fn select_tables(out: &mut Vec<(String, bool)>, sel: &SelectStmt) {
+        if let Some(from) = &sel.from {
+            from_tables(out, from);
+        }
+    }
+    let mut out = Vec::new();
+    match stmt {
+        Stmt::CreateTable(_) | Stmt::DropTable { .. } => {}
+        Stmt::Insert(ins) => {
+            add(&mut out, &ins.table, true);
+            if let InsertSource::Select(sel) = &ins.source {
+                select_tables(&mut out, sel);
+            }
+        }
+        Stmt::Update(u) => add(&mut out, &u.table, true),
+        Stmt::Delete(d) => add(&mut out, &d.table, true),
+        Stmt::Select(sel) => select_tables(&mut out, sel),
+        Stmt::Copy(c) => add(&mut out, &c.table, true),
+    }
+    out.sort();
+    out.dedup_by(|next, prev| {
+        if next.0 == prev.0 {
+            prev.1 |= next.1;
+            true
+        } else {
+            false
+        }
+    });
+    out
 }
 
 impl Default for Cdw {

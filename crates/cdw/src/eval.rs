@@ -66,13 +66,7 @@ pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value, CdwError> {
         )),
         Expr::Unary { op, expr } => {
             let v = eval(expr, env)?;
-            match op {
-                UnaryOp::Neg => negate(v),
-                UnaryOp::Not => Ok(match v {
-                    Value::Null => Value::Null,
-                    other => bool_val(!truthy(&other)),
-                }),
-            }
+            apply_unary(*op, v)
         }
         Expr::Binary { left, op, right } => eval_binary(left, *op, right, env),
         Expr::IsNull { expr, negated } => {
@@ -182,6 +176,17 @@ pub fn literal_value(lit: &Literal) -> Value {
     }
 }
 
+/// Apply a unary operator to an already-evaluated value.
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Result<Value, CdwError> {
+    match op {
+        UnaryOp::Neg => negate(v),
+        UnaryOp::Not => Ok(match v {
+            Value::Null => Value::Null,
+            other => bool_val(!truthy(&other)),
+        }),
+    }
+}
+
 fn negate(v: Value) -> Result<Value, CdwError> {
     Ok(match v {
         Value::Null => Value::Null,
@@ -196,10 +201,17 @@ fn negate(v: Value) -> Result<Value, CdwError> {
 }
 
 fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, env: &dyn Env) -> Result<Value, CdwError> {
+    let l = eval(left, env)?;
+    let r = eval(right, env)?;
+    apply_binary(l, op, r)
+}
+
+/// Apply a binary operator to two already-evaluated values. Both operands
+/// are always evaluated first (AND/OR are eager with Kleene tables), which
+/// is what lets the columnar batch evaluator reuse this verbatim.
+pub(crate) fn apply_binary(l: Value, op: BinaryOp, r: Value) -> Result<Value, CdwError> {
     // AND/OR need lazy-ish three-valued handling.
     if matches!(op, BinaryOp::And | BinaryOp::Or) {
-        let l = eval(left, env)?;
-        let r = eval(right, env)?;
         let lt = if l.is_null() { None } else { Some(truthy(&l)) };
         let rt = if r.is_null() { None } else { Some(truthy(&r)) };
         return Ok(match op {
@@ -217,8 +229,6 @@ fn eval_binary(left: &Expr, op: BinaryOp, right: &Expr, env: &dyn Env) -> Result
         });
     }
 
-    let l = eval(left, env)?;
-    let r = eval(right, env)?;
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -385,6 +395,18 @@ impl Num {
             Num::Float(f) => Decimal::parse(&format!("{f}")).map_err(|e| conv_err(e.to_string())),
         }
     }
+}
+
+/// Parse a string the way implicit numeric coercion does (trim, then
+/// i64 → Decimal → f64), yielding the Value the comparison machinery would
+/// compare against. The planner uses this to normalize index probes so a
+/// seek matches exactly the rows [`compare_eq`] would.
+pub(crate) fn numeric_value_of_str(s: &str) -> Option<Value> {
+    to_numeric(&Value::Str(s.to_string())).map(|n| match n {
+        Num::Int(v) => Value::Int(v),
+        Num::Dec(d) => Value::Decimal(d),
+        Num::Float(f) => Value::Float(f),
+    })
 }
 
 fn to_numeric(v: &Value) -> Option<Num> {

@@ -16,10 +16,14 @@ use etlv_sql::ast::*;
 use etlv_sql::types::Charset;
 use etlv_sql::SqlType;
 
-use crate::catalog::{Catalog, Table};
+use crate::batch;
+use crate::catalog::{Table, TableSet};
 use crate::error::{BulkAbortKind, CdwError};
 use crate::eval::{conv_err, eval, truthy, Env};
 use crate::key::{cmp_values, RowKey};
+use crate::plan::{
+    choose_access, family_of, normalize_probe, plan_equi_join, Access, Family, PlanStats,
+};
 use crate::staged::StagedFormat;
 
 /// The result of executing one statement.
@@ -34,7 +38,7 @@ pub struct QueryResult {
 }
 
 impl QueryResult {
-    fn dml(affected: u64) -> QueryResult {
+    pub(crate) fn dml(affected: u64) -> QueryResult {
         QueryResult {
             columns: Vec::new(),
             rows: Vec::new(),
@@ -43,14 +47,19 @@ impl QueryResult {
     }
 }
 
-/// Execution context: the catalog plus engine knobs.
+/// Execution context: the tables a statement locked, plus engine knobs.
 pub struct ExecCtx<'a> {
-    /// The catalog to operate on.
-    pub catalog: &'a mut Catalog,
+    /// Per-table locks acquired up front for this statement.
+    pub tables: TableSet<'a>,
     /// Object store for COPY (absent = COPY unsupported).
     pub store: Option<&'a Arc<dyn ObjectStore>>,
     /// Whether UNIQUE constraints are enforced natively.
     pub native_unique: bool,
+    /// Whether the access-path planner is enabled (off = scan-only
+    /// reference semantics for differential testing).
+    pub planner: bool,
+    /// Planner decision counters accumulated over this statement.
+    pub stats: PlanStats,
 }
 
 /// One column visible during evaluation: optional qualifier + name + type.
@@ -106,18 +115,14 @@ fn resolve_column(bindings: &[Binding], name: &ObjectName) -> Result<usize, CdwE
     found.ok_or_else(|| CdwError::ColumnNotFound(name.dotted()))
 }
 
-/// Execute one parsed statement.
+/// Execute one parsed DML/query statement. DDL never reaches here — the
+/// engine applies it directly against the catalog (it needs the catalog
+/// map itself, not per-table locks).
 pub fn execute(ctx: &mut ExecCtx<'_>, stmt: &Stmt) -> Result<QueryResult, CdwError> {
     match stmt {
-        Stmt::CreateTable(ct) => {
-            let table = Table::from_create(ct.name.dotted(), &ct.columns, &ct.constraints)?;
-            ctx.catalog.create(table, ct.if_not_exists)?;
-            Ok(QueryResult::dml(0))
-        }
-        Stmt::DropTable { name, if_exists } => {
-            ctx.catalog.drop(&name.dotted(), *if_exists)?;
-            Ok(QueryResult::dml(0))
-        }
+        Stmt::CreateTable(_) | Stmt::DropTable { .. } => Err(CdwError::Unsupported(
+            "internal: DDL is handled by the engine".into(),
+        )),
         Stmt::Insert(ins) => exec_insert(ctx, ins),
         Stmt::Update(u) => exec_update(ctx, u),
         Stmt::Delete(d) => exec_delete(ctx, d),
@@ -145,7 +150,7 @@ fn exec_insert(ctx: &mut ExecCtx<'_>, ins: &Insert) -> Result<QueryResult, CdwEr
         InsertSource::Select(sel) => exec_select(ctx, sel)?.rows,
     };
 
-    let table = ctx.catalog.get(&ins.table.dotted())?;
+    let table = ctx.tables.get(&ins.table.dotted())?;
     let ncols = table.columns.len();
 
     // Map provided values onto the full column list.
@@ -182,8 +187,10 @@ fn exec_insert(ctx: &mut ExecCtx<'_>, ins: &Insert) -> Result<QueryResult, CdwEr
     }
 
     // Uniqueness (native mode) + append via the shared batch path.
-    let table = ctx.catalog.get_mut(&ins.table.dotted())?;
-    let n = append_unique_checked(table, staged, ctx.native_unique, "duplicate key")?;
+    let native_unique = ctx.native_unique;
+    let stats = &mut ctx.stats;
+    let table = ctx.tables.get_mut(&ins.table.dotted())?;
+    let n = append_unique_checked(table, staged, native_unique, "duplicate key", stats)?;
     Ok(QueryResult::dml(n))
 }
 
@@ -221,12 +228,18 @@ fn append_unique_checked(
     staged: Vec<Vec<Value>>,
     native_unique: bool,
     conflict: &str,
+    stats: &mut PlanStats,
 ) -> Result<u64, CdwError> {
     if native_unique && table.unique_columns.is_some() {
+        // O(log n) probes against the always-maintained PK ordered index
+        // (plus an O(1) intra-batch hash probe) — the statement path is no
+        // longer a scan per row.
+        let pk = table.pk().expect("unique constraint has a PK index");
+        stats.index_seeks += 1;
         let mut batch_keys: HashMap<RowKey, ()> = HashMap::with_capacity(staged.len());
         for row in &staged {
             let key = table.unique_key(row).expect("unique declared");
-            if table.unique_index.contains_key(&key) || batch_keys.insert(key, ()).is_some() {
+            if pk.contains_key(&key.0) || batch_keys.insert(key, ()).is_some() {
                 return Err(CdwError::BulkAbort {
                     kind: BulkAbortKind::Uniqueness,
                     message: format!("{conflict} violates unique constraint on {}", table.name),
@@ -235,7 +248,8 @@ fn append_unique_checked(
         }
     }
     let n = staged.len() as u64;
-    table.append_rows(staged, native_unique);
+    stats.index_maintains += table.append_rows(staged) as u64;
+    table.maybe_refresh_stats();
     Ok(n)
 }
 
@@ -250,7 +264,7 @@ pub fn copy_batch(
     table_name: &str,
     rows: Vec<Vec<Value>>,
 ) -> Result<u64, CdwError> {
-    let table = ctx.catalog.get(table_name)?;
+    let table = ctx.tables.get(table_name)?;
     let ncols = table.columns.len();
     let mut staged: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
     for row in rows {
@@ -263,14 +277,16 @@ pub fn copy_batch(
         staged.push(coerce_row(table, row)?);
     }
     let native_unique = ctx.native_unique;
-    let table = ctx.catalog.get_mut(table_name)?;
-    append_unique_checked(table, staged, native_unique, "batched ingest")
+    let stats = &mut ctx.stats;
+    let table = ctx.tables.get_mut(table_name)?;
+    append_unique_checked(table, staged, native_unique, "batched ingest", stats)
 }
 
 // ------------------------------------------------------------------ UPDATE
 
 fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwError> {
-    let table = ctx.catalog.get(&u.table.dotted())?;
+    let planner = ctx.planner;
+    let table = ctx.tables.get(&u.table.dotted())?;
     let bindings = table_bindings(table, None);
     let mut assignment_idx = Vec::with_capacity(u.assignments.len());
     for (col, _) in &u.assignments {
@@ -291,16 +307,39 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
 
     // Phase 1 (read-only): compute the assigned values of every affected
     // row. Only assigned columns are materialized — the rest of the row is
-    // updated in place during phase 3, never cloned.
+    // updated in place during phase 3, never cloned. The candidate set
+    // comes from the planner: an index seek visits only the rows that can
+    // match instead of scanning the table.
+    let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+    let access = if planner {
+        choose_access(table, u.selection.as_ref(), &mut resolve)
+    } else {
+        Access::Scan
+    };
+    let (candidates, residual): (Box<dyn Iterator<Item = usize>>, bool) = match &access {
+        Access::Empty => (Box::new(std::iter::empty()), false),
+        Access::Scan => {
+            ctx.stats.full_scans += 1;
+            (Box::new(0..table.rows.len()), u.selection.is_some())
+        }
+        Access::Seek(p) => {
+            ctx.stats.index_seeks += 1;
+            let ix = &table.indexes[p.index];
+            let mut rowids = ix.seek(&p.prefix, p.lo.as_ref(), p.hi.as_ref());
+            rowids.sort_unstable();
+            (Box::new(rowids.into_iter()), !p.consumed)
+        }
+    };
     let mut updates: Vec<(usize, Vec<Value>)> = Vec::new();
-    for (i, row) in table.rows.iter().enumerate() {
+    for i in candidates {
+        let row = &table.rows[i];
         let env = RowEnv {
             bindings: &bindings,
             row,
         };
-        let hit = match &u.selection {
-            Some(w) => truthy(&eval(w, &env)?),
-            None => true,
+        let hit = match (&u.selection, residual) {
+            (Some(w), true) => truthy(&eval(w, &env)?),
+            _ => true,
         };
         if !hit {
             continue;
@@ -354,16 +393,20 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
         }
     }
 
-    // Phase 3: apply in place — only the assigned cells change.
+    // Phase 3: apply in place — only the assigned cells change. Indexes
+    // covering an assigned column are re-keyed (rowids are stable).
     let n = updates.len() as u64;
-    let table = ctx.catalog.get_mut(&u.table.dotted())?;
+    let changed = !updates.is_empty();
+    let stats = &mut ctx.stats;
+    let table = ctx.tables.get_mut(&u.table.dotted())?;
     for (i, vals) in updates {
         for (&ci, v) in assignment_idx.iter().zip(vals) {
             table.rows[i][ci] = v;
         }
     }
-    if ctx.native_unique {
-        table.rebuild_unique_index();
+    if changed {
+        stats.index_maintains += table.rebuild_indexes_touching(&assignment_idx) as u64;
+        table.maybe_refresh_stats();
     }
     Ok(QueryResult::dml(n))
 }
@@ -371,37 +414,61 @@ fn exec_update(ctx: &mut ExecCtx<'_>, u: &Update) -> Result<QueryResult, CdwErro
 // ------------------------------------------------------------------ DELETE
 
 fn exec_delete(ctx: &mut ExecCtx<'_>, d: &Delete) -> Result<QueryResult, CdwError> {
-    let table = ctx.catalog.get(&d.table.dotted())?;
+    let planner = ctx.planner;
+    let table = ctx.tables.get(&d.table.dotted())?;
     let bindings = table_bindings(table, None);
     // Phase 1 (read-only): mark victims, so a WHERE evaluation error leaves
-    // the table untouched (set-oriented, like every other mutation).
-    let mut hits: Vec<bool> = Vec::with_capacity(table.rows.len());
+    // the table untouched (set-oriented, like every other mutation). The
+    // planner narrows the candidate set to an index seek where possible.
+    let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+    let access = if planner {
+        choose_access(table, d.selection.as_ref(), &mut resolve)
+    } else {
+        Access::Scan
+    };
+    let (candidates, residual): (Box<dyn Iterator<Item = usize>>, bool) = match &access {
+        Access::Empty => (Box::new(std::iter::empty()), false),
+        Access::Scan => {
+            ctx.stats.full_scans += 1;
+            (Box::new(0..table.rows.len()), d.selection.is_some())
+        }
+        Access::Seek(p) => {
+            ctx.stats.index_seeks += 1;
+            let ix = &table.indexes[p.index];
+            let rowids = ix.seek(&p.prefix, p.lo.as_ref(), p.hi.as_ref());
+            (Box::new(rowids.into_iter()), !p.consumed)
+        }
+    };
+    let mut hits: Vec<bool> = vec![false; table.rows.len()];
     let mut removed = 0u64;
-    for row in &table.rows {
+    for i in candidates {
+        let row = &table.rows[i];
         let env = RowEnv {
             bindings: &bindings,
             row,
         };
-        let hit = match &d.selection {
-            Some(w) => truthy(&eval(w, &env)?),
-            None => true,
+        let hit = match (&d.selection, residual) {
+            (Some(w), true) => truthy(&eval(w, &env)?),
+            _ => true,
         };
-        if hit {
+        if hit && !hits[i] {
             removed += 1;
+            hits[i] = true;
         }
-        hits.push(hit);
     }
     // Phase 2: compact in place — survivors shift down, nothing is cloned.
-    let native_unique = ctx.native_unique;
-    let table = ctx.catalog.get_mut(&d.table.dotted())?;
+    // Deletion shifts rowids, so every index is re-keyed.
+    let stats = &mut ctx.stats;
+    let table = ctx.tables.get_mut(&d.table.dotted())?;
     let mut idx = 0;
     table.rows.retain(|_| {
         let keep = !hits[idx];
         idx += 1;
         keep
     });
-    if native_unique {
-        table.rebuild_unique_index();
+    if removed > 0 {
+        stats.index_maintains += table.rebuild_all_indexes() as u64;
+        table.maybe_refresh_stats();
     }
     Ok(QueryResult::dml(removed))
 }
@@ -419,7 +486,7 @@ fn exec_copy(ctx: &mut ExecCtx<'_>, c: &CopyStmt) -> Result<QueryResult, CdwErro
         .map_err(|e| CdwError::Store(e.to_string()))?;
     let format = StagedFormat::new(c.delimiter);
 
-    let table = ctx.catalog.get(&c.table.dotted())?;
+    let table = ctx.tables.get(&c.table.dotted())?;
     let arity = table.columns.len();
 
     // Parse and coerce everything first (set-oriented COPY).
@@ -442,8 +509,9 @@ fn exec_copy(ctx: &mut ExecCtx<'_>, c: &CopyStmt) -> Result<QueryResult, CdwErro
     }
 
     let native_unique = ctx.native_unique;
-    let table = ctx.catalog.get_mut(&c.table.dotted())?;
-    let n = append_unique_checked(table, staged, native_unique, "COPY")?;
+    let stats = &mut ctx.stats;
+    let table = ctx.tables.get_mut(&c.table.dotted())?;
+    let n = append_unique_checked(table, staged, native_unique, "COPY", stats)?;
     Ok(QueryResult::dml(n))
 }
 
@@ -473,58 +541,13 @@ fn base_name(dotted: &str) -> String {
 }
 
 fn exec_select(ctx: &mut ExecCtx<'_>, sel: &SelectStmt) -> Result<QueryResult, CdwError> {
-    let relation = match &sel.from {
-        Some(from) => resolve_from(ctx, from)?,
-        None => Relation {
-            bindings: Vec::new(),
-            rows: vec![Vec::new()],
-        },
-    };
-
-    // WHERE. Simple integer range predicates (`K >= 5 AND K < 9`) get a
-    // compiled fast path — the analog of a real warehouse's zone-map
-    // pruning, and the access pattern the virtualizer's adaptive error
-    // handler leans on heavily.
-    let fast = sel
-        .selection
-        .as_ref()
-        .and_then(|w| compile_range_filter(w, &relation.bindings));
-    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(relation.rows.len());
-    for row in relation.rows {
-        let hit = match (&fast, &sel.selection) {
-            (Some((col, lo, hi)), _) => match &row[*col] {
-                Value::Int(v) => *v >= *lo && *v < *hi,
-                Value::Null => false,
-                _ => {
-                    let env = RowEnv {
-                        bindings: &relation.bindings,
-                        row: &row,
-                    };
-                    truthy(&eval(
-                        sel.selection.as_ref().expect("fast implies filter"),
-                        &env,
-                    )?)
-                }
-            },
-            (None, Some(w)) => {
-                let env = RowEnv {
-                    bindings: &relation.bindings,
-                    row: &row,
-                };
-                truthy(&eval(w, &env)?)
-            }
-            (None, None) => true,
-        };
-        if hit {
-            rows.push(row);
-        }
-    }
+    let Relation { bindings, rows } = select_source(ctx, sel)?;
 
     let has_aggregates = projection_has_aggregates(sel);
     let (mut out_rows, columns) = if has_aggregates || !sel.group_by.is_empty() {
-        exec_aggregate(sel, &relation.bindings, rows)?
+        exec_aggregate(sel, &bindings, rows)?
     } else {
-        exec_plain(sel, &relation.bindings, rows)?
+        exec_plain(sel, &bindings, rows)?
     };
 
     if sel.distinct {
@@ -544,10 +567,159 @@ fn exec_select(ctx: &mut ExecCtx<'_>, sel: &SelectStmt) -> Result<QueryResult, C
     })
 }
 
+/// Produce the filtered source relation of a SELECT: FROM resolution plus
+/// WHERE, with predicate pushdown into a single named table (index seek or
+/// batch-evaluated scan) where the planner proves it safe.
+fn select_source(ctx: &mut ExecCtx<'_>, sel: &SelectStmt) -> Result<Relation, CdwError> {
+    match &sel.from {
+        None => {
+            let mut rows = vec![Vec::new()];
+            if let Some(w) = &sel.selection {
+                rows = filter_owned(&[], w, rows)?;
+            }
+            Ok(Relation {
+                bindings: Vec::new(),
+                rows,
+            })
+        }
+        Some(TableRef::Named { name, alias }) => {
+            single_table_select(ctx, name, alias.as_deref(), sel.selection.as_ref())
+        }
+        Some(from) => {
+            let rel = resolve_from(ctx, from)?;
+            let rows = match &sel.selection {
+                Some(w) => filter_owned(&rel.bindings, w, rel.rows)?,
+                None => rel.rows,
+            };
+            Ok(Relation {
+                bindings: rel.bindings,
+                rows,
+            })
+        }
+    }
+}
+
+/// Single-table FROM with the WHERE clause pushed into the access path.
+fn single_table_select(
+    ctx: &mut ExecCtx<'_>,
+    name: &ObjectName,
+    alias: Option<&str>,
+    selection: Option<&Expr>,
+) -> Result<Relation, CdwError> {
+    let planner = ctx.planner;
+    let table = ctx.tables.get(&name.dotted())?;
+    let bindings = table_bindings(table, alias);
+    let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+    let access = if planner {
+        choose_access(table, selection, &mut resolve)
+    } else {
+        Access::Scan
+    };
+    let rows = match &access {
+        Access::Empty => Vec::new(),
+        Access::Scan => {
+            ctx.stats.full_scans += 1;
+            match selection {
+                None => table.rows.clone(),
+                Some(w) => filter_hits(&bindings, w, &table.rows)?,
+            }
+        }
+        Access::Seek(p) => {
+            ctx.stats.index_seeks += 1;
+            let ix = &table.indexes[p.index];
+            let mut rowids = ix.seek(&p.prefix, p.lo.as_ref(), p.hi.as_ref());
+            // Emit in rowid order so results are byte-identical to a scan.
+            rowids.sort_unstable();
+            if p.consumed {
+                rowids.iter().map(|&i| table.rows[i].clone()).collect()
+            } else {
+                let w = selection.expect("a seek implies a filter");
+                let mut out = Vec::with_capacity(rowids.len());
+                for &i in &rowids {
+                    let env = RowEnv {
+                        bindings: &bindings,
+                        row: &table.rows[i],
+                    };
+                    if truthy(&eval(w, &env)?) {
+                        out.push(table.rows[i].clone());
+                    }
+                }
+                out
+            }
+        }
+    };
+    Ok(Relation { bindings, rows })
+}
+
+/// Filter borrowed rows, cloning only the hits. Tries the columnar batch
+/// evaluator first; any batch error falls back to row-major evaluation,
+/// which reproduces first-error ordering exactly.
+fn filter_hits(
+    bindings: &[Binding],
+    w: &Expr,
+    rows: &[Vec<Value>],
+) -> Result<Vec<Vec<Value>>, CdwError> {
+    let mut resolve = |n: &ObjectName| resolve_column(bindings, n).ok();
+    if let Some(node) = batch::compile(w, &mut resolve) {
+        if let Ok(mask) = batch::eval_column(&node, rows) {
+            return Ok(rows
+                .iter()
+                .zip(&mask)
+                .filter(|(_, m)| truthy(m))
+                .map(|(r, _)| r.clone())
+                .collect());
+        }
+    }
+    let mut out = Vec::new();
+    for row in rows {
+        let env = RowEnv { bindings, row };
+        if truthy(&eval(w, &env)?) {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Filter owned rows in place (no cloning), batch-first like
+/// [`filter_hits`].
+fn filter_owned(
+    bindings: &[Binding],
+    w: &Expr,
+    mut rows: Vec<Vec<Value>>,
+) -> Result<Vec<Vec<Value>>, CdwError> {
+    let mut resolve = |n: &ObjectName| resolve_column(bindings, n).ok();
+    if let Some(node) = batch::compile(w, &mut resolve) {
+        if let Ok(mask) = batch::eval_column(&node, &rows) {
+            let mut i = 0;
+            rows.retain(|_| {
+                let keep = truthy(&mask[i]);
+                i += 1;
+                keep
+            });
+            return Ok(rows);
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let hit = {
+            let env = RowEnv {
+                bindings,
+                row: &row,
+            };
+            truthy(&eval(w, &env)?)
+        };
+        if hit {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
 fn resolve_from(ctx: &mut ExecCtx<'_>, from: &TableRef) -> Result<Relation, CdwError> {
     match from {
         TableRef::Named { name, alias } => {
-            let table = ctx.catalog.get(&name.dotted())?;
+            let table = ctx.tables.get(&name.dotted())?;
+            ctx.stats.full_scans += 1;
             Ok(Relation {
                 bindings: table_bindings(table, alias.as_deref()),
                 rows: table.rows.clone(),
@@ -576,6 +748,13 @@ fn resolve_from(ctx: &mut ExecCtx<'_>, from: &TableRef) -> Result<Relation, CdwE
             on,
         } => {
             let l = resolve_from(ctx, left)?;
+            if ctx.planner {
+                if let TableRef::Named { name, alias } = &**right {
+                    if let Some(rel) = try_index_join(ctx, &l, name, alias.as_deref(), kind, on)? {
+                        return Ok(rel);
+                    }
+                }
+            }
             let r = resolve_from(ctx, right)?;
             let mut bindings = l.bindings.clone();
             bindings.extend(r.bindings.iter().cloned());
@@ -605,95 +784,274 @@ fn resolve_from(ctx: &mut ExecCtx<'_>, from: &TableRef) -> Result<Relation, CdwE
     }
 }
 
-/// Recognize a conjunction of integer comparisons over one column and
-/// compile it to `(column_index, lo_inclusive, hi_exclusive)`. Returns
-/// `None` for anything it cannot prove equivalent.
-fn compile_range_filter(expr: &Expr, bindings: &[Binding]) -> Option<(usize, i64, i64)> {
-    fn collect(
-        expr: &Expr,
-        bindings: &[Binding],
-        col: &mut Option<usize>,
-        lo: &mut i64,
-        hi: &mut i64,
-    ) -> bool {
-        match expr {
-            Expr::Binary {
-                left,
-                op: BinaryOp::And,
-                right,
-            } => collect(left, bindings, col, lo, hi) && collect(right, bindings, col, lo, hi),
-            Expr::Binary { left, op, right } => {
-                // Normalize to Column OP IntLiteral.
-                let (name, lit, op) = match (&**left, &**right) {
-                    (Expr::Column(n), Expr::Literal(Literal::Integer(v))) => (n, *v, *op),
-                    (Expr::Literal(Literal::Integer(v)), Expr::Column(n)) => {
-                        let flipped = match op {
-                            BinaryOp::Lt => BinaryOp::Gt,
-                            BinaryOp::LtEq => BinaryOp::GtEq,
-                            BinaryOp::Gt => BinaryOp::Lt,
-                            BinaryOp::GtEq => BinaryOp::LtEq,
-                            BinaryOp::Eq => BinaryOp::Eq,
-                            _ => return false,
-                        };
-                        (n, *v, flipped)
-                    }
-                    _ => return false,
-                };
-                let Ok(idx) = resolve_column(bindings, name) else {
-                    return false;
-                };
-                if col.is_some() && *col != Some(idx) {
-                    return false;
-                }
-                *col = Some(idx);
-                match op {
-                    BinaryOp::GtEq => *lo = (*lo).max(lit),
-                    BinaryOp::Gt => *lo = (*lo).max(lit.saturating_add(1)),
-                    BinaryOp::Lt => *hi = (*hi).min(lit),
-                    BinaryOp::LtEq => *hi = (*hi).min(lit.saturating_add(1)),
-                    BinaryOp::Eq => {
-                        *lo = (*lo).max(lit);
-                        *hi = (*hi).min(lit.saturating_add(1));
-                    }
-                    _ => return false,
-                }
-                true
-            }
-            Expr::Between {
-                expr: inner,
-                low,
-                high,
-                negated: false,
-            } => {
-                let (
-                    Expr::Column(n),
-                    Expr::Literal(Literal::Integer(a)),
-                    Expr::Literal(Literal::Integer(b)),
-                ) = (&**inner, &**low, &**high)
-                else {
-                    return false;
-                };
-                let Ok(idx) = resolve_column(bindings, n) else {
-                    return false;
-                };
-                if col.is_some() && *col != Some(idx) {
-                    return false;
-                }
-                *col = Some(idx);
-                *lo = (*lo).max(*a);
-                *hi = (*hi).min(b.saturating_add(1));
-                true
-            }
-            _ => false,
+/// Evaluation environment for index-join probe keys: resolves against the
+/// combined (left + right) bindings — so name resolution, including
+/// ambiguity, matches the nested loop exactly — but only left-side
+/// positions are materialized.
+struct LeftEnv<'a> {
+    bindings: &'a [Binding],
+    left_len: usize,
+    row: &'a [Value],
+}
+
+impl Env for LeftEnv<'_> {
+    fn resolve(&self, name: &ObjectName) -> Result<Value, CdwError> {
+        let idx = resolve_column(self.bindings, name)?;
+        if idx < self.left_len {
+            Ok(self.row[idx].clone())
+        } else {
+            Err(CdwError::Unsupported(
+                "internal: right-side reference in a probe key".into(),
+            ))
         }
     }
-    let mut col = None;
-    let mut lo = i64::MIN;
-    let mut hi = i64::MAX;
-    if collect(expr, bindings, &mut col, &mut lo, &mut hi) {
-        col.map(|c| (c, lo, hi))
+}
+
+/// Attempt an index-lookup join against a named right table: probe its
+/// ordered index with per-left-row key values instead of nested-looping
+/// over every pair. Returns `Ok(None)` whenever exact equivalence with the
+/// nested loop cannot be proven — unplannable ON shape, a key evaluation
+/// error, or an un-normalizable probe (the fallback then reproduces the
+/// error, in order). Evaluation is pure, so re-running it in the fallback
+/// is free of side effects.
+fn try_index_join(
+    ctx: &mut ExecCtx<'_>,
+    l: &Relation,
+    name: &ObjectName,
+    alias: Option<&str>,
+    kind: &JoinKind,
+    on: &Expr,
+) -> Result<Option<Relation>, CdwError> {
+    let Ok(rtable) = ctx.tables.get(&name.dotted()) else {
+        // Missing table: the fallback raises TableNotFound at the same
+        // point the nested loop would have.
+        return Ok(None);
+    };
+    let mut bindings = l.bindings.clone();
+    bindings.extend(table_bindings(rtable, alias));
+    let left_len = l.bindings.len();
+    let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+    let Some(plan) = plan_equi_join(rtable, on, left_len, &mut resolve) else {
+        return Ok(None);
+    };
+    let fams: Vec<Family> = plan
+        .keys
+        .iter()
+        .map(|(_, rc)| family_of(rtable.columns[*rc].ty))
+        .collect();
+    let rwidth = rtable.columns.len();
+    let mut rows = Vec::new();
+    if rtable.rows.is_empty() {
+        // The nested loop never evaluates ON against an empty right side —
+        // short-circuit before touching the key expressions.
+        if *kind == JoinKind::Left {
+            for lrow in &l.rows {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, rwidth));
+                rows.push(combined);
+            }
+        }
+        ctx.stats.index_seeks += 1;
+        return Ok(Some(Relation { bindings, rows }));
+    }
+    let ix = &rtable.indexes[plan.index];
+    for lrow in &l.rows {
+        let mut probes = Vec::with_capacity(plan.keys.len());
+        let mut null_probe = false;
+        for ((expr, _), fam) in plan.keys.iter().zip(&fams) {
+            let env = LeftEnv {
+                bindings: &bindings,
+                left_len,
+                row: lrow,
+            };
+            let v = match eval(expr, &env) {
+                Ok(v) => v,
+                Err(_) => return Ok(None),
+            };
+            if v.is_null() {
+                // NULL never equals anything: this left row matches no
+                // right row (and comparison with NULL cannot error).
+                null_probe = true;
+                break;
+            }
+            match normalize_probe(&v, *fam) {
+                Some(nv) => probes.push(nv),
+                None => return Ok(None),
+            }
+        }
+        let mut matched = false;
+        if !null_probe {
+            let mut rowids = ix.seek_eq(&probes);
+            rowids.sort_unstable();
+            for rid in rowids {
+                matched = true;
+                let mut combined = lrow.clone();
+                combined.extend(rtable.rows[rid].iter().cloned());
+                rows.push(combined);
+            }
+        }
+        if !matched && *kind == JoinKind::Left {
+            let mut combined = lrow.clone();
+            combined.extend(std::iter::repeat_n(Value::Null, rwidth));
+            rows.push(combined);
+        }
+    }
+    ctx.stats.index_seeks += 1;
+    Ok(Some(Relation { bindings, rows }))
+}
+
+// ------------------------------------------------------------------ EXPLAIN
+
+/// Render an EXPLAIN-style plan for `stmt` without executing it. Access
+/// decisions are computed by the same planner entry points execution uses,
+/// so the rendered plan is the plan that runs.
+pub fn explain(ctx: &ExecCtx<'_>, stmt: &Stmt) -> Result<Vec<String>, CdwError> {
+    let mut lines = Vec::new();
+    match stmt {
+        Stmt::Select(sel) => explain_select(ctx, sel, 0, &mut lines)?,
+        Stmt::Insert(ins) => {
+            lines.push(format!("insert table={}", ins.table.dotted()));
+            if let InsertSource::Select(sel) = &ins.source {
+                explain_select(ctx, sel, 1, &mut lines)?;
+            }
+        }
+        Stmt::Update(u) => {
+            lines.push(format!("update table={}", u.table.dotted()));
+            explain_filter(ctx, &u.table, u.selection.as_ref(), 1, &mut lines)?;
+        }
+        Stmt::Delete(d) => {
+            lines.push(format!("delete table={}", d.table.dotted()));
+            explain_filter(ctx, &d.table, d.selection.as_ref(), 1, &mut lines)?;
+        }
+        Stmt::Copy(c) => lines.push(format!("copy table={}", c.table.dotted())),
+        Stmt::CreateTable(_) | Stmt::DropTable { .. } => lines.push("ddl".into()),
+    }
+    Ok(lines)
+}
+
+fn indent(depth: usize) -> String {
+    "  ".repeat(depth)
+}
+
+fn explain_filter(
+    ctx: &ExecCtx<'_>,
+    name: &ObjectName,
+    selection: Option<&Expr>,
+    depth: usize,
+    lines: &mut Vec<String>,
+) -> Result<(), CdwError> {
+    let table = ctx.tables.get(&name.dotted())?;
+    let bindings = table_bindings(table, None);
+    let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+    let access = if ctx.planner {
+        choose_access(table, selection, &mut resolve)
     } else {
-        None
+        Access::Scan
+    };
+    lines.push(format!("{}{}", indent(depth), access.describe(table)));
+    Ok(())
+}
+
+fn explain_select(
+    ctx: &ExecCtx<'_>,
+    sel: &SelectStmt,
+    depth: usize,
+    lines: &mut Vec<String>,
+) -> Result<(), CdwError> {
+    lines.push(format!("{}select", indent(depth)));
+    match &sel.from {
+        None => lines.push(format!("{}const_row", indent(depth + 1))),
+        Some(TableRef::Named { name, alias }) => {
+            let table = ctx.tables.get(&name.dotted())?;
+            let bindings = table_bindings(table, alias.as_deref());
+            let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+            let access = if ctx.planner {
+                choose_access(table, sel.selection.as_ref(), &mut resolve)
+            } else {
+                Access::Scan
+            };
+            lines.push(format!("{}{}", indent(depth + 1), access.describe(table)));
+        }
+        Some(from) => explain_from(ctx, from, depth + 1, lines)?,
+    }
+    Ok(())
+}
+
+fn explain_from(
+    ctx: &ExecCtx<'_>,
+    from: &TableRef,
+    depth: usize,
+    lines: &mut Vec<String>,
+) -> Result<(), CdwError> {
+    match from {
+        TableRef::Named { name, .. } => {
+            let table = ctx.tables.get(&name.dotted())?;
+            lines.push(format!("{}{}", indent(depth), Access::Scan.describe(table)));
+        }
+        TableRef::Subquery { query, .. } => explain_select(ctx, query, depth, lines)?,
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            let lb = bindings_of(ctx, left)?;
+            if ctx.planner {
+                if let TableRef::Named { name, alias } = &**right {
+                    if let Ok(rtable) = ctx.tables.get(&name.dotted()) {
+                        let mut bindings = lb.clone();
+                        bindings.extend(table_bindings(rtable, alias.as_deref()));
+                        let mut resolve = |n: &ObjectName| resolve_column(&bindings, n).ok();
+                        if let Some(plan) = plan_equi_join(rtable, on, lb.len(), &mut resolve) {
+                            let ix = &rtable.indexes[plan.index];
+                            lines.push(format!(
+                                "{}index_lookup_join table={} index={} keys={}",
+                                indent(depth),
+                                rtable.name,
+                                ix.name,
+                                plan.keys.len()
+                            ));
+                            explain_from(ctx, left, depth + 1, lines)?;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            lines.push(format!("{}nested_loop_join", indent(depth)));
+            explain_from(ctx, left, depth + 1, lines)?;
+            explain_from(ctx, right, depth + 1, lines)?;
+        }
+    }
+    Ok(())
+}
+
+/// Visible bindings of a FROM tree, computed without executing anything
+/// (EXPLAIN only).
+fn bindings_of(ctx: &ExecCtx<'_>, from: &TableRef) -> Result<Vec<Binding>, CdwError> {
+    match from {
+        TableRef::Named { name, alias } => Ok(table_bindings(
+            ctx.tables.get(&name.dotted())?,
+            alias.as_deref(),
+        )),
+        TableRef::Subquery { query, alias } => {
+            let inner = match &query.from {
+                Some(f) => bindings_of(ctx, f)?,
+                None => Vec::new(),
+            };
+            let items = expand_projection(query, &inner);
+            let cols = projection_columns(&items, &inner)?;
+            let q = alias.to_ascii_uppercase();
+            Ok(cols
+                .into_iter()
+                .map(|(n, ty)| Binding {
+                    qualifier: Some(q.clone()),
+                    name: n.to_ascii_uppercase(),
+                    ty,
+                })
+                .collect())
+        }
+        TableRef::Join { left, right, .. } => {
+            let mut b = bindings_of(ctx, left)?;
+            b.extend(bindings_of(ctx, right)?);
+            Ok(b)
+        }
     }
 }
 
@@ -707,6 +1065,23 @@ fn exec_plain(
 ) -> Result<ProjectedRows, CdwError> {
     let items = expand_projection(sel, bindings);
     let columns = projection_columns(&items, bindings)?;
+
+    // Unordered projections go through the columnar batch evaluator when
+    // every item compiles — the bulk merge path projects whole candidate
+    // sets without per-row expression dispatch. Any batch error falls back
+    // to the row-major loop below for exact first-error ordering.
+    if sel.order_by.is_empty() && !rows.is_empty() {
+        let mut resolve = |n: &ObjectName| resolve_column(bindings, n).ok();
+        let nodes: Option<Vec<batch::BatchNode>> = items
+            .iter()
+            .map(|(e, _)| batch::compile(e, &mut resolve))
+            .collect();
+        if let Some(nodes) = nodes {
+            if let Ok(out) = batch::eval_rows(&nodes, &rows) {
+                return Ok((out, columns));
+            }
+        }
+    }
 
     // ORDER BY keys are computed against the *input* rows (so sorting by
     // non-projected columns works), carried alongside.

@@ -24,15 +24,22 @@
 //!
 //! SQL comes in as text in the CDW dialect, parsed by [`etlv_sql`].
 
+pub mod batch;
 pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod index;
 pub mod key;
+pub mod plan;
 pub mod staged;
 
 pub use catalog::{Catalog, Column, Table};
-pub use engine::{Cdw, CdwConfig, ExecObserver, ExecOp, QueryResult, TransientFaultHook};
+pub use engine::{
+    Cdw, CdwConfig, ExecObserver, ExecOp, PlanObserver, QueryResult, TransientFaultHook,
+};
 pub use error::CdwError;
+pub use index::{IndexKey, OrderedIndex, SeekBound};
 pub use key::RowKey;
+pub use plan::{PlanStats, TableStats};

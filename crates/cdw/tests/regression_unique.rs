@@ -1,0 +1,56 @@
+//! PR 7 regression: the statement-path uniqueness probe must be an
+//! index probe, not a scan of the whole table per statement.
+//!
+//! Before the indexed apply path, every INSERT under native uniqueness
+//! rebuilt a HashSet of all existing keys — O(n) per statement, O(n²)
+//! for a singleton-insert stream. 10k inserts took tens of seconds in
+//! debug builds; with the PK index probe the stream is O(n log n) and
+//! comfortably fits a generous wall-clock bound even on slow CI.
+
+use std::time::{Duration, Instant};
+
+use etlv_cdw::{Cdw, CdwConfig};
+
+#[test]
+fn ten_thousand_unique_inserts_complete_in_bounded_time() {
+    let cdw = Cdw::with_config(
+        CdwConfig {
+            native_unique: true,
+            ..Default::default()
+        },
+        None,
+    );
+    cdw.execute("CREATE TABLE T (ID INTEGER, V VARCHAR(20), PRIMARY KEY (ID))")
+        .unwrap();
+
+    let start = Instant::now();
+    for i in 0..10_000 {
+        cdw.execute(&format!("INSERT INTO T VALUES ({i}, 'v{i}')"))
+            .unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(cdw.table_len("T").unwrap(), 10_000);
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "10k unique-checked inserts took {elapsed:?}"
+    );
+
+    // Every insert probed the PK index exactly once and scanned nothing.
+    let stats = cdw.plan_stats();
+    assert!(
+        stats.index_seeks >= 10_000,
+        "expected one probe per insert, saw {}",
+        stats.index_seeks
+    );
+    assert_eq!(stats.full_scans, 0, "no insert should scan");
+    assert!(stats.index_maintains >= 10_000, "index kept maintained");
+
+    // The probe still enforces: duplicates abort, and the table and its
+    // index stay consistent afterwards.
+    let err = cdw
+        .execute("INSERT INTO T VALUES (5000, 'dup')")
+        .unwrap_err();
+    assert!(err.is_uniqueness(), "{err}");
+    assert_eq!(cdw.table_len("T").unwrap(), 10_000);
+    cdw.validate_indexes().unwrap();
+}

@@ -137,7 +137,12 @@ impl UniqueEmulation {
     }
 
     /// `SELECT COUNT(*) FROM stg S JOIN target T ON key(S) = T.key WHERE range`
-    fn existing_conflicts_stmt(&self, lo: u64, hi: u64) -> Stmt {
+    ///
+    /// The target sits on the *right* of the join with every ON conjunct
+    /// probing one of its unique-key columns, so the CDW planner turns
+    /// the probe into index lookups against the target's PK index
+    /// (public so plan-shape tests can EXPLAIN it).
+    pub fn existing_conflicts_stmt(&self, lo: u64, hi: u64) -> Stmt {
         let mut on: Option<Expr> = None;
         for (expr, col) in self.key_exprs.iter().zip(&self.target_key_cols) {
             let eq = Expr::binary(
@@ -175,7 +180,8 @@ impl UniqueEmulation {
     }
 
     /// `SELECT COUNT(*) FROM (SELECT key(S) FROM stg S WHERE range GROUP BY key(S) HAVING COUNT(*) > 1) q`
-    fn intra_range_dups_stmt(&self, lo: u64, hi: u64) -> Stmt {
+    /// (public so plan-shape tests can EXPLAIN it).
+    pub fn intra_range_dups_stmt(&self, lo: u64, hi: u64) -> Stmt {
         let mut inner = SelectStmt::new(
             self.key_exprs
                 .iter()

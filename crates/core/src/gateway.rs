@@ -201,6 +201,12 @@ impl Virtualizer {
             }
             cdw_obs.exec_us.record_duration(elapsed);
         })));
+        let plan_obs = obs.cdw.clone();
+        cdw.set_plan_observer(Some(Arc::new(move |stats| {
+            plan_obs.plan_index_seek.add(stats.index_seeks);
+            plan_obs.plan_full_scan.add(stats.full_scans);
+            plan_obs.index_maintain.add(stats.index_maintains);
+        })));
         let credits = CreditManager::with_obs(config.credits, obs.credit.clone());
         let memory = MemoryGauge::new(config.memory_cap);
         let sampler = if crate::obs::enabled() && !config.sampler_tick.is_zero() {

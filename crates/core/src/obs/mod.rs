@@ -261,6 +261,13 @@ pub struct CdwObs {
     pub errors: Counter,
     /// Per-statement/batch wall time, µs.
     pub exec_us: Histogram,
+    /// Access paths planned as index seeks (point/range seeks and
+    /// index-lookup joins), fed by the engine's plan observer.
+    pub plan_index_seek: Counter,
+    /// Access paths that fell back to full table scans.
+    pub plan_full_scan: Counter,
+    /// Index maintenance operations (entries inserted or re-keyed).
+    pub index_maintain: Counter,
 }
 
 /// Credit-pool handles (the back-pressure mechanism).
@@ -417,6 +424,9 @@ impl Obs {
                 batches: r.counter("cdw.batches"),
                 errors: r.counter("cdw.errors"),
                 exec_us: r.histogram("cdw.exec_us"),
+                plan_index_seek: r.counter("cdw.plan.index_seek"),
+                plan_full_scan: r.counter("cdw.plan.full_scan"),
+                index_maintain: r.counter("cdw.index.maintain"),
             },
             credit: CreditObs {
                 acquires: r.counter("credit.acquires"),

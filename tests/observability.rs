@@ -297,6 +297,91 @@ fn load_report_retry_split_consistent() {
     }
 }
 
+/// The PR 7 plan counters: an import into a unique-keyed target makes
+/// the CDW planner run index seeks (uniqueness-emulation probes, staged
+/// range scans) and index maintenance; the counters land in the JSON
+/// snapshot and the Prometheus rendering over the wire, each under its
+/// own TYPE line.
+#[test]
+fn plan_counters_reach_the_wire() {
+    use etlv_legacy_client::Session;
+
+    let v = Virtualizer::new(VirtualizerConfig::default());
+    v.cdw()
+        .execute(
+            "CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE, PRIMARY KEY (CUST_ID))",
+        )
+        .unwrap();
+    let client = LegacyEtlClient::new(mem_connector(&v));
+    // 20 clean rows plus one duplicate key: the uniqueness emulation has
+    // to probe the target's PK and bisect the staging range by __SEQ.
+    let mut data = customer_rows(20);
+    data.extend_from_slice(b"i001|dup|2012-01-01\n");
+    let result = client
+        .run_import_data(&customer_import_job(), &data)
+        .unwrap();
+    assert_eq!(result.report.rows_applied, 20);
+
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    let obs = v.obs();
+    assert!(
+        obs.cdw.plan_index_seek.value() > 0,
+        "emulation probes and range scans ran as index seeks"
+    );
+    assert!(
+        obs.cdw.index_maintain.value() > 0,
+        "staging/target index maintenance counted"
+    );
+
+    let snapshot = v.stats_snapshot();
+    assert_eq!(
+        counter(&snapshot, "cdw.plan.index_seek"),
+        obs.cdw.plan_index_seek.value()
+    );
+    assert_eq!(
+        counter(&snapshot, "cdw.plan.full_scan"),
+        obs.cdw.plan_full_scan.value()
+    );
+    assert_eq!(
+        counter(&snapshot, "cdw.index.maintain"),
+        obs.cdw.index_maintain.value()
+    );
+
+    // And over the wire, in both renderings.
+    let mut session = Session::logon(
+        client.connector().as_ref(),
+        "admin",
+        "pw",
+        SessionRole::Control,
+        0,
+    )
+    .unwrap();
+    let json = session.stats(StatsFormat::Json).unwrap();
+    assert!(
+        json.body.contains("\"cdw.plan.index_seek\""),
+        "{}",
+        json.body
+    );
+    let prom = session.stats(StatsFormat::Prometheus).unwrap();
+    for metric in [
+        "etlv_cdw_plan_index_seek",
+        "etlv_cdw_plan_full_scan",
+        "etlv_cdw_index_maintain",
+    ] {
+        assert!(
+            prom.body.contains(&format!("# TYPE {metric} counter")),
+            "{metric} TYPE line"
+        );
+        assert!(
+            prom.body.contains(&format!("\n{metric} ")),
+            "{metric} sample"
+        );
+    }
+    session.logoff();
+}
+
 /// The PR 5 session-lifecycle surface: session open/close counters stay
 /// symmetric, the active-session/job gauges return to zero, and an
 /// abandoned job shows up as `jobs_aborted` in both snapshot formats —

@@ -1,0 +1,117 @@
+//! PR 7 plan-shape pins: EXPLAIN must prove the virtualizer's hot
+//! emulation queries execute as index seeks, not scans.
+//!
+//! Three access patterns are load-bearing for apply latency:
+//! 1. the uniqueness-emulation existing-conflict probe (staging ⋈ target
+//!    on the target's unique key) — must be an index-lookup join against
+//!    the target's PK index;
+//! 2. the adaptive handler's bisection COUNT over a `__SEQ` range on the
+//!    staging table — must seek the staging PK index;
+//! 3. singleton staging-row fetches by `__SEQ` — must be a point seek.
+
+use etlv_cdw::Cdw;
+use etlv_core::emulate;
+use etlv_core::xcompile::{compile_dml, staging_ddl};
+use etlv_protocol::data::LegacyType as T;
+use etlv_protocol::layout::Layout;
+
+fn setup() -> (Cdw, etlv_core::xcompile::CompiledDml) {
+    let cdw = Cdw::new(); // native_unique off: emulation is planned
+    cdw.execute(
+        "CREATE TABLE PROD.CUSTOMER (CUST_ID VARCHAR(5), CUST_NAME VARCHAR(50), JOIN_DATE DATE, PRIMARY KEY (CUST_ID))",
+    )
+    .unwrap();
+    let layout = Layout::new("L")
+        .field("CUST_ID", T::VarChar(5))
+        .field("CUST_NAME", T::VarChar(50))
+        .field("JOIN_DATE", T::VarChar(10));
+    let compiled = compile_dml(
+        "insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))",
+        &layout,
+        "STG",
+    )
+    .unwrap();
+    cdw.execute(&staging_ddl("STG", &layout)).unwrap();
+    for seq in 0..8 {
+        cdw.execute(&format!(
+            "INSERT INTO STG VALUES ({seq}, 'i{seq}', 'n{seq}', '2012-01-01')"
+        ))
+        .unwrap();
+    }
+    (cdw, compiled)
+}
+
+#[test]
+fn uv_probe_is_an_index_lookup_join_on_the_target_pk() {
+    let (cdw, compiled) = setup();
+    let emu = emulate::plan(&cdw, &compiled)
+        .unwrap()
+        .expect("emulation planned");
+    let plan = cdw
+        .explain_stmt(&emu.existing_conflicts_stmt(0, 8))
+        .unwrap();
+    let text = plan.join("\n");
+    assert!(
+        text.contains("index_lookup_join")
+            && text.contains("PROD.CUSTOMER")
+            && text.contains("index=PK"),
+        "UV existing-conflict probe must index-probe the target PK:\n{text}"
+    );
+    assert!(
+        !text.contains("nested_loop_join"),
+        "no nested loop in the probe:\n{text}"
+    );
+}
+
+#[test]
+fn bisection_count_probe_seeks_the_staging_seq_index() {
+    let (cdw, _compiled) = setup();
+    let plan = cdw
+        .explain("SELECT COUNT(*) FROM STG WHERE (__SEQ >= 2) AND (__SEQ < 6)")
+        .unwrap();
+    let text = plan.join("\n");
+    assert!(
+        text.contains("index_seek") && text.contains("table=STG") && text.contains("index=PK"),
+        "bisection COUNT must seek the staging __SEQ index:\n{text}"
+    );
+    assert!(!text.contains("full_scan"), "no scan in the probe:\n{text}");
+}
+
+#[test]
+fn singleton_row_fetch_is_a_point_seek() {
+    let (cdw, compiled) = setup();
+    let emu = emulate::plan(&cdw, &compiled)
+        .unwrap()
+        .expect("emulation planned");
+    let plan = cdw.explain_stmt(&emu.staging_row_stmt(3)).unwrap();
+    let text = plan.join("\n");
+    assert!(
+        text.contains("index_seek") && text.contains("table=STG"),
+        "singleton staging fetch must be a point seek:\n{text}"
+    );
+
+    // The row-wise apply statement itself (INSERT..SELECT over a range)
+    // also rides the staging index.
+    let apply = cdw
+        .explain_stmt(&compiled.range_stmt(Some(2), Some(4)))
+        .unwrap();
+    let apply_text = apply.join("\n");
+    assert!(
+        apply_text.contains("index_seek") && apply_text.contains("table=STG"),
+        "range apply must seek the staging index:\n{apply_text}"
+    );
+}
+
+#[test]
+fn intra_range_dup_probe_rides_the_staging_index() {
+    let (cdw, compiled) = setup();
+    let emu = emulate::plan(&cdw, &compiled)
+        .unwrap()
+        .expect("emulation planned");
+    let plan = cdw.explain_stmt(&emu.intra_range_dups_stmt(0, 8)).unwrap();
+    let text = plan.join("\n");
+    assert!(
+        text.contains("index_seek") && text.contains("table=STG"),
+        "intra-range duplicate probe must seek the staging index:\n{text}"
+    );
+}
