@@ -216,6 +216,7 @@ fn main() {
             Duration::from_millis(2),
             4096,
             etlv_core::config::default_sampler_metrics(),
+            Vec::new(),
         ))
     } else {
         None

@@ -1,0 +1,513 @@
+//! PR 8 per-tenant SLO observability evidence, two claims on trial:
+//!
+//! 1. **Overhead**: the per-chunk work PR 8 adds to the acquisition hot
+//!    path — the tenant block's counters, held-resource gauges, and
+//!    latency histograms next to the PR 7-era node counters — costs no
+//!    more than 3% of conversion throughput on the wide workload (the
+//!    same gate shape bench_pr4 applied to tracing). Measured
+//!    bench_pr4-style:
+//!    both variants interleaved inside every timed iteration, min-of-N,
+//!    then once more with a live 2 ms sampler streaming tenant series
+//!    and feeding the burn-rate engine, to show the passive SLO engine
+//!    stays off the hot path.
+//! 2. **Alert precision**: a seeded mixed-tenant workload — one big
+//!    noisy tenant spending ~15% of its rows on bad dates against a
+//!    0.1% error budget, one small clean tenant — replayed over real
+//!    TCP must fire the noisy tenant's `error_rate` burn alert and
+//!    nothing for the clean tenant.
+//!
+//! Writes `BENCH_PR8.json` at the repo root (format documented in
+//! EXPERIMENTS.md).
+//!
+//! Usage: `bench_pr8 [--smoke] [--out PATH]`
+//!   --smoke  shrink workloads and iteration counts for a CI sanity run
+//!            (the alert-precision gates still apply; the overhead gate
+//!            needs full scale)
+//!   --out    output path (default BENCH_PR8.json)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etlv_core::convert::{ConvertScratch, DataConverter};
+use etlv_core::obs::{Obs, Sampler, SloEngine, SloPolicy, TenantObs};
+use etlv_core::workload::{customer_workload, CustomerSpec, Workload};
+use etlv_core::{Virtualizer, VirtualizerConfig};
+use etlv_legacy_client::{ClientOptions, Connect, LegacyEtlClient, TcpConnector};
+use etlv_script::{compile, parse_script, JobPlan};
+use etlv_workloadgen::{tenant_user, ImportSpec};
+
+const SEED: u64 = 0x00E7_510B;
+const CHUNK_ROWS: usize = 1_000;
+const OVERHEAD_GATE_PCT: f64 = 3.0;
+
+// ---------------------------------------------------------------------
+// Part 1: hot-loop overhead kernel
+// ---------------------------------------------------------------------
+
+struct KernelResult {
+    name: &'static str,
+    rows: u64,
+    bytes: u64,
+    chunks: usize,
+    node_rows_per_s: f64,
+    tenant_rows_per_s: f64,
+    overhead_pct: f64,
+}
+
+fn converter_for(workload: &Workload) -> DataConverter {
+    let JobPlan::Import(job) = compile(&parse_script(&workload.script).unwrap()).unwrap() else {
+        panic!("workload script is not an import job")
+    };
+    DataConverter::new(
+        job.layout,
+        job.format,
+        VirtualizerConfig::default().staging_delimiter,
+    )
+}
+
+fn chunked(data: &[u8]) -> Vec<&[u8]> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut rows = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            rows += 1;
+            if rows == CHUNK_ROWS {
+                chunks.push(&data[start..=i]);
+                start = i + 1;
+                rows = 0;
+            }
+        }
+    }
+    if start < data.len() {
+        chunks.push(&data[start..]);
+    }
+    chunks
+}
+
+/// PR 7 baseline vs PR 8 per-chunk accounting, interleaved per timed
+/// iteration. The baseline performs exactly what the PR 7 pipeline did
+/// per chunk (node counters + convert histogram); the tenant variant
+/// adds everything PR 8 put next to it: the admission gauges the
+/// gateway charges, the tenant counters, and the tenant-side
+/// queue-wait/convert histograms — then the retire-path gauge releases.
+fn bench_kernel(
+    name: &'static str,
+    workload: &Workload,
+    iters: u32,
+    obs: &Arc<Obs>,
+    tenant: &Arc<TenantObs>,
+) -> KernelResult {
+    let conv = converter_for(workload);
+    let chunks = chunked(&workload.data);
+    let mut out = Vec::new();
+    let mut scratch = ConvertScratch::new();
+
+    let run_node = |out: &mut Vec<u8>, scratch: &mut ConvertScratch| {
+        let mut total = 0u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let started = Instant::now();
+            out.clear();
+            let rows = conv
+                .convert_into((i * CHUNK_ROWS + 1) as u64, chunk, out, scratch)
+                .unwrap();
+            let elapsed = started.elapsed();
+            obs.pipeline.convert_chunks.inc();
+            obs.pipeline.convert_rows.add(rows as u64);
+            obs.pipeline.convert_bytes.add(chunk.len() as u64);
+            obs.pipeline.convert_us.record_duration(elapsed);
+            total += rows as u64;
+            std::hint::black_box(&*out);
+        }
+        assert_eq!(total, workload.rows);
+    };
+    let run_tenant = |out: &mut Vec<u8>, scratch: &mut ConvertScratch| {
+        let mut total = 0u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let bytes = chunk.len() as u64;
+            // Gateway intake: admission charge under the tenant.
+            tenant.credit_held.add(1);
+            tenant.memory_held.add(bytes);
+            tenant.chunks.inc();
+            tenant.chunk_bytes.add(bytes);
+            let enqueued = Instant::now();
+            let started = Instant::now();
+            out.clear();
+            let rows = conv
+                .convert_into((i * CHUNK_ROWS + 1) as u64, chunk, out, scratch)
+                .unwrap();
+            let elapsed = started.elapsed();
+            obs.pipeline.convert_chunks.inc();
+            obs.pipeline.convert_rows.add(rows as u64);
+            obs.pipeline.convert_bytes.add(bytes);
+            obs.pipeline.convert_us.record_duration(elapsed);
+            tenant
+                .queue_wait_us
+                .record_duration(enqueued.elapsed() - elapsed);
+            tenant.convert_us.record_duration(elapsed);
+            // Retire: the admission charge comes home.
+            tenant.credit_held.sub(1);
+            tenant.memory_held.sub(bytes);
+            total += rows as u64;
+            std::hint::black_box(&*out);
+        }
+        assert_eq!(total, workload.rows);
+    };
+
+    run_node(&mut out, &mut scratch);
+    run_tenant(&mut out, &mut scratch);
+    let mut node = Duration::MAX;
+    let mut with_tenant = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        run_node(&mut out, &mut scratch);
+        node = node.min(start.elapsed());
+        let start = Instant::now();
+        run_tenant(&mut out, &mut scratch);
+        with_tenant = with_tenant.min(start.elapsed());
+    }
+
+    let node_s = node.as_secs_f64().max(1e-9);
+    let tenant_s = with_tenant.as_secs_f64().max(1e-9);
+    KernelResult {
+        name,
+        rows: workload.rows,
+        bytes: workload.data.len() as u64,
+        chunks: chunks.len(),
+        node_rows_per_s: workload.rows as f64 / node_s,
+        tenant_rows_per_s: workload.rows as f64 / tenant_s,
+        overhead_pct: (tenant_s / node_s - 1.0) * 100.0,
+    }
+}
+
+fn customer(rows: u64, row_bytes: usize) -> Workload {
+    customer_workload(&CustomerSpec {
+        rows,
+        row_bytes,
+        sessions: 4,
+        unique_key: false,
+        ..Default::default()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Part 2: mixed-tenant alert precision
+// ---------------------------------------------------------------------
+
+/// A seeded import for `tenant` — the same generator the workload
+/// replay uses, so the payload's error mix is a pure function of the
+/// spec.
+fn tenant_import(tenant: u16, job: u16, rows: u32, date_error_ppm: u32) -> ImportSpec {
+    ImportSpec {
+        table: format!("WG_T{tenant:02}_TAB{job:02}"),
+        user: tenant_user(tenant),
+        rows,
+        row_bytes: 80,
+        date_error_ppm,
+        dup_key_ppm: 0,
+        sessions: 2,
+        key_space: u32::from(tenant) << 8 | u32::from(job),
+        data_seed: SEED ^ (u64::from(tenant) << 32) ^ u64::from(job),
+        planned_bad_dates: 0,
+        planned_dup_keys: 0,
+    }
+}
+
+struct TenantOutcome {
+    user: String,
+    jobs: usize,
+    rows_applied: u64,
+    errors_et: u64,
+    burn_fast: f64,
+    burn_slow: f64,
+    alerts: Vec<String>,
+}
+
+/// Run each tenant's job list on its own thread (the replay harness's
+/// per-tenant worker shape) against one node over real TCP, then read
+/// the node's health report back.
+fn run_slo_scenario(
+    heavy: Vec<ImportSpec>,
+    light: Vec<ImportSpec>,
+) -> (Vec<TenantOutcome>, bool, String) {
+    let v = Virtualizer::new(VirtualizerConfig {
+        slo: SloPolicy {
+            latency_target: Duration::from_secs(60),
+            fast_window: Duration::from_secs(30),
+            slow_window: Duration::from_secs(120),
+            ..SloPolicy::default()
+        },
+        ..Default::default()
+    });
+    for spec in heavy.iter().chain(light.iter()) {
+        v.cdw().execute(&spec.target_ddl()).unwrap();
+    }
+    let handle = v.listen_tcp("127.0.0.1:0").expect("bind TCP listener");
+    let addr = handle.addr().to_string();
+
+    let worker = |specs: Vec<ImportSpec>| {
+        let connector: Arc<dyn Connect> = Arc::new(TcpConnector::new(addr.clone()));
+        std::thread::spawn(move || -> (u64, u64) {
+            let client = LegacyEtlClient::with_options(
+                connector,
+                ClientOptions {
+                    chunk_rows: 200,
+                    sessions: Some(2),
+                    read_timeout: Some(Duration::from_secs(120)),
+                    ..Default::default()
+                },
+            );
+            let (mut rows, mut et) = (0u64, 0u64);
+            for spec in &specs {
+                let result = client
+                    .run_import_data(&spec.job(), &spec.payload().data)
+                    .expect("import job failed");
+                rows += result.report.rows_applied;
+                et += result.report.errors_et;
+            }
+            (rows, et)
+        })
+    };
+    let heavy_jobs = heavy.len();
+    let light_jobs = light.len();
+    let heavy_worker = worker(heavy);
+    let light_worker = worker(light);
+    let (heavy_rows, heavy_et) = heavy_worker.join().expect("heavy tenant worker");
+    let (light_rows, light_et) = light_worker.join().expect("light tenant worker");
+
+    let report = v.health();
+    let health_json = v.health_json();
+    handle.shutdown();
+
+    let outcome = |user: &str, jobs: usize, rows: u64, et: u64| {
+        let (burn_fast, burn_slow, alerts) = report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == user)
+            .map(|t| {
+                let error_rate = t
+                    .objectives
+                    .iter()
+                    .find(|s| s.objective == "error_rate")
+                    .cloned()
+                    .unwrap_or_default();
+                (
+                    error_rate.burn_fast,
+                    error_rate.burn_slow,
+                    t.alerts.iter().map(|a| a.to_string()).collect(),
+                )
+            })
+            .unwrap_or((0.0, 0.0, Vec::new()));
+        TenantOutcome {
+            user: user.to_string(),
+            jobs,
+            rows_applied: rows,
+            errors_et: et,
+            burn_fast,
+            burn_slow,
+            alerts,
+        }
+    };
+    (
+        vec![
+            outcome(&tenant_user(0), heavy_jobs, heavy_rows, heavy_et),
+            outcome(&tenant_user(1), light_jobs, light_rows, light_et),
+        ],
+        report.overload.overloaded,
+        health_json,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR8.json".into());
+    let obs_compiled = etlv_core::obs::enabled();
+
+    let (total_bytes, kernel_iters) = if smoke {
+        (1_000_000u64, 3u32)
+    } else {
+        (12_500_000u64, 15u32)
+    };
+
+    // Overhead kernels, sampler off.
+    let quiet = Arc::new(Obs::default());
+    let quiet_tenant = quiet.registry.tenant(&tenant_user(0));
+    eprintln!("kernel: narrow (250 B rows), tenant accounting...");
+    let narrow = customer(total_bytes / 250, 250);
+    let k_narrow = bench_kernel("narrow_250B", &narrow, kernel_iters, &quiet, &quiet_tenant);
+    eprintln!("kernel: wide (2000 B rows), tenant accounting...");
+    let wide = customer(total_bytes / 2000, 2000);
+    let k_wide = bench_kernel("wide_2000B", &wide, kernel_iters, &quiet, &quiet_tenant);
+
+    // Same wide loop with a live 2 ms sampler streaming tenant series
+    // and feeding the burn-rate engine every tick: the engine works off
+    // counter snapshots, so the delta against the quiet run is the
+    // entire cost the passive SLO machinery imposes on the hot path.
+    eprintln!("kernel: wide (2000 B rows), tenant accounting + sampler + SLO engine...");
+    let sampled_obs = Arc::new(Obs::default());
+    let sampled_tenant = sampled_obs.registry.tenant(&tenant_user(0));
+    let (sampler, slo_points) = if obs_compiled {
+        let engine = SloEngine::new(SloPolicy::default());
+        let refresh_obs = Arc::clone(&sampled_obs);
+        let refresh_engine = engine.clone();
+        let sampler = Sampler::start(
+            Arc::clone(&sampled_obs),
+            Box::new(move || refresh_engine.observe(&refresh_obs)),
+            Duration::from_millis(2),
+            4096,
+            etlv_core::config::default_sampler_metrics(),
+            etlv_core::config::default_sampler_tenant_metrics(),
+        );
+        (Some(sampler), Some(engine))
+    } else {
+        (None, None)
+    };
+    let k_sampled = bench_kernel(
+        "wide_2000B_sampled",
+        &wide,
+        kernel_iters,
+        &sampled_obs,
+        &sampled_tenant,
+    );
+    let tenant_points = sampler
+        .as_ref()
+        .map_or(0, |s| s.tenant_points_for("chunks", &tenant_user(0)));
+    let slo_tenants_tracked = slo_points
+        .as_ref()
+        .map_or(0, |e| e.evaluate(&Default::default()).tenants.len());
+    if let Some(s) = &sampler {
+        s.stop();
+    }
+    let sampler_overhead_pct =
+        (k_wide.tenant_rows_per_s / k_sampled.tenant_rows_per_s.max(1e-9) - 1.0) * 100.0;
+    let kernels = [k_narrow, k_wide, k_sampled];
+
+    // Alert precision: big noisy tenant vs small clean tenant.
+    eprintln!("scenario: mixed big+small tenants over TCP...");
+    let (heavy_jobs, heavy_rows, light_jobs, light_rows) = if smoke {
+        (2u16, 500u32, 2u16, 100u32)
+    } else {
+        (6u16, 2_000u32, 6u16, 200u32)
+    };
+    let heavy: Vec<ImportSpec> = (0..heavy_jobs)
+        .map(|j| tenant_import(0, j, heavy_rows, 150_000))
+        .collect();
+    let light: Vec<ImportSpec> = (0..light_jobs)
+        .map(|j| tenant_import(1, j, light_rows, 0))
+        .collect();
+    let (outcomes, overloaded, _health_json) = run_slo_scenario(heavy, light);
+    for o in &outcomes {
+        eprintln!(
+            "  {:<8} jobs {:>2}  rows {:>6}  et {:>5}  burn fast {:>10.1} slow {:>10.1}  alerts {:?}",
+            o.user, o.jobs, o.rows_applied, o.errors_et, o.burn_fast, o.burn_slow, o.alerts
+        );
+    }
+
+    // --- report --------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"obs_compiled\": {obs_compiled},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"chunk_rows\": {CHUNK_ROWS},\n"));
+    json.push_str("  \"kernel\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"bytes\": {}, \"chunks\": {}, \
+             \"node_rows_per_s\": {:.0}, \"tenant_rows_per_s\": {:.0}, \
+             \"overhead_pct\": {:.3}}}",
+            k.name,
+            k.rows,
+            k.bytes,
+            k.chunks,
+            k.node_rows_per_s,
+            k.tenant_rows_per_s,
+            k.overhead_pct
+        ));
+        json.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+        eprintln!(
+            "  {:>18}: {:>12.0} -> {:>12.0} rows/s  ({:+.3}% overhead)",
+            k.name, k.node_rows_per_s, k.tenant_rows_per_s, k.overhead_pct
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sampler\": {{\"tick_ms\": 2, \"tenant_points\": {tenant_points}, \
+         \"slo_tenants_tracked\": {slo_tenants_tracked}, \
+         \"overhead_vs_quiet_pct\": {sampler_overhead_pct:.3}}},\n"
+    ));
+    json.push_str("  \"slo_scenario\": {\n");
+    json.push_str(&format!("    \"node_overloaded\": {overloaded},\n"));
+    json.push_str("    \"tenants\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"tenant\": \"{}\", \"jobs\": {}, \"rows_applied\": {}, \
+             \"errors_et\": {}, \"error_burn_fast\": {:.3}, \"error_burn_slow\": {:.3}, \
+             \"alerts\": [{}]}}",
+            o.user,
+            o.jobs,
+            o.rows_applied,
+            o.errors_et,
+            o.burn_fast,
+            o.burn_slow,
+            o.alerts
+                .iter()
+                .map(|a| format!("\"{a}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  }\n");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Gates. Alert precision holds at any scale when obs is compiled in;
+    // the overhead comparison is only meaningful at full scale.
+    let mut failed = false;
+    if obs_compiled {
+        let heavy = &outcomes[0];
+        if !heavy.alerts.iter().any(|a| a == "error_rate") {
+            eprintln!(
+                "FAIL: noisy tenant {} did not fire its error_rate burn alert \
+                 (burn fast {:.1} / slow {:.1})",
+                heavy.user, heavy.burn_fast, heavy.burn_slow
+            );
+            failed = true;
+        }
+        if heavy.errors_et == 0 {
+            eprintln!("FAIL: noisy tenant produced no ET rows — scenario is broken");
+            failed = true;
+        }
+        let light = &outcomes[1];
+        if !light.alerts.is_empty() {
+            eprintln!(
+                "FAIL: clean tenant {} is alerting: {:?}",
+                light.user, light.alerts
+            );
+            failed = true;
+        }
+        if light.errors_et != 0 {
+            eprintln!("FAIL: clean tenant saw {} ET rows", light.errors_et);
+            failed = true;
+        }
+    }
+    let gated = &kernels[1];
+    if !smoke && obs_compiled && gated.overhead_pct > OVERHEAD_GATE_PCT {
+        eprintln!(
+            "FAIL: {} tenant-accounting overhead {:.3}% > {OVERHEAD_GATE_PCT}%",
+            gated.name, gated.overhead_pct
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

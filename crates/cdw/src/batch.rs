@@ -82,12 +82,10 @@ pub fn compile(
             let mut cols = Vec::new();
             let mut ok = true;
             other.walk(&mut |n| match n {
-                Expr::Column(name) if !cols.iter().any(|(c, _)| c == name) => {
-                    match resolve(name) {
-                        Some(i) => cols.push((name.clone(), i)),
-                        None => ok = false,
-                    }
-                }
+                Expr::Column(name) if !cols.iter().any(|(c, _)| c == name) => match resolve(name) {
+                    Some(i) => cols.push((name.clone(), i)),
+                    None => ok = false,
+                },
                 Expr::Placeholder(_) | Expr::Wildcard => ok = false,
                 _ => {}
             });

@@ -7,6 +7,7 @@ use etlv_cloudstore::Throttle;
 
 use crate::apply::ApplyStrategy;
 use crate::fault::{FaultPlan, RetryPolicy};
+use crate::obs::SloPolicy;
 
 /// How DataConverter work is scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,17 @@ pub struct VirtualizerConfig {
     /// The session's in-flight jobs are aborted and their resources
     /// released, exactly as on disconnect.
     pub session_idle_timeout: Duration,
+    /// Per-tenant SLO objectives and burn-rate alerting policy evaluated
+    /// by the `Health` endpoint. Irrelevant when the `obs` feature is
+    /// compiled out (health then reports `enabled: false`).
+    pub slo: SloPolicy,
+    /// Ceiling on distinct per-tenant metric blocks. Tenants interned
+    /// beyond this share one `~overflow` block so label cardinality stays
+    /// bounded no matter how many usernames connect. Must be ≥ 1.
+    pub max_tenants: usize,
+    /// Tenant-block metric names the background sampler tracks per tenant
+    /// (in addition to the node-global `sampler_metrics`).
+    pub sampler_tenant_metrics: Vec<String>,
 }
 
 impl Default for VirtualizerConfig {
@@ -182,8 +194,26 @@ impl Default for VirtualizerConfig {
             max_sessions: 256,
             max_concurrent_jobs: 64,
             session_idle_timeout: Duration::ZERO,
+            slo: SloPolicy::default(),
+            max_tenants: 64,
+            sampler_tenant_metrics: default_sampler_tenant_metrics(),
         }
     }
+}
+
+/// The default per-tenant sampled-metric set: enough to plot each
+/// tenant's throughput and error contribution over time.
+pub fn default_sampler_tenant_metrics() -> Vec<String> {
+    [
+        "chunks",
+        "rows_applied",
+        "errors_et",
+        "errors_uv",
+        "active_jobs",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
 }
 
 /// The default sampled-metric set: the series the paper's Fig. 8/9 plots
@@ -254,6 +284,39 @@ impl VirtualizerConfig {
         }
         if !self.sampler_tick.is_zero() && self.sampler_capacity < 2 {
             return Err("sampler_capacity must be at least 2 when the sampler is enabled".into());
+        }
+        if self.max_tenants == 0 {
+            return Err("max_tenants must be at least 1".into());
+        }
+        if self.slo.fast_window.is_zero() || self.slo.slow_window.is_zero() {
+            return Err("slo windows must be nonzero".into());
+        }
+        if self.slo.fast_window >= self.slo.slow_window {
+            return Err("slo.fast_window must be shorter than slo.slow_window".into());
+        }
+        if self.slo.latency_target.is_zero() {
+            return Err("slo.latency_target must be nonzero".into());
+        }
+        for (name, v) in [
+            ("slo.latency_objective", self.slo.latency_objective),
+            ("slo.error_rate_objective", self.slo.error_rate_objective),
+            (
+                "slo.availability_objective",
+                self.slo.availability_objective,
+            ),
+        ] {
+            if !(v > 0.0 && v < 1.0) {
+                return Err(format!("{name} must be in (0, 1)"));
+            }
+        }
+        for (name, v) in [
+            ("slo.fast_burn", self.slo.fast_burn),
+            ("slo.slow_burn", self.slo.slow_burn),
+            ("slo.overload_ratio", self.slo.overload_ratio),
+        ] {
+            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(format!("{name} must be positive"));
+            }
         }
         Ok(())
     }
@@ -337,6 +400,20 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_ok());
+        let c = VirtualizerConfig {
+            max_tenants: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = VirtualizerConfig::default();
+        c.slo.fast_window = c.slo.slow_window;
+        assert!(c.validate().is_err());
+        let mut c = VirtualizerConfig::default();
+        c.slo.latency_objective = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = VirtualizerConfig::default();
+        c.slo.fast_burn = 0.0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -43,7 +43,10 @@ use crate::cursor::TdfCursor;
 use crate::emulate;
 use crate::fault::{retry_cdw, FaultCounts, FaultInjector};
 use crate::memory::MemoryGauge;
-use crate::obs::{stats_json, stats_prometheus, JobObs, Obs, Sampler, SpanIds};
+use crate::obs::{
+    stats_json, stats_prometheus, HealthReport, JobObs, Obs, OverloadInput, Sampler, SloEngine,
+    SpanIds, TenantObs,
+};
 use crate::pipeline::{ChunkSink, Pipeline, PipelineReport, RawChunk, WorkerRuntime};
 use crate::report::{JobReport, NodeMetrics};
 use crate::session::SessionRegistry;
@@ -70,6 +73,9 @@ pub(crate) struct ImportJobState {
     rows_received: AtomicU64,
     oom: Mutex<Option<String>>,
     started: Instant,
+    /// The owning session's tenant metric block — every job-scoped count
+    /// and latency lands here as well as in the node-global registry.
+    tenant: Arc<TenantObs>,
 }
 
 pub(crate) struct ExportJobState {
@@ -103,6 +109,8 @@ pub(crate) struct Node {
     /// The node-wide worker runtime (`RuntimeMode::Shared`); `None` in
     /// per-job-spawn mode, where every `BeginLoad` starts its own.
     pub(crate) runtime: Option<WorkerRuntime>,
+    /// Per-tenant SLO burn-rate engine behind the `Health` endpoint.
+    pub(crate) slo: SloEngine,
     /// Active-session table (logon admission + per-session owned jobs).
     pub(crate) registry: SessionRegistry,
     /// Set by `ServerHandle::drain`: refuse new logons and new jobs,
@@ -209,16 +217,21 @@ impl Virtualizer {
         })));
         let credits = CreditManager::with_obs(config.credits, obs.credit.clone());
         let memory = MemoryGauge::new(config.memory_cap);
+        let slo = SloEngine::new(config.slo.clone());
         let sampler = if crate::obs::enabled() && !config.sampler_tick.is_zero() {
             // The sampler's refresh mirrors `refresh_gauges` so gauge
-            // series (credit occupancy, memory) are current every tick.
+            // series (credit occupancy, memory) are current every tick;
+            // it also feeds the SLO engine's burn-rate windows, so health
+            // evaluation stays current without its own thread.
             let refresh: Box<dyn Fn() + Send + Sync> = {
                 let obs = Arc::clone(&obs);
                 let credits = credits.clone();
                 let memory = memory.clone();
                 let injector = injector.clone();
+                let slo = slo.clone();
                 Box::new(move || {
                     refresh_gauges_into(&obs, &credits, &memory, injector.as_deref());
+                    slo.observe(&obs);
                 })
             };
             Some(Sampler::start(
@@ -227,6 +240,7 @@ impl Virtualizer {
                 config.sampler_tick,
                 config.sampler_capacity,
                 config.sampler_metrics.clone(),
+                config.sampler_tenant_metrics.clone(),
             ))
         } else {
             None
@@ -256,6 +270,7 @@ impl Virtualizer {
                 reports: Mutex::new(VecDeque::new()),
                 sampler,
                 runtime,
+                slo,
                 registry,
                 draining: AtomicBool::new(false),
             }),
@@ -360,6 +375,36 @@ impl Virtualizer {
         )
     }
 
+    /// Evaluate per-tenant SLO burn rates and node overload right now.
+    /// Feeds the engine a fresh observation first, so health answers are
+    /// current even when the background sampler is disabled. With `obs`
+    /// compiled out the report comes back `enabled: false` and empty.
+    pub fn health(&self) -> HealthReport {
+        let node = &self.node;
+        self.refresh_gauges();
+        node.slo.observe(&node.obs);
+        node.slo.evaluate(&OverloadInput {
+            active_jobs: node.jobs.lock().len() as u64,
+            max_jobs: node.config.max_concurrent_jobs as u64,
+            active_sessions: node.registry.active() as u64,
+            max_sessions: node.config.max_sessions as u64,
+            credit_in_flight: node.credits.in_flight() as u64,
+            credit_capacity: node.config.credits as u64,
+            memory_in_flight: node.memory.in_flight(),
+            memory_cap: node.config.memory_cap as u64,
+        })
+    }
+
+    /// The health report as JSON (the `Health` wire reply body).
+    pub fn health_json(&self) -> String {
+        self.health().to_json()
+    }
+
+    /// The health report as Prometheus text exposition.
+    pub fn health_prometheus(&self) -> String {
+        self.health().to_prometheus()
+    }
+
     /// Assemble the causal trace of one job from the journal's retained
     /// events. `None` when the journal no longer holds the job's
     /// `job.begin` (ring evicted it, job unknown, or `obs` compiled out).
@@ -447,7 +492,7 @@ impl Virtualizer {
 
     // ------------------------------------------------------------ import
 
-    pub(crate) fn handle_begin_load(&self, spec: BeginLoad) -> Message {
+    pub(crate) fn handle_begin_load(&self, spec: BeginLoad, tenant: Arc<TenantObs>) -> Message {
         let node = &self.node;
         if node.draining.load(Ordering::Relaxed) {
             return error_msg(ErrCode::SHUTTING_DOWN, "server is draining", false);
@@ -458,6 +503,7 @@ impl Virtualizer {
         // backs off and re-issues BeginLoad.
         if node.jobs.lock().len() >= node.config.max_concurrent_jobs {
             node.obs.gateway.admission_rejections.inc();
+            tenant.admission_rejections.inc();
             return error_msg(
                 ErrCode::SERVER_BUSY,
                 format!(
@@ -508,6 +554,7 @@ impl Virtualizer {
                 token,
                 ids,
                 node.config.drain_timeout,
+                Arc::clone(&tenant),
             ),
             None => Pipeline::spawn(
                 &node.config,
@@ -518,10 +565,13 @@ impl Virtualizer {
                 Arc::clone(&node.obs),
                 token,
                 ids,
+                Arc::clone(&tenant),
             ),
         };
         let sink = pipeline.sink();
         node.obs.gateway.jobs_started.inc();
+        tenant.jobs_started.inc();
+        tenant.active_jobs.add(1);
         node.obs.journal.emit_span(
             "job.begin",
             ids,
@@ -547,6 +597,7 @@ impl Virtualizer {
                 rows_received: AtomicU64::new(0),
                 oom: Mutex::new(None),
                 started: Instant::now(),
+                tenant,
             })),
         );
         node.obs.gateway.active_jobs.set(jobs.len() as u64);
@@ -643,6 +694,12 @@ impl Virtualizer {
         let chunk_seq = chunk.chunk_seq;
         job.rows_received
             .fetch_add(chunk.record_count as u64, Ordering::Relaxed);
+        // Held-resource gauges increment *before* the push: the pipeline
+        // decrements them when it retires the chunk, and a retire must
+        // never be able to observe the gauge before the increment landed.
+        let tenant = &job.tenant;
+        tenant.credit_held.add(1);
+        tenant.memory_held.add(chunk_bytes);
         if !sink.push(RawChunk {
             base_seq: chunk.base_seq,
             data: chunk.data,
@@ -650,11 +707,17 @@ impl Virtualizer {
             memory,
             enqueued: handle_started,
         }) {
+            // Refused chunks never reach the pipeline; unwind the gauges.
+            tenant.credit_held.sub(1);
+            tenant.memory_held.sub(chunk_bytes);
             return error_msg(ErrCode::INTERNAL, "acquisition pipeline closed", true);
         }
         let obs = &self.node.obs.gateway;
         obs.chunks_received.inc();
         obs.chunk_bytes.add(chunk_bytes);
+        // Tenant attribution: four relaxed atomics per accepted chunk.
+        tenant.chunks.inc();
+        tenant.chunk_bytes.add(chunk_bytes);
         let handle_elapsed = handle_started.elapsed();
         obs.chunk_handle_us.record_duration(handle_elapsed);
         // One relaxed add per chunk — the only tracing cost on this path;
@@ -688,6 +751,20 @@ impl Virtualizer {
                 metrics.rows_ingested += report.rows_received;
                 drop(metrics);
                 self.node.obs.gateway.jobs_completed.inc();
+                let total = report.total();
+                let t = &job.tenant;
+                t.jobs_completed.inc();
+                t.rows_applied.add(report.rows_applied);
+                t.errors_et.add(report.errors_et);
+                t.errors_uv.add(report.errors_uv);
+                t.retries.add(report.upload_retries + report.cdw_retries);
+                t.job_us.record_duration(total);
+                // A job slower than the tenant's latency target is an SLO
+                // "bad event" for the latency objective.
+                if total > self.node.config.slo.latency_target {
+                    t.slow_jobs.inc();
+                }
+                t.active_jobs.sub(1);
                 self.node.obs.journal.emit_span(
                     "job.end",
                     job.ids,
@@ -708,6 +785,8 @@ impl Virtualizer {
             Err((code, message)) => {
                 self.node.metrics.lock().jobs_failed += 1;
                 self.node.obs.gateway.jobs_failed.inc();
+                job.tenant.jobs_failed.inc();
+                job.tenant.active_jobs.sub(1);
                 self.node.obs.journal.emit_span(
                     "job.fail",
                     job.ids,
@@ -827,6 +906,7 @@ impl Virtualizer {
             .transient_retries
             .add(outcome.transient_retries);
         node.obs.adaptive.apply_us.record_duration(application);
+        job.tenant.apply_us.record_duration(application);
         node.obs.journal.emit_span(
             "apply",
             apply_ids,
@@ -1020,6 +1100,8 @@ impl Virtualizer {
                     .cdw
                     .execute(&format!("DROP TABLE IF EXISTS {}", job.spec.error_table_uv));
                 node.obs.gateway.jobs_aborted.inc();
+                job.tenant.jobs_aborted.inc();
+                job.tenant.active_jobs.sub(1);
                 node.metrics.lock().jobs_aborted += 1;
                 node.obs.journal.emit_span(
                     "job.abort",
@@ -1055,13 +1137,18 @@ impl Virtualizer {
 
     // ------------------------------------------------------------ export
 
-    pub(crate) fn handle_begin_export(&self, spec: etlv_protocol::message::BeginExport) -> Message {
+    pub(crate) fn handle_begin_export(
+        &self,
+        spec: etlv_protocol::message::BeginExport,
+        tenant: Arc<TenantObs>,
+    ) -> Message {
         let node = &self.node;
         if node.draining.load(Ordering::Relaxed) {
             return error_msg(ErrCode::SHUTTING_DOWN, "server is draining", false);
         }
         if node.jobs.lock().len() >= node.config.max_concurrent_jobs {
             node.obs.gateway.admission_rejections.inc();
+            tenant.admission_rejections.inc();
             return error_msg(
                 ErrCode::SERVER_BUSY,
                 format!(
@@ -1195,10 +1282,9 @@ fn refresh_gauges_into(
 
 /// The node's observability hub, shaped by the config's journal knobs.
 fn build_obs(config: &VirtualizerConfig) -> Arc<Obs> {
-    Arc::new(Obs::new(
-        config.journal_capacity,
-        config.journal_jsonl.as_deref(),
-    ))
+    let obs = Obs::new(config.journal_capacity, config.journal_jsonl.as_deref());
+    obs.registry.set_tenant_limit(config.max_tenants);
+    Arc::new(obs)
 }
 
 /// The callback an [`ObservedStore`] feeds: op counts, byte totals, error

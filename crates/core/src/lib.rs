@@ -84,7 +84,10 @@ pub use fault::{
 };
 pub use gateway::Virtualizer;
 pub use memory::{MemoryGauge, OutOfMemory};
-pub use obs::{Obs, RegistrySnapshot, SpanEvent, SpanIds};
+pub use obs::{
+    HealthReport, Obs, OverloadState, RegistrySnapshot, SloPolicy, SloStatus, SpanEvent, SpanIds,
+    TenantHealth, TenantObs,
+};
 pub use pipeline::{ChunkSink, Pipeline, PipelineReport, RawChunk, WorkerRuntime};
 pub use report::{JobReport, NodeMetrics};
 pub use server::ServerHandle;

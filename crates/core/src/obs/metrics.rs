@@ -8,7 +8,11 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use super::{HistogramSnapshot, RegistrySnapshot};
+use super::{HistogramSnapshot, RegistrySnapshot, TenantId, TenantObs, TenantSnapshot};
+
+/// Default cap on distinct tenant label values (see
+/// [`MetricsRegistry::set_tenant_limit`]).
+const DEFAULT_TENANT_LIMIT: usize = 64;
 
 /// Shards per counter. Converter pools top out well below this on the
 /// testbed; more shards only pad the (cheap) snapshot merge.
@@ -94,6 +98,23 @@ impl Gauge {
     #[inline]
     pub fn fetch_max(&self, v: u64) {
         self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` — for up/down gauges (resources currently held).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`, saturating at zero so a release racing a snapshot
+    /// can never wrap the gauge to u64::MAX.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
     }
 
     /// Current value.
@@ -203,11 +224,59 @@ impl Histogram {
     }
 }
 
-#[derive(Default)]
 struct RegistryInner {
     counters: Mutex<Vec<(String, Counter)>>,
     gauges: Mutex<Vec<(String, Gauge)>>,
     histograms: Mutex<Vec<(String, Histogram)>>,
+    /// Interned per-tenant handle blocks, indexed by [`TenantId`].
+    tenants: Mutex<Vec<Arc<TenantObs>>>,
+    /// Cardinality bound on distinct tenant labels; tenants interned past
+    /// the limit share the `~overflow` block.
+    tenant_limit: AtomicUsize,
+}
+
+impl Default for RegistryInner {
+    fn default() -> RegistryInner {
+        RegistryInner {
+            counters: Mutex::default(),
+            gauges: Mutex::default(),
+            histograms: Mutex::default(),
+            tenants: Mutex::default(),
+            tenant_limit: AtomicUsize::new(DEFAULT_TENANT_LIMIT),
+        }
+    }
+}
+
+/// Build one tenant's pre-registered handle block. Tenant metrics live in
+/// their own table (not the flat name-keyed lists), so the per-node
+/// metric namespace stays label-free and rendering attaches the tenant
+/// label exactly once.
+fn new_tenant(id: TenantId, name: &str) -> TenantObs {
+    TenantObs {
+        id,
+        name: name.to_string(),
+        jobs_started: Counter::new(),
+        jobs_completed: Counter::new(),
+        jobs_failed: Counter::new(),
+        jobs_aborted: Counter::new(),
+        admission_rejections: Counter::new(),
+        idle_timeouts: Counter::new(),
+        chunks: Counter::new(),
+        chunk_bytes: Counter::new(),
+        rows_applied: Counter::new(),
+        errors_et: Counter::new(),
+        errors_uv: Counter::new(),
+        retries: Counter::new(),
+        slow_jobs: Counter::new(),
+        active_jobs: Gauge::new(),
+        credit_held: Gauge::new(),
+        memory_held: Gauge::new(),
+        job_us: Histogram::new(),
+        queue_wait_us: Histogram::new(),
+        convert_us: Histogram::new(),
+        upload_us: Histogram::new(),
+        apply_us: Histogram::new(),
+    }
 }
 
 /// Owns every registered metric; handles stay valid for the registry's
@@ -257,6 +326,44 @@ impl MetricsRegistry {
         h
     }
 
+    /// Intern (or fetch) the per-tenant handle block for `name`. The
+    /// distinct-label cardinality is bounded: once `tenant_limit` blocks
+    /// exist, further names all share the [`super::TENANT_OVERFLOW`]
+    /// block, so a hostile stream of logon usernames cannot grow the
+    /// registry without bound.
+    pub fn tenant(&self, name: &str) -> Arc<TenantObs> {
+        let mut tenants = self.inner.tenants.lock();
+        if let Some(t) = tenants.iter().find(|t| t.name == name) {
+            return Arc::clone(t);
+        }
+        let limit = self.inner.tenant_limit.load(Ordering::Relaxed).max(1);
+        let effective = if tenants.len() < limit {
+            name
+        } else {
+            super::TENANT_OVERFLOW
+        };
+        if let Some(t) = tenants.iter().find(|t| t.name == effective) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(new_tenant(TenantId(tenants.len() as u16), effective));
+        tenants.push(Arc::clone(&t));
+        t
+    }
+
+    /// Adjust the tenant cardinality bound (node assembly applies the
+    /// configured `max_tenants`). Already-interned blocks are kept.
+    pub fn set_tenant_limit(&self, limit: usize) {
+        self.inner
+            .tenant_limit
+            .store(limit.max(1), Ordering::Relaxed);
+    }
+
+    /// Live handles of every interned tenant (SLO engine + sampler walk
+    /// these directly rather than going through a full snapshot).
+    pub fn tenant_handles(&self) -> Vec<Arc<TenantObs>> {
+        self.inner.tenants.lock().clone()
+    }
+
     /// Snapshot every metric, name-sorted.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut counters: Vec<(String, u64)> = self
@@ -283,10 +390,19 @@ impl MetricsRegistry {
             .map(|(n, h)| h.snapshot(n))
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut tenants: Vec<TenantSnapshot> = self
+            .inner
+            .tenants
+            .lock()
+            .iter()
+            .map(|t| t.snapshot())
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         RegistrySnapshot {
             counters,
             gauges,
             histograms,
+            tenants,
         }
     }
 }
@@ -388,6 +504,104 @@ mod tests {
         assert_eq!(g.value(), 10);
         g.fetch_max(12);
         assert_eq!(g.value(), 12);
+    }
+
+    #[test]
+    fn gauge_add_sub_saturates_at_zero() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("held");
+        g.add(5);
+        g.add(3);
+        assert_eq!(g.value(), 8);
+        g.sub(6);
+        assert_eq!(g.value(), 2);
+        g.sub(10); // over-release must clamp, not wrap
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn tenant_interning_is_idempotent_and_bounded() {
+        let reg = MetricsRegistry::new();
+        reg.set_tenant_limit(2);
+        let a = reg.tenant("alice");
+        let a2 = reg.tenant("alice");
+        assert!(Arc::ptr_eq(&a, &a2), "same name, same block");
+        assert_eq!(a.id, a2.id);
+        let b = reg.tenant("bob");
+        assert_ne!(a.id, b.id);
+        // Limit reached: every further name shares the overflow block.
+        let c = reg.tenant("carol");
+        let d = reg.tenant("dave");
+        assert_eq!(c.name, crate::obs::TENANT_OVERFLOW);
+        assert!(Arc::ptr_eq(&c, &d));
+        c.jobs_started.inc();
+        d.jobs_started.inc();
+        assert_eq!(c.jobs_started.value(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.tenants.len(), 3, "alice, bob, ~overflow");
+        let names: Vec<&str> = snap.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        // `~` sorts after ASCII lowercase, so overflow renders last.
+        assert_eq!(names, vec!["alice", "bob", crate::obs::TENANT_OVERFLOW]);
+    }
+
+    #[test]
+    fn tenant_snapshot_carries_counters_gauges_histograms() {
+        let reg = MetricsRegistry::new();
+        let t = reg.tenant("wg_t00");
+        t.rows_applied.add(100);
+        t.errors_et.add(3);
+        t.active_jobs.add(2);
+        t.active_jobs.sub(1);
+        t.job_us.record(5000);
+        let snap = t.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert_eq!(counter("rows_applied"), 100);
+        assert_eq!(counter("errors_et"), 3);
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|(n, _)| n == "active_jobs")
+                .unwrap()
+                .1,
+            1
+        );
+        let h = snap.histograms.iter().find(|h| h.name == "job_us").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 5000);
+    }
+
+    #[test]
+    fn quantile_estimates_stay_within_log_linear_error_bound() {
+        // The SLO engine reads p99 straight from these bins: pin the
+        // quantile error bound across magnitudes. A value v lands in a
+        // bucket [lo, hi] with hi/lo ≤ 5/4, and quantiles report hi, so
+        // the estimate never undershoots and overshoots by < 25%.
+        for scale in [1u64, 10, 1_000, 1_000_000, 50_000_000] {
+            let reg = MetricsRegistry::new();
+            let h = reg.histogram("q");
+            for v in 1..=1000u64 {
+                h.record(v * scale);
+            }
+            let snap = h.snapshot("q");
+            for (q, exact) in [
+                (snap.p50, 500 * scale),
+                (snap.p95, 950 * scale),
+                (snap.p99, 990 * scale),
+            ] {
+                assert!(
+                    q >= exact,
+                    "quantile {q} undershoots exact {exact} at scale {scale}"
+                );
+                let rel = (q - exact) as f64 / exact as f64;
+                assert!(rel < 0.25, "relative error {rel} ≥ 25% at scale {scale}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,11 @@ use std::time::Duration;
 mod render;
 pub use render::{prom_escape_label, stats_json, stats_prometheus};
 
+mod slo;
+pub use slo::{
+    HealthReport, OverloadInput, OverloadState, SloEngine, SloPolicy, SloStatus, TenantHealth,
+};
+
 #[cfg(feature = "obs")]
 mod journal;
 #[cfg(feature = "obs")]
@@ -77,6 +82,132 @@ pub struct RegistrySnapshot {
     /// Counter names and merged shard sums.
     pub counters: Vec<(String, u64)>,
     /// Gauge names and current values.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Per-tenant metric blocks, sorted by tenant name.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// Interned tenant identity: a small dense index into the registry's
+/// tenant table, derived from the Logon username. Cheap to copy and to
+/// stamp on jobs; the registry bounds how many distinct ids ever exist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TenantId(pub u16);
+
+/// The catch-all tenant name used once the registry's tenant cardinality
+/// bound is reached — further usernames share this block instead of
+/// growing the label space.
+pub const TENANT_OVERFLOW: &str = "~overflow";
+
+/// Pre-registered per-tenant handles: one block per interned Logon
+/// username, covering the whole job lifecycle (admission → queue →
+/// convert → upload → apply) plus error/retry attribution and resources
+/// currently held. All field types are the feature-aliased handles, so a
+/// `--no-default-features` build collapses every field to a ZST.
+pub struct TenantObs {
+    /// Interned dense id.
+    pub id: TenantId,
+    /// Tenant (logon username) this block belongs to.
+    pub name: String,
+    /// Import jobs begun.
+    pub jobs_started: Counter,
+    /// Import jobs completed successfully.
+    pub jobs_completed: Counter,
+    /// Import jobs failed.
+    pub jobs_failed: Counter,
+    /// Import jobs aborted by session teardown.
+    pub jobs_aborted: Counter,
+    /// Logons or job admissions bounced with `SERVER_BUSY`.
+    pub admission_rejections: Counter,
+    /// Sessions closed by the idle-timeout reaper.
+    pub idle_timeouts: Counter,
+    /// Data chunks accepted.
+    pub chunks: Counter,
+    /// Raw bytes accepted in data chunks.
+    pub chunk_bytes: Counter,
+    /// Rows applied to target tables.
+    pub rows_applied: Counter,
+    /// Rows landed in ET (acquisition-error) tables.
+    pub errors_et: Counter,
+    /// Rows landed in UV (uniqueness-violation) tables.
+    pub errors_uv: Counter,
+    /// Upload + CDW retries spent on this tenant's jobs.
+    pub retries: Counter,
+    /// Jobs whose end-to-end latency exceeded the SLO latency target.
+    pub slow_jobs: Counter,
+    /// Import jobs currently active.
+    pub active_jobs: Gauge,
+    /// Back-pressure credits currently held by in-flight chunks.
+    pub credit_held: Gauge,
+    /// Staging memory bytes currently reserved by in-flight chunks.
+    pub memory_held: Gauge,
+    /// End-to-end job latency (BeginLoad → report), µs.
+    pub job_us: Histogram,
+    /// Chunk queue wait before a converter picks it up, µs.
+    pub queue_wait_us: Histogram,
+    /// Per-chunk conversion time, µs.
+    pub convert_us: Histogram,
+    /// Per-part upload time, µs.
+    pub upload_us: Histogram,
+    /// Whole-application (apply) time per job, µs.
+    pub apply_us: Histogram,
+}
+
+impl TenantObs {
+    /// Snapshot this tenant's block. Works identically for live and noop
+    /// handle types (noop values are all zero).
+    pub fn snapshot(&self) -> TenantSnapshot {
+        let counters = vec![
+            ("admission_rejections", self.admission_rejections.value()),
+            ("chunk_bytes", self.chunk_bytes.value()),
+            ("chunks", self.chunks.value()),
+            ("errors_et", self.errors_et.value()),
+            ("errors_uv", self.errors_uv.value()),
+            ("idle_timeouts", self.idle_timeouts.value()),
+            ("jobs_aborted", self.jobs_aborted.value()),
+            ("jobs_completed", self.jobs_completed.value()),
+            ("jobs_failed", self.jobs_failed.value()),
+            ("jobs_started", self.jobs_started.value()),
+            ("retries", self.retries.value()),
+            ("rows_applied", self.rows_applied.value()),
+            ("slow_jobs", self.slow_jobs.value()),
+        ];
+        let gauges = vec![
+            ("active_jobs", self.active_jobs.value()),
+            ("credit_held", self.credit_held.value()),
+            ("memory_held", self.memory_held.value()),
+        ];
+        TenantSnapshot {
+            tenant: self.name.clone(),
+            counters: counters
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            histograms: vec![
+                self.apply_us.snapshot("apply_us"),
+                self.convert_us.snapshot("convert_us"),
+                self.job_us.snapshot("job_us"),
+                self.queue_wait_us.snapshot("queue_wait_us"),
+                self.upload_us.snapshot("upload_us"),
+            ],
+        }
+    }
+}
+
+/// Point-in-time view of one tenant's metric block, name-sorted like the
+/// node-level lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant (logon username).
+    pub tenant: String,
+    /// Counter names and values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge names and values.
     pub gauges: Vec<(String, u64)>,
     /// Histogram summaries.
     pub histograms: Vec<HistogramSnapshot>,
@@ -466,6 +597,11 @@ impl Obs {
     /// Snapshot every registered metric.
     pub fn snapshot(&self) -> RegistrySnapshot {
         self.registry.snapshot()
+    }
+
+    /// Intern (or fetch) the per-tenant handle block for `name`.
+    pub fn tenant(&self, name: &str) -> std::sync::Arc<TenantObs> {
+        self.registry.tenant(name)
     }
 }
 

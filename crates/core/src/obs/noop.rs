@@ -41,6 +41,14 @@ impl Gauge {
     #[inline(always)]
     pub fn fetch_max(&self, _v: u64) {}
 
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn sub(&self, _n: u64) {}
+
     /// Always 0.
     pub fn value(&self) -> u64 {
         0
@@ -92,6 +100,45 @@ impl MetricsRegistry {
     /// Stub histogram.
     pub fn histogram(&self, _name: &str) -> Histogram {
         Histogram
+    }
+
+    /// Stub tenant block: fresh ZST handles under the requested name, so
+    /// call sites hold and use the block unconditionally. Nothing is
+    /// retained — the compiled-out build tracks no tenant state.
+    pub fn tenant(&self, name: &str) -> std::sync::Arc<super::TenantObs> {
+        std::sync::Arc::new(super::TenantObs {
+            id: super::TenantId(0),
+            name: name.to_string(),
+            jobs_started: Counter,
+            jobs_completed: Counter,
+            jobs_failed: Counter,
+            jobs_aborted: Counter,
+            admission_rejections: Counter,
+            idle_timeouts: Counter,
+            chunks: Counter,
+            chunk_bytes: Counter,
+            rows_applied: Counter,
+            errors_et: Counter,
+            errors_uv: Counter,
+            retries: Counter,
+            slow_jobs: Counter,
+            active_jobs: Gauge,
+            credit_held: Gauge,
+            memory_held: Gauge,
+            job_us: Histogram,
+            queue_wait_us: Histogram,
+            convert_us: Histogram,
+            upload_us: Histogram,
+            apply_us: Histogram,
+        })
+    }
+
+    /// No-op.
+    pub fn set_tenant_limit(&self, _limit: usize) {}
+
+    /// Always empty.
+    pub fn tenant_handles(&self) -> Vec<std::sync::Arc<super::TenantObs>> {
+        Vec::new()
     }
 
     /// Always empty.
@@ -191,6 +238,7 @@ impl Sampler {
         _tick: Duration,
         _capacity: usize,
         _metrics: Vec<String>,
+        _tenant_metrics: Vec<String>,
     ) -> Sampler {
         Sampler
     }
@@ -202,6 +250,11 @@ impl Sampler {
 
     /// Always 0.
     pub fn points_for(&self, _metric: &str) -> usize {
+        0
+    }
+
+    /// Always 0.
+    pub fn tenant_points_for(&self, _metric: &str, _tenant: &str) -> usize {
         0
     }
 

@@ -8,6 +8,23 @@ use crate::report::{JobReport, NodeMetrics};
 
 use super::RegistrySnapshot;
 
+/// Escape a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn push_node_fields(out: &mut String, node: &NodeMetrics, indent: &str) {
     out.push_str(&format!(
         "{indent}\"jobs_completed\": {},\n\
@@ -96,6 +113,41 @@ pub fn stats_json(
         ));
     }
     out.push_str("\n  },\n");
+
+    out.push_str("  \"tenants\": [");
+    for (i, t) in snap.tenants.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"tenant\": \"{}\", \"counters\": {{",
+            json_escape(&t.tenant)
+        ));
+        for (j, (name, value)) in t.counters.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (j, (name, value)) in t.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push_str("}, \"histograms\": {");
+        for (j, h) in t.histograms.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.name, h.count, h.sum, h.max, h.p50, h.p95, h.p99
+            ));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  ],\n");
 
     out.push_str("  \"recent_jobs\": [");
     for (i, job) in recent_jobs.iter().enumerate() {
@@ -195,6 +247,71 @@ pub fn stats_prometheus(
             ));
         }
     }
+    // Tenant-labelled families, metric-major: one `# TYPE` per family,
+    // then one `tenant`-labelled sample per tenant, so the conformance
+    // contract (exactly one TYPE line per family) holds no matter how
+    // many tenants are interned.
+    use std::collections::BTreeSet;
+    let counter_names: BTreeSet<&str> = snap
+        .tenants
+        .iter()
+        .flat_map(|t| t.counters.iter().map(|(n, _)| n.as_str()))
+        .collect();
+    for name in counter_names {
+        let base = prom_name(&format!("tenant.{name}"));
+        out.push_str(&format!("# TYPE {base} counter\n"));
+        for t in &snap.tenants {
+            if let Some((_, v)) = t.counters.iter().find(|(n, _)| n == name) {
+                out.push_str(&format!(
+                    "{base}{{tenant=\"{}\"}} {v}\n",
+                    prom_escape_label(&t.tenant)
+                ));
+            }
+        }
+    }
+    let gauge_names: BTreeSet<&str> = snap
+        .tenants
+        .iter()
+        .flat_map(|t| t.gauges.iter().map(|(n, _)| n.as_str()))
+        .collect();
+    for name in gauge_names {
+        let base = prom_name(&format!("tenant.{name}"));
+        out.push_str(&format!("# TYPE {base} gauge\n"));
+        for t in &snap.tenants {
+            if let Some((_, v)) = t.gauges.iter().find(|(n, _)| n == name) {
+                out.push_str(&format!(
+                    "{base}{{tenant=\"{}\"}} {v}\n",
+                    prom_escape_label(&t.tenant)
+                ));
+            }
+        }
+    }
+    let hist_names: BTreeSet<&str> = snap
+        .tenants
+        .iter()
+        .flat_map(|t| t.histograms.iter().map(|h| h.name.as_str()))
+        .collect();
+    for name in hist_names {
+        let base = prom_name(&format!("tenant.{name}"));
+        out.push_str(&format!("# TYPE {base} summary\n"));
+        for t in &snap.tenants {
+            let Some(h) = t.histograms.iter().find(|h| h.name == name) else {
+                continue;
+            };
+            let tenant = prom_escape_label(&t.tenant);
+            out.push_str(&format!(
+                "{base}_count{{tenant=\"{tenant}\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("{base}_sum{{tenant=\"{tenant}\"}} {}\n", h.sum));
+            out.push_str(&format!("{base}_max{{tenant=\"{tenant}\"}} {}\n", h.max));
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                out.push_str(&format!(
+                    "{base}{{tenant=\"{tenant}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -205,6 +322,20 @@ mod tests {
     use std::time::Duration;
 
     fn sample_snapshot() -> RegistrySnapshot {
+        let tenant = |name: &str, rows: u64| super::super::TenantSnapshot {
+            tenant: name.into(),
+            counters: vec![("jobs_started".into(), 3), ("rows_applied".into(), rows)],
+            gauges: vec![("active_jobs".into(), 1)],
+            histograms: vec![HistogramSnapshot {
+                name: "job_us".into(),
+                count: 3,
+                sum: 9000,
+                max: 4000,
+                p50: 3000,
+                p95: 4000,
+                p99: 4000,
+            }],
+        };
         RegistrySnapshot {
             counters: vec![
                 ("gateway.chunks_received".into(), 12),
@@ -220,6 +351,7 @@ mod tests {
                 p95: 85,
                 p99: 90,
             }],
+            tenants: vec![tenant("alice", 400), tenant("bo\"b", 80)],
         }
     }
 
@@ -259,6 +391,10 @@ mod tests {
             "\"upload_retries\": 1",
             "\"cdw_retries\": 2",
             "\"journal\": {\"emitted\": 40, \"retained\": 30, \"dropped\": 10}",
+            "\"tenant\": \"alice\"",
+            "\"tenant\": \"bo\\\"b\"",
+            "\"rows_applied\": 400",
+            "\"job_us\": {\"count\": 3",
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
@@ -277,9 +413,25 @@ mod tests {
             "etlv_journal_events_dropped 10\n",
             "etlv_pipeline_convert_us_count 12\n",
             "etlv_pipeline_convert_us{quantile=\"0.95\"} 85\n",
+            "etlv_tenant_rows_applied{tenant=\"alice\"} 400\n",
+            "etlv_tenant_rows_applied{tenant=\"bo\\\"b\"} 80\n",
+            "etlv_tenant_active_jobs{tenant=\"alice\"} 1\n",
+            "etlv_tenant_job_us_count{tenant=\"alice\"} 3\n",
+            "etlv_tenant_job_us{tenant=\"alice\",quantile=\"0.95\"} 4000\n",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+        // Tenant families are metric-major: one TYPE line even with two
+        // tenants present.
+        assert_eq!(
+            text.matches("# TYPE etlv_tenant_rows_applied counter\n")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE etlv_tenant_job_us summary\n").count(),
+            1
+        );
     }
 
     #[test]

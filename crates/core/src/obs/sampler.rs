@@ -42,6 +42,9 @@ struct Point {
 
 struct Series {
     metric: String,
+    /// `None` for node-global series; `Some(name)` for a per-tenant ring
+    /// discovered dynamically from registry snapshots.
+    tenant: Option<String>,
     kind: SampleKind,
     points: VecDeque<Point>,
 }
@@ -50,6 +53,9 @@ struct SamplerInner {
     epoch: Instant,
     tick: Duration,
     capacity: usize,
+    /// Tenant-block metric names (e.g. `chunks`, `rows_applied`) to track
+    /// per tenant; tenants themselves are discovered at snapshot time.
+    tenant_metrics: Vec<String>,
     series: Mutex<Vec<Series>>,
     stop: AtomicBool,
     thread: Mutex<Option<JoinHandle<()>>>,
@@ -67,23 +73,28 @@ impl Sampler {
     /// Start sampling `metrics` (registry counter/gauge names) every
     /// `tick`, retaining up to `capacity` points per metric. `refresh` is
     /// invoked before each snapshot so gauge-backed values (credit
-    /// occupancy, memory, fault totals) are current.
+    /// occupancy, memory, fault totals) are current. `tenant_metrics`
+    /// names tenant-block metrics sampled per tenant; tenant series are
+    /// created lazily as tenants appear in snapshots.
     pub fn start(
         obs: Arc<Obs>,
         refresh: Box<dyn Fn() + Send + Sync>,
         tick: Duration,
         capacity: usize,
         metrics: Vec<String>,
+        tenant_metrics: Vec<String>,
     ) -> Sampler {
         let inner = Arc::new(SamplerInner {
             epoch: Instant::now(),
             tick,
             capacity: capacity.max(2),
+            tenant_metrics,
             series: Mutex::new(
                 metrics
                     .into_iter()
                     .map(|metric| Series {
                         metric,
+                        tenant: None,
                         // Kind is resolved on first observation; counters
                         // dominate the default set, so start there.
                         kind: SampleKind::Counter,
@@ -118,6 +129,44 @@ impl Sampler {
                             (None, s.kind)
                         };
                         if let Some(value) = value {
+                            s.kind = kind;
+                            if s.points.len() == inner.capacity {
+                                s.points.pop_front();
+                            }
+                            s.points.push_back(Point {
+                                t_micros: now,
+                                value,
+                            });
+                        }
+                    }
+                    // Tenant series: discovered from the snapshot so a
+                    // tenant interned after start() still gets rings.
+                    for t in &snap.tenants {
+                        for metric in &inner.tenant_metrics {
+                            let (value, kind) = if let Some((_, v)) =
+                                t.counters.iter().find(|(n, _)| n == metric)
+                            {
+                                (*v, SampleKind::Counter)
+                            } else if let Some((_, v)) = t.gauges.iter().find(|(n, _)| n == metric)
+                            {
+                                (*v, SampleKind::Gauge)
+                            } else {
+                                continue;
+                            };
+                            let s = match series.iter_mut().find(|s| {
+                                s.metric == *metric && s.tenant.as_deref() == Some(&t.tenant)
+                            }) {
+                                Some(s) => s,
+                                None => {
+                                    series.push(Series {
+                                        metric: metric.clone(),
+                                        tenant: Some(t.tenant.clone()),
+                                        kind,
+                                        points: VecDeque::new(),
+                                    });
+                                    series.last_mut().expect("just pushed")
+                                }
+                            };
                             s.kind = kind;
                             if s.points.len() == inner.capacity {
                                 s.points.pop_front();
@@ -165,8 +214,12 @@ impl Sampler {
         ));
         for (i, s) in series.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let tenant = match &s.tenant {
+                Some(t) => format!("\"tenant\": \"{}\", ", super::render::json_escape(t)),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  {{\"metric\": \"{}\", \"kind\": \"{}\", \"points\": [",
+                "  {{\"metric\": \"{}\", {tenant}\"kind\": \"{}\", \"points\": [",
                 s.metric,
                 match s.kind {
                     SampleKind::Counter => "counter",
@@ -195,13 +248,25 @@ impl Sampler {
         out
     }
 
-    /// Number of points currently held for `metric` (0 if unknown).
+    /// Number of points currently held for the node-global `metric`
+    /// (0 if unknown).
     pub fn points_for(&self, metric: &str) -> usize {
         self.inner
             .series
             .lock()
             .iter()
-            .find(|s| s.metric == metric)
+            .find(|s| s.metric == metric && s.tenant.is_none())
+            .map_or(0, |s| s.points.len())
+    }
+
+    /// Number of points currently held for `metric` under `tenant`
+    /// (0 if that series does not exist).
+    pub fn tenant_points_for(&self, metric: &str, tenant: &str) -> usize {
+        self.inner
+            .series
+            .lock()
+            .iter()
+            .find(|s| s.metric == metric && s.tenant.as_deref() == Some(tenant))
             .map_or(0, |s| s.points.len())
     }
 }
@@ -232,6 +297,7 @@ mod tests {
                 "credit.in_flight".to_string(),
                 "no.such.metric".to_string(),
             ],
+            Vec::new(),
         );
         for i in 0..10 {
             obs.pipeline.convert_rows.add(100 + i);
@@ -260,6 +326,78 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_and_points_for_saturates_at_capacity() {
+        let obs = Arc::new(Obs::new(64, None));
+        let sampler = Sampler::start(
+            Arc::clone(&obs),
+            Box::new(|| {}),
+            Duration::from_millis(2),
+            3,
+            vec!["pipeline.convert_rows".to_string()],
+            Vec::new(),
+        );
+        // Run for many more ticks than the ring holds so it wraps several
+        // times over.
+        for i in 0..30 {
+            obs.pipeline.convert_rows.add(i);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        assert_eq!(
+            sampler.points_for("pipeline.convert_rows"),
+            3,
+            "after overflow the ring reports exactly its capacity"
+        );
+        // The retained window is the *newest* points: the oldest surviving
+        // value must already reflect growth past the first few samples.
+        let json = sampler.series_json();
+        assert!(
+            !json.contains("\"value\": 0,"),
+            "oldest points fell off: {json}"
+        );
+    }
+
+    #[test]
+    fn tenant_series_are_discovered_and_bounded() {
+        let obs = Arc::new(Obs::new(64, None));
+        let sampler = Sampler::start(
+            Arc::clone(&obs),
+            Box::new(|| {}),
+            Duration::from_millis(2),
+            4,
+            Vec::new(),
+            vec!["rows_applied".to_string(), "active_jobs".to_string()],
+        );
+        // Tenant interned *after* the sampler starts: discovered from the
+        // snapshot on the next tick.
+        let t = obs.registry.tenant("alice");
+        for i in 0..20 {
+            t.rows_applied.add(10 + i);
+            t.active_jobs.set(2);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        let n = sampler.tenant_points_for("rows_applied", "alice");
+        assert!((2..=4).contains(&n), "bounded tenant ring, got {n}");
+        assert_eq!(sampler.tenant_points_for("rows_applied", "bob"), 0);
+        assert_eq!(sampler.points_for("rows_applied"), 0, "tenant-only series");
+
+        let json = sampler.series_json();
+        assert!(
+            json.contains(
+                "\"metric\": \"rows_applied\", \"tenant\": \"alice\", \"kind\": \"counter\""
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"metric\": \"active_jobs\", \"tenant\": \"alice\", \"kind\": \"gauge\""
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
     fn stop_is_idempotent_and_fast() {
         let obs = Arc::new(Obs::new(16, None));
         let sampler = Sampler::start(
@@ -268,6 +406,7 @@ mod tests {
             Duration::from_secs(3600),
             8,
             vec!["gateway.chunks_received".to_string()],
+            Vec::new(),
         );
         let t0 = Instant::now();
         sampler.stop();

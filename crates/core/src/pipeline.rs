@@ -35,7 +35,7 @@ use crate::convert::{AcqError, ConvertScratch, DataConverter};
 use crate::credit::Credit;
 use crate::fault::{retry_with, FaultInjector, RetryPolicy};
 use crate::memory::MemGuard;
-use crate::obs::{Obs, SpanIds};
+use crate::obs::{Obs, SpanIds, TenantObs};
 use crate::pool::BufferPool;
 
 /// A raw chunk travelling from a session handler into the pipeline. The
@@ -59,6 +59,10 @@ struct Converted {
     rows: u32,
     credit: Credit,
     memory: MemGuard,
+    /// The raw wire size of the source chunk — what the tenant's
+    /// `memory_held` gauge was incremented by at admission, so retirement
+    /// can decrement the same amount after the reservation shrank.
+    raw_len: u64,
 }
 
 /// Final accounting for a drained pipeline.
@@ -87,6 +91,9 @@ pub struct PipelineReport {
 struct JobRt {
     job: u64,
     ids: SpanIds,
+    /// The owning session's tenant metric block: stage latencies land
+    /// here, and the held-resource gauges are decremented on retirement.
+    tenant: Arc<TenantObs>,
     converter: DataConverter,
     loader: Arc<BulkLoader>,
     prefix: String,
@@ -157,7 +164,12 @@ struct RtShared {
 
 impl RtShared {
     /// Mark one chunk of `job` fully processed and wake its drain waiter.
-    fn retire(&self, job: &JobRt) {
+    /// `raw_bytes` is the chunk's original wire size; every retirement
+    /// path — staged, failed, discarded — releases the tenant's
+    /// held-resource gauges by exactly what admission charged.
+    fn retire(&self, job: &JobRt, raw_bytes: u64) {
+        job.tenant.credit_held.sub(1);
+        job.tenant.memory_held.sub(raw_bytes);
         let _guard = job.done_lock.lock();
         job.retired.fetch_add(1, Ordering::Release);
         job.done.notify_all();
@@ -223,9 +235,10 @@ impl RtShared {
             }
         };
         if let Some(conv) = discard {
+            let raw_len = conv.raw_len;
             self.buffers.put(conv.bytes);
             // credit + memory release via guard drops.
-            self.retire(job);
+            self.retire(job, raw_len);
         }
     }
 }
@@ -306,6 +319,7 @@ impl WorkerRuntime {
     /// handle. `prefix` is the object-key prefix staged files upload
     /// under (e.g. `job42/`); `job` is the load token stamped on every
     /// journal event; `ids` is the job's root span.
+    #[allow(clippy::too_many_arguments)]
     pub fn begin_job(
         &self,
         converter: DataConverter,
@@ -314,10 +328,12 @@ impl WorkerRuntime {
         job: u64,
         ids: SpanIds,
         drain_timeout: Duration,
+        tenant: Arc<TenantObs>,
     ) -> Pipeline {
         let job_rt = Arc::new(JobRt {
             job,
             ids,
+            tenant,
             converter,
             loader,
             prefix,
@@ -446,10 +462,18 @@ impl Pipeline {
         obs: Arc<Obs>,
         job: u64,
         ids: SpanIds,
+        tenant: Arc<TenantObs>,
     ) -> Pipeline {
         let runtime = WorkerRuntime::start(config, obs, injector);
-        let mut pipeline =
-            runtime.begin_job(converter, loader, prefix, job, ids, config.drain_timeout);
+        let mut pipeline = runtime.begin_job(
+            converter,
+            loader,
+            prefix,
+            job,
+            ids,
+            config.drain_timeout,
+            tenant,
+        );
         pipeline.own = Some(runtime);
         pipeline
     }
@@ -474,21 +498,28 @@ impl Pipeline {
     fn mark_aborted(&self) {
         let mut discarded: Vec<Converted> = Vec::new();
         let mut retired = 0u64;
+        let mut raw_bytes = 0u64;
         {
             let _state = self.shared.state.lock();
             self.job.closed.store(true, Ordering::Relaxed);
             self.job.aborted.store(true, Ordering::Relaxed);
             while let Some(chunk) = self.job.chunks.lock().pop_front() {
+                raw_bytes += chunk.data.len() as u64;
                 drop(chunk); // credit + memory release
                 retired += 1;
             }
             while let Some(conv) = self.job.converted.lock().pop_front() {
+                raw_bytes += conv.raw_len;
                 discarded.push(conv);
                 retired += 1;
             }
         }
         for conv in discarded {
             self.shared.buffers.put(conv.bytes);
+        }
+        if retired > 0 {
+            self.job.tenant.credit_held.sub(retired);
+            self.job.tenant.memory_held.sub(raw_bytes);
         }
         if retired > 0 {
             let _guard = self.job.done_lock.lock();
@@ -581,15 +612,17 @@ impl Pipeline {
 /// Convert one chunk on a runtime worker: the queue-wait span, the
 /// (possibly fault-injected) conversion, and hand-off to the writers.
 fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut ConvertScratch) {
+    let raw_len = chunk.data.len() as u64;
     if job.aborted.load(Ordering::Relaxed) {
         // Guards release when the chunk drops.
-        shared.retire(job);
+        shared.retire(job, raw_len);
         return;
     }
     let obs = &shared.obs;
     // How long the chunk sat on the job queue before a worker picked it
     // up — the trace's queue_wait stage.
     let queue_wait = chunk.enqueued.elapsed();
+    job.tenant.queue_wait_us.record_duration(queue_wait);
     obs.journal.emit_span(
         "chunk.queue",
         job.ids.child(obs.journal.next_span_id()),
@@ -617,7 +650,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
         ));
         // Dropping the chunk releases its credit and memory reservation —
         // the guards, not the happy path, own the cleanup.
-        shared.retire(job);
+        shared.retire(job, raw_len);
         return;
     }
     let mut out = shared.buffers.take();
@@ -642,7 +675,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
                 .lock()
                 .push(format!("converter worker panicked: {what}"));
             shared.buffers.put(out);
-            shared.retire(job);
+            shared.retire(job, raw_len);
             return;
         }
     };
@@ -655,6 +688,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
             obs.pipeline.convert_rows.add(rows as u64);
             obs.pipeline.convert_bytes.add(out.len() as u64);
             obs.pipeline.convert_us.record_duration(elapsed);
+            job.tenant.convert_us.record_duration(elapsed);
             obs.journal.emit_span(
                 "chunk.convert",
                 job.ids.child(obs.journal.next_span_id()),
@@ -673,6 +707,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
                     rows,
                     credit: chunk.credit,
                     memory,
+                    raw_len,
                 },
             );
         }
@@ -680,7 +715,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
             obs.pipeline.convert_errors.inc();
             job.fatal.lock().push(e.to_string());
             shared.buffers.put(out);
-            shared.retire(job);
+            shared.retire(job, raw_len);
             // Credit and memory release on drop.
         }
     }
@@ -694,12 +729,13 @@ fn write_work(shared: &RtShared, job: &JobRt, conv: Converted) {
         rows,
         credit,
         memory,
+        raw_len,
     } = conv;
     if job.aborted.load(Ordering::Relaxed) {
         drop(credit);
         shared.buffers.put(staged);
         drop(memory);
-        shared.retire(job);
+        shared.retire(job, raw_len);
         return;
     }
     // Figure 4: the credit returns to the pool just before the data is
@@ -741,7 +777,7 @@ fn write_work(shared: &RtShared, job: &JobRt, conv: Converted) {
         );
         upload_part(shared, job, data, part);
     }
-    shared.retire(job);
+    shared.retire(job, raw_len);
 }
 
 /// Upload one finalized staging part. Each part gets `retry_budget`
@@ -763,6 +799,7 @@ fn upload_part(shared: &RtShared, job: &JobRt, file: Vec<u8>, part: u32) {
     );
     let elapsed = upload_started.elapsed();
     obs.pipeline.upload_us.record_duration(elapsed);
+    job.tenant.upload_us.record_duration(elapsed);
     if retries > 0 {
         obs.pipeline.upload_retries.add(retries);
         obs.journal.emit_span(
@@ -817,6 +854,10 @@ mod tests {
             .field("B", T::VarChar(10))
     }
 
+    fn test_tenant() -> Arc<TenantObs> {
+        Obs::default().registry.tenant("t")
+    }
+
     fn loader_for(config: &VirtualizerConfig, store: Arc<MemStore>) -> Arc<BulkLoader> {
         Arc::new(BulkLoader::new(
             store as Arc<dyn ObjectStore>,
@@ -845,6 +886,7 @@ mod tests {
             Arc::new(Obs::default()),
             1,
             SpanIds::default(),
+            test_tenant(),
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(config.memory_cap);
@@ -966,6 +1008,7 @@ mod tests {
             Arc::new(Obs::default()),
             1,
             SpanIds::default(),
+            test_tenant(),
         );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
@@ -1025,6 +1068,7 @@ mod tests {
             Arc::new(Obs::default()),
             1,
             SpanIds::default(),
+            test_tenant(),
         );
         let credits = CreditManager::new(config.credits);
         let memory = MemoryGauge::new(0);
@@ -1078,6 +1122,7 @@ mod tests {
             Arc::new(Obs::default()),
             1,
             SpanIds::default(),
+            test_tenant(),
         );
         let credits = CreditManager::new(4);
         let memory = MemoryGauge::new(0);
@@ -1143,6 +1188,7 @@ mod tests {
                 j + 1,
                 SpanIds::default(),
                 config.drain_timeout,
+                test_tenant(),
             ));
         }
         assert_eq!(runtime.active_jobs(), 6);
@@ -1203,6 +1249,7 @@ mod tests {
             Arc::new(Obs::default()),
             1,
             SpanIds::default(),
+            test_tenant(),
         );
         let credits = CreditManager::new(16);
         let memory = MemoryGauge::new(0);

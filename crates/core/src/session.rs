@@ -19,11 +19,14 @@ use std::time::{Duration, Instant};
 
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::frame::Frame;
-use etlv_protocol::message::{Message, SessionRole, StatsFormat, StatsReply, TraceReply};
+use etlv_protocol::message::{
+    HealthReply, Message, SessionRole, StatsFormat, StatsReply, TraceReply,
+};
 use etlv_protocol::transport::{RecvOutcome, Transport};
 use parking_lot::Mutex;
 
 use crate::gateway::{error_msg, Virtualizer};
+use crate::obs::TenantObs;
 
 /// How often a polling serve loop wakes to check the stop flag and the
 /// idle clock. Only sessions that need polling (a server stop flag or a
@@ -37,6 +40,9 @@ pub(crate) struct SessionEntry {
     /// Tokens of jobs this session opened and has not yet completed.
     /// Whatever is still here at teardown gets aborted.
     pub(crate) jobs: Mutex<Vec<u64>>,
+    /// The tenant metric block interned from the logon username — every
+    /// job this session opens charges its counts here.
+    pub(crate) tenant: Arc<TenantObs>,
 }
 
 /// The node-wide active-session table.
@@ -112,6 +118,11 @@ pub(crate) fn serve_session(
                             return Ok(());
                         }
                         if !idle_timeout.is_zero() && last_activity.elapsed() >= idle_timeout {
+                            // An idle-timeout close is the *tenant's*
+                            // availability problem, not just the node's.
+                            if let Some(s) = &session {
+                                s.tenant.idle_timeouts.inc();
+                            }
                             let reply =
                                 error_msg(ErrCode::IDLE_TIMEOUT, "session idle timeout", true);
                             let _ = transport.send(&reply.into_frame(session_id, seq));
@@ -146,13 +157,18 @@ pub(crate) fn serve_session(
                         error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true)
                     } else {
                         let id = node.next_session.fetch_add(1, Ordering::Relaxed);
+                        // The logon username *is* the tenant identity:
+                        // one interned metric block per distinct user.
+                        let tenant = node.obs.registry.tenant(&logon.username);
                         let entry = Arc::new(SessionEntry {
                             id,
                             role: logon.role,
                             jobs: Mutex::new(Vec::new()),
+                            tenant,
                         });
                         if !node.registry.register(Arc::clone(&entry)) {
                             node.obs.gateway.admission_rejections.inc();
+                            entry.tenant.admission_rejections.inc();
                             error_msg(
                                 ErrCode::SERVER_BUSY,
                                 format!(
@@ -186,7 +202,7 @@ pub(crate) fn serve_session(
                     }
                 }
                 Message::Sql { text } => v.handle_sql(&text),
-                Message::BeginLoad(spec) => v.handle_begin_load(spec),
+                Message::BeginLoad(spec) => v.handle_begin_load(spec, session_tenant(v, &session)),
                 Message::DataChunk(chunk) => {
                     if role != SessionRole::Data {
                         error_msg(ErrCode::PROTOCOL, "data chunk on a control session", true)
@@ -195,7 +211,9 @@ pub(crate) fn serve_session(
                     }
                 }
                 Message::EndLoad(end) => v.handle_end_load(job_token, &end.dml),
-                Message::BeginExport(spec) => v.handle_begin_export(spec),
+                Message::BeginExport(spec) => {
+                    v.handle_begin_export(spec, session_tenant(v, &session))
+                }
                 Message::ExportChunkReq { index } => v.handle_export_req(job_token, index),
                 Message::StatsReq { format } => {
                     let body = match format {
@@ -204,6 +222,15 @@ pub(crate) fn serve_session(
                         StatsFormat::Series => v.sampler_json(),
                     };
                     Message::StatsReply(StatsReply { format, body })
+                }
+                Message::HealthReq { format } => {
+                    let body = match format {
+                        StatsFormat::Prometheus => v.health_prometheus(),
+                        // Series has no health rendering; JSON is the
+                        // universal fallback.
+                        StatsFormat::Json | StatsFormat::Series => v.health_json(),
+                    };
+                    Message::HealthReply(HealthReply { format, body })
                 }
                 Message::TraceReq { job } => {
                     let body = v.trace_json(job);
@@ -260,6 +287,16 @@ pub(crate) fn serve_session(
     result
 }
 
+/// The tenant a request charges to: the logged-on session's interned
+/// block, or the shared `~anonymous` block for pre-logon requests
+/// (directly-served test transports mostly).
+fn session_tenant(v: &Virtualizer, session: &Option<Arc<SessionEntry>>) -> Arc<TenantObs> {
+    match session {
+        Some(s) => Arc::clone(&s.tenant),
+        None => v.node.obs.registry.tenant("~anonymous"),
+    }
+}
+
 /// Tear a session down: abort every job it still owns (releasing the
 /// jobs' credits, memory, and staging residue), deregister it, and keep
 /// the session gauges truthful. `clean` distinguishes an explicit logoff
@@ -295,6 +332,7 @@ mod tests {
             id,
             role: SessionRole::Control,
             jobs: Mutex::new(Vec::new()),
+            tenant: crate::obs::Obs::default().registry.tenant("t"),
         })
     }
 

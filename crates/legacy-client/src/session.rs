@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use etlv_protocol::message::{
-    Logon, Message, SessionRole, SqlResult, StatsFormat, StatsReply, TraceReply,
+    HealthReply, Logon, Message, SessionRole, SqlResult, StatsFormat, StatsReply, TraceReply,
 };
 use etlv_protocol::trace::TraceContext;
 use etlv_protocol::transport::Transport;
@@ -150,6 +150,15 @@ impl Session {
         match self.request(Message::StatsReq { format })? {
             Message::StatsReply(reply) => Ok(reply),
             other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// Request the node's SLO/overload health report: per-tenant burn
+    /// rates, active alerts, and node saturation (JSON or Prometheus).
+    pub fn health(&mut self, format: StatsFormat) -> Result<HealthReply, ClientError> {
+        match self.request(Message::HealthReq { format })? {
+            Message::HealthReply(reply) => Ok(reply),
+            other => Err(unexpected("HealthReply", &other)),
         }
     }
 

@@ -78,6 +78,10 @@ pub enum MsgKind {
     TraceReq = 21,
     /// Trace response (span tree + attribution as JSON).
     TraceReply = 22,
+    /// Request the node's SLO/overload health report (control sessions).
+    HealthReq = 23,
+    /// Health report response.
+    HealthReply = 24,
 }
 
 impl MsgKind {
@@ -106,6 +110,8 @@ impl MsgKind {
             20 => MsgKind::StatsReply,
             21 => MsgKind::TraceReq,
             22 => MsgKind::TraceReply,
+            23 => MsgKind::HealthReq,
+            24 => MsgKind::HealthReply,
             _ => return None,
         })
     }
@@ -382,11 +388,11 @@ mod tests {
 
     #[test]
     fn kind_byte_roundtrip() {
-        for k in 1..=22u8 {
+        for k in 1..=24u8 {
             let kind = MsgKind::from_u8(k).unwrap();
             assert_eq!(kind as u8, k);
         }
         assert_eq!(MsgKind::from_u8(0), None);
-        assert_eq!(MsgKind::from_u8(23), None);
+        assert_eq!(MsgKind::from_u8(25), None);
     }
 }

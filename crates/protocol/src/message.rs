@@ -257,6 +257,17 @@ pub struct StatsReply {
     pub body: String,
 }
 
+/// The node's SLO/overload health report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReply {
+    /// The format `body` is rendered in (JSON or Prometheus; a `Series`
+    /// request is answered in JSON).
+    pub format: StatsFormat,
+    /// The rendered health document: per-tenant burn rates, active
+    /// alerts, and node overload state.
+    pub body: String,
+}
+
 /// A job's causal trace rendered as a span tree with critical-path
 /// attribution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -345,6 +356,13 @@ pub enum Message {
     },
     /// Trace response.
     TraceReply(TraceReply),
+    /// Request the node's SLO/overload health report (control sessions).
+    HealthReq {
+        /// Rendering requested for the report body.
+        format: StatsFormat,
+    },
+    /// Health report response.
+    HealthReply(HealthReply),
 }
 
 impl Message {
@@ -373,6 +391,8 @@ impl Message {
             Message::StatsReply(_) => MsgKind::StatsReply,
             Message::TraceReq { .. } => MsgKind::TraceReq,
             Message::TraceReply(_) => MsgKind::TraceReply,
+            Message::HealthReq { .. } => MsgKind::HealthReq,
+            Message::HealthReply(_) => MsgKind::HealthReply,
         }
     }
 
@@ -480,6 +500,11 @@ impl Message {
             Message::TraceReply(m) => {
                 buf.put_u64_le(m.job);
                 buf.put_u8(m.found as u8);
+                write_lstring(buf, &m.body);
+            }
+            Message::HealthReq { format } => format.encode(buf),
+            Message::HealthReply(m) => {
+                m.format.encode(buf);
                 write_lstring(buf, &m.body);
             }
             Message::Logoff | Message::LogoffOk | Message::Keepalive => {}
@@ -731,6 +756,14 @@ impl Message {
                 let found = buf.get_u8() != 0;
                 let body = read_lstring(buf)?;
                 Message::TraceReply(TraceReply { job, found, body })
+            }
+            MsgKind::HealthReq => Message::HealthReq {
+                format: StatsFormat::decode(buf)?,
+            },
+            MsgKind::HealthReply => {
+                let format = StatsFormat::decode(buf)?;
+                let body = read_lstring(buf)?;
+                Message::HealthReply(HealthReply { format, body })
             }
         })
     }
@@ -1071,6 +1104,28 @@ mod tests {
             Message::StatsReq {
                 format: StatsFormat::Series,
             },
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn health_roundtrip() {
+        for msg in [
+            Message::HealthReq {
+                format: StatsFormat::Json,
+            },
+            Message::HealthReq {
+                format: StatsFormat::Prometheus,
+            },
+            Message::HealthReply(HealthReply {
+                format: StatsFormat::Json,
+                body: "{\"enabled\": true, \"overload\": {\"overloaded\": false}}".into(),
+            }),
+            Message::HealthReply(HealthReply {
+                format: StatsFormat::Prometheus,
+                body: "etlv_slo_alert{tenant=\"wg_t00\",objective=\"error_rate\"} 1\n".into(),
+            }),
         ] {
             assert_eq!(roundtrip(msg.clone()), msg);
         }

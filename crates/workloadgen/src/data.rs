@@ -18,6 +18,13 @@ pub fn table_name(tenant: u16, rank: u16) -> String {
     format!("WG_T{tenant:02}_TAB{rank:02}")
 }
 
+/// Canonical logon username for a tenant. Replay logs every job on under
+/// its tenant's user so the server's per-tenant observability (dimensional
+/// metrics, SLO burn rates) attributes the work to the right tenant.
+pub fn tenant_user(tenant: u16) -> String {
+    format!("wg_t{tenant:02}")
+}
+
 /// Generated import-file bytes plus the error ground truth that is
 /// *guaranteed* to match them.
 #[derive(Debug, Clone)]
@@ -56,9 +63,10 @@ impl ImportSpec {
     /// The legacy import script for this job.
     pub fn script(&self) -> String {
         let table = &self.table;
+        let user = &self.user;
         let width = payload_width(self.row_bytes);
         format!(
-            ".logon edw/wg,secret;\n\
+            ".logon edw/{user},secret;\n\
              .sessions {sessions};\n\
              .layout WgLayout;\n\
              .field K varchar(16);\n\
@@ -150,10 +158,11 @@ impl ImportSpec {
     }
 }
 
-/// The legacy export script selecting a table back out.
-pub fn export_script(table: &str) -> String {
+/// The legacy export script selecting a table back out, logged on as
+/// `user` so the export is attributed to its tenant.
+pub fn export_script(table: &str, user: &str) -> String {
     format!(
-        ".logon edw/wg,secret;\n\
+        ".logon edw/{user},secret;\n\
          .begin export sessions 2;\n\
          .export outfile out format vartext '|';\n\
          SELECT K, P FROM {table};\n\
@@ -168,6 +177,7 @@ mod tests {
     fn spec() -> ImportSpec {
         ImportSpec {
             table: table_name(3, 1),
+            user: tenant_user(3),
             rows: 400,
             row_bytes: 80,
             date_error_ppm: 100_000,

@@ -12,7 +12,7 @@
 
 use etlv_protocol::rng::{splitmix64, SeededRng};
 
-use crate::data::table_name;
+use crate::data::{table_name, tenant_user};
 use crate::dist::{arrival_times, Zipf};
 use crate::scenario::Scenario;
 
@@ -22,6 +22,12 @@ use crate::scenario::Scenario;
 pub struct ImportSpec {
     /// Fully qualified (namespaced) target table.
     pub table: String,
+    /// Logon username the replay uses for this job — the tenant's
+    /// identity on the wire, so server-side per-tenant metrics attribute
+    /// the job correctly. Derived from the tenant id, so it is excluded
+    /// from [`WorkloadTrace::fingerprint`] (pinned fingerprints predate
+    /// it).
+    pub user: String,
     /// Records in the generated input file.
     pub rows: u32,
     /// Approximate bytes per record.
@@ -189,6 +195,7 @@ pub fn synthesize(scenario: &Scenario) -> WorkloadTrace {
         let kind = if mix < scenario.import_pct {
             let mut spec = ImportSpec {
                 table,
+                user: tenant_user(tenant),
                 rows,
                 row_bytes: scenario.row_bytes,
                 date_error_ppm: scenario.date_error_ppm,

@@ -52,7 +52,7 @@ pub mod replay;
 pub mod scenario;
 pub mod slo;
 
-pub use data::{table_name, ImportPayload};
+pub use data::{table_name, tenant_user, ImportPayload};
 pub use gen::{synthesize, ImportSpec, JobKind, TraceEvent, WorkloadTrace};
 pub use replay::{replay, JobStatus, OutcomeCounts, ReplayOptions, ReplayReport};
 pub use scenario::{ArrivalKind, Scenario};

@@ -19,7 +19,7 @@ use etlv_legacy_client::{ClientError, ClientOptions, Connect, RetryPolicy, Sessi
 use etlv_protocol::message::SessionRole;
 use etlv_script::{compile, parse_script, JobPlan};
 
-use crate::data::{export_script, target_ddl};
+use crate::data::{export_script, target_ddl, tenant_user};
 use crate::gen::{JobKind, TraceEvent, WorkloadTrace};
 use crate::slo::{percentile, SloSummary};
 
@@ -238,7 +238,8 @@ fn run_event(
             ))
         }
         JobKind::Export { table } => {
-            let job = match compile(&parse_script(&export_script(table)).expect("export parses"))
+            let script = export_script(table, &tenant_user(event.tenant));
+            let job = match compile(&parse_script(&script).expect("export parses"))
                 .expect("export compiles")
             {
                 JobPlan::Export(job) => job,
@@ -248,8 +249,9 @@ fn run_event(
             Ok((result.rows, 0, 0, 0, result.admission_retries))
         }
         JobKind::Sql { table } => {
+            let user = tenant_user(event.tenant);
             let mut session =
-                Session::logon(connector.as_ref(), "wg", "secret", SessionRole::Control, 0)?;
+                Session::logon(connector.as_ref(), &user, "secret", SessionRole::Control, 0)?;
             let result = session.sql(&format!("SEL COUNT(*) FROM {table}"))?;
             session.logoff();
             Ok((result.activity_count, 0, 0, 0, 0))

@@ -13,6 +13,13 @@
 //! ```text
 //! cargo run --example obs_dump -- --trace 1
 //! ```
+//!
+//! With `--tenants` the example prints the per-tenant dimensional
+//! metrics instead (the tenant-labeled Prometheus families plus the
+//! `tenants` section of the JSON snapshot); with `--slo` it prints the
+//! SLO/overload health report — burn rates, active alerts, node
+//! saturation — both directly and fetched over the wire with the
+//! `Health` request. The two flags compose.
 
 use std::io;
 use std::sync::Arc;
@@ -64,6 +71,8 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|at| args.get(at + 1))
         .map(|j| j.parse().expect("--trace takes a numeric job token"));
+    let show_tenants = args.iter().any(|a| a == "--tenants");
+    let show_slo = args.iter().any(|a| a == "--slo");
 
     let v = Virtualizer::new(VirtualizerConfig {
         file_size_threshold: 4096, // several staged files for this data size
@@ -152,6 +161,42 @@ fn main() {
             reply.body.len()
         );
         session.logoff();
+        return;
+    }
+
+    if show_tenants || show_slo {
+        if show_tenants {
+            // The load above logged on as "user" (the script's .logon),
+            // so its work shows up under that tenant label.
+            println!("\n== per-tenant metrics (tenant-labeled Prometheus families) ==");
+            for line in v
+                .stats_prometheus()
+                .lines()
+                .filter(|l| l.contains("etlv_tenant_"))
+            {
+                println!("{line}");
+            }
+        }
+        if show_slo {
+            println!("\n== SLO / overload health report (JSON) ==");
+            println!("{}", v.health_json());
+
+            // The same report over the wire: a control session's Health
+            // request, in both renderings.
+            let client = LegacyEtlClient::new(connector(&v));
+            let mut session = etlv_legacy_client::Session::logon(
+                client.connector().as_ref(),
+                "admin",
+                "pw",
+                SessionRole::Control,
+                0,
+            )
+            .unwrap();
+            let reply = session.health(StatsFormat::Prometheus).unwrap();
+            println!("== Health over the legacy wire protocol (Prometheus) ==");
+            print!("{}", reply.body);
+            session.logoff();
+        }
         return;
     }
 

@@ -482,3 +482,74 @@ fn session_lifecycle_metrics_are_symmetric_and_rendered() {
         assert!(prom.contains(&format!("\n{metric} ")), "{metric} sample");
     }
 }
+
+/// The PR 8 attribution fix: a `SERVER_BUSY` logon rejection and an
+/// idle-timeout close are the *tenant's* problem, not just the node's —
+/// both must land on the offending tenant's counters (and from there
+/// feed its availability SLO), under the right labels on the wire.
+#[test]
+fn rejections_and_idle_timeouts_attributed_to_their_tenant() {
+    use etlv_legacy_client::{ClientError, Session};
+
+    let v = customer_virtualizer(VirtualizerConfig {
+        max_sessions: 1,
+        session_idle_timeout: std::time::Duration::from_millis(40),
+        ..Default::default()
+    });
+    let connector = mem_connector(&v);
+
+    // "holder" fills the one-slot registry; "noisy" is turned away.
+    let holder = Session::logon(connector.as_ref(), "holder", "pw", SessionRole::Control, 0)
+        .expect("first session fits");
+    let refused = Session::logon(connector.as_ref(), "noisy", "pw", SessionRole::Control, 0);
+    match refused {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, etlv_protocol::errcode::ErrCode::SERVER_BUSY.0)
+        }
+        Err(other) => panic!("expected SERVER_BUSY, got {other:?}"),
+        Ok(_) => panic!("second logon must be refused"),
+    }
+
+    // "holder" now sits idle past the timeout; the serve loop closes it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while v.active_sessions() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle session not reaped"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    drop(holder);
+
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    let registry = &v.obs().registry;
+    assert_eq!(
+        registry.tenant("noisy").admission_rejections.value(),
+        1,
+        "rejection charged to the refused tenant"
+    );
+    assert_eq!(registry.tenant("holder").admission_rejections.value(), 0);
+    assert_eq!(
+        registry.tenant("holder").idle_timeouts.value(),
+        1,
+        "idle close charged to the idling tenant"
+    );
+    assert_eq!(registry.tenant("noisy").idle_timeouts.value(), 0);
+    assert_eq!(
+        v.obs().gateway.admission_rejections.value(),
+        1,
+        "node total"
+    );
+
+    let prom = v.stats_prometheus();
+    assert!(
+        prom.contains("etlv_tenant_admission_rejections{tenant=\"noisy\"} 1\n"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("etlv_tenant_idle_timeouts{tenant=\"holder\"} 1\n"),
+        "{prom}"
+    );
+}
