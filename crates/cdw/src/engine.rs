@@ -38,6 +38,15 @@ pub type ExecObserver = Arc<dyn Fn(ExecOp, Duration, bool) + Send + Sync>;
 /// Installed by the virtualizer to feed its metrics registry.
 pub type PlanObserver = Arc<dyn Fn(&PlanStats) + Send + Sync>;
 
+/// Lock-contention observation callback: `(site, wait, contended)` per
+/// acquisition of the catalog map or a per-table lock on the DML and
+/// batch-ingest paths. Sites are `"cdw.catalog"` and
+/// `"cdw.table/<canonical name>"`. An uncontended acquisition reports
+/// `(site, ZERO, false)`; a blocked one reports how long it waited.
+/// Installed by the virtualizer to feed its lock-site profiles; this
+/// crate carries no metrics machinery of its own.
+pub type LockObserver = Arc<dyn Fn(&str, Duration, bool) + Send + Sync>;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct CdwConfig {
@@ -81,6 +90,7 @@ struct Inner {
     transient_fault: Mutex<Option<TransientFaultHook>>,
     exec_observer: Mutex<Option<ExecObserver>>,
     plan_observer: Mutex<Option<PlanObserver>>,
+    lock_observer: Mutex<Option<LockObserver>>,
     plan_totals: Mutex<PlanStats>,
 }
 
@@ -100,6 +110,7 @@ impl Cdw {
                 transient_fault: Mutex::new(None),
                 exec_observer: Mutex::new(None),
                 plan_observer: Mutex::new(None),
+                lock_observer: Mutex::new(None),
                 plan_totals: Mutex::new(PlanStats::default()),
             }),
         }
@@ -142,6 +153,14 @@ impl Cdw {
     /// DML statement and batch.
     pub fn set_plan_observer(&self, observer: Option<PlanObserver>) {
         *self.inner.plan_observer.lock() = observer;
+    }
+
+    /// Install (or clear) a lock observer. Shared across all clones of
+    /// this warehouse handle. The observer sees every catalog-map and
+    /// per-table lock acquisition on the DML and batch-ingest paths with
+    /// its wait time and whether it had to block.
+    pub fn set_lock_observer(&self, observer: Option<LockObserver>) {
+        *self.inner.lock_observer.lock() = observer;
     }
 
     /// Cumulative access-path counters since the engine was created.
@@ -229,12 +248,13 @@ impl Cdw {
     /// the executor, and record its access-path counters.
     fn run_dml(&self, stmt: &Stmt) -> Result<QueryResult, CdwError> {
         let specs = stmt_tables(stmt);
+        let lock_obs = self.inner.lock_observer.lock().clone();
         // Clone the per-table lock handles out while holding only the
         // catalog map's read lock; names that don't resolve are simply
         // skipped so execution raises TableNotFound at the same place the
         // old single-lock catalog lookup would have.
         let handles: Vec<(String, bool, Arc<RwLock<Table>>)> = {
-            let catalog = self.inner.catalog.read();
+            let catalog = read_observed(&self.inner.catalog, "cdw.catalog", lock_obs.as_ref());
             specs
                 .iter()
                 .filter_map(|(name, write)| {
@@ -244,10 +264,18 @@ impl Cdw {
         };
         let mut tables = TableSet::new();
         for (name, write, handle) in &handles {
-            let guard = if *write {
-                TableGuard::Write(handle.write())
-            } else {
-                TableGuard::Read(handle.read())
+            let guard = match &lock_obs {
+                None if *write => TableGuard::Write(handle.write()),
+                None => TableGuard::Read(handle.read()),
+                Some(obs) => {
+                    // The site string is only built when someone listens.
+                    let site = format!("cdw.table/{name}");
+                    if *write {
+                        TableGuard::Write(write_observed(handle, &site, Some(obs)))
+                    } else {
+                        TableGuard::Read(read_observed(handle, &site, Some(obs)))
+                    }
+                }
             };
             tables.insert(name.clone(), guard);
         }
@@ -279,9 +307,19 @@ impl Cdw {
     ) -> Result<u64, CdwError> {
         self.observed(ExecOp::CopyBatch, || {
             self.begin_statement()?;
-            let handle = self.inner.catalog.read().handle(table)?;
+            let lock_obs = self.inner.lock_observer.lock().clone();
+            let handle = read_observed(&self.inner.catalog, "cdw.catalog", lock_obs.as_ref())
+                .handle(table)?;
+            let canonical = canonical_name(table);
+            let guard = match &lock_obs {
+                None => handle.write(),
+                Some(obs) => {
+                    let site = format!("cdw.table/{canonical}");
+                    write_observed(&handle, &site, Some(obs))
+                }
+            };
             let mut tables = TableSet::new();
-            tables.insert(canonical_name(table), TableGuard::Write(handle.write()));
+            tables.insert(canonical, TableGuard::Write(guard));
             let mut ctx = ExecCtx {
                 tables,
                 store: self.inner.store.as_ref(),
@@ -406,6 +444,46 @@ impl Cdw {
             .as_ref()
             .map(|idxs| idxs.iter().map(|&i| t.columns[i].name.clone()).collect()))
     }
+}
+
+/// Shared acquisition of `lock`, reported to `obs` when present: the
+/// try-lock fast path counts an uncontended acquire, the blocking path
+/// times how long the caller waited.
+fn read_observed<'a, T>(
+    lock: &'a RwLock<T>,
+    site: &str,
+    obs: Option<&LockObserver>,
+) -> parking_lot::RwLockReadGuard<'a, T> {
+    let Some(obs) = obs else {
+        return lock.read();
+    };
+    if let Some(guard) = lock.try_read() {
+        obs(site, Duration::ZERO, false);
+        return guard;
+    }
+    let start = std::time::Instant::now();
+    let guard = lock.read();
+    obs(site, start.elapsed(), true);
+    guard
+}
+
+/// Exclusive counterpart of [`read_observed`].
+fn write_observed<'a, T>(
+    lock: &'a RwLock<T>,
+    site: &str,
+    obs: Option<&LockObserver>,
+) -> parking_lot::RwLockWriteGuard<'a, T> {
+    let Some(obs) = obs else {
+        return lock.write();
+    };
+    if let Some(guard) = lock.try_write() {
+        obs(site, Duration::ZERO, false);
+        return guard;
+    }
+    let start = std::time::Instant::now();
+    let guard = lock.write();
+    obs(site, start.elapsed(), true);
+    guard
 }
 
 /// The tables a statement touches, as `(canonical name, needs write)`
@@ -542,6 +620,45 @@ mod tests {
         cdw.set_exec_observer(None);
         cdw.execute("SELECT CUST_ID FROM PROD.CUSTOMER").unwrap();
         assert_eq!(statements.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn lock_observer_reports_catalog_and_table_sites() {
+        use std::sync::Mutex as StdMutex;
+        let cdw = setup();
+        let seen: Arc<StdMutex<Vec<(String, bool)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        cdw.set_lock_observer(Some(Arc::new(move |site, _wait, contended| {
+            sink.lock().unwrap().push((site.to_string(), contended));
+        })));
+
+        cdw.execute("INSERT INTO PROD.CUSTOMER VALUES ('1', 'a', NULL)")
+            .unwrap();
+        cdw.copy_batch(
+            "PROD.CUSTOMER",
+            vec![vec![
+                Value::Str("2".into()),
+                Value::Str("b".into()),
+                Value::Null,
+            ]],
+        )
+        .unwrap();
+
+        let seen = seen.lock().unwrap().clone();
+        let catalog = seen.iter().filter(|(s, _)| s == "cdw.catalog").count();
+        let table = seen
+            .iter()
+            .filter(|(s, _)| s == "cdw.table/PROD.CUSTOMER")
+            .count();
+        assert_eq!(catalog, 2, "one catalog read per entry point: {seen:?}");
+        assert_eq!(table, 2, "one table write per entry point: {seen:?}");
+        // Single-threaded: every acquisition takes the fast path.
+        assert!(seen.iter().all(|(_, contended)| !contended), "{seen:?}");
+
+        // Clearing the observer stops reporting.
+        cdw.set_lock_observer(None);
+        cdw.execute("SELECT CUST_ID FROM PROD.CUSTOMER").unwrap();
+        assert_eq!(seen.len(), 4);
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod staged;
 
 pub use catalog::{Catalog, Column, Table};
 pub use engine::{
-    Cdw, CdwConfig, ExecObserver, ExecOp, PlanObserver, QueryResult, TransientFaultHook,
+    Cdw, CdwConfig, ExecObserver, ExecOp, LockObserver, PlanObserver, QueryResult,
+    TransientFaultHook,
 };
 pub use error::CdwError;
 pub use index::{IndexKey, OrderedIndex, SeekBound};

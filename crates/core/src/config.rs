@@ -231,6 +231,8 @@ pub fn default_sampler_metrics() -> Vec<String> {
         "adaptive.transient_retries",
         "gateway.active_sessions",
         "gateway.active_jobs",
+        "pool.busy_workers",
+        "lock.wait_us",
     ]
     .into_iter()
     .map(String::from)

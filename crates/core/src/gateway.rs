@@ -44,8 +44,8 @@ use crate::emulate;
 use crate::fault::{retry_cdw, FaultCounts, FaultInjector};
 use crate::memory::MemoryGauge;
 use crate::obs::{
-    stats_json, stats_prometheus, HealthReport, JobObs, Obs, OverloadInput, Sampler, SloEngine,
-    SpanIds, TenantObs,
+    stats_json, stats_prometheus, CpuTimer, HealthReport, JobObs, Obs, OverloadInput,
+    ProfileReport, Sampler, SloEngine, SpanIds, TenantObs,
 };
 use crate::pipeline::{ChunkSink, Pipeline, PipelineReport, RawChunk, WorkerRuntime};
 use crate::report::{JobReport, NodeMetrics};
@@ -215,6 +215,23 @@ impl Virtualizer {
             plan_obs.plan_full_scan.add(stats.full_scans);
             plan_obs.index_maintain.add(stats.index_maintains);
         })));
+        if crate::obs::enabled() {
+            // Lock-contention attribution: every catalog/table acquisition
+            // the engine reports lands in a named lock site
+            // (`cdw.catalog`, `cdw.table/<name>`). Interning is bounded by
+            // the registry's site limit, so hostile table churn cannot
+            // grow the registry without bound. Hold time is not tracked
+            // for CDW sites — the engine only reports the acquisition.
+            let lock_reg = obs.registry.clone();
+            cdw.set_lock_observer(Some(Arc::new(move |site, wait, contended| {
+                let site = lock_reg.lock_site(site);
+                if contended {
+                    site.acquired_after(wait);
+                } else {
+                    site.acquired_uncontended();
+                }
+            })));
+        }
         let credits = CreditManager::with_obs(config.credits, obs.credit.clone());
         let memory = MemoryGauge::new(config.memory_cap);
         let slo = SloEngine::new(config.slo.clone());
@@ -253,7 +270,10 @@ impl Virtualizer {
             )),
             RuntimeMode::PerJob => None,
         };
-        let registry = SessionRegistry::new(config.max_sessions);
+        let registry = SessionRegistry::new(
+            config.max_sessions,
+            obs.registry.lock_site("gateway.sessions"),
+        );
         Virtualizer {
             node: Arc::new(Node {
                 credits,
@@ -415,6 +435,20 @@ impl Virtualizer {
     /// The trace rendered as JSON (the `Trace` wire reply body).
     pub fn trace_json(&self, job: u64) -> Option<String> {
         self.trace(job).map(|t| t.to_json())
+    }
+
+    /// The continuous-profiling report: per-stage CPU/wall accounting,
+    /// top-K contended lock sites, worker-pool utilization, and the
+    /// folded-stack flamegraph aggregated from the journal's retained
+    /// spans. With `obs` compiled out the report comes back
+    /// `enabled: false` and empty.
+    pub fn profile(&self) -> ProfileReport {
+        ProfileReport::collect(&self.node.obs)
+    }
+
+    /// The profile report as JSON (the `Profile` wire reply body).
+    pub fn profile_json(&self) -> String {
+        self.profile().to_json()
     }
 
     /// The background sampler's time-series rings as JSON. A disabled (or
@@ -849,11 +883,16 @@ impl Virtualizer {
                 }
             );
             let copy_started = Instant::now();
+            let copy_cpu = CpuTimer::start();
             retry_cdw(retry_policy, retry_seed ^ 0xC0, &mut cdw_retries, || {
                 node.cdw.execute(&copy)
             })
             .map_err(|e| (ErrCode::INTERNAL, format!("COPY failed: {e}")))?;
             let copy_elapsed = copy_started.elapsed();
+            node.obs
+                .profile
+                .copy
+                .record(copy_elapsed, copy_cpu.elapsed());
             node.obs.adaptive.copy_us.record_duration(copy_elapsed);
             node.obs.journal.emit_span(
                 "copy",
@@ -869,6 +908,7 @@ impl Virtualizer {
 
         // Application phase: cross-compile, plan emulation, apply.
         let application_started = Instant::now();
+        let apply_cpu = CpuTimer::start();
         let compiled = xcompile::compile_dml(dml, &job.spec.layout, &job.staging_table)
             .map_err(|e| (ErrCode::SQL_ERROR, e.to_string()))?;
         let emulation =
@@ -900,6 +940,10 @@ impl Virtualizer {
         .map_err(|e| (ErrCode::SQL_ERROR, format!("application failed: {e}")))?;
         cdw_retries += outcome.transient_retries;
         let application = application_started.elapsed();
+        node.obs
+            .profile
+            .apply
+            .record(application, apply_cpu.elapsed());
         node.obs.adaptive.statements.add(outcome.statements);
         node.obs
             .adaptive

@@ -8,11 +8,23 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use super::{HistogramSnapshot, RegistrySnapshot, TenantId, TenantObs, TenantSnapshot};
+use super::{
+    HistogramSnapshot, LockSiteObs, LockSiteSnapshot, RegistrySnapshot, TenantId, TenantObs,
+    TenantSnapshot,
+};
 
 /// Default cap on distinct tenant label values (see
 /// [`MetricsRegistry::set_tenant_limit`]).
 const DEFAULT_TENANT_LIMIT: usize = 64;
+
+/// Cap on distinct lock-site labels. Sites are static names plus a
+/// bounded per-table family (`cdw.table/<name>`), so the bound exists
+/// only to stop a hostile DDL stream from growing the registry; overflow
+/// sites share the `~overflow` block like tenants do.
+const LOCK_SITE_LIMIT: usize = 256;
+
+/// The catch-all lock-site name once [`LOCK_SITE_LIMIT`] is reached.
+const LOCK_SITE_OVERFLOW: &str = "~overflow";
 
 /// Shards per counter. Converter pools top out well below this on the
 /// testbed; more shards only pad the (cheap) snapshot merge.
@@ -233,6 +245,11 @@ struct RegistryInner {
     /// Cardinality bound on distinct tenant labels; tenants interned past
     /// the limit share the `~overflow` block.
     tenant_limit: AtomicUsize,
+    /// Interned per-site lock statistics (PR 9), bounded like tenants.
+    lock_sites: Mutex<Vec<Arc<LockSiteObs>>>,
+    /// The registry's own lock site (`metrics.registry`), lazily interned
+    /// so registries that never serve a tenant pay nothing.
+    self_site: std::sync::OnceLock<Arc<LockSiteObs>>,
 }
 
 impl Default for RegistryInner {
@@ -243,6 +260,8 @@ impl Default for RegistryInner {
             histograms: Mutex::default(),
             tenants: Mutex::default(),
             tenant_limit: AtomicUsize::new(DEFAULT_TENANT_LIMIT),
+            lock_sites: Mutex::default(),
+            self_site: std::sync::OnceLock::new(),
         }
     }
 }
@@ -332,7 +351,7 @@ impl MetricsRegistry {
     /// block, so a hostile stream of logon usernames cannot grow the
     /// registry without bound.
     pub fn tenant(&self, name: &str) -> Arc<TenantObs> {
-        let mut tenants = self.inner.tenants.lock();
+        let mut tenants = self.lock_tenants();
         if let Some(t) = tenants.iter().find(|t| t.name == name) {
             return Arc::clone(t);
         }
@@ -364,6 +383,79 @@ impl MetricsRegistry {
         self.inner.tenants.lock().clone()
     }
 
+    /// Intern (or fetch) the lock-site block for `name`. Bounded like
+    /// tenants: past [`LOCK_SITE_LIMIT`] distinct sites, further names
+    /// share one `~overflow` block. The block's aggregate handles are the
+    /// registry-level `lock.*` counters, registered idempotently here.
+    pub fn lock_site(&self, name: &str) -> Arc<LockSiteObs> {
+        let mut sites = self.inner.lock_sites.lock();
+        if let Some(s) = sites.iter().find(|s| s.site == name) {
+            return Arc::clone(s);
+        }
+        let effective = if sites.len() < LOCK_SITE_LIMIT {
+            name
+        } else {
+            LOCK_SITE_OVERFLOW
+        };
+        if let Some(s) = sites.iter().find(|s| s.site == effective) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(LockSiteObs {
+            site: effective.to_string(),
+            acquires: Counter::new(),
+            contended: Counter::new(),
+            wait_us: Histogram::new(),
+            hold_us: Histogram::new(),
+            agg_acquires: self.counter("lock.acquires"),
+            agg_contended: self.counter("lock.contended"),
+            agg_wait_us: self.counter("lock.wait_us"),
+        });
+        sites.push(Arc::clone(&s));
+        s
+    }
+
+    /// Snapshot every interned lock site, site-sorted.
+    pub fn lock_site_snapshots(&self) -> Vec<LockSiteSnapshot> {
+        let mut sites: Vec<LockSiteSnapshot> = self
+            .inner
+            .lock_sites
+            .lock()
+            .iter()
+            .map(|s| s.snapshot())
+            .collect();
+        sites.sort_by(|a, b| a.site.cmp(&b.site));
+        sites
+    }
+
+    /// The registry's own lock site — the tenant table is the one
+    /// registry structure on a request path (chunk intake resolves tenant
+    /// blocks), so its mutex is tracked like any other hot lock.
+    fn self_site(&self) -> &Arc<LockSiteObs> {
+        self.inner
+            .self_site
+            .get_or_init(|| self.lock_site("metrics.registry"))
+    }
+
+    /// Acquire the tenant table, reporting contention to the
+    /// `metrics.registry` site. Hand-rolled (rather than a
+    /// [`super::TrackedMutex`]) because the site lives *inside* the
+    /// registry being locked.
+    fn lock_tenants(&self) -> parking_lot::MutexGuard<'_, Vec<Arc<TenantObs>>> {
+        let site = Arc::clone(self.self_site());
+        match self.inner.tenants.try_lock() {
+            Some(guard) => {
+                site.acquired_uncontended();
+                guard
+            }
+            None => {
+                let blocked = std::time::Instant::now();
+                let guard = self.inner.tenants.lock();
+                site.acquired_after(blocked.elapsed());
+                guard
+            }
+        }
+    }
+
     /// Snapshot every metric, name-sorted.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut counters: Vec<(String, u64)> = self
@@ -390,19 +482,15 @@ impl MetricsRegistry {
             .map(|(n, h)| h.snapshot(n))
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
-        let mut tenants: Vec<TenantSnapshot> = self
-            .inner
-            .tenants
-            .lock()
-            .iter()
-            .map(|t| t.snapshot())
-            .collect();
+        let mut tenants: Vec<TenantSnapshot> =
+            self.lock_tenants().iter().map(|t| t.snapshot()).collect();
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         RegistrySnapshot {
             counters,
             gauges,
             histograms,
             tenants,
+            lock_sites: self.lock_site_snapshots(),
         }
     }
 }
@@ -602,6 +690,60 @@ mod tests {
                 assert!(rel < 0.25, "relative error {rel} ≥ 25% at scale {scale}");
             }
         }
+    }
+
+    #[test]
+    fn lock_site_interning_bounded_and_snapshotted() {
+        let reg = MetricsRegistry::new();
+        let a = reg.lock_site("runtime.state");
+        let a2 = reg.lock_site("runtime.state");
+        assert!(Arc::ptr_eq(&a, &a2), "same site, same block");
+        a.acquired_uncontended();
+        a.acquired_after(Duration::from_micros(150));
+        a.held(Duration::from_micros(40));
+        let snap = reg.snapshot();
+        let site = snap
+            .lock_sites
+            .iter()
+            .find(|s| s.site == "runtime.state")
+            .expect("site in snapshot");
+        assert_eq!(site.acquires, 2);
+        assert_eq!(site.contended, 1);
+        assert!(site.wait_us.sum >= 150);
+        assert_eq!(site.hold_us.count, 1);
+        // Aggregates follow every per-site record.
+        let agg = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .1
+        };
+        assert_eq!(agg("lock.acquires"), 2);
+        assert_eq!(agg("lock.contended"), 1);
+        assert!(agg("lock.wait_us") >= 150);
+        // Cardinality bound: past the limit, sites share the overflow
+        // block.
+        for i in 0..LOCK_SITE_LIMIT + 4 {
+            reg.lock_site(&format!("flood.{i}"));
+        }
+        let x = reg.lock_site("one.more");
+        let y = reg.lock_site("another");
+        assert_eq!(x.site, LOCK_SITE_OVERFLOW);
+        assert!(Arc::ptr_eq(&x, &y));
+    }
+
+    #[test]
+    fn tenant_lock_self_instrumented() {
+        let reg = MetricsRegistry::new();
+        reg.tenant("alice");
+        let snap = reg.snapshot();
+        let site = snap
+            .lock_sites
+            .iter()
+            .find(|s| s.site == "metrics.registry")
+            .expect("registry self-site interned on first tenant access");
+        assert!(site.acquires >= 1);
     }
 
     #[test]

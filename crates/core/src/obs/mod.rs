@@ -34,6 +34,13 @@ pub use slo::{
     HealthReport, OverloadInput, OverloadState, SloEngine, SloPolicy, SloStatus, TenantHealth,
 };
 
+mod profile;
+pub use profile::{
+    folded_flamegraph, render_flame_ascii, thread_cpu_time, CpuTimer, LockSiteObs,
+    LockSiteSnapshot, PoolProfile, ProfileReport, StageCpuProfile, TrackedCondvar, TrackedMutex,
+    TrackedMutexGuard, TrackedReadGuard, TrackedRwLock, TrackedWriteGuard, PROFILE_TOP_K,
+};
+
 #[cfg(feature = "obs")]
 mod journal;
 #[cfg(feature = "obs")]
@@ -87,6 +94,8 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Per-tenant metric blocks, sorted by tenant name.
     pub tenants: Vec<TenantSnapshot>,
+    /// Interned lock-site blocks, sorted by site name.
+    pub lock_sites: Vec<LockSiteSnapshot>,
 }
 
 /// Interned tenant identity: a small dense index into the registry's
@@ -449,6 +458,64 @@ pub struct ExportObs {
     pub bytes: Counter,
 }
 
+/// One pipeline stage's CPU/wall accounting (PR 9). `record` adds the
+/// wall time unconditionally; CPU time and the sample count accrue only
+/// when the thread CPU clock produced a pair, so `cpu_us / samples` stays
+/// meaningful on platforms without the clock.
+#[derive(Clone)]
+pub struct StageProf {
+    /// Wall time across sampled executions, µs.
+    pub wall_us: Counter,
+    /// Thread CPU time across sampled executions, µs.
+    pub cpu_us: Counter,
+    /// Executions where a CPU sample pair succeeded.
+    pub samples: Counter,
+}
+
+impl StageProf {
+    /// Record one execution: wall always, CPU when sampled.
+    #[inline]
+    pub fn record(&self, wall: Duration, cpu: Option<Duration>) {
+        self.wall_us.add(wall.as_micros() as u64);
+        if let Some(cpu) = cpu {
+            self.cpu_us.add(cpu.as_micros() as u64);
+            self.samples.inc();
+        }
+    }
+}
+
+/// Per-stage CPU/wall profiles (PR 9): the four attributable stages the
+/// Profile report breaks down.
+#[derive(Clone)]
+pub struct ProfileObs {
+    /// Chunk conversion (converter workers).
+    pub convert: StageProf,
+    /// Part upload (writer workers).
+    pub upload: StageProf,
+    /// COPY INTO (gateway finish path).
+    pub copy: StageProf,
+    /// Adaptive application (gateway finish path).
+    pub apply: StageProf,
+}
+
+/// Worker-pool utilization handles (PR 9): saturation timelines for the
+/// shared runtime and recycle stats for the buffer freelist.
+#[derive(Clone)]
+pub struct PoolObs {
+    /// Workers executing a chunk right now.
+    pub busy_workers: Gauge,
+    /// Idle buffers currently in the freelist.
+    pub idle_buffers: Gauge,
+    /// Buffer takes served from the freelist.
+    pub recycle_hits: Counter,
+    /// Buffer takes that allocated fresh.
+    pub recycle_misses: Counter,
+    /// Worker wakeups that scanned every job slot and found no work.
+    pub idle_wakeups: Counter,
+    /// Round-robin job slots scanned past while finding work.
+    pub rr_skips: Counter,
+}
+
 /// Fault-injector gauges, copied from the injector at snapshot time.
 #[derive(Clone)]
 pub struct FaultObs {
@@ -495,6 +562,10 @@ pub struct Obs {
     pub export: ExportObs,
     /// Fault-injector gauges.
     pub fault: FaultObs,
+    /// Per-stage CPU/wall profiles.
+    pub profile: ProfileObs,
+    /// Worker-pool utilization handles.
+    pub pool: PoolObs,
 }
 
 impl Obs {
@@ -504,6 +575,17 @@ impl Obs {
     pub fn new(journal_capacity: usize, jsonl: Option<&std::path::Path>) -> Obs {
         let registry = MetricsRegistry::new();
         let r = &registry;
+        // Pre-register the lock.* aggregates so the sampler and the
+        // Prometheus exposition see the families even before any tracked
+        // lock is interned.
+        r.counter("lock.acquires");
+        r.counter("lock.contended");
+        r.counter("lock.wait_us");
+        let stage = |name: &str| StageProf {
+            wall_us: r.counter(&format!("profile.{name}.wall_us")),
+            cpu_us: r.counter(&format!("profile.{name}.cpu_us")),
+            samples: r.counter(&format!("profile.{name}.samples")),
+        };
         Obs {
             gateway: GatewayObs {
                 sessions_opened: r.counter("gateway.sessions_opened"),
@@ -588,6 +670,20 @@ impl Obs {
                 injected_cdw_exec: r.gauge("fault.injected_cdw_exec"),
                 injected_convert: r.gauge("fault.injected_convert"),
                 injected_transport: r.gauge("fault.injected_transport"),
+            },
+            profile: ProfileObs {
+                convert: stage("convert"),
+                upload: stage("upload"),
+                copy: stage("copy"),
+                apply: stage("apply"),
+            },
+            pool: PoolObs {
+                busy_workers: r.gauge("pool.busy_workers"),
+                idle_buffers: r.gauge("pool.idle_buffers"),
+                recycle_hits: r.counter("pool.recycle_hits"),
+                recycle_misses: r.counter("pool.recycle_misses"),
+                idle_wakeups: r.counter("pool.idle_wakeups"),
+                rr_skips: r.counter("pool.rr_skips"),
             },
             journal: Journal::new(journal_capacity, jsonl),
             registry,

@@ -141,6 +141,27 @@ impl MetricsRegistry {
         Vec::new()
     }
 
+    /// Stub lock-site block: ZST handles under the requested name, so the
+    /// tracked-lock wrappers construct unconditionally. Nothing is
+    /// retained or counted.
+    pub fn lock_site(&self, name: &str) -> std::sync::Arc<super::LockSiteObs> {
+        std::sync::Arc::new(super::LockSiteObs {
+            site: name.to_string(),
+            acquires: Counter,
+            contended: Counter,
+            wait_us: Histogram,
+            hold_us: Histogram,
+            agg_acquires: Counter,
+            agg_contended: Counter,
+            agg_wait_us: Counter,
+        })
+    }
+
+    /// Always empty.
+    pub fn lock_site_snapshots(&self) -> Vec<super::LockSiteSnapshot> {
+        Vec::new()
+    }
+
     /// Always empty.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot::default()
@@ -274,6 +295,20 @@ mod tests {
         assert_eq!(std::mem::size_of::<MetricsRegistry>(), 0);
         assert_eq!(std::mem::size_of::<Journal>(), 0);
         assert_eq!(std::mem::size_of::<Sampler>(), 0);
+    }
+
+    #[test]
+    fn noop_lock_sites_record_nothing() {
+        let reg = MetricsRegistry::new();
+        let site = reg.lock_site("runtime.state");
+        site.acquired_uncontended();
+        site.acquired_after(Duration::from_micros(50));
+        site.held(Duration::from_micros(10));
+        let snap = site.snapshot();
+        assert_eq!(snap.site, "runtime.state");
+        assert_eq!(snap.acquires, 0);
+        assert_eq!(snap.contended, 0);
+        assert!(reg.lock_site_snapshots().is_empty());
     }
 
     #[test]

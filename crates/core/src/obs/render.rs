@@ -149,6 +149,13 @@ pub fn stats_json(
     }
     out.push_str("\n  ],\n");
 
+    out.push_str("  \"lock_sites\": [");
+    for (i, s) in snap.lock_sites.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        out.push_str(&s.to_json());
+    }
+    out.push_str("\n  ],\n");
+
     out.push_str("  \"recent_jobs\": [");
     for (i, job) in recent_jobs.iter().enumerate() {
         out.push_str(if i == 0 { "\n    " } else { ",\n    " });
@@ -312,6 +319,35 @@ pub fn stats_prometheus(
             }
         }
     }
+    // Lock-site families (PR 9), metric-major like tenants: one TYPE per
+    // family, one `site`-labelled sample per interned site.
+    if !snap.lock_sites.is_empty() {
+        for (name, pick) in [("lock.site.acquires", 0usize), ("lock.site.contended", 1)] {
+            let base = prom_name(name);
+            out.push_str(&format!("# TYPE {base} counter\n"));
+            for s in &snap.lock_sites {
+                let v = if pick == 0 { s.acquires } else { s.contended };
+                out.push_str(&format!(
+                    "{base}{{site=\"{}\"}} {v}\n",
+                    prom_escape_label(&s.site)
+                ));
+            }
+        }
+        for (name, wait) in [("lock.site.wait_us", true), ("lock.site.hold_us", false)] {
+            let base = prom_name(name);
+            out.push_str(&format!("# TYPE {base} summary\n"));
+            for s in &snap.lock_sites {
+                let h = if wait { &s.wait_us } else { &s.hold_us };
+                let site = prom_escape_label(&s.site);
+                out.push_str(&format!("{base}_count{{site=\"{site}\"}} {}\n", h.count));
+                out.push_str(&format!("{base}_sum{{site=\"{site}\"}} {}\n", h.sum));
+                out.push_str(&format!("{base}_max{{site=\"{site}\"}} {}\n", h.max));
+                for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                    out.push_str(&format!("{base}{{site=\"{site}\",quantile=\"{q}\"}} {v}\n"));
+                }
+            }
+        }
+    }
     out
 }
 
@@ -352,6 +388,37 @@ mod tests {
                 p99: 90,
             }],
             tenants: vec![tenant("alice", 400), tenant("bo\"b", 80)],
+            lock_sites: vec![
+                super::super::LockSiteSnapshot {
+                    site: "cdw.table/or\"ders".into(),
+                    acquires: 20,
+                    contended: 5,
+                    wait_us: HistogramSnapshot {
+                        name: "wait_us".into(),
+                        count: 5,
+                        sum: 750,
+                        max: 300,
+                        p50: 100,
+                        p95: 280,
+                        p99: 300,
+                    },
+                    hold_us: HistogramSnapshot {
+                        name: "hold_us".into(),
+                        count: 20,
+                        sum: 400,
+                        max: 60,
+                        p50: 15,
+                        p95: 50,
+                        p99: 60,
+                    },
+                },
+                super::super::LockSiteSnapshot {
+                    site: "runtime.state".into(),
+                    acquires: 100,
+                    contended: 2,
+                    ..Default::default()
+                },
+            ],
         }
     }
 
@@ -395,6 +462,11 @@ mod tests {
             "\"tenant\": \"bo\\\"b\"",
             "\"rows_applied\": 400",
             "\"job_us\": {\"count\": 3",
+            "\"lock_sites\": [",
+            "\"site\": \"cdw.table/or\\\"ders\"",
+            "\"contended\": 5",
+            "\"wait_us\": {\"count\": 5, \"sum\": 750",
+            "\"site\": \"runtime.state\"",
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
@@ -418,6 +490,12 @@ mod tests {
             "etlv_tenant_active_jobs{tenant=\"alice\"} 1\n",
             "etlv_tenant_job_us_count{tenant=\"alice\"} 3\n",
             "etlv_tenant_job_us{tenant=\"alice\",quantile=\"0.95\"} 4000\n",
+            "etlv_lock_site_acquires{site=\"cdw.table/or\\\"ders\"} 20\n",
+            "etlv_lock_site_contended{site=\"cdw.table/or\\\"ders\"} 5\n",
+            "etlv_lock_site_acquires{site=\"runtime.state\"} 100\n",
+            "etlv_lock_site_wait_us_sum{site=\"cdw.table/or\\\"ders\"} 750\n",
+            "etlv_lock_site_wait_us{site=\"cdw.table/or\\\"ders\",quantile=\"0.99\"} 300\n",
+            "etlv_lock_site_hold_us_count{site=\"cdw.table/or\\\"ders\"} 20\n",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
@@ -430,6 +508,17 @@ mod tests {
         );
         assert_eq!(
             text.matches("# TYPE etlv_tenant_job_us summary\n").count(),
+            1
+        );
+        // Lock-site families likewise: one TYPE line across two sites.
+        assert_eq!(
+            text.matches("# TYPE etlv_lock_site_acquires counter\n")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE etlv_lock_site_wait_us summary\n")
+                .count(),
             1
         );
     }

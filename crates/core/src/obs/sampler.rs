@@ -398,6 +398,48 @@ mod tests {
     }
 
     #[test]
+    fn profile_series_sample_pool_and_lock_wait_with_wraparound() {
+        let obs = Arc::new(Obs::new(64, None));
+        let sampler = Sampler::start(
+            Arc::clone(&obs),
+            Box::new(|| {}),
+            Duration::from_millis(2),
+            3,
+            vec!["pool.busy_workers".to_string(), "lock.wait_us".to_string()],
+            Vec::new(),
+        );
+        // Drive both sources long enough for the 3-point rings to wrap:
+        // the busy-worker gauge through the pool block, the aggregate
+        // wait-time counter through a lock site's contended acquires.
+        let site = obs.registry.lock_site("test.site");
+        for i in 0..25 {
+            obs.pool.busy_workers.set(1 + (i % 3));
+            site.acquired_after(Duration::from_micros(150));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        assert_eq!(
+            sampler.points_for("pool.busy_workers"),
+            3,
+            "gauge ring wrapped to exactly its capacity"
+        );
+        assert_eq!(
+            sampler.points_for("lock.wait_us"),
+            3,
+            "counter ring wrapped to exactly its capacity"
+        );
+        let json = sampler.series_json();
+        assert!(
+            json.contains("\"metric\": \"pool.busy_workers\", \"kind\": \"gauge\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"metric\": \"lock.wait_us\", \"kind\": \"counter\""),
+            "{json}"
+        );
+    }
+
+    #[test]
     fn stop_is_idempotent_and_fast() {
         let obs = Arc::new(Obs::new(16, None));
         let sampler = Sampler::start(

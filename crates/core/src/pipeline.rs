@@ -35,7 +35,7 @@ use crate::convert::{AcqError, ConvertScratch, DataConverter};
 use crate::credit::Credit;
 use crate::fault::{retry_with, FaultInjector, RetryPolicy};
 use crate::memory::MemGuard;
-use crate::obs::{Obs, SpanIds, TenantObs};
+use crate::obs::{CpuTimer, Obs, SpanIds, TenantObs, TrackedCondvar, TrackedMutex};
 use crate::pool::BufferPool;
 
 /// A raw chunk travelling from a session handler into the pipeline. The
@@ -140,15 +140,18 @@ struct RtShared {
     /// pops, and the closed/aborted transitions all serialize here, which
     /// is what makes the wait/notify protocol race-free. The critical
     /// sections are a queue op plus a notify — conversion and upload work
-    /// happen outside it.
-    state: Mutex<RtState>,
+    /// happen outside it. Tracked (site `runtime.state`) because this is
+    /// the runtime's hottest shared lock: every chunk crosses it twice.
+    state: TrackedMutex<RtState>,
     /// Converters sleep here; signalled once per raw chunk enqueued.
-    raw_work: Condvar,
+    /// Tracked (site `runtime.raw_work`): the wait histogram is how long
+    /// converters sat idle waiting for work.
+    raw_work: TrackedCondvar,
     /// Writers sleep here; signalled once per converted chunk enqueued.
     /// Separate condvars (with `notify_one` on the push paths) keep a
     /// chunk push from waking the whole pool just to have all but one
-    /// thread find nothing and sleep again.
-    conv_work: Condvar,
+    /// thread find nothing and sleep again. Tracked as `runtime.conv_work`.
+    conv_work: TrackedCondvar,
     stop: AtomicBool,
     converters: usize,
     writers: usize,
@@ -179,6 +182,7 @@ impl RtShared {
     /// arrives or the runtime stops.
     fn next_chunk(&self) -> Option<(Arc<JobRt>, RawChunk)> {
         let mut state = self.state.lock();
+        let mut woken = false;
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 return None;
@@ -188,18 +192,30 @@ impl RtShared {
                 let idx = (state.next_convert + i) % n;
                 let popped = state.jobs[idx].chunks.lock().pop_front();
                 if let Some(chunk) = popped {
+                    if i > 0 {
+                        // Job slots scanned past before finding work —
+                        // the round-robin fairness cost.
+                        self.obs.pool.rr_skips.add(i as u64);
+                    }
                     let job = Arc::clone(&state.jobs[idx]);
                     state.next_convert = (idx + 1) % n;
                     return Some((job, chunk));
                 }
             }
+            if woken {
+                // Notified, scanned every slot, found nothing: the wakeup
+                // was spurious or another worker won the race.
+                self.obs.pool.idle_wakeups.inc();
+            }
             self.raw_work.wait(&mut state);
+            woken = true;
         }
     }
 
     /// Pop the next converted chunk, round-robin across jobs.
     fn next_converted(&self) -> Option<(Arc<JobRt>, Converted)> {
         let mut state = self.state.lock();
+        let mut woken = false;
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 return None;
@@ -209,12 +225,19 @@ impl RtShared {
                 let idx = (state.next_write + i) % n;
                 let popped = state.jobs[idx].converted.lock().pop_front();
                 if let Some(conv) = popped {
+                    if i > 0 {
+                        self.obs.pool.rr_skips.add(i as u64);
+                    }
                     let job = Arc::clone(&state.jobs[idx]);
                     state.next_write = (idx + 1) % n;
                     return Some((job, conv));
                 }
             }
+            if woken {
+                self.obs.pool.idle_wakeups.inc();
+            }
             self.conv_work.wait(&mut state);
+            woken = true;
         }
     }
 
@@ -262,14 +285,26 @@ impl WorkerRuntime {
     ) -> WorkerRuntime {
         let converters = config.converter_workers();
         let writers = config.file_writers.max(1);
+        let buffers = Arc::new(BufferPool::with_obs(
+            converters + writers + 2,
+            obs.pool.idle_buffers.clone(),
+            obs.pool.recycle_hits.clone(),
+            obs.pool.recycle_misses.clone(),
+        ));
+        let state_site = obs.registry.lock_site("runtime.state");
+        let raw_site = obs.registry.lock_site("runtime.raw_work");
+        let conv_site = obs.registry.lock_site("runtime.conv_work");
         let shared = Arc::new(RtShared {
-            state: Mutex::new(RtState {
-                jobs: Vec::new(),
-                next_convert: 0,
-                next_write: 0,
-            }),
-            raw_work: Condvar::new(),
-            conv_work: Condvar::new(),
+            state: TrackedMutex::new(
+                state_site,
+                RtState {
+                    jobs: Vec::new(),
+                    next_convert: 0,
+                    next_write: 0,
+                },
+            ),
+            raw_work: TrackedCondvar::new(raw_site),
+            conv_work: TrackedCondvar::new(conv_site),
             stop: AtomicBool::new(false),
             converters,
             writers,
@@ -278,7 +313,7 @@ impl WorkerRuntime {
             retry_policy: config.retry_policy(),
             retry_seed: config.fault_seed(),
             injector,
-            buffers: Arc::new(BufferPool::new(converters + writers + 2)),
+            buffers,
             obs,
             threads_started: AtomicUsize::new(0),
         });
@@ -295,7 +330,9 @@ impl WorkerRuntime {
                 shared.obs.runtime.threads_started.inc();
                 let mut scratch = ConvertScratch::new();
                 while let Some((job, chunk)) = shared.next_chunk() {
+                    shared.obs.pool.busy_workers.add(1);
                     convert_work(&shared, &job, chunk, &mut scratch);
+                    shared.obs.pool.busy_workers.sub(1);
                 }
             }));
         }
@@ -305,7 +342,9 @@ impl WorkerRuntime {
                 shared.threads_started.fetch_add(1, Ordering::Relaxed);
                 shared.obs.runtime.threads_started.inc();
                 while let Some((job, conv)) = shared.next_converted() {
+                    shared.obs.pool.busy_workers.add(1);
                     write_work(&shared, &job, conv);
+                    shared.obs.pool.busy_workers.sub(1);
                 }
             }));
         }
@@ -657,6 +696,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
     // A panicking converter must not wedge the pipeline: contain it, record
     // a fatal error, and let the chunk's guards release credit + memory.
     let convert_started = Instant::now();
+    let cpu = CpuTimer::start();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         job.converter
             .convert_into(chunk.base_seq, &chunk.data, &mut out, scratch)
@@ -688,6 +728,7 @@ fn convert_work(shared: &RtShared, job: &JobRt, chunk: RawChunk, scratch: &mut C
             obs.pipeline.convert_rows.add(rows as u64);
             obs.pipeline.convert_bytes.add(out.len() as u64);
             obs.pipeline.convert_us.record_duration(elapsed);
+            obs.profile.convert.record(elapsed, cpu.elapsed());
             job.tenant.convert_us.record_duration(elapsed);
             obs.journal.emit_span(
                 "chunk.convert",
@@ -790,6 +831,7 @@ fn upload_part(shared: &RtShared, job: &JobRt, file: Vec<u8>, part: u32) {
     let key = format!("{}part-{part:05}", job.prefix);
     let mut retries = 0u64;
     let upload_started = Instant::now();
+    let cpu = CpuTimer::start();
     let attempt = retry_with(
         shared.retry_policy,
         shared.retry_seed ^ (part as u64 + 1),
@@ -799,6 +841,7 @@ fn upload_part(shared: &RtShared, job: &JobRt, file: Vec<u8>, part: u32) {
     );
     let elapsed = upload_started.elapsed();
     obs.pipeline.upload_us.record_duration(elapsed);
+    obs.profile.upload.record(elapsed, cpu.elapsed());
     job.tenant.upload_us.record_duration(elapsed);
     if retries > 0 {
         obs.pipeline.upload_retries.add(retries);

@@ -6,14 +6,29 @@
 //! hot path performs no per-chunk output allocation. The idle list is
 //! capped: when the pipeline drains and workers outnumber writers, excess
 //! buffers are simply dropped instead of pinning peak memory forever.
+//!
+//! PR 9 makes recycling observable: a pool built with
+//! [`BufferPool::with_obs`] maintains an idle-buffer gauge and hit/miss
+//! counters, so Stats and the Profile report show whether the freelist
+//! actually absorbs the steady-state allocation traffic.
 
 use parking_lot::Mutex;
 
+use crate::obs::{Counter, Gauge};
+
+/// Observability handles a pool reports through (all feature-aliased, so
+/// a `--no-default-features` build carries three ZSTs here).
+struct PoolHandles {
+    idle: Gauge,
+    hits: Counter,
+    misses: Counter,
+}
+
 /// A capped freelist of `Vec<u8>` buffers.
-#[derive(Debug)]
 pub struct BufferPool {
     slots: Mutex<Vec<Vec<u8>>>,
     max_idle: usize,
+    obs: Option<PoolHandles>,
 }
 
 impl BufferPool {
@@ -22,13 +37,39 @@ impl BufferPool {
         BufferPool {
             slots: Mutex::new(Vec::with_capacity(max_idle)),
             max_idle,
+            obs: None,
+        }
+    }
+
+    /// Pool reporting its idle depth and recycle hit/miss traffic through
+    /// the given handles (`pool.idle_buffers` / `pool.recycle_hits` /
+    /// `pool.recycle_misses` on the node hub).
+    pub fn with_obs(max_idle: usize, idle: Gauge, hits: Counter, misses: Counter) -> BufferPool {
+        BufferPool {
+            slots: Mutex::new(Vec::with_capacity(max_idle)),
+            max_idle,
+            obs: Some(PoolHandles { idle, hits, misses }),
         }
     }
 
     /// Take a buffer (empty, capacity retained from its previous trip) or
     /// a fresh one if the freelist is dry.
     pub fn take(&self) -> Vec<u8> {
-        self.slots.lock().pop().unwrap_or_default()
+        let popped = {
+            let mut slots = self.slots.lock();
+            let popped = slots.pop();
+            if let Some(obs) = &self.obs {
+                obs.idle.set(slots.len() as u64);
+            }
+            popped
+        };
+        if let Some(obs) = &self.obs {
+            match popped.is_some() {
+                true => obs.hits.inc(),
+                false => obs.misses.inc(),
+            }
+        }
+        popped.unwrap_or_default()
     }
 
     /// Return a buffer to the freelist; dropped if the pool is full.
@@ -37,6 +78,9 @@ impl BufferPool {
         let mut slots = self.slots.lock();
         if slots.len() < self.max_idle {
             slots.push(buf);
+        }
+        if let Some(obs) = &self.obs {
+            obs.idle.set(slots.len() as u64);
         }
     }
 
@@ -70,5 +114,27 @@ mod tests {
         pool.put(Vec::with_capacity(8));
         pool.put(Vec::with_capacity(8));
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn observed_pool_counts_hits_misses_and_idle() {
+        let reg = crate::obs::MetricsRegistry::new();
+        let (idle, hits, misses) = (
+            reg.gauge("pool.idle_buffers"),
+            reg.counter("pool.recycle_hits"),
+            reg.counter("pool.recycle_misses"),
+        );
+        let pool = BufferPool::with_obs(2, idle.clone(), hits.clone(), misses.clone());
+        let a = pool.take(); // dry → miss
+        pool.put(a);
+        let b = pool.take(); // recycled → hit
+        pool.put(b);
+        pool.put(Vec::new());
+        if crate::obs::enabled() {
+            assert_eq!(misses.value(), 1);
+            assert_eq!(hits.value(), 1);
+            assert_eq!(idle.value(), 2, "gauge tracks the freelist depth");
+        }
+        assert_eq!(pool.idle(), 2);
     }
 }

@@ -20,13 +20,13 @@ use std::time::{Duration, Instant};
 use etlv_protocol::errcode::ErrCode;
 use etlv_protocol::frame::Frame;
 use etlv_protocol::message::{
-    HealthReply, Message, SessionRole, StatsFormat, StatsReply, TraceReply,
+    HealthReply, Message, ProfileReply, SessionRole, StatsFormat, StatsReply, TraceReply,
 };
 use etlv_protocol::transport::{RecvOutcome, Transport};
 use parking_lot::Mutex;
 
 use crate::gateway::{error_msg, Virtualizer};
-use crate::obs::TenantObs;
+use crate::obs::{LockSiteObs, TenantObs, TrackedMutex};
 
 /// How often a polling serve loop wakes to check the stop flag and the
 /// idle clock. Only sessions that need polling (a server stop flag or a
@@ -45,16 +45,18 @@ pub(crate) struct SessionEntry {
     pub(crate) tenant: Arc<TenantObs>,
 }
 
-/// The node-wide active-session table.
+/// The node-wide active-session table. The table mutex is tracked (site
+/// `gateway.sessions`): every logon, teardown, and gauge refresh crosses
+/// it, so contention here shows up directly in the Profile report.
 pub(crate) struct SessionRegistry {
-    sessions: Mutex<HashMap<u32, Arc<SessionEntry>>>,
+    sessions: TrackedMutex<HashMap<u32, Arc<SessionEntry>>>,
     max_sessions: usize,
 }
 
 impl SessionRegistry {
-    pub(crate) fn new(max_sessions: usize) -> SessionRegistry {
+    pub(crate) fn new(max_sessions: usize, site: Arc<LockSiteObs>) -> SessionRegistry {
         SessionRegistry {
-            sessions: Mutex::new(HashMap::new()),
+            sessions: TrackedMutex::new(site, HashMap::new()),
             max_sessions,
         }
     }
@@ -240,6 +242,15 @@ pub(crate) fn serve_session(
                         body: body.unwrap_or_default(),
                     })
                 }
+                Message::ProfileReq { format } => {
+                    let body = match format {
+                        StatsFormat::Json => v.profile_json(),
+                        // Series and Prometheus both answer with the raw
+                        // folded-stack text — the flamegraph input format.
+                        StatsFormat::Series | StatsFormat::Prometheus => v.profile().folded,
+                    };
+                    Message::ProfileReply(ProfileReply { format, body })
+                }
                 Message::Logoff => {
                     clean = true;
                     transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
@@ -338,7 +349,10 @@ mod tests {
 
     #[test]
     fn registry_enforces_max_sessions() {
-        let reg = SessionRegistry::new(2);
+        let site = crate::obs::Obs::default()
+            .registry
+            .lock_site("gateway.sessions");
+        let reg = SessionRegistry::new(2, site);
         assert!(reg.register(entry(1)));
         assert!(reg.register(entry(2)));
         assert!(!reg.register(entry(3)), "third session refused");

@@ -3,7 +3,8 @@
 use std::time::Duration;
 
 use etlv_protocol::message::{
-    HealthReply, Logon, Message, SessionRole, SqlResult, StatsFormat, StatsReply, TraceReply,
+    HealthReply, Logon, Message, ProfileReply, SessionRole, SqlResult, StatsFormat, StatsReply,
+    TraceReply,
 };
 use etlv_protocol::trace::TraceContext;
 use etlv_protocol::transport::Transport;
@@ -159,6 +160,17 @@ impl Session {
         match self.request(Message::HealthReq { format })? {
             Message::HealthReply(reply) => Ok(reply),
             other => Err(unexpected("HealthReply", &other)),
+        }
+    }
+
+    /// Request the node's continuous-profiling report: per-stage CPU/wall
+    /// accounting, top-K contended lock sites, pool utilization, and the
+    /// folded-stack flamegraph. `Json` returns the full report; `Series`
+    /// (or `Prometheus`) returns the raw folded-stack text alone.
+    pub fn profile(&mut self, format: StatsFormat) -> Result<ProfileReply, ClientError> {
+        match self.request(Message::ProfileReq { format })? {
+            Message::ProfileReply(reply) => Ok(reply),
+            other => Err(unexpected("ProfileReply", &other)),
         }
     }
 

@@ -82,6 +82,10 @@ pub enum MsgKind {
     HealthReq = 23,
     /// Health report response.
     HealthReply = 24,
+    /// Request the node's continuous-profiling report (control sessions).
+    ProfileReq = 25,
+    /// Profile report response (stage CPU/wall, lock sites, flamegraph).
+    ProfileReply = 26,
 }
 
 impl MsgKind {
@@ -112,6 +116,8 @@ impl MsgKind {
             22 => MsgKind::TraceReply,
             23 => MsgKind::HealthReq,
             24 => MsgKind::HealthReply,
+            25 => MsgKind::ProfileReq,
+            26 => MsgKind::ProfileReply,
             _ => return None,
         })
     }
@@ -388,11 +394,11 @@ mod tests {
 
     #[test]
     fn kind_byte_roundtrip() {
-        for k in 1..=24u8 {
+        for k in 1..=26u8 {
             let kind = MsgKind::from_u8(k).unwrap();
             assert_eq!(kind as u8, k);
         }
         assert_eq!(MsgKind::from_u8(0), None);
-        assert_eq!(MsgKind::from_u8(25), None);
+        assert_eq!(MsgKind::from_u8(27), None);
     }
 }

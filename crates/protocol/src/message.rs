@@ -268,6 +268,18 @@ pub struct HealthReply {
     pub body: String,
 }
 
+/// The node's continuous-profiling report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReply {
+    /// The format `body` is rendered in: `Json` carries the full report
+    /// (stage CPU/wall, lock sites, pool, folded stacks); `Series` and
+    /// `Prometheus` requests are answered with the raw folded-stack text
+    /// alone — the flamegraph input format.
+    pub format: StatsFormat,
+    /// The rendered profile document.
+    pub body: String,
+}
+
 /// A job's causal trace rendered as a span tree with critical-path
 /// attribution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -363,6 +375,13 @@ pub enum Message {
     },
     /// Health report response.
     HealthReply(HealthReply),
+    /// Request the node's continuous-profiling report (control sessions).
+    ProfileReq {
+        /// Rendering requested for the report body.
+        format: StatsFormat,
+    },
+    /// Profile report response.
+    ProfileReply(ProfileReply),
 }
 
 impl Message {
@@ -393,6 +412,8 @@ impl Message {
             Message::TraceReply(_) => MsgKind::TraceReply,
             Message::HealthReq { .. } => MsgKind::HealthReq,
             Message::HealthReply(_) => MsgKind::HealthReply,
+            Message::ProfileReq { .. } => MsgKind::ProfileReq,
+            Message::ProfileReply(_) => MsgKind::ProfileReply,
         }
     }
 
@@ -504,6 +525,11 @@ impl Message {
             }
             Message::HealthReq { format } => format.encode(buf),
             Message::HealthReply(m) => {
+                m.format.encode(buf);
+                write_lstring(buf, &m.body);
+            }
+            Message::ProfileReq { format } => format.encode(buf),
+            Message::ProfileReply(m) => {
                 m.format.encode(buf);
                 write_lstring(buf, &m.body);
             }
@@ -764,6 +790,14 @@ impl Message {
                 let format = StatsFormat::decode(buf)?;
                 let body = read_lstring(buf)?;
                 Message::HealthReply(HealthReply { format, body })
+            }
+            MsgKind::ProfileReq => Message::ProfileReq {
+                format: StatsFormat::decode(buf)?,
+            },
+            MsgKind::ProfileReply => {
+                let format = StatsFormat::decode(buf)?;
+                let body = read_lstring(buf)?;
+                Message::ProfileReply(ProfileReply { format, body })
             }
         })
     }
@@ -1125,6 +1159,28 @@ mod tests {
             Message::HealthReply(HealthReply {
                 format: StatsFormat::Prometheus,
                 body: "etlv_slo_alert{tenant=\"wg_t00\",objective=\"error_rate\"} 1\n".into(),
+            }),
+        ] {
+            assert_eq!(roundtrip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn profile_roundtrip() {
+        for msg in [
+            Message::ProfileReq {
+                format: StatsFormat::Json,
+            },
+            Message::ProfileReq {
+                format: StatsFormat::Series,
+            },
+            Message::ProfileReply(ProfileReply {
+                format: StatsFormat::Json,
+                body: "{\"enabled\": true, \"stages\": [], \"locks\": []}".into(),
+            }),
+            Message::ProfileReply(ProfileReply {
+                format: StatsFormat::Series,
+                body: "job;acquisition;convert 300\njob;application;apply 500\n".into(),
             }),
         ] {
             assert_eq!(roundtrip(msg.clone()), msg);

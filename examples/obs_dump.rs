@@ -20,6 +20,11 @@
 //! SLO/overload health report — burn rates, active alerts, node
 //! saturation — both directly and fetched over the wire with the
 //! `Health` request. The two flags compose.
+//!
+//! With `--profile` the example prints the continuous-profiling report:
+//! the ASCII flame tree aggregated from the journal, per-stage CPU/wall
+//! accounting, the top contended lock sites, and the folded-stack text
+//! fetched over the wire with the `Profile` request.
 
 use std::io;
 use std::sync::Arc;
@@ -73,6 +78,7 @@ fn main() {
         .map(|j| j.parse().expect("--trace takes a numeric job token"));
     let show_tenants = args.iter().any(|a| a == "--tenants");
     let show_slo = args.iter().any(|a| a == "--slo");
+    let show_profile = args.iter().any(|a| a == "--profile");
 
     let v = Virtualizer::new(VirtualizerConfig {
         file_size_threshold: 4096, // several staged files for this data size
@@ -160,6 +166,46 @@ fn main() {
             reply.found,
             reply.body.len()
         );
+        session.logoff();
+        return;
+    }
+
+    if show_profile {
+        let report = v.profile();
+        println!("\n== continuous profile: flame tree from the span journal ==");
+        print!("{}", report.render_ascii());
+        println!("\n== per-stage CPU vs wall accounting ==");
+        for s in &report.stages {
+            println!(
+                "  {:<8} wall {:>10} us  cpu {:>10} us  samples {}",
+                s.stage, s.wall_us, s.cpu_us, s.samples
+            );
+        }
+        println!("\n== top contended lock sites ==");
+        if report.locks.is_empty() {
+            println!("  (no contended acquisitions observed)");
+        }
+        for l in &report.locks {
+            println!(
+                "  {:<24} acquires {:>8}  contended {:>6}  waited {:>8} us",
+                l.site, l.acquires, l.contended, l.wait_us.sum
+            );
+        }
+
+        // The folded-stack text over the wire: a control session's
+        // Profile request with the Series rendering.
+        let client = LegacyEtlClient::new(connector(&v));
+        let mut session = etlv_legacy_client::Session::logon(
+            client.connector().as_ref(),
+            "admin",
+            "pw",
+            SessionRole::Control,
+            0,
+        )
+        .unwrap();
+        let reply = session.profile(StatsFormat::Series).unwrap();
+        println!("\n== Profile over the legacy wire protocol (folded stacks) ==");
+        print!("{}", reply.body);
         session.logoff();
         return;
     }

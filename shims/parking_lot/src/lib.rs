@@ -45,6 +45,17 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Lock if immediately available; `None` if another thread holds it.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
@@ -145,6 +156,12 @@ impl Condvar {
     }
 }
 
+/// Shared guard for [`RwLock`] (the std guard; the shim adds nothing).
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
 /// Reader-writer lock (never poisons).
 pub struct RwLock<T: ?Sized> {
     inner: sync::RwLock<T>,
@@ -175,6 +192,26 @@ impl<T: ?Sized> RwLock<T> {
     /// Exclusive write access.
     pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Shared access if immediately available; `None` if a writer holds
+    /// the lock.
+    pub fn try_read(&self) -> Option<sync::RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Exclusive access if immediately available; `None` if any holder
+    /// exists.
+    pub fn try_write(&self) -> Option<sync::RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 }
 

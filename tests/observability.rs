@@ -483,6 +483,59 @@ fn session_lifecycle_metrics_are_symmetric_and_rendered() {
     }
 }
 
+/// The PR 9 buffer-pool surface: a shared-runtime import recycles staged
+/// buffers through the observed freelist, and the hit/miss counters and
+/// idle gauge land in the Stats JSON and the Prometheus rendering.
+#[test]
+fn pool_recycling_observed_in_stats() {
+    let v = customer_virtualizer(VirtualizerConfig {
+        file_size_threshold: 256,
+        ..Default::default()
+    });
+    let client = LegacyEtlClient::with_options(
+        mem_connector(&v),
+        ClientOptions {
+            chunk_rows: 10,
+            sessions: Some(2),
+            ..Default::default()
+        },
+    );
+    client
+        .run_import_data(&customer_import_job(), &customer_rows(200))
+        .unwrap();
+
+    if !etlv_core::obs::enabled() {
+        return;
+    }
+    let obs = v.obs();
+    let hits = obs.pool.recycle_hits.value();
+    let misses = obs.pool.recycle_misses.value();
+    assert!(misses >= 1, "first takes allocate fresh buffers");
+    assert!(
+        hits >= 1,
+        "20 chunks through a small freelist must recycle (hits={hits} misses={misses})"
+    );
+    assert_eq!(
+        obs.pool.busy_workers.value(),
+        0,
+        "all workers idle after the job"
+    );
+
+    let snapshot = v.stats_snapshot();
+    assert_eq!(counter(&snapshot, "pool.recycle_hits"), hits);
+    assert_eq!(counter(&snapshot, "pool.recycle_misses"), misses);
+    let prom = v.stats_prometheus();
+    for metric in [
+        "etlv_pool_recycle_hits",
+        "etlv_pool_recycle_misses",
+        "etlv_pool_idle_buffers",
+        "etlv_pool_busy_workers",
+    ] {
+        assert!(prom.contains(&format!("# TYPE {metric} ")), "{metric} TYPE");
+        assert!(prom.contains(&format!("\n{metric} ")), "{metric} sample");
+    }
+}
+
 /// The PR 8 attribution fix: a `SERVER_BUSY` logon rejection and an
 /// idle-timeout close are the *tenant's* problem, not just the node's —
 /// both must land on the offending tenant's counters (and from there
