@@ -1,0 +1,507 @@
+//! PR 10 reactor front-end evidence: thousands of concurrent keepalive
+//! sessions multiplexed over a fixed pool of event-loop threads, with
+//! hundreds of import jobs active underneath.
+//!
+//! Two claims are on trial:
+//!
+//! 1. **Connection scale on fixed threads**: holding 1k and then 5k
+//!    logged-on keepalive sessions (plus ~100 concurrent import jobs)
+//!    must not move the OS-thread count — connections are state
+//!    machines on the reactor loops, not threads. Keepalive RTT p99 is
+//!    reported at every scale point.
+//! 2. **No throughput toll at the old scale**: the PR 5 16-job burst
+//!    served over reactor TCP must hold throughput parity (±5%)
+//!    against the blocking in-memory duplex path, best-of-3
+//!    interleaved.
+//!
+//! Writes `BENCH_PR10.json` at the repo root (format documented in
+//! EXPERIMENTS.md). Needs an fd ulimit of roughly `2×sessions + 1024`;
+//! the bench raises its soft `RLIMIT_NOFILE` to the hard limit and
+//! caps the session scale if the hard limit is still too small.
+//!
+//! Usage: `bench_pr10 [--smoke] [--out PATH]`
+//!   --smoke  one 512-session point, fewer jobs, no parity gate
+//!   --out    output path (default BENCH_PR10.json)
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use etlv_bench::{connector, virtualizer_with_latency};
+use etlv_core::workload::{customer_workload, CustomerSpec, Workload};
+use etlv_core::VirtualizerConfig;
+use etlv_legacy_client::{ClientOptions, Connect, LegacyEtlClient, Session, TcpConnector};
+use etlv_protocol::message::{Message, SessionRole};
+use etlv_script::{compile, parse_script, JobPlan};
+
+const CHUNK_ROWS: usize = 500;
+/// Driver threads holding the keepalive ballast (client side).
+const HOLDER_THREADS: usize = 4;
+/// Allowed OS-thread drift between scale points before the fixed-thread
+/// gate fails (scheduler/runtime noise, never per-connection growth).
+const THREAD_SLACK: usize = 8;
+
+// ---------------------------------------------------------------------
+// fd limits — the only syscall shim this bench needs. Declared directly
+// (the workspace carries no libc crate); symbols resolve from the C
+// library std already links.
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// Raise the soft fd limit to the hard limit; returns the resulting
+/// soft limit (0 when unreadable).
+fn raise_fd_limit() -> u64 {
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 0;
+        }
+        if lim.cur < lim.max {
+            let want = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                return lim.max;
+            }
+        }
+        lim.cur
+    }
+}
+
+/// OS thread count of this process (Linux); 0 where unreadable.
+fn os_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Sample the process-wide OS-thread peak until stopped.
+struct PeakSampler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<usize>,
+}
+
+impl PeakSampler {
+    fn start() -> PeakSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut peak = 0usize;
+            while !flag.load(Ordering::Relaxed) {
+                peak = peak.max(os_threads());
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            peak.max(os_threads())
+        });
+        PeakSampler { stop, handle }
+    }
+
+    fn finish(self) -> usize {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase A: 16-job throughput parity, reactor TCP vs blocking duplex.
+
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    MemDuplex,
+    ReactorTcp,
+}
+
+fn retarget(base: &Workload, index: usize) -> Workload {
+    let from = &base.target;
+    let to = format!("{}_{index}", base.target);
+    Workload {
+        script: base.script.replace(from, &to),
+        target_ddl: base.target_ddl.replace(from, &to),
+        target: to,
+        ..base.clone()
+    }
+}
+
+fn import_into(conn: &Arc<dyn Connect>, workload: &Workload) {
+    let JobPlan::Import(job) = compile(&parse_script(&workload.script).unwrap()).unwrap() else {
+        panic!("workload script is not an import job")
+    };
+    let client = LegacyEtlClient::with_options(
+        Arc::clone(conn),
+        ClientOptions {
+            chunk_rows: CHUNK_ROWS,
+            sessions: Some(1),
+            read_timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        },
+    );
+    let result = client
+        .run_import_data(&job, &workload.data)
+        .expect("import job failed");
+    assert_eq!(result.report.rows_applied, workload.rows);
+}
+
+fn parity_burst(path: Path, jobs: usize, rows_per_job: u64) -> f64 {
+    let v = virtualizer_with_latency(VirtualizerConfig::default(), Duration::ZERO);
+    let base = customer_workload(&CustomerSpec {
+        rows: rows_per_job,
+        row_bytes: 250,
+        sessions: 1,
+        seed: 0xA10 + jobs as u64,
+        ..Default::default()
+    });
+    let workloads: Vec<Workload> = (0..jobs).map(|i| retarget(&base, i)).collect();
+    for w in &workloads {
+        v.cdw()
+            .execute(&etlv_core::xcompile::translate_sql(&w.target_ddl).unwrap())
+            .unwrap();
+    }
+    let server = match path {
+        Path::ReactorTcp => Some(v.listen_tcp("127.0.0.1:0").expect("bind")),
+        Path::MemDuplex => None,
+    };
+    let conn: Arc<dyn Connect> = match &server {
+        Some(s) => Arc::new(TcpConnector::new(s.addr().to_string())),
+        None => connector(&v),
+    };
+
+    let started = Instant::now();
+    let handles: Vec<_> = workloads
+        .into_iter()
+        .map(|w| {
+            let conn = Arc::clone(&conn);
+            std::thread::spawn(move || import_into(&conn, &w))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("import thread panicked");
+    }
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    rows_per_job as f64 * jobs as f64 / wall
+}
+
+// ---------------------------------------------------------------------
+// Phase B: keepalive-session scale with active jobs underneath.
+
+struct ScaleResult {
+    sessions: usize,
+    held: usize,
+    jobs: usize,
+    keepalive_p50_us: u64,
+    keepalive_p99_us: u64,
+    keepalive_max_us: u64,
+    keepalives_sent: u64,
+    jobs_wall_s: f64,
+    /// Steady-state OS threads with every session held and no jobs
+    /// running — the number that must not scale with connections.
+    held_os_threads: usize,
+    /// Peak during the whole point, job-burst client threads included.
+    peak_os_threads: usize,
+    reactor_loops: u64,
+    reactor_conns_peak: u64,
+}
+
+fn scale_point(sessions: usize, jobs: usize, rows_per_job: u64) -> ScaleResult {
+    let v = virtualizer_with_latency(
+        VirtualizerConfig {
+            max_sessions: sessions + 256,
+            max_concurrent_jobs: 128,
+            ..Default::default()
+        },
+        Duration::ZERO,
+    );
+    let base = customer_workload(&CustomerSpec {
+        rows: rows_per_job,
+        row_bytes: 120,
+        sessions: 1,
+        seed: 0xB10 + sessions as u64,
+        ..Default::default()
+    });
+    let workloads: Vec<Workload> = (0..jobs).map(|i| retarget(&base, i)).collect();
+    for w in &workloads {
+        v.cdw()
+            .execute(&etlv_core::xcompile::translate_sql(&w.target_ddl).unwrap())
+            .unwrap();
+    }
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let addr = server.addr().to_string();
+
+    // Hold `sessions` idle logged-on sessions across a few driver
+    // threads, then sweep keepalives over every one of them while the
+    // job burst runs. RTTs are measured per keepalive round trip.
+    let sampler = PeakSampler::start();
+    let logged_on = Arc::new(AtomicU64::new(0));
+    let start_sweep = Arc::new(AtomicBool::new(false));
+    let mut holders = Vec::new();
+    let per_holder = sessions.div_ceil(HOLDER_THREADS);
+    for t in 0..HOLDER_THREADS {
+        let addr = addr.clone();
+        let logged_on = Arc::clone(&logged_on);
+        let start_sweep = Arc::clone(&start_sweep);
+        let count = per_holder.min(sessions.saturating_sub(t * per_holder));
+        holders.push(std::thread::spawn(move || -> Vec<u64> {
+            let connector = TcpConnector::new(addr);
+            let mut held = Vec::with_capacity(count);
+            for i in 0..count {
+                match Session::logon(
+                    &connector,
+                    &format!("hold-{t}-{}", i % 16),
+                    "p",
+                    SessionRole::Control,
+                    0,
+                ) {
+                    Ok(s) => {
+                        held.push(s);
+                        logged_on.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("holder logon failed at {i}: {e}"),
+                }
+            }
+            while !start_sweep.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let mut rtts = Vec::with_capacity(held.len());
+            for session in &mut held {
+                let t0 = Instant::now();
+                let reply = session.request(Message::Keepalive).expect("keepalive");
+                assert!(matches!(reply, Message::Keepalive));
+                rtts.push(t0.elapsed().as_micros() as u64);
+            }
+            for session in held {
+                session.logoff();
+            }
+            rtts
+        }));
+    }
+    while (logged_on.load(Ordering::Relaxed) as usize) < sessions {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Steady state: every session is registered, the holders are
+    // parked, nothing else is running. THIS is the thread count that
+    // must not depend on `sessions`.
+    std::thread::sleep(Duration::from_millis(100));
+    let held_os_threads = os_threads();
+    let conns_peak = v.obs().reactor.conns.value();
+
+    // Job burst on top of the held sessions; the keepalive sweep runs
+    // concurrently so the RTTs see a busy node, not an idle one.
+    let jobs_started = Instant::now();
+    let job_threads: Vec<_> = workloads
+        .into_iter()
+        .map(|w| {
+            let conn: Arc<dyn Connect> = Arc::new(TcpConnector::new(addr.clone()));
+            std::thread::spawn(move || import_into(&conn, &w))
+        })
+        .collect();
+    start_sweep.store(true, Ordering::Relaxed);
+
+    let mut rtts: Vec<u64> = Vec::with_capacity(sessions);
+    for h in holders {
+        rtts.extend(h.join().expect("holder panicked"));
+    }
+    for h in job_threads {
+        h.join().expect("job thread panicked");
+    }
+    let jobs_wall_s = jobs_started.elapsed().as_secs_f64();
+    let peak_os_threads = sampler.finish();
+    let held = rtts.len();
+    rtts.sort_unstable();
+    let result = ScaleResult {
+        sessions,
+        held,
+        jobs,
+        keepalive_p50_us: percentile(&rtts, 50.0),
+        keepalive_p99_us: percentile(&rtts, 99.0),
+        keepalive_max_us: rtts.last().copied().unwrap_or(0),
+        keepalives_sent: held as u64,
+        jobs_wall_s,
+        held_os_threads,
+        peak_os_threads,
+        reactor_loops: v.obs().reactor.loops.value(),
+        reactor_conns_peak: conns_peak,
+    };
+    server.shutdown();
+    result
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR10.json".into());
+
+    let fd_limit = raise_fd_limit();
+    // Two fds per held session (client + server end live in this
+    // process), plus headroom for jobs, loops, and the runtime.
+    let fd_budget_sessions = (fd_limit.saturating_sub(1024) / 2) as usize;
+    // Two points even in smoke: the fixed-thread gate is a comparison,
+    // and 64 → 512 sessions is enough to catch thread-per-connection.
+    let mut scales: Vec<usize> = if smoke {
+        vec![64, 512]
+    } else {
+        vec![1_000, 5_000]
+    };
+    let mut capped_by_fd_limit = false;
+    for s in scales.iter_mut() {
+        if *s > fd_budget_sessions {
+            *s = fd_budget_sessions;
+            capped_by_fd_limit = true;
+        }
+    }
+    let jobs = if smoke { 16 } else { 100 };
+    let scale_rows: u64 = if smoke { 200 } else { 400 };
+
+    eprintln!("fd limit {fd_limit} (capped: {capped_by_fd_limit}); scales {scales:?}, {jobs} jobs");
+
+    // Phase A: parity. Interleave the paths per repetition, keep each
+    // path's best run — the comparison is between the fastest each can
+    // go on this machine.
+    let parity_jobs = 16;
+    let parity_rows: u64 = if smoke { 2_000 } else { 15_000 };
+    let parity_reps = if smoke { 1 } else { 3 };
+    let (mut best_mem, mut best_tcp) = (0f64, 0f64);
+    for _ in 0..parity_reps {
+        for path in [Path::MemDuplex, Path::ReactorTcp] {
+            let rate = parity_burst(path, parity_jobs, parity_rows);
+            match path {
+                Path::MemDuplex => best_mem = best_mem.max(rate),
+                Path::ReactorTcp => best_tcp = best_tcp.max(rate),
+            }
+        }
+    }
+    let parity_ratio = best_tcp / best_mem.max(1e-9);
+    eprintln!(
+        "  parity x{parity_jobs}: mem {best_mem:.0} rows/s, reactor-tcp {best_tcp:.0} rows/s \
+         (ratio {parity_ratio:.3})"
+    );
+
+    // Phase B: scale points.
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for &sessions in &scales {
+        let r = scale_point(sessions, jobs, scale_rows);
+        eprintln!(
+            "  {:>5} sessions + {} jobs: keepalive p50/p99/max {}/{}/{} us, \
+             jobs wall {:.2}s, OS threads held/peak {}/{}, {} loops, conns gauge {}",
+            r.sessions,
+            r.jobs,
+            r.keepalive_p50_us,
+            r.keepalive_p99_us,
+            r.keepalive_max_us,
+            r.jobs_wall_s,
+            r.held_os_threads,
+            r.peak_os_threads,
+            r.reactor_loops,
+            r.reactor_conns_peak
+        );
+        results.push(r);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"fd_limit\": {fd_limit},\n"));
+    json.push_str(&format!(
+        "  \"capped_by_fd_limit\": {capped_by_fd_limit},\n"
+    ));
+    json.push_str(&format!(
+        "  \"parity\": {{\"jobs\": {parity_jobs}, \"rows_per_job\": {parity_rows}, \
+         \"reps_best_of\": {parity_reps}, \"mem_rows_per_s\": {best_mem:.0}, \
+         \"reactor_tcp_rows_per_s\": {best_tcp:.0}, \"ratio\": {parity_ratio:.4}}},\n"
+    ));
+    json.push_str("  \"scale\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"held\": {}, \"jobs\": {}, \"keepalive_p50_us\": {}, \
+             \"keepalive_p99_us\": {}, \"keepalive_max_us\": {}, \"keepalives_sent\": {}, \
+             \"jobs_wall_s\": {:.3}, \"held_os_threads\": {}, \"peak_os_threads\": {}, \
+             \"reactor_loops\": {}, \"reactor_conns_peak\": {}}}",
+            r.sessions,
+            r.held,
+            r.jobs,
+            r.keepalive_p50_us,
+            r.keepalive_p99_us,
+            r.keepalive_max_us,
+            r.keepalives_sent,
+            r.jobs_wall_s,
+            r.held_os_threads,
+            r.peak_os_threads,
+            r.reactor_loops,
+            r.reactor_conns_peak
+        ));
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Gates. Every held session must have answered its keepalive, and
+    // the OS-thread peak must not scale with the session count.
+    for r in &results {
+        if r.held != r.sessions {
+            eprintln!(
+                "FAIL: held {} of {} sessions at scale point",
+                r.held, r.sessions
+            );
+            std::process::exit(1);
+        }
+        if r.reactor_conns_peak < r.sessions as u64 {
+            eprintln!(
+                "FAIL: reactor.conns gauge {} never reached the {} held sessions",
+                r.reactor_conns_peak, r.sessions
+            );
+            std::process::exit(1);
+        }
+    }
+    if results.len() >= 2 {
+        let first = &results[0];
+        let last = &results[results.len() - 1];
+        if last.held_os_threads > first.held_os_threads + THREAD_SLACK {
+            eprintln!(
+                "FAIL: steady-state OS threads grew with connections: {} sessions -> {} threads, \
+                 {} sessions -> {} threads",
+                first.sessions, first.held_os_threads, last.sessions, last.held_os_threads
+            );
+            std::process::exit(1);
+        }
+    }
+    if !smoke && parity_ratio < 0.95 {
+        eprintln!(
+            "FAIL: reactor TCP throughput {best_tcp:.0} rows/s is below 95% of the \
+             blocking duplex baseline {best_mem:.0} rows/s"
+        );
+        std::process::exit(1);
+    }
+}

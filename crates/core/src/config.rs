@@ -155,6 +155,20 @@ pub struct VirtualizerConfig {
     /// Tenant-block metric names the background sampler tracks per tenant
     /// (in addition to the node-global `sampler_metrics`).
     pub sampler_tenant_metrics: Vec<String>,
+    /// Event-loop threads the TCP reactor runs. Each loop multiplexes
+    /// its share of the connection fds with epoll; connection count is
+    /// independent of this number. Must be ≥ 1.
+    pub reactor_threads: usize,
+    /// Dispatch-pool threads executing blocking-capable session
+    /// requests (loads, chunks, exports, stats) off the event loops.
+    /// At most one request per session is in flight at a time, so this
+    /// bounds *concurrently progressing* requests, not connections.
+    /// Must be ≥ 1.
+    pub dispatch_threads: usize,
+    /// Granularity of the reactor's timer wheel (idle timeouts, accept
+    /// backoff). Finer ticks wake the loops more often. Must be
+    /// nonzero.
+    pub reactor_tick: Duration,
 }
 
 impl Default for VirtualizerConfig {
@@ -197,6 +211,9 @@ impl Default for VirtualizerConfig {
             slo: SloPolicy::default(),
             max_tenants: 64,
             sampler_tenant_metrics: default_sampler_tenant_metrics(),
+            reactor_threads: 2,
+            dispatch_threads: cores.clamp(8, 32),
+            reactor_tick: Duration::from_millis(25),
         }
     }
 }
@@ -289,6 +306,15 @@ impl VirtualizerConfig {
         }
         if self.max_tenants == 0 {
             return Err("max_tenants must be at least 1".into());
+        }
+        if self.reactor_threads == 0 {
+            return Err("reactor_threads must be at least 1".into());
+        }
+        if self.dispatch_threads == 0 {
+            return Err("dispatch_threads must be at least 1".into());
+        }
+        if self.reactor_tick.is_zero() {
+            return Err("reactor_tick must be nonzero".into());
         }
         if self.slo.fast_window.is_zero() || self.slo.slow_window.is_zero() {
             return Err("slo windows must be nonzero".into());
@@ -404,6 +430,21 @@ mod tests {
         assert!(c.validate().is_ok());
         let c = VirtualizerConfig {
             max_tenants: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            reactor_threads: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            dispatch_threads: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = VirtualizerConfig {
+            reactor_tick: Duration::ZERO,
             ..Default::default()
         };
         assert!(c.validate().is_err());

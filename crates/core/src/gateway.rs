@@ -32,7 +32,7 @@ use etlv_protocol::trace::TraceContext;
 use etlv_protocol::transport::Transport;
 use etlv_sql::types::SqlType;
 use etlv_sql::Dialect;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::adaptive::{AdaptiveParams, ErrorRows, RecordedError};
 use crate::apply::apply;
@@ -116,6 +116,9 @@ pub(crate) struct Node {
     /// Set by `ServerHandle::drain`: refuse new logons and new jobs,
     /// finish what's in flight.
     pub(crate) draining: AtomicBool,
+    /// Notified (under the `jobs` mutex) on every job removal, so
+    /// drain can block instead of sleep-polling `active_jobs()`.
+    pub(crate) jobs_drained: Condvar,
 }
 
 impl Drop for Node {
@@ -293,6 +296,7 @@ impl Virtualizer {
                 slo,
                 registry,
                 draining: AtomicBool::new(false),
+                jobs_drained: Condvar::new(),
             }),
         }
     }
@@ -471,12 +475,14 @@ impl Virtualizer {
         }
     }
 
-    /// Serve one connection until logoff/disconnect (one thread per
-    /// connection). Registers a session on logon and tears it down —
-    /// aborting any jobs it still owns — when the connection ends for any
-    /// reason. The full loop lives in [`crate::session::serve_session`].
+    /// Serve one connection on the calling thread until
+    /// logoff/disconnect. Registers a session on logon and tears it
+    /// down — aborting any jobs it still owns — when the connection
+    /// ends for any reason. The loop lives in
+    /// [`crate::session::serve_session`]; TCP connections are served by
+    /// the reactor instead (`listen_tcp`).
     pub fn serve(&self, transport: impl Transport) -> io::Result<()> {
-        crate::session::serve_session(self, transport, None)
+        crate::session::serve_session(self, transport)
     }
 
     /// Jobs currently registered (imports + exports).
@@ -491,9 +497,30 @@ impl Virtualizer {
 
     /// Refuse new logons and new jobs from here on; in-flight jobs run to
     /// completion. [`crate::server::ServerHandle::drain`] calls this and
-    /// then waits for `active_jobs()` to reach zero.
+    /// then blocks in [`wait_jobs_drained`](Virtualizer::wait_jobs_drained).
     pub fn begin_drain(&self) {
         self.node.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the job table is empty or `deadline` passes. Woken
+    /// by the condvar every job removal notifies — no sleep-polling.
+    /// Returns `true` when the table emptied in time.
+    pub fn wait_jobs_drained(&self, deadline: Instant) -> bool {
+        let mut jobs = self.node.jobs.lock();
+        while !jobs.is_empty() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            if self
+                .node
+                .jobs_drained
+                .wait_until(&mut jobs, deadline)
+                .timed_out()
+            {
+                return jobs.is_empty();
+            }
+        }
+        true
     }
 
     /// Whether `begin_drain` has been called.
@@ -767,6 +794,7 @@ impl Virtualizer {
             match jobs.remove(&token) {
                 Some(Job::Import(j)) => {
                     self.node.obs.gateway.active_jobs.set(jobs.len() as u64);
+                    self.node.jobs_drained.notify_all();
                     j
                 }
                 _ => {
@@ -1126,6 +1154,7 @@ impl Virtualizer {
             let job = jobs.remove(&token);
             if job.is_some() {
                 node.obs.gateway.active_jobs.set(jobs.len() as u64);
+                node.jobs_drained.notify_all();
             }
             job
         };

@@ -29,8 +29,11 @@
 //!   (Alpha/Coalescer/PXC, §3).
 //! - [`session`]: per-connection serve loop, session registry, and
 //!   disconnect-safe teardown (DESIGN §11).
-//! - [`server`]: TCP accept loop and [`server::ServerHandle`] lifecycle —
+//! - [`server`]: TCP bind and [`server::ServerHandle`] lifecycle —
 //!   `shutdown()` and graceful `drain()` (DESIGN §11).
+//! - [`reactor`]: the event-driven front end — a fixed pool of
+//!   epoll loops multiplexing every TCP session, plus the dispatch
+//!   pool for blocking-capable work (DESIGN §16).
 //! - [`xcompile`]: SQL cross-compilation, placeholder → staging-column
 //!   mapping, staging DDL, type mapping (§3, §6).
 //! - [`convert`]: DataConverter — binary/vartext → CDW staged text (§4).
@@ -67,6 +70,7 @@ pub mod memory;
 pub mod obs;
 pub mod pipeline;
 pub mod pool;
+pub mod reactor;
 pub mod report;
 pub mod server;
 pub mod session;

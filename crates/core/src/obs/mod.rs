@@ -327,10 +327,43 @@ pub struct GatewayObs {
 /// TCP server lifecycle handles (`listen_tcp` accept loop).
 #[derive(Clone)]
 pub struct ServerObs {
-    /// Connections accepted.
+    /// Connections fully established (accepted *and* set up — a failed
+    /// setup is a `conn_setup_errors`, not a connection).
     pub connections: Counter,
     /// Accept-loop errors (previously `.flatten()`ed away silently).
     pub accept_errors: Counter,
+    /// Accepted sockets that failed post-accept setup (nonblocking
+    /// mode, nodelay, reactor registration) before serving a byte.
+    pub conn_setup_errors: Counter,
+}
+
+/// Reactor front-end handles: the event-loop threads multiplexing all
+/// TCP sessions (PR 10).
+#[derive(Clone)]
+pub struct ReactorObs {
+    /// Connection fds currently registered across all event loops.
+    pub conns: Gauge,
+    /// Event-loop threads the reactor is sized to.
+    pub loops: Gauge,
+    /// Ready events delivered per poll wakeup (batch size).
+    pub ready_batch: Histogram,
+    /// One loop iteration's processing latency (events + timers), µs.
+    pub loop_iter_us: Histogram,
+    /// Cross-thread wakeups delivered to loop threads.
+    pub wakeups: Counter,
+    /// Frames handed to the dispatch pool (blocking-capable work).
+    pub dispatches: Counter,
+    /// Frames answered inline on the loop (logon/keepalive/logoff).
+    pub inline_replies: Counter,
+    /// Sessions with a dispatched request in flight right now.
+    pub conns_dispatching: Gauge,
+    /// Sessions with undrained reply bytes right now.
+    pub conns_writing: Gauge,
+    /// Sessions reaped by the idle-timeout timer wheel.
+    pub idle_closes: Counter,
+    /// Accept-error backoff rounds (EMFILE and friends back off
+    /// exponentially instead of spinning).
+    pub accept_backoffs: Counter,
 }
 
 /// Shared job-worker runtime handles.
@@ -544,6 +577,8 @@ pub struct Obs {
     pub gateway: GatewayObs,
     /// TCP server lifecycle handles.
     pub server: ServerObs,
+    /// Reactor front-end handles.
+    pub reactor: ReactorObs,
     /// Shared worker-runtime handles.
     pub runtime: RuntimeObs,
     /// Pipeline handles.
@@ -604,6 +639,20 @@ impl Obs {
             server: ServerObs {
                 connections: r.counter("server.connections"),
                 accept_errors: r.counter("server.accept_errors"),
+                conn_setup_errors: r.counter("server.conn_setup_errors"),
+            },
+            reactor: ReactorObs {
+                conns: r.gauge("reactor.conns"),
+                loops: r.gauge("reactor.loops"),
+                ready_batch: r.histogram("reactor.ready_batch"),
+                loop_iter_us: r.histogram("reactor.loop_iter_us"),
+                wakeups: r.counter("reactor.wakeups"),
+                dispatches: r.counter("reactor.dispatches"),
+                inline_replies: r.counter("reactor.inline_replies"),
+                conns_dispatching: r.gauge("reactor.conns_dispatching"),
+                conns_writing: r.gauge("reactor.conns_writing"),
+                idle_closes: r.counter("reactor.idle_closes"),
+                accept_backoffs: r.counter("reactor.accept_backoffs"),
             },
             runtime: RuntimeObs {
                 workers: r.gauge("runtime.workers"),

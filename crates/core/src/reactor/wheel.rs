@@ -1,0 +1,153 @@
+//! A lazy hashed timer wheel for connection deadlines.
+//!
+//! The reactor needs thousands of coarse timers (idle timeouts,
+//! accept-error backoff) with O(1) insert and cheap advance — a
+//! `BinaryHeap` re-keyed on every keepalive would churn. The wheel
+//! hashes each deadline's tick into a fixed ring of slots; entries
+//! whose tick hasn't arrived when their slot is visited are simply
+//! retained for a later lap.
+//!
+//! Timers here are *hints*, not truth: the reactor keeps at most one
+//! wheel entry per connection and revalidates the connection's actual
+//! deadline when the entry fires, rescheduling if activity pushed the
+//! deadline out. That laziness is what makes a keepalive cost one
+//! field write instead of a wheel operation.
+
+use std::time::{Duration, Instant};
+
+/// Fixed slot count. With the default 25 ms tick this spans 6.4 s per
+/// lap; longer deadlines just survive extra laps.
+const SLOTS: usize = 256;
+
+pub(crate) struct TimerWheel {
+    /// `(due_tick, token)` entries hashed by `due_tick % SLOTS`.
+    slots: Vec<Vec<(u64, u64)>>,
+    tick: Duration,
+    base: Instant,
+    /// Last tick `advance` fully processed.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(tick: Duration, now: Instant) -> TimerWheel {
+        assert!(!tick.is_zero(), "wheel tick must be nonzero");
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            tick,
+            base: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.base).as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Entries currently scheduled.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `token` to fire at (or just after) `deadline`. A
+    /// deadline already in the past fires on the next `advance`.
+    pub(crate) fn schedule(&mut self, token: u64, deadline: Instant) {
+        // Never schedule behind the cursor — a past slot wouldn't be
+        // visited again for a full lap.
+        let due = self.tick_of(deadline).max(self.cursor + 1);
+        self.slots[(due % SLOTS as u64) as usize].push((due, token));
+        self.len += 1;
+    }
+
+    /// Advance to `now`, appending every due token to `due`. Visits at
+    /// most one full lap of slots regardless of how far time jumped.
+    pub(crate) fn advance(&mut self, now: Instant, due: &mut Vec<u64>) {
+        let now_tick = self.tick_of(now);
+        if now_tick <= self.cursor {
+            return;
+        }
+        let first = self.cursor + 1;
+        // A jump longer than one lap still only needs each slot once.
+        let last = now_tick.min(first + SLOTS as u64 - 1);
+        for t in first..=last {
+            let slot = &mut self.slots[(t % SLOTS as u64) as usize];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].0 <= now_tick {
+                    due.push(slot.swap_remove(i).1);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_of_advance() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        let mut w = TimerWheel::new(tick, t0);
+        w.schedule(1, t0 + Duration::from_millis(30));
+        w.schedule(2, t0 + Duration::from_millis(500));
+        let mut due = Vec::new();
+        w.advance(t0 + Duration::from_millis(20), &mut due);
+        assert!(due.is_empty());
+        w.advance(t0 + Duration::from_millis(45), &mut due);
+        assert_eq!(due, vec![1]);
+        due.clear();
+        w.advance(t0 + Duration::from_millis(600), &mut due);
+        assert_eq!(due, vec![2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn long_deadlines_survive_laps() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(1);
+        let mut w = TimerWheel::new(tick, t0);
+        // Far beyond one lap (256 ticks): hashes onto a slot the
+        // cursor passes many times first.
+        w.schedule(9, t0 + Duration::from_millis(700));
+        let mut due = Vec::new();
+        w.advance(t0 + Duration::from_millis(300), &mut due);
+        assert!(due.is_empty(), "must not fire a lap early");
+        w.advance(t0 + Duration::from_millis(699), &mut due);
+        assert!(due.is_empty());
+        w.advance(t0 + Duration::from_millis(702), &mut due);
+        assert_eq!(due, vec![9]);
+    }
+
+    #[test]
+    fn past_deadline_fires_next_advance() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), t0);
+        let mut due = Vec::new();
+        w.advance(t0 + Duration::from_millis(100), &mut due);
+        w.schedule(3, t0); // already past
+        w.advance(t0 + Duration::from_millis(120), &mut due);
+        assert_eq!(due, vec![3]);
+    }
+
+    #[test]
+    fn huge_time_jump_only_walks_one_lap() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(1), t0);
+        for i in 0..100 {
+            w.schedule(i, t0 + Duration::from_millis(5 + i));
+        }
+        let mut due = Vec::new();
+        // Jump hours ahead: every entry must still fire exactly once.
+        w.advance(t0 + Duration::from_secs(7200), &mut due);
+        due.sort_unstable();
+        assert_eq!(due, (0..100).collect::<Vec<u64>>());
+        assert!(w.is_empty());
+    }
+}

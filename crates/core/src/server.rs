@@ -1,105 +1,44 @@
-//! The TCP server lifecycle: accept loop and [`ServerHandle`].
+//! The TCP server lifecycle: [`ServerHandle`] over the reactor.
 //!
-//! `Virtualizer::listen_tcp` used to detach an accept thread and forget
-//! it — no way to stop accepting, no way to join connections, and accept
-//! errors silently `flatten()`ed away. It now returns a [`ServerHandle`]
-//! that owns the loop: [`ServerHandle::shutdown`] stops accepting and
-//! tears down live sessions (aborting their jobs); [`ServerHandle::drain`]
-//! stops accepting, refuses new logons and jobs, lets in-flight jobs run
-//! to completion, then closes. Accept failures are counted in
-//! `server.accept_errors` instead of being swallowed.
+//! `Virtualizer::listen_tcp` binds the port and hands the (nonblocking)
+//! listener to the [`crate::reactor`]: a fixed pool of event-loop
+//! threads multiplexes every connection, so ten thousand keepalive
+//! sessions cost the same thread count as sixteen. The returned handle
+//! owns the reactor: [`ServerHandle::shutdown`] stops everything and
+//! tears down live sessions (aborting their jobs);
+//! [`ServerHandle::drain`] closes the front door, refuses new logons
+//! and jobs, blocks on the node's job-drained condvar until in-flight
+//! jobs complete (no poll loop), then closes.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
+use std::time::Instant;
 
 use crate::gateway::Virtualizer;
+use crate::reactor::Reactor;
 
-/// How long the accept loop sleeps between polls of the (nonblocking)
-/// listener and the stop flag.
-const ACCEPT_TICK: Duration = Duration::from_millis(5);
-
-/// A running TCP server: the accept-loop thread plus every connection
-/// thread it spawned. Dropping the handle shuts the server down (stop
-/// flag + join), so no detached threads outlive it.
+/// A running TCP server: the reactor's event-loop threads plus its
+/// dispatch pool. Dropping the handle shuts the server down (stop flag
+/// + join), so no detached threads outlive it.
 pub struct ServerHandle {
     v: Virtualizer,
     addr: SocketAddr,
-    /// Stops the accept loop.
-    stop_accept: Arc<AtomicBool>,
-    /// Stops the session serve loops. Separate from `stop_accept` so
-    /// `drain` can close the front door while sessions finish their jobs.
-    stop_sessions: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<Reactor>,
 }
 
 impl Virtualizer {
-    /// Bind `addr` and start the accept loop (one thread per connection).
-    /// The returned handle owns every spawned thread; drop it (or call
+    /// Bind `addr` and start serving connections on the reactor. The
+    /// returned handle owns every spawned thread; drop it (or call
     /// [`ServerHandle::shutdown`] / [`ServerHandle::drain`]) to stop.
     pub fn listen_tcp(&self, addr: &str) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let stop_accept = Arc::new(AtomicBool::new(false));
-        let stop_sessions = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-        let this = self.clone();
-        let accept_stop = Arc::clone(&stop_accept);
-        let session_stop = Arc::clone(&stop_sessions);
-        let accept_conns = Arc::clone(&conns);
-        let accept = std::thread::spawn(move || {
-            let server_obs = this.obs().server.clone();
-            while !accept_stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        server_obs.connections.inc();
-                        // The listener is nonblocking for the poll loop;
-                        // accepted sockets go back to blocking reads (the
-                        // session loop has its own recv_wait polling).
-                        if stream.set_nonblocking(false).is_err() {
-                            server_obs.accept_errors.inc();
-                            continue;
-                        }
-                        let this = this.clone();
-                        let stop = Arc::clone(&session_stop);
-                        let conn = std::thread::spawn(move || {
-                            if let Ok(t) = etlv_protocol::transport::TcpTransport::new(stream) {
-                                let _ = crate::session::serve_session(&this, t, Some(&stop));
-                            }
-                        });
-                        let mut conns = accept_conns.lock();
-                        // Reap finished connection threads so the vec
-                        // doesn't grow with every short-lived client.
-                        conns.retain(|h| !h.is_finished());
-                        conns.push(conn);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_TICK);
-                    }
-                    Err(_) => {
-                        // One bad accept (e.g. EMFILE, aborted handshake)
-                        // must not kill the server; count it and go on.
-                        server_obs.accept_errors.inc();
-                        std::thread::sleep(ACCEPT_TICK);
-                    }
-                }
-            }
-        });
+        let reactor = Reactor::start(self.clone(), listener)?;
         Ok(ServerHandle {
             v: self.clone(),
             addr: local,
-            stop_accept,
-            stop_sessions,
-            accept: Some(accept),
-            conns,
+            reactor: Some(reactor),
         })
     }
 }
@@ -119,7 +58,7 @@ impl ServerHandle {
     /// server is shutting down and torn down (their in-flight jobs are
     /// aborted with full resource release), all threads joined.
     pub fn shutdown(mut self) {
-        self.stop_and_join();
+        self.stop();
     }
 
     /// Graceful drain: stop accepting and refuse new logons/jobs, let
@@ -128,46 +67,27 @@ impl ServerHandle {
     /// `false` when the timeout expired and stragglers were aborted.
     pub fn drain(mut self) -> bool {
         self.v.begin_drain();
-        self.stop_accept.store(true, Ordering::Relaxed);
+        if let Some(reactor) = &self.reactor {
+            // Close the port now — drain refuses new connections while
+            // existing sessions run their jobs to completion.
+            reactor.stop_accepting();
+        }
         let deadline = Instant::now() + self.v.config().drain_timeout;
-        let drained = loop {
-            if self.v.active_jobs() == 0 {
-                break true;
-            }
-            if Instant::now() >= deadline {
-                break false;
-            }
-            std::thread::sleep(ACCEPT_TICK);
-        };
-        self.stop_and_join();
+        let drained = self.v.wait_jobs_drained(deadline);
+        self.stop();
         drained
     }
 
-    /// Idempotent stop: raise both flags, join the accept loop, join
-    /// every connection thread.
-    fn stop_and_join(&mut self) {
-        self.stop_accept.store(true, Ordering::Relaxed);
-        self.stop_sessions.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
-        loop {
-            // Joining can race a final spawn from the accept loop only
-            // before the accept thread is joined — by here the vec can
-            // only shrink, but drain it under the lock in rounds anyway.
-            let batch: Vec<JoinHandle<()>> = self.conns.lock().drain(..).collect();
-            if batch.is_empty() {
-                break;
-            }
-            for handle in batch {
-                let _ = handle.join();
-            }
+    /// Idempotent stop: shut the reactor down and join every thread.
+    fn stop(&mut self) {
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
         }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop_and_join();
+        self.stop();
     }
 }

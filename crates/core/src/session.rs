@@ -1,19 +1,28 @@
-//! The session layer: per-connection serve loop, the node-wide session
-//! registry, and disconnect-safe teardown.
+//! The session layer: the per-connection protocol state machine, the
+//! node-wide session registry, and disconnect-safe teardown.
 //!
-//! Every connection runs [`serve_session`]. A successful logon registers
-//! a [`SessionEntry`] in the node's [`SessionRegistry`] (bounded by
-//! `max_sessions` — a full table answers with retryable `SERVER_BUSY`).
-//! The entry tracks the jobs the session *owns* (its `BeginLoad`s and
-//! `BeginExport`s); when the session ends — explicit logoff, peer
-//! disconnect, idle timeout, or server shutdown — [`close_session`]
-//! aborts whatever those jobs still have in flight, so a yanked cable
-//! never leaks credits, memory reservations, staging tables, or staged
-//! objects.
+//! The protocol logic lives in [`SessionCore`], an explicit state
+//! machine driven one frame at a time. Each frame either produces an
+//! inline reply (logon, keepalive, logoff, protocol errors — nothing
+//! that can block) or a [`DispatchCall`]: a self-contained description
+//! of blocking-capable gateway work (loads, chunks, exports, stats)
+//! that the caller runs wherever it likes — the reactor hands it to a
+//! fixed dispatch pool and feeds the completion back through
+//! [`SessionCore::complete`]; the blocking driver ([`serve_session`],
+//! used for in-memory transports) just runs it in place.
+//!
+//! A successful logon registers a [`SessionEntry`] in the node's
+//! [`SessionRegistry`] (bounded by `max_sessions` — a full table
+//! answers with retryable `SERVER_BUSY`). The entry tracks the jobs
+//! the session *owns* (its `BeginLoad`s and `BeginExport`s); when the
+//! session ends — explicit logoff, peer disconnect, idle timeout, or
+//! server shutdown — [`close_session`] aborts whatever those jobs
+//! still have in flight, so a yanked cable never leaks credits, memory
+//! reservations, staging tables, or staged objects.
 
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,9 +37,10 @@ use parking_lot::Mutex;
 use crate::gateway::{error_msg, Virtualizer};
 use crate::obs::{LockSiteObs, TenantObs, TrackedMutex};
 
-/// How often a polling serve loop wakes to check the stop flag and the
-/// idle clock. Only sessions that need polling (a server stop flag or a
-/// nonzero idle timeout) pay this; plain `serve()` blocks on the socket.
+/// How often a polling serve loop wakes to check the idle clock. Only
+/// blocking-driver sessions with a nonzero idle timeout pay this; the
+/// reactor uses its timer wheel, and plain `serve()` blocks on the
+/// socket.
 const POLL_TICK: Duration = Duration::from_millis(20);
 
 /// One logged-on session's registry entry.
@@ -82,30 +92,304 @@ impl SessionRegistry {
     }
 }
 
-/// Serve one connection until logoff, disconnect, idle timeout, or server
-/// stop. `stop` is the server's shutdown flag (TCP connections); `None`
-/// for directly-served transports (tests, in-memory duplex).
-pub(crate) fn serve_session(
-    v: &Virtualizer,
-    mut transport: impl Transport,
-    stop: Option<&AtomicBool>,
-) -> io::Result<()> {
-    let node = &v.node;
-    let idle_timeout = node.config.session_idle_timeout;
-    // Blocking recv cannot observe a stop flag or an idle clock; poll
-    // only when one of them exists so the common path stays wake-free.
-    let poll = stop.is_some() || !idle_timeout.is_zero();
+/// What [`SessionCore::on_frame`] wants done with a frame.
+pub(crate) enum Step {
+    /// Reply computed inline — send `frame`; `end` closes the session
+    /// after the bytes are queued (fatal error or clean logoff).
+    Reply { frame: Frame, end: bool },
+    /// Blocking-capable gateway work. Run [`DispatchCall::run`] off
+    /// the event loop, then feed the returned reply through
+    /// [`SessionCore::complete`].
+    Dispatch(DispatchCall),
+}
 
-    let mut seq = 0u32;
-    let mut session: Option<Arc<SessionEntry>> = None;
-    let mut role = SessionRole::Control;
-    let mut job_token = 0u64;
+/// A self-contained unit of gateway work lifted out of the session
+/// loop: the parsed message plus everything the handlers need, captured
+/// at parse time so the call can run on any thread.
+pub(crate) struct DispatchCall {
+    msg: Message,
+    job_token: u64,
+    tenant: Arc<TenantObs>,
+    /// Session id the reply frame must carry (id at parse time).
+    pub(crate) session_id: u32,
+    /// Sequence number the reply frame must carry.
+    pub(crate) seq: u32,
+}
+
+impl DispatchCall {
+    /// Execute the gateway handler. May block (credit backpressure,
+    /// pipeline drain, CDW apply) — never call on a reactor loop
+    /// thread.
+    pub(crate) fn run(self, v: &Virtualizer) -> Message {
+        match self.msg {
+            Message::Sql { text } => v.handle_sql(&text),
+            Message::BeginLoad(spec) => v.handle_begin_load(spec, self.tenant),
+            Message::DataChunk(chunk) => v.handle_data_chunk(self.job_token, chunk),
+            Message::EndLoad(end) => v.handle_end_load(self.job_token, &end.dml),
+            Message::BeginExport(spec) => v.handle_begin_export(spec, self.tenant),
+            Message::ExportChunkReq { index } => v.handle_export_req(self.job_token, index),
+            Message::StatsReq { format } => {
+                let body = match format {
+                    StatsFormat::Json => v.stats_snapshot(),
+                    StatsFormat::Prometheus => v.stats_prometheus(),
+                    StatsFormat::Series => v.sampler_json(),
+                };
+                Message::StatsReply(StatsReply { format, body })
+            }
+            Message::HealthReq { format } => {
+                let body = match format {
+                    StatsFormat::Prometheus => v.health_prometheus(),
+                    // Series has no health rendering; JSON is the
+                    // universal fallback.
+                    StatsFormat::Json | StatsFormat::Series => v.health_json(),
+                };
+                Message::HealthReply(HealthReply { format, body })
+            }
+            Message::TraceReq { job } => {
+                let body = v.trace_json(job);
+                Message::TraceReply(TraceReply {
+                    job,
+                    found: body.is_some(),
+                    body: body.unwrap_or_default(),
+                })
+            }
+            Message::ProfileReq { format } => {
+                let body = match format {
+                    StatsFormat::Json => v.profile_json(),
+                    // Series and Prometheus both answer with the raw
+                    // folded-stack text — the flamegraph input format.
+                    StatsFormat::Series | StatsFormat::Prometheus => v.profile().folded,
+                };
+                Message::ProfileReply(ProfileReply { format, body })
+            }
+            other => error_msg(
+                ErrCode::PROTOCOL,
+                format!("unexpected message {:?}", other.kind()),
+                true,
+            ),
+        }
+    }
+}
+
+/// The per-connection protocol state machine: sequence counter, logon
+/// state, role, and the implicit job binding legacy data sessions carry.
+/// Drivers own the I/O (blocking transport or reactor) and push one
+/// frame at a time through [`on_frame`](SessionCore::on_frame).
+pub(crate) struct SessionCore {
+    seq: u32,
+    session: Option<Arc<SessionEntry>>,
+    role: SessionRole,
+    job_token: u64,
+    clean: bool,
+}
+
+impl SessionCore {
+    pub(crate) fn new() -> SessionCore {
+        SessionCore {
+            seq: 0,
+            session: None,
+            role: SessionRole::Control,
+            job_token: 0,
+            clean: false,
+        }
+    }
+
+    /// The wire session id replies carry (0 before logon completes).
+    pub(crate) fn session_id(&self) -> u32 {
+        self.session.as_ref().map(|s| s.id).unwrap_or(0)
+    }
+
+    /// Advance the state machine by one received frame.
+    /// `shutting_down` is the owning server's stop flag — it turns new
+    /// logons away; in-flight sessions finish their current exchange.
+    pub(crate) fn on_frame(&mut self, v: &Virtualizer, frame: &Frame, shutting_down: bool) -> Step {
+        let node = &v.node;
+        // Replies echo the session id as of parse time: a LogonOk
+        // frame still carries session 0, the id travels in its payload.
+        let session_id = self.session_id();
+        let msg = match Message::from_frame(frame) {
+            Ok(m) => m,
+            Err(e) => {
+                let reply = error_msg(ErrCode::PROTOCOL, e.to_string(), true);
+                return Step::Reply {
+                    frame: reply.into_frame(session_id, self.seq),
+                    end: true,
+                };
+            }
+        };
+        self.seq = self.seq.wrapping_add(1);
+        let seq = self.seq;
+        let reply = match msg {
+            Message::Logon(logon) => {
+                if logon.username.is_empty() || logon.password.is_empty() {
+                    error_msg(ErrCode::LOGON_FAILED, "missing credentials", true)
+                } else if node.draining.load(Ordering::Relaxed) || shutting_down {
+                    error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true)
+                } else {
+                    let id = node.next_session.fetch_add(1, Ordering::Relaxed);
+                    // The logon username *is* the tenant identity:
+                    // one interned metric block per distinct user.
+                    let tenant = node.obs.registry.tenant(&logon.username);
+                    let entry = Arc::new(SessionEntry {
+                        id,
+                        role: logon.role,
+                        jobs: Mutex::new(Vec::new()),
+                        tenant,
+                    });
+                    if !node.registry.register(Arc::clone(&entry)) {
+                        node.obs.gateway.admission_rejections.inc();
+                        entry.tenant.admission_rejections.inc();
+                        error_msg(
+                            ErrCode::SERVER_BUSY,
+                            format!(
+                                "session limit reached ({} active), retry later",
+                                node.config.max_sessions
+                            ),
+                            true,
+                        )
+                    } else {
+                        node.obs
+                            .gateway
+                            .active_sessions
+                            .set(node.registry.active() as u64);
+                        self.role = logon.role;
+                        self.job_token = logon.job_token;
+                        self.session = Some(entry);
+                        node.obs.gateway.sessions_opened.inc();
+                        node.obs.journal.emit(
+                            "session.logon",
+                            self.job_token,
+                            id as u64,
+                            0,
+                            0,
+                            Duration::ZERO,
+                        );
+                        Message::LogonOk(etlv_protocol::message::LogonOk {
+                            session: id,
+                            banner: "etlv virtualizer 1.0 (legacy protocol)".into(),
+                        })
+                    }
+                }
+            }
+            Message::DataChunk(_) if self.role != SessionRole::Data => {
+                error_msg(ErrCode::PROTOCOL, "data chunk on a control session", true)
+            }
+            Message::Logoff => {
+                self.clean = true;
+                return Step::Reply {
+                    frame: Message::LogoffOk.into_frame(session_id, seq),
+                    end: true,
+                };
+            }
+            Message::Keepalive => Message::Keepalive,
+            msg @ (Message::Sql { .. }
+            | Message::BeginLoad(_)
+            | Message::DataChunk(_)
+            | Message::EndLoad(_)
+            | Message::BeginExport(_)
+            | Message::ExportChunkReq { .. }
+            | Message::StatsReq { .. }
+            | Message::HealthReq { .. }
+            | Message::TraceReq { .. }
+            | Message::ProfileReq { .. }) => {
+                return Step::Dispatch(DispatchCall {
+                    msg,
+                    job_token: self.job_token,
+                    tenant: self.tenant(v),
+                    session_id,
+                    seq,
+                });
+            }
+            other => error_msg(
+                ErrCode::PROTOCOL,
+                format!("unexpected message {:?}", other.kind()),
+                true,
+            ),
+        };
+        let (frame, end) = self.complete(reply, session_id, seq);
+        Step::Reply { frame, end }
+    }
+
+    /// Absorb a reply (inline or dispatched): job-ownership
+    /// bookkeeping, then the wire frame. `end` is true when the reply
+    /// is a fatal error — the driver sends it and closes.
+    pub(crate) fn complete(&mut self, reply: Message, session_id: u32, seq: u32) -> (Frame, bool) {
+        match &reply {
+            Message::BeginLoadOk { load_token } => {
+                self.job_token = *load_token;
+                if let Some(s) = &self.session {
+                    s.jobs.lock().push(*load_token);
+                }
+            }
+            Message::BeginExportOk(ok) => {
+                self.job_token = ok.export_token;
+                if let Some(s) = &self.session {
+                    s.jobs.lock().push(ok.export_token);
+                }
+            }
+            // A LoadReport means EndLoad retired the job — it is no
+            // longer the session's to abort.
+            Message::LoadReport(_) => {
+                if let Some(s) = &self.session {
+                    s.jobs.lock().retain(|t| *t != self.job_token);
+                }
+            }
+            _ => {}
+        }
+        let end = matches!(&reply, Message::Error(e) if e.fatal);
+        (reply.into_frame(session_id, seq), end)
+    }
+
+    /// The farewell frame for an idle-timeout close. Charges the
+    /// timeout to the session's tenant — an idle reap is the *tenant's*
+    /// availability problem, not just the node's.
+    pub(crate) fn idle_timeout_frame(&self) -> Frame {
+        if let Some(s) = &self.session {
+            s.tenant.idle_timeouts.inc();
+        }
+        error_msg(ErrCode::IDLE_TIMEOUT, "session idle timeout", true)
+            .into_frame(self.session_id(), self.seq)
+    }
+
+    /// The farewell frame for a server-shutdown close.
+    pub(crate) fn shutdown_frame(&self) -> Frame {
+        error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true)
+            .into_frame(self.session_id(), self.seq)
+    }
+
+    /// The tenant a request charges to: the logged-on session's
+    /// interned block, or the shared `~anonymous` block for pre-logon
+    /// requests (directly-served test transports mostly).
+    fn tenant(&self, v: &Virtualizer) -> Arc<TenantObs> {
+        match &self.session {
+            Some(s) => Arc::clone(&s.tenant),
+            None => v.node.obs.registry.tenant("~anonymous"),
+        }
+    }
+
+    /// Tear down the session if one is registered. Idempotent — safe
+    /// to call from both the happy path and error unwinding.
+    pub(crate) fn finish(&mut self, v: &Virtualizer) {
+        if let Some(entry) = self.session.take() {
+            close_session(v, &entry, self.clean);
+        }
+    }
+}
+
+/// Serve one connection on the calling thread until logoff, disconnect,
+/// or idle timeout. This is the blocking driver for transports that are
+/// not OS sockets (the in-memory duplex used by tests and embedded
+/// callers); TCP connections are served by the reactor instead.
+pub(crate) fn serve_session(v: &Virtualizer, mut transport: impl Transport) -> io::Result<()> {
+    let idle_timeout = v.node.config.session_idle_timeout;
+    // A blocking recv cannot observe the idle clock; poll only when a
+    // timeout is configured so the common path stays wake-free.
+    let poll = !idle_timeout.is_zero();
+    let mut core = SessionCore::new();
     let mut last_activity = Instant::now();
-    let mut clean = false;
 
     let result = (|| -> io::Result<()> {
         loop {
-            let session_id = session.as_ref().map(|s| s.id).unwrap_or(0);
             let frame: Frame = if poll {
                 match transport.recv_wait(POLL_TICK)? {
                     RecvOutcome::Frame(f) => {
@@ -113,21 +397,8 @@ pub(crate) fn serve_session(
                         f
                     }
                     RecvOutcome::TimedOut => {
-                        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
-                            let reply =
-                                error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true);
-                            let _ = transport.send(&reply.into_frame(session_id, seq));
-                            return Ok(());
-                        }
-                        if !idle_timeout.is_zero() && last_activity.elapsed() >= idle_timeout {
-                            // An idle-timeout close is the *tenant's*
-                            // availability problem, not just the node's.
-                            if let Some(s) = &session {
-                                s.tenant.idle_timeouts.inc();
-                            }
-                            let reply =
-                                error_msg(ErrCode::IDLE_TIMEOUT, "session idle timeout", true);
-                            let _ = transport.send(&reply.into_frame(session_id, seq));
+                        if last_activity.elapsed() >= idle_timeout {
+                            let _ = transport.send(&core.idle_timeout_frame());
                             return Ok(());
                         }
                         continue;
@@ -140,172 +411,27 @@ pub(crate) fn serve_session(
                     None => return Ok(()),
                 }
             };
-            let msg = match Message::from_frame(&frame) {
-                Ok(m) => m,
-                Err(e) => {
-                    let reply = error_msg(ErrCode::PROTOCOL, e.to_string(), true);
-                    transport.send(&reply.into_frame(session_id, seq))?;
-                    return Ok(());
-                }
-            };
-            seq = seq.wrapping_add(1);
-            let reply = match msg {
-                Message::Logon(logon) => {
-                    if logon.username.is_empty() || logon.password.is_empty() {
-                        error_msg(ErrCode::LOGON_FAILED, "missing credentials", true)
-                    } else if node.draining.load(Ordering::Relaxed)
-                        || stop.is_some_and(|s| s.load(Ordering::Relaxed))
-                    {
-                        error_msg(ErrCode::SHUTTING_DOWN, "server is shutting down", true)
-                    } else {
-                        let id = node.next_session.fetch_add(1, Ordering::Relaxed);
-                        // The logon username *is* the tenant identity:
-                        // one interned metric block per distinct user.
-                        let tenant = node.obs.registry.tenant(&logon.username);
-                        let entry = Arc::new(SessionEntry {
-                            id,
-                            role: logon.role,
-                            jobs: Mutex::new(Vec::new()),
-                            tenant,
-                        });
-                        if !node.registry.register(Arc::clone(&entry)) {
-                            node.obs.gateway.admission_rejections.inc();
-                            entry.tenant.admission_rejections.inc();
-                            error_msg(
-                                ErrCode::SERVER_BUSY,
-                                format!(
-                                    "session limit reached ({} active), retry later",
-                                    node.config.max_sessions
-                                ),
-                                true,
-                            )
-                        } else {
-                            node.obs
-                                .gateway
-                                .active_sessions
-                                .set(node.registry.active() as u64);
-                            role = logon.role;
-                            job_token = logon.job_token;
-                            session = Some(entry);
-                            node.obs.gateway.sessions_opened.inc();
-                            node.obs.journal.emit(
-                                "session.logon",
-                                job_token,
-                                id as u64,
-                                0,
-                                0,
-                                Duration::ZERO,
-                            );
-                            Message::LogonOk(etlv_protocol::message::LogonOk {
-                                session: id,
-                                banner: "etlv virtualizer 1.0 (legacy protocol)".into(),
-                            })
-                        }
+            match core.on_frame(v, &frame, false) {
+                Step::Reply { frame, end } => {
+                    transport.send(&frame)?;
+                    if end {
+                        return Ok(());
                     }
                 }
-                Message::Sql { text } => v.handle_sql(&text),
-                Message::BeginLoad(spec) => v.handle_begin_load(spec, session_tenant(v, &session)),
-                Message::DataChunk(chunk) => {
-                    if role != SessionRole::Data {
-                        error_msg(ErrCode::PROTOCOL, "data chunk on a control session", true)
-                    } else {
-                        v.handle_data_chunk(job_token, chunk)
+                Step::Dispatch(call) => {
+                    let (session_id, seq) = (call.session_id, call.seq);
+                    let reply = call.run(v);
+                    let (frame, end) = core.complete(reply, session_id, seq);
+                    transport.send(&frame)?;
+                    if end {
+                        return Ok(());
                     }
                 }
-                Message::EndLoad(end) => v.handle_end_load(job_token, &end.dml),
-                Message::BeginExport(spec) => {
-                    v.handle_begin_export(spec, session_tenant(v, &session))
-                }
-                Message::ExportChunkReq { index } => v.handle_export_req(job_token, index),
-                Message::StatsReq { format } => {
-                    let body = match format {
-                        StatsFormat::Json => v.stats_snapshot(),
-                        StatsFormat::Prometheus => v.stats_prometheus(),
-                        StatsFormat::Series => v.sampler_json(),
-                    };
-                    Message::StatsReply(StatsReply { format, body })
-                }
-                Message::HealthReq { format } => {
-                    let body = match format {
-                        StatsFormat::Prometheus => v.health_prometheus(),
-                        // Series has no health rendering; JSON is the
-                        // universal fallback.
-                        StatsFormat::Json | StatsFormat::Series => v.health_json(),
-                    };
-                    Message::HealthReply(HealthReply { format, body })
-                }
-                Message::TraceReq { job } => {
-                    let body = v.trace_json(job);
-                    Message::TraceReply(TraceReply {
-                        job,
-                        found: body.is_some(),
-                        body: body.unwrap_or_default(),
-                    })
-                }
-                Message::ProfileReq { format } => {
-                    let body = match format {
-                        StatsFormat::Json => v.profile_json(),
-                        // Series and Prometheus both answer with the raw
-                        // folded-stack text — the flamegraph input format.
-                        StatsFormat::Series | StatsFormat::Prometheus => v.profile().folded,
-                    };
-                    Message::ProfileReply(ProfileReply { format, body })
-                }
-                Message::Logoff => {
-                    clean = true;
-                    transport.send(&Message::LogoffOk.into_frame(session_id, seq))?;
-                    return Ok(());
-                }
-                Message::Keepalive => Message::Keepalive,
-                other => error_msg(
-                    ErrCode::PROTOCOL,
-                    format!("unexpected message {:?}", other.kind()),
-                    true,
-                ),
-            };
-            match &reply {
-                Message::BeginLoadOk { load_token } => {
-                    job_token = *load_token;
-                    if let Some(s) = &session {
-                        s.jobs.lock().push(*load_token);
-                    }
-                }
-                Message::BeginExportOk(ok) => {
-                    job_token = ok.export_token;
-                    if let Some(s) = &session {
-                        s.jobs.lock().push(ok.export_token);
-                    }
-                }
-                // A LoadReport means EndLoad retired the job — it is no
-                // longer the session's to abort.
-                Message::LoadReport(_) => {
-                    if let Some(s) = &session {
-                        s.jobs.lock().retain(|t| *t != job_token);
-                    }
-                }
-                _ => {}
-            }
-            let fatal = matches!(&reply, Message::Error(e) if e.fatal);
-            transport.send(&reply.into_frame(session_id, seq))?;
-            if fatal {
-                return Ok(());
             }
         }
     })();
-    if let Some(entry) = session {
-        close_session(v, &entry, clean);
-    }
+    core.finish(v);
     result
-}
-
-/// The tenant a request charges to: the logged-on session's interned
-/// block, or the shared `~anonymous` block for pre-logon requests
-/// (directly-served test transports mostly).
-fn session_tenant(v: &Virtualizer, session: &Option<Arc<SessionEntry>>) -> Arc<TenantObs> {
-    match session {
-        Some(s) => Arc::clone(&s.tenant),
-        None => v.node.obs.registry.tenant("~anonymous"),
-    }
 }
 
 /// Tear a session down: abort every job it still owns (releasing the

@@ -28,6 +28,8 @@
 //! - [`trace`]: wire-propagated causal trace context (optional payload
 //!   trailer; legacy peers interoperate unchanged).
 //! - [`transport`]: byte transports (TCP and in-memory duplex).
+//! - [`nio`]: nonblocking frame I/O (readiness read pump, resumable
+//!   write-buffer draining) for reactor-served connections.
 //! - [`backoff`]: deterministic capped-jitter retry schedule, shared by
 //!   the server's cloud retries and the client's `SERVER_BUSY` backoff.
 //! - [`rng`]: the workspace's one seeded SplitMix64 — the stateless mixer
@@ -41,6 +43,7 @@ pub mod errcode;
 pub mod frame;
 pub mod layout;
 pub mod message;
+pub mod nio;
 pub mod record;
 pub mod rng;
 pub mod trace;
@@ -53,6 +56,7 @@ pub use errcode::ErrCode;
 pub use frame::{Frame, FrameDecoder, FrameError, MsgKind};
 pub use layout::{FieldDef, Layout};
 pub use message::Message;
+pub use nio::{pump_frames, FrameWriter, NioError, ReadStatus};
 pub use record::{RecordDecoder, RecordEncoder};
 pub use trace::TraceContext;
 pub use transport::{duplex, MemTransport, RecvOutcome, Transport};

@@ -1,0 +1,298 @@
+//! Nonblocking frame I/O for readiness-driven servers.
+//!
+//! The blocking transports in [`crate::transport`] park a thread inside
+//! `read()` until a frame arrives — one OS thread per connection. A
+//! reactor instead keeps sockets in nonblocking mode and works in terms
+//! of *readiness*: when `epoll` reports a socket readable the loop pumps
+//! whatever bytes the kernel has into the incremental [`FrameDecoder`],
+//! and when a socket is writable it drains whatever reply bytes are
+//! still pending. Both directions must tolerate arbitrary tearing:
+//! a frame header split across two `read()`s, a 64 MB export chunk that
+//! takes dozens of `write()`s to leave the send buffer.
+//!
+//! This module holds the two transport-agnostic halves of that story:
+//!
+//! - [`pump_frames`]: read until `WouldBlock` (or a fairness cap),
+//!   feeding the decoder and collecting every completed frame.
+//! - [`FrameWriter`]: an encode-side staging buffer whose
+//!   [`flush`](FrameWriter::flush) resumes partial writes across
+//!   `WouldBlock` without re-encoding.
+//!
+//! Neither half owns a socket; the reactor in `etlv-core` wires them to
+//! real `TcpStream`s, and the tests here wire them to scripted readers
+//! and writers that tear the byte stream at every possible boundary.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BytesMut};
+
+use crate::frame::{Frame, FrameDecoder, FrameError};
+
+/// Fairness cap: maximum bytes pulled off one socket per readiness
+/// event. Level-triggered epoll re-reports the socket if more bytes
+/// remain, so capping a pump pass bounds how long one firehose
+/// connection can monopolize its event loop.
+pub const MAX_PUMP_BYTES: usize = 1 << 20;
+
+/// What a pump pass learned about the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// The socket would block (or the fairness cap was hit); the
+    /// connection stays registered for readability.
+    Open,
+    /// The peer closed its write side (`read` returned 0). Any frames
+    /// completed by the final bytes are still delivered in `out`.
+    Closed,
+}
+
+/// A nonblocking-I/O error: either the socket failed or the byte
+/// stream failed frame validation.
+#[derive(Debug)]
+pub enum NioError {
+    /// Transport-level I/O failure.
+    Io(io::Error),
+    /// Framing violation (bad magic/version/kind/CRC or oversized
+    /// payload) — the stream is unrecoverable and the connection
+    /// should be dropped.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for NioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NioError::Io(e) => write!(f, "i/o error: {e}"),
+            NioError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NioError {}
+
+impl From<io::Error> for NioError {
+    fn from(e: io::Error) -> NioError {
+        NioError::Io(e)
+    }
+}
+
+impl From<FrameError> for NioError {
+    fn from(e: FrameError) -> NioError {
+        NioError::Frame(e)
+    }
+}
+
+/// Pump a readable nonblocking source into `decoder`, appending every
+/// completed frame to `out`.
+///
+/// Reads through `scratch` until the source reports `WouldBlock`, the
+/// peer closes, or [`MAX_PUMP_BYTES`] have been consumed this pass
+/// (level-triggered polling re-reports leftover bytes). `Interrupted`
+/// reads are retried. Frames already completed before an error are
+/// kept in `out`; framing errors are fatal for the stream.
+pub fn pump_frames(
+    src: &mut impl Read,
+    scratch: &mut [u8],
+    decoder: &mut FrameDecoder,
+    out: &mut Vec<Frame>,
+) -> Result<ReadStatus, NioError> {
+    debug_assert!(!scratch.is_empty(), "pump_frames needs a scratch buffer");
+    let mut consumed = 0usize;
+    loop {
+        match src.read(scratch) {
+            Ok(0) => {
+                drain_decoder(decoder, out)?;
+                return Ok(ReadStatus::Closed);
+            }
+            Ok(n) => {
+                decoder.feed(&scratch[..n]);
+                drain_decoder(decoder, out)?;
+                consumed += n;
+                if consumed >= MAX_PUMP_BYTES {
+                    return Ok(ReadStatus::Open);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(ReadStatus::Open),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NioError::Io(e)),
+        }
+    }
+}
+
+/// Pop every frame the decoder can currently complete.
+fn drain_decoder(decoder: &mut FrameDecoder, out: &mut Vec<Frame>) -> Result<(), FrameError> {
+    while let Some(frame) = decoder.next_frame()? {
+        out.push(frame);
+    }
+    Ok(())
+}
+
+/// Encode-side staging buffer with `WouldBlock`-resumable draining.
+///
+/// Replies are encoded once into the pending buffer by
+/// [`queue`](FrameWriter::queue); [`flush`](FrameWriter::flush) then
+/// writes as much as the socket will take, keeping the unwritten tail
+/// for the next writability event. The reactor registers the
+/// connection for `EPOLLOUT` exactly while
+/// [`is_empty`](FrameWriter::is_empty) is false.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: BytesMut,
+}
+
+impl FrameWriter {
+    /// New writer with no pending bytes.
+    pub fn new() -> FrameWriter {
+        FrameWriter::default()
+    }
+
+    /// Encode `frame` onto the end of the pending buffer.
+    pub fn queue(&mut self, frame: &Frame) {
+        frame.encode(&mut self.buf);
+    }
+
+    /// Bytes encoded but not yet accepted by the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when every queued byte has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write pending bytes until drained or the destination would
+    /// block. Returns `Ok(true)` when the buffer is empty, `Ok(false)`
+    /// when bytes remain (re-arm for writability). `Interrupted`
+    /// writes are retried; a zero-length write is reported as
+    /// [`io::ErrorKind::WriteZero`].
+    pub fn flush(&mut self, dst: &mut impl Write) -> io::Result<bool> {
+        while !self.buf.is_empty() {
+            match dst.write(&self.buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.buf.advance(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MsgKind;
+
+    /// Reader that yields the stream in fixed-size slices with a
+    /// `WouldBlock` after each one.
+    struct ChoppyReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        blocked: bool,
+    }
+
+    impl Read for ChoppyReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.blocked && self.pos < self.data.len() {
+                self.blocked = false;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.blocked = true;
+            let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame::new(MsgKind::Logon, 0, 1, vec![9u8; 33]),
+            Frame::new(MsgKind::Keepalive, 3, 2, Vec::new()),
+            Frame::new(MsgKind::DataChunk, 3, 3, (0..=255u8).collect::<Vec<u8>>()),
+        ]
+    }
+
+    #[test]
+    fn pump_survives_single_byte_reads() {
+        let stream: Vec<u8> = frames().iter().flat_map(|f| f.to_bytes()).collect();
+        let mut src = ChoppyReader {
+            data: stream,
+            pos: 0,
+            chunk: 1,
+            blocked: false,
+        };
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut scratch = [0u8; 64];
+        loop {
+            match pump_frames(&mut src, &mut scratch, &mut dec, &mut out).unwrap() {
+                ReadStatus::Closed => break,
+                ReadStatus::Open => continue,
+            }
+        }
+        assert_eq!(out, frames());
+    }
+
+    #[test]
+    fn writer_resumes_after_would_block() {
+        struct OneByteSink {
+            out: Vec<u8>,
+            ready: bool,
+        }
+        impl Write for OneByteSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                self.ready = false;
+                self.out.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut w = FrameWriter::new();
+        for f in frames() {
+            w.queue(&f);
+        }
+        let expect: Vec<u8> = frames().iter().flat_map(|f| f.to_bytes()).collect();
+        let mut sink = OneByteSink {
+            out: Vec::new(),
+            ready: false,
+        };
+        let mut flushes = 0usize;
+        while !w.flush(&mut sink).unwrap() {
+            flushes += 1;
+            assert!(flushes < expect.len() * 4, "flush failed to make progress");
+        }
+        assert!(w.is_empty());
+        assert_eq!(sink.out, expect);
+    }
+
+    #[test]
+    fn bad_stream_is_fatal() {
+        let mut bytes = frames()[0].to_bytes();
+        bytes[0] ^= 0xFF; // corrupt the magic
+        let mut src = ChoppyReader {
+            data: bytes,
+            pos: 0,
+            chunk: 4096,
+            blocked: false,
+        };
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut scratch = [0u8; 4096];
+        let err = pump_frames(&mut src, &mut scratch, &mut dec, &mut out).unwrap_err();
+        assert!(matches!(err, NioError::Frame(FrameError::BadMagic(_))));
+    }
+}

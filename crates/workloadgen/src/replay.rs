@@ -10,13 +10,14 @@
 //! run to run; [`OutcomeCounts`] isolates the fields that must not.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use etlv_legacy_client::export::run_export;
 use etlv_legacy_client::import::run_import;
 use etlv_legacy_client::{ClientError, ClientOptions, Connect, RetryPolicy, Session};
-use etlv_protocol::message::SessionRole;
+use etlv_protocol::message::{Message, SessionRole};
 use etlv_script::{compile, parse_script, JobPlan};
 
 use crate::data::{export_script, target_ddl, tenant_user};
@@ -37,6 +38,10 @@ pub struct ReplayOptions {
     /// Create every table the trace touches before dispatching (skip
     /// when the caller prepared the node itself).
     pub prepare_tables: bool,
+    /// Idle logged-on sessions held open for the whole replay, kept
+    /// alive with periodic keepalive sweeps — connection pressure on
+    /// the reactor front end alongside the active traffic. 0 disables.
+    pub keepalive_sessions: usize,
 }
 
 impl Default for ReplayOptions {
@@ -51,6 +56,7 @@ impl Default for ReplayOptions {
                 cap: Duration::from_millis(80),
             },
             prepare_tables: true,
+            keepalive_sessions: 0,
         }
     }
 }
@@ -277,6 +283,44 @@ pub fn replay(
         per_tenant[usize::from(event.tenant)].push(event.clone());
     }
 
+    // Keepalive ballast: hold N idle logged-on sessions open for the
+    // whole replay, swept with keepalives so they stay ahead of any
+    // server idle timeout. Best-effort — a session-limit refusal holds
+    // however many fit.
+    let stop_holders = Arc::new(AtomicBool::new(false));
+    let holder = (options.keepalive_sessions > 0).then(|| {
+        let connector = Arc::clone(connector);
+        let n = options.keepalive_sessions;
+        let stop = Arc::clone(&stop_holders);
+        std::thread::spawn(move || {
+            let mut held = Vec::with_capacity(n);
+            for i in 0..n {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let user = format!("ka-{}", i % 8);
+                match Session::logon(connector.as_ref(), &user, "secret", SessionRole::Control, 0) {
+                    Ok(session) => held.push(session),
+                    Err(_) => break,
+                }
+            }
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(200));
+                for session in &mut held {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if session.request(Message::Keepalive).is_err() {
+                        break;
+                    }
+                }
+            }
+            for session in held {
+                session.logoff();
+            }
+        })
+    });
+
     let t0 = Instant::now();
     let mut workers = Vec::new();
     for events in per_tenant {
@@ -325,14 +369,21 @@ pub fn replay(
     }
 
     let mut outcomes = Vec::with_capacity(trace.events.len());
+    let mut dispatcher_panicked = false;
     for worker in workers {
-        outcomes.extend(
-            worker
-                .join()
-                .map_err(|_| ClientError::Protocol("replay dispatcher panicked".into()))?,
-        );
+        match worker.join() {
+            Ok(batch) => outcomes.extend(batch),
+            Err(_) => dispatcher_panicked = true,
+        }
     }
     let wall = t0.elapsed();
+    stop_holders.store(true, Ordering::Relaxed);
+    if let Some(holder) = holder {
+        let _ = holder.join();
+    }
+    if dispatcher_panicked {
+        return Err(ClientError::Protocol("replay dispatcher panicked".into()));
+    }
     outcomes.sort_by_key(|o| o.seq);
     Ok(ReplayReport { outcomes, wall })
 }

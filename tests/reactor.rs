@@ -1,0 +1,328 @@
+//! Reactor front-end suite (DESIGN §16): the event-driven TCP path
+//! under connection-scale pressure, torn frames, floods, idle reaping,
+//! and abrupt disconnects.
+//!
+//! The invariants under test:
+//!
+//! - **Fixed threads**: hundreds of concurrent keepalive sessions run
+//!   on the same OS-thread count as a handful — connections are state
+//!   machines on the loop threads, not threads.
+//! - **Byte-boundary robustness**: a frame dribbled one byte at a time
+//!   over real TCP parses exactly like one written whole.
+//! - **Partial-write resumption**: a reply flood that overruns the
+//!   socket buffer drains correctly, in order, without loss.
+//! - **Idle reaping**: the timer wheel reaps quiet sessions with the
+//!   `IDLE_TIMEOUT` farewell and keeps the gauges truthful.
+//! - **Disconnect safety**: a yanked connection aborts the jobs its
+//!   session owned, even mid-dispatch.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use etlv_core::{Virtualizer, VirtualizerConfig};
+use etlv_legacy_client::{Session, TcpConnector};
+use etlv_protocol::errcode::ErrCode;
+use etlv_protocol::frame::FrameDecoder;
+use etlv_protocol::message::{BeginLoad, Logon, Message, SessionRole};
+
+mod common;
+use common::simple_import_job;
+
+/// OS threads of this process right now (`/proc/self/status`).
+fn os_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+fn encode(msg: Message, session: u32, seq: u32) -> Vec<u8> {
+    let mut buf = bytes::BytesMut::new();
+    msg.into_frame(session, seq).encode(&mut buf);
+    buf.to_vec()
+}
+
+/// Read messages off a raw socket until `n` have arrived.
+fn read_messages(stream: &mut TcpStream, n: usize) -> Vec<Message> {
+    let mut decoder = FrameDecoder::new();
+    let mut out = Vec::with_capacity(n);
+    let mut buf = [0u8; 4096];
+    while out.len() < n {
+        let read = stream.read(&mut buf).expect("read");
+        assert!(read > 0, "peer closed after {} of {n} messages", out.len());
+        decoder.feed(&buf[..read]);
+        while let Some(frame) = decoder.next_frame().expect("clean frames") {
+            out.push(Message::from_frame(&frame).expect("decodable message"));
+        }
+    }
+    out
+}
+
+/// 300 concurrent keepalive sessions must not grow the process thread
+/// count the way thread-per-connection did (+1 thread each): the loops
+/// and the dispatch pool are sized at startup, so the delta across 300
+/// logons stays near zero (small slack for unrelated test binaries'
+/// runtime noise is not needed — this binary runs its tests on its own
+/// threads, which already exist when the baseline is taken).
+#[test]
+fn hundreds_of_keepalive_sessions_hold_thread_count_fixed() {
+    const SESSIONS: usize = 300;
+    let v = Virtualizer::new(VirtualizerConfig {
+        max_sessions: SESSIONS + 16,
+        ..Default::default()
+    });
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let connector = TcpConnector::new(server.addr().to_string());
+
+    // Warm up: first sessions pull every lazily-started thread in.
+    let mut held: Vec<Session> = (0..8)
+        .map(|i| {
+            Session::logon(&connector, &format!("w{i}"), "p", SessionRole::Control, 0).unwrap()
+        })
+        .collect();
+    let baseline = os_threads();
+
+    for i in held.len()..SESSIONS {
+        held.push(
+            Session::logon(&connector, &format!("u{i}"), "p", SessionRole::Control, 0).unwrap(),
+        );
+    }
+    let grown = os_threads();
+    assert!(
+        grown <= baseline + 2,
+        "thread count must not scale with connections: {baseline} -> {grown}"
+    );
+    assert_eq!(v.active_sessions(), SESSIONS);
+    assert_eq!(v.obs().reactor.conns.value(), SESSIONS as u64);
+
+    // Every session is live: a keepalive sweep answers on all of them.
+    for session in &mut held {
+        let reply = session.request(Message::Keepalive).unwrap();
+        assert!(matches!(reply, Message::Keepalive));
+    }
+
+    for session in held {
+        session.logoff();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while v.active_sessions() > 0 {
+        assert!(Instant::now() < deadline, "sessions must close on logoff");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+    assert_eq!(v.obs().server.conn_setup_errors.value(), 0);
+}
+
+/// A logon dribbled one byte at a time (with pauses inside the header,
+/// payload, and CRC) must behave exactly like one written whole.
+#[test]
+fn byte_dribbled_frames_parse_over_tcp() {
+    let v = Virtualizer::new(VirtualizerConfig::default());
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+
+    let logon = encode(
+        Message::Logon(Logon {
+            username: "dribble".into(),
+            password: "p".into(),
+            role: SessionRole::Control,
+            job_token: 0,
+            trace: None,
+        }),
+        0,
+        0,
+    );
+    for byte in &logon {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let session = match &read_messages(&mut stream, 1)[0] {
+        Message::LogonOk(ok) => ok.session,
+        other => panic!("expected LogonOk, got {other:?}"),
+    };
+
+    // A keepalive split at an awkward boundary (mid-length-field).
+    let keepalive = encode(Message::Keepalive, session, 1);
+    stream.write_all(&keepalive[..13]).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    stream.write_all(&keepalive[13..]).unwrap();
+    assert!(matches!(
+        read_messages(&mut stream, 1)[0],
+        Message::Keepalive
+    ));
+
+    let logoff = encode(Message::Logoff, session, 2);
+    stream.write_all(&logoff).unwrap();
+    assert!(matches!(
+        read_messages(&mut stream, 1)[0],
+        Message::LogoffOk
+    ));
+    server.shutdown();
+}
+
+/// Pipeline thousands of keepalives without reading a single reply:
+/// the reply backlog overruns the socket send buffer, forcing the
+/// writer through its partial-write / `EPOLLOUT` resumption path. All
+/// replies must then arrive, in order.
+#[test]
+fn reply_flood_resumes_partial_writes_in_order() {
+    const FLOOD: usize = 20_000;
+    let v = Virtualizer::new(VirtualizerConfig::default());
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+
+    let logon = encode(
+        Message::Logon(Logon {
+            username: "flood".into(),
+            password: "p".into(),
+            role: SessionRole::Control,
+            job_token: 0,
+            trace: None,
+        }),
+        0,
+        0,
+    );
+    stream.write_all(&logon).unwrap();
+    let session = match &read_messages(&mut stream, 1)[0] {
+        Message::LogonOk(ok) => ok.session,
+        other => panic!("expected LogonOk, got {other:?}"),
+    };
+
+    let mut burst = Vec::new();
+    for seq in 0..FLOOD as u32 {
+        burst.extend_from_slice(&encode(Message::Keepalive, session, seq + 1));
+    }
+    // A second thread keeps the pipe full while this one drains
+    // replies — a single thread doing both could deadlock on two full
+    // socket buffers, which would be a client bug, not a server one.
+    let mut write_half = stream.try_clone().expect("clone socket");
+    let pusher = std::thread::spawn(move || {
+        write_half.write_all(&burst).unwrap();
+        write_half.flush().unwrap();
+    });
+
+    let replies = read_messages(&mut stream, FLOOD);
+    pusher.join().unwrap();
+    assert!(replies.iter().all(|m| matches!(m, Message::Keepalive)));
+    assert!(
+        v.obs().reactor.conns_writing.value() == 0,
+        "writer gauge must settle once drained"
+    );
+    server.shutdown();
+}
+
+/// Quiet sessions are reaped by the timer wheel: the client sees the
+/// `IDLE_TIMEOUT` farewell, the registry empties, the reap is counted.
+#[test]
+fn idle_sessions_are_reaped_with_a_farewell() {
+    let v = Virtualizer::new(VirtualizerConfig {
+        session_idle_timeout: Duration::from_millis(150),
+        reactor_tick: Duration::from_millis(10),
+        ..Default::default()
+    });
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+
+    let logon = encode(
+        Message::Logon(Logon {
+            username: "sleepy".into(),
+            password: "p".into(),
+            role: SessionRole::Control,
+            job_token: 0,
+            trace: None,
+        }),
+        0,
+        0,
+    );
+    stream.write_all(&logon).unwrap();
+    assert!(matches!(
+        read_messages(&mut stream, 1)[0],
+        Message::LogonOk(_)
+    ));
+
+    // Go quiet and wait for the reaper's farewell.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match &read_messages(&mut stream, 1)[0] {
+        Message::Error(e) => {
+            assert_eq!(e.code, ErrCode::IDLE_TIMEOUT.0);
+            assert!(e.fatal);
+        }
+        other => panic!("expected IDLE_TIMEOUT farewell, got {other:?}"),
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while v.active_sessions() > 0 {
+        assert!(Instant::now() < deadline, "reaped session must deregister");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(v.obs().reactor.idle_closes.value() >= 1);
+    server.shutdown();
+}
+
+/// Yanking the cable mid-job aborts the session's open load and frees
+/// every resource, exactly like the blocking path did.
+#[test]
+fn abrupt_disconnect_aborts_owned_jobs() {
+    let v = Virtualizer::new(VirtualizerConfig::default());
+    v.cdw()
+        .execute("CREATE TABLE T0 (A VARCHAR(8), B VARCHAR(32))")
+        .unwrap();
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let connector = TcpConnector::new(server.addr().to_string());
+
+    let job = simple_import_job("T0");
+    let mut control = Session::logon(&connector, "u", "p", SessionRole::Control, 0).unwrap();
+    let reply = control
+        .request(Message::BeginLoad(BeginLoad {
+            target_table: job.target.clone(),
+            error_table_et: job.error_table_et.clone(),
+            error_table_uv: job.error_table_uv.clone(),
+            layout: job.layout.clone(),
+            format: job.format,
+            sessions: 1,
+            error_limit: 0,
+            trace: None,
+        }))
+        .unwrap();
+    assert!(matches!(reply, Message::BeginLoadOk { .. }));
+    assert_eq!(v.active_jobs(), 1);
+
+    // Yank: drop the session object without logoff — the TCP socket
+    // closes under the server's feet.
+    drop(control);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while v.active_jobs() > 0 || v.active_sessions() > 0 {
+        assert!(Instant::now() < deadline, "disconnect must abort the job");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(v.metrics().jobs_aborted, 1);
+    assert_eq!(v.credits().available(), v.credits().capacity());
+    assert_eq!(v.memory().in_flight(), 0);
+    server.shutdown();
+}
+
+/// `drain()` with nothing in flight must come back promptly — the
+/// job-drained condvar answers immediately instead of a poll loop
+/// sleeping its way to the deadline.
+#[test]
+fn empty_drain_returns_promptly() {
+    let v = Virtualizer::new(VirtualizerConfig {
+        drain_timeout: Duration::from_secs(600),
+        ..Default::default()
+    });
+    let server = v.listen_tcp("127.0.0.1:0").expect("bind");
+    let t0 = Instant::now();
+    assert!(server.drain(), "no jobs: drain must succeed");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "drain with no jobs must not wait on the timeout"
+    );
+}
